@@ -1,0 +1,81 @@
+// Command rdbsc-bench regenerates the paper's evaluation tables and
+// figures (Section 8 and Appendix J). Each experiment sweeps one Table 2
+// parameter and prints the paper's two panels — minimum reliability and
+// total_STD — for the four approaches (GREEDY, SAMPLING, D&C, G-TRUTH),
+// plus CPU time and index metrics where the figure calls for them.
+//
+// Usage:
+//
+//	rdbsc-bench -list               # show available experiments
+//	rdbsc-bench -fig 13             # run Figure 13
+//	rdbsc-bench -fig all            # run everything (default)
+//	rdbsc-bench -m 120 -n 240 -seeds 3 -fig 14
+//
+// Bench scale defaults to m=80, n=160 (the paper's 10K×10K full scale takes
+// CPU-hours on the quadratic greedy); shapes, not absolute magnitudes, are
+// the reproduction target.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rdbsc/internal/exp"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "experiment to run: a figure number (e.g. 13 or fig13), an ablation id, or 'all'")
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		m     = flag.Int("m", 80, "base number of tasks")
+		n     = flag.Int("n", 160, "base number of workers")
+		seeds = flag.Int("seeds", 2, "workload seeds averaged per point")
+		seed  = flag.Int64("seed", 1, "base random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Registry() {
+			fmt.Printf("%-20s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale := exp.Scale{M: *m, N: *n, Seeds: *seeds, Seed: *seed}
+	ids := resolve(*fig)
+	if len(ids) == 0 {
+		fmt.Fprintf(os.Stderr, "rdbsc-bench: unknown experiment %q; try -list\n", *fig)
+		os.Exit(2)
+	}
+	for _, id := range ids {
+		e, ok := exp.ByID(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rdbsc-bench: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		rows := e.Run(scale)
+		fmt.Print(exp.RenderTable(e, rows))
+		fmt.Printf("-- paper shape: %s\n", e.PaperShape)
+		fmt.Printf("-- completed in %.1fs\n\n", time.Since(start).Seconds())
+	}
+}
+
+// resolve maps the -fig argument to experiment ids.
+func resolve(arg string) []string {
+	arg = strings.TrimSpace(strings.ToLower(arg))
+	if arg == "all" {
+		return exp.IDs()
+	}
+	if _, ok := exp.ByID(arg); ok {
+		return []string{arg}
+	}
+	// Bare figure numbers are accepted: "13" → "fig13".
+	if _, ok := exp.ByID("fig" + arg); ok {
+		return []string{"fig" + arg}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package rdbsc_test
+
+import (
+	"fmt"
+	"math"
+
+	"rdbsc"
+)
+
+// ExampleSolve demonstrates the end-to-end flow: build an instance, solve
+// it with the divide-and-conquer algorithm, and read the two quality
+// measures.
+func ExampleSolve() {
+	in := &rdbsc.Instance{
+		Tasks: []rdbsc.Task{
+			{ID: 0, Loc: rdbsc.Pt(0.5, 0.5), Start: 0, End: 2},
+		},
+		Workers: []rdbsc.Worker{
+			{ID: 0, Loc: rdbsc.Pt(0.4, 0.5), Speed: 1, Dir: rdbsc.FullCircle, Confidence: 0.9},
+			{ID: 1, Loc: rdbsc.Pt(0.6, 0.5), Speed: 1, Dir: rdbsc.FullCircle, Confidence: 0.8},
+		},
+		Beta: 0.5,
+	}
+	res, err := rdbsc.Solve(in, rdbsc.WithSolver(rdbsc.NewGreedy()))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("assigned %d workers, minRel %.2f\n", res.Assignment.Len(), res.Eval.MinRel)
+	// Output: assigned 2 workers, minRel 0.98
+}
+
+// ExampleReliability shows Eq. 1: the probability that at least one of the
+// assigned workers completes the task.
+func ExampleReliability() {
+	fmt.Printf("%.3f\n", rdbsc.Reliability([]float64{0.9, 0.8}))
+	// Output: 0.980
+}
+
+// ExampleExpectedSTD evaluates the expected spatial/temporal diversity of
+// two opposite photographers, each certain to deliver.
+func ExampleExpectedSTD() {
+	angles := []float64{0, math.Pi}
+	arrivals := []float64{0.5, 0.5}
+	certain := []float64{1, 1}
+	estd := rdbsc.ExpectedSTD(1.0, angles, arrivals, certain, 0, 1)
+	fmt.Printf("%.4f (= ln 2)\n", estd)
+	// Output: 0.6931 (= ln 2)
+}
+
+// ExampleSector constructs a worker's direction cone.
+func ExampleSector() {
+	cone := rdbsc.Sector(0, math.Pi/2) // facing east, ±45°
+	fmt.Println(cone.Contains(math.Pi/8), cone.Contains(math.Pi))
+	// Output: true false
+}

@@ -1,0 +1,84 @@
+// Landmark photography (the paper's Example 1): a task requester wants
+// photos of a landmark — the Statue of Liberty in the paper — taken from
+// directions as diverse as possible and at diverse times (e.g. catching the
+// evening fireworks), by workers who are already moving through the area.
+//
+// The example builds the scenario explicitly: one landmark task with a
+// firework-show time window, a handful of pedestrians with different
+// positions, headings and reliabilities, and shows how the assignment's
+// expected spatial/temporal diversity and the answers' angular coverage
+// respond to worker choice.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"rdbsc"
+)
+
+func main() {
+	// The landmark sits mid-city; the firework show runs from hour 1 to 2.
+	landmark := rdbsc.Task{ID: 1, Loc: rdbsc.Pt(0.5, 0.5), Start: 1, End: 2}
+
+	// Five pedestrians approaching from different sides, as in Figure 1.
+	// Each heads roughly toward the landmark with a personal direction
+	// cone, walking speed, and historical reliability.
+	workers := []rdbsc.Worker{
+		{ID: 1, Loc: rdbsc.Pt(0.25, 0.45), Speed: 0.30, Dir: rdbsc.Sector(bearing(0.25, 0.45), math.Pi/5), Confidence: 0.95},
+		{ID: 2, Loc: rdbsc.Pt(0.50, 0.85), Speed: 0.25, Dir: rdbsc.Sector(bearing(0.50, 0.85), math.Pi/6), Confidence: 0.90},
+		{ID: 3, Loc: rdbsc.Pt(0.80, 0.50), Speed: 0.35, Dir: rdbsc.Sector(bearing(0.80, 0.50), math.Pi/6), Confidence: 0.85},
+		{ID: 4, Loc: rdbsc.Pt(0.30, 0.20), Speed: 0.20, Dir: rdbsc.Sector(bearing(0.30, 0.20), math.Pi/4), Confidence: 0.92},
+		{ID: 5, Loc: rdbsc.Pt(0.65, 0.15), Speed: 0.28, Dir: rdbsc.Sector(bearing(0.65, 0.15), math.Pi/6), Confidence: 0.88},
+		// A sixth pedestrian walking *away* from the landmark: the system
+		// must not assign it (direction constraint, Definition 2).
+		{ID: 6, Loc: rdbsc.Pt(0.45, 0.48), Speed: 0.30, Dir: rdbsc.Sector(math.Pi, math.Pi/8), Confidence: 0.99},
+	}
+
+	in := &rdbsc.Instance{
+		Tasks:   []rdbsc.Task{landmark},
+		Workers: workers,
+		Beta:    0.7, // the requester cares more about angles than times
+		Opt:     rdbsc.Options{WaitAllowed: true},
+	}
+
+	res, err := rdbsc.Solve(in, rdbsc.WithSolver(rdbsc.NewGreedy()), rdbsc.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Println("Landmark photo task (Example 1 of the paper)")
+	fmt.Printf("firework window: [%.1f, %.1f] h, beta=%.1f\n\n", landmark.Start, landmark.End, in.Beta)
+
+	var angles, arrivals, probs []float64
+	res.Assignment.Workers(func(wid rdbsc.WorkerID, tid rdbsc.TaskID) {
+		w := in.WorkerByID(wid)
+		ray := landmark.Loc.Bearing(w.Loc)
+		angles = append(angles, ray)
+		probs = append(probs, w.Confidence)
+		travel := w.Loc.Dist(landmark.Loc) / w.Speed
+		arrive := math.Max(travel, landmark.Start)
+		arrivals = append(arrivals, arrive)
+		fmt.Printf("worker %d assigned: shoots from %5.1f°, arrives %.2f h, reliability %.2f\n",
+			wid, ray*180/math.Pi, arrive, w.Confidence)
+	})
+	if res.Assignment.Assigned(6) {
+		fmt.Println("BUG: worker 6 walks away from the landmark and must not be assigned")
+	} else {
+		fmt.Println("worker 6 skipped: the landmark is outside its direction cone")
+	}
+
+	fmt.Printf("\ntask reliability (≥1 good photo): %.4f\n", rdbsc.Reliability(probs))
+	fmt.Printf("expected spatial/temporal diversity: %.4f\n",
+		rdbsc.ExpectedSTD(in.Beta, angles, arrivals, probs, landmark.Start, landmark.End))
+	fmt.Printf("diversity if every photo arrives:    %.4f (upper bound)\n",
+		rdbsc.STD(in.Beta, angles, arrivals, landmark.Start, landmark.End))
+	fmt.Printf("max possible with %d photographers:   %.4f\n",
+		len(angles), math.Log(float64(len(angles))))
+}
+
+// bearing returns the direction from (x, y) toward the landmark at
+// (0.5, 0.5).
+func bearing(x, y float64) float64 {
+	return rdbsc.Pt(x, y).Bearing(rdbsc.Pt(0.5, 0.5))
+}

@@ -1,0 +1,228 @@
+// Package aggregate implements the answer-aggregation step sketched in
+// Section 2.3 of the paper: after a task's workers upload their answers
+// (photos), the platform groups answers with similar spatial/temporal
+// characteristics and presents the requester one representative per group,
+// instead of the full pile.
+//
+// Answers are clustered in the (ray angle, normalized time) plane with a
+// k-medoids-style procedure under a mixed metric: the circular distance
+// between angles weighted by β and the absolute time difference weighted by
+// 1−β — the same weighting the diversity objective uses. The representative
+// of each group is its medoid, optionally tie-broken by a caller-supplied
+// quality score (the paper suggests resolution/sharpness).
+package aggregate
+
+import (
+	"math"
+	"sort"
+
+	"rdbsc/internal/geo"
+)
+
+// Item is one answer to aggregate: its approach angle, its timestamp
+// normalized to the task's valid period ([0,1]), and an optional quality
+// score (higher is better).
+type Item struct {
+	ID      int
+	Angle   float64 // radians, normalized internally
+	Time    float64 // position in the valid period, clamped to [0,1]
+	Quality float64
+}
+
+// Group is one aggregated cluster.
+type Group struct {
+	// Representative is the medoid item (quality-tie-broken).
+	Representative Item
+	// Members are all items in the group, including the representative,
+	// ordered by ID.
+	Members []Item
+	// Spread is the mean distance of members to the representative under
+	// the mixed metric; small spreads mean redundant answers.
+	Spread float64
+}
+
+// Config tunes the aggregation.
+type Config struct {
+	// Beta weights angular vs temporal similarity exactly like the
+	// diversity objective: distance = β·Δangle/π + (1−β)·Δtime.
+	Beta float64
+	// MaxGroups caps the number of groups (default 5).
+	MaxGroups int
+	// MaxIterations bounds the medoid refinement loop (default 32).
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Beta < 0 || c.Beta > 1 {
+		c.Beta = 0.5
+	}
+	if c.MaxGroups <= 0 {
+		c.MaxGroups = 5
+	}
+	if c.MaxIterations <= 0 {
+		c.MaxIterations = 32
+	}
+	return c
+}
+
+// Distance returns the mixed angular/temporal dissimilarity of two items
+// under weight β: β·(circular angle distance / π) + (1−β)·|Δt|, both terms
+// normalized to [0,1].
+func Distance(a, b Item, beta float64) float64 {
+	da := geo.AbsAngularDiff(a.Angle, b.Angle) / math.Pi
+	dt := math.Abs(clamp01(a.Time) - clamp01(b.Time))
+	return beta*da + (1-beta)*dt
+}
+
+// Aggregate clusters items into at most cfg.MaxGroups groups. Fewer groups
+// are returned when items are fewer or identical. Groups are ordered by
+// their representative's time, then angle.
+func Aggregate(items []Item, cfg Config) []Group {
+	cfg = cfg.withDefaults()
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	k := cfg.MaxGroups
+	if k > n {
+		k = n
+	}
+
+	medoids := seedMedoids(items, k, cfg.Beta)
+	labels := make([]int, n)
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		// Assign each item to its nearest medoid.
+		for i, it := range items {
+			labels[i] = nearestMedoid(medoids, items, it, cfg.Beta)
+		}
+		// Recompute each cluster's medoid.
+		changed := false
+		newMedoids := make([]int, len(medoids))
+		for c := range medoids {
+			newMedoids[c] = bestMedoidOf(items, labels, c, cfg.Beta)
+			if newMedoids[c] == -1 {
+				newMedoids[c] = medoids[c] // empty cluster keeps its medoid
+			}
+			if newMedoids[c] != medoids[c] {
+				changed = true
+			}
+		}
+		medoids = newMedoids
+		if !changed {
+			break
+		}
+	}
+	for i, it := range items {
+		labels[i] = nearestMedoid(medoids, items, it, cfg.Beta)
+	}
+	return buildGroups(items, labels, medoids, cfg.Beta)
+}
+
+// seedMedoids picks k well-separated seeds greedily (farthest-point).
+func seedMedoids(items []Item, k int, beta float64) []int {
+	medoids := []int{0}
+	for len(medoids) < k {
+		bestIdx, bestDist := -1, -1.0
+		for i, it := range items {
+			d := math.Inf(1)
+			for _, m := range medoids {
+				if dd := Distance(it, items[m], beta); dd < d {
+					d = dd
+				}
+			}
+			if d > bestDist {
+				bestDist, bestIdx = d, i
+			}
+		}
+		if bestIdx < 0 || bestDist == 0 {
+			break // all remaining items coincide with chosen seeds
+		}
+		medoids = append(medoids, bestIdx)
+	}
+	return medoids
+}
+
+func nearestMedoid(medoids []int, items []Item, it Item, beta float64) int {
+	best, bestD := 0, math.Inf(1)
+	for c, m := range medoids {
+		if d := Distance(it, items[m], beta); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// bestMedoidOf returns the index of the member minimizing the total
+// distance to its cluster (quality breaks ties), or -1 for empty clusters.
+func bestMedoidOf(items []Item, labels []int, cluster int, beta float64) int {
+	best, bestCost := -1, math.Inf(1)
+	for i, it := range items {
+		if labels[i] != cluster {
+			continue
+		}
+		cost := 0.0
+		for j, jt := range items {
+			if labels[j] == cluster {
+				cost += Distance(it, jt, beta)
+			}
+		}
+		if cost < bestCost ||
+			(cost == bestCost && best >= 0 && it.Quality > items[best].Quality) {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+func buildGroups(items []Item, labels []int, medoids []int, beta float64) []Group {
+	groups := make([]Group, 0, len(medoids))
+	for c, m := range medoids {
+		var members []Item
+		var spread float64
+		for i, it := range items {
+			if labels[i] != c {
+				continue
+			}
+			members = append(members, it)
+			spread += Distance(it, items[m], beta)
+		}
+		if len(members) == 0 {
+			continue
+		}
+		sort.Slice(members, func(a, b int) bool { return members[a].ID < members[b].ID })
+		groups = append(groups, Group{
+			Representative: items[m],
+			Members:        members,
+			Spread:         spread / float64(len(members)),
+		})
+	}
+	sort.Slice(groups, func(a, b int) bool {
+		ga, gb := groups[a].Representative, groups[b].Representative
+		if ga.Time != gb.Time {
+			return ga.Time < gb.Time
+		}
+		return ga.Angle < gb.Angle
+	})
+	return groups
+}
+
+// Representatives returns just the representative items of Aggregate's
+// groups — the digest shown to the task requester.
+func Representatives(items []Item, cfg Config) []Item {
+	groups := Aggregate(items, cfg)
+	out := make([]Item, len(groups))
+	for i, g := range groups {
+		out[i] = g.Representative
+	}
+	return out
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,192 @@
+package aggregate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rdbsc/internal/rng"
+)
+
+func TestDistance(t *testing.T) {
+	a := Item{Angle: 0, Time: 0}
+	b := Item{Angle: math.Pi, Time: 1}
+	if got := Distance(a, b, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("pure angular distance = %v, want 1", got)
+	}
+	if got := Distance(a, b, 0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("pure temporal distance = %v, want 1", got)
+	}
+	if got := Distance(a, a, 0.5); got != 0 {
+		t.Errorf("self distance = %v", got)
+	}
+	// Circular: angles 0.1 and 2π−0.1 are close.
+	c := Item{Angle: 0.1, Time: 0.5}
+	d := Item{Angle: 2*math.Pi - 0.1, Time: 0.5}
+	if got := Distance(c, d, 1); got > 0.07 {
+		t.Errorf("circular distance = %v, want ≈0.2/π", got)
+	}
+}
+
+func TestDistanceSymmetricAndBounded(t *testing.T) {
+	f := func(a1, t1, a2, t2, beta float64) bool {
+		if anyBad(a1, t1, a2, t2, beta) {
+			return true
+		}
+		// Confine to realistic magnitudes: astronomically large angles lose
+		// all precision under modular reduction and are meaningless inputs.
+		a1 = math.Mod(a1, 100)
+		a2 = math.Mod(a2, 100)
+		t1 = math.Mod(t1, 10)
+		t2 = math.Mod(t2, 10)
+		b := math.Abs(math.Mod(beta, 1))
+		x := Item{Angle: a1, Time: t1}
+		y := Item{Angle: a2, Time: t2}
+		dxy := Distance(x, y, b)
+		dyx := Distance(y, x, b)
+		return math.Abs(dxy-dyx) < 1e-12 && dxy >= 0 && dxy <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateSeparatesObviousClusters(t *testing.T) {
+	// Two tight clusters: morning/east vs evening/west.
+	var items []Item
+	for i := 0; i < 5; i++ {
+		items = append(items, Item{ID: i, Angle: 0.05 * float64(i), Time: 0.1 + 0.01*float64(i)})
+	}
+	for i := 5; i < 10; i++ {
+		items = append(items, Item{ID: i, Angle: math.Pi + 0.05*float64(i-5), Time: 0.9 - 0.01*float64(i-5)})
+	}
+	groups := Aggregate(items, Config{Beta: 0.5, MaxGroups: 2})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(groups))
+	}
+	if len(groups[0].Members) != 5 || len(groups[1].Members) != 5 {
+		t.Fatalf("group sizes %d/%d, want 5/5", len(groups[0].Members), len(groups[1].Members))
+	}
+	// First group (sorted by time) must be the morning one.
+	if groups[0].Representative.Time > 0.5 {
+		t.Errorf("groups not ordered by time: %+v", groups[0].Representative)
+	}
+	for _, m := range groups[0].Members {
+		if m.ID >= 5 {
+			t.Errorf("morning group contains evening item %d", m.ID)
+		}
+	}
+}
+
+func TestAggregateEmptyAndSingle(t *testing.T) {
+	if got := Aggregate(nil, Config{}); got != nil {
+		t.Errorf("empty input produced groups: %v", got)
+	}
+	groups := Aggregate([]Item{{ID: 1, Angle: 1, Time: 0.5}}, Config{})
+	if len(groups) != 1 || len(groups[0].Members) != 1 {
+		t.Fatalf("single item: %+v", groups)
+	}
+	if groups[0].Spread != 0 {
+		t.Errorf("single-item spread = %v", groups[0].Spread)
+	}
+}
+
+func TestAggregateIdenticalItemsCollapse(t *testing.T) {
+	items := make([]Item, 8)
+	for i := range items {
+		items[i] = Item{ID: i, Angle: 1.0, Time: 0.5}
+	}
+	groups := Aggregate(items, Config{MaxGroups: 4})
+	if len(groups) != 1 {
+		t.Fatalf("identical items produced %d groups, want 1", len(groups))
+	}
+	if len(groups[0].Members) != 8 {
+		t.Errorf("collapsed group has %d members", len(groups[0].Members))
+	}
+}
+
+func TestAggregatePartitions(t *testing.T) {
+	src := rng.New(3)
+	items := make([]Item, 40)
+	for i := range items {
+		items[i] = Item{ID: i, Angle: src.Angle(), Time: src.Float64(), Quality: src.Float64()}
+	}
+	groups := Aggregate(items, Config{Beta: 0.6, MaxGroups: 6})
+	seen := make(map[int]int)
+	for _, g := range groups {
+		foundRep := false
+		for _, m := range g.Members {
+			seen[m.ID]++
+			if m == g.Representative {
+				foundRep = true
+			}
+		}
+		if !foundRep {
+			t.Errorf("representative %+v not among members", g.Representative)
+		}
+		if g.Spread < 0 {
+			t.Errorf("negative spread %v", g.Spread)
+		}
+	}
+	if len(seen) != len(items) {
+		t.Fatalf("partition covers %d of %d items", len(seen), len(items))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Fatalf("item %d in %d groups", id, c)
+		}
+	}
+}
+
+func TestAggregateRespectsMaxGroups(t *testing.T) {
+	src := rng.New(4)
+	items := make([]Item, 30)
+	for i := range items {
+		items[i] = Item{ID: i, Angle: src.Angle(), Time: src.Float64()}
+	}
+	for _, k := range []int{1, 2, 3, 7} {
+		groups := Aggregate(items, Config{MaxGroups: k})
+		if len(groups) > k {
+			t.Errorf("MaxGroups=%d produced %d groups", k, len(groups))
+		}
+	}
+}
+
+func TestRepresentatives(t *testing.T) {
+	items := []Item{
+		{ID: 0, Angle: 0, Time: 0.1},
+		{ID: 1, Angle: 0.01, Time: 0.11},
+		{ID: 2, Angle: math.Pi, Time: 0.9},
+	}
+	reps := Representatives(items, Config{MaxGroups: 2})
+	if len(reps) != 2 {
+		t.Fatalf("representatives = %d, want 2", len(reps))
+	}
+}
+
+func TestMoreGroupsReduceSpread(t *testing.T) {
+	src := rng.New(5)
+	items := make([]Item, 50)
+	for i := range items {
+		items[i] = Item{ID: i, Angle: src.Angle(), Time: src.Float64()}
+	}
+	total := func(k int) float64 {
+		var s float64
+		for _, g := range Aggregate(items, Config{MaxGroups: k}) {
+			s += g.Spread * float64(len(g.Members))
+		}
+		return s
+	}
+	if t2, t8 := total(2), total(8); t8 > t2+1e-9 {
+		t.Errorf("8 groups have larger total spread (%v) than 2 groups (%v)", t8, t2)
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"rdbsc/internal/rng"
+)
+
+func benchProblem(b *testing.B, m, n int) *Problem {
+	b.Helper()
+	in := randomInstance(rng.New(7), m, n)
+	return NewProblem(in)
+}
+
+func BenchmarkGreedySolve(b *testing.B) {
+	p := benchProblem(b, 40, 80)
+	g := NewGreedy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Solve(p, nil)
+	}
+}
+
+func BenchmarkGreedySolveNoPrune(b *testing.B) {
+	p := benchProblem(b, 40, 80)
+	g := &Greedy{Prune: false}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Solve(p, nil)
+	}
+}
+
+func BenchmarkSamplingSolve(b *testing.B) {
+	p := benchProblem(b, 40, 80)
+	s := &Sampling{FixedK: 64}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(p, rng.New(int64(i)))
+	}
+}
+
+func BenchmarkSamplingSolveParallel(b *testing.B) {
+	p := benchProblem(b, 40, 80)
+	s := &Sampling{FixedK: 64, Parallel: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Solve(p, rng.New(int64(i)))
+	}
+}
+
+func BenchmarkDCSolve(b *testing.B) {
+	p := benchProblem(b, 60, 120)
+	dc := NewDC()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dc.Solve(p, rng.New(int64(i)))
+	}
+}
+
+func BenchmarkNewProblem(b *testing.B) {
+	in := randomInstance(rng.New(7), 100, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewProblem(in)
+	}
+}
+
+func BenchmarkSampleSize(b *testing.B) {
+	spec := SampleSizeSpec{Epsilon: 0.1, Delta: 0.9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SampleSize(500, spec)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/rng"
+)
+
+func TestBGPartitionBalancedAndComplete(t *testing.T) {
+	in := randomInstance(rng.New(20), 40, 80)
+	p := NewProblem(in)
+	p1, p2, ok := bgPartition(p, rng.New(1))
+	if !ok {
+		t.Fatal("partition failed on a healthy instance")
+	}
+	// Task split is balanced and a partition.
+	if d := len(p1.In.Tasks) - len(p2.In.Tasks); d < -1 || d > 1 {
+		t.Errorf("unbalanced task split: %d vs %d", len(p1.In.Tasks), len(p2.In.Tasks))
+	}
+	seen := make(map[model.TaskID]int)
+	for _, tk := range p1.In.Tasks {
+		seen[tk.ID]++
+	}
+	for _, tk := range p2.In.Tasks {
+		seen[tk.ID]++
+	}
+	if len(seen) != len(in.Tasks) {
+		t.Errorf("tasks lost in partition: %d of %d", len(seen), len(in.Tasks))
+	}
+	for id, c := range seen {
+		if c != 1 {
+			t.Errorf("task %d appears %d times", id, c)
+		}
+	}
+	// Every connected worker appears on at least one side, and every pair
+	// of a side references a task of that side.
+	w1 := make(map[model.WorkerID]bool)
+	for _, w := range p1.In.Workers {
+		w1[w.ID] = true
+	}
+	w2 := make(map[model.WorkerID]bool)
+	for _, w := range p2.In.Workers {
+		w2[w.ID] = true
+	}
+	for _, wid := range p.ConnectedWorkers() {
+		if !w1[wid] && !w2[wid] {
+			t.Errorf("connected worker %d lost in partition", wid)
+		}
+	}
+	for _, pr := range p1.Pairs {
+		if p1.Task(pr.Task) == nil {
+			t.Errorf("side-1 pair references foreign task %d", pr.Task)
+		}
+	}
+	for _, pr := range p2.Pairs {
+		if p2.Task(pr.Task) == nil {
+			t.Errorf("side-2 pair references foreign task %d", pr.Task)
+		}
+	}
+	// Pair conservation: every parent pair lands on exactly one side.
+	if len(p1.Pairs)+len(p2.Pairs) != len(p.Pairs) {
+		t.Errorf("pairs not conserved: %d + %d != %d", len(p1.Pairs), len(p2.Pairs), len(p.Pairs))
+	}
+}
+
+func TestBGPartitionDegenerate(t *testing.T) {
+	// All tasks at the same location still split evenly (balanced bisect is
+	// size-driven), so partition succeeds; single-task instances cannot
+	// split.
+	in := &model.Instance{Beta: 0.5}
+	in.Tasks = []model.Task{{ID: 0, Loc: geo.Pt(0.5, 0.5), Start: 0, End: 1}}
+	in.Workers = []model.Worker{{ID: 0, Loc: geo.Pt(0.4, 0.5), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9}}
+	p := NewProblem(in)
+	if _, _, ok := bgPartition(p, rng.New(1)); ok {
+		t.Error("single-task instance must not partition")
+	}
+}
+
+// mergeFixture builds a parent problem with two explicit sub-answers
+// containing one conflicting worker (w2) and two isolated ones.
+func mergeFixture(t *testing.T) (*Problem, *model.Assignment, *model.Assignment) {
+	t.Helper()
+	in := &model.Instance{Beta: 0.5}
+	in.Tasks = []model.Task{
+		{ID: 0, Loc: geo.Pt(0.2, 0.5), Start: 0, End: 2},
+		{ID: 1, Loc: geo.Pt(0.8, 0.5), Start: 0, End: 2},
+	}
+	in.Workers = []model.Worker{
+		{ID: 0, Loc: geo.Pt(0.25, 0.5), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9},
+		{ID: 1, Loc: geo.Pt(0.75, 0.5), Speed: 1, Dir: geo.FullCircle, Confidence: 0.8},
+		{ID: 2, Loc: geo.Pt(0.5, 0.5), Speed: 1, Dir: geo.FullCircle, Confidence: 0.7}, // conflicting
+	}
+	p := NewProblem(in)
+	a1 := model.NewAssignment()
+	a1.Assign(0, 0)
+	a1.Assign(2, 0) // copy 1 of w2
+	a2 := model.NewAssignment()
+	a2.Assign(1, 1)
+	a2.Assign(2, 1) // copy 2 of w2
+	return p, a1, a2
+}
+
+func TestSAMergeResolvesConflict(t *testing.T) {
+	p, a1, a2 := mergeFixture(t)
+	merged, stats := saMerge(p, a1, a2, 12)
+	// Non-conflicting assignments preserved (Lemma 6.1).
+	if merged.TaskOf(0) != 0 || merged.TaskOf(1) != 1 {
+		t.Errorf("non-conflicting assignments changed: w0->%d w1->%d",
+			merged.TaskOf(0), merged.TaskOf(1))
+	}
+	// Conflicting worker keeps exactly one of its two copies.
+	if got := merged.TaskOf(2); got != 0 && got != 1 {
+		t.Errorf("conflicting worker assigned to %d, want 0 or 1", got)
+	}
+	if merged.Len() != 3 {
+		t.Errorf("merged size %d, want 3", merged.Len())
+	}
+	if stats.MergeGroups != 1 || stats.MergeExhaustive != 1 {
+		t.Errorf("stats = %+v, want one exhaustively resolved group", stats)
+	}
+}
+
+func TestSAMergeNoConflicts(t *testing.T) {
+	p, a1, a2 := mergeFixture(t)
+	a1.Unassign(2)
+	a2.Unassign(2)
+	merged, stats := saMerge(p, a1, a2, 12)
+	if merged.Len() != 2 || stats.MergeGroups != 0 {
+		t.Errorf("merge without conflicts: len=%d stats=%+v", merged.Len(), stats)
+	}
+}
+
+func TestSAMergeGreedyFallbackForBigGroups(t *testing.T) {
+	p, a1, a2 := mergeFixture(t)
+	merged, stats := saMerge(p, a1, a2, 0) // groupLimit 0 forces greedy path
+	if got := merged.TaskOf(2); got != 0 && got != 1 {
+		t.Errorf("greedy merge left worker 2 at %d", got)
+	}
+	if stats.MergeExhaustive != 0 {
+		t.Errorf("expected greedy resolution, stats=%+v", stats)
+	}
+}
+
+func TestSAMergePicksBetterSide(t *testing.T) {
+	// Task 1 has no other worker in a2; task 0 already has w0 in a1.
+	// Keeping w2 on task 1 lifts the minimum reliability (task 1 would
+	// otherwise exist with... both tasks are covered either way), so the
+	// merge must pick the side whose objective vector dominates. Verify the
+	// choice agrees with direct evaluation of both options.
+	p, a1, a2 := mergeFixture(t)
+	merged, _ := saMerge(p, a1, a2, 12)
+
+	opt0 := model.NewAssignment() // w2 -> task 0
+	opt0.Assign(0, 0)
+	opt0.Assign(1, 1)
+	opt0.Assign(2, 0)
+	opt1 := model.NewAssignment() // w2 -> task 1
+	opt1.Assign(0, 0)
+	opt1.Assign(1, 1)
+	opt1.Assign(2, 1)
+	ev0 := p.Evaluate(opt0)
+	ev1 := p.Evaluate(opt1)
+	got := p.Evaluate(merged)
+	if ev1.Dominates(ev0) && got.MinR != ev1.MinR {
+		t.Errorf("merge picked dominated option: got %v, better is %v", got, ev1)
+	}
+	if ev0.Dominates(ev1) && got.MinR != ev0.MinR {
+		t.Errorf("merge picked dominated option: got %v, better is %v", got, ev0)
+	}
+}
+
+func TestDCMatchesBaseOnTinyInstances(t *testing.T) {
+	// With γ larger than the task count, D&C must behave exactly like its
+	// base solver.
+	in := randomInstance(rng.New(21), 4, 10)
+	p := NewProblem(in)
+	base := &Sampling{FixedK: 50}
+	dc := &DC{Gamma: 100, Base: base}
+	r1 := dc.Solve(p, rng.New(9))
+	r2 := base.Solve(p, rng.New(9))
+	if r1.Eval.TotalESTD != r2.Eval.TotalESTD || r1.Eval.MinRel != r2.Eval.MinRel {
+		t.Errorf("DC(γ=∞) diverged from base: %v vs %v", r1.Eval, r2.Eval)
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(6)
+	uf.union(0, 1)
+	uf.union(2, 3)
+	uf.union(1, 2)
+	if uf.find(0) != uf.find(3) {
+		t.Error("0 and 3 should be connected")
+	}
+	if uf.find(4) == uf.find(0) || uf.find(4) == uf.find(5) {
+		t.Error("4 should be isolated")
+	}
+	uf.union(4, 4) // self-union is a no-op
+	if uf.find(4) != uf.find(4) {
+		t.Error("self-union broke the structure")
+	}
+}

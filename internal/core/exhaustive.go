@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"rdbsc/internal/model"
+	"rdbsc/internal/objective"
+	"rdbsc/internal/rng"
+)
+
+// Exhaustive enumerates every complete assignment (each connected worker
+// picks one of its deg(w) reachable tasks, as in the paper's sampling
+// population) and returns the dominance-score winner. It is the ground
+// truth for tiny instances and the quality yardstick in tests; the
+// population Π deg(w_j) explodes combinatorially, so Solve refuses
+// instances whose population exceeds MaxAssignments.
+type Exhaustive struct {
+	// MaxAssignments caps the enumerated population (default 1<<20).
+	MaxAssignments int
+}
+
+// NewExhaustive returns the default exhaustive oracle.
+func NewExhaustive() *Exhaustive { return &Exhaustive{} }
+
+// Name implements Solver.
+func (e *Exhaustive) Name() string { return "EXHAUSTIVE" }
+
+func (e *Exhaustive) cap() int {
+	if e.MaxAssignments > 0 {
+		return e.MaxAssignments
+	}
+	return 1 << 20
+}
+
+// Population returns the number of complete assignments of p, saturating
+// at cap+1 to avoid overflow.
+func (e *Exhaustive) Population(p *Problem) int {
+	pop := 1
+	limit := e.cap()
+	for _, wid := range p.ConnectedWorkers() {
+		pop *= p.Degree(wid)
+		if pop > limit {
+			return limit + 1
+		}
+	}
+	return pop
+}
+
+// CanSolve reports whether the instance is small enough to enumerate.
+func (e *Exhaustive) CanSolve(p *Problem) bool { return e.Population(p) <= e.cap() }
+
+// Solve implements Solver. It panics when the population exceeds the cap;
+// call CanSolve first.
+func (e *Exhaustive) Solve(p *Problem, _ *rng.Source) *Result {
+	if !e.CanSolve(p) {
+		panic(fmt.Sprintf("core: exhaustive population exceeds cap %d", e.cap()))
+	}
+	workers := p.ConnectedWorkers()
+	if len(workers) == 0 {
+		return finishResult(p, model.NewAssignment(), Stats{})
+	}
+
+	choice := make([]int, len(workers)) // index into each worker's pair list
+	var (
+		vecs  []objective.Vec2
+		evals []objective.Evaluation
+		all   [][]int
+	)
+	for {
+		a := model.NewAssignment()
+		for i, wid := range workers {
+			pi := p.WorkerPairs(wid)[choice[i]]
+			a.Assign(wid, p.Pairs[pi].Task)
+		}
+		ev := p.Evaluate(a)
+		vecs = append(vecs, objective.Vec2{R: ev.MinR, D: ev.TotalESTD})
+		evals = append(evals, ev)
+		all = append(all, append([]int(nil), choice...))
+
+		// Advance the mixed-radix counter.
+		i := 0
+		for i < len(workers) {
+			choice[i]++
+			if choice[i] < p.Degree(workers[i]) {
+				break
+			}
+			choice[i] = 0
+			i++
+		}
+		if i == len(workers) {
+			break
+		}
+	}
+
+	scores := objective.DominanceScores(vecs)
+	best := objective.ArgmaxScore(vecs, scores)
+	a := model.NewAssignment()
+	for i, wid := range workers {
+		pi := p.WorkerPairs(wid)[all[best][i]]
+		a.Assign(wid, p.Pairs[pi].Task)
+	}
+	return &Result{Assignment: a, Eval: evals[best], Stats: Stats{Samples: len(vecs)}}
+}
+
+// ParetoFront enumerates the population like Solve but returns the full
+// set of non-dominated objective vectors. Intended for analysis of tiny
+// instances and for tests that check approximation quality.
+func (e *Exhaustive) ParetoFront(p *Problem) []objective.Vec2 {
+	if !e.CanSolve(p) {
+		panic(fmt.Sprintf("core: exhaustive population exceeds cap %d", e.cap()))
+	}
+	workers := p.ConnectedWorkers()
+	if len(workers) == 0 {
+		return nil
+	}
+	choice := make([]int, len(workers))
+	var vecs []objective.Vec2
+	for {
+		a := model.NewAssignment()
+		for i, wid := range workers {
+			pi := p.WorkerPairs(wid)[choice[i]]
+			a.Assign(wid, p.Pairs[pi].Task)
+		}
+		ev := p.Evaluate(a)
+		vecs = append(vecs, objective.Vec2{R: ev.MinR, D: ev.TotalESTD})
+		i := 0
+		for i < len(workers) {
+			choice[i]++
+			if choice[i] < p.Degree(workers[i]) {
+				break
+			}
+			choice[i] = 0
+			i++
+		}
+		if i == len(workers) {
+			break
+		}
+	}
+	sky := objective.Skyline(vecs)
+	out := make([]objective.Vec2, len(sky))
+	for i, idx := range sky {
+		out[i] = vecs[idx]
+	}
+	return out
+}
+
+// GTruth returns the paper's G-TRUTH reference configuration: the
+// divide-and-conquer solver whose leaves run the sampling solver with a 10×
+// sample budget (Section 8.1, "RDB-SC Approaches and Measures").
+func GTruth() Solver {
+	return &gtruth{dc: &DC{Base: &Sampling{
+		Spec:       SampleSizeSpec{Epsilon: 0.1, Delta: 0.9},
+		Multiplier: 10,
+	}}}
+}
+
+type gtruth struct {
+	dc *DC
+}
+
+func (g *gtruth) Name() string { return "G-TRUTH" }
+
+func (g *gtruth) Solve(p *Problem, src *rng.Source) *Result {
+	return g.dc.Solve(p, src)
+}

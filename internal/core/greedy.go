@@ -1,0 +1,265 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"rdbsc/internal/model"
+	"rdbsc/internal/objective"
+	"rdbsc/internal/rng"
+)
+
+// Greedy implements the RDB-SC_Greedy algorithm of Figure 3: it repeatedly
+// selects the task-worker pair whose assignment increases the two goals the
+// most, ranking candidate pairs by their top-k dominating score [22] in the
+// (Δmin-reliability, Δdiversity) plane, until no unassigned worker can
+// reach any task.
+//
+// With Prune enabled (the default), candidate pairs are first filtered with
+// the Lemma 4.3 bound-based pruning: a pair whose diversity-increase upper
+// bound falls below another pair's lower bound (at equal-or-worse Δmin-R)
+// is discarded before its exact Δdiversity is computed.
+type Greedy struct {
+	// Prune toggles the Lemma 4.3 bound-based candidate pruning.
+	Prune bool
+}
+
+// NewGreedy returns the default greedy solver (pruning enabled).
+func NewGreedy() *Greedy { return &Greedy{Prune: true} }
+
+// Name implements Solver.
+func (g *Greedy) Name() string { return "GREEDY" }
+
+// candidate is one task-worker pair under consideration in a round.
+type candidate struct {
+	pairIdx int32
+	dMinR   float64 // increase of the smallest per-task R across tasks
+	dR      float64 // increase of the task's own R (−ln(1−p))
+	lbD     float64 // lower bound on ΔE[STD]
+	ubD     float64 // upper bound on ΔE[STD]
+	dD      float64 // exact ΔE[STD] (filled after pruning survives)
+	exact   bool
+}
+
+// Solve implements Solver.
+func (g *Greedy) Solve(p *Problem, src *rng.Source) *Result {
+	return g.SolveFrom(p, nil, src)
+}
+
+// SolveFrom runs the greedy assignment on top of an existing partial
+// assignment: committed workers stay on their tasks and their contributions
+// seed the per-task objective states, so new pairs are chosen "considering
+// A and S_c" exactly as line 6 of the incremental updating strategy
+// (Figure 10) prescribes. A nil existing assignment reduces to Solve.
+func (g *Greedy) SolveFrom(p *Problem, existing *model.Assignment, src *rng.Source) *Result {
+	var seed map[model.TaskID]*objective.TaskState
+	if existing != nil {
+		seed = p.NewStates(existing)
+	}
+	res := g.SolveWithStates(p, seed, src)
+	if existing != nil {
+		existing.Workers(func(w model.WorkerID, t model.TaskID) {
+			res.Assignment.Assign(w, t)
+		})
+		res.Eval = p.Evaluate(res.Assignment)
+	}
+	return res
+}
+
+// SolveWithStates runs the greedy assignment with externally seeded
+// per-task objective states — contributions (answers already received,
+// workers already travelling) that are not part of the problem's worker set
+// but must influence the Δ-objective of every new pair. Workers appearing
+// in the seeded states are excluded from assignment. The returned
+// assignment contains only newly assigned workers.
+func (g *Greedy) SolveWithStates(p *Problem, seed map[model.TaskID]*objective.TaskState, _ *rng.Source) *Result {
+	assignment := model.NewAssignment()
+	states := make(map[model.TaskID]*objective.TaskState, len(p.In.Tasks))
+	committed := make(map[model.WorkerID]bool)
+	for i := range p.In.Tasks {
+		t := p.In.Tasks[i]
+		if st := seed[t.ID]; st != nil {
+			states[t.ID] = st.Clone()
+			for _, w := range st.Workers() {
+				committed[w] = true
+			}
+			continue
+		}
+		states[t.ID] = objective.NewTaskState(t, p.In.Beta)
+	}
+	free := make(map[model.WorkerID]bool)
+	for _, w := range p.ConnectedWorkers() {
+		if !committed[w] {
+			free[w] = true
+		}
+	}
+
+	var stats Stats
+	for len(free) > 0 {
+		cands := g.collectCandidates(p, states, free, &stats)
+		if len(cands) == 0 {
+			break
+		}
+		best := g.selectBest(p, states, cands, &stats)
+		pr := p.Pairs[best.pairIdx]
+		w := p.Worker(pr.Worker)
+		states[pr.Task].AddPair(pr, w.Confidence)
+		assignment.Assign(pr.Worker, pr.Task)
+		delete(free, pr.Worker)
+		stats.Rounds++
+	}
+	return finishResult(p, assignment, stats)
+}
+
+// collectCandidates builds the per-round candidate list with Δmin-R and
+// diversity-increase bounds for every valid pair of a free worker.
+func (g *Greedy) collectCandidates(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, stats *Stats) []candidate {
+	minR, secondR := minTwoR(states)
+	var cands []candidate
+	for i := range p.In.Workers {
+		wid := p.In.Workers[i].ID
+		if !free[wid] {
+			continue
+		}
+		w := &p.In.Workers[i]
+		for _, pi := range p.WorkerPairs(wid) {
+			pr := p.Pairs[pi]
+			st := states[pr.Task]
+			dR := objective.RTerm(w.Confidence)
+			c := candidate{
+				pairIdx: pi,
+				dR:      dR,
+				dMinR:   deltaMinR(st.R(), dR, minR, secondR),
+			}
+			b := st.DeltaBoundsIfAdd(w.Confidence, pr.Arrival, pr.Angle)
+			c.lbD, c.ubD = b.Lo, b.Hi
+			cands = append(cands, c)
+		}
+	}
+	if g.Prune && len(cands) > 1 {
+		cands = pruneCandidates(cands, stats)
+	}
+	return cands
+}
+
+// selectBest computes exact diversity increases for the surviving
+// candidates, ranks them by dominance score, and returns the winner.
+func (g *Greedy) selectBest(p *Problem, states map[model.TaskID]*objective.TaskState, cands []candidate, stats *Stats) candidate {
+	vecs := make([]objective.Vec2, len(cands))
+	for i := range cands {
+		c := &cands[i]
+		pr := p.Pairs[c.pairIdx]
+		w := p.Worker(pr.Worker)
+		_, dD := states[pr.Task].DeltaIfAdd(w.Confidence, pr.Arrival, pr.Angle)
+		c.dD = dD
+		c.exact = true
+		stats.PairsEvaluated++
+		vecs[i] = objective.Vec2{R: c.dMinR, D: c.dD}
+	}
+	// Skyline filter (line 6 of Figure 3) then top-k dominating rank
+	// (line 7); the skyline restriction does not change the argmax but
+	// mirrors the paper's two-step description.
+	sky := objective.Skyline(vecs)
+	if len(sky) == 1 {
+		return cands[sky[0]]
+	}
+	scores := objective.DominanceScores(vecs)
+	bestIdx := sky[0]
+	for _, i := range sky[1:] {
+		if betterCandidate(scores, vecs, i, bestIdx) {
+			bestIdx = i
+		}
+	}
+	return cands[bestIdx]
+}
+
+func betterCandidate(scores []int, vecs []objective.Vec2, i, j int) bool {
+	if scores[i] != scores[j] {
+		return scores[i] > scores[j]
+	}
+	if vecs[i].R != vecs[j].R {
+		return vecs[i].R > vecs[j].R
+	}
+	return vecs[i].D > vecs[j].D
+}
+
+// pruneCandidates applies Lemma 4.3: discard candidate q when some
+// candidate p has dMinR_p ≥ dMinR_q and lbD_p > ubD_q. Sorting by dMinR
+// descending lets a running maximum of lbD decide each candidate in
+// O(P log P).
+func pruneCandidates(cands []candidate, stats *Stats) []candidate {
+	idx := make([]int, len(cands))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return cands[idx[a]].dMinR > cands[idx[b]].dMinR })
+
+	keep := make([]bool, len(cands))
+	maxLb := math.Inf(-1)
+	for g := 0; g < len(idx); {
+		// Process one group of equal dMinR together: members of a group may
+		// prune each other, so compute the group's own max lb first, but a
+		// candidate is never pruned by its own bound (lb ≤ ub always).
+		h := g
+		groupMax := math.Inf(-1)
+		for h < len(idx) && cands[idx[h]].dMinR == cands[idx[g]].dMinR {
+			if lb := cands[idx[h]].lbD; lb > groupMax {
+				groupMax = lb
+			}
+			h++
+		}
+		if groupMax > maxLb {
+			maxLb = groupMax
+		}
+		for _, i := range idx[g:h] {
+			keep[i] = !(maxLb > cands[i].ubD)
+		}
+		g = h
+	}
+	out := cands[:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, cands[i])
+		} else {
+			stats.PairsPruned++
+		}
+	}
+	// Guard: bounds are sound, so at least the candidate carrying maxLb
+	// survives; an empty result can only arise from NaNs, which we refuse
+	// to propagate.
+	if len(out) == 0 {
+		return cands
+	}
+	return out
+}
+
+// minTwoR returns the smallest and second-smallest per-task additive
+// reliability R across all task states. With one task, second is +Inf.
+func minTwoR(states map[model.TaskID]*objective.TaskState) (min1, min2 float64) {
+	min1, min2 = math.Inf(1), math.Inf(1)
+	for _, st := range states {
+		r := st.R()
+		switch {
+		case r < min1:
+			min2 = min1
+			min1 = r
+		case r < min2:
+			min2 = r
+		}
+	}
+	return min1, min2
+}
+
+// deltaMinR returns the increase of the global minimum per-task R when a
+// task currently at taskR gains dR. Only assignments to a task currently
+// holding the minimum can raise it, and then only up to the second minimum.
+func deltaMinR(taskR, dR, minR, secondR float64) float64 {
+	if taskR > minR {
+		return 0
+	}
+	after := taskR + dR
+	if after > secondR {
+		after = secondR
+	}
+	return after - minR
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+)
+
+// This file implements the sample-size determination of Section 5.2.
+//
+// The population is the set of all complete assignments, of size
+// N = Π_j deg(w_j); each sample is accepted with probability
+// p = Π_j 1/deg(w_j) = 1/N. The rank X of the best of K samples should
+// fall in the top ε fraction of the population with probability > δ:
+// Pr{X > (1−ε)·N} > δ, equivalently Pr{X ≤ M} ≤ 1−δ with M = (1−ε)·N.
+//
+// Eq. 18 of the paper gives Pr{X ≤ M} = (1−p)^N · (p/(1−p))^K · C(M,K).
+// N is astronomically large for any real instance, so everything is
+// evaluated in log space:
+//
+//	ln Pr = N·ln(1−p) + K·(ln p − ln(1−p)) + ln C(M,K)
+//
+// with N·ln(1−p) → −N·p = −1 as p = 1/N → 0, and
+// ln C(M,K) ≈ K·ln M − lnΓ(K+1) for M ≫ K. The smallest K satisfying
+// the bound is found by binary search above the paper's closed-form lower
+// bound K > (p·M·e − 1 + p)/(1 − p + e·p) (Eq. 15).
+
+// SampleSizeSpec carries the accuracy parameters of Section 5.2.
+type SampleSizeSpec struct {
+	Epsilon float64 // ε: the best sample should rank in the top ε·N
+	Delta   float64 // δ: required confidence of that event
+	MaxK    int     // hard cap on the sample budget (0 → 1<<20)
+}
+
+// Validate checks the spec.
+func (s SampleSizeSpec) Validate() bool {
+	return s.Epsilon > 0 && s.Epsilon < 1 && s.Delta > 0 && s.Delta < 1
+}
+
+// SampleSize returns K̂, the smallest sample count meeting the (ε,δ)
+// guarantee for a population whose log-size is lnN = Σ_j ln deg(w_j).
+// It returns at least 1 and at most spec.MaxK.
+func SampleSize(lnN float64, spec SampleSizeSpec) int {
+	maxK := spec.MaxK
+	if maxK <= 0 {
+		maxK = 1 << 20
+	}
+	if !spec.Validate() || lnN <= 0 {
+		return 1
+	}
+	target := math.Log(1 - spec.Delta)
+
+	// Closed-form lower bound (Eq. 15). With p = 1/N and M = (1−ε)N,
+	// p·M = 1−ε, so the bound is ((1−ε)e − 1 + p) / (1 − p + e·p).
+	p := math.Exp(-lnN) // may underflow to 0; handled below
+	lower := ((1-spec.Epsilon)*math.E - 1 + p) / (1 - p + math.E*p)
+	lo := int(math.Ceil(lower))
+	if lo < 1 {
+		lo = 1
+	}
+	hi := maxK
+
+	// ln Pr{X ≤ M} decreases in K beyond the lower bound; find the first K
+	// with ln Pr ≤ ln(1−δ).
+	f := func(k int) float64 { return logProbRankAtMost(lnN, spec.Epsilon, k) }
+	if f(hi) > target {
+		return hi // cap reached; caller gets the best budget allowed
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f(mid) <= target {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// logProbRankAtMost evaluates ln Pr{X ≤ M} of Eq. 18 in log space for
+// population log-size lnN, M = (1−ε)·N and K samples.
+func logProbRankAtMost(lnN, eps float64, k int) float64 {
+	if k <= 0 {
+		return 0 // Pr = 1: with no samples the "best rank" surely fails
+	}
+	lnM := math.Log(1-eps) + lnN
+	kf := float64(k)
+
+	// Term 1: N·ln(1−p) with p = 1/N. For small p this is −1 − p/2 − ...;
+	// compute exactly when N is representable, else use the limit −1.
+	var term1 float64
+	if lnN < 25 { // N < ~7.2e10: exact arithmetic is safe
+		n := math.Exp(lnN)
+		p := 1 / n
+		term1 = n * math.Log1p(-p)
+	} else {
+		term1 = -1
+	}
+
+	// Term 2: K·(ln p − ln(1−p)) = K·(−lnN − ln(1−1/N)) ≈ −K·lnN.
+	term2 := -kf * lnN
+	if lnN < 25 {
+		p := math.Exp(-lnN)
+		term2 = kf * (math.Log(p) - math.Log1p(-p))
+	}
+
+	// Term 3: ln C(M,K), evaluated continuously via lgamma (M = (1−ε)·N is
+	// generally not an integer; the gamma extension is the natural reading
+	// and avoids floating-point cliffs at integral M).
+	var term3 float64
+	if lnM < 30 { // M representable: use lgamma exactly
+		m := math.Exp(lnM)
+		if kf > m {
+			return math.Inf(-1) // cannot choose K of M: Pr = 0
+		}
+		lg1, _ := math.Lgamma(m + 1)
+		lg2, _ := math.Lgamma(kf + 1)
+		lg3, _ := math.Lgamma(m - kf + 1)
+		term3 = lg1 - lg2 - lg3
+	} else {
+		// M ≫ K: ln C(M,K) ≈ K·lnM − lnΓ(K+1).
+		lg2, _ := math.Lgamma(kf + 1)
+		term3 = kf*lnM - lg2
+	}
+	return term1 + term2 + term3
+}
+
+// SimpleSampleSize is the independent-uniform-rank alternative: the chance
+// that the best of K independent samples ranks in the top ε fraction is
+// 1 − (1−ε)^K ≥ δ, giving K ≥ ln(1−δ)/ln(1−ε). It is more conservative
+// than the paper's Eq. 18 model and is exposed for comparison and as a
+// practical floor.
+func SimpleSampleSize(spec SampleSizeSpec) int {
+	if !spec.Validate() {
+		return 1
+	}
+	k := int(math.Ceil(math.Log(1-spec.Delta) / math.Log(1-spec.Epsilon)))
+	if k < 1 {
+		k = 1
+	}
+	if spec.MaxK > 0 && k > spec.MaxK {
+		k = spec.MaxK
+	}
+	return k
+}
+
+// LogPopulation returns lnN = Σ ln deg for the workers' candidate degrees,
+// ignoring zero-degree workers (they contribute no choice).
+func LogPopulation(degrees []int) float64 {
+	var lnN float64
+	for _, d := range degrees {
+		if d > 1 {
+			lnN += math.Log(float64(d))
+		}
+	}
+	return lnN
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogPopulation(t *testing.T) {
+	tests := []struct {
+		name string
+		degs []int
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"all ones", []int{1, 1, 1}, 0},
+		{"zeros ignored", []int{0, 0}, 0},
+		{"simple", []int{2, 4}, math.Log(8)},
+		{"mixed", []int{1, 3, 0, 5}, math.Log(15)},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := LogPopulation(tc.degs); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("LogPopulation = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestSampleSizeSpecValidate(t *testing.T) {
+	good := SampleSizeSpec{Epsilon: 0.1, Delta: 0.9}
+	if !good.Validate() {
+		t.Error("valid spec rejected")
+	}
+	for _, bad := range []SampleSizeSpec{
+		{Epsilon: 0, Delta: 0.9},
+		{Epsilon: 1, Delta: 0.9},
+		{Epsilon: 0.1, Delta: 0},
+		{Epsilon: 0.1, Delta: 1},
+	} {
+		if bad.Validate() {
+			t.Errorf("invalid spec accepted: %+v", bad)
+		}
+	}
+}
+
+func TestSampleSizeMonotoneInDelta(t *testing.T) {
+	lnN := 200.0 // astronomically large population
+	prev := 0
+	for _, delta := range []float64{0.5, 0.7, 0.9, 0.99, 0.999} {
+		k := SampleSize(lnN, SampleSizeSpec{Epsilon: 0.1, Delta: delta})
+		if k < prev {
+			t.Fatalf("K decreased from %d to %d as δ grew to %v", prev, k, delta)
+		}
+		prev = k
+	}
+}
+
+func TestSampleSizeMonotoneInEpsilon(t *testing.T) {
+	lnN := 200.0
+	prev := math.MaxInt32
+	for _, eps := range []float64{0.01, 0.05, 0.1, 0.3, 0.5} {
+		k := SampleSize(lnN, SampleSizeSpec{Epsilon: eps, Delta: 0.9})
+		if k > prev {
+			t.Fatalf("K increased from %d to %d as ε grew to %v", prev, k, eps)
+		}
+		prev = k
+	}
+}
+
+func TestSampleSizeSatisfiesTarget(t *testing.T) {
+	// The returned K must actually push Pr{X ≤ M} below 1−δ,
+	// and K−1 must not (unless K hit a boundary).
+	for _, lnN := range []float64{5, 15, 50, 500} {
+		for _, spec := range []SampleSizeSpec{
+			{Epsilon: 0.1, Delta: 0.9},
+			{Epsilon: 0.2, Delta: 0.8},
+			{Epsilon: 0.05, Delta: 0.95},
+		} {
+			k := SampleSize(lnN, spec)
+			target := math.Log(1 - spec.Delta)
+			if got := logProbRankAtMost(lnN, spec.Epsilon, k); got > target+1e-9 {
+				t.Errorf("lnN=%v %+v: K=%d gives lnPr=%v > target %v", lnN, spec, k, got, target)
+			}
+		}
+	}
+}
+
+func TestSampleSizeCaps(t *testing.T) {
+	k := SampleSize(500, SampleSizeSpec{Epsilon: 0.001, Delta: 0.999999, MaxK: 10})
+	if k > 10 {
+		t.Errorf("K = %d exceeds MaxK", k)
+	}
+	if k < 1 {
+		t.Errorf("K = %d below 1", k)
+	}
+}
+
+func TestSampleSizeDegenerate(t *testing.T) {
+	if k := SampleSize(0, SampleSizeSpec{Epsilon: 0.1, Delta: 0.9}); k != 1 {
+		t.Errorf("empty population K = %d, want 1", k)
+	}
+	if k := SampleSize(100, SampleSizeSpec{}); k != 1 {
+		t.Errorf("invalid spec K = %d, want 1", k)
+	}
+}
+
+func TestLogProbRankAtMostDecreasesInK(t *testing.T) {
+	lnN := 100.0
+	prev := math.Inf(1)
+	for k := 1; k <= 64; k++ {
+		cur := logProbRankAtMost(lnN, 0.1, k)
+		if cur > prev+1e-9 {
+			t.Fatalf("lnPr increased at K=%d: %v > %v", k, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestLogProbSmallPopulationExact(t *testing.T) {
+	// N = 16, ε = 0.5 → M = 8, p = 1/16. Compare against a direct
+	// evaluation of Eq. 18.
+	lnN := math.Log(16)
+	p := 1.0 / 16
+	for k := 1; k <= 8; k++ {
+		direct := math.Pow(1-p, 16) * math.Pow(p/(1-p), float64(k)) * binom(8, k)
+		got := logProbRankAtMost(lnN, 0.5, k)
+		if math.Abs(math.Exp(got)-direct) > 1e-9 {
+			t.Errorf("K=%d: exp(lnPr) = %v, direct = %v", k, math.Exp(got), direct)
+		}
+	}
+}
+
+func binom(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	res := 1.0
+	for i := 0; i < k; i++ {
+		res = res * float64(n-i) / float64(i+1)
+	}
+	return res
+}
+
+func TestSimpleSampleSize(t *testing.T) {
+	// K ≥ ln(1−δ)/ln(1−ε): for ε=0.1, δ=0.9 that is ≈ 22.
+	k := SimpleSampleSize(SampleSizeSpec{Epsilon: 0.1, Delta: 0.9})
+	if k != 22 {
+		t.Errorf("SimpleSampleSize = %d, want 22", k)
+	}
+	if k := SimpleSampleSize(SampleSizeSpec{Epsilon: 0.1, Delta: 0.9, MaxK: 5}); k != 5 {
+		t.Errorf("capped SimpleSampleSize = %d, want 5", k)
+	}
+	if k := SimpleSampleSize(SampleSizeSpec{}); k != 1 {
+		t.Errorf("invalid spec SimpleSampleSize = %d, want 1", k)
+	}
+}

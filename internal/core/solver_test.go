@@ -1,0 +1,396 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/objective"
+	"rdbsc/internal/rng"
+)
+
+// randomInstance builds a well-connected random instance: unconstrained
+// fast workers and long task periods guarantee plenty of valid pairs.
+func randomInstance(src *rng.Source, m, n int) *model.Instance {
+	in := &model.Instance{Beta: 0.5}
+	for i := 0; i < m; i++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:    model.TaskID(i),
+			Loc:   src.UniformPoint(geo.UnitSquare),
+			Start: 0,
+			End:   1 + src.Float64(),
+		})
+	}
+	for j := 0; j < n; j++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID:         model.WorkerID(j),
+			Loc:        src.UniformPoint(geo.UnitSquare),
+			Speed:      1 + src.Float64(),
+			Dir:        geo.FullCircle,
+			Confidence: 0.7 + 0.3*src.Float64(),
+		})
+	}
+	return in
+}
+
+// constrainedInstance builds an instance with narrow direction cones and
+// short periods, so some workers are disconnected.
+func constrainedInstance(src *rng.Source, m, n int) *model.Instance {
+	in := &model.Instance{Beta: 0.5}
+	for i := 0; i < m; i++ {
+		st := src.Float64() * 0.5
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:    model.TaskID(i),
+			Loc:   src.UniformPoint(geo.UnitSquare),
+			Start: st,
+			End:   st + 0.25 + 0.25*src.Float64(),
+		})
+	}
+	for j := 0; j < n; j++ {
+		in.Workers = append(in.Workers, model.Worker{
+			ID:         model.WorkerID(j),
+			Loc:        src.UniformPoint(geo.UnitSquare),
+			Speed:      0.2 + 0.3*src.Float64(),
+			Dir:        geo.AngIntervalAround(src.Angle(), math.Pi/6),
+			Confidence: 0.8 + 0.2*src.Float64(),
+		})
+	}
+	return in
+}
+
+func allSolvers() []Solver {
+	return []Solver{NewGreedy(), &Greedy{Prune: false}, NewSampling(), NewDC(), GTruth()}
+}
+
+func TestSolversProduceValidAssignments(t *testing.T) {
+	for _, mk := range []struct {
+		name string
+		make func(*rng.Source) *model.Instance
+	}{
+		{"connected", func(s *rng.Source) *model.Instance { return randomInstance(s, 6, 15) }},
+		{"constrained", func(s *rng.Source) *model.Instance { return constrainedInstance(s, 10, 20) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			in := mk.make(rng.New(42))
+			p := NewProblem(in)
+			for _, s := range allSolvers() {
+				t.Run(s.Name(), func(t *testing.T) {
+					res := s.Solve(p, rng.New(7))
+					if err := in.CheckAssignment(res.Assignment); err != nil {
+						t.Fatalf("invalid assignment: %v", err)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestSolversAssignAllConnectedWorkers(t *testing.T) {
+	in := randomInstance(rng.New(1), 5, 20)
+	p := NewProblem(in)
+	want := len(p.ConnectedWorkers())
+	for _, s := range allSolvers() {
+		res := s.Solve(p, rng.New(3))
+		if got := res.Assignment.Len(); got != want {
+			t.Errorf("%s assigned %d workers, want %d", s.Name(), got, want)
+		}
+	}
+}
+
+func TestSolversDeterministicForSeed(t *testing.T) {
+	in := randomInstance(rng.New(2), 6, 18)
+	p := NewProblem(in)
+	for _, s := range allSolvers() {
+		r1 := s.Solve(p, rng.New(11))
+		r2 := s.Solve(p, rng.New(11))
+		if r1.Eval.MinRel != r2.Eval.MinRel || r1.Eval.TotalESTD != r2.Eval.TotalESTD {
+			t.Errorf("%s not deterministic: %v vs %v", s.Name(), r1.Eval, r2.Eval)
+		}
+	}
+}
+
+func TestSolversOnEmptyInstances(t *testing.T) {
+	cases := []*model.Instance{
+		{Beta: 0.5}, // nothing at all
+		{Beta: 0.5, Tasks: []model.Task{{ID: 0, Loc: geo.Pt(0.5, 0.5), Start: 0, End: 1}}},
+		{Beta: 0.5, Workers: []model.Worker{{ID: 0, Loc: geo.Pt(0.5, 0.5), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9}}},
+	}
+	for _, in := range cases {
+		p := NewProblem(in)
+		for _, s := range allSolvers() {
+			res := s.Solve(p, rng.New(5))
+			if res.Assignment.Len() != 0 {
+				t.Errorf("%s assigned workers on a degenerate instance", s.Name())
+			}
+			if res.Eval.TotalESTD != 0 {
+				t.Errorf("%s nonzero STD on degenerate instance", s.Name())
+			}
+		}
+	}
+}
+
+func TestGreedyPruningPreservesQuality(t *testing.T) {
+	// Pruned candidates are Pareto-dominated, so pruning must not change
+	// the quality class of the result: both variants should land within a
+	// small relative gap.
+	for seed := int64(0); seed < 5; seed++ {
+		in := randomInstance(rng.New(seed), 5, 25)
+		p := NewProblem(in)
+		with := (&Greedy{Prune: true}).Solve(p, rng.New(1))
+		without := (&Greedy{Prune: false}).Solve(p, rng.New(1))
+		if with.Assignment.Len() != without.Assignment.Len() {
+			t.Fatalf("seed %d: assignment sizes differ", seed)
+		}
+		lo, hi := with.Eval.TotalESTD, without.Eval.TotalESTD
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if hi > 0 && lo/hi < 0.85 {
+			t.Errorf("seed %d: pruning changed diversity too much: %v vs %v",
+				seed, with.Eval.TotalESTD, without.Eval.TotalESTD)
+		}
+	}
+}
+
+func TestGreedyPrunesSomething(t *testing.T) {
+	in := randomInstance(rng.New(3), 8, 40)
+	p := NewProblem(in)
+	res := NewGreedy().Solve(p, rng.New(1))
+	if res.Stats.PairsPruned == 0 {
+		t.Log("no pairs pruned on this instance (bounds too loose); acceptable but worth knowing")
+	}
+	if res.Stats.PairsEvaluated == 0 {
+		t.Error("greedy evaluated no pairs")
+	}
+	if res.Stats.Rounds != res.Assignment.Len() {
+		t.Errorf("rounds %d != assignments %d", res.Stats.Rounds, res.Assignment.Len())
+	}
+}
+
+func TestSamplingUsesReportedSampleCount(t *testing.T) {
+	in := randomInstance(rng.New(4), 4, 10)
+	p := NewProblem(in)
+	s := &Sampling{FixedK: 17}
+	res := s.Solve(p, rng.New(1))
+	if res.Stats.Samples != 17 {
+		t.Errorf("Samples = %d, want 17", res.Stats.Samples)
+	}
+	if got := s.SampleCount(p); got != 17 {
+		t.Errorf("SampleCount = %d, want 17", got)
+	}
+}
+
+func TestSamplingMultiplier(t *testing.T) {
+	in := randomInstance(rng.New(4), 4, 10)
+	p := NewProblem(in)
+	s := &Sampling{FixedK: 10, Multiplier: 10}
+	if got := s.SampleCount(p); got != 100 {
+		t.Errorf("SampleCount with multiplier = %d, want 100", got)
+	}
+}
+
+func TestSamplingBestDominatesMedianQuality(t *testing.T) {
+	// The selected sample must be at least as good as an average random
+	// assignment: compare against a single-sample run.
+	in := randomInstance(rng.New(5), 6, 20)
+	p := NewProblem(in)
+	many := (&Sampling{FixedK: 200}).Solve(p, rng.New(9))
+	one := (&Sampling{FixedK: 1}).Solve(p, rng.New(9))
+	if many.Eval.TotalESTD < one.Eval.TotalESTD-1e-9 &&
+		many.Eval.MinR < one.Eval.MinR-1e-9 {
+		t.Errorf("200 samples (%v) strictly worse than 1 sample (%v)", many.Eval, one.Eval)
+	}
+}
+
+func TestDCPartitionsAndMerges(t *testing.T) {
+	in := randomInstance(rng.New(6), 30, 60)
+	p := NewProblem(in)
+	dc := &DC{Gamma: 5}
+	res := dc.Solve(p, rng.New(2))
+	if err := in.CheckAssignment(res.Assignment); err != nil {
+		t.Fatalf("invalid D&C assignment: %v", err)
+	}
+	if res.Stats.Rounds < 2 {
+		t.Errorf("expected multiple leaf solves, got %d", res.Stats.Rounds)
+	}
+	if got, want := res.Assignment.Len(), len(p.ConnectedWorkers()); got != want {
+		t.Errorf("assigned %d, want %d", got, want)
+	}
+}
+
+func TestDCSmallInstanceGoesDirect(t *testing.T) {
+	in := randomInstance(rng.New(7), 3, 9)
+	p := NewProblem(in)
+	dc := &DC{Gamma: 10}
+	res := dc.Solve(p, rng.New(2))
+	if res.Stats.Rounds != 1 {
+		t.Errorf("small instance should be solved directly (1 leaf), got %d", res.Stats.Rounds)
+	}
+}
+
+func TestExhaustiveTinyInstance(t *testing.T) {
+	in := randomInstance(rng.New(8), 3, 6)
+	p := NewProblem(in)
+	ex := NewExhaustive()
+	if !ex.CanSolve(p) {
+		t.Skip("population unexpectedly large")
+	}
+	res := ex.Solve(p, nil)
+	if err := in.CheckAssignment(res.Assignment); err != nil {
+		t.Fatalf("invalid exhaustive assignment: %v", err)
+	}
+	// Nothing may dominate the exhaustive winner.
+	front := ex.ParetoFront(p)
+	for _, v := range front {
+		if v.Dominates(vecOf(res)) {
+			t.Errorf("exhaustive winner %v dominated by front point %v", vecOf(res), v)
+		}
+	}
+}
+
+func TestExhaustiveRefusesHugeInstance(t *testing.T) {
+	in := randomInstance(rng.New(9), 20, 40)
+	p := NewProblem(in)
+	ex := &Exhaustive{MaxAssignments: 100}
+	if ex.CanSolve(p) {
+		t.Skip("population small enough; nothing to test")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for oversized population")
+		}
+	}()
+	ex.Solve(p, nil)
+}
+
+func TestApproximationQualityAgainstExhaustive(t *testing.T) {
+	// On tiny instances, every approximation should recover a healthy
+	// fraction of the exhaustive winner's diversity.
+	for seed := int64(0); seed < 4; seed++ {
+		in := randomInstance(rng.New(100+seed), 3, 7)
+		p := NewProblem(in)
+		ex := NewExhaustive()
+		if !ex.CanSolve(p) {
+			continue
+		}
+		truth := ex.Solve(p, nil)
+		for _, s := range []Solver{NewGreedy(), &Sampling{FixedK: 300}, NewDC()} {
+			res := s.Solve(p, rng.New(seed))
+			if truth.Eval.TotalESTD > 0 && res.Eval.TotalESTD < 0.5*truth.Eval.TotalESTD {
+				t.Errorf("seed %d %s: diversity %v below half of exhaustive %v",
+					seed, s.Name(), res.Eval.TotalESTD, truth.Eval.TotalESTD)
+			}
+		}
+	}
+}
+
+func TestProblemAccessors(t *testing.T) {
+	in := randomInstance(rng.New(10), 3, 5)
+	p := NewProblem(in)
+	if p.Task(0) == nil || p.Worker(0) == nil {
+		t.Fatal("accessors returned nil for existing ids")
+	}
+	if p.Task(99) != nil || p.Worker(99) != nil {
+		t.Fatal("accessors returned non-nil for missing ids")
+	}
+	for _, wid := range p.ConnectedWorkers() {
+		if p.Degree(wid) == 0 {
+			t.Errorf("connected worker %d has zero degree", wid)
+		}
+		for _, pi := range p.WorkerPairs(wid) {
+			if p.Pairs[pi].Worker != wid {
+				t.Errorf("pair index mismatch for worker %d", wid)
+			}
+		}
+	}
+	for i := range in.Tasks {
+		for _, pi := range p.TaskPairs(in.Tasks[i].ID) {
+			if p.Pairs[pi].Task != in.Tasks[i].ID {
+				t.Errorf("pair index mismatch for task %d", in.Tasks[i].ID)
+			}
+		}
+	}
+}
+
+func vecOf(r *Result) objective.Vec2 {
+	return objective.Vec2{R: r.Eval.MinR, D: r.Eval.TotalESTD}
+}
+
+func TestParallelSamplingMatchesSequential(t *testing.T) {
+	in := randomInstance(rng.New(30), 8, 30)
+	p := NewProblem(in)
+	seq := (&Sampling{FixedK: 80}).Solve(p, rng.New(5))
+	par := (&Sampling{FixedK: 80, Parallel: true}).Solve(p, rng.New(5))
+	if seq.Eval.MinRel != par.Eval.MinRel || seq.Eval.TotalESTD != par.Eval.TotalESTD {
+		t.Errorf("parallel sampling diverged: %v vs %v", par.Eval, seq.Eval)
+	}
+	// The winning assignments themselves must match.
+	seq.Assignment.Workers(func(w model.WorkerID, tk model.TaskID) {
+		if par.Assignment.TaskOf(w) != tk {
+			t.Errorf("worker %d: parallel %d vs sequential %d", w, par.Assignment.TaskOf(w), tk)
+		}
+	})
+}
+
+func TestParallelSamplingRace(t *testing.T) {
+	// Exercised under -race in CI; large K stresses the worker pool.
+	in := randomInstance(rng.New(31), 10, 40)
+	p := NewProblem(in)
+	res := (&Sampling{FixedK: 200, Parallel: true}).Solve(p, rng.New(6))
+	if err := in.CheckAssignment(res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedySolveFromRespectsCommitments(t *testing.T) {
+	in := randomInstance(rng.New(33), 6, 20)
+	p := NewProblem(in)
+	// Commit the first three connected workers to their first candidate.
+	existing := model.NewAssignment()
+	committed := map[model.WorkerID]model.TaskID{}
+	for _, wid := range p.ConnectedWorkers()[:3] {
+		tid := p.Pairs[p.WorkerPairs(wid)[0]].Task
+		existing.Assign(wid, tid)
+		committed[wid] = tid
+	}
+	res := NewGreedy().SolveFrom(p, existing, nil)
+	for wid, tid := range committed {
+		if got := res.Assignment.TaskOf(wid); got != tid {
+			t.Errorf("committed worker %d moved from %d to %d", wid, tid, got)
+		}
+	}
+	// All other connected workers must also end up assigned.
+	if got, want := res.Assignment.Len(), len(p.ConnectedWorkers()); got != want {
+		t.Errorf("assigned %d, want %d", got, want)
+	}
+	if err := in.CheckAssignment(res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedySolveFromNilMatchesSolve(t *testing.T) {
+	in := randomInstance(rng.New(34), 5, 15)
+	p := NewProblem(in)
+	a := NewGreedy().Solve(p, nil)
+	b := NewGreedy().SolveFrom(p, nil, nil)
+	if a.Eval.TotalESTD != b.Eval.TotalESTD || a.Eval.MinRel != b.Eval.MinRel {
+		t.Errorf("SolveFrom(nil) diverged: %v vs %v", b.Eval, a.Eval)
+	}
+}
+
+func TestGreedySolveFromImprovesOnCommitments(t *testing.T) {
+	// Adding workers on top of commitments can only raise both objectives
+	// (Lemmas 4.1/4.2 at the per-task level; min-rel over served tasks can
+	// only rise or new tasks appear).
+	in := randomInstance(rng.New(35), 4, 16)
+	p := NewProblem(in)
+	existing := model.NewAssignment()
+	wid := p.ConnectedWorkers()[0]
+	existing.Assign(wid, p.Pairs[p.WorkerPairs(wid)[0]].Task)
+	before := p.Evaluate(existing)
+	after := NewGreedy().SolveFrom(p, existing, nil)
+	if after.Eval.TotalESTD < before.TotalESTD-1e-9 {
+		t.Errorf("diversity fell from %v to %v", before.TotalESTD, after.Eval.TotalESTD)
+	}
+}

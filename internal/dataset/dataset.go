@@ -1,0 +1,209 @@
+// Package dataset reads and writes RDB-SC instances as CSV, the
+// interchange format used by cmd/rdbsc-gen and by downstream tooling.
+// Tasks and workers are stored in two files:
+//
+//	<prefix>_tasks.csv:   id,x,y,start,end
+//	<prefix>_workers.csv: id,x,y,speed,dir_lo,dir_width,confidence,depart
+//
+// The instance-wide β is not part of the CSV (it is a requester knob, not
+// data); callers set it after loading.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// taskHeader and workerHeader are the canonical column sets.
+var (
+	taskHeader   = []string{"id", "x", "y", "start", "end"}
+	workerHeader = []string{"id", "x", "y", "speed", "dir_lo", "dir_width", "confidence", "depart"}
+)
+
+// WriteTasks writes the task table to w.
+func WriteTasks(w io.Writer, tasks []model.Task) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(taskHeader); err != nil {
+		return err
+	}
+	for _, t := range tasks {
+		rec := []string{
+			strconv.Itoa(int(t.ID)),
+			fmtF(t.Loc.X), fmtF(t.Loc.Y),
+			fmtF(t.Start), fmtF(t.End),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteWorkers writes the worker table to w.
+func WriteWorkers(w io.Writer, workers []model.Worker) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(workerHeader); err != nil {
+		return err
+	}
+	for _, wk := range workers {
+		rec := []string{
+			strconv.Itoa(int(wk.ID)),
+			fmtF(wk.Loc.X), fmtF(wk.Loc.Y),
+			fmtF(wk.Speed),
+			fmtF(wk.Dir.Lo), fmtF(wk.Dir.Width),
+			fmtF(wk.Confidence), fmtF(wk.Depart),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTasks parses a task table.
+func ReadTasks(r io.Reader) ([]model.Task, error) {
+	rows, err := readRows(r, taskHeader)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: tasks: %w", err)
+	}
+	tasks := make([]model.Task, 0, len(rows))
+	for i, rec := range rows {
+		vals, err := parseFloats(rec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: tasks row %d: %w", i+1, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: tasks row %d: bad id %q", i+1, rec[0])
+		}
+		t := model.Task{
+			ID:    model.TaskID(id),
+			Loc:   geo.Pt(vals[0], vals[1]),
+			Start: vals[2],
+			End:   vals[3],
+		}
+		if err := t.Valid(); err != nil {
+			return nil, fmt.Errorf("dataset: tasks row %d: %w", i+1, err)
+		}
+		tasks = append(tasks, t)
+	}
+	return tasks, nil
+}
+
+// ReadWorkers parses a worker table.
+func ReadWorkers(r io.Reader) ([]model.Worker, error) {
+	rows, err := readRows(r, workerHeader)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: workers: %w", err)
+	}
+	workers := make([]model.Worker, 0, len(rows))
+	for i, rec := range rows {
+		vals, err := parseFloats(rec[1:])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: workers row %d: %w", i+1, err)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: workers row %d: bad id %q", i+1, rec[0])
+		}
+		w := model.Worker{
+			ID:         model.WorkerID(id),
+			Loc:        geo.Pt(vals[0], vals[1]),
+			Speed:      vals[2],
+			Dir:        geo.AngInterval{Lo: vals[3], Width: vals[4]},
+			Confidence: vals[5],
+			Depart:     vals[6],
+		}
+		if err := w.Valid(); err != nil {
+			return nil, fmt.Errorf("dataset: workers row %d: %w", i+1, err)
+		}
+		workers = append(workers, w)
+	}
+	return workers, nil
+}
+
+// SaveInstance writes <prefix>_tasks.csv and <prefix>_workers.csv.
+func SaveInstance(prefix string, in *model.Instance) error {
+	tf, err := os.Create(prefix + "_tasks.csv")
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if err := WriteTasks(tf, in.Tasks); err != nil {
+		return err
+	}
+	wf, err := os.Create(prefix + "_workers.csv")
+	if err != nil {
+		return err
+	}
+	defer wf.Close()
+	return WriteWorkers(wf, in.Workers)
+}
+
+// LoadInstance reads <prefix>_tasks.csv and <prefix>_workers.csv into a new
+// instance with the given β.
+func LoadInstance(prefix string, beta float64) (*model.Instance, error) {
+	tf, err := os.Open(prefix + "_tasks.csv")
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	tasks, err := ReadTasks(tf)
+	if err != nil {
+		return nil, err
+	}
+	wf, err := os.Open(prefix + "_workers.csv")
+	if err != nil {
+		return nil, err
+	}
+	defer wf.Close()
+	workers, err := ReadWorkers(wf)
+	if err != nil {
+		return nil, err
+	}
+	in := &model.Instance{Tasks: tasks, Workers: workers, Beta: beta}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func readRows(r io.Reader, header []string) ([][]string, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(header)
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("empty file")
+	}
+	for i, h := range header {
+		if all[0][i] != h {
+			return nil, fmt.Errorf("bad header: got %v, want %v", all[0], header)
+		}
+	}
+	return all[1:], nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }

@@ -1,0 +1,119 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdbsc/internal/gen"
+)
+
+func TestTaskRoundTrip(t *testing.T) {
+	in := gen.Generate(gen.Default().WithScale(50, 0))
+	var buf bytes.Buffer
+	if err := WriteTasks(&buf, in.Tasks); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTasks(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in.Tasks) {
+		t.Fatalf("round trip lost tasks: %d vs %d", len(got), len(in.Tasks))
+	}
+	for i := range got {
+		if got[i] != in.Tasks[i] {
+			t.Fatalf("task %d changed: %+v vs %+v", i, got[i], in.Tasks[i])
+		}
+	}
+}
+
+func TestWorkerRoundTrip(t *testing.T) {
+	in := gen.Generate(gen.Default().WithScale(0, 50))
+	var buf bytes.Buffer
+	if err := WriteWorkers(&buf, in.Workers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkers(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(in.Workers) {
+		t.Fatalf("round trip lost workers: %d vs %d", len(got), len(in.Workers))
+	}
+	for i := range got {
+		if got[i] != in.Workers[i] {
+			t.Fatalf("worker %d changed:\n%+v\n%+v", i, got[i], in.Workers[i])
+		}
+	}
+}
+
+func TestSaveLoadInstance(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "w")
+	in := gen.Generate(gen.Default().WithScale(20, 30))
+	if err := SaveInstance(prefix, in); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadInstance(prefix, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Beta != 0.5 {
+		t.Errorf("beta = %v", got.Beta)
+	}
+	if len(got.Tasks) != 20 || len(got.Workers) != 30 {
+		t.Errorf("sizes: %d tasks %d workers", len(got.Tasks), len(got.Workers))
+	}
+	for i := range got.Tasks {
+		if got.Tasks[i] != in.Tasks[i] {
+			t.Fatal("task mismatch after save/load")
+		}
+	}
+}
+
+func TestLoadInstanceMissingFiles(t *testing.T) {
+	if _, err := LoadInstance(filepath.Join(t.TempDir(), "nope"), 0.5); err == nil {
+		t.Error("expected error for missing files")
+	}
+}
+
+func TestReadRejectsBadHeader(t *testing.T) {
+	if _, err := ReadTasks(strings.NewReader("a,b,c,d,e\n1,2,3,4,5\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReadWorkers(strings.NewReader("id,x\n")); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+func TestReadRejectsBadData(t *testing.T) {
+	cases := []string{
+		"id,x,y,start,end\nfoo,0,0,0,1\n", // bad id
+		"id,x,y,start,end\n1,zz,0,0,1\n",  // bad float
+		"id,x,y,start,end\n1,0,0,2,1\n",   // end before start
+		"id,x,y,start,end\n",              // header only is fine -> no error
+	}
+	for i, c := range cases[:3] {
+		if _, err := ReadTasks(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: bad data accepted", i)
+		}
+	}
+	if got, err := ReadTasks(strings.NewReader(cases[3])); err != nil || len(got) != 0 {
+		t.Errorf("header-only file: %v, %v", got, err)
+	}
+}
+
+func TestReadRejectsInvalidWorker(t *testing.T) {
+	bad := "id,x,y,speed,dir_lo,dir_width,confidence,depart\n1,0,0,0,0,1,0.9,0\n" // zero speed
+	if _, err := ReadWorkers(strings.NewReader(bad)); err == nil {
+		t.Error("invalid worker accepted")
+	}
+}
+
+func TestReadEmptyFile(t *testing.T) {
+	if _, err := ReadTasks(strings.NewReader("")); err == nil {
+		t.Error("empty file accepted")
+	}
+}

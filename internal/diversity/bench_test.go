@@ -1,0 +1,103 @@
+package diversity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchInput(n int) (angles, arrivals, probs []float64) {
+	r := rand.New(rand.NewSource(1))
+	angles = make([]float64, n)
+	arrivals = make([]float64, n)
+	probs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		angles[i] = r.Float64() * 6.28
+		arrivals[i] = r.Float64()
+		probs[i] = r.Float64()
+	}
+	return
+}
+
+func BenchmarkSD(b *testing.B) {
+	angles, _, _ := benchInput(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SD(angles)
+	}
+}
+
+func BenchmarkTD(b *testing.B) {
+	_, arrivals, _ := benchInput(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		TD(arrivals, 0, 1)
+	}
+}
+
+func BenchmarkExpectedSD(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		angles, _, probs := benchInput(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ExpectedSD(angles, probs)
+			}
+		})
+	}
+}
+
+func BenchmarkExpectedSDCubic(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		angles, _, probs := benchInput(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ExpectedSDCubic(angles, probs)
+			}
+		})
+	}
+}
+
+func BenchmarkExpectedTD(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		_, arrivals, probs := benchInput(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ExpectedTD(arrivals, probs, 0, 1)
+			}
+		})
+	}
+}
+
+func BenchmarkExactOracle(b *testing.B) {
+	angles, arrivals, probs := benchInput(12)
+	b.Run("sd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ExactExpectedSD(angles, probs)
+		}
+	})
+	b.Run("td", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ExactExpectedTD(arrivals, probs, 0, 1)
+		}
+	})
+}
+
+func BenchmarkBoundsESTD(b *testing.B) {
+	angles, arrivals, probs := benchInput(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BoundsESTD(0.5, angles, arrivals, probs, 0, 1)
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 8:
+		return "r=8"
+	case 32:
+		return "r=32"
+	default:
+		return "r=128"
+	}
+}

@@ -1,0 +1,131 @@
+package diversity
+
+import (
+	"math"
+
+	"rdbsc/internal/geo"
+)
+
+// This file implements the lower/upper bounds on the expected diversity
+// from Section 4.3 of the paper. The greedy solver uses them to bound the
+// diversity *increase* of a candidate task-worker pair without evaluating
+// the full expected diversity (Lemma 4.3 pruning).
+
+// Bounds is a [Lo, Hi] interval.
+type Bounds struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the interval (inclusive, with a small
+// tolerance for floating-point noise).
+func (b Bounds) Contains(v float64) bool {
+	const tol = 1e-9
+	return v >= b.Lo-tol && v <= b.Hi+tol
+}
+
+// BoundsESD returns lower and upper bounds on E[SD].
+//
+// Upper bound: by the monotonicity of SD in the worker set (Lemma 4.2),
+// every possible world's SD is at most SD of the full set, so
+// E[SD] ≤ SD(all angles).
+//
+// Lower bound: SD is zero in worlds with fewer than two successes; in any
+// world with at least two successes, SD is at least the minimum SD over
+// two-worker worlds (again by monotonicity). Hence
+// E[SD] ≥ Pr[≥2 successes] · min_{j<k} SD({j,k}).
+func BoundsESD(angles, probs []float64) Bounds {
+	r := len(angles)
+	if r < 2 {
+		return Bounds{}
+	}
+	hi := SD(angles)
+	minPair := math.Inf(1)
+	ws := newSortedByAngle(angles, probs)
+	// The minimal two-worker SD is H(d/2π)+H(1−d/2π) for the most skewed
+	// pair span d; with angles sorted, the candidate spans are adjacent
+	// gaps, but the *most skewed* (smallest min(d, 2π−d)) pair overall is
+	// found among adjacent sorted pairs and the wrap pair.
+	for j := 0; j < r; j++ {
+		k := (j + 1) % r
+		d := geo.AngularDiff(ws.a[j], ws.a[k])
+		v := H(d/geo.TwoPi) + H(1-d/geo.TwoPi)
+		if v < minPair {
+			minPair = v
+		}
+	}
+	lo := probAtLeastTwo(probs) * minPair
+	return Bounds{Lo: lo, Hi: hi}
+}
+
+// BoundsETD returns lower and upper bounds on E[TD].
+//
+// Upper bound: TD of the full arrival set (monotonicity, Lemma 4.2).
+// Lower bound: TD is zero only when no worker succeeds (or all successful
+// arrivals sit on the period boundary); any world containing worker j has
+// TD at least TD({j}), so E[TD] ≥ Pr[≥1 success] · min_j TD({j}).
+func BoundsETD(arrivals, probs []float64, start, end float64) Bounds {
+	r := len(arrivals)
+	if r == 0 || end <= start {
+		return Bounds{}
+	}
+	hi := TD(arrivals, start, end)
+	minSingle := math.Inf(1)
+	for _, a := range arrivals {
+		v := TD([]float64{a}, start, end)
+		if v < minSingle {
+			minSingle = v
+		}
+	}
+	lo := probAtLeastOne(probs) * minSingle
+	return Bounds{Lo: lo, Hi: hi}
+}
+
+// BoundsESTD combines the SD and TD bounds with weight β.
+func BoundsESTD(beta float64, angles, arrivals, probs []float64, start, end float64) Bounds {
+	sd := BoundsESD(angles, probs)
+	td := BoundsETD(arrivals, probs, start, end)
+	return Bounds{
+		Lo: beta*sd.Lo + (1-beta)*td.Lo,
+		Hi: beta*sd.Hi + (1-beta)*td.Hi,
+	}
+}
+
+// DeltaBounds bounds the increase of the expected diversity when the
+// bounds move from before to after a worker insertion (Section 4.3):
+//
+//	lb_ΔD = lb_after − ub_before,  ub_ΔD = ub_after − lb_before.
+func DeltaBounds(before, after Bounds) Bounds {
+	return Bounds{Lo: after.Lo - before.Hi, Hi: after.Hi - before.Lo}
+}
+
+// probAtLeastOne returns 1 − Π(1−p_i).
+func probAtLeastOne(probs []float64) float64 {
+	allFail := 1.0
+	for _, p := range probs {
+		allFail *= 1 - clampProb(p)
+	}
+	return 1 - allFail
+}
+
+// probAtLeastTwo returns the probability that at least two workers succeed.
+func probAtLeastTwo(probs []float64) float64 {
+	allFail := 1.0
+	for _, p := range probs {
+		allFail *= 1 - clampProb(p)
+	}
+	exactlyOne := 0.0
+	for i, pi := range probs {
+		pi = clampProb(pi)
+		if pi == 0 {
+			continue
+		}
+		term := pi
+		for j, pj := range probs {
+			if j != i {
+				term *= 1 - clampProb(pj)
+			}
+		}
+		exactlyOne += term
+	}
+	return 1 - allFail - exactlyOne
+}

@@ -1,0 +1,109 @@
+// Package diversity implements the paper's quality measures: the spatial
+// diversity SD (Eq. 3), the temporal diversity TD (Eq. 4), their weighted
+// combination STD (Eq. 5), and — centrally — the expected diversity
+// E[STD] under possible-worlds semantics (Eq. 6), reduced from the
+// exponential possible-world sum to polynomial time via the diversity
+// matrices of Section 3.2 (Eqs. 9–10, Lemma 3.1).
+//
+// Two polynomial evaluators are provided: the paper's O(r³) formulation
+// (per-entry failure products) and an O(r²) formulation using running
+// products. An exponential exact enumerator serves as the test oracle, and
+// the lower/upper bounds of Section 4.3 support the greedy solver's
+// pruning.
+//
+// All entropies use the natural logarithm with the convention 0·log 0 = 0.
+package diversity
+
+import (
+	"math"
+	"sort"
+
+	"rdbsc/internal/geo"
+)
+
+// H returns the entropy term −q·ln(q), with H(0) = H(1) = 0 by convention.
+// Fractions outside [0,1] (possible only through floating-point noise) are
+// clamped.
+func H(q float64) float64 {
+	if q <= 0 || q >= 1 {
+		return 0
+	}
+	return -q * math.Log(q)
+}
+
+// SD computes the realized spatial diversity (Eq. 3) of a set of ray angles
+// drawn from the task location toward its workers: the entropy of the r
+// angular gaps A_1..A_r between consecutive rays, which sum to 2π.
+// Fewer than two rays yield zero diversity (a single photo direction gives
+// no angular spread).
+func SD(angles []float64) float64 {
+	r := len(angles)
+	if r < 2 {
+		return 0
+	}
+	sorted := make([]float64, r)
+	for i, a := range angles {
+		sorted[i] = geo.NormalizeAngle(a)
+	}
+	sort.Float64s(sorted)
+	var sd float64
+	for i := 0; i < r; i++ {
+		var gap float64
+		if i == r-1 {
+			gap = geo.TwoPi - sorted[r-1] + sorted[0]
+		} else {
+			gap = sorted[i+1] - sorted[i]
+		}
+		sd += H(gap / geo.TwoPi)
+	}
+	return sd
+}
+
+// TD computes the realized temporal diversity (Eq. 4) of worker arrival
+// times within the task's valid period [start, end]: the entropy of the
+// r+1 sub-interval lengths the arrivals induce. Arrivals are clamped to
+// [start, end]. A degenerate period (end <= start) yields zero.
+func TD(arrivals []float64, start, end float64) float64 {
+	total := end - start
+	if total <= 0 || len(arrivals) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(arrivals))
+	for i, a := range arrivals {
+		sorted[i] = math.Max(start, math.Min(end, a))
+	}
+	sort.Float64s(sorted)
+	var td float64
+	prev := start
+	for _, a := range sorted {
+		td += H((a - prev) / total)
+		prev = a
+	}
+	td += H((end - prev) / total)
+	return td
+}
+
+// STD combines spatial and temporal diversity with the requester weight β
+// (Eq. 5): β·SD + (1−β)·TD.
+func STD(beta float64, angles, arrivals []float64, start, end float64) float64 {
+	return beta*SD(angles) + (1-beta)*TD(arrivals, start, end)
+}
+
+// MaxSD returns the maximum achievable spatial diversity with r workers,
+// ln(r), attained by evenly spread rays. Useful for normalization in
+// reports.
+func MaxSD(r int) float64 {
+	if r < 2 {
+		return 0
+	}
+	return math.Log(float64(r))
+}
+
+// MaxTD returns the maximum achievable temporal diversity with r workers,
+// ln(r+1), attained by evenly spread arrivals.
+func MaxTD(r int) float64 {
+	if r < 1 {
+		return 0
+	}
+	return math.Log(float64(r + 1))
+}

@@ -1,0 +1,161 @@
+package diversity
+
+import (
+	"math"
+	"testing"
+
+	"rdbsc/internal/geo"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestH(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{1, 0},
+		{-0.5, 0},
+		{1.5, 0},
+		{0.5, 0.5 * math.Ln2},
+	}
+	for _, tc := range tests {
+		if got := H(tc.in); !almostEq(got, tc.want, 1e-12) {
+			t.Errorf("H(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	// Maximum of -q ln q on (0,1) is at q = 1/e.
+	if got := H(1 / math.E); !almostEq(got, 1/math.E, 1e-12) {
+		t.Errorf("H(1/e) = %v, want 1/e", got)
+	}
+}
+
+func TestSDEmptyAndSingle(t *testing.T) {
+	if got := SD(nil); got != 0 {
+		t.Errorf("SD(nil) = %v", got)
+	}
+	if got := SD([]float64{1.2}); got != 0 {
+		t.Errorf("SD(single) = %v, want 0 (one ray gives the full 2π gap)", got)
+	}
+}
+
+func TestSDUniformMaximizes(t *testing.T) {
+	// r evenly spaced rays yield SD = ln r, the maximum.
+	for r := 2; r <= 8; r++ {
+		angles := make([]float64, r)
+		for i := range angles {
+			angles[i] = geo.TwoPi * float64(i) / float64(r)
+		}
+		if got := SD(angles); !almostEq(got, math.Log(float64(r)), 1e-9) {
+			t.Errorf("r=%d: SD(uniform) = %v, want ln r = %v", r, got, math.Log(float64(r)))
+		}
+		if got := MaxSD(r); !almostEq(got, math.Log(float64(r)), 1e-12) {
+			t.Errorf("MaxSD(%d) = %v", r, got)
+		}
+	}
+}
+
+func TestSDTwoOppositeRays(t *testing.T) {
+	// Two opposite rays split the circle evenly: SD = ln 2.
+	if got := SD([]float64{0, math.Pi}); !almostEq(got, math.Ln2, 1e-12) {
+		t.Errorf("SD = %v, want ln 2", got)
+	}
+	// Two identical rays: gaps 0 and 2π, SD = 0.
+	if got := SD([]float64{1, 1}); !almostEq(got, 0, 1e-12) {
+		t.Errorf("SD(coincident) = %v, want 0", got)
+	}
+}
+
+func TestSDInvariantUnderRotation(t *testing.T) {
+	angles := []float64{0.3, 1.7, 2.9, 4.4}
+	base := SD(angles)
+	for _, rot := range []float64{0.5, 1.9, math.Pi, 5.0} {
+		rotated := make([]float64, len(angles))
+		for i, a := range angles {
+			rotated[i] = geo.NormalizeAngle(a + rot)
+		}
+		if got := SD(rotated); !almostEq(got, base, 1e-9) {
+			t.Errorf("rotation %v changed SD: %v vs %v", rot, got, base)
+		}
+	}
+}
+
+func TestSDNeverExceedsMax(t *testing.T) {
+	angles := []float64{0.1, 0.2, 3.0, 4.0, 5.5}
+	if got := SD(angles); got > MaxSD(len(angles))+1e-12 {
+		t.Errorf("SD = %v exceeds ln r", got)
+	}
+	if got := SD(angles); got < 0 {
+		t.Errorf("SD = %v negative", got)
+	}
+}
+
+func TestTDEmptyAndDegenerate(t *testing.T) {
+	if got := TD(nil, 0, 1); got != 0 {
+		t.Errorf("TD(nil) = %v", got)
+	}
+	if got := TD([]float64{0.5}, 1, 1); got != 0 {
+		t.Errorf("TD(degenerate period) = %v", got)
+	}
+	if got := TD([]float64{0.5}, 2, 1); got != 0 {
+		t.Errorf("TD(reversed period) = %v", got)
+	}
+}
+
+func TestTDMidpointSingle(t *testing.T) {
+	// One arrival at the midpoint splits [0,1] into two halves: TD = ln 2.
+	if got := TD([]float64{0.5}, 0, 1); !almostEq(got, math.Ln2, 1e-12) {
+		t.Errorf("TD = %v, want ln 2", got)
+	}
+	// Arrival at the boundary gives a zero and a full interval: TD = 0.
+	if got := TD([]float64{0}, 0, 1); !almostEq(got, 0, 1e-12) {
+		t.Errorf("TD(boundary) = %v, want 0", got)
+	}
+}
+
+func TestTDUniformMaximizes(t *testing.T) {
+	for r := 1; r <= 6; r++ {
+		arr := make([]float64, r)
+		for i := range arr {
+			arr[i] = float64(i+1) / float64(r+1)
+		}
+		want := math.Log(float64(r + 1))
+		if got := TD(arr, 0, 1); !almostEq(got, want, 1e-9) {
+			t.Errorf("r=%d: TD(uniform) = %v, want ln(r+1) = %v", r, got, want)
+		}
+		if got := MaxTD(r); !almostEq(got, want, 1e-12) {
+			t.Errorf("MaxTD(%d) = %v", r, got)
+		}
+	}
+}
+
+func TestTDClampsOutOfRangeArrivals(t *testing.T) {
+	// Arrivals outside the period behave as if on the boundary.
+	if got := TD([]float64{-5, 0.5, 9}, 0, 1); !almostEq(got, math.Ln2, 1e-12) {
+		t.Errorf("TD(clamped) = %v, want ln 2", got)
+	}
+}
+
+func TestTDShiftAndScaleInvariance(t *testing.T) {
+	// TD depends only on relative positions within the period.
+	a := TD([]float64{0.25, 0.75}, 0, 1)
+	b := TD([]float64{2.5, 7.5}, 0, 10)
+	c := TD([]float64{102.5, 107.5}, 100, 110)
+	if !almostEq(a, b, 1e-12) || !almostEq(b, c, 1e-12) {
+		t.Errorf("TD not shift/scale invariant: %v %v %v", a, b, c)
+	}
+}
+
+func TestSTDWeighting(t *testing.T) {
+	angles := []float64{0, math.Pi}
+	arrivals := []float64{0.5, 0.5}
+	sd := SD(angles)
+	td := TD(arrivals, 0, 1)
+	if got := STD(1, angles, arrivals, 0, 1); !almostEq(got, sd, 1e-12) {
+		t.Errorf("β=1: STD = %v, want SD=%v", got, sd)
+	}
+	if got := STD(0, angles, arrivals, 0, 1); !almostEq(got, td, 1e-12) {
+		t.Errorf("β=0: STD = %v, want TD=%v", got, td)
+	}
+	if got := STD(0.3, angles, arrivals, 0, 1); !almostEq(got, 0.3*sd+0.7*td, 1e-12) {
+		t.Errorf("β=0.3: STD = %v", got)
+	}
+}

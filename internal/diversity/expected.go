@@ -1,0 +1,224 @@
+package diversity
+
+import (
+	"math"
+	"sort"
+
+	"rdbsc/internal/geo"
+)
+
+// ExpectedSD computes E[SD] over possible worlds (the Σ M_SD[j][k] of
+// Lemma 3.1) in O(r²) time. angles[i] is worker i's ray angle and probs[i]
+// its confidence p_i. The two slices must have equal length.
+//
+// The formulation sums, over every ordered worker pair (j, k), the entropy
+// of the counter-clockwise angular span from ray j to ray k multiplied by
+// the probability that j and k both succeed while every worker whose ray
+// lies strictly between them (counter-clockwise) fails — exactly the
+// marginal probability that this span is one of the realized angular gaps.
+func ExpectedSD(angles, probs []float64) float64 {
+	r := len(angles)
+	if r != len(probs) {
+		panic("diversity: angles and probs length mismatch")
+	}
+	if r < 2 {
+		return 0
+	}
+	ws := newSortedByAngle(angles, probs)
+	var sum float64
+	for j := 0; j < r; j++ {
+		pj := ws.p[j]
+		if pj == 0 {
+			continue
+		}
+		failBetween := 1.0
+		// Walk counter-clockwise from j: k = j+1, j+2, ... j+r−1 (mod r).
+		for step := 1; step < r; step++ {
+			k := j + step
+			if k >= r {
+				k -= r
+			}
+			span := geo.AngularDiff(ws.a[j], ws.a[k])
+			// step>0 guarantees k≠j, but identical angles make span 0,
+			// whose entropy term is 0 — handled by H.
+			sum += H(span/geo.TwoPi) * pj * ws.p[k] * failBetween
+			failBetween *= 1 - ws.p[k]
+			if failBetween == 0 {
+				break // a certain worker blocks all farther spans
+			}
+		}
+	}
+	return sum
+}
+
+// ExpectedSDCubic is the paper's literal O(r³) evaluation of Σ M_SD[j][k]
+// (Eq. 9): each matrix entry recomputes its in-between failure product.
+// It exists for the ablation benchmark; ExpectedSD is the production path.
+func ExpectedSDCubic(angles, probs []float64) float64 {
+	r := len(angles)
+	if r != len(probs) {
+		panic("diversity: angles and probs length mismatch")
+	}
+	if r < 2 {
+		return 0
+	}
+	ws := newSortedByAngle(angles, probs)
+	var sum float64
+	for j := 0; j < r; j++ {
+		for step := 1; step < r; step++ {
+			k := (j + step) % r
+			span := geo.AngularDiff(ws.a[j], ws.a[k])
+			prod := ws.p[j] * ws.p[k]
+			for x := 1; x < step; x++ {
+				prod *= 1 - ws.p[(j+x)%r]
+			}
+			sum += H(span/geo.TwoPi) * prod
+		}
+	}
+	return sum
+}
+
+// ExpectedTD computes E[TD] over possible worlds (the Σ M_TD[j][k] of
+// Lemma 3.1) in O(r²) time. arrivals[i] is worker i's arrival time within
+// [start, end] and probs[i] its confidence.
+//
+// The boundaries are the sorted arrivals plus the two period endpoints,
+// which are "realized" with probability one. Each boundary pair (a, b)
+// contributes the entropy of its normalized length times the probability
+// that a and b are realized while every boundary strictly between them
+// fails.
+func ExpectedTD(arrivals, probs []float64, start, end float64) float64 {
+	r := len(arrivals)
+	if r != len(probs) {
+		panic("diversity: arrivals and probs length mismatch")
+	}
+	total := end - start
+	if total <= 0 || r == 0 {
+		return 0
+	}
+	bs := newBoundaries(arrivals, probs, start, end)
+	n := len(bs.t) // r + 2
+	var sum float64
+	for a := 0; a < n-1; a++ {
+		pa := bs.p[a]
+		if pa == 0 {
+			continue
+		}
+		failBetween := 1.0
+		for b := a + 1; b < n; b++ {
+			length := bs.t[b] - bs.t[a]
+			sum += H(length/total) * pa * bs.p[b] * failBetween
+			failBetween *= 1 - bs.p[b]
+			if failBetween == 0 {
+				break
+			}
+		}
+	}
+	return sum
+}
+
+// ExpectedTDCubic is the literal O(r³) evaluation of E[TD] (Eq. 10 shape),
+// kept for the ablation benchmark.
+func ExpectedTDCubic(arrivals, probs []float64, start, end float64) float64 {
+	r := len(arrivals)
+	if r != len(probs) {
+		panic("diversity: arrivals and probs length mismatch")
+	}
+	total := end - start
+	if total <= 0 || r == 0 {
+		return 0
+	}
+	bs := newBoundaries(arrivals, probs, start, end)
+	n := len(bs.t)
+	var sum float64
+	for a := 0; a < n-1; a++ {
+		for b := a + 1; b < n; b++ {
+			prod := bs.p[a] * bs.p[b]
+			for x := a + 1; x < b; x++ {
+				prod *= 1 - bs.p[x]
+			}
+			sum += H((bs.t[b]-bs.t[a])/total) * prod
+		}
+	}
+	return sum
+}
+
+// ExpectedSTD computes E[STD] = β·E[SD] + (1−β)·E[TD] (Lemma 3.1) for one
+// task. The three slices are parallel: worker i has ray angle angles[i],
+// arrival arrivals[i], and confidence probs[i].
+func ExpectedSTD(beta float64, angles, arrivals, probs []float64, start, end float64) float64 {
+	var sd, td float64
+	if beta > 0 {
+		sd = ExpectedSD(angles, probs)
+	}
+	if beta < 1 {
+		td = ExpectedTD(arrivals, probs, start, end)
+	}
+	return beta*sd + (1-beta)*td
+}
+
+// sortedWorkers holds worker rays sorted by angle with parallel
+// confidences.
+type sortedWorkers struct {
+	a []float64
+	p []float64
+}
+
+func newSortedByAngle(angles, probs []float64) sortedWorkers {
+	r := len(angles)
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	norm := make([]float64, r)
+	for i, a := range angles {
+		norm[i] = geo.NormalizeAngle(a)
+	}
+	sort.Slice(idx, func(x, y int) bool { return norm[idx[x]] < norm[idx[y]] })
+	ws := sortedWorkers{a: make([]float64, r), p: make([]float64, r)}
+	for i, id := range idx {
+		ws.a[i] = norm[id]
+		ws.p[i] = clampProb(probs[id])
+	}
+	return ws
+}
+
+// boundaries holds the temporal boundaries: start, sorted clamped arrivals,
+// end — with realization probabilities (1 for the endpoints).
+type boundaries struct {
+	t []float64
+	p []float64
+}
+
+func newBoundaries(arrivals, probs []float64, start, end float64) boundaries {
+	r := len(arrivals)
+	idx := make([]int, r)
+	for i := range idx {
+		idx[i] = i
+	}
+	clamped := make([]float64, r)
+	for i, a := range arrivals {
+		clamped[i] = math.Max(start, math.Min(end, a))
+	}
+	sort.Slice(idx, func(x, y int) bool { return clamped[idx[x]] < clamped[idx[y]] })
+	bs := boundaries{t: make([]float64, 0, r+2), p: make([]float64, 0, r+2)}
+	bs.t = append(bs.t, start)
+	bs.p = append(bs.p, 1)
+	for _, id := range idx {
+		bs.t = append(bs.t, clamped[id])
+		bs.p = append(bs.p, clampProb(probs[id]))
+	}
+	bs.t = append(bs.t, end)
+	bs.p = append(bs.p, 1)
+	return bs
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,259 @@
+package diversity
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rdbsc/internal/geo"
+)
+
+// randomCase draws r worker angles, arrivals in [0,1], and confidences.
+func randomCase(r *rand.Rand, n int) (angles, arrivals, probs []float64) {
+	angles = make([]float64, n)
+	arrivals = make([]float64, n)
+	probs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		angles[i] = r.Float64() * geo.TwoPi
+		arrivals[i] = r.Float64()
+		probs[i] = r.Float64()
+	}
+	return
+}
+
+func TestExpectedSDMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(9)
+		angles, _, probs := randomCase(r, n)
+		got := ExpectedSD(angles, probs)
+		want := ExactExpectedSD(angles, probs)
+		if !almostEq(got, want, 1e-9) {
+			t.Fatalf("trial %d (n=%d): ExpectedSD = %v, oracle = %v", trial, n, got, want)
+		}
+	}
+}
+
+func TestExpectedTDMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(202))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(9)
+		_, arrivals, probs := randomCase(r, n)
+		got := ExpectedTD(arrivals, probs, 0, 1)
+		want := ExactExpectedTD(arrivals, probs, 0, 1)
+		if !almostEq(got, want, 1e-9) {
+			t.Fatalf("trial %d (n=%d): ExpectedTD = %v, oracle = %v", trial, n, got, want)
+		}
+	}
+}
+
+func TestExpectedTDMatchesOracleShiftedPeriod(t *testing.T) {
+	r := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + r.Intn(7)
+		arrivals := make([]float64, n)
+		probs := make([]float64, n)
+		for i := range arrivals {
+			arrivals[i] = 5 + 3*r.Float64()
+			probs[i] = r.Float64()
+		}
+		got := ExpectedTD(arrivals, probs, 5, 8)
+		want := ExactExpectedTD(arrivals, probs, 5, 8)
+		if !almostEq(got, want, 1e-9) {
+			t.Fatalf("trial %d: ExpectedTD = %v, oracle = %v", trial, got, want)
+		}
+	}
+}
+
+func TestExpectedSTDMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(8)
+		angles, arrivals, probs := randomCase(r, n)
+		beta := r.Float64()
+		got := ExpectedSTD(beta, angles, arrivals, probs, 0, 1)
+		want := ExactExpectedSTD(beta, angles, arrivals, probs, 0, 1)
+		if !almostEq(got, want, 1e-9) {
+			t.Fatalf("trial %d: ExpectedSTD = %v, oracle = %v", trial, got, want)
+		}
+	}
+}
+
+func TestQuadraticMatchesCubic(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(14)
+		angles, arrivals, probs := randomCase(r, n)
+		if sd2, sd3 := ExpectedSD(angles, probs), ExpectedSDCubic(angles, probs); !almostEq(sd2, sd3, 1e-9) {
+			t.Fatalf("trial %d: SD quadratic %v vs cubic %v", trial, sd2, sd3)
+		}
+		if td2, td3 := ExpectedTD(arrivals, probs, 0, 1), ExpectedTDCubic(arrivals, probs, 0, 1); !almostEq(td2, td3, 1e-9) {
+			t.Fatalf("trial %d: TD quadratic %v vs cubic %v", trial, td2, td3)
+		}
+	}
+}
+
+func TestExpectedWithCertainWorkers(t *testing.T) {
+	// With all p=1 the expectation equals the deterministic diversity.
+	angles := []float64{0, math.Pi / 2, math.Pi, 4.0}
+	arrivals := []float64{0.2, 0.4, 0.6, 0.8}
+	probs := []float64{1, 1, 1, 1}
+	if got, want := ExpectedSD(angles, probs), SD(angles); !almostEq(got, want, 1e-12) {
+		t.Errorf("ExpectedSD(all certain) = %v, want %v", got, want)
+	}
+	if got, want := ExpectedTD(arrivals, probs, 0, 1), TD(arrivals, 0, 1); !almostEq(got, want, 1e-12) {
+		t.Errorf("ExpectedTD(all certain) = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedWithImpossibleWorkers(t *testing.T) {
+	angles := []float64{0, math.Pi}
+	arrivals := []float64{0.3, 0.7}
+	probs := []float64{0, 0}
+	if got := ExpectedSD(angles, probs); got != 0 {
+		t.Errorf("ExpectedSD(all zero) = %v", got)
+	}
+	if got := ExpectedTD(arrivals, probs, 0, 1); got != 0 {
+		t.Errorf("ExpectedTD(all zero) = %v", got)
+	}
+}
+
+func TestExpectedSDSingleWorkerZero(t *testing.T) {
+	if got := ExpectedSD([]float64{1.0}, []float64{0.9}); got != 0 {
+		t.Errorf("single-worker E[SD] = %v, want 0", got)
+	}
+}
+
+func TestExpectedTDSingleWorker(t *testing.T) {
+	// One worker at midpoint with prob p: E[TD] = p·ln2.
+	p := 0.73
+	got := ExpectedTD([]float64{0.5}, []float64{p}, 0, 1)
+	if !almostEq(got, p*math.Ln2, 1e-12) {
+		t.Errorf("E[TD] = %v, want p·ln2 = %v", got, p*math.Ln2)
+	}
+}
+
+func TestExpectedSDTwoWorkers(t *testing.T) {
+	// Two opposite rays with probs p,q: E[SD] = p·q·ln2 (SD=ln2 iff both).
+	p, q := 0.6, 0.8
+	got := ExpectedSD([]float64{0, math.Pi}, []float64{p, q})
+	if !almostEq(got, p*q*math.Ln2, 1e-12) {
+		t.Errorf("E[SD] = %v, want pq·ln2 = %v", got, p*q*math.Ln2)
+	}
+}
+
+// Lemma 4.2: adding a worker never decreases the expected diversity.
+func TestMonotonicityLemma42(t *testing.T) {
+	r := rand.New(rand.NewSource(505))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(8)
+		angles, arrivals, probs := randomCase(r, n)
+		beta := r.Float64()
+		before := ExpectedSTD(beta, angles, arrivals, probs, 0, 1)
+		// Add one more random worker.
+		angles2 := append(append([]float64(nil), angles...), r.Float64()*geo.TwoPi)
+		arrivals2 := append(append([]float64(nil), arrivals...), r.Float64())
+		probs2 := append(append([]float64(nil), probs...), r.Float64())
+		after := ExpectedSTD(beta, angles2, arrivals2, probs2, 0, 1)
+		if after < before-1e-9 {
+			t.Fatalf("trial %d: E[STD] decreased from %v to %v on worker insertion", trial, before, after)
+		}
+	}
+}
+
+func TestExpectedSDPermutationInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		angles, _, probs := randomCase(r, n)
+		base := ExpectedSD(angles, probs)
+		perm := r.Perm(n)
+		pa := make([]float64, n)
+		pp := make([]float64, n)
+		for i, j := range perm {
+			pa[i], pp[i] = angles[j], probs[j]
+		}
+		return almostEq(ExpectedSD(pa, pp), base, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpectedPanicsOnLengthMismatch(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"sd":      func() { ExpectedSD([]float64{1}, []float64{1, 2}) },
+		"sdCubic": func() { ExpectedSDCubic([]float64{1}, []float64{1, 2}) },
+		"td":      func() { ExpectedTD([]float64{1}, []float64{1, 2}, 0, 1) },
+		"tdCubic": func() { ExpectedTDCubic([]float64{1}, []float64{1, 2}, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBoundsContainExpected(t *testing.T) {
+	r := rand.New(rand.NewSource(606))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + r.Intn(8)
+		angles, arrivals, probs := randomCase(r, n)
+		beta := r.Float64()
+
+		sd := ExpectedSD(angles, probs)
+		if b := BoundsESD(angles, probs); !b.Contains(sd) {
+			t.Fatalf("trial %d: E[SD]=%v outside bounds %+v", trial, sd, b)
+		}
+		td := ExpectedTD(arrivals, probs, 0, 1)
+		if b := BoundsETD(arrivals, probs, 0, 1); !b.Contains(td) {
+			t.Fatalf("trial %d: E[TD]=%v outside bounds %+v", trial, td, b)
+		}
+		std := ExpectedSTD(beta, angles, arrivals, probs, 0, 1)
+		if b := BoundsESTD(beta, angles, arrivals, probs, 0, 1); !b.Contains(std) {
+			t.Fatalf("trial %d: E[STD]=%v outside bounds %+v", trial, std, b)
+		}
+	}
+}
+
+func TestDeltaBoundsContainTrueDelta(t *testing.T) {
+	r := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + r.Intn(7)
+		angles, arrivals, probs := randomCase(r, n)
+		beta := r.Float64()
+		before := ExpectedSTD(beta, angles, arrivals, probs, 0, 1)
+		bBefore := BoundsESTD(beta, angles, arrivals, probs, 0, 1)
+
+		angles2 := append(append([]float64(nil), angles...), r.Float64()*geo.TwoPi)
+		arrivals2 := append(append([]float64(nil), arrivals...), r.Float64())
+		probs2 := append(append([]float64(nil), probs...), r.Float64())
+		after := ExpectedSTD(beta, angles2, arrivals2, probs2, 0, 1)
+		bAfter := BoundsESTD(beta, angles2, arrivals2, probs2, 0, 1)
+
+		db := DeltaBounds(bBefore, bAfter)
+		if !db.Contains(after - before) {
+			t.Fatalf("trial %d: ΔE[STD]=%v outside delta bounds %+v", trial, after-before, db)
+		}
+	}
+}
+
+func TestProbHelpers(t *testing.T) {
+	if got := probAtLeastOne([]float64{0.5, 0.5}); !almostEq(got, 0.75, 1e-12) {
+		t.Errorf("probAtLeastOne = %v", got)
+	}
+	if got := probAtLeastTwo([]float64{0.5, 0.5}); !almostEq(got, 0.25, 1e-12) {
+		t.Errorf("probAtLeastTwo = %v", got)
+	}
+	if got := probAtLeastTwo([]float64{1, 1}); !almostEq(got, 1, 1e-12) {
+		t.Errorf("probAtLeastTwo(certain) = %v", got)
+	}
+	if got := probAtLeastTwo([]float64{0.9}); !almostEq(got, 0, 1e-12) {
+		t.Errorf("probAtLeastTwo(single) = %v", got)
+	}
+}

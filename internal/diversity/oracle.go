@@ -1,0 +1,68 @@
+package diversity
+
+// This file contains the exponential possible-worlds enumerator (Eq. 6
+// evaluated literally). It is the correctness oracle for the polynomial
+// evaluators in expected.go and is also usable directly for tiny worker
+// sets. Enumeration over r workers costs O(2^r · r log r).
+
+// maxOracleWorkers bounds the enumeration to keep it total; 2^24 worlds is
+// already ~16M evaluations.
+const maxOracleWorkers = 24
+
+// ExactExpectedSD evaluates E[SD] by enumerating all 2^r possible worlds.
+// It panics if r exceeds 24 workers.
+func ExactExpectedSD(angles, probs []float64) float64 {
+	return enumerate(probs, func(world []int) float64 {
+		sub := make([]float64, len(world))
+		for i, idx := range world {
+			sub[i] = angles[idx]
+		}
+		return SD(sub)
+	})
+}
+
+// ExactExpectedTD evaluates E[TD] by enumerating all 2^r possible worlds.
+// It panics if r exceeds 24 workers.
+func ExactExpectedTD(arrivals, probs []float64, start, end float64) float64 {
+	return enumerate(probs, func(world []int) float64 {
+		sub := make([]float64, len(world))
+		for i, idx := range world {
+			sub[i] = arrivals[idx]
+		}
+		return TD(sub, start, end)
+	})
+}
+
+// ExactExpectedSTD evaluates E[STD] by full enumeration (test oracle).
+func ExactExpectedSTD(beta float64, angles, arrivals, probs []float64, start, end float64) float64 {
+	return beta*ExactExpectedSD(angles, probs) +
+		(1-beta)*ExactExpectedTD(arrivals, probs, start, end)
+}
+
+// enumerate sums value(world)·Pr(world) over every subset of workers, where
+// Pr(world) = Π_{i∈world} p_i · Π_{i∉world} (1−p_i) (Eq. 2).
+func enumerate(probs []float64, value func(world []int) float64) float64 {
+	r := len(probs)
+	if r > maxOracleWorkers {
+		panic("diversity: oracle limited to 24 workers")
+	}
+	var sum float64
+	world := make([]int, 0, r)
+	for mask := 0; mask < 1<<uint(r); mask++ {
+		pr := 1.0
+		world = world[:0]
+		for i := 0; i < r; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				pr *= clampProb(probs[i])
+				world = append(world, i)
+			} else {
+				pr *= 1 - clampProb(probs[i])
+			}
+		}
+		if pr == 0 {
+			continue
+		}
+		sum += pr * value(world)
+	}
+	return sum
+}

@@ -1,0 +1,155 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyScale() Scale { return Scale{M: 12, N: 24, Seeds: 1, Seed: 1} }
+
+func TestRegistryIntegrity(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 14 {
+		t.Fatalf("registry has %d experiments, want at least the 14 paper figures", len(reg))
+	}
+	seen := make(map[string]bool)
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.XLabel == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete: %+v", e.ID, e)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	wantIDs := []string{
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+		"fig18", "fig22", "fig23", "fig24", "fig25", "fig26", "fig27",
+	}
+	for _, id := range wantIDs {
+		if !seen[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig13"); !ok {
+		t.Error("ByID(fig13) not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) should fail")
+	}
+	if len(IDs()) != len(Registry()) {
+		t.Error("IDs() length mismatch")
+	}
+}
+
+func TestSweepPointShapes(t *testing.T) {
+	sc := tinyScale()
+	e, _ := ByID("fig13")
+	rows := e.Run(sc)
+	if len(rows) != 5 {
+		t.Fatalf("fig13 rows = %d, want 5", len(rows))
+	}
+	for _, r := range rows {
+		for _, a := range Approaches {
+			if _, ok := r.MinRel[a]; !ok {
+				t.Fatalf("row %s missing MinRel[%s]", r.X, a)
+			}
+			if _, ok := r.TotalSTD[a]; !ok {
+				t.Fatalf("row %s missing TotalSTD[%s]", r.X, a)
+			}
+			if v := r.MinRel[a]; v < 0 || v > 1 {
+				t.Errorf("row %s MinRel[%s] = %v outside [0,1]", r.X, a, v)
+			}
+			if v := r.TotalSTD[a]; v < 0 {
+				t.Errorf("row %s TotalSTD[%s] = %v negative", r.X, a, v)
+			}
+		}
+	}
+}
+
+func TestFig16RecordsTimes(t *testing.T) {
+	sc := tinyScale()
+	e, _ := ByID("fig16")
+	rows := e.Run(sc)
+	if len(rows) != 10 {
+		t.Fatalf("fig16 rows = %d, want 10 (5 m-points + 5 n-points)", len(rows))
+	}
+	for _, r := range rows {
+		for _, a := range Approaches {
+			if v, ok := r.Seconds[a]; !ok || v < 0 {
+				t.Errorf("row %s Seconds[%s] = %v,%v", r.X, a, v, ok)
+			}
+		}
+	}
+}
+
+func TestFig17IndexAgreesWithScan(t *testing.T) {
+	sc := tinyScale()
+	e, _ := ByID("fig17")
+	rows := e.Run(sc) // panics internally if index and scan disagree
+	if len(rows) != 5 {
+		t.Fatalf("fig17 rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Extra["pairs"] < 0 {
+			t.Errorf("row %s negative pair count", r.X)
+		}
+		if _, ok := r.Extra["build_s"]; !ok {
+			t.Errorf("row %s missing build_s", r.X)
+		}
+	}
+}
+
+func TestFig18PlatformSweep(t *testing.T) {
+	sc := tinyScale()
+	e, _ := ByID("fig18")
+	rows := e.Run(sc)
+	if len(rows) != 4 {
+		t.Fatalf("fig18 rows = %d, want 4 intervals", len(rows))
+	}
+	for _, r := range rows {
+		for _, a := range Approaches {
+			if v := r.MinRel[a]; v < 0 || v > 1 {
+				t.Errorf("row %s MinRel[%s] = %v", r.X, a, v)
+			}
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	sc := tinyScale()
+	for _, id := range []string{"ablation-diversity", "ablation-pruning", "ablation-eta", "ablation-merge"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		rows := e.Run(sc)
+		if len(rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	e, _ := ByID("fig13")
+	rows := []Row{
+		func() Row {
+			r := newRow("5K")
+			r.MinRel["GREEDY"] = 0.9
+			r.TotalSTD["GREEDY"] = 123.4
+			return r
+		}(),
+	}
+	out := RenderTable(e, rows)
+	for _, want := range []string{"fig13", "Minimum Reliability", "total_STD", "GREEDY", "5K", "0.9000", "123.4000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "CPU Time") {
+		t.Error("CPU Time block should be skipped when no timings present")
+	}
+}

@@ -1,0 +1,572 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/diversity"
+	"rdbsc/internal/gen"
+	"rdbsc/internal/grid"
+	"rdbsc/internal/model"
+	"rdbsc/internal/platform"
+	"rdbsc/internal/rng"
+	"rdbsc/internal/stream"
+)
+
+// solverSet returns fresh instances of the four approaches.
+func solverSet() map[string]core.Solver {
+	return map[string]core.Solver{
+		"GREEDY":   core.NewGreedy(),
+		"SAMPLING": core.NewSampling(),
+		"D&C":      core.NewDC(),
+		"G-TRUTH":  core.GTruth(),
+	}
+}
+
+// sweepPoint runs every approach over sc.Seeds workloads drawn by mk and
+// averages the two quality measures (and wall time when timing is set).
+func sweepPoint(x string, sc Scale, timing bool, mk func(seed int64) *model.Instance) Row {
+	row := newRow(x)
+	counts := make(map[string]int)
+	for s := 0; s < sc.Seeds; s++ {
+		seed := sc.Seed + int64(s)*1000
+		in := mk(seed)
+		p := core.NewProblem(in)
+		for name, solver := range solverSet() {
+			var res *core.Result
+			secs := timed(func() { res = solver.Solve(p, rng.New(seed+99)) })
+			row.MinRel[name] += res.Eval.MinRel
+			row.TotalSTD[name] += res.Eval.TotalESTD
+			if timing {
+				row.Seconds[name] += secs
+			}
+			counts[name]++
+		}
+	}
+	for name, c := range counts {
+		row.MinRel[name] /= float64(c)
+		row.TotalSTD[name] /= float64(c)
+		if timing {
+			row.Seconds[name] /= float64(c)
+		} else {
+			delete(row.Seconds, name)
+		}
+	}
+	if !timing {
+		row.Seconds = map[string]float64{}
+	}
+	return row
+}
+
+// synthetic builds the dense bench-scale synthetic workload with the given
+// tweaks applied to the Table 2 defaults.
+func synthetic(sc Scale, dist gen.Dist, mut func(*gen.Config)) func(int64) *model.Instance {
+	return func(seed int64) *model.Instance {
+		cfg := gen.Default().WithScale(sc.M, sc.N).WithSeed(seed)
+		cfg.Distribution = dist
+		if mut != nil {
+			mut(&cfg)
+		}
+		return gen.GenerateDense(cfg)
+	}
+}
+
+// realSub builds the real-data-substitute workload (POI tasks, trajectory
+// workers) with the given tweaks to the synthetic parameter ranges.
+func realSub(sc Scale, mut func(*gen.Config)) func(int64) *model.Instance {
+	return func(seed int64) *model.Instance {
+		syn := gen.Default().WithSeed(seed)
+		if mut != nil {
+			mut(&syn)
+		}
+		return gen.GenerateReal(gen.RealConfig{
+			POI:        gen.POIConfig{NumPOIs: sc.M * 4, Seed: seed},
+			Trajectory: gen.TrajectoryConfig{NumTaxis: sc.N, Seed: seed + 1},
+			Tasks:      sc.M,
+			Synthetic:  syn,
+		})
+	}
+}
+
+// --- Figures 11–12, 22: real-data-substitute sweeps -----------------------
+
+func fig11() Experiment {
+	type rt struct{ lo, hi float64 }
+	sweep := []rt{{0.25, 0.5}, {0.5, 1}, {1, 2}, {2, 3}}
+	return Experiment{
+		ID:     "fig11",
+		Title:  "Effect of tasks' expiration time range rt (real-substitute data)",
+		XLabel: "rt",
+		PaperShape: "min reliability stable; total_STD grows with rt; " +
+			"SAMPLING/D&C above GREEDY, close to G-TRUTH",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, r := range sweep {
+				r := r
+				rows = append(rows, sweepPoint(
+					fmt.Sprintf("[%g,%g]", r.lo, r.hi), sc, false,
+					realSub(sc, func(c *gen.Config) { c.RtMin, c.RtMax = r.lo, r.hi })))
+			}
+			return rows
+		},
+	}
+}
+
+func fig12() Experiment {
+	sweep := []float64{0.8, 0.85, 0.9, 0.95}
+	return Experiment{
+		ID:     "fig12",
+		Title:  "Effect of workers' reliability range [p_min, p_max] (real-substitute data)",
+		XLabel: "[pmin,1]",
+		PaperShape: "min reliability rises with p_min; total_STD increases slightly; " +
+			"SAMPLING/D&C ≈ G-TRUTH > GREEDY",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, pmin := range sweep {
+				pmin := pmin
+				rows = append(rows, sweepPoint(
+					fmt.Sprintf("(%.2f,1)", pmin), sc, false,
+					realSub(sc, func(c *gen.Config) { c.PMin, c.PMax = pmin, 1 })))
+			}
+			return rows
+		},
+	}
+}
+
+func fig22() Experiment {
+	sweep := [][2]float64{{0, 0.2}, {0.2, 0.4}, {0.4, 0.6}, {0.6, 0.8}, {0.8, 1}}
+	return Experiment{
+		ID:         "fig22",
+		Title:      "Effect of the requester-specified weight β (real-substitute data)",
+		XLabel:     "β range",
+		PaperShape: "both measures robust to β across all ranges",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, b := range sweep {
+				b := b
+				rows = append(rows, sweepPoint(
+					fmt.Sprintf("(%g,%g]", b[0], b[1]), sc, false,
+					realSub(sc, func(c *gen.Config) { c.BetaMin, c.BetaMax = b[0], b[1] })))
+			}
+			return rows
+		},
+	}
+}
+
+// --- Figures 13–15, 23–27: synthetic sweeps -------------------------------
+
+// mSweep mirrors Table 2's m values 5K,8K,10K,50K,100K proportionally at
+// bench scale (0.5×, 0.8×, 1×, 5×, 10× of the base m).
+func mSweep(e string, dist gen.Dist, shape string) Experiment {
+	factors := []float64{0.5, 0.8, 1, 5, 10}
+	return Experiment{
+		ID:         e,
+		Title:      fmt.Sprintf("Effect of the number of tasks m (%v)", dist),
+		XLabel:     "m",
+		PaperShape: shape,
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, f := range factors {
+				m := int(float64(sc.M) * f)
+				scm := sc
+				scm.M = m
+				rows = append(rows, sweepPoint(fmt.Sprintf("%d", m), scm, false,
+					synthetic(scm, dist, nil)))
+			}
+			return rows
+		},
+	}
+}
+
+func nSweep(e string, dist gen.Dist, shape string) Experiment {
+	factors := []float64{0.5, 0.8, 1, 1.5, 2}
+	return Experiment{
+		ID:         e,
+		Title:      fmt.Sprintf("Effect of the number of workers n (%v)", dist),
+		XLabel:     "n",
+		PaperShape: shape,
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, f := range factors {
+				n := int(float64(sc.N) * f)
+				scn := sc
+				scn.N = n
+				rows = append(rows, sweepPoint(fmt.Sprintf("%d", n), scn, false,
+					synthetic(scn, dist, nil)))
+			}
+			return rows
+		},
+	}
+}
+
+func angleSweep(e string, dist gen.Dist) Experiment {
+	denoms := []float64{8, 7, 6, 5, 4}
+	return Experiment{
+		ID:     e,
+		Title:  fmt.Sprintf("Effect of the range of moving angles (%v)", dist),
+		XLabel: "(0,π/k]",
+		PaperShape: "min reliability insensitive; GREEDY diversity drops for wider angles; " +
+			"SAMPLING/D&C ≈ G-TRUTH",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, d := range denoms {
+				d := d
+				rows = append(rows, sweepPoint(fmt.Sprintf("(0,π/%g]", d), sc, false,
+					synthetic(sc, dist, func(c *gen.Config) { c.AngleMax = math.Pi / d })))
+			}
+			return rows
+		},
+	}
+}
+
+func vSweep(e string, dist gen.Dist) Experiment {
+	sweep := [][2]float64{{0.1, 0.2}, {0.2, 0.3}, {0.3, 0.4}, {0.4, 0.5}}
+	return Experiment{
+		ID:     e,
+		Title:  fmt.Sprintf("Effect of the velocity range [v−,v+] (%v)", dist),
+		XLabel: "[v-,v+]",
+		PaperShape: "min reliability stable around 0.9; diversity gradually decreases " +
+			"for faster workers",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, v := range sweep {
+				v := v
+				rows = append(rows, sweepPoint(fmt.Sprintf("[%g,%g]", v[0], v[1]), sc, false,
+					synthetic(sc, dist, func(c *gen.Config) { c.VMin, c.VMax = v[0], v[1] })))
+			}
+			return rows
+		},
+	}
+}
+
+func fig13() Experiment {
+	return mSweep("fig13", gen.Uniform,
+		"min reliability high, slightly decreasing with m; GREEDY diversity grows with m "+
+			"while SAMPLING/D&C decrease; crossover at large m")
+}
+
+func fig14() Experiment {
+	return nSweep("fig14", gen.Uniform,
+		"min reliability insensitive to n; total_STD of every approach grows with n")
+}
+
+func fig15() Experiment { return angleSweep("fig15", gen.Uniform) }
+
+func fig23() Experiment {
+	return mSweep("fig23", gen.Skewed, "same trends as Fig 13 on SKEWED data")
+}
+
+func fig24() Experiment {
+	return nSweep("fig24", gen.Skewed, "same trends as Fig 14 on SKEWED data")
+}
+
+func fig25() Experiment { return vSweep("fig25", gen.Uniform) }
+func fig26() Experiment { return vSweep("fig26", gen.Skewed) }
+func fig27() Experiment { return angleSweep("fig27", gen.Skewed) }
+
+// --- Figure 16: running time ----------------------------------------------
+
+func fig16() Experiment {
+	mFactors := []float64{0.5, 0.8, 1, 5, 10}
+	nFactors := []float64{0.5, 0.8, 1, 1.5, 2}
+	return Experiment{
+		ID:     "fig16",
+		Title:  "CPU time of the RDB-SC approaches vs m and vs n (UNIFORM)",
+		XLabel: "param",
+		PaperShape: "all but SAMPLING grow quickly with m; only GREEDY grows sharply " +
+			"with n; SAMPLING stays near-flat",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, f := range mFactors {
+				scm := sc
+				scm.M = int(float64(sc.M) * f)
+				rows = append(rows, sweepPoint(fmt.Sprintf("m=%d", scm.M), scm, true,
+					synthetic(scm, gen.Uniform, nil)))
+			}
+			for _, f := range nFactors {
+				scn := sc
+				scn.N = int(float64(sc.N) * f)
+				rows = append(rows, sweepPoint(fmt.Sprintf("n=%d", scn.N), scn, true,
+					synthetic(scn, gen.Uniform, nil)))
+			}
+			return rows
+		},
+	}
+}
+
+// --- Figure 17: grid index ------------------------------------------------
+
+func fig17() Experiment {
+	nFactors := []float64{0.5, 0.8, 1, 2, 3}
+	return Experiment{
+		ID:     "fig17",
+		Title:  "RDB-SC-Grid: construction time and pair retrieval with vs without index",
+		XLabel: "n",
+		PaperShape: "construction sub-second; retrieval with index substantially faster " +
+			"than the full scan (paper: up to 67% reduction)",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, f := range nFactors {
+				scn := sc
+				scn.N = int(float64(sc.N) * f)
+				row := newRow(fmt.Sprintf("%d", scn.N))
+				for s := 0; s < sc.Seeds; s++ {
+					in := synthetic(scn, gen.Uniform, nil)(sc.Seed + int64(s)*1000)
+					var g *grid.Grid
+					row.Extra["build_s"] += timed(func() {
+						g = grid.NewFromInstance(grid.Config{}, in)
+					})
+					var indexed, scanned []model.Pair
+					row.Extra["retrieve_indexed_s"] += timed(func() {
+						indexed = g.ValidPairs()
+					})
+					row.Extra["retrieve_scan_s"] += timed(func() {
+						scanned = in.ValidPairs()
+					})
+					row.Extra["pairs"] += float64(len(indexed))
+					if len(indexed) != len(scanned) {
+						panic("fig17: index and scan disagree on pair count")
+					}
+				}
+				for k := range row.Extra {
+					row.Extra[k] /= float64(sc.Seeds)
+				}
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}
+
+// --- Figure 18: platform simulation ----------------------------------------
+
+func fig18() Experiment {
+	intervals := []float64{1, 2, 3, 4} // minutes
+	return Experiment{
+		ID:     "fig18",
+		Title:  "Effect of the incremental updating interval t_interval (platform simulation)",
+		XLabel: "t_interval",
+		PaperShape: "min reliability high but GREEDY fluctuates; total_STD decreases " +
+			"as t_interval grows for every approach",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, mins := range intervals {
+				row := newRow(fmt.Sprintf("%gmin", mins))
+				for name, solver := range solverSet() {
+					var rel, std float64
+					for s := 0; s < sc.Seeds; s++ {
+						met := platform.New(platform.Config{
+							TInterval: mins / 60,
+							Horizon:   2,
+							Solver:    solver,
+							Seed:      sc.Seed + int64(s)*17,
+						}).Run()
+						rel += met.MinRel
+						std += met.TotalSTD
+					}
+					row.MinRel[name] = rel / float64(sc.Seeds)
+					row.TotalSTD[name] = std / float64(sc.Seeds)
+				}
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}
+
+// --- Dynamic churn (Section 7.2 end to end) ---------------------------------
+
+func churnExperiment() Experiment {
+	rates := []float64{20, 40, 80, 160}
+	return Experiment{
+		ID:     "churn",
+		Title:  "Dynamic maintenance under churn: grid-indexed rounds at increasing arrival rates",
+		XLabel: "tasks/h",
+		PaperShape: "(supplementary; Section 7.2 analyzes the update costs " +
+			"this run exercises)",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, rate := range rates {
+				row := newRow(fmt.Sprintf("%.0f", rate))
+				rep := stream.New(stream.Config{
+					TaskRate:   rate,
+					WorkerRate: rate * 2,
+					Horizon:    2,
+					Seed:       sc.Seed,
+				}).Run()
+				row.MinRel["GREEDY"] = rep.MeanMinRel
+				row.TotalSTD["GREEDY"] = rep.MeanTotalSTD
+				row.Extra["assignments"] = float64(rep.Assignments)
+				row.Extra["pairs"] = float64(rep.PairsRetrieved)
+				row.Extra["retrieve_s"] = rep.RetrieveSeconds
+				row.Extra["solve_s"] = rep.SolveSeconds
+				row.Extra["peak_tasks"] = float64(rep.PeakTasks)
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}
+
+// --- Ablations (design choices called out in DESIGN.md) --------------------
+
+func ablationDiversity() Experiment {
+	sizes := []int{8, 16, 32, 64, 128}
+	return Experiment{
+		ID:         "ablation-diversity",
+		Title:      "Expected-diversity evaluation: O(r²) running products vs the paper's O(r³) matrices",
+		XLabel:     "r",
+		PaperShape: "(ablation; paper reports the O(r³) reduction only)",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			src := rng.New(sc.Seed)
+			var rows []Row
+			for _, r := range sizes {
+				angles := make([]float64, r)
+				arrivals := make([]float64, r)
+				probs := make([]float64, r)
+				for i := 0; i < r; i++ {
+					angles[i] = src.Angle()
+					arrivals[i] = src.Float64()
+					probs[i] = src.Float64()
+				}
+				row := newRow(fmt.Sprintf("%d", r))
+				const reps = 50
+				row.Extra["quadratic_s"] = timed(func() {
+					for i := 0; i < reps; i++ {
+						diversity.ExpectedSTD(0.5, angles, arrivals, probs, 0, 1)
+					}
+				}) / reps
+				row.Extra["cubic_s"] = timed(func() {
+					for i := 0; i < reps; i++ {
+						_ = 0.5*diversity.ExpectedSDCubic(angles, probs) +
+							0.5*diversity.ExpectedTDCubic(arrivals, probs, 0, 1)
+					}
+				}) / reps
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}
+
+func ablationPruning() Experiment {
+	return Experiment{
+		ID:         "ablation-pruning",
+		Title:      "GREEDY with vs without the Lemma 4.3 bound-based pruning",
+		XLabel:     "variant",
+		PaperShape: "(ablation; the paper always prunes)",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, variant := range []struct {
+				name  string
+				prune bool
+			}{{"prune=on", true}, {"prune=off", false}} {
+				row := newRow(variant.name)
+				for s := 0; s < sc.Seeds; s++ {
+					in := synthetic(sc, gen.Uniform, nil)(sc.Seed + int64(s)*1000)
+					p := core.NewProblem(in)
+					g := &core.Greedy{Prune: variant.prune}
+					var res *core.Result
+					row.Extra["time_s"] += timed(func() { res = g.Solve(p, rng.New(1)) })
+					row.Extra["pairs_evaluated"] += float64(res.Stats.PairsEvaluated)
+					row.Extra["pairs_pruned"] += float64(res.Stats.PairsPruned)
+					row.MinRel["GREEDY"] += res.Eval.MinRel
+					row.TotalSTD["GREEDY"] += res.Eval.TotalESTD
+				}
+				norm := float64(sc.Seeds)
+				for k := range row.Extra {
+					row.Extra[k] /= norm
+				}
+				row.MinRel["GREEDY"] /= norm
+				row.TotalSTD["GREEDY"] /= norm
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}
+
+func ablationEta() Experiment {
+	return Experiment{
+		ID:         "ablation-eta",
+		Title:      "Grid cell size: cost-model η vs fixed alternatives",
+		XLabel:     "η",
+		PaperShape: "(ablation; Appendix I derives η from the cost model)",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			in := synthetic(sc, gen.Skewed, nil)(sc.Seed)
+			auto := grid.NewFromInstance(grid.Config{}, in)
+			etas := map[string]float64{
+				"cost-model": auto.Eta(),
+				"0.02":       0.02,
+				"0.10":       0.10,
+				"0.50":       0.50,
+			}
+			var rows []Row
+			for _, name := range []string{"cost-model", "0.02", "0.10", "0.50"} {
+				eta := etas[name]
+				row := newRow(fmt.Sprintf("%s(%0.3f)", name, eta))
+				var g *grid.Grid
+				row.Extra["build_s"] = timed(func() {
+					g = grid.NewFromInstance(grid.Config{Eta: eta}, in)
+				})
+				row.Extra["retrieve_s"] = timed(func() { g.ValidPairs() })
+				st := g.Stats()
+				row.Extra["cells"] = float64(st.Cells)
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}
+
+func ablationMerge() Experiment {
+	return Experiment{
+		ID:         "ablation-merge",
+		Title:      "SA_Merge DCW resolution: exhaustive 2^k vs sequential greedy",
+		XLabel:     "variant",
+		PaperShape: "(ablation; the paper enumerates DCW groups, Lemma 6.2)",
+		Run: func(sc Scale) []Row {
+			sc = sc.withDefaults()
+			var rows []Row
+			for _, variant := range []struct {
+				name  string
+				limit int
+			}{{"exhaustive(≤12)", 12}, {"greedy(limit=1)", 1}} {
+				row := newRow(variant.name)
+				for s := 0; s < sc.Seeds; s++ {
+					in := synthetic(sc, gen.Uniform, nil)(sc.Seed + int64(s)*1000)
+					p := core.NewProblem(in)
+					dc := &core.DC{DCWGroupLimit: variant.limit}
+					var res *core.Result
+					row.Extra["time_s"] += timed(func() { res = dc.Solve(p, rng.New(1)) })
+					row.Extra["merge_groups"] += float64(res.Stats.MergeGroups)
+					row.MinRel["D&C"] += res.Eval.MinRel
+					row.TotalSTD["D&C"] += res.Eval.TotalESTD
+				}
+				norm := float64(sc.Seeds)
+				for k := range row.Extra {
+					row.Extra[k] /= norm
+				}
+				row.MinRel["D&C"] /= norm
+				row.TotalSTD["D&C"] /= norm
+				rows = append(rows, row)
+			}
+			return rows
+		},
+	}
+}

@@ -1,0 +1,136 @@
+// Package gen generates RDB-SC workloads. It covers the full experimental
+// setting of Table 2 (UNIFORM and SKEWED synthetic distributions, every
+// parameter range) and the real-data substitutes described in DESIGN.md: a
+// Beijing-like clustered POI generator standing in for the Beijing City Lab
+// POI dataset, and a random-waypoint taxi-trajectory simulator standing in
+// for T-Drive, with workers extracted from trajectories exactly as in
+// Section 8.2 (start point → location, average speed → speed, minimal
+// enclosing sector → direction cone).
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"rdbsc/internal/geo"
+)
+
+// Dist selects the spatial distribution of tasks and workers.
+type Dist int
+
+const (
+	// Uniform scatters locations uniformly over the unit square.
+	Uniform Dist = iota
+	// Skewed puts 90% of locations in a Gaussian cluster centered at
+	// (0.5, 0.5) with σ = 0.2 (the paper's SKEWED setting, after [18]).
+	Skewed
+)
+
+// String implements fmt.Stringer.
+func (d Dist) String() string {
+	switch d {
+	case Uniform:
+		return "UNIFORM"
+	case Skewed:
+		return "SKEWED"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// Config mirrors Table 2 of the paper. Time is in hours over a 24-hour
+// horizon; space is the unit square.
+type Config struct {
+	// M and N are the task and worker counts (Table 2: 5K…100K / 5K…20K;
+	// bold defaults 10K each — bench-scale runs shrink these).
+	M, N int
+
+	// RtMin/RtMax bound the expiration-time range rt: each task's valid
+	// period has length uniform in [RtMin, RtMax] (default [1, 2]).
+	RtMin, RtMax float64
+
+	// PMin/PMax bound worker confidences, drawn from a Gaussian with mean
+	// (PMin+PMax)/2 and σ = 0.02 truncated to the range (default (0.9, 1)).
+	PMin, PMax float64
+
+	// VMin/VMax bound worker velocities (default [0.2, 0.3]).
+	VMin, VMax float64
+
+	// AngleMax bounds the direction-cone width: (α+ − α−) is uniform in
+	// (0, AngleMax] and the cone center is uniform in [0, 2π)
+	// (default π/6).
+	AngleMax float64
+
+	// BetaMin/BetaMax bound the requester weight β, drawn uniformly
+	// (default (0.4, 0.6]). A single β applies to the instance.
+	BetaMin, BetaMax float64
+
+	// StartHorizon is the window [0, StartHorizon] for task start times and
+	// worker check-ins (default 24, the paper's st ∈ [0, 24]).
+	StartHorizon float64
+
+	// Distribution selects UNIFORM or SKEWED locations.
+	Distribution Dist
+
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// Default returns Table 2's bold defaults at bench scale. The paper's full
+// scale (m = n = 10K) is Default().WithScale(10000, 10000).
+func Default() Config {
+	return Config{
+		M: 100, N: 200,
+		RtMin: 1, RtMax: 2,
+		PMin: 0.9, PMax: 1,
+		VMin: 0.2, VMax: 0.3,
+		AngleMax:     math.Pi / 6,
+		BetaMin:      0.4,
+		BetaMax:      0.6,
+		StartHorizon: 24,
+		Distribution: Uniform,
+		Seed:         1,
+	}
+}
+
+// WithScale returns a copy with the given task/worker counts.
+func (c Config) WithScale(m, n int) Config {
+	c.M, c.N = m, n
+	return c
+}
+
+// WithSeed returns a copy with the given seed.
+func (c Config) WithSeed(seed int64) Config {
+	c.Seed = seed
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.M < 0 || c.N < 0:
+		return fmt.Errorf("gen: negative sizes m=%d n=%d", c.M, c.N)
+	case c.RtMax < c.RtMin || c.RtMin < 0:
+		return fmt.Errorf("gen: bad rt range [%v, %v]", c.RtMin, c.RtMax)
+	case c.PMax < c.PMin || c.PMin < 0 || c.PMax > 1:
+		return fmt.Errorf("gen: bad confidence range [%v, %v]", c.PMin, c.PMax)
+	case c.VMax < c.VMin || c.VMin <= 0:
+		return fmt.Errorf("gen: bad velocity range [%v, %v]", c.VMin, c.VMax)
+	case c.AngleMax <= 0 || c.AngleMax > geo.TwoPi:
+		return fmt.Errorf("gen: bad angle range %v", c.AngleMax)
+	case c.BetaMax < c.BetaMin || c.BetaMin < 0 || c.BetaMax > 1:
+		return fmt.Errorf("gen: bad beta range [%v, %v]", c.BetaMin, c.BetaMax)
+	case c.StartHorizon <= 0:
+		return fmt.Errorf("gen: bad start horizon %v", c.StartHorizon)
+	}
+	return nil
+}
+
+// skewCenter and skewSigma are the paper's SKEWED cluster parameters.
+var skewCenter = geo.Pt(0.5, 0.5)
+
+const (
+	skewSigma       = 0.2
+	skewClusterFrac = 0.9
+	confSigma       = 0.02
+)

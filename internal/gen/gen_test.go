@@ -1,0 +1,292 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/rng"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestConfigValidateRejectsBadRanges(t *testing.T) {
+	mods := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative m", func(c *Config) { c.M = -1 }},
+		{"rt reversed", func(c *Config) { c.RtMin, c.RtMax = 2, 1 }},
+		{"p above 1", func(c *Config) { c.PMax = 1.5 }},
+		{"v zero", func(c *Config) { c.VMin = 0 }},
+		{"angle zero", func(c *Config) { c.AngleMax = 0 }},
+		{"angle too wide", func(c *Config) { c.AngleMax = 7 }},
+		{"beta reversed", func(c *Config) { c.BetaMin, c.BetaMax = 0.8, 0.2 }},
+		{"horizon zero", func(c *Config) { c.StartHorizon = 0 }},
+	}
+	for _, m := range mods {
+		t.Run(m.name, func(t *testing.T) {
+			c := Default()
+			m.mut(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestGenerateRespectsRanges(t *testing.T) {
+	cfg := Default().WithScale(300, 300)
+	in := Generate(cfg)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+	if len(in.Tasks) != 300 || len(in.Workers) != 300 {
+		t.Fatalf("sizes: %d tasks %d workers", len(in.Tasks), len(in.Workers))
+	}
+	if in.Beta < cfg.BetaMin || in.Beta > cfg.BetaMax {
+		t.Errorf("beta %v outside [%v,%v]", in.Beta, cfg.BetaMin, cfg.BetaMax)
+	}
+	for _, tk := range in.Tasks {
+		rt := tk.End - tk.Start
+		if rt < cfg.RtMin-1e-9 || rt > cfg.RtMax+1e-9 {
+			t.Fatalf("task %d: rt %v outside [%v,%v]", tk.ID, rt, cfg.RtMin, cfg.RtMax)
+		}
+		if !tk.Loc.In(geo.UnitSquare) {
+			t.Fatalf("task %d outside unit square", tk.ID)
+		}
+		if tk.Start < 0 || tk.Start > cfg.StartHorizon {
+			t.Fatalf("task %d start %v outside horizon", tk.ID, tk.Start)
+		}
+	}
+	for _, w := range in.Workers {
+		if w.Speed < cfg.VMin || w.Speed > cfg.VMax {
+			t.Fatalf("worker %d speed %v outside range", w.ID, w.Speed)
+		}
+		if w.Confidence < cfg.PMin || w.Confidence > cfg.PMax {
+			t.Fatalf("worker %d confidence %v outside range", w.ID, w.Confidence)
+		}
+		if w.Dir.Width <= 0 || w.Dir.Width > cfg.AngleMax+1e-9 {
+			t.Fatalf("worker %d cone width %v outside (0, %v]", w.ID, w.Dir.Width, cfg.AngleMax)
+		}
+		if !w.Loc.In(geo.UnitSquare) {
+			t.Fatalf("worker %d outside unit square", w.ID)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Default())
+	b := Generate(Default())
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatal("tasks differ for equal seeds")
+		}
+	}
+	for i := range a.Workers {
+		if a.Workers[i] != b.Workers[i] {
+			t.Fatal("workers differ for equal seeds")
+		}
+	}
+	c := Generate(Default().WithSeed(2))
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i] != c.Tasks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical tasks")
+	}
+}
+
+func TestGenerateSkewedClusters(t *testing.T) {
+	cfg := Default().WithScale(2000, 2000)
+	cfg.Distribution = Skewed
+	in := Generate(cfg)
+	center := geo.Pt(0.5, 0.5)
+	near := 0
+	for _, tk := range in.Tasks {
+		if tk.Loc.Dist(center) < 0.3 {
+			near++
+		}
+	}
+	frac := float64(near) / float64(len(in.Tasks))
+	if frac < 0.6 {
+		t.Errorf("skewed tasks near center: %v, want > 0.6", frac)
+	}
+	// Uniform baseline should be much lower (area π·0.09 ≈ 0.283).
+	cfgU := cfg
+	cfgU.Distribution = Uniform
+	inU := Generate(cfgU)
+	nearU := 0
+	for _, tk := range inU.Tasks {
+		if tk.Loc.Dist(center) < 0.3 {
+			nearU++
+		}
+	}
+	if fracU := float64(nearU) / float64(len(inU.Tasks)); fracU > frac {
+		t.Errorf("uniform (%v) denser than skewed (%v) near center", fracU, frac)
+	}
+}
+
+func TestGenerateDenseIsConnected(t *testing.T) {
+	in := GenerateDense(Default().WithScale(60, 120))
+	p := core.NewProblem(in)
+	if len(p.Pairs) == 0 {
+		t.Fatal("dense instance has no valid pairs")
+	}
+	if got := len(p.ConnectedWorkers()); got < 20 {
+		t.Errorf("only %d connected workers; dense generator too sparse", got)
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if Uniform.String() != "UNIFORM" || Skewed.String() != "SKEWED" {
+		t.Error("Dist.String() mismatch")
+	}
+	if Dist(9).String() == "" {
+		t.Error("unknown Dist should still print")
+	}
+}
+
+func TestGeneratePOIs(t *testing.T) {
+	pois := GeneratePOIs(POIConfig{NumPOIs: 3000, Seed: 3})
+	if len(pois) != 3000 {
+		t.Fatalf("NumPOIs = %d", len(pois))
+	}
+	for _, p := range pois {
+		if !p.In(geo.UnitSquare) {
+			t.Fatal("POI outside unit square")
+		}
+	}
+	// POIs must be substantially more clustered than uniform: compare the
+	// fraction inside the densest 0.2x0.2 box against the uniform 4%.
+	best := 0
+	for gx := 0.0; gx < 1; gx += 0.1 {
+		for gy := 0.0; gy < 1; gy += 0.1 {
+			cnt := 0
+			for _, p := range pois {
+				if p.X >= gx && p.X < gx+0.2 && p.Y >= gy && p.Y < gy+0.2 {
+					cnt++
+				}
+			}
+			if cnt > best {
+				best = cnt
+			}
+		}
+	}
+	if frac := float64(best) / 3000; frac < 0.08 {
+		t.Errorf("densest box holds %v, want > 0.08 (clustering)", frac)
+	}
+}
+
+func TestSamplePOIs(t *testing.T) {
+	pois := GeneratePOIs(POIConfig{NumPOIs: 100, Seed: 4})
+	src := rng.New(1)
+	sample := SamplePOIs(pois, 30, src)
+	if len(sample) != 30 {
+		t.Fatalf("sample size %d", len(sample))
+	}
+	seen := make(map[geo.Point]int)
+	for _, p := range sample {
+		seen[p]++
+	}
+	full := SamplePOIs(pois, 200, src)
+	if len(full) != 100 {
+		t.Errorf("oversample returned %d, want all 100", len(full))
+	}
+}
+
+func TestGenerateTrajectories(t *testing.T) {
+	trajs := GenerateTrajectories(TrajectoryConfig{NumTaxis: 100, Seed: 5})
+	if len(trajs) != 100 {
+		t.Fatalf("NumTaxis = %d", len(trajs))
+	}
+	for i, tr := range trajs {
+		if len(tr.Points) != len(tr.Times) {
+			t.Fatalf("traj %d: points/times mismatch", i)
+		}
+		if len(tr.Points) < 5 {
+			t.Fatalf("traj %d too short: %d", i, len(tr.Points))
+		}
+		for k := 1; k < len(tr.Times); k++ {
+			if tr.Times[k] <= tr.Times[k-1] {
+				t.Fatalf("traj %d: times not increasing", i)
+			}
+		}
+		for _, p := range tr.Points {
+			if !p.In(geo.UnitSquare) {
+				t.Fatalf("traj %d leaves the unit square: %v", i, p)
+			}
+		}
+		if tr.AvgSpeed() <= 0 {
+			t.Fatalf("traj %d: non-positive avg speed", i)
+		}
+	}
+}
+
+func TestWorkerFromTrajectory(t *testing.T) {
+	tr := Trajectory{
+		Points: []geo.Point{geo.Pt(0.5, 0.5), geo.Pt(0.6, 0.5), geo.Pt(0.6, 0.6)},
+		Times:  []float64{1, 2, 3},
+	}
+	w := WorkerFromTrajectory(7, tr, 0.93)
+	if w.ID != 7 || w.Confidence != 0.93 {
+		t.Errorf("identity fields: %+v", w)
+	}
+	if w.Loc != tr.Points[0] {
+		t.Errorf("location = %v, want start point", w.Loc)
+	}
+	if w.Depart != 1 {
+		t.Errorf("depart = %v, want 1", w.Depart)
+	}
+	wantSpeed := (0.1 + 0.1) / 2
+	if math.Abs(w.Speed-wantSpeed) > 1e-9 {
+		t.Errorf("speed = %v, want %v", w.Speed, wantSpeed)
+	}
+	// The sector must contain the bearings to both later points (0 and π/4).
+	if !w.Dir.Contains(0) || !w.Dir.Contains(math.Pi/4) {
+		t.Errorf("sector %+v misses trajectory bearings", w.Dir)
+	}
+	if w.Dir.Width > math.Pi/4+1e-9 {
+		t.Errorf("sector %+v wider than minimal", w.Dir)
+	}
+}
+
+func TestWorkerFromDegenerateTrajectory(t *testing.T) {
+	w := WorkerFromTrajectory(1, Trajectory{}, 0.9)
+	if w.Speed <= 0 || !w.Dir.IsFull() {
+		t.Errorf("degenerate trajectory worker: %+v", w)
+	}
+	still := Trajectory{Points: []geo.Point{geo.Pt(0.5, 0.5)}, Times: []float64{2}}
+	w = WorkerFromTrajectory(1, still, 0.9)
+	if w.Loc != geo.Pt(0.5, 0.5) || w.Speed <= 0 {
+		t.Errorf("stationary trajectory worker: %+v", w)
+	}
+}
+
+func TestGenerateRealConnected(t *testing.T) {
+	in := GenerateReal(RealConfig{
+		POI:        POIConfig{NumPOIs: 400, Seed: 6},
+		Trajectory: TrajectoryConfig{NumTaxis: 150, Seed: 7},
+		Tasks:      200,
+		Synthetic:  Default(),
+	})
+	if err := in.Validate(); err != nil {
+		t.Fatalf("real instance invalid: %v", err)
+	}
+	if len(in.Tasks) != 200 || len(in.Workers) != 150 {
+		t.Fatalf("sizes: %d tasks, %d workers", len(in.Tasks), len(in.Workers))
+	}
+	p := core.NewProblem(in)
+	if len(p.Pairs) == 0 {
+		t.Fatal("real-substitute instance has no valid pairs")
+	}
+}

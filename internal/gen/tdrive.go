@@ -1,0 +1,210 @@
+package gen
+
+import (
+	"math"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/rng"
+)
+
+// Trajectory is one simulated taxi trace: time-stamped positions.
+type Trajectory struct {
+	Points []geo.Point
+	Times  []float64 // hours, strictly increasing
+}
+
+// AvgSpeed returns the trajectory's mean speed (total path length over
+// total duration), the quantity the paper uses as the extracted worker's
+// velocity.
+func (tr Trajectory) AvgSpeed() float64 {
+	if len(tr.Points) < 2 {
+		return 0
+	}
+	var dist float64
+	for i := 1; i < len(tr.Points); i++ {
+		dist += tr.Points[i-1].Dist(tr.Points[i])
+	}
+	dur := tr.Times[len(tr.Times)-1] - tr.Times[0]
+	if dur <= 0 {
+		return 0
+	}
+	return dist / dur
+}
+
+// TrajectoryConfig parameterizes the T-Drive substitute: a random-waypoint
+// taxi simulator. Real taxi traces move with a persistent heading that
+// drifts over time, which is what produces the narrow enclosing sectors the
+// paper extracts; the simulator draws an initial heading and perturbs it
+// leg by leg.
+type TrajectoryConfig struct {
+	// NumTaxis is the number of trajectories (default 500).
+	NumTaxis int
+	// MinLegs/MaxLegs bound the number of movement legs (default 4/12).
+	MinLegs, MaxLegs int
+	// SpeedMin/SpeedMax bound per-leg speeds (default 0.15/0.45).
+	SpeedMin, SpeedMax float64
+	// LegDuration is the mean duration of one leg in hours (default 0.15).
+	LegDuration float64
+	// HeadingJitter is the per-leg heading perturbation in radians
+	// (default π/7, yielding sectors comparable to Table 2's angle ranges).
+	HeadingJitter float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c TrajectoryConfig) withDefaults() TrajectoryConfig {
+	if c.NumTaxis <= 0 {
+		c.NumTaxis = 500
+	}
+	if c.MinLegs <= 0 {
+		c.MinLegs = 4
+	}
+	if c.MaxLegs < c.MinLegs {
+		c.MaxLegs = c.MinLegs + 8
+	}
+	if c.SpeedMin <= 0 {
+		c.SpeedMin = 0.15
+	}
+	if c.SpeedMax < c.SpeedMin {
+		c.SpeedMax = c.SpeedMin + 0.3
+	}
+	if c.LegDuration <= 0 {
+		c.LegDuration = 0.15
+	}
+	if c.HeadingJitter <= 0 {
+		c.HeadingJitter = math.Pi / 7
+	}
+	return c
+}
+
+// GenerateTrajectories produces the simulated taxi traces.
+func GenerateTrajectories(cfg TrajectoryConfig) []Trajectory {
+	cfg = cfg.withDefaults()
+	src := rng.New(cfg.Seed)
+	out := make([]Trajectory, cfg.NumTaxis)
+	for i := range out {
+		out[i] = generateOne(cfg, src.Split())
+	}
+	return out
+}
+
+func generateOne(cfg TrajectoryConfig, src *rng.Source) Trajectory {
+	legs := cfg.MinLegs + src.Intn(cfg.MaxLegs-cfg.MinLegs+1)
+	pos := src.SkewedPoint(skewCenter, 0.25, 0.7) // city-biased start
+	t := src.Uniform(0, 1)
+	heading := src.Angle()
+
+	tr := Trajectory{
+		Points: make([]geo.Point, 0, legs+1),
+		Times:  make([]float64, 0, legs+1),
+	}
+	tr.Points = append(tr.Points, pos)
+	tr.Times = append(tr.Times, t)
+	for l := 0; l < legs; l++ {
+		heading += src.Uniform(-cfg.HeadingJitter, cfg.HeadingJitter)
+		speed := src.Uniform(cfg.SpeedMin, cfg.SpeedMax)
+		dur := src.Uniform(0.5, 1.5) * cfg.LegDuration
+		next := pos.Add(geo.Pt(math.Cos(heading), math.Sin(heading)).Scale(speed * dur))
+		// Bounce off the data-space border: reflect the heading.
+		if next.X < 0 || next.X > 1 {
+			heading = math.Pi - heading
+			next.X = math.Max(0, math.Min(1, next.X))
+		}
+		if next.Y < 0 || next.Y > 1 {
+			heading = -heading
+			next.Y = math.Max(0, math.Min(1, next.Y))
+		}
+		pos = next
+		t += dur
+		tr.Points = append(tr.Points, pos)
+		tr.Times = append(tr.Times, t)
+	}
+	return tr
+}
+
+// WorkerFromTrajectory extracts a worker from a trajectory exactly as the
+// paper does (Section 8.2): the start point becomes the location, the
+// average speed becomes the velocity, and the minimal sector at the start
+// point containing all later points becomes the direction cone. Degenerate
+// trajectories (no movement) get an unconstrained cone and a minimum speed.
+// The worker's check-in time is the trajectory's first timestamp.
+func WorkerFromTrajectory(id model.WorkerID, tr Trajectory, confidence float64) model.Worker {
+	w := model.Worker{
+		ID:         id,
+		Confidence: confidence,
+		Dir:        geo.FullCircle,
+		Speed:      0.05,
+	}
+	if len(tr.Points) == 0 {
+		return w
+	}
+	w.Loc = tr.Points[0]
+	w.Depart = tr.Times[0]
+	if v := tr.AvgSpeed(); v > 0 {
+		w.Speed = v
+	}
+	if sector, ok := geo.EnclosingSector(tr.Points[0], tr.Points[1:]); ok {
+		w.Dir = sector
+	}
+	return w
+}
+
+// RealConfig assembles the full real-data-substitute instance: POIs become
+// task locations (uniformly sampled, as in the paper), trajectories become
+// workers, and the remaining attributes (confidences, valid periods, β)
+// follow the synthetic settings, mirroring Section 8.2.
+type RealConfig struct {
+	POI        POIConfig
+	Trajectory TrajectoryConfig
+	// Tasks is the number of POIs to sample as tasks (default: all).
+	Tasks int
+	// Synthetic supplies rt, confidence, and β ranges (velocities and
+	// angles come from the trajectories).
+	Synthetic Config
+}
+
+// GenerateReal builds the instance.
+func GenerateReal(cfg RealConfig) *model.Instance {
+	if cfg.Synthetic.StartHorizon == 0 {
+		cfg.Synthetic = Default()
+	}
+	src := rng.New(cfg.Synthetic.Seed + 7777)
+	pois := GeneratePOIs(cfg.POI)
+	if cfg.Tasks > 0 {
+		pois = SamplePOIs(pois, cfg.Tasks, src.Split())
+	}
+	trajs := GenerateTrajectories(cfg.Trajectory)
+
+	sc := cfg.Synthetic
+	in := &model.Instance{Beta: src.Uniform(sc.BetaMin, sc.BetaMax)}
+	tsrc := src.Split()
+	for i, loc := range pois {
+		st := tsrc.Uniform(0, horizonFor(sc, trajs))
+		rt := tsrc.Uniform(sc.RtMin, sc.RtMax)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:    model.TaskID(i),
+			Loc:   loc,
+			Start: st,
+			End:   st + rt,
+		})
+	}
+	wsrc := src.Split()
+	mean := (sc.PMin + sc.PMax) / 2
+	for j, tr := range trajs {
+		conf := wsrc.TruncNormal(mean, confSigma, sc.PMin, sc.PMax)
+		in.Workers = append(in.Workers, WorkerFromTrajectory(model.WorkerID(j), tr, conf))
+	}
+	return in
+}
+
+// horizonFor keeps task windows overlapping the trajectory time span so the
+// instance stays connected: trajectories start in [0, 1], so task starts
+// are confined to a small multiple of the rt range.
+func horizonFor(sc Config, trajs []Trajectory) float64 {
+	h := sc.RtMax
+	if h <= 0 {
+		h = 1
+	}
+	return math.Min(sc.StartHorizon, 1+h)
+}

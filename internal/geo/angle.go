@@ -1,0 +1,264 @@
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// TwoPi is the full circle in radians.
+const TwoPi = 2 * math.Pi
+
+// NormalizeAngle maps any angle to the canonical range [0, 2π).
+func NormalizeAngle(a float64) float64 {
+	a = math.Mod(a, TwoPi)
+	if a < 0 {
+		a += TwoPi
+	}
+	// math.Mod can return values equal to TwoPi after the correction when a
+	// is a tiny negative number; fold them back to 0.
+	if a >= TwoPi {
+		a = 0
+	}
+	return a
+}
+
+// AngularDiff returns the cyclic distance from a to b going counter-clockwise,
+// in [0, 2π). AngularDiff(a, a) == 0.
+func AngularDiff(a, b float64) float64 {
+	return NormalizeAngle(b - a)
+}
+
+// AbsAngularDiff returns the smallest absolute angle between directions a
+// and b, in [0, π].
+func AbsAngularDiff(a, b float64) float64 {
+	d := AngularDiff(a, b)
+	if d > math.Pi {
+		d = TwoPi - d
+	}
+	return d
+}
+
+// AngInterval is a counter-clockwise angular interval [Lo, Lo+Width] on the
+// circle, with Lo normalized to [0, 2π) and Width in [0, 2π]. A Width of 2π
+// covers the full circle (a worker free to move in any direction). The zero
+// value is the degenerate interval {0}.
+//
+// AngInterval models the worker direction cone [α−, α+] of Definition 2 in
+// the paper as Lo = α− and Width = α+ − α−.
+type AngInterval struct {
+	Lo    float64 // start angle in [0, 2π)
+	Width float64 // extent in [0, 2π]
+}
+
+// FullCircle is the unconstrained direction interval [0, 2π].
+var FullCircle = AngInterval{Lo: 0, Width: TwoPi}
+
+// NewAngInterval builds the counter-clockwise interval from lo to hi.
+// If hi < lo (after normalization) the interval wraps through 0.
+// NewAngInterval(a, a) is the degenerate single direction {a}; use
+// FullCircle for an unconstrained worker.
+func NewAngInterval(lo, hi float64) AngInterval {
+	lo = NormalizeAngle(lo)
+	w := AngularDiff(lo, NormalizeAngle(hi))
+	return AngInterval{Lo: lo, Width: w}
+}
+
+// AngIntervalAround builds the interval centered at mid with total width w
+// (clamped to [0, 2π]).
+func AngIntervalAround(mid, w float64) AngInterval {
+	if w >= TwoPi {
+		return FullCircle
+	}
+	if w < 0 {
+		w = 0
+	}
+	return AngInterval{Lo: NormalizeAngle(mid - w/2), Width: w}
+}
+
+// Hi returns the end angle of the interval, normalized to [0, 2π).
+func (iv AngInterval) Hi() float64 { return NormalizeAngle(iv.Lo + iv.Width) }
+
+// Mid returns the midpoint direction of the interval.
+func (iv AngInterval) Mid() float64 { return NormalizeAngle(iv.Lo + iv.Width/2) }
+
+// IsFull reports whether the interval covers the whole circle.
+func (iv AngInterval) IsFull() bool { return iv.Width >= TwoPi }
+
+// Contains reports whether direction a lies inside the interval
+// (boundaries inclusive).
+func (iv AngInterval) Contains(a float64) bool {
+	if iv.IsFull() {
+		return true
+	}
+	return AngularDiff(iv.Lo, a) <= iv.Width
+}
+
+// Intersects reports whether two angular intervals share at least one
+// direction.
+func (iv AngInterval) Intersects(other AngInterval) bool {
+	if iv.IsFull() || other.IsFull() {
+		return true
+	}
+	return AngularDiff(iv.Lo, other.Lo) <= iv.Width ||
+		AngularDiff(other.Lo, iv.Lo) <= other.Width
+}
+
+// Union returns the smallest interval containing both iv and other.
+// If the two intervals plus the gap exceed the circle the result is
+// FullCircle.
+func (iv AngInterval) Union(other AngInterval) AngInterval {
+	if iv.IsFull() || other.IsFull() {
+		return FullCircle
+	}
+	// Candidate 1: start at iv.Lo, extend to cover other.
+	w1 := math.Max(iv.Width, AngularDiff(iv.Lo, other.Lo)+other.Width)
+	// Candidate 2: start at other.Lo, extend to cover iv.
+	w2 := math.Max(other.Width, AngularDiff(other.Lo, iv.Lo)+iv.Width)
+	if w1 <= w2 {
+		if w1 >= TwoPi {
+			return FullCircle
+		}
+		return AngInterval{Lo: iv.Lo, Width: w1}
+	}
+	if w2 >= TwoPi {
+		return FullCircle
+	}
+	return AngInterval{Lo: other.Lo, Width: w2}
+}
+
+// String implements fmt.Stringer.
+func (iv AngInterval) String() string {
+	return fmt.Sprintf("[%.4f, %.4f]", iv.Lo, iv.Lo+iv.Width)
+}
+
+// EnclosingSector returns the minimal angular interval, anchored at origin,
+// that contains the bearings from origin to every point in pts. Points
+// coincident with origin are ignored. When pts is empty (or all coincident)
+// the zero interval is returned along with ok=false.
+//
+// This implements the worker-extraction step of Section 8.2: "we draw a
+// sector at the start point and contain all the other points of the
+// trajectory in the sector".
+func EnclosingSector(origin Point, pts []Point) (AngInterval, bool) {
+	bearings := make([]float64, 0, len(pts))
+	for _, p := range pts {
+		if p == origin {
+			continue
+		}
+		bearings = append(bearings, origin.Bearing(p))
+	}
+	if len(bearings) == 0 {
+		return AngInterval{}, false
+	}
+	return EnclosingAngles(bearings), true
+}
+
+// EnclosingAngles returns the minimal angular interval containing every
+// direction in angles. It runs in O(k log k) by sorting and finding the
+// largest gap between consecutive directions; the complement of that gap is
+// the minimal enclosing interval.
+func EnclosingAngles(angles []float64) AngInterval {
+	if len(angles) == 0 {
+		return AngInterval{}
+	}
+	sorted := make([]float64, len(angles))
+	for i, a := range angles {
+		sorted[i] = NormalizeAngle(a)
+	}
+	sortFloats(sorted)
+	// Find the largest gap between consecutive angles (cyclically).
+	bestGap := TwoPi - sorted[len(sorted)-1] + sorted[0] // wrap-around gap
+	bestIdx := 0                                         // interval starts at sorted[bestIdx]
+	for i := 1; i < len(sorted); i++ {
+		if gap := sorted[i] - sorted[i-1]; gap > bestGap {
+			bestGap = gap
+			bestIdx = i
+		}
+	}
+	n := len(sorted)
+	lo := sorted[bestIdx]
+	// The interval ends at the angle just before the gap. Computing the width
+	// with AngularDiff keeps Contains exactly consistent for the extreme
+	// input angles (avoiding one-ULP misses from the 2π−gap form).
+	hi := sorted[(bestIdx+n-1)%n]
+	w := AngularDiff(lo, hi)
+	if n == 1 {
+		w = 0
+	}
+	return AngInterval{Lo: lo, Width: w}
+}
+
+// BearingRange returns an angular interval guaranteed to contain the bearing
+// from every point of rectangle from to every point of rectangle to. It is
+// conservative (it may be wider than the exact hull) but never misses a
+// feasible bearing, which is what the grid index's cell-level pruning needs.
+//
+// When the rectangles intersect, any bearing is possible and FullCircle is
+// returned.
+func BearingRange(from, to Rect) AngInterval {
+	if from.Intersects(to) {
+		return FullCircle
+	}
+	fc := from.Corners()
+	tc := to.Corners()
+	bearings := make([]float64, 0, 16)
+	for _, a := range fc {
+		for _, b := range tc {
+			if a == b {
+				continue
+			}
+			bearings = append(bearings, a.Bearing(b))
+		}
+	}
+	if len(bearings) == 0 {
+		return FullCircle
+	}
+	return EnclosingAngles(bearings)
+}
+
+// sortFloats is insertion sort for small slices and falls back to a simple
+// heapsort for larger ones; it avoids pulling in package sort for a hot,
+// small-input path.
+func sortFloats(a []float64) {
+	if len(a) < 32 {
+		for i := 1; i < len(a); i++ {
+			v := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > v {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = v
+		}
+		return
+	}
+	heapSortFloats(a)
+}
+
+func heapSortFloats(a []float64) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		a[0], a[end] = a[end], a[0]
+		siftDown(a, 0, end)
+	}
+}
+
+func siftDown(a []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && a[child+1] > a[child] {
+			child++
+		}
+		if a[root] >= a[child] {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}

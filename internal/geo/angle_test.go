@@ -1,0 +1,300 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNormalizeAngle(t *testing.T) {
+	tests := []struct{ in, want float64 }{
+		{0, 0},
+		{TwoPi, 0},
+		{-math.Pi, math.Pi},
+		{3 * math.Pi, math.Pi},
+		{-0.1, TwoPi - 0.1},
+		{7 * TwoPi, 0},
+	}
+	for _, tc := range tests {
+		if got := NormalizeAngle(tc.in); !almostEq(got, tc.want, 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeAngleRange(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		got := NormalizeAngle(a)
+		return got >= 0 && got < TwoPi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAbsAngularDiff(t *testing.T) {
+	tests := []struct{ a, b, want float64 }{
+		{0, math.Pi / 2, math.Pi / 2},
+		{math.Pi / 2, 0, math.Pi / 2},
+		{0.1, TwoPi - 0.1, 0.2},
+		{0, math.Pi, math.Pi},
+	}
+	for _, tc := range tests {
+		if got := AbsAngularDiff(tc.a, tc.b); !almostEq(got, tc.want, 1e-9) {
+			t.Errorf("AbsAngularDiff(%v,%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestAngIntervalContains(t *testing.T) {
+	iv := NewAngInterval(math.Pi/4, 3*math.Pi/4)
+	for _, a := range []float64{math.Pi / 4, math.Pi / 2, 3 * math.Pi / 4} {
+		if !iv.Contains(a) {
+			t.Errorf("Contains(%v) = false, want true", a)
+		}
+	}
+	for _, a := range []float64{0, math.Pi, 3 * math.Pi / 2} {
+		if iv.Contains(a) {
+			t.Errorf("Contains(%v) = true, want false", a)
+		}
+	}
+}
+
+func TestAngIntervalWrapsZero(t *testing.T) {
+	iv := NewAngInterval(7*math.Pi/4, math.Pi/4) // wraps through 0
+	for _, a := range []float64{7 * math.Pi / 4, 0, math.Pi / 8, math.Pi / 4} {
+		if !iv.Contains(a) {
+			t.Errorf("wrapping interval should contain %v", a)
+		}
+	}
+	if iv.Contains(math.Pi) {
+		t.Error("wrapping interval should not contain π")
+	}
+	if !almostEq(iv.Width, math.Pi/2, 1e-9) {
+		t.Errorf("Width = %v, want %v", iv.Width, math.Pi/2)
+	}
+}
+
+func TestFullCircleContainsEverything(t *testing.T) {
+	f := func(a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) {
+			return true
+		}
+		return FullCircle.Contains(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngIntervalIntersects(t *testing.T) {
+	a := NewAngInterval(0, math.Pi/2)
+	tests := []struct {
+		name string
+		b    AngInterval
+		want bool
+	}{
+		{"overlapping", NewAngInterval(math.Pi/4, math.Pi), true},
+		{"disjoint", NewAngInterval(math.Pi, 3*math.Pi/2), false},
+		{"touching at end", NewAngInterval(math.Pi/2, math.Pi), true},
+		{"wrapping touches start", NewAngInterval(3*math.Pi/2, 0.0), true},
+		{"full circle", FullCircle, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := a.Intersects(tc.b); got != tc.want {
+				t.Errorf("Intersects = %v, want %v", got, tc.want)
+			}
+			if got := tc.b.Intersects(a); got != tc.want {
+				t.Errorf("Intersects (reversed) = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestAngIntervalIntersectsSymmetric(t *testing.T) {
+	f := func(lo1, w1, lo2, w2 float64) bool {
+		if anyBad(lo1, w1, lo2, w2) {
+			return true
+		}
+		a := AngInterval{NormalizeAngle(lo1), math.Mod(math.Abs(w1), TwoPi)}
+		b := AngInterval{NormalizeAngle(lo2), math.Mod(math.Abs(w2), TwoPi)}
+		return a.Intersects(b) == b.Intersects(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngIntervalUnionContainsBoth(t *testing.T) {
+	f := func(lo1, w1, lo2, w2 float64) bool {
+		if anyBad(lo1, w1, lo2, w2) {
+			return true
+		}
+		a := AngInterval{NormalizeAngle(lo1), math.Mod(math.Abs(w1), TwoPi)}
+		b := AngInterval{NormalizeAngle(lo2), math.Mod(math.Abs(w2), TwoPi)}
+		u := a.Union(b)
+		// Sample both intervals; every sample must be in the union.
+		for i := 0; i <= 8; i++ {
+			fa := a.Lo + a.Width*float64(i)/8
+			fb := b.Lo + b.Width*float64(i)/8
+			if !u.Contains(NormalizeAngle(fa)) || !u.Contains(NormalizeAngle(fb)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAngIntervalMidHi(t *testing.T) {
+	iv := NewAngInterval(3*math.Pi/2, math.Pi/2) // width π through 0
+	if !almostEq(iv.Width, math.Pi, 1e-9) {
+		t.Fatalf("Width = %v", iv.Width)
+	}
+	if !almostEq(iv.Mid(), 0, 1e-9) && !almostEq(iv.Mid(), TwoPi, 1e-9) {
+		t.Errorf("Mid = %v, want 0", iv.Mid())
+	}
+	if !almostEq(iv.Hi(), math.Pi/2, 1e-9) {
+		t.Errorf("Hi = %v", iv.Hi())
+	}
+}
+
+func TestEnclosingAnglesSimple(t *testing.T) {
+	iv := EnclosingAngles([]float64{0.1, 0.5, 1.0})
+	if !almostEq(iv.Lo, 0.1, 1e-9) || !almostEq(iv.Width, 0.9, 1e-9) {
+		t.Errorf("EnclosingAngles = %+v, want lo=0.1 width=0.9", iv)
+	}
+}
+
+func TestEnclosingAnglesWrap(t *testing.T) {
+	// Angles clustered around 0: the minimal interval must wrap.
+	iv := EnclosingAngles([]float64{TwoPi - 0.2, 0.1, 0.3})
+	if !almostEq(iv.Lo, TwoPi-0.2, 1e-9) || !almostEq(iv.Width, 0.5, 1e-9) {
+		t.Errorf("EnclosingAngles = %+v, want lo=2π−0.2 width=0.5", iv)
+	}
+}
+
+func TestEnclosingAnglesSingle(t *testing.T) {
+	iv := EnclosingAngles([]float64{1.5})
+	if iv.Lo != 1.5 || iv.Width != 0 {
+		t.Errorf("EnclosingAngles single = %+v", iv)
+	}
+}
+
+func TestEnclosingAnglesCoversAll(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + r.Intn(40)
+		angles := make([]float64, k)
+		for i := range angles {
+			angles[i] = r.Float64() * TwoPi
+		}
+		iv := EnclosingAngles(angles)
+		for _, a := range angles {
+			if !iv.Contains(a) {
+				t.Fatalf("trial %d: interval %+v misses angle %v", trial, iv, a)
+			}
+		}
+	}
+}
+
+func TestEnclosingAnglesMinimal(t *testing.T) {
+	// Check minimality against brute force over candidate start angles.
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		k := 2 + r.Intn(10)
+		angles := make([]float64, k)
+		for i := range angles {
+			angles[i] = r.Float64() * TwoPi
+		}
+		iv := EnclosingAngles(angles)
+		// Brute force: try each angle as the start and compute needed width.
+		best := TwoPi
+		for _, start := range angles {
+			var w float64
+			for _, a := range angles {
+				if d := AngularDiff(start, a); d > w {
+					w = d
+				}
+			}
+			if w < best {
+				best = w
+			}
+		}
+		if !almostEq(iv.Width, best, 1e-9) {
+			t.Fatalf("trial %d: width %v, brute-force best %v", trial, iv.Width, best)
+		}
+	}
+}
+
+func TestEnclosingSector(t *testing.T) {
+	origin := Pt(0, 0)
+	iv, ok := EnclosingSector(origin, []Point{Pt(1, 0), Pt(1, 1), Pt(0, 1)})
+	if !ok {
+		t.Fatal("EnclosingSector returned ok=false")
+	}
+	if !almostEq(iv.Lo, 0, 1e-9) || !almostEq(iv.Width, math.Pi/2, 1e-9) {
+		t.Errorf("EnclosingSector = %+v, want [0, π/2]", iv)
+	}
+	if _, ok := EnclosingSector(origin, []Point{origin}); ok {
+		t.Error("EnclosingSector of coincident points should return ok=false")
+	}
+	if _, ok := EnclosingSector(origin, nil); ok {
+		t.Error("EnclosingSector of no points should return ok=false")
+	}
+}
+
+func TestBearingRangeConservative(t *testing.T) {
+	from := NewRect(Pt(0, 0), Pt(1, 1))
+	to := NewRect(Pt(3, 3), Pt(4, 4))
+	iv := BearingRange(from, to)
+	// Sample interior points of both rects; all bearings must be covered.
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		p := Pt(r.Float64(), r.Float64())
+		q := Pt(3+r.Float64(), 3+r.Float64())
+		if !iv.Contains(p.Bearing(q)) {
+			t.Fatalf("BearingRange %+v misses bearing %v", iv, p.Bearing(q))
+		}
+	}
+}
+
+func TestBearingRangeIntersecting(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(1, 1))
+	b := NewRect(Pt(0.5, 0.5), Pt(2, 2))
+	if got := BearingRange(a, b); !got.IsFull() {
+		t.Errorf("BearingRange of intersecting rects = %+v, want full circle", got)
+	}
+}
+
+func TestSortFloats(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 5, 31, 32, 33, 100, 500} {
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = r.Float64()
+		}
+		sortFloats(a)
+		for i := 1; i < n; i++ {
+			if a[i-1] > a[i] {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+	}
+}
+
+func anyBad(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+// Package geo provides the planar geometry substrate used throughout the
+// RDB-SC system: points, rectangles, angles, angular intervals (the
+// "direction cones" of moving workers), and the rectangle-to-rectangle
+// distance and bearing bounds needed by the grid index's cell-level pruning.
+//
+// The data space follows the paper's convention of the unit square [0,1]²,
+// but nothing in this package assumes those bounds except where documented.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the 2D data space.
+type Point struct {
+	X, Y float64
+}
+
+// Pt is a convenience constructor for Point.
+func Pt(x, y float64) Point { return Point{X: x, Y: y} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and q. It avoids
+// the square root for comparisons and accumulation-heavy loops (KMeans).
+func (p Point) Dist2(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return dx*dx + dy*dy
+}
+
+// Add returns p translated by the vector q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector from q to p.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by f about the origin.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Bearing returns the angle of the ray from p to q, normalized to [0, 2π).
+// It is the direction a worker at p must move to reach q.
+func (p Point) Bearing(q Point) float64 {
+	return NormalizeAngle(math.Atan2(q.Y-p.Y, q.X-p.X))
+}
+
+// In reports whether p lies inside the unit square [0,1]².
+func (p Point) In(r Rect) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%.4f, %.4f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle, used for grid cells and bounding boxes.
+// Min is the lower-left corner and Max the upper-right corner.
+type Rect struct {
+	Min, Max Point
+}
+
+// UnitSquare is the paper's default data space [0,1]².
+var UnitSquare = Rect{Min: Point{0, 0}, Max: Point{1, 1}}
+
+// NewRect builds a rectangle from two opposite corners in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Center returns the rectangle's center point.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Width returns the horizontal extent of r.
+func (r Rect) Width() float64 { return r.Max.X - r.Min.X }
+
+// Height returns the vertical extent of r.
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Contains reports whether p lies in r (boundaries inclusive).
+func (r Rect) Contains(p Point) bool { return p.In(r) }
+
+// Corners returns the four corners of r in counter-clockwise order
+// starting at Min.
+func (r Rect) Corners() [4]Point {
+	return [4]Point{
+		r.Min,
+		{r.Max.X, r.Min.Y},
+		r.Max,
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Clamp returns the point of r closest to p.
+func (r Rect) Clamp(p Point) Point {
+	return Point{
+		X: math.Max(r.Min.X, math.Min(r.Max.X, p.X)),
+		Y: math.Max(r.Min.Y, math.Min(r.Max.Y, p.Y)),
+	}
+}
+
+// Intersects reports whether r and s share any point.
+func (r Rect) Intersects(s Rect) bool {
+	return r.Min.X <= s.Max.X && s.Min.X <= r.Max.X &&
+		r.Min.Y <= s.Max.Y && s.Min.Y <= r.Max.Y
+}
+
+// MinDist returns the minimum Euclidean distance between any point of r and
+// any point of s. It is zero when the rectangles intersect. The grid index
+// uses it for the cell-level travel-time lower bound (Section 7 of the
+// paper: t_min = d_min / v_max).
+func (r Rect) MinDist(s Rect) float64 {
+	dx := axisGap(r.Min.X, r.Max.X, s.Min.X, s.Max.X)
+	dy := axisGap(r.Min.Y, r.Max.Y, s.Min.Y, s.Max.Y)
+	return math.Hypot(dx, dy)
+}
+
+// MaxDist returns the maximum Euclidean distance between any point of r and
+// any point of s, i.e. the farthest corner-to-corner distance.
+func (r Rect) MaxDist(s Rect) float64 {
+	var max float64
+	for _, a := range r.Corners() {
+		for _, b := range s.Corners() {
+			if d := a.Dist(b); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+// MinDistPoint returns the minimum distance from point p to rectangle s.
+func (s Rect) MinDistPoint(p Point) float64 {
+	return p.Dist(s.Clamp(p))
+}
+
+// axisGap returns the gap between intervals [aLo,aHi] and [bLo,bHi] on one
+// axis, or 0 when they overlap.
+func axisGap(aLo, aHi, bLo, bHi float64) float64 {
+	switch {
+	case bLo > aHi:
+		return bLo - aHi
+	case aLo > bHi:
+		return aLo - bHi
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,197 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestDist(t *testing.T) {
+	tests := []struct {
+		name string
+		p, q Point
+		want float64
+	}{
+		{"same point", Pt(0.3, 0.7), Pt(0.3, 0.7), 0},
+		{"unit x", Pt(0, 0), Pt(1, 0), 1},
+		{"unit y", Pt(0, 0), Pt(0, 1), 1},
+		{"3-4-5", Pt(0, 0), Pt(3, 4), 5},
+		{"negative coords", Pt(-1, -1), Pt(2, 3), 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.p.Dist(tc.q); !almostEq(got, tc.want, 1e-12) {
+				t.Errorf("Dist(%v, %v) = %v, want %v", tc.p, tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestDist2MatchesDistSquared(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		// Confine to a sane range; astronomically large coordinates overflow
+		// d*d and are outside the [0,1]² data space anyway.
+		p := Pt(math.Mod(ax, 1e6), math.Mod(ay, 1e6))
+		q := Pt(math.Mod(bx, 1e6), math.Mod(by, 1e6))
+		if anyBad(p.X, p.Y, q.X, q.Y) {
+			return true
+		}
+		d := p.Dist(q)
+		return almostEq(p.Dist2(q), d*d, 1e-9*(1+d*d))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		p, q := Pt(ax, ay), Pt(bx, by)
+		return p.Dist(q) == q.Dist(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBearing(t *testing.T) {
+	o := Pt(0, 0)
+	tests := []struct {
+		name string
+		to   Point
+		want float64
+	}{
+		{"east", Pt(1, 0), 0},
+		{"north", Pt(0, 1), math.Pi / 2},
+		{"west", Pt(-1, 0), math.Pi},
+		{"south", Pt(0, -1), 3 * math.Pi / 2},
+		{"northeast", Pt(1, 1), math.Pi / 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := o.Bearing(tc.to); !almostEq(got, tc.want, 1e-12) {
+				t.Errorf("Bearing = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	p, q := Pt(1, 2), Pt(3, 5)
+	if got := p.Add(q); got != Pt(4, 7) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != Pt(2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != Pt(2, 4) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestNewRectNormalizesCorners(t *testing.T) {
+	r := NewRect(Pt(1, 0), Pt(0, 1))
+	if r.Min != Pt(0, 0) || r.Max != Pt(1, 1) {
+		t.Errorf("NewRect = %+v", r)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(1, 1))
+	for _, p := range []Point{Pt(0, 0), Pt(1, 1), Pt(0.5, 0.5), Pt(0, 1)} {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false, want true", p)
+		}
+	}
+	for _, p := range []Point{Pt(-0.1, 0.5), Pt(1.1, 0.5), Pt(0.5, -0.1), Pt(0.5, 1.1)} {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true, want false", p)
+		}
+	}
+}
+
+func TestRectClamp(t *testing.T) {
+	r := NewRect(Pt(0, 0), Pt(1, 1))
+	tests := []struct{ in, want Point }{
+		{Pt(0.5, 0.5), Pt(0.5, 0.5)},
+		{Pt(-1, 0.5), Pt(0, 0.5)},
+		{Pt(2, 2), Pt(1, 1)},
+		{Pt(0.5, -3), Pt(0.5, 0)},
+	}
+	for _, tc := range tests {
+		if got := r.Clamp(tc.in); got != tc.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRectMinDist(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(1, 1))
+	tests := []struct {
+		name string
+		b    Rect
+		want float64
+	}{
+		{"overlapping", NewRect(Pt(0.5, 0.5), Pt(2, 2)), 0},
+		{"touching", NewRect(Pt(1, 0), Pt(2, 1)), 0},
+		{"right gap", NewRect(Pt(2, 0), Pt(3, 1)), 1},
+		{"diag gap", NewRect(Pt(4, 5), Pt(6, 7)), 5}, // gap (3,4) -> 5
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := a.MinDist(tc.b); !almostEq(got, tc.want, 1e-12) {
+				t.Errorf("MinDist = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRectMinMaxDistOrder(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy float64) bool {
+		r := NewRect(Pt(math.Mod(ax, 10), math.Mod(ay, 10)), Pt(math.Mod(bx, 10), math.Mod(by, 10)))
+		s := NewRect(Pt(math.Mod(cx, 10), math.Mod(cy, 10)), Pt(math.Mod(dx, 10), math.Mod(dy, 10)))
+		return r.MinDist(s) <= s.MaxDist(r)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectMinDistBoundsSampledPoints(t *testing.T) {
+	// Any concrete point pair must be at distance within [MinDist, MaxDist].
+	r := NewRect(Pt(0, 0), Pt(1, 2))
+	s := NewRect(Pt(3, 3), Pt(5, 4))
+	lo, hi := r.MinDist(s), r.MaxDist(s)
+	for i := 0; i <= 4; i++ {
+		for j := 0; j <= 4; j++ {
+			p := Pt(float64(i)/4*r.Width(), float64(j)/4*r.Height())
+			q := Pt(3+float64(i)/4*s.Width(), 3+float64(j)/4*s.Height())
+			d := p.Dist(q)
+			if d < lo-1e-9 || d > hi+1e-9 {
+				t.Fatalf("point dist %v outside [%v, %v]", d, lo, hi)
+			}
+		}
+	}
+}
+
+func TestRectCenterAndSize(t *testing.T) {
+	r := NewRect(Pt(1, 2), Pt(3, 6))
+	if got := r.Center(); got != Pt(2, 4) {
+		t.Errorf("Center = %v", got)
+	}
+	if r.Width() != 2 || r.Height() != 4 {
+		t.Errorf("size = %v x %v", r.Width(), r.Height())
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := NewRect(Pt(0, 0), Pt(1, 1))
+	if !a.Intersects(NewRect(Pt(1, 1), Pt(2, 2))) {
+		t.Error("corner-touching rects should intersect")
+	}
+	if a.Intersects(NewRect(Pt(1.01, 1.01), Pt(2, 2))) {
+		t.Error("separated rects should not intersect")
+	}
+}

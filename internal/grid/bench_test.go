@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"testing"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/rng"
+)
+
+func benchInstance(m, n int) *model.Instance {
+	return randomInstance(rng.New(1), m, n, true)
+}
+
+func BenchmarkBuildIndex(b *testing.B) {
+	in := benchInstance(1000, 2000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewFromInstance(Config{}, in)
+	}
+}
+
+func BenchmarkInsertRemoveWorker(b *testing.B) {
+	in := benchInstance(500, 1000)
+	g := NewFromInstance(Config{}, in)
+	w := in.Workers[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.RemoveWorker(w.ID, w.Loc)
+		g.InsertWorker(w)
+	}
+}
+
+func BenchmarkInsertRemoveTask(b *testing.B) {
+	in := benchInstance(500, 1000)
+	g := NewFromInstance(Config{}, in)
+	t := in.Tasks[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.RemoveTask(t.ID, t.Loc)
+		g.InsertTask(t)
+	}
+}
+
+func BenchmarkValidPairsIndexed(b *testing.B) {
+	in := benchInstance(500, 1000)
+	g := NewFromInstance(Config{}, in)
+	g.ValidPairs() // warm tcell lists
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ValidPairs()
+	}
+}
+
+func BenchmarkValidPairsScan(b *testing.B) {
+	in := benchInstance(500, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.ValidPairs()
+	}
+}
+
+func BenchmarkEstimateFractalDim(b *testing.B) {
+	in := benchInstance(5000, 0)
+	pts := make([]geo.Point, len(in.Tasks))
+	for i, t := range in.Tasks {
+		pts[i] = t.Loc
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EstimateFractalDim(pts, geo.UnitSquare)
+	}
+}

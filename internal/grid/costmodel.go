@@ -1,0 +1,182 @@
+// Package grid implements the paper's cost-model-based spatial index,
+// RDB-SC-Grid (Section 7 and Appendix I): a uniform grid over the data
+// space whose cell side η is chosen by a cost model built on the workers'
+// maximum travel distance L_max and the correlation fractal dimension D₂ of
+// the task distribution [12]. Each cell keeps its tasks, its workers,
+// conservative bounds over their attributes, and a lazily maintained
+// tcell_list of cells reachable from it, which accelerates the retrieval of
+// valid task-worker pairs (Figure 17) and supports dynamic insertion and
+// deletion of tasks and workers.
+package grid
+
+import (
+	"math"
+	"sort"
+
+	"rdbsc/internal/geo"
+)
+
+// DefaultFractalDim is the uniform-data correlation dimension, used when no
+// history is available (Appendix I: "we can only assume that data are
+// uniform such that D₂ = 2").
+const DefaultFractalDim = 2.0
+
+// UpdateCost evaluates the index-update cost model of Eq. 22:
+//
+//	cost = π(L_max+η)²/η²  +  (N−1)·(π(L_max+η)²)^(D₂/2)
+//
+// the first term counting candidate cells in the reachable disk, the second
+// estimating (via the power law [12]) the tasks inside it.
+func UpdateCost(eta, lmax, d2 float64, n int) float64 {
+	if eta <= 0 {
+		return math.Inf(1)
+	}
+	area := math.Pi * (lmax + eta) * (lmax + eta)
+	return area/(eta*eta) + float64(n-1)*math.Pow(area, d2/2)
+}
+
+// SolveEta returns the cell side η minimizing the update cost, solving
+// Eq. 23:
+//
+//	(L_max+η)^(D₂−2) · η³ = 2·π^(1−D₂/2)·L_max / (D₂·(N−1))
+//
+// by bisection on the monotone left-hand side. For uniform data (D₂ = 2)
+// this reduces to the closed form η = (L_max/(N−1))^(1/3). Degenerate
+// inputs fall back to sensible defaults.
+func SolveEta(lmax, d2 float64, n int) float64 {
+	if lmax <= 0 || n < 2 {
+		return 0.1
+	}
+	if d2 <= 0 {
+		d2 = DefaultFractalDim
+	}
+	if math.Abs(d2-2) < 1e-9 {
+		return math.Cbrt(lmax / float64(n-1))
+	}
+	rhs := 2 * math.Pow(math.Pi, 1-d2/2) * lmax / (d2 * float64(n-1))
+	lhs := func(eta float64) float64 {
+		return math.Pow(lmax+eta, d2-2) * eta * eta * eta
+	}
+	// lhs is strictly increasing in η for η>0 (both factors increase for
+	// d2>2; for d2<2 the power term decreases slower than η³ grows: check
+	// endpoints and expand the bracket as needed).
+	lo, hi := 1e-9, 1.0
+	for lhs(hi) < rhs && hi < 1e6 {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if lhs(mid) < rhs {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// EstimateFractalDim estimates the correlation fractal dimension D₂ of a
+// point set by box counting [12]: for geometrically decreasing box sides r,
+// it computes S(r) = Σ_boxes (n_box/N)², whose log-log slope against r is
+// D₂. The estimate is clamped to [0.5, 2] (the planar range). Fewer than 16
+// points return the uniform default.
+func EstimateFractalDim(points []geo.Point, space geo.Rect) float64 {
+	n := len(points)
+	if n < 16 {
+		return DefaultFractalDim
+	}
+	w := math.Max(space.Width(), space.Height())
+	if w <= 0 {
+		return DefaultFractalDim
+	}
+	var logR, logS []float64
+	for _, div := range []int{4, 8, 16, 32, 64} {
+		r := w / float64(div)
+		counts := make(map[[2]int]int)
+		for _, p := range points {
+			ix := int((p.X - space.Min.X) / r)
+			iy := int((p.Y - space.Min.Y) / r)
+			counts[[2]int{ix, iy}]++
+		}
+		var s float64
+		for _, c := range counts {
+			f := float64(c) / float64(n)
+			s += f * f
+		}
+		if s <= 0 {
+			continue
+		}
+		logR = append(logR, math.Log(r))
+		logS = append(logS, math.Log(s))
+	}
+	if len(logR) < 2 {
+		return DefaultFractalDim
+	}
+	slope := linregSlope(logR, logS)
+	if math.IsNaN(slope) {
+		return DefaultFractalDim
+	}
+	return math.Min(2, math.Max(0.5, slope))
+}
+
+// MaxTravelDistance returns L_max: the maximum distance any worker can
+// cover before the latest task deadline, estimated from (speed, available
+// time) histories. Entries are speed·duration products; the paper collects
+// this from movement history.
+func MaxTravelDistance(speeds, durations []float64) float64 {
+	var lmax float64
+	for i := range speeds {
+		d := speeds[i]
+		if i < len(durations) {
+			d *= durations[i]
+		}
+		if d > lmax {
+			lmax = d
+		}
+	}
+	return lmax
+}
+
+// linregSlope returns the least-squares slope of y against x.
+func linregSlope(x, y []float64) float64 {
+	n := float64(len(x))
+	var sx, sy, sxx, sxy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// RecommendEta bundles the cost model: estimate D₂ from the task locations,
+// take L_max from the worker histories, and solve for η. The result is
+// clamped to keep the grid between 2×2 and 512×512 cells.
+func RecommendEta(taskLocs []geo.Point, lmax float64, space geo.Rect) float64 {
+	d2 := EstimateFractalDim(taskLocs, space)
+	eta := SolveEta(lmax, d2, len(taskLocs))
+	w := math.Max(space.Width(), space.Height())
+	minEta, maxEta := w/512, w/2
+	return math.Min(maxEta, math.Max(minEta, eta))
+}
+
+// CostCurve evaluates UpdateCost over a geometric sweep of η values,
+// returning (η, cost) pairs sorted by η. Used by the ablation bench and the
+// CLI to show the cost-model shape.
+func CostCurve(lmax, d2 float64, n, points int) (etas, costs []float64) {
+	if points <= 0 {
+		points = 16
+	}
+	for i := 0; i < points; i++ {
+		eta := 0.002 * math.Pow(1.5, float64(i))
+		etas = append(etas, eta)
+		costs = append(costs, UpdateCost(eta, lmax, d2, n))
+	}
+	sort.Float64s(etas)
+	return etas, costs
+}

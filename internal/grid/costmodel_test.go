@@ -1,0 +1,157 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/rng"
+)
+
+func TestSolveEtaUniformClosedForm(t *testing.T) {
+	// D₂ = 2 must reduce to η = (L_max/(N−1))^(1/3).
+	got := SolveEta(0.3, 2, 10001)
+	want := math.Cbrt(0.3 / 10000)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("SolveEta = %v, want %v", got, want)
+	}
+}
+
+func TestSolveEtaSatisfiesEq23(t *testing.T) {
+	for _, d2 := range []float64{1.2, 1.5, 1.8} {
+		lmax, n := 0.3, 5001
+		eta := SolveEta(lmax, d2, n)
+		lhs := math.Pow(lmax+eta, d2-2) * eta * eta * eta
+		rhs := 2 * math.Pow(math.Pi, 1-d2/2) * lmax / (d2 * float64(n-1))
+		if math.Abs(lhs-rhs) > 1e-9*math.Max(1, rhs) {
+			t.Errorf("D₂=%v: Eq.23 residual lhs=%v rhs=%v", d2, lhs, rhs)
+		}
+	}
+}
+
+func TestSolveEtaDegenerate(t *testing.T) {
+	if got := SolveEta(0, 2, 100); got != 0.1 {
+		t.Errorf("zero Lmax: %v, want fallback 0.1", got)
+	}
+	if got := SolveEta(0.3, 2, 1); got != 0.1 {
+		t.Errorf("N=1: %v, want fallback 0.1", got)
+	}
+	if got := SolveEta(0.3, -1, 1000); got <= 0 {
+		t.Errorf("negative D₂ fallback: %v", got)
+	}
+}
+
+func TestSolveEtaNearOptimal(t *testing.T) {
+	// The solved η should (approximately) minimize the cost model: no point
+	// on a fine sweep should beat it by more than a few percent.
+	for _, d2 := range []float64{1.4, 2.0} {
+		lmax, n := 0.2, 20001
+		eta := SolveEta(lmax, d2, n)
+		best := UpdateCost(eta, lmax, d2, n)
+		for f := 0.25; f <= 4; f *= 1.1 {
+			c := UpdateCost(eta*f, lmax, d2, n)
+			if c < best*0.97 {
+				t.Errorf("D₂=%v: η·%0.2f has cost %v < solved cost %v", d2, f, c, best)
+			}
+		}
+	}
+}
+
+func TestUpdateCostShape(t *testing.T) {
+	if !math.IsInf(UpdateCost(0, 0.3, 2, 100), 1) {
+		t.Error("zero η must cost infinity")
+	}
+	// Cost decreases then increases around the optimum: check the sweep has
+	// an interior minimum.
+	etas, costs := CostCurve(0.3, 2, 10000, 24)
+	if len(etas) != 24 {
+		t.Fatalf("CostCurve length %d", len(etas))
+	}
+	minIdx := 0
+	for i, c := range costs {
+		if c < costs[minIdx] {
+			minIdx = i
+		}
+	}
+	if minIdx == 0 || minIdx == len(costs)-1 {
+		t.Errorf("cost minimum at sweep boundary (idx %d); model shape suspicious", minIdx)
+	}
+}
+
+func TestEstimateFractalDimUniform(t *testing.T) {
+	src := rng.New(42)
+	pts := make([]geo.Point, 20000)
+	for i := range pts {
+		pts[i] = src.UniformPoint(geo.UnitSquare)
+	}
+	d2 := EstimateFractalDim(pts, geo.UnitSquare)
+	if d2 < 1.8 || d2 > 2.0 {
+		t.Errorf("uniform D₂ = %v, want ≈2", d2)
+	}
+}
+
+func TestEstimateFractalDimLine(t *testing.T) {
+	// Points on a line have correlation dimension ≈1.
+	src := rng.New(43)
+	pts := make([]geo.Point, 20000)
+	for i := range pts {
+		x := src.Float64()
+		pts[i] = geo.Pt(x, x)
+	}
+	d2 := EstimateFractalDim(pts, geo.UnitSquare)
+	if d2 < 0.8 || d2 > 1.3 {
+		t.Errorf("line D₂ = %v, want ≈1", d2)
+	}
+}
+
+func TestEstimateFractalDimClusteredBelowUniform(t *testing.T) {
+	src := rng.New(44)
+	uniform := make([]geo.Point, 10000)
+	clustered := make([]geo.Point, 10000)
+	for i := range uniform {
+		uniform[i] = src.UniformPoint(geo.UnitSquare)
+		clustered[i] = src.SkewedPoint(geo.Pt(0.5, 0.5), 0.05, 0.95)
+	}
+	du := EstimateFractalDim(uniform, geo.UnitSquare)
+	dc := EstimateFractalDim(clustered, geo.UnitSquare)
+	if dc >= du {
+		t.Errorf("clustered D₂ (%v) should be below uniform (%v)", dc, du)
+	}
+}
+
+func TestEstimateFractalDimTinyInput(t *testing.T) {
+	if got := EstimateFractalDim(nil, geo.UnitSquare); got != DefaultFractalDim {
+		t.Errorf("empty input D₂ = %v, want default", got)
+	}
+}
+
+func TestMaxTravelDistance(t *testing.T) {
+	got := MaxTravelDistance([]float64{0.1, 0.5, 0.2}, []float64{2, 1, 3})
+	if math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("MaxTravelDistance = %v, want 0.6", got)
+	}
+	if got := MaxTravelDistance(nil, nil); got != 0 {
+		t.Errorf("empty = %v", got)
+	}
+}
+
+func TestRecommendEtaClamps(t *testing.T) {
+	// Huge Lmax with few tasks would explode η; clamping keeps the grid
+	// between 2×2 and 512×512.
+	eta := RecommendEta(nil, 100, geo.UnitSquare)
+	if eta > 0.5 || eta < 1.0/512 {
+		t.Errorf("RecommendEta = %v outside clamp range", eta)
+	}
+}
+
+func TestLinregSlope(t *testing.T) {
+	// y = 3x + 1 exactly.
+	x := []float64{0, 1, 2, 3}
+	y := []float64{1, 4, 7, 10}
+	if got := linregSlope(x, y); math.Abs(got-3) > 1e-12 {
+		t.Errorf("slope = %v, want 3", got)
+	}
+	if !math.IsNaN(linregSlope([]float64{1, 1}, []float64{2, 3})) {
+		t.Error("degenerate x should give NaN")
+	}
+}

@@ -1,0 +1,479 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// Config configures the RDB-SC-Grid index.
+type Config struct {
+	// Eta is the cell side length. Zero derives it from the cost model via
+	// RecommendEta at construction time.
+	Eta float64
+	// Space is the indexed data space (default: the unit square).
+	Space geo.Rect
+	// Lmax is the maximum worker travel distance used by the cost model
+	// when Eta is zero (default 0.3).
+	Lmax float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Space.Width() <= 0 || c.Space.Height() <= 0 {
+		c.Space = geo.UnitSquare
+	}
+	if c.Lmax <= 0 {
+		c.Lmax = 0.3
+	}
+	return c
+}
+
+// cell is one grid cell: its tasks and workers plus conservative bounds
+// used for the cell-level pruning of Section 7.
+type cell struct {
+	id   int
+	rect geo.Rect
+
+	tasks   map[model.TaskID]model.Task
+	workers map[model.WorkerID]model.Worker
+
+	// Worker bounds (valid when len(workers) > 0 and !workerDirty).
+	vmax        float64         // fastest worker speed in the cell
+	departMin   float64         // earliest worker departure
+	dirUnion    geo.AngInterval // union of worker direction cones
+	workerDirty bool
+
+	// Task bounds (valid when len(tasks) > 0 and !taskDirty).
+	smin, emax float64
+	taskDirty  bool
+
+	// tcell_list: ids of cells holding tasks reachable from this cell,
+	// rebuilt lazily when stale.
+	tcells           []int
+	tcellEpoch       uint64 // task epoch at build time
+	tcellWorkerStale bool
+
+	// taskList caches the cell's tasks sorted by ID for deterministic,
+	// allocation-free iteration during retrieval.
+	taskList      []model.Task
+	taskListDirty bool
+}
+
+// Grid is the RDB-SC-Grid index over a fixed data space. It is not safe
+// for concurrent mutation.
+type Grid struct {
+	cfg    Config
+	eta    float64
+	nx, ny int
+	cells  []*cell
+
+	taskEpoch  uint64 // bumped on every task insert/delete
+	numTasks   int
+	numWorkers int
+
+	opt model.Options
+}
+
+// New builds an empty index. When cfg.Eta is zero and tasks are later
+// inserted, the cost model cannot see them in advance, so New derives η
+// from cfg.Lmax with the uniform-data closed form; NewFromInstance is the
+// preferred constructor when data is available up front.
+func New(cfg Config, opt model.Options) *Grid {
+	cfg = cfg.withDefaults()
+	eta := cfg.Eta
+	if eta <= 0 {
+		eta = RecommendEta(nil, cfg.Lmax, cfg.Space)
+	}
+	g := &Grid{cfg: cfg, eta: eta, opt: opt}
+	g.nx = int(math.Ceil(cfg.Space.Width() / eta))
+	g.ny = int(math.Ceil(cfg.Space.Height() / eta))
+	if g.nx < 1 {
+		g.nx = 1
+	}
+	if g.ny < 1 {
+		g.ny = 1
+	}
+	g.cells = make([]*cell, g.nx*g.ny)
+	for i := range g.cells {
+		cx, cy := i%g.nx, i/g.nx
+		min := geo.Pt(cfg.Space.Min.X+float64(cx)*eta, cfg.Space.Min.Y+float64(cy)*eta)
+		max := geo.Pt(math.Min(min.X+eta, cfg.Space.Max.X), math.Min(min.Y+eta, cfg.Space.Max.Y))
+		g.cells[i] = &cell{
+			id:      i,
+			rect:    geo.Rect{Min: min, Max: max},
+			tasks:   make(map[model.TaskID]model.Task),
+			workers: make(map[model.WorkerID]model.Worker),
+		}
+	}
+	return g
+}
+
+// NewFromInstance builds the index for an instance, deriving η from the
+// cost model (task fractal dimension + worker travel bound) when
+// cfg.Eta == 0, then bulk-loads all tasks and workers.
+func NewFromInstance(cfg Config, in *model.Instance) *Grid {
+	cfg = cfg.withDefaults()
+	if cfg.Eta <= 0 {
+		locs := make([]geo.Point, len(in.Tasks))
+		var maxEnd float64
+		for i, t := range in.Tasks {
+			locs[i] = t.Loc
+			if t.End > maxEnd {
+				maxEnd = t.End
+			}
+		}
+		var lmax float64
+		for _, w := range in.Workers {
+			if d := w.Speed * math.Max(0, maxEnd-w.Depart); d > lmax {
+				lmax = d
+			}
+		}
+		// Travel beyond the data-space diagonal is equivalent to covering it.
+		lmax = math.Min(lmax, cfg.Space.Min.Dist(cfg.Space.Max))
+		if lmax <= 0 {
+			lmax = cfg.Lmax
+		}
+		cfg.Eta = RecommendEta(locs, lmax, cfg.Space)
+	}
+	g := New(cfg, in.Opt)
+	for _, t := range in.Tasks {
+		g.InsertTask(t)
+	}
+	for _, w := range in.Workers {
+		g.InsertWorker(w)
+	}
+	return g
+}
+
+// Eta returns the cell side in use.
+func (g *Grid) Eta() float64 { return g.eta }
+
+// Dims returns the grid dimensions (columns, rows).
+func (g *Grid) Dims() (nx, ny int) { return g.nx, g.ny }
+
+// Len returns the indexed task and worker counts.
+func (g *Grid) Len() (tasks, workers int) { return g.numTasks, g.numWorkers }
+
+// cellAt returns the cell containing p, clamping out-of-space points to the
+// border cells.
+func (g *Grid) cellAt(p geo.Point) *cell {
+	cx := int((p.X - g.cfg.Space.Min.X) / g.eta)
+	cy := int((p.Y - g.cfg.Space.Min.Y) / g.eta)
+	cx = clampInt(cx, 0, g.nx-1)
+	cy = clampInt(cy, 0, g.ny-1)
+	return g.cells[cy*g.nx+cx]
+}
+
+// InsertTask adds (or replaces) a task.
+func (g *Grid) InsertTask(t model.Task) {
+	c := g.cellAt(t.Loc)
+	if _, exists := c.tasks[t.ID]; !exists {
+		g.numTasks++
+	}
+	c.tasks[t.ID] = t
+	c.taskListDirty = true
+	if len(c.tasks) == 1 || c.taskDirty {
+		c.recomputeTaskBounds()
+	} else {
+		if t.Start < c.smin {
+			c.smin = t.Start
+		}
+		if t.End > c.emax {
+			c.emax = t.End
+		}
+	}
+	g.taskEpoch++
+}
+
+// RemoveTask deletes a task by id and location (the location determines the
+// cell). It reports whether the task was present.
+func (g *Grid) RemoveTask(id model.TaskID, loc geo.Point) bool {
+	c := g.cellAt(loc)
+	if _, ok := c.tasks[id]; !ok {
+		return false
+	}
+	delete(c.tasks, id)
+	g.numTasks--
+	c.taskDirty = true
+	c.taskListDirty = true
+	g.taskEpoch++
+	return true
+}
+
+// sortedTasks returns the cell's tasks ordered by ID, cached between
+// mutations.
+func (c *cell) sortedTasks() []model.Task {
+	if c.taskListDirty || len(c.taskList) != len(c.tasks) {
+		c.taskList = c.taskList[:0]
+		for _, t := range c.tasks {
+			c.taskList = append(c.taskList, t)
+		}
+		sort.Slice(c.taskList, func(i, j int) bool { return c.taskList[i].ID < c.taskList[j].ID })
+		c.taskListDirty = false
+	}
+	return c.taskList
+}
+
+// InsertWorker adds (or replaces) a worker.
+func (g *Grid) InsertWorker(w model.Worker) {
+	c := g.cellAt(w.Loc)
+	if _, exists := c.workers[w.ID]; !exists {
+		g.numWorkers++
+	}
+	c.workers[w.ID] = w
+	if len(c.workers) == 1 || c.workerDirty {
+		c.recomputeWorkerBounds()
+	} else {
+		if w.Speed > c.vmax {
+			c.vmax = w.Speed
+		}
+		if w.Depart < c.departMin {
+			c.departMin = w.Depart
+		}
+		c.dirUnion = c.dirUnion.Union(w.Dir)
+	}
+	c.tcellWorkerStale = true
+}
+
+// RemoveWorker deletes a worker by id and location. It reports whether the
+// worker was present.
+func (g *Grid) RemoveWorker(id model.WorkerID, loc geo.Point) bool {
+	c := g.cellAt(loc)
+	if _, ok := c.workers[id]; !ok {
+		return false
+	}
+	delete(c.workers, id)
+	g.numWorkers--
+	c.workerDirty = true
+	c.tcellWorkerStale = true
+	return true
+}
+
+func (c *cell) recomputeTaskBounds() {
+	c.smin, c.emax = math.Inf(1), math.Inf(-1)
+	for _, t := range c.tasks {
+		if t.Start < c.smin {
+			c.smin = t.Start
+		}
+		if t.End > c.emax {
+			c.emax = t.End
+		}
+	}
+	c.taskDirty = false
+}
+
+func (c *cell) recomputeWorkerBounds() {
+	c.vmax, c.departMin = 0, math.Inf(1)
+	first := true
+	for _, w := range c.workers {
+		if w.Speed > c.vmax {
+			c.vmax = w.Speed
+		}
+		if w.Depart < c.departMin {
+			c.departMin = w.Depart
+		}
+		if first {
+			c.dirUnion = w.Dir
+			first = false
+		} else {
+			c.dirUnion = c.dirUnion.Union(w.Dir)
+		}
+	}
+	c.workerDirty = false
+}
+
+// tcellList returns the (possibly rebuilt) list of cells holding at least
+// one task plausibly reachable from cell c, applying the two cell-level
+// pruning rules of Section 7:
+//
+//  1. travel time: the earliest possible arrival departMin + d_min/v_max
+//     must not exceed the latest task deadline e_max of the target cell
+//     (the paper prints e_max(cell_i); the deadline that matters is the
+//     target's, which is what we use);
+//  2. direction: the bearing range from c's rectangle to the target's must
+//     intersect the union of c's worker direction cones.
+func (g *Grid) tcellList(c *cell) []int {
+	if len(c.workers) == 0 {
+		return nil
+	}
+	if c.workerDirty {
+		c.recomputeWorkerBounds()
+	}
+	if c.tcells != nil && c.tcellEpoch == g.taskEpoch && !c.tcellWorkerStale {
+		return c.tcells
+	}
+	c.tcells = c.tcells[:0]
+	for _, tc := range g.cells {
+		if len(tc.tasks) == 0 {
+			continue
+		}
+		if tc.taskDirty {
+			tc.recomputeTaskBounds()
+		}
+		if !g.cellReachable(c, tc) {
+			continue
+		}
+		c.tcells = append(c.tcells, tc.id)
+	}
+	c.tcellEpoch = g.taskEpoch
+	c.tcellWorkerStale = false
+	return c.tcells
+}
+
+// cellReachable is the conservative cell-to-cell feasibility test.
+func (g *Grid) cellReachable(from, to *cell) bool {
+	if from.vmax <= 0 {
+		return false
+	}
+	dmin := from.rect.MinDist(to.rect)
+	tmin := from.departMin + dmin/from.vmax
+	if tmin > to.emax {
+		return false
+	}
+	if from.id != to.id && !from.rect.Intersects(to.rect) {
+		if !geo.BearingRange(from.rect, to.rect).Intersects(from.dirUnion) {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidPairs retrieves every valid task-worker pair using the index: for
+// each populated worker cell, only tasks in its tcell_list cells are
+// considered, and each worker additionally prunes whole cells with its own
+// travel-time and bearing bounds before any exact per-pair check. The
+// result is equivalent to model.Instance.ValidPairs (the "without index"
+// baseline of Figure 17(b)).
+func (g *Grid) ValidPairs() []model.Pair {
+	var pairs []model.Pair
+	for _, c := range g.cells {
+		if len(c.workers) == 0 {
+			continue
+		}
+		tl := g.tcellList(c)
+		for _, wid := range sortedWorkerIDs(c.workers) {
+			w := c.workers[wid]
+			for _, ti := range tl {
+				tc := g.cells[ti]
+				if !g.workerCellReachable(w, tc) {
+					continue
+				}
+				for _, t := range tc.sortedTasks() {
+					if arr, ok := model.Arrival(t, w, g.opt); ok {
+						pairs = append(pairs, model.Pair{
+							Task:    t.ID,
+							Worker:  w.ID,
+							Arrival: arr,
+							Angle:   model.ApproachAngle(t, w),
+						})
+					}
+				}
+			}
+		}
+	}
+	return pairs
+}
+
+// workerCellReachable prunes a target cell for one concrete worker: the
+// worker's earliest possible arrival at the cell must not exceed the cell's
+// latest deadline, and the bearing range from the worker's location to the
+// cell must intersect its direction cone. Both tests are conservative
+// (never prune a reachable task).
+func (g *Grid) workerCellReachable(w model.Worker, tc *cell) bool {
+	dmin := tc.rect.MinDistPoint(w.Loc)
+	if w.Depart+dmin/w.Speed > tc.emax {
+		return false
+	}
+	if dmin > 0 && !w.Dir.IsFull() {
+		br := geo.BearingRange(geo.Rect{Min: w.Loc, Max: w.Loc}, tc.rect)
+		if !br.Intersects(w.Dir) {
+			return false
+		}
+	}
+	return true
+}
+
+// CandidateTasks returns the tasks a single worker might reach, using the
+// cell-level pruning only (no exact per-pair check). Useful for incremental
+// assignment where a worker's options must be listed quickly.
+func (g *Grid) CandidateTasks(w model.Worker) []model.Task {
+	c := g.cellAt(w.Loc)
+	// The worker may not be indexed; use a transient bound of just itself.
+	probe := &cell{
+		id:        c.id,
+		rect:      c.rect,
+		vmax:      w.Speed,
+		departMin: w.Depart,
+		dirUnion:  w.Dir,
+	}
+	var out []model.Task
+	for _, tc := range g.cells {
+		if len(tc.tasks) == 0 {
+			continue
+		}
+		if tc.taskDirty {
+			tc.recomputeTaskBounds()
+		}
+		if !g.cellReachable(probe, tc) {
+			continue
+		}
+		out = append(out, tc.sortedTasks()...)
+	}
+	return out
+}
+
+// Stats summarizes the index state for diagnostics.
+type Stats struct {
+	Eta            float64
+	Cells          int
+	OccupiedTask   int
+	OccupiedWorker int
+	Tasks          int
+	Workers        int
+}
+
+// Stats returns current index statistics.
+func (g *Grid) Stats() Stats {
+	st := Stats{Eta: g.eta, Cells: len(g.cells), Tasks: g.numTasks, Workers: g.numWorkers}
+	for _, c := range g.cells {
+		if len(c.tasks) > 0 {
+			st.OccupiedTask++
+		}
+		if len(c.workers) > 0 {
+			st.OccupiedWorker++
+		}
+	}
+	return st
+}
+
+// String implements fmt.Stringer.
+func (g *Grid) String() string {
+	return fmt.Sprintf("RDB-SC-Grid η=%.4f %dx%d cells (%d tasks, %d workers)",
+		g.eta, g.nx, g.ny, g.numTasks, g.numWorkers)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func sortedWorkerIDs(m map[model.WorkerID]model.Worker) []model.WorkerID {
+	ids := make([]model.WorkerID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sortWIDs(ids)
+	return ids
+}
+
+func sortWIDs(ids []model.WorkerID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

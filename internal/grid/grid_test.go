@@ -1,0 +1,214 @@
+package grid
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/rng"
+)
+
+// randomInstance draws a mixed instance with constrained workers.
+func randomInstance(src *rng.Source, m, n int, narrow bool) *model.Instance {
+	in := &model.Instance{Beta: 0.5}
+	for i := 0; i < m; i++ {
+		st := src.Float64()
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:    model.TaskID(i),
+			Loc:   src.UniformPoint(geo.UnitSquare),
+			Start: st,
+			End:   st + 0.5 + src.Float64(),
+		})
+	}
+	for j := 0; j < n; j++ {
+		dir := geo.FullCircle
+		if narrow {
+			dir = geo.AngIntervalAround(src.Angle(), math.Pi/5)
+		}
+		in.Workers = append(in.Workers, model.Worker{
+			ID:         model.WorkerID(j),
+			Loc:        src.UniformPoint(geo.UnitSquare),
+			Speed:      0.2 + src.Float64(),
+			Dir:        dir,
+			Confidence: 0.9,
+			Depart:     src.Float64() * 0.3,
+		})
+	}
+	return in
+}
+
+func pairKey(p model.Pair) [2]int32 { return [2]int32{int32(p.Task), int32(p.Worker)} }
+
+func sortedKeys(pairs []model.Pair) [][2]int32 {
+	ks := make([][2]int32, len(pairs))
+	for i, p := range pairs {
+		ks[i] = pairKey(p)
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i][0] != ks[j][0] {
+			return ks[i][0] < ks[j][0]
+		}
+		return ks[i][1] < ks[j][1]
+	})
+	return ks
+}
+
+func TestValidPairsMatchBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		narrow bool
+		eta    float64
+	}{
+		{"full circle auto eta", false, 0},
+		{"narrow cones auto eta", true, 0},
+		{"narrow cones tiny eta", true, 0.05},
+		{"narrow cones huge eta", true, 0.5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			in := randomInstance(rng.New(77), 60, 120, tc.narrow)
+			g := NewFromInstance(Config{Eta: tc.eta}, in)
+			got := sortedKeys(g.ValidPairs())
+			want := sortedKeys(in.ValidPairs())
+			if len(got) != len(want) {
+				t.Fatalf("pair count %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("pair %d: %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestValidPairsAfterDynamicUpdates(t *testing.T) {
+	src := rng.New(88)
+	in := randomInstance(src, 30, 60, true)
+	g := NewFromInstance(Config{}, in)
+
+	// Remove a third of tasks and workers, insert some new ones, and check
+	// equivalence with a rebuilt brute-force instance.
+	cur := &model.Instance{Beta: in.Beta, Opt: in.Opt}
+	for i, tk := range in.Tasks {
+		if i%3 == 0 {
+			if !g.RemoveTask(tk.ID, tk.Loc) {
+				t.Fatalf("RemoveTask(%d) failed", tk.ID)
+			}
+			continue
+		}
+		cur.Tasks = append(cur.Tasks, tk)
+	}
+	for i, w := range in.Workers {
+		if i%3 == 1 {
+			if !g.RemoveWorker(w.ID, w.Loc) {
+				t.Fatalf("RemoveWorker(%d) failed", w.ID)
+			}
+			continue
+		}
+		cur.Workers = append(cur.Workers, w)
+	}
+	for i := 0; i < 10; i++ {
+		tk := model.Task{
+			ID:    model.TaskID(1000 + i),
+			Loc:   src.UniformPoint(geo.UnitSquare),
+			Start: 0,
+			End:   2,
+		}
+		g.InsertTask(tk)
+		cur.Tasks = append(cur.Tasks, tk)
+		w := model.Worker{
+			ID:         model.WorkerID(1000 + i),
+			Loc:        src.UniformPoint(geo.UnitSquare),
+			Speed:      0.5,
+			Dir:        geo.FullCircle,
+			Confidence: 0.9,
+		}
+		g.InsertWorker(w)
+		cur.Workers = append(cur.Workers, w)
+	}
+
+	got := sortedKeys(g.ValidPairs())
+	want := sortedKeys(cur.ValidPairs())
+	if len(got) != len(want) {
+		t.Fatalf("after updates: pair count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("after updates: pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	tasks, workers := g.Len()
+	if tasks != len(cur.Tasks) || workers != len(cur.Workers) {
+		t.Errorf("Len = (%d, %d), want (%d, %d)", tasks, workers, len(cur.Tasks), len(cur.Workers))
+	}
+}
+
+func TestRemoveMissing(t *testing.T) {
+	g := New(Config{}, model.Options{})
+	if g.RemoveTask(1, geo.Pt(0.5, 0.5)) {
+		t.Error("RemoveTask on empty grid returned true")
+	}
+	if g.RemoveWorker(1, geo.Pt(0.5, 0.5)) {
+		t.Error("RemoveWorker on empty grid returned true")
+	}
+}
+
+func TestInsertReplacesById(t *testing.T) {
+	g := New(Config{}, model.Options{})
+	tk := model.Task{ID: 1, Loc: geo.Pt(0.5, 0.5), Start: 0, End: 1}
+	g.InsertTask(tk)
+	g.InsertTask(tk) // same id, same cell: replace
+	if tasks, _ := g.Len(); tasks != 1 {
+		t.Errorf("duplicate insert counted twice: %d", tasks)
+	}
+}
+
+func TestCandidateTasksSupersetOfExact(t *testing.T) {
+	in := randomInstance(rng.New(99), 40, 1, true)
+	g := NewFromInstance(Config{}, in)
+	w := in.Workers[0]
+	cand := g.CandidateTasks(w)
+	inCand := make(map[model.TaskID]bool, len(cand))
+	for _, tk := range cand {
+		inCand[tk.ID] = true
+	}
+	for _, tk := range in.Tasks {
+		if model.CanReach(tk, w, in.Opt) && !inCand[tk.ID] {
+			t.Errorf("CandidateTasks missed reachable task %d", tk.ID)
+		}
+	}
+}
+
+func TestOutOfSpacePointsClampToBorder(t *testing.T) {
+	g := New(Config{}, model.Options{})
+	g.InsertTask(model.Task{ID: 1, Loc: geo.Pt(1.5, -0.5), Start: 0, End: 1})
+	if tasks, _ := g.Len(); tasks != 1 {
+		t.Error("out-of-space task not indexed")
+	}
+	if !g.RemoveTask(1, geo.Pt(1.5, -0.5)) {
+		t.Error("out-of-space task not removable")
+	}
+}
+
+func TestGridStatsAndString(t *testing.T) {
+	in := randomInstance(rng.New(5), 20, 20, false)
+	g := NewFromInstance(Config{Eta: 0.25}, in)
+	st := g.Stats()
+	if st.Tasks != 20 || st.Workers != 20 {
+		t.Errorf("stats counts: %+v", st)
+	}
+	if st.Cells != 16 {
+		t.Errorf("cells = %d, want 16 for η=0.25", st.Cells)
+	}
+	if st.OccupiedTask == 0 || st.OccupiedWorker == 0 {
+		t.Errorf("occupancy: %+v", st)
+	}
+	if g.String() == "" {
+		t.Error("empty String()")
+	}
+	if nx, ny := g.Dims(); nx != 4 || ny != 4 {
+		t.Errorf("Dims = %dx%d", nx, ny)
+	}
+}

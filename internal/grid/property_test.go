@@ -1,0 +1,162 @@
+package grid
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/rng"
+)
+
+// refIndex is a trivially correct reference for the grid: a flat list of
+// live tasks and workers with brute-force retrieval.
+type refIndex struct {
+	tasks   map[model.TaskID]model.Task
+	workers map[model.WorkerID]model.Worker
+	opt     model.Options
+}
+
+func newRefIndex(opt model.Options) *refIndex {
+	return &refIndex{
+		tasks:   make(map[model.TaskID]model.Task),
+		workers: make(map[model.WorkerID]model.Worker),
+		opt:     opt,
+	}
+}
+
+func (r *refIndex) pairs() [][2]int32 {
+	var out [][2]int32
+	for _, t := range r.tasks {
+		for _, w := range r.workers {
+			if model.CanReach(t, w, r.opt) {
+				out = append(out, [2]int32{int32(t.ID), int32(w.ID)})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// TestGridMatchesReferenceUnderRandomOps drives both the grid and the
+// reference with the same random operation sequences and demands identical
+// retrieval results at every step — the model-based property test for the
+// dynamic maintenance of Section 7.2.
+func TestGridMatchesReferenceUnderRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		src := rng.New(seed)
+		opt := model.Options{WaitAllowed: src.Bernoulli(0.5)}
+		g := New(Config{Eta: 0.1 + src.Float64()*0.3}, opt)
+		ref := newRefIndex(opt)
+
+		for step := 0; step < 60; step++ {
+			switch src.Intn(4) {
+			case 0: // insert task
+				tk := model.Task{
+					ID:    model.TaskID(src.Intn(20)),
+					Loc:   src.UniformPoint(geo.UnitSquare),
+					Start: src.Float64(),
+					End:   1 + src.Float64(),
+				}
+				// Same-ID re-insertions must use the same cell, i.e. the
+				// same location; mimic by removing any prior copy first.
+				if old, ok := ref.tasks[tk.ID]; ok {
+					g.RemoveTask(old.ID, old.Loc)
+				}
+				g.InsertTask(tk)
+				ref.tasks[tk.ID] = tk
+			case 1: // remove task
+				for id, tk := range ref.tasks {
+					g.RemoveTask(id, tk.Loc)
+					delete(ref.tasks, id)
+					break
+				}
+			case 2: // insert worker
+				w := model.Worker{
+					ID:         model.WorkerID(src.Intn(20)),
+					Loc:        src.UniformPoint(geo.UnitSquare),
+					Speed:      0.2 + src.Float64(),
+					Dir:        geo.AngIntervalAround(src.Angle(), math.Pi/4),
+					Confidence: 0.9,
+					Depart:     src.Float64() * 0.5,
+				}
+				if old, ok := ref.workers[w.ID]; ok {
+					g.RemoveWorker(old.ID, old.Loc)
+				}
+				g.InsertWorker(w)
+				ref.workers[w.ID] = w
+			case 3: // remove worker
+				for id, w := range ref.workers {
+					g.RemoveWorker(id, w.Loc)
+					delete(ref.workers, id)
+					break
+				}
+			}
+			if step%10 == 9 {
+				got := pairKeysOf(g.ValidPairs())
+				want := ref.pairs()
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func pairKeysOf(pairs []model.Pair) [][2]int32 {
+	out := make([][2]int32, len(pairs))
+	for i, p := range pairs {
+		out[i] = [2]int32{int32(p.Task), int32(p.Worker)}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Counts in the grid must track the reference exactly.
+func TestGridCountsUnderChurn(t *testing.T) {
+	src := rng.New(123)
+	g := New(Config{}, model.Options{})
+	live := map[model.TaskID]model.Task{}
+	for i := 0; i < 300; i++ {
+		if src.Bernoulli(0.6) {
+			tk := model.Task{
+				ID:    model.TaskID(i),
+				Loc:   src.UniformPoint(geo.UnitSquare),
+				Start: 0, End: 1,
+			}
+			g.InsertTask(tk)
+			live[tk.ID] = tk
+		} else {
+			for id, tk := range live {
+				g.RemoveTask(id, tk.Loc)
+				delete(live, id)
+				break
+			}
+		}
+		tasks, _ := g.Len()
+		if tasks != len(live) {
+			t.Fatalf("step %d: grid says %d tasks, reference %d", i, tasks, len(live))
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package hardness makes the paper's NP-hardness proof executable
+// (Lemma 3.2, Appendix B): it reduces the number partition problem to
+// RDB-SC and maps RDB-SC answers back to partitions.
+//
+// Given positive integers A = {a_1..a_N}, the reduction builds two tasks
+// and N workers, all collinear, with task periods so generous that every
+// worker reaches both tasks (total_STD is constant zero in this geometry,
+// so only the reliability goal matters). Worker i gets confidence
+// p_i = 1 − e^(−a_i / a_max), so its additive reliability contribution is
+// exactly −ln(1−p_i) = a_i / a_max. Maximizing the minimum per-task R is
+// then exactly minimizing the partition discrepancy.
+//
+// The package also includes a small exact partitioner (used by tests and
+// demos to verify the mapping) and the direct objective correspondence
+// check.
+package hardness
+
+import (
+	"math"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// Reduction holds the constructed RDB-SC instance together with the
+// mapping metadata.
+type Reduction struct {
+	Numbers []int64
+	AMax    int64
+	In      *model.Instance
+}
+
+// Reduce builds the RDB-SC instance for a number-partition input. It
+// panics on empty or non-positive inputs.
+func Reduce(numbers []int64) *Reduction {
+	if len(numbers) == 0 {
+		panic("hardness: empty input")
+	}
+	var amax int64
+	for _, a := range numbers {
+		if a <= 0 {
+			panic("hardness: numbers must be positive")
+		}
+		if a > amax {
+			amax = a
+		}
+	}
+	in := &model.Instance{
+		Beta: 0.5,
+		// Two tasks on the same line as all workers (Figure 21), with
+		// periods long enough for every worker.
+		Tasks: []model.Task{
+			{ID: 0, Loc: geo.Pt(0, 0), Start: 0, End: 1e9},
+			{ID: 1, Loc: geo.Pt(1, 0), Start: 0, End: 1e9},
+		},
+	}
+	for i, a := range numbers {
+		p := 1 - math.Exp(-float64(a)/float64(amax))
+		in.Workers = append(in.Workers, model.Worker{
+			ID:         model.WorkerID(i),
+			Loc:        geo.Pt(0.5, 0), // on the segment between the tasks
+			Speed:      1,
+			Dir:        geo.FullCircle,
+			Confidence: p,
+		})
+	}
+	return &Reduction{Numbers: numbers, AMax: amax, In: in}
+}
+
+// PartitionOf maps an RDB-SC assignment back to a partition: side[i] is 0
+// when worker i serves task 0, 1 otherwise (unassigned workers land on
+// side 1, preserving totality).
+func (r *Reduction) PartitionOf(a *model.Assignment) []int {
+	side := make([]int, len(r.Numbers))
+	for i := range side {
+		if a.TaskOf(model.WorkerID(i)) == 0 {
+			side[i] = 0
+		} else {
+			side[i] = 1
+		}
+	}
+	return side
+}
+
+// Discrepancy returns |Σ_{side 0} a_i − Σ_{side 1} a_i| for a partition.
+func Discrepancy(numbers []int64, side []int) int64 {
+	var d int64
+	for i, a := range numbers {
+		if side[i] == 0 {
+			d += a
+		} else {
+			d -= a
+		}
+	}
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// MinRScaled returns the smaller of the two per-task additive reliability
+// sums, rescaled by a_max — i.e. min(Σ_{side 0} a_i, Σ_{side 1} a_i) in the
+// original integers (up to floating error). It demonstrates the objective
+// correspondence of the proof: maximizing RDB-SC's min R is minimizing the
+// partition discrepancy.
+func (r *Reduction) MinRScaled(a *model.Assignment) float64 {
+	sums := [2]float64{}
+	for i := range r.Numbers {
+		w := r.In.Workers[i]
+		rterm := -math.Log1p(-w.Confidence) // = a_i / a_max by construction
+		t := a.TaskOf(model.WorkerID(i))
+		if t == 0 {
+			sums[0] += rterm
+		} else {
+			sums[1] += rterm
+		}
+	}
+	return math.Min(sums[0], sums[1]) * float64(r.AMax)
+}
+
+// BestPartition solves number partition exactly by meet-free enumeration
+// (2^N), returning the side labels of one optimal partition. It panics for
+// N > 24.
+func BestPartition(numbers []int64) []int {
+	n := len(numbers)
+	if n > 24 {
+		panic("hardness: exact partition limited to 24 numbers")
+	}
+	var total int64
+	for _, a := range numbers {
+		total += a
+	}
+	bestMask, bestD := 0, int64(math.MaxInt64)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var s int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s += numbers[i]
+			}
+		}
+		d := 2*s - total
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			bestD, bestMask = d, mask
+		}
+	}
+	side := make([]int, n)
+	for i := 0; i < n; i++ {
+		if bestMask&(1<<uint(i)) != 0 {
+			side[i] = 0
+		} else {
+			side[i] = 1
+		}
+	}
+	return side
+}
+
+// AssignmentFor converts a partition into the corresponding RDB-SC
+// assignment of the reduction.
+func (r *Reduction) AssignmentFor(side []int) *model.Assignment {
+	a := model.NewAssignment()
+	for i, s := range side {
+		a.Assign(model.WorkerID(i), model.TaskID(s))
+	}
+	return a
+}

@@ -1,0 +1,151 @@
+package hardness
+
+import (
+	"math"
+	"testing"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/objective"
+	"rdbsc/internal/rng"
+)
+
+func TestReduceBuildsValidInstance(t *testing.T) {
+	r := Reduce([]int64{3, 1, 4, 1, 5})
+	if err := r.In.Validate(); err != nil {
+		t.Fatalf("reduced instance invalid: %v", err)
+	}
+	if len(r.In.Tasks) != 2 || len(r.In.Workers) != 5 {
+		t.Fatalf("shape: %d tasks, %d workers", len(r.In.Tasks), len(r.In.Workers))
+	}
+	// Every worker must reach both tasks (the proof's premise).
+	p := core.NewProblem(r.In)
+	for _, w := range r.In.Workers {
+		if p.Degree(w.ID) != 2 {
+			t.Errorf("worker %d degree %d, want 2", w.ID, p.Degree(w.ID))
+		}
+	}
+}
+
+func TestReducePanicsOnBadInput(t *testing.T) {
+	for _, bad := range [][]int64{nil, {0}, {-3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reduce(%v) should panic", bad)
+				}
+			}()
+			Reduce(bad)
+		}()
+	}
+}
+
+// The heart of Appendix B: each worker's additive reliability term equals
+// a_i / a_max, so per-task R sums are partition sums.
+func TestConfidenceEncodesNumbers(t *testing.T) {
+	nums := []int64{7, 2, 9, 4}
+	r := Reduce(nums)
+	for i, w := range r.In.Workers {
+		got := objective.RTerm(w.Confidence) * float64(r.AMax)
+		if math.Abs(got-float64(nums[i])) > 1e-9 {
+			t.Errorf("worker %d encodes %v, want %d", i, got, nums[i])
+		}
+	}
+}
+
+func TestObjectiveCorrespondence(t *testing.T) {
+	// For every partition of a small input: RDB-SC's min-R (rescaled)
+	// equals min(S0, S1) = (total − discrepancy)/2.
+	nums := []int64{3, 1, 4, 1, 5, 9}
+	var total int64
+	for _, a := range nums {
+		total += a
+	}
+	r := Reduce(nums)
+	for mask := 0; mask < 1<<uint(len(nums)); mask++ {
+		side := make([]int, len(nums))
+		for i := range nums {
+			if mask&(1<<uint(i)) != 0 {
+				side[i] = 1
+			}
+		}
+		a := r.AssignmentFor(side)
+		minR := r.MinRScaled(a)
+		want := float64(total-Discrepancy(nums, side)) / 2
+		if math.Abs(minR-want) > 1e-6 {
+			t.Fatalf("mask %b: minR %v, want %v", mask, minR, want)
+		}
+	}
+}
+
+func TestBestPartition(t *testing.T) {
+	tests := []struct {
+		nums []int64
+		want int64 // optimal discrepancy
+	}{
+		{[]int64{1, 1}, 0},
+		{[]int64{3, 1, 1, 1}, 0},
+		{[]int64{5, 1, 1}, 3},
+		{[]int64{2}, 2},
+		{[]int64{4, 5, 6, 7, 8}, 0}, // 4+5+6 = 7+8
+	}
+	for _, tc := range tests {
+		side := BestPartition(tc.nums)
+		if got := Discrepancy(tc.nums, side); got != tc.want {
+			t.Errorf("BestPartition(%v) discrepancy = %d, want %d", tc.nums, got, tc.want)
+		}
+	}
+}
+
+func TestBestPartitionPanicsOnHugeInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for N > 24")
+		}
+	}()
+	BestPartition(make([]int64, 25))
+}
+
+// Solving the reduced RDB-SC instance with the exhaustive oracle recovers
+// an optimal partition: the reduction is answer-preserving.
+func TestReductionRoundTripThroughSolver(t *testing.T) {
+	for _, nums := range [][]int64{
+		{3, 1, 4, 1, 5},
+		{10, 9, 8, 7, 6, 5},
+		{2, 2, 2, 2},
+	} {
+		r := Reduce(nums)
+		p := core.NewProblem(r.In)
+		ex := core.NewExhaustive()
+		if !ex.CanSolve(p) {
+			t.Fatalf("population too large for %v", nums)
+		}
+		res := ex.Solve(p, rng.New(1))
+		side := r.PartitionOf(res.Assignment)
+		got := Discrepancy(nums, side)
+		want := Discrepancy(nums, BestPartition(nums))
+		if got != want {
+			t.Errorf("nums %v: solver discrepancy %d, optimal %d", nums, got, want)
+		}
+	}
+}
+
+// The approximation algorithms, run on reduced instances, become partition
+// heuristics; they must at least produce valid partitions and reasonable
+// discrepancies.
+func TestApproximationsOnReducedInstances(t *testing.T) {
+	nums := []int64{12, 7, 5, 9, 3, 8, 4}
+	var total int64
+	for _, a := range nums {
+		total += a
+	}
+	r := Reduce(nums)
+	p := core.NewProblem(r.In)
+	for _, s := range []core.Solver{core.NewGreedy(), core.NewSampling(), core.NewDC()} {
+		res := s.Solve(p, rng.New(2))
+		side := r.PartitionOf(res.Assignment)
+		d := Discrepancy(nums, side)
+		if d > total {
+			t.Errorf("%s: discrepancy %d exceeds total %d", s.Name(), d, total)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package kmeans implements 2D k-means clustering with k-means++ seeding
+// and Lloyd iterations, plus the balanced two-way split that the paper's
+// BG_Partition step needs ("partition tasks into two even sets T1 and T2
+// with KMeans", Section 6.2).
+package kmeans
+
+import (
+	"math"
+	"sort"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/rng"
+)
+
+// Result holds a clustering: the final centroids and, for every input
+// point, the index of its centroid.
+type Result struct {
+	Centroids []geo.Point
+	Labels    []int
+	// Iterations is the number of Lloyd iterations performed.
+	Iterations int
+}
+
+// Options tunes the clustering.
+type Options struct {
+	// MaxIterations bounds the Lloyd loop (default 64).
+	MaxIterations int
+	// Tolerance stops the loop when no centroid moves farther than this
+	// (default 1e-9).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 64
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-9
+	}
+	return o
+}
+
+// Cluster partitions points into k clusters. It panics if k <= 0. When
+// there are fewer points than clusters, the surplus clusters are empty
+// (their centroids duplicate seeded points).
+func Cluster(points []geo.Point, k int, src *rng.Source, opt Options) Result {
+	if k <= 0 {
+		panic("kmeans: k must be positive")
+	}
+	opt = opt.withDefaults()
+	n := len(points)
+	res := Result{Labels: make([]int, n)}
+	if n == 0 {
+		res.Centroids = make([]geo.Point, k)
+		return res
+	}
+	res.Centroids = seedPlusPlus(points, k, src)
+
+	for iter := 0; iter < opt.MaxIterations; iter++ {
+		res.Iterations = iter + 1
+		// Assignment step.
+		for i, p := range points {
+			res.Labels[i] = nearest(res.Centroids, p)
+		}
+		// Update step.
+		sums := make([]geo.Point, k)
+		counts := make([]int, k)
+		for i, p := range points {
+			l := res.Labels[i]
+			sums[l] = sums[l].Add(p)
+			counts[l]++
+		}
+		moved := 0.0
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			next := sums[c].Scale(1 / float64(counts[c]))
+			if d := next.Dist(res.Centroids[c]); d > moved {
+				moved = d
+			}
+			res.Centroids[c] = next
+		}
+		if moved <= opt.Tolerance {
+			break
+		}
+	}
+	// Final assignment against the last centroids.
+	for i, p := range points {
+		res.Labels[i] = nearest(res.Centroids, p)
+	}
+	return res
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ strategy:
+// the first uniformly, each subsequent one with probability proportional to
+// its squared distance to the nearest chosen centroid.
+func seedPlusPlus(points []geo.Point, k int, src *rng.Source) []geo.Point {
+	n := len(points)
+	centroids := make([]geo.Point, 0, k)
+	centroids = append(centroids, points[src.Intn(n)])
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			d := p.Dist2(last)
+			if len(centroids) == 1 || d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+		if total == 0 {
+			// All points coincide with chosen centroids; duplicate one.
+			centroids = append(centroids, points[src.Intn(n)])
+			continue
+		}
+		target := src.Float64() * total
+		idx := n - 1
+		acc := 0.0
+		for i := range points {
+			acc += d2[i]
+			if acc >= target {
+				idx = i
+				break
+			}
+		}
+		centroids = append(centroids, points[idx])
+	}
+	return centroids
+}
+
+func nearest(centroids []geo.Point, p geo.Point) int {
+	best, bestD := 0, math.Inf(1)
+	for c, ct := range centroids {
+		if d := p.Dist2(ct); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// BalancedBisect splits points into two groups of sizes ⌈n/2⌉ and ⌊n/2⌋
+// that respect spatial locality: a 2-means clustering provides the split
+// direction, then points are ordered by the difference of their distances
+// to the two centroids and the first half goes to side 0. This realizes
+// BG_Partition's "two almost even subsets based on their locations".
+//
+// The returned slice assigns 0 or 1 to every point; side 0 receives the
+// ⌈n/2⌉ points closest (in the relative sense) to centroid 0.
+func BalancedBisect(points []geo.Point, src *rng.Source) []int {
+	n := len(points)
+	side := make([]int, n)
+	if n <= 1 {
+		return side
+	}
+	res := Cluster(points, 2, src, Options{})
+	c0, c1 := res.Centroids[0], res.Centroids[1]
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by affinity to c0 (distance difference); stable tie-break by
+	// index keeps the split deterministic.
+	sort.SliceStable(idx, func(a, b int) bool {
+		da := points[idx[a]].Dist2(c0) - points[idx[a]].Dist2(c1)
+		db := points[idx[b]].Dist2(c0) - points[idx[b]].Dist2(c1)
+		return da < db
+	})
+	half := (n + 1) / 2
+	for rank, i := range idx {
+		if rank < half {
+			side[i] = 0
+		} else {
+			side[i] = 1
+		}
+	}
+	return side
+}
+
+// Inertia returns the within-cluster sum of squared distances of a
+// clustering result, the quantity Lloyd iterations minimize. Useful for
+// tests and diagnostics.
+func Inertia(points []geo.Point, res Result) float64 {
+	var s float64
+	for i, p := range points {
+		s += p.Dist2(res.Centroids[res.Labels[i]])
+	}
+	return s
+}

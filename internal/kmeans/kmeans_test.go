@@ -1,0 +1,176 @@
+package kmeans
+
+import (
+	"testing"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/rng"
+)
+
+// twoBlobs returns points in two well-separated clusters.
+func twoBlobs(src *rng.Source, nPer int) []geo.Point {
+	pts := make([]geo.Point, 0, 2*nPer)
+	for i := 0; i < nPer; i++ {
+		pts = append(pts, geo.Pt(0.1+0.05*src.Float64(), 0.1+0.05*src.Float64()))
+	}
+	for i := 0; i < nPer; i++ {
+		pts = append(pts, geo.Pt(0.8+0.05*src.Float64(), 0.8+0.05*src.Float64()))
+	}
+	return pts
+}
+
+func TestClusterSeparatesBlobs(t *testing.T) {
+	src := rng.New(1)
+	pts := twoBlobs(src, 50)
+	res := Cluster(pts, 2, src, Options{})
+	// All points of one blob must share a label, and the blobs must differ.
+	first := res.Labels[0]
+	for i := 1; i < 50; i++ {
+		if res.Labels[i] != first {
+			t.Fatalf("blob 1 split: label[%d]=%d, want %d", i, res.Labels[i], first)
+		}
+	}
+	second := res.Labels[50]
+	if second == first {
+		t.Fatal("blobs not separated")
+	}
+	for i := 51; i < 100; i++ {
+		if res.Labels[i] != second {
+			t.Fatalf("blob 2 split at %d", i)
+		}
+	}
+}
+
+func TestClusterSingleCluster(t *testing.T) {
+	src := rng.New(2)
+	pts := twoBlobs(src, 20)
+	res := Cluster(pts, 1, src, Options{})
+	for _, l := range res.Labels {
+		if l != 0 {
+			t.Fatal("k=1 must label everything 0")
+		}
+	}
+	// Centroid must be the mean.
+	var mean geo.Point
+	for _, p := range pts {
+		mean = mean.Add(p)
+	}
+	mean = mean.Scale(1 / float64(len(pts)))
+	if res.Centroids[0].Dist(mean) > 1e-9 {
+		t.Errorf("centroid %v, want mean %v", res.Centroids[0], mean)
+	}
+}
+
+func TestClusterEmptyInput(t *testing.T) {
+	src := rng.New(3)
+	res := Cluster(nil, 3, src, Options{})
+	if len(res.Centroids) != 3 || len(res.Labels) != 0 {
+		t.Errorf("empty input: %+v", res)
+	}
+}
+
+func TestClusterPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for k=0")
+		}
+	}()
+	Cluster([]geo.Point{geo.Pt(0, 0)}, 0, rng.New(4), Options{})
+}
+
+func TestClusterFewerPointsThanK(t *testing.T) {
+	src := rng.New(5)
+	pts := []geo.Point{geo.Pt(0.1, 0.1), geo.Pt(0.9, 0.9)}
+	res := Cluster(pts, 5, src, Options{})
+	if len(res.Centroids) != 5 {
+		t.Fatalf("centroids = %d, want 5", len(res.Centroids))
+	}
+	for i, p := range pts {
+		if res.Centroids[res.Labels[i]].Dist(p) > 1e-9 {
+			t.Errorf("point %d not matched to its own centroid", i)
+		}
+	}
+}
+
+func TestClusterIdenticalPoints(t *testing.T) {
+	src := rng.New(6)
+	pts := make([]geo.Point, 10)
+	for i := range pts {
+		pts[i] = geo.Pt(0.5, 0.5)
+	}
+	res := Cluster(pts, 3, src, Options{})
+	if got := Inertia(pts, res); got != 0 {
+		t.Errorf("Inertia of identical points = %v, want 0", got)
+	}
+}
+
+func TestLloydNeverIncreasesInertia(t *testing.T) {
+	// Run clustering with increasing iteration caps; inertia must be
+	// non-increasing in the cap (Lloyd's monotonicity).
+	pts := twoBlobs(rng.New(7), 40)
+	prev := -1.0
+	for _, iters := range []int{1, 2, 4, 8, 16, 32} {
+		res := Cluster(pts, 3, rng.New(99), Options{MaxIterations: iters})
+		in := Inertia(pts, res)
+		if prev >= 0 && in > prev+1e-9 {
+			t.Fatalf("inertia increased from %v to %v at cap %d", prev, in, iters)
+		}
+		prev = in
+	}
+}
+
+func TestBalancedBisectEven(t *testing.T) {
+	src := rng.New(8)
+	for _, n := range []int{0, 1, 2, 3, 10, 101, 500} {
+		pts := make([]geo.Point, n)
+		for i := range pts {
+			pts[i] = src.UniformPoint(geo.UnitSquare)
+		}
+		side := BalancedBisect(pts, src)
+		c0, c1 := 0, 0
+		for _, s := range side {
+			switch s {
+			case 0:
+				c0++
+			case 1:
+				c1++
+			default:
+				t.Fatalf("n=%d: invalid side %d", n, s)
+			}
+		}
+		if d := c0 - c1; d < 0 || d > 1 {
+			t.Errorf("n=%d: unbalanced split %d/%d", n, c0, c1)
+		}
+	}
+}
+
+func TestBalancedBisectRespectsLocality(t *testing.T) {
+	src := rng.New(9)
+	pts := twoBlobs(src, 30) // perfectly balanced blobs
+	side := BalancedBisect(pts, src)
+	// Each blob must be wholly on one side.
+	for i := 1; i < 30; i++ {
+		if side[i] != side[0] {
+			t.Fatalf("blob 1 split by balanced bisect")
+		}
+	}
+	for i := 31; i < 60; i++ {
+		if side[i] != side[30] {
+			t.Fatalf("blob 2 split by balanced bisect")
+		}
+	}
+	if side[0] == side[30] {
+		t.Fatal("blobs on same side")
+	}
+}
+
+func TestBalancedBisectDeterministic(t *testing.T) {
+	pts := twoBlobs(rng.New(10), 25)
+	a := BalancedBisect(pts, rng.New(42))
+	b := BalancedBisect(pts, rng.New(42))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("BalancedBisect not deterministic for equal seeds")
+		}
+	}
+}

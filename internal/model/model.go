@@ -1,0 +1,327 @@
+// Package model defines the RDB-SC domain objects from Section 2 of the
+// paper: time-constrained spatial tasks (Definition 1), dynamically moving
+// workers (Definition 2), the validity of a task-worker pair (condition 1 of
+// Definition 4: the worker's arrival time must fall inside the task's valid
+// period, and the task must lie within the worker's direction cone), and
+// assignments of workers to tasks.
+//
+// Time is measured in hours (the paper's expiration ranges rt are fractions
+// of a day) and space in the unit square [0,1]². Worker speeds are in data
+// space units per hour, matching Table 2's velocity ranges.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"rdbsc/internal/geo"
+)
+
+// TaskID identifies a task. IDs are indices into the instance's task slice
+// when produced by the generators, but any distinct values work.
+type TaskID int32
+
+// WorkerID identifies a worker.
+type WorkerID int32
+
+// NoTask marks an unassigned worker in an Assignment.
+const NoTask TaskID = -1
+
+// Task is a time-constrained spatial task (Definition 1): it must be
+// accomplished at location Loc within the valid period [Start, End].
+type Task struct {
+	ID    TaskID
+	Loc   geo.Point
+	Start float64 // s_i: beginning of the valid period
+	End   float64 // e_i: expiration of the valid period
+}
+
+// Duration returns the length of the task's valid period, e_i − s_i.
+func (t Task) Duration() float64 { return t.End - t.Start }
+
+// Valid reports whether the task is well formed.
+func (t Task) Valid() error {
+	if t.End < t.Start {
+		return fmt.Errorf("model: task %d: End %v before Start %v", t.ID, t.End, t.Start)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (t Task) String() string {
+	return fmt.Sprintf("t%d@%v[%.2f,%.2f]", t.ID, t.Loc, t.Start, t.End)
+}
+
+// Worker is a dynamically moving worker (Definition 2): currently at Loc,
+// moving with speed Speed, willing to move only in directions inside Dir,
+// and completing an accepted task successfully with probability Confidence.
+// Depart is the worker's check-in time: travel starts then.
+type Worker struct {
+	ID         WorkerID
+	Loc        geo.Point
+	Speed      float64         // v_j > 0, data-space units per hour
+	Dir        geo.AngInterval // [α−_j, α+_j]; FullCircle when unconstrained
+	Confidence float64         // p_j ∈ [0,1]
+	Depart     float64         // check-in time (hours)
+}
+
+// Valid reports whether the worker is well formed.
+func (w Worker) Valid() error {
+	if w.Speed <= 0 {
+		return fmt.Errorf("model: worker %d: non-positive speed %v", w.ID, w.Speed)
+	}
+	if w.Confidence < 0 || w.Confidence > 1 {
+		return fmt.Errorf("model: worker %d: confidence %v outside [0,1]", w.ID, w.Confidence)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (w Worker) String() string {
+	return fmt.Sprintf("w%d@%v v=%.2f p=%.2f", w.ID, w.Loc, w.Speed, w.Confidence)
+}
+
+// TravelTime returns the time the worker needs to reach p, dist/Speed.
+func (w Worker) TravelTime(p geo.Point) float64 {
+	return w.Loc.Dist(p) / w.Speed
+}
+
+// Options configures the reachability semantics.
+type Options struct {
+	// WaitAllowed relaxes condition 1 of Definition 4: a worker arriving
+	// before the task's Start may wait at the location, so the pair is valid
+	// whenever arrival ≤ End, with the effective arrival clamped to Start.
+	// The paper's strict semantics (arrival ∈ [Start, End]) is the default.
+	WaitAllowed bool
+}
+
+// Arrival returns the worker's effective arrival time at task t and whether
+// the pair (t, w) is valid: the bearing from the worker to the task must lie
+// in the worker's direction cone and the arrival time must fall within the
+// task's valid period (subject to opt.WaitAllowed).
+//
+// A worker standing exactly on the task location has no bearing constraint
+// (it is already there) and arrives at its departure time.
+func Arrival(t Task, w Worker, opt Options) (arrival float64, ok bool) {
+	if w.Loc == t.Loc {
+		arrival = w.Depart
+	} else {
+		if !w.Dir.Contains(w.Loc.Bearing(t.Loc)) {
+			return 0, false
+		}
+		arrival = w.Depart + w.TravelTime(t.Loc)
+	}
+	if arrival > t.End {
+		return 0, false
+	}
+	if arrival < t.Start {
+		if !opt.WaitAllowed {
+			return 0, false
+		}
+		arrival = t.Start
+	}
+	return arrival, true
+}
+
+// CanReach reports whether the pair (t, w) is valid under opt.
+func CanReach(t Task, w Worker, opt Options) bool {
+	_, ok := Arrival(t, w, opt)
+	return ok
+}
+
+// ApproachAngle returns the direction of the ray drawn from the task
+// location toward the worker's origin — the paper's spatial-diversity ray
+// (Figure 2(a)): the side of the landmark the worker photographs from.
+// A worker standing on the task location contributes the midpoint of its
+// direction cone, an arbitrary but deterministic choice.
+func ApproachAngle(t Task, w Worker) float64 {
+	if w.Loc == t.Loc {
+		return w.Dir.Mid()
+	}
+	return t.Loc.Bearing(w.Loc)
+}
+
+// Pair is a valid task-worker pair together with its arrival time and
+// spatial-diversity ray angle, the precomputed quantities every solver
+// needs.
+type Pair struct {
+	Task    TaskID
+	Worker  WorkerID
+	Arrival float64
+	Angle   float64
+}
+
+// Instance is one RDB-SC problem: the task set T, the worker set W, the
+// requester weight β balancing spatial and temporal diversity, and the
+// reachability options.
+type Instance struct {
+	Tasks   []Task
+	Workers []Worker
+	Beta    float64 // β ∈ [0,1]; β=1 → SD only, β=0 → TD only
+	Opt     Options
+}
+
+// Validate checks structural well-formedness of the instance.
+func (in *Instance) Validate() error {
+	if in.Beta < 0 || in.Beta > 1 {
+		return fmt.Errorf("model: beta %v outside [0,1]", in.Beta)
+	}
+	seenT := make(map[TaskID]bool, len(in.Tasks))
+	for _, t := range in.Tasks {
+		if err := t.Valid(); err != nil {
+			return err
+		}
+		if seenT[t.ID] {
+			return fmt.Errorf("model: duplicate task id %d", t.ID)
+		}
+		seenT[t.ID] = true
+	}
+	seenW := make(map[WorkerID]bool, len(in.Workers))
+	for _, w := range in.Workers {
+		if err := w.Valid(); err != nil {
+			return err
+		}
+		if seenW[w.ID] {
+			return fmt.Errorf("model: duplicate worker id %d", w.ID)
+		}
+		seenW[w.ID] = true
+	}
+	return nil
+}
+
+// TaskByID returns the task with the given id, or nil.
+func (in *Instance) TaskByID(id TaskID) *Task {
+	for i := range in.Tasks {
+		if in.Tasks[i].ID == id {
+			return &in.Tasks[i]
+		}
+	}
+	return nil
+}
+
+// WorkerByID returns the worker with the given id, or nil.
+func (in *Instance) WorkerByID(id WorkerID) *Worker {
+	for i := range in.Workers {
+		if in.Workers[i].ID == id {
+			return &in.Workers[i]
+		}
+	}
+	return nil
+}
+
+// ValidPairs enumerates every valid (task, worker) pair by brute force in
+// O(m·n). The grid index (package grid) provides the accelerated
+// alternative; this is the paper's "retrieval without index" baseline in
+// Figure 17(b).
+func (in *Instance) ValidPairs() []Pair {
+	var pairs []Pair
+	for ti := range in.Tasks {
+		t := in.Tasks[ti]
+		for wi := range in.Workers {
+			w := in.Workers[wi]
+			if arr, ok := Arrival(t, w, in.Opt); ok {
+				pairs = append(pairs, Pair{
+					Task:    t.ID,
+					Worker:  w.ID,
+					Arrival: arr,
+					Angle:   ApproachAngle(t, w),
+				})
+			}
+		}
+	}
+	return pairs
+}
+
+// Assignment maps each worker to the task it was assigned, or NoTask.
+// The zero value is not usable; construct with NewAssignment.
+type Assignment struct {
+	byWorker map[WorkerID]TaskID
+}
+
+// NewAssignment returns an empty assignment.
+func NewAssignment() *Assignment {
+	return &Assignment{byWorker: make(map[WorkerID]TaskID)}
+}
+
+// Assign records that worker w does task t, replacing any prior assignment
+// of w.
+func (a *Assignment) Assign(w WorkerID, t TaskID) {
+	if t == NoTask {
+		delete(a.byWorker, w)
+		return
+	}
+	a.byWorker[w] = t
+}
+
+// Unassign removes worker w's assignment.
+func (a *Assignment) Unassign(w WorkerID) { delete(a.byWorker, w) }
+
+// TaskOf returns the task assigned to w, or NoTask.
+func (a *Assignment) TaskOf(w WorkerID) TaskID {
+	if t, ok := a.byWorker[w]; ok {
+		return t
+	}
+	return NoTask
+}
+
+// Assigned reports whether worker w has a task.
+func (a *Assignment) Assigned(w WorkerID) bool {
+	_, ok := a.byWorker[w]
+	return ok
+}
+
+// Len returns the number of assigned workers.
+func (a *Assignment) Len() int { return len(a.byWorker) }
+
+// Workers calls fn for every (worker, task) pair in unspecified order.
+func (a *Assignment) Workers(fn func(w WorkerID, t TaskID)) {
+	for w, t := range a.byWorker {
+		fn(w, t)
+	}
+}
+
+// PerTask groups the assignment by task: the paper's W_i sets.
+func (a *Assignment) PerTask() map[TaskID][]WorkerID {
+	out := make(map[TaskID][]WorkerID)
+	for w, t := range a.byWorker {
+		out[t] = append(out[t], w)
+	}
+	return out
+}
+
+// Clone returns a deep copy of the assignment.
+func (a *Assignment) Clone() *Assignment {
+	c := &Assignment{byWorker: make(map[WorkerID]TaskID, len(a.byWorker))}
+	for w, t := range a.byWorker {
+		c.byWorker[w] = t
+	}
+	return c
+}
+
+// ErrInvalidAssignment is wrapped by CheckAssignment failures.
+var ErrInvalidAssignment = errors.New("model: invalid assignment")
+
+// CheckAssignment verifies that every assigned pair in a is valid for the
+// instance: the worker and task exist and the pair satisfies reachability.
+func (in *Instance) CheckAssignment(a *Assignment) error {
+	var err error
+	a.Workers(func(wid WorkerID, tid TaskID) {
+		if err != nil {
+			return
+		}
+		w := in.WorkerByID(wid)
+		if w == nil {
+			err = fmt.Errorf("%w: unknown worker %d", ErrInvalidAssignment, wid)
+			return
+		}
+		t := in.TaskByID(tid)
+		if t == nil {
+			err = fmt.Errorf("%w: unknown task %d", ErrInvalidAssignment, tid)
+			return
+		}
+		if !CanReach(*t, *w, in.Opt) {
+			err = fmt.Errorf("%w: worker %d cannot reach task %d", ErrInvalidAssignment, wid, tid)
+		}
+	})
+	return err
+}

@@ -1,0 +1,294 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rdbsc/internal/geo"
+)
+
+func task(id TaskID, x, y, s, e float64) Task {
+	return Task{ID: id, Loc: geo.Pt(x, y), Start: s, End: e}
+}
+
+func worker(id WorkerID, x, y, v float64, dir geo.AngInterval, p float64) Worker {
+	return Worker{ID: id, Loc: geo.Pt(x, y), Speed: v, Dir: dir, Confidence: p}
+}
+
+func TestArrivalBasic(t *testing.T) {
+	// Worker at origin moving east at speed 1; task 0.5 east, open [0, 1].
+	w := worker(1, 0, 0, 1, geo.NewAngInterval(-0.1, 0.1), 0.9)
+	tk := task(1, 0.5, 0, 0, 1)
+	arr, ok := Arrival(tk, w, Options{})
+	if !ok {
+		t.Fatal("pair should be valid")
+	}
+	if math.Abs(arr-0.5) > 1e-12 {
+		t.Errorf("arrival = %v, want 0.5", arr)
+	}
+}
+
+func TestArrivalDirectionConstraint(t *testing.T) {
+	// Task is due west, worker can only go east.
+	w := worker(1, 0.5, 0.5, 1, geo.NewAngInterval(-0.2, 0.2), 0.9)
+	tk := task(1, 0.1, 0.5, 0, 10)
+	if CanReach(tk, w, Options{}) {
+		t.Error("task opposite to direction cone must be unreachable")
+	}
+	// Unconstrained worker reaches it.
+	w.Dir = geo.FullCircle
+	if !CanReach(tk, w, Options{}) {
+		t.Error("full-circle worker must reach the task")
+	}
+}
+
+func TestArrivalDeadline(t *testing.T) {
+	w := worker(1, 0, 0, 0.1, geo.FullCircle, 0.9) // slow: needs 5h for 0.5
+	tk := task(1, 0.5, 0, 0, 1)
+	if CanReach(tk, w, Options{}) {
+		t.Error("worker arriving after End must be invalid")
+	}
+	tk.End = 6
+	if !CanReach(tk, w, Options{}) {
+		t.Error("worker arriving before End must be valid")
+	}
+}
+
+func TestArrivalEarlyStrictVsWait(t *testing.T) {
+	w := worker(1, 0, 0, 1, geo.FullCircle, 0.9)
+	tk := task(1, 0.5, 0, 2, 3) // opens at 2; worker arrives at 0.5
+	if CanReach(tk, w, Options{}) {
+		t.Error("strict semantics: early arrival must be invalid")
+	}
+	arr, ok := Arrival(tk, w, Options{WaitAllowed: true})
+	if !ok {
+		t.Fatal("WaitAllowed: early arrival must be valid")
+	}
+	if arr != 2 {
+		t.Errorf("WaitAllowed arrival = %v, want clamp to Start=2", arr)
+	}
+}
+
+func TestArrivalDepartOffset(t *testing.T) {
+	w := worker(1, 0, 0, 1, geo.FullCircle, 0.9)
+	w.Depart = 0.8
+	tk := task(1, 0.5, 0, 0, 1)
+	// Departing at 0.8 puts arrival at 1.3 > End=1: invalid.
+	if CanReach(tk, w, Options{}) {
+		t.Fatal("arrival 1.3 exceeds End=1, must have been rejected")
+	}
+	// With a longer valid period the same worker arrives at 1.3.
+	tk.End = 2
+	arr, ok := Arrival(tk, w, Options{})
+	if !ok {
+		t.Fatal("pair should be valid with End=2")
+	}
+	if math.Abs(arr-1.3) > 1e-9 {
+		t.Errorf("arrival = %v, want 1.3", arr)
+	}
+}
+
+func TestArrivalDepartLate(t *testing.T) {
+	w := worker(1, 0, 0, 1, geo.FullCircle, 0.9)
+	w.Depart = 2
+	tk := task(1, 0.5, 0, 0, 1)
+	if CanReach(tk, w, Options{}) {
+		t.Error("worker departing after task End cannot be valid")
+	}
+}
+
+func TestArrivalCoincidentLocation(t *testing.T) {
+	w := worker(1, 0.3, 0.3, 1, geo.NewAngInterval(0, 0.01), 0.9)
+	tk := task(1, 0.3, 0.3, 0, 1)
+	arr, ok := Arrival(tk, w, Options{})
+	if !ok {
+		t.Fatal("coincident worker must be valid regardless of direction")
+	}
+	if arr != 0 {
+		t.Errorf("arrival = %v, want Depart=0", arr)
+	}
+}
+
+func TestApproachAngle(t *testing.T) {
+	tk := task(1, 0.5, 0.5, 0, 1)
+	w := worker(1, 1, 0.5, 1, geo.FullCircle, 0.9) // due east of task
+	if got := ApproachAngle(tk, w); math.Abs(got) > 1e-12 {
+		t.Errorf("ApproachAngle = %v, want 0", got)
+	}
+	w.Loc = geo.Pt(0.5, 1) // due north
+	if got := ApproachAngle(tk, w); math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Errorf("ApproachAngle = %v, want π/2", got)
+	}
+	// Coincident: falls back to direction-cone midpoint.
+	w.Loc = tk.Loc
+	w.Dir = geo.NewAngInterval(1.0, 2.0)
+	if got := ApproachAngle(tk, w); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("coincident ApproachAngle = %v, want 1.5", got)
+	}
+}
+
+func TestValidPairsBruteForce(t *testing.T) {
+	in := &Instance{
+		Tasks: []Task{
+			task(0, 0.5, 0.5, 0, 1),
+			task(1, 0.9, 0.9, 0, 0.1), // tight deadline
+		},
+		Workers: []Worker{
+			worker(0, 0.4, 0.5, 1, geo.FullCircle, 0.9),                                // reaches task 0
+			worker(1, 0.5, 0.4, 0.01, geo.FullCircle, 0.9),                             // too slow for both
+			worker(2, 0.45, 0.5, 1, geo.NewAngInterval(math.Pi-0.1, math.Pi+0.1), 0.9), // wrong way
+		},
+		Beta: 0.5,
+	}
+	pairs := in.ValidPairs()
+	if len(pairs) != 1 {
+		t.Fatalf("ValidPairs = %v, want exactly 1 pair", pairs)
+	}
+	if pairs[0].Task != 0 || pairs[0].Worker != 0 {
+		t.Errorf("unexpected pair %+v", pairs[0])
+	}
+}
+
+func TestValidPairsConsistentWithCanReach(t *testing.T) {
+	f := func(tx, ty, wx, wy, v, lo, wdt uint16) bool {
+		in := &Instance{
+			Tasks: []Task{task(0, float64(tx)/65535, float64(ty)/65535, 0, 1)},
+			Workers: []Worker{{
+				ID: 0, Loc: geo.Pt(float64(wx)/65535, float64(wy)/65535),
+				Speed:      0.05 + float64(v)/65535,
+				Dir:        geo.AngInterval{Lo: geo.NormalizeAngle(float64(lo)), Width: math.Mod(float64(wdt), geo.TwoPi)},
+				Confidence: 0.9,
+			}},
+			Beta: 0.5,
+		}
+		pairs := in.ValidPairs()
+		want := CanReach(in.Tasks[0], in.Workers[0], in.Opt)
+		return (len(pairs) == 1) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssignmentBasics(t *testing.T) {
+	a := NewAssignment()
+	if a.Assigned(3) {
+		t.Error("fresh assignment should be empty")
+	}
+	a.Assign(3, 7)
+	if got := a.TaskOf(3); got != 7 {
+		t.Errorf("TaskOf = %v, want 7", got)
+	}
+	a.Assign(3, 9) // reassign
+	if got := a.TaskOf(3); got != 9 {
+		t.Errorf("TaskOf after reassign = %v, want 9", got)
+	}
+	if a.Len() != 1 {
+		t.Errorf("Len = %d, want 1", a.Len())
+	}
+	a.Assign(4, 9)
+	per := a.PerTask()
+	if len(per[9]) != 2 {
+		t.Errorf("PerTask[9] = %v, want 2 workers", per[9])
+	}
+	a.Unassign(3)
+	if a.Assigned(3) {
+		t.Error("Unassign failed")
+	}
+	a.Assign(4, NoTask)
+	if a.Len() != 0 {
+		t.Error("Assign(NoTask) must clear the worker")
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	a := NewAssignment()
+	a.Assign(1, 2)
+	c := a.Clone()
+	c.Assign(1, 5)
+	if a.TaskOf(1) != 2 {
+		t.Error("Clone must not alias the original")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	good := &Instance{
+		Tasks:   []Task{task(0, 0.1, 0.1, 0, 1)},
+		Workers: []Worker{worker(0, 0.2, 0.2, 1, geo.FullCircle, 0.9)},
+		Beta:    0.5,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate(good) = %v", err)
+	}
+	tests := []struct {
+		name string
+		mut  func(*Instance)
+	}{
+		{"bad beta", func(in *Instance) { in.Beta = 1.5 }},
+		{"reversed period", func(in *Instance) { in.Tasks[0].End = -1 }},
+		{"zero speed", func(in *Instance) { in.Workers[0].Speed = 0 }},
+		{"bad confidence", func(in *Instance) { in.Workers[0].Confidence = 1.2 }},
+		{"dup task", func(in *Instance) { in.Tasks = append(in.Tasks, in.Tasks[0]) }},
+		{"dup worker", func(in *Instance) { in.Workers = append(in.Workers, in.Workers[0]) }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			in := &Instance{
+				Tasks:   []Task{task(0, 0.1, 0.1, 0, 1)},
+				Workers: []Worker{worker(0, 0.2, 0.2, 1, geo.FullCircle, 0.9)},
+				Beta:    0.5,
+			}
+			tc.mut(in)
+			if err := in.Validate(); err == nil {
+				t.Error("Validate should fail")
+			}
+		})
+	}
+}
+
+func TestCheckAssignment(t *testing.T) {
+	in := &Instance{
+		Tasks:   []Task{task(0, 0.5, 0.5, 0, 1)},
+		Workers: []Worker{worker(0, 0.4, 0.5, 1, geo.FullCircle, 0.9)},
+		Beta:    0.5,
+	}
+	a := NewAssignment()
+	a.Assign(0, 0)
+	if err := in.CheckAssignment(a); err != nil {
+		t.Errorf("CheckAssignment(valid) = %v", err)
+	}
+	b := NewAssignment()
+	b.Assign(0, 99)
+	if err := in.CheckAssignment(b); err == nil {
+		t.Error("unknown task must fail")
+	}
+	c := NewAssignment()
+	c.Assign(99, 0)
+	if err := in.CheckAssignment(c); err == nil {
+		t.Error("unknown worker must fail")
+	}
+	in.Workers[0].Speed = 0.0001 // now unreachable
+	if err := in.CheckAssignment(a); err == nil {
+		t.Error("unreachable pair must fail")
+	}
+}
+
+func TestLookupByID(t *testing.T) {
+	in := &Instance{
+		Tasks:   []Task{task(5, 0.1, 0.1, 0, 1), task(9, 0.3, 0.3, 0, 1)},
+		Workers: []Worker{worker(7, 0.2, 0.2, 1, geo.FullCircle, 0.9)},
+	}
+	if got := in.TaskByID(9); got == nil || got.ID != 9 {
+		t.Errorf("TaskByID(9) = %v", got)
+	}
+	if in.TaskByID(1) != nil {
+		t.Error("TaskByID(1) should be nil")
+	}
+	if got := in.WorkerByID(7); got == nil || got.ID != 7 {
+		t.Errorf("WorkerByID(7) = %v", got)
+	}
+	if in.WorkerByID(1) != nil {
+		t.Error("WorkerByID(1) should be nil")
+	}
+}

@@ -1,0 +1,122 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rdbsc/internal/geo"
+)
+
+// Property: Arrival's reported time is physically consistent — never before
+// the worker could possibly get there, never outside the valid period.
+func TestArrivalPhysicalConsistency(t *testing.T) {
+	f := func(tx, ty, wx, wy uint16, v, dep uint8, wait bool) bool {
+		tk := Task{ID: 0, Loc: geo.Pt(f01(tx), f01(ty)), Start: 0.5, End: 2}
+		w := Worker{
+			ID:     0,
+			Loc:    geo.Pt(f01(wx), f01(wy)),
+			Speed:  0.05 + float64(v)/128,
+			Dir:    geo.FullCircle,
+			Depart: float64(dep) / 128,
+		}
+		opt := Options{WaitAllowed: wait}
+		arr, ok := Arrival(tk, w, opt)
+		if !ok {
+			return true
+		}
+		earliest := w.Depart + w.TravelTime(tk.Loc)
+		if arr < earliest-1e-9 && !(wait && arr == tk.Start) {
+			return false
+		}
+		return arr >= tk.Start-1e-9 && arr <= tk.End+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: widening the direction cone never invalidates a pair.
+func TestWiderConeNeverHurts(t *testing.T) {
+	f := func(tx, ty, wx, wy uint16, mid float64, wdt uint8) bool {
+		if math.IsNaN(mid) || math.IsInf(mid, 0) {
+			return true
+		}
+		tk := Task{ID: 0, Loc: geo.Pt(f01(tx), f01(ty)), Start: 0, End: 10}
+		narrow := Worker{
+			ID: 0, Loc: geo.Pt(f01(wx), f01(wy)), Speed: 1,
+			Dir: geo.AngIntervalAround(mid, float64(wdt)/256*math.Pi),
+		}
+		wide := narrow
+		wide.Dir = geo.AngIntervalAround(mid, float64(wdt)/256*math.Pi+0.5)
+		if CanReach(tk, narrow, Options{}) && !CanReach(tk, wide, Options{}) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: extending a task's deadline never invalidates a pair, and
+// a faster worker never loses reachability.
+func TestMonotoneRelaxations(t *testing.T) {
+	f := func(tx, ty, wx, wy uint16, v uint8) bool {
+		tk := Task{ID: 0, Loc: geo.Pt(f01(tx), f01(ty)), Start: 0, End: 1}
+		w := Worker{
+			ID: 0, Loc: geo.Pt(f01(wx), f01(wy)),
+			Speed: 0.05 + float64(v)/256, Dir: geo.FullCircle,
+		}
+		if !CanReach(tk, w, Options{}) {
+			return true
+		}
+		longer := tk
+		longer.End = 5
+		faster := w
+		faster.Speed *= 2
+		return CanReach(longer, w, Options{}) && CanReach(tk, faster, Options{})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: assignments behave like a map worker→task under arbitrary
+// operation sequences.
+func TestAssignmentMapSemantics(t *testing.T) {
+	f := func(ops []uint16) bool {
+		a := NewAssignment()
+		ref := map[WorkerID]TaskID{}
+		for _, op := range ops {
+			w := WorkerID(op % 16)
+			t := TaskID(int32(op/16)%8 - 1) // includes NoTask = -1
+			if t == NoTask {
+				a.Unassign(w)
+				delete(ref, w)
+			} else {
+				a.Assign(w, t)
+				ref[w] = t
+			}
+		}
+		if a.Len() != len(ref) {
+			return false
+		}
+		for w, t := range ref {
+			if a.TaskOf(w) != t {
+				return false
+			}
+		}
+		per := a.PerTask()
+		total := 0
+		for _, ws := range per {
+			total += len(ws)
+		}
+		return total == len(ref)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func f01(v uint16) float64 { return float64(v) / 65535 }

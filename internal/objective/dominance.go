@@ -1,0 +1,223 @@
+package objective
+
+import "sort"
+
+// This file implements the bi-objective Pareto machinery the paper uses to
+// pick winners among candidate pairs/samples: skyline filtering [13] and
+// the top-k dominating score [22] (an item's score is the number of other
+// items it dominates).
+
+// Vec2 is a point in the (reliability gain, diversity gain) objective
+// plane. Bigger is better in both coordinates.
+type Vec2 struct {
+	R, D float64
+}
+
+// dominates2 reports whether (r1, d1) dominates (r2, d2): at least as good
+// in both coordinates and strictly better in one.
+func dominates2(r1, d1, r2, d2 float64) bool {
+	if r1 < r2 || d1 < d2 {
+		return false
+	}
+	return r1 > r2 || d1 > d2
+}
+
+// Dominates reports whether v dominates u.
+func (v Vec2) Dominates(u Vec2) bool { return dominates2(v.R, v.D, u.R, u.D) }
+
+// Skyline returns the indices of the non-dominated points of items, in
+// ascending index order. Runs in O(n log n): sort by R descending (ties: D
+// descending) and sweep, keeping points whose D exceeds the best D seen.
+func Skyline(items []Vec2) []int {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := items[idx[a]], items[idx[b]]
+		if ia.R != ib.R {
+			return ia.R > ib.R
+		}
+		return ia.D > ib.D
+	})
+	var out []int
+	bestD := 0.0
+	haveBest := false
+	prevR := 0.0
+	// Points with equal R and equal D duplicate each other and neither
+	// dominates: keep all of them (they are equally optimal).
+	for _, i := range idx {
+		it := items[i]
+		switch {
+		case !haveBest:
+			out = append(out, i)
+			bestD, prevR, haveBest = it.D, it.R, true
+		case it.D > bestD:
+			out = append(out, i)
+			bestD, prevR = it.D, it.R
+		case it.D == bestD && it.R == prevR:
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// DominanceScores returns, for every item, the number of other items it
+// dominates — the top-k dominating score of [22]. Runs in O(n log n) using
+// coordinate compression and a Fenwick tree; DominanceScoresNaive is the
+// O(n²) reference used in tests.
+func DominanceScores(items []Vec2) []int {
+	n := len(items)
+	scores := make([]int, n)
+	if n == 0 {
+		return scores
+	}
+
+	// Compress D coordinates to ranks 1..k.
+	ds := make([]float64, n)
+	for i, it := range items {
+		ds[i] = it.D
+	}
+	sort.Float64s(ds)
+	uniq := ds[:0]
+	for i, d := range ds {
+		if i == 0 || d != uniq[len(uniq)-1] {
+			uniq = append(uniq, d)
+		}
+	}
+	rank := func(d float64) int { return sort.SearchFloat64s(uniq, d) + 1 }
+
+	// Process groups of equal R in ascending order. For item i:
+	//   score = #{j : R_j < R_i, D_j ≤ D_i}  (strictness from R)
+	//         + #{j : R_j = R_i, D_j < D_i}  (strictness from D)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return items[idx[a]].R < items[idx[b]].R })
+
+	ft := newFenwick(len(uniq))
+	for g := 0; g < n; {
+		h := g
+		for h < n && items[idx[h]].R == items[idx[g]].R {
+			h++
+		}
+		group := idx[g:h]
+		// Within-group: sort by D and count strictly smaller Ds.
+		inGroup := append([]int(nil), group...)
+		sort.Slice(inGroup, func(a, b int) bool { return items[inGroup[a]].D < items[inGroup[b]].D })
+		for a := 0; a < len(inGroup); {
+			b := a
+			for b < len(inGroup) && items[inGroup[b]].D == items[inGroup[a]].D {
+				b++
+			}
+			for _, i := range inGroup[a:b] {
+				scores[i] = a // items before position a have strictly smaller D
+			}
+			a = b
+		}
+		// Cross-group: all previously inserted items have strictly smaller R.
+		for _, i := range group {
+			scores[i] += ft.prefixSum(rank(items[i].D))
+		}
+		for _, i := range group {
+			ft.add(rank(items[i].D), 1)
+		}
+		g = h
+	}
+	return scores
+}
+
+// DominanceScoresNaive is the quadratic reference implementation of
+// DominanceScores.
+func DominanceScoresNaive(items []Vec2) []int {
+	scores := make([]int, len(items))
+	for i, a := range items {
+		for j, b := range items {
+			if i != j && a.Dominates(b) {
+				scores[i]++
+			}
+		}
+	}
+	return scores
+}
+
+// TopKDominating returns the indices of the k items with the highest
+// dominance scores, in decreasing score order (ties broken by higher R,
+// then higher D, then lower index) — the top-k dominating query of [22]
+// that the paper uses to rank candidate pairs and samples.
+func TopKDominating(items []Vec2, k int) []int {
+	if k <= 0 || len(items) == 0 {
+		return nil
+	}
+	scores := DominanceScores(items)
+	idx := make([]int, len(items))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if scores[i] != scores[j] {
+			return scores[i] > scores[j]
+		}
+		if items[i].R != items[j].R {
+			return items[i].R > items[j].R
+		}
+		if items[i].D != items[j].D {
+			return items[i].D > items[j].D
+		}
+		return i < j
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}
+
+// ArgmaxScore returns the index with the highest dominance score, breaking
+// ties toward higher R then higher D then lower index (deterministic).
+func ArgmaxScore(items []Vec2, scores []int) int {
+	best := -1
+	for i := range items {
+		if best == -1 {
+			best = i
+			continue
+		}
+		switch {
+		case scores[i] > scores[best]:
+			best = i
+		case scores[i] == scores[best]:
+			if items[i].R > items[best].R ||
+				(items[i].R == items[best].R && items[i].D > items[best].D) {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// fenwick is a 1-indexed binary indexed tree over integer counts.
+type fenwick struct {
+	tree []int
+}
+
+func newFenwick(n int) *fenwick { return &fenwick{tree: make([]int, n+1)} }
+
+func (f *fenwick) add(i, v int) {
+	for ; i < len(f.tree); i += i & (-i) {
+		f.tree[i] += v
+	}
+}
+
+func (f *fenwick) prefixSum(i int) int {
+	var s int
+	for ; i > 0; i -= i & (-i) {
+		s += f.tree[i]
+	}
+	return s
+}

@@ -1,0 +1,217 @@
+package objective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDominates2(t *testing.T) {
+	tests := []struct {
+		name          string
+		a, b          Vec2
+		want, wantRev bool
+	}{
+		{"strictly better both", Vec2{2, 2}, Vec2{1, 1}, true, false},
+		{"better R equal D", Vec2{2, 1}, Vec2{1, 1}, true, false},
+		{"better D equal R", Vec2{1, 2}, Vec2{1, 1}, true, false},
+		{"equal", Vec2{1, 1}, Vec2{1, 1}, false, false},
+		{"incomparable", Vec2{2, 1}, Vec2{1, 2}, false, false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Dominates(tc.b); got != tc.want {
+				t.Errorf("a.Dominates(b) = %v, want %v", got, tc.want)
+			}
+			if got := tc.b.Dominates(tc.a); got != tc.wantRev {
+				t.Errorf("b.Dominates(a) = %v, want %v", got, tc.wantRev)
+			}
+		})
+	}
+}
+
+func TestDominanceIrreflexiveAntisymmetric(t *testing.T) {
+	f := func(r1, d1, r2, d2 float64) bool {
+		a, b := Vec2{r1, d1}, Vec2{r2, d2}
+		if a.Dominates(a) {
+			return false
+		}
+		return !(a.Dominates(b) && b.Dominates(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSkylineSimple(t *testing.T) {
+	items := []Vec2{
+		{1, 5}, // skyline
+		{3, 3}, // skyline
+		{2, 2}, // dominated by (3,3)
+		{5, 1}, // skyline
+		{0, 0}, // dominated
+	}
+	got := Skyline(items)
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Skyline = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Skyline = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSkylineKeepsDuplicatesOfBest(t *testing.T) {
+	items := []Vec2{{1, 1}, {1, 1}, {0, 0}}
+	got := Skyline(items)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Skyline = %v, want [0 1]", got)
+	}
+}
+
+func TestSkylineMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + r.Intn(60)
+		items := make([]Vec2, n)
+		for i := range items {
+			// Small value grid to force plenty of ties.
+			items[i] = Vec2{float64(r.Intn(5)), float64(r.Intn(5))}
+		}
+		got := Skyline(items)
+		inGot := make(map[int]bool, len(got))
+		for _, i := range got {
+			inGot[i] = true
+		}
+		for i, a := range items {
+			dominated := false
+			for j, b := range items {
+				if i != j && b.Dominates(a) {
+					dominated = true
+					break
+				}
+			}
+			if dominated == inGot[i] {
+				t.Fatalf("trial %d: item %d dominated=%v but inSkyline=%v", trial, i, dominated, inGot[i])
+			}
+		}
+	}
+}
+
+func TestDominanceScoresMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for trial := 0; trial < 50; trial++ {
+		n := r.Intn(80)
+		items := make([]Vec2, n)
+		for i := range items {
+			items[i] = Vec2{float64(r.Intn(6)), float64(r.Intn(6))}
+		}
+		got := DominanceScores(items)
+		want := DominanceScoresNaive(items)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: scores[%d] = %d, want %d (items=%v)", trial, i, got[i], want[i], items)
+			}
+		}
+	}
+}
+
+func TestDominanceScoresContinuous(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(100)
+		items := make([]Vec2, n)
+		for i := range items {
+			items[i] = Vec2{r.Float64(), r.Float64()}
+		}
+		got := DominanceScores(items)
+		want := DominanceScoresNaive(items)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: scores[%d] = %d, want %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestArgmaxScore(t *testing.T) {
+	items := []Vec2{{1, 1}, {3, 3}, {2, 2}}
+	scores := DominanceScores(items)
+	if got := ArgmaxScore(items, scores); got != 1 {
+		t.Errorf("ArgmaxScore = %d, want 1", got)
+	}
+}
+
+func TestArgmaxScoreTieBreaking(t *testing.T) {
+	// Two items with equal scores: prefer higher R, then higher D.
+	items := []Vec2{{1, 2}, {2, 1}}
+	scores := []int{0, 0}
+	if got := ArgmaxScore(items, scores); got != 1 {
+		t.Errorf("ArgmaxScore = %d, want 1 (higher R wins ties)", got)
+	}
+	items = []Vec2{{2, 1}, {2, 3}}
+	if got := ArgmaxScore(items, scores); got != 1 {
+		t.Errorf("ArgmaxScore = %d, want 1 (higher D wins R ties)", got)
+	}
+	if got := ArgmaxScore(nil, nil); got != -1 {
+		t.Errorf("ArgmaxScore(empty) = %d, want -1", got)
+	}
+}
+
+func TestFenwick(t *testing.T) {
+	ft := newFenwick(10)
+	ft.add(3, 1)
+	ft.add(7, 2)
+	ft.add(3, 1)
+	tests := []struct{ i, want int }{
+		{0, 0}, {2, 0}, {3, 2}, {6, 2}, {7, 4}, {10, 4},
+	}
+	for _, tc := range tests {
+		if got := ft.prefixSum(tc.i); got != tc.want {
+			t.Errorf("prefixSum(%d) = %d, want %d", tc.i, got, tc.want)
+		}
+	}
+}
+
+func TestTopKDominating(t *testing.T) {
+	items := []Vec2{{0, 0}, {3, 3}, {2, 2}, {1, 4}}
+	top := TopKDominating(items, 2)
+	if len(top) != 2 || top[0] != 1 {
+		t.Fatalf("TopKDominating = %v, want [1 ...]", top)
+	}
+	// k larger than n returns everything; k<=0 returns nothing.
+	if got := TopKDominating(items, 10); len(got) != 4 {
+		t.Errorf("oversized k = %v", got)
+	}
+	if got := TopKDominating(items, 0); got != nil {
+		t.Errorf("k=0 = %v", got)
+	}
+	if got := TopKDominating(nil, 3); got != nil {
+		t.Errorf("empty items = %v", got)
+	}
+}
+
+func TestTopKDominatingOrderConsistentWithArgmax(t *testing.T) {
+	r := rand.New(rand.NewSource(40))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + r.Intn(50)
+		items := make([]Vec2, n)
+		for i := range items {
+			items[i] = Vec2{float64(r.Intn(8)), float64(r.Intn(8))}
+		}
+		top := TopKDominating(items, 1)
+		best := ArgmaxScore(items, DominanceScores(items))
+		if top[0] != best {
+			t.Fatalf("trial %d: TopK[0]=%d, Argmax=%d", trial, top[0], best)
+		}
+		full := TopKDominating(items, n)
+		scores := DominanceScores(items)
+		for i := 1; i < len(full); i++ {
+			if scores[full[i-1]] < scores[full[i]] {
+				t.Fatalf("trial %d: scores not sorted at %d", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package objective
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"rdbsc/internal/model"
+)
+
+// Evaluation summarizes an assignment against the two RDB-SC goals.
+type Evaluation struct {
+	// MinRel is the minimum reliability among tasks that received at least
+	// one worker (goal 2 of Definition 4). Tasks with no assigned worker are
+	// excluded from the minimum — with more tasks than reachable workers a
+	// literal minimum over all tasks would be identically zero and carry no
+	// signal, and the paper's reported values (≈ the lower confidence bound)
+	// confirm this reading. AssignedTasks reports coverage separately.
+	MinRel float64
+	// MinR is the additive form of MinRel, min Σ −ln(1−p).
+	MinR float64
+	// TotalESTD is Σ_i E[STD(t_i)] (goal 3 of Definition 4).
+	TotalESTD float64
+	// AssignedWorkers is the number of workers holding an assignment.
+	AssignedWorkers int
+	// AssignedTasks is the number of tasks with ≥ 1 worker.
+	AssignedTasks int
+}
+
+// String implements fmt.Stringer.
+func (e Evaluation) String() string {
+	return fmt.Sprintf("minRel=%.4f totalSTD=%.4f (workers=%d tasks=%d)",
+		e.MinRel, e.TotalESTD, e.AssignedWorkers, e.AssignedTasks)
+}
+
+// Dominates reports whether e is strictly better than other in the Pareto
+// sense used throughout the paper: at least as good in both goals and
+// strictly better in one.
+func (e Evaluation) Dominates(other Evaluation) bool {
+	return dominates2(e.MinR, e.TotalESTD, other.MinR, other.TotalESTD)
+}
+
+// Evaluate computes the Evaluation of assignment a on instance in.
+// Pair validity is not re-checked here; use in.CheckAssignment for that.
+func Evaluate(in *model.Instance, a *model.Assignment) Evaluation {
+	states := BuildStates(in, a)
+	return EvaluateStates(states)
+}
+
+// BuildStates constructs per-task incremental states from a full
+// assignment. Tasks with no workers get no state.
+func BuildStates(in *model.Instance, a *model.Assignment) map[model.TaskID]*TaskState {
+	workers := make(map[model.WorkerID]*model.Worker, len(in.Workers))
+	for i := range in.Workers {
+		workers[in.Workers[i].ID] = &in.Workers[i]
+	}
+	tasks := make(map[model.TaskID]*model.Task, len(in.Tasks))
+	for i := range in.Tasks {
+		tasks[in.Tasks[i].ID] = &in.Tasks[i]
+	}
+	// Collect and sort the assigned pairs first: map iteration order is
+	// random, and floating-point summation inside the diversity engine is
+	// order-sensitive at the ULP level. Sorting makes evaluation exactly
+	// reproducible for a given assignment.
+	type wt struct {
+		w model.WorkerID
+		t model.TaskID
+	}
+	pairs := make([]wt, 0, a.Len())
+	a.Workers(func(wid model.WorkerID, tid model.TaskID) {
+		pairs = append(pairs, wt{wid, tid})
+	})
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].t != pairs[j].t {
+			return pairs[i].t < pairs[j].t
+		}
+		return pairs[i].w < pairs[j].w
+	})
+	states := make(map[model.TaskID]*TaskState)
+	for _, pr := range pairs {
+		w, t := workers[pr.w], tasks[pr.t]
+		if w == nil || t == nil {
+			continue
+		}
+		st := states[pr.t]
+		if st == nil {
+			st = NewTaskState(*t, in.Beta)
+			states[pr.t] = st
+		}
+		arrival, ok := model.Arrival(*t, *w, in.Opt)
+		if !ok {
+			// Invalid pairs contribute nothing; CheckAssignment reports them.
+			continue
+		}
+		st.Add(pr.w, w.Confidence, arrival, model.ApproachAngle(*t, *w))
+	}
+	return states
+}
+
+// EvaluateStates aggregates per-task states into an Evaluation. Tasks are
+// visited in ID order so the floating-point total is reproducible.
+func EvaluateStates(states map[model.TaskID]*TaskState) Evaluation {
+	ids := make([]model.TaskID, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	ev := Evaluation{MinRel: 0, MinR: 0}
+	first := true
+	for _, id := range ids {
+		st := states[id]
+		if st.Len() == 0 {
+			continue
+		}
+		ev.AssignedTasks++
+		ev.AssignedWorkers += st.Len()
+		ev.TotalESTD += st.ESTD()
+		if first || st.R() < ev.MinR {
+			ev.MinR = st.R()
+			first = false
+		}
+	}
+	if first {
+		ev.MinR = 0
+		ev.MinRel = 0
+		return ev
+	}
+	ev.MinRel = RelFromR(ev.MinR)
+	return ev
+}
+
+// MinRelOverAllTasks returns the literal minimum reliability over every
+// task in the instance (unassigned tasks count as reliability 0). Exposed
+// for analyses that need the strict Definition 4 reading.
+func MinRelOverAllTasks(in *model.Instance, states map[model.TaskID]*TaskState) float64 {
+	min := math.Inf(1)
+	for i := range in.Tasks {
+		st := states[in.Tasks[i].ID]
+		if st == nil || st.Len() == 0 {
+			return 0
+		}
+		if rel := st.Rel(); rel < min {
+			min = rel
+		}
+	}
+	if math.IsInf(min, 1) {
+		return 0
+	}
+	return min
+}

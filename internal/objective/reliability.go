@@ -1,0 +1,66 @@
+// Package objective implements the two optimization goals of the RDB-SC
+// problem (Definition 4) and the machinery the solvers need to compare
+// candidate assignments:
+//
+//   - the reliability rel(t_i, W_i) = 1 − Π(1−p_j) (Eq. 1) and its additive
+//     reduction R = −ln(1 − rel) = Σ −ln(1−p_j) (Eq. 8, Section 3.1);
+//   - incremental per-task state that maintains R and E[STD] under worker
+//     insertion (Lemmas 4.1 and 4.2) with exact and bounded Δ computation;
+//   - whole-assignment evaluation (min reliability across tasks, total
+//     expected diversity);
+//   - Pareto dominance and the top-k-dominating score of [22] used by the
+//     greedy pair selection and the sampling ranking.
+package objective
+
+import "math"
+
+// Rel returns the reliability 1 − Π(1−p) of a worker confidence set
+// (Eq. 1): the probability that at least one assigned worker completes the
+// task.
+func Rel(probs []float64) float64 {
+	allFail := 1.0
+	for _, p := range probs {
+		allFail *= 1 - clamp01(p)
+	}
+	return 1 - allFail
+}
+
+// RFromProbs returns the additive reliability R = Σ −ln(1−p_j) (Eq. 8).
+// A worker with p = 1 contributes +Inf, matching the limit of the formula.
+func RFromProbs(probs []float64) float64 {
+	var r float64
+	for _, p := range probs {
+		r += RTerm(p)
+	}
+	return r
+}
+
+// RTerm returns a single worker's additive reliability contribution,
+// −ln(1−p) (Lemma 4.1).
+func RTerm(p float64) float64 {
+	p = clamp01(p)
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// math.Log1p(-p) is more accurate than math.Log(1-p) for small p.
+	return -math.Log1p(-p)
+}
+
+// RelFromR converts the additive reliability back: rel = 1 − e^(−R).
+func RelFromR(r float64) float64 {
+	if math.IsInf(r, 1) {
+		return 1
+	}
+	// -Expm1(-r) = 1 - e^{-r} computed stably for small r.
+	return -math.Expm1(-r)
+}
+
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

@@ -1,0 +1,96 @@
+package objective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRel(t *testing.T) {
+	tests := []struct {
+		name  string
+		probs []float64
+		want  float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{0.9}, 0.9},
+		{"two halves", []float64{0.5, 0.5}, 0.75},
+		{"certain worker", []float64{0.2, 1}, 1},
+		{"all zero", []float64{0, 0}, 0},
+		{"clamped", []float64{1.5, -0.5}, 1},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Rel(tc.probs); !almostEq(got, tc.want, 1e-12) {
+				t.Errorf("Rel = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// Eq. 8 equivalence: R = −ln(1 − rel)  ⇔  rel = 1 − e^(−R).
+func TestRRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		probs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			p := math.Abs(math.Mod(v, 1))
+			if p > 0.999 {
+				p = 0.999
+			}
+			probs = append(probs, p)
+		}
+		rel := Rel(probs)
+		r := RFromProbs(probs)
+		return almostEq(RelFromR(r), rel, 1e-9) &&
+			almostEq(r, -math.Log(1-rel), 1e-6*(1+r))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRTermMonotone(t *testing.T) {
+	prev := -1.0
+	for p := 0.0; p < 1; p += 0.01 {
+		cur := RTerm(p)
+		if cur <= prev {
+			t.Fatalf("RTerm not strictly increasing at p=%v", p)
+		}
+		prev = cur
+	}
+	if !math.IsInf(RTerm(1), 1) {
+		t.Error("RTerm(1) must be +Inf")
+	}
+	if got := RTerm(0); got != 0 {
+		t.Errorf("RTerm(0) = %v", got)
+	}
+}
+
+func TestRelFromRInf(t *testing.T) {
+	if got := RelFromR(math.Inf(1)); got != 1 {
+		t.Errorf("RelFromR(+Inf) = %v, want 1", got)
+	}
+	if got := RelFromR(0); got != 0 {
+		t.Errorf("RelFromR(0) = %v, want 0", got)
+	}
+}
+
+// Lemma 4.1: R(W ∪ {w}) = R(W) + (−ln(1−p_w)).
+func TestLemma41Additivity(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(10)
+		probs := make([]float64, n)
+		for i := range probs {
+			probs[i] = r.Float64() * 0.99
+		}
+		before := RFromProbs(probs[:n-1])
+		after := RFromProbs(probs)
+		if !almostEq(after, before+RTerm(probs[n-1]), 1e-9) {
+			t.Fatalf("additivity violated: %v + %v != %v", before, RTerm(probs[n-1]), after)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package objective
+
+import (
+	"rdbsc/internal/diversity"
+	"rdbsc/internal/model"
+)
+
+// TaskState incrementally maintains one task's objective values — the
+// additive reliability R (Eq. 8) and the expected diversity E[STD]
+// (Lemma 3.1) — as workers are assigned. It is the workhorse of the greedy
+// solver's inner loop and of whole-assignment evaluation.
+//
+// Adding a worker costs O(r²) for the exact E[STD] refresh (r = workers on
+// this task); DeltaBoundsIfAdd provides the O(r) lower/upper bounds of
+// Section 4.3 so that the greedy can prune candidates without paying the
+// exact cost (Lemma 4.3).
+type TaskState struct {
+	Task model.Task
+	Beta float64
+
+	workers  []model.WorkerID
+	angles   []float64
+	arrivals []float64
+	probs    []float64
+
+	r    float64 // Σ −ln(1−p): additive reliability
+	estd float64 // cached E[STD]
+}
+
+// NewTaskState returns the empty state for task t with diversity weight β.
+func NewTaskState(t model.Task, beta float64) *TaskState {
+	return &TaskState{Task: t, Beta: beta}
+}
+
+// Len returns the number of workers assigned to the task.
+func (s *TaskState) Len() int { return len(s.workers) }
+
+// Workers returns the assigned worker IDs. The caller must not mutate the
+// returned slice.
+func (s *TaskState) Workers() []model.WorkerID { return s.workers }
+
+// R returns the additive reliability Σ −ln(1−p_j) of the current set.
+func (s *TaskState) R() float64 { return s.r }
+
+// Rel returns the reliability 1 − Π(1−p_j) of the current set.
+func (s *TaskState) Rel() float64 { return RelFromR(s.r) }
+
+// ESTD returns the expected spatial/temporal diversity of the current set.
+func (s *TaskState) ESTD() float64 { return s.estd }
+
+// Add assigns a worker with the given confidence, arrival time and ray
+// angle to the task, updating R (Lemma 4.1: R += −ln(1−p)) and recomputing
+// E[STD].
+func (s *TaskState) Add(w model.WorkerID, prob, arrival, angle float64) {
+	s.workers = append(s.workers, w)
+	s.probs = append(s.probs, prob)
+	s.arrivals = append(s.arrivals, arrival)
+	s.angles = append(s.angles, angle)
+	s.r += RTerm(prob)
+	s.estd = s.computeESTD(s.angles, s.arrivals, s.probs)
+}
+
+// AddPair is Add with the pair's precomputed arrival/angle and the worker's
+// confidence.
+func (s *TaskState) AddPair(p model.Pair, confidence float64) {
+	s.Add(p.Worker, confidence, p.Arrival, p.Angle)
+}
+
+// Remove unassigns the worker with the given ID, recomputing both
+// objectives. It reports whether the worker was present.
+func (s *TaskState) Remove(w model.WorkerID) bool {
+	for i, id := range s.workers {
+		if id != w {
+			continue
+		}
+		s.r -= RTerm(s.probs[i])
+		if s.r < 0 {
+			s.r = 0 // floating-point guard
+		}
+		last := len(s.workers) - 1
+		s.workers[i] = s.workers[last]
+		s.angles[i] = s.angles[last]
+		s.arrivals[i] = s.arrivals[last]
+		s.probs[i] = s.probs[last]
+		s.workers = s.workers[:last]
+		s.angles = s.angles[:last]
+		s.arrivals = s.arrivals[:last]
+		s.probs = s.probs[:last]
+		s.estd = s.computeESTD(s.angles, s.arrivals, s.probs)
+		return true
+	}
+	return false
+}
+
+// DeltaIfAdd returns the exact objective increases (ΔR, ΔE[STD]) that
+// assigning the candidate worker would produce, without mutating the state.
+// ΔR is O(1) (Lemma 4.1); ΔE[STD] recomputes the expected diversity with
+// the candidate included, O(r²).
+func (s *TaskState) DeltaIfAdd(prob, arrival, angle float64) (dR, dSTD float64) {
+	dR = RTerm(prob)
+	angles := append(append(make([]float64, 0, len(s.angles)+1), s.angles...), angle)
+	arrivals := append(append(make([]float64, 0, len(s.arrivals)+1), s.arrivals...), arrival)
+	probs := append(append(make([]float64, 0, len(s.probs)+1), s.probs...), prob)
+	after := s.computeESTD(angles, arrivals, probs)
+	return dR, after - s.estd
+}
+
+// DeltaBoundsIfAdd returns lower/upper bounds on ΔE[STD] for the candidate
+// insertion (Section 4.3), cheaper than the exact Δ. The true Δ always lies
+// within the returned interval.
+func (s *TaskState) DeltaBoundsIfAdd(prob, arrival, angle float64) diversity.Bounds {
+	before := diversity.BoundsESTD(s.Beta, s.angles, s.arrivals, s.probs, s.Task.Start, s.Task.End)
+	angles := append(append(make([]float64, 0, len(s.angles)+1), s.angles...), angle)
+	arrivals := append(append(make([]float64, 0, len(s.arrivals)+1), s.arrivals...), arrival)
+	probs := append(append(make([]float64, 0, len(s.probs)+1), s.probs...), prob)
+	after := diversity.BoundsESTD(s.Beta, angles, arrivals, probs, s.Task.Start, s.Task.End)
+	return diversity.DeltaBounds(before, after)
+}
+
+// Clone returns a deep copy of the state.
+func (s *TaskState) Clone() *TaskState {
+	c := &TaskState{Task: s.Task, Beta: s.Beta, r: s.r, estd: s.estd}
+	c.workers = append([]model.WorkerID(nil), s.workers...)
+	c.angles = append([]float64(nil), s.angles...)
+	c.arrivals = append([]float64(nil), s.arrivals...)
+	c.probs = append([]float64(nil), s.probs...)
+	return c
+}
+
+func (s *TaskState) computeESTD(angles, arrivals, probs []float64) float64 {
+	return diversity.ExpectedSTD(s.Beta, angles, arrivals, probs, s.Task.Start, s.Task.End)
+}

@@ -1,0 +1,218 @@
+package objective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"rdbsc/internal/diversity"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+func newTestState(beta float64) *TaskState {
+	return NewTaskState(model.Task{ID: 1, Loc: geo.Pt(0.5, 0.5), Start: 0, End: 1}, beta)
+}
+
+func TestTaskStateEmpty(t *testing.T) {
+	s := newTestState(0.5)
+	if s.Len() != 0 || s.R() != 0 || s.Rel() != 0 || s.ESTD() != 0 {
+		t.Errorf("empty state: len=%d R=%v rel=%v estd=%v", s.Len(), s.R(), s.Rel(), s.ESTD())
+	}
+}
+
+func TestTaskStateAddUpdatesObjectives(t *testing.T) {
+	s := newTestState(0.5)
+	s.Add(1, 0.9, 0.5, 0)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !almostEq(s.Rel(), 0.9, 1e-12) {
+		t.Errorf("Rel = %v, want 0.9", s.Rel())
+	}
+	// One worker: E[SD]=0, E[TD] = p·ln2 (arrival at midpoint).
+	want := 0.5 * 0.9 * math.Ln2
+	if !almostEq(s.ESTD(), want, 1e-12) {
+		t.Errorf("ESTD = %v, want %v", s.ESTD(), want)
+	}
+}
+
+func TestTaskStateMatchesDirectComputation(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		beta := r.Float64()
+		s := NewTaskState(model.Task{ID: 1, Start: 2, End: 5}, beta)
+		n := 1 + r.Intn(8)
+		angles := make([]float64, n)
+		arrivals := make([]float64, n)
+		probs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			angles[i] = r.Float64() * geo.TwoPi
+			arrivals[i] = 2 + 3*r.Float64()
+			probs[i] = r.Float64()
+			s.Add(model.WorkerID(i), probs[i], arrivals[i], angles[i])
+		}
+		want := diversity.ExpectedSTD(beta, angles, arrivals, probs, 2, 5)
+		if !almostEq(s.ESTD(), want, 1e-9) {
+			t.Fatalf("trial %d: state ESTD %v, direct %v", trial, s.ESTD(), want)
+		}
+		if !almostEq(s.R(), RFromProbs(probs), 1e-9) {
+			t.Fatalf("trial %d: state R %v, direct %v", trial, s.R(), RFromProbs(probs))
+		}
+	}
+}
+
+func TestTaskStateDeltaIfAddIsExact(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 30; trial++ {
+		s := newTestState(r.Float64())
+		n := r.Intn(7)
+		for i := 0; i < n; i++ {
+			s.Add(model.WorkerID(i), r.Float64(), r.Float64(), r.Float64()*geo.TwoPi)
+		}
+		p, arr, ang := r.Float64(), r.Float64(), r.Float64()*geo.TwoPi
+		dR, dSTD := s.DeltaIfAdd(p, arr, ang)
+		before := s.ESTD()
+		beforeR := s.R()
+		s.Add(model.WorkerID(n), p, arr, ang)
+		if !almostEq(s.ESTD()-before, dSTD, 1e-9) {
+			t.Fatalf("trial %d: dSTD %v, actual %v", trial, dSTD, s.ESTD()-before)
+		}
+		if !almostEq(s.R()-beforeR, dR, 1e-9) {
+			t.Fatalf("trial %d: dR %v, actual %v", trial, dR, s.R()-beforeR)
+		}
+		if dSTD < -1e-9 {
+			t.Fatalf("trial %d: Lemma 4.2 violated, dSTD=%v", trial, dSTD)
+		}
+	}
+}
+
+func TestTaskStateDeltaBoundsContainExact(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 50; trial++ {
+		s := newTestState(r.Float64())
+		n := r.Intn(7)
+		for i := 0; i < n; i++ {
+			s.Add(model.WorkerID(i), r.Float64(), r.Float64(), r.Float64()*geo.TwoPi)
+		}
+		p, arr, ang := r.Float64(), r.Float64(), r.Float64()*geo.TwoPi
+		_, dSTD := s.DeltaIfAdd(p, arr, ang)
+		b := s.DeltaBoundsIfAdd(p, arr, ang)
+		if !b.Contains(dSTD) {
+			t.Fatalf("trial %d: exact Δ %v outside bounds %+v", trial, dSTD, b)
+		}
+	}
+}
+
+func TestTaskStateRemove(t *testing.T) {
+	s := newTestState(0.5)
+	s.Add(1, 0.9, 0.3, 1.0)
+	s.Add(2, 0.8, 0.7, 2.0)
+	s.Add(3, 0.7, 0.5, 3.0)
+	if !s.Remove(2) {
+		t.Fatal("Remove(2) = false")
+	}
+	if s.Remove(2) {
+		t.Fatal("double Remove(2) = true")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Rebuild from scratch and compare.
+	fresh := newTestState(0.5)
+	fresh.Add(1, 0.9, 0.3, 1.0)
+	fresh.Add(3, 0.7, 0.5, 3.0)
+	if !almostEq(s.ESTD(), fresh.ESTD(), 1e-9) || !almostEq(s.R(), fresh.R(), 1e-9) {
+		t.Errorf("after Remove: estd=%v r=%v, fresh estd=%v r=%v",
+			s.ESTD(), s.R(), fresh.ESTD(), fresh.R())
+	}
+}
+
+func TestTaskStateClone(t *testing.T) {
+	s := newTestState(0.5)
+	s.Add(1, 0.9, 0.5, 1.0)
+	c := s.Clone()
+	c.Add(2, 0.8, 0.2, 2.0)
+	if s.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone aliases original: %d, %d", s.Len(), c.Len())
+	}
+	if s.ESTD() == c.ESTD() {
+		t.Error("clone ESTD should diverge after Add")
+	}
+}
+
+func TestEvaluateAssignment(t *testing.T) {
+	in := &model.Instance{
+		Tasks: []model.Task{
+			{ID: 0, Loc: geo.Pt(0.3, 0.3), Start: 0, End: 1},
+			{ID: 1, Loc: geo.Pt(0.7, 0.7), Start: 0, End: 1},
+			{ID: 2, Loc: geo.Pt(0.9, 0.1), Start: 0, End: 1}, // unassigned
+		},
+		Workers: []model.Worker{
+			{ID: 0, Loc: geo.Pt(0.25, 0.3), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9},
+			{ID: 1, Loc: geo.Pt(0.35, 0.3), Speed: 1, Dir: geo.FullCircle, Confidence: 0.8},
+			{ID: 2, Loc: geo.Pt(0.7, 0.65), Speed: 1, Dir: geo.FullCircle, Confidence: 0.7},
+		},
+		Beta: 0.5,
+	}
+	a := model.NewAssignment()
+	a.Assign(0, 0)
+	a.Assign(1, 0)
+	a.Assign(2, 1)
+	ev := Evaluate(in, a)
+	if ev.AssignedWorkers != 3 || ev.AssignedTasks != 2 {
+		t.Fatalf("counts: %+v", ev)
+	}
+	// Task 0 rel = 1-(0.1·0.2) = 0.98; task 1 rel = 0.7 → min 0.7.
+	if !almostEq(ev.MinRel, 0.7, 1e-9) {
+		t.Errorf("MinRel = %v, want 0.7", ev.MinRel)
+	}
+	if ev.TotalESTD <= 0 {
+		t.Errorf("TotalESTD = %v, want > 0", ev.TotalESTD)
+	}
+	// Strict reading: task 2 unassigned → literal min over all tasks is 0.
+	if got := MinRelOverAllTasks(in, BuildStates(in, a)); got != 0 {
+		t.Errorf("MinRelOverAllTasks = %v, want 0", got)
+	}
+}
+
+func TestMinRelOverAllTasksFullyCovered(t *testing.T) {
+	in := &model.Instance{
+		Tasks: []model.Task{{ID: 0, Loc: geo.Pt(0.3, 0.3), Start: 0, End: 1}},
+		Workers: []model.Worker{
+			{ID: 0, Loc: geo.Pt(0.25, 0.3), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9},
+		},
+		Beta: 0.5,
+	}
+	a := model.NewAssignment()
+	a.Assign(0, 0)
+	if got := MinRelOverAllTasks(in, BuildStates(in, a)); !almostEq(got, 0.9, 1e-9) {
+		t.Errorf("MinRelOverAllTasks = %v, want 0.9", got)
+	}
+}
+
+func TestEvaluateEmptyAssignment(t *testing.T) {
+	in := &model.Instance{
+		Tasks: []model.Task{{ID: 0, Loc: geo.Pt(0.3, 0.3), Start: 0, End: 1}},
+		Beta:  0.5,
+	}
+	ev := Evaluate(in, model.NewAssignment())
+	if ev.MinRel != 0 || ev.TotalESTD != 0 || ev.AssignedTasks != 0 {
+		t.Errorf("empty evaluation: %+v", ev)
+	}
+}
+
+func TestEvaluationDominates(t *testing.T) {
+	a := Evaluation{MinR: 2, TotalESTD: 5}
+	b := Evaluation{MinR: 1, TotalESTD: 5}
+	c := Evaluation{MinR: 2, TotalESTD: 5}
+	if !a.Dominates(b) {
+		t.Error("a should dominate b")
+	}
+	if a.Dominates(c) || c.Dominates(a) {
+		t.Error("equal evaluations must not dominate each other")
+	}
+	if b.Dominates(a) {
+		t.Error("b must not dominate a")
+	}
+}

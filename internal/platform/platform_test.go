@@ -1,0 +1,141 @@
+package platform
+
+import (
+	"math"
+	"testing"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+func TestSimulatorRunsAndServesTasks(t *testing.T) {
+	sim := New(Config{Horizon: 0.5, Seed: 1})
+	m := sim.Run()
+	if m.Rounds == 0 {
+		t.Fatal("no rounds executed")
+	}
+	if m.TasksIssued == 0 {
+		t.Fatal("no tasks issued")
+	}
+	if m.TasksServed == 0 {
+		t.Fatal("no tasks served — simulation is disconnected")
+	}
+	if m.TotalSTD < 0 {
+		t.Errorf("negative TotalSTD %v", m.TotalSTD)
+	}
+	if m.MinRel < 0 || m.MinRel > 1 {
+		t.Errorf("MinRel %v outside [0,1]", m.MinRel)
+	}
+	if m.Coverage < 0 || m.Coverage > 1 {
+		t.Errorf("Coverage %v outside [0,1]", m.Coverage)
+	}
+}
+
+func TestSimulatorDeterministic(t *testing.T) {
+	a := New(Config{Horizon: 0.3, Seed: 9}).Run()
+	b := New(Config{Horizon: 0.3, Seed: 9}).Run()
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulatorAnswersHaveSaneAccuracy(t *testing.T) {
+	sim := New(Config{Horizon: 0.5, Seed: 2})
+	m := sim.Run()
+	if m.Answers == 0 {
+		t.Skip("no answers produced on this seed")
+	}
+	if m.MeanAccuracy < 0 || m.MeanAccuracy > 1 {
+		t.Errorf("MeanAccuracy %v outside [0,1]", m.MeanAccuracy)
+	}
+}
+
+func TestLargerIntervalReducesDiversity(t *testing.T) {
+	// Figure 18(b): total_STD decreases as t_interval grows, because each
+	// task sees fewer assignment rounds. Use generous horizon to smooth
+	// noise; allow a small tolerance for stochasticity.
+	short := New(Config{Horizon: 2, TInterval: 1.0 / 60, Seed: 3}).Run()
+	long := New(Config{Horizon: 2, TInterval: 4.0 / 60, Seed: 3}).Run()
+	if long.TotalSTD > short.TotalSTD*1.1 {
+		t.Errorf("t_interval=4min STD (%v) should not exceed 1min STD (%v)",
+			long.TotalSTD, short.TotalSTD)
+	}
+}
+
+func TestSimulatorWithDifferentSolvers(t *testing.T) {
+	for _, s := range []core.Solver{core.NewGreedy(), core.NewSampling(), core.NewDC()} {
+		m := New(Config{Horizon: 0.3, Seed: 4, Solver: s}).Run()
+		if m.TasksServed == 0 {
+			t.Errorf("%s: no tasks served", s.Name())
+		}
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	task := model.Task{ID: 1, Loc: geo.Pt(0.5, 0.5), Start: 0, End: 1}
+	_ = task
+	tol := math.Pi / 2 // each answer covers half the circle
+	if got := coverage(nil, tol); got != 0 {
+		t.Errorf("empty coverage = %v", got)
+	}
+	one := []Answer{{Angle: 0}}
+	if got := coverage(one, tol); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("single answer coverage = %v, want 0.5", got)
+	}
+	two := []Answer{{Angle: 0}, {Angle: math.Pi}}
+	if got := coverage(two, tol); math.Abs(got-1) > 1e-9 {
+		t.Errorf("opposite answers coverage = %v, want 1", got)
+	}
+	overlapping := []Answer{{Angle: 0}, {Angle: 0.1}}
+	if got := coverage(overlapping, tol); got > 0.55 {
+		t.Errorf("overlapping coverage = %v, want ≈0.5", got)
+	}
+}
+
+func TestDiversityOfAnswers(t *testing.T) {
+	task := model.Task{ID: 1, Loc: geo.Pt(0.5, 0.5), Start: 0, End: 1}
+	answers := []Answer{
+		{Angle: 0, Time: 0.25},
+		{Angle: math.Pi, Time: 0.75},
+	}
+	got := DiversityOfAnswers(task, 0.5, answers)
+	// SD = ln2 (opposite angles), TD = entropy of {0.25,0.5,0.25}.
+	wantSD := math.Ln2
+	wantTD := -(0.25*math.Log(0.25) + 0.5*math.Log(0.5) + 0.25*math.Log(0.25))
+	want := 0.5*wantSD + 0.5*wantTD
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("DiversityOfAnswers = %v, want %v", got, want)
+	}
+	if got := DiversityOfAnswers(task, 0.5, nil); got != 0 {
+		t.Errorf("no answers diversity = %v", got)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if len(c.Sites) != 5 || c.NumWorkers != 10 {
+		t.Errorf("defaults: %+v", c)
+	}
+	if c.TaskOpen != 0.25 {
+		t.Errorf("TaskOpen default = %v, want 0.25 (15 min)", c.TaskOpen)
+	}
+	if c.Solver == nil {
+		t.Error("nil default solver")
+	}
+}
+
+func TestAnswersAccessor(t *testing.T) {
+	sim := New(Config{Horizon: 0.5, Seed: 1})
+	m := sim.Run()
+	answers := sim.Answers()
+	if len(answers) != m.Answers {
+		t.Fatalf("Answers() returned %d, metrics counted %d", len(answers), m.Answers)
+	}
+	for i := 1; i < len(answers); i++ {
+		a, b := answers[i-1], answers[i]
+		if a.Task > b.Task || (a.Task == b.Task && a.Time > b.Time) {
+			t.Fatalf("answers not ordered at %d: %+v then %+v", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package rng
+
+import (
+	"math"
+	"testing"
+
+	"rdbsc/internal/geo"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestSplitIndependentButDeterministic(t *testing.T) {
+	a1 := New(7)
+	a2 := New(7)
+	s1 := a1.Split()
+	s2 := a2.Split()
+	for i := 0; i < 50; i++ {
+		if s1.Float64() != s2.Float64() {
+			t.Fatal("Split from identical parents must match")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(1)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2.5, 3.5)
+		if v < 2.5 || v >= 3.5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+	if got := s.Uniform(5, 5); got != 5 {
+		t.Errorf("degenerate Uniform = %v, want 5", got)
+	}
+	if got := s.Uniform(5, 4); got != 5 {
+		t.Errorf("inverted Uniform = %v, want lo", got)
+	}
+}
+
+func TestUniformMean(t *testing.T) {
+	s := New(2)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Uniform(0, 1)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	s := New(3)
+	if s.Bernoulli(0) {
+		t.Error("Bernoulli(0) must be false")
+	}
+	if !s.Bernoulli(1) {
+		t.Error("Bernoulli(1) must be true")
+	}
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", frac)
+	}
+}
+
+func TestTruncNormalRange(t *testing.T) {
+	s := New(4)
+	// Paper setting: confidence in [0.9, 1], mean 0.95, σ=0.02.
+	for i := 0; i < 5000; i++ {
+		v := s.TruncNormal(0.95, 0.02, 0.9, 1.0)
+		if v < 0.9 || v > 1.0 {
+			t.Fatalf("TruncNormal out of range: %v", v)
+		}
+	}
+}
+
+func TestTruncNormalMean(t *testing.T) {
+	s := New(5)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += s.TruncNormal(0.95, 0.02, 0.9, 1.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.95) > 0.005 {
+		t.Errorf("TruncNormal mean = %v, want ≈0.95", mean)
+	}
+}
+
+func TestTruncNormalFarTruncationStaysTotal(t *testing.T) {
+	s := New(6)
+	// Interval 50σ away from the mean: rejection will fail, fallback must
+	// still return an in-range value.
+	v := s.TruncNormal(0, 0.01, 10, 11)
+	if v < 10 || v > 11 {
+		t.Errorf("far TruncNormal = %v, want in [10,11]", v)
+	}
+}
+
+func TestTruncNormalDegenerate(t *testing.T) {
+	s := New(61)
+	if got := s.TruncNormal(0.5, 0.1, 2, 2); got != 2 {
+		t.Errorf("degenerate TruncNormal = %v, want 2", got)
+	}
+}
+
+func TestUniformPointInRect(t *testing.T) {
+	s := New(7)
+	r := geo.NewRect(geo.Pt(0.2, 0.4), geo.Pt(0.6, 0.9))
+	for i := 0; i < 2000; i++ {
+		p := s.UniformPoint(r)
+		if !r.Contains(p) {
+			t.Fatalf("UniformPoint outside rect: %v", p)
+		}
+	}
+}
+
+func TestSkewedPointInUnitSquare(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 5000; i++ {
+		p := s.SkewedPoint(geo.Pt(0.5, 0.5), 0.2, 0.9)
+		if !p.In(geo.UnitSquare) {
+			t.Fatalf("SkewedPoint outside unit square: %v", p)
+		}
+	}
+}
+
+func TestSkewedPointClusters(t *testing.T) {
+	// With 90% clustering at σ=0.2, the fraction within 0.3 of the center
+	// should be well above the uniform baseline.
+	s := New(9)
+	inner := 0
+	const n = 20000
+	c := geo.Pt(0.5, 0.5)
+	for i := 0; i < n; i++ {
+		if s.SkewedPoint(c, 0.2, 0.9).Dist(c) < 0.3 {
+			inner++
+		}
+	}
+	frac := float64(inner) / n
+	if frac < 0.6 {
+		t.Errorf("clustered fraction = %v, want > 0.6", frac)
+	}
+}
+
+func TestGaussianPointIn(t *testing.T) {
+	s := New(10)
+	r := geo.NewRect(geo.Pt(0, 0), geo.Pt(0.1, 0.1))
+	for i := 0; i < 1000; i++ {
+		p := s.GaussianPointIn(geo.Pt(0.05, 0.05), 0.5, r)
+		if !r.Contains(p) {
+			t.Fatalf("GaussianPointIn outside rect: %v", p)
+		}
+	}
+}
+
+func TestAngleRange(t *testing.T) {
+	s := New(11)
+	for i := 0; i < 2000; i++ {
+		a := s.Angle()
+		if a < 0 || a >= geo.TwoPi {
+			t.Fatalf("Angle out of range: %v", a)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(12)
+	p := s.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestExp(t *testing.T) {
+	s := New(13)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(2)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) mean = %v, want ≈0.5", mean)
+	}
+	if !math.IsInf(s.Exp(0), 1) {
+		t.Error("Exp(0) must be +Inf")
+	}
+}

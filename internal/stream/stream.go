@@ -1,0 +1,326 @@
+// Package stream drives the dynamic side of the RDB-SC system (Sections 2
+// and 7.2 of the paper): tasks and workers continuously enter and leave the
+// platform, the RDB-SC-Grid index is maintained incrementally under that
+// churn, and the solver runs periodically over the index-retrieved valid
+// pairs.
+//
+// The paper's Section 7.2 analyzes exactly these operations (worker
+// insert/delete, task insert/delete, and their effect on the tcell lists);
+// this package is the workload driver that exercises them end to end and
+// measures their cost.
+package stream
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/gen"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/grid"
+	"rdbsc/internal/model"
+	"rdbsc/internal/rng"
+)
+
+// Config parameterizes the churn simulation.
+type Config struct {
+	// TaskRate and WorkerRate are Poisson arrival rates per hour
+	// (defaults 40 and 80).
+	TaskRate, WorkerRate float64
+	// TaskLifetime is the mean valid-period length of arriving tasks in
+	// hours (default 0.5); WorkerLifetime the mean session length of
+	// arriving workers (default 1).
+	TaskLifetime, WorkerLifetime float64
+	// Horizon is the simulated span in hours (default 4).
+	Horizon float64
+	// AssignEvery is the period between assignment rounds in hours
+	// (default 0.25).
+	AssignEvery float64
+	// Solver performs the rounds (default: greedy).
+	Solver core.Solver
+	// Template supplies worker attribute ranges (speeds, cones,
+	// confidences) — the Table 2 knobs.
+	Template gen.Config
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TaskRate <= 0 {
+		c.TaskRate = 40
+	}
+	if c.WorkerRate <= 0 {
+		c.WorkerRate = 80
+	}
+	if c.TaskLifetime <= 0 {
+		c.TaskLifetime = 0.5
+	}
+	if c.WorkerLifetime <= 0 {
+		c.WorkerLifetime = 1
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 4
+	}
+	if c.AssignEvery <= 0 {
+		c.AssignEvery = 0.25
+	}
+	if c.Solver == nil {
+		c.Solver = core.NewGreedy()
+	}
+	if c.Template.StartHorizon == 0 {
+		c.Template = gen.Default()
+	}
+	return c
+}
+
+// Report aggregates one churn run.
+type Report struct {
+	// Arrival/departure counts.
+	TasksArrived, TasksExpired  int
+	WorkersArrived, WorkersLeft int
+	// Rounds is the number of assignment rounds.
+	Rounds int
+	// Assignments is the total worker-task assignments made.
+	Assignments int
+	// PairsRetrieved is the total valid pairs returned by the index.
+	PairsRetrieved int
+	// PeakTasks/PeakWorkers are occupancy high-water marks.
+	PeakTasks, PeakWorkers int
+	// SolveSeconds and RetrieveSeconds are accumulated wall-clock costs.
+	SolveSeconds, RetrieveSeconds float64
+	// MeanMinRel and MeanTotalSTD average the per-round objectives over
+	// rounds that assigned at least one worker.
+	MeanMinRel, MeanTotalSTD float64
+}
+
+// String implements fmt.Stringer.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"rounds=%d assignments=%d tasks(+%d/-%d peak %d) workers(+%d/-%d peak %d) minRel=%.3f STD=%.3f",
+		r.Rounds, r.Assignments, r.TasksArrived, r.TasksExpired, r.PeakTasks,
+		r.WorkersArrived, r.WorkersLeft, r.PeakWorkers, r.MeanMinRel, r.MeanTotalSTD)
+}
+
+// event kinds.
+const (
+	evTaskArrive = iota
+	evTaskExpire
+	evWorkerArrive
+	evWorkerLeave
+	evAssign
+)
+
+type event struct {
+	at   float64
+	kind int
+	id   int64
+	seq  int64 // tie-break for deterministic ordering
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is the churn simulator. Construct with New, drive with Run, or use
+// Snapshot mid-run from a Checkpoint callback.
+type Sim struct {
+	cfg Config
+	src *rng.Source
+
+	grid    *grid.Grid
+	tasks   map[model.TaskID]model.Task
+	workers map[model.WorkerID]model.Worker
+
+	queue eventQueue
+	seq   int64
+	rep   Report
+
+	// Checkpoint, when set, is invoked after every processed event with
+	// the current time; tests use it to compare the index against a
+	// brute-force scan.
+	Checkpoint func(now float64)
+}
+
+// New prepares a churn simulation.
+func New(cfg Config) *Sim {
+	cfg = cfg.withDefaults()
+	s := &Sim{
+		cfg:     cfg,
+		src:     rng.New(cfg.Seed),
+		grid:    grid.New(grid.Config{}, model.Options{WaitAllowed: true}),
+		tasks:   make(map[model.TaskID]model.Task),
+		workers: make(map[model.WorkerID]model.Worker),
+	}
+	heap.Init(&s.queue)
+	s.schedule(s.src.Exp(cfg.TaskRate), evTaskArrive, 0)
+	s.schedule(s.src.Exp(cfg.WorkerRate), evWorkerArrive, 0)
+	s.schedule(cfg.AssignEvery, evAssign, 0)
+	return s
+}
+
+// Instance snapshots the currently live tasks and workers as a static
+// instance (brute-force pair baseline for tests). Slices are ordered by ID
+// so downstream solvers see a deterministic view regardless of map
+// iteration order.
+func (s *Sim) Instance() *model.Instance {
+	in := &model.Instance{Beta: 0.5, Opt: model.Options{WaitAllowed: true}}
+	for _, t := range s.tasks {
+		in.Tasks = append(in.Tasks, t)
+	}
+	for _, w := range s.workers {
+		in.Workers = append(in.Workers, w)
+	}
+	sort.Slice(in.Tasks, func(i, j int) bool { return in.Tasks[i].ID < in.Tasks[j].ID })
+	sort.Slice(in.Workers, func(i, j int) bool { return in.Workers[i].ID < in.Workers[j].ID })
+	return in
+}
+
+// Grid exposes the live index (read-only use).
+func (s *Sim) Grid() *grid.Grid { return s.grid }
+
+// Run processes events until the horizon and returns the report.
+func (s *Sim) Run() Report {
+	var relSum, stdSum float64
+	activeRounds := 0
+	var nextTaskID int64
+	var nextWorkerID int64
+
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(event)
+		if e.at > s.cfg.Horizon {
+			break
+		}
+		switch e.kind {
+		case evTaskArrive:
+			t := s.newTask(model.TaskID(nextTaskID), e.at)
+			nextTaskID++
+			s.tasks[t.ID] = t
+			s.grid.InsertTask(t)
+			s.rep.TasksArrived++
+			s.schedule(t.End, evTaskExpire, int64(t.ID))
+			s.schedule(e.at+s.src.Exp(s.cfg.TaskRate), evTaskArrive, 0)
+		case evTaskExpire:
+			if t, ok := s.tasks[model.TaskID(e.id)]; ok {
+				s.grid.RemoveTask(t.ID, t.Loc)
+				delete(s.tasks, t.ID)
+				s.rep.TasksExpired++
+			}
+		case evWorkerArrive:
+			w := s.newWorker(model.WorkerID(nextWorkerID), e.at)
+			nextWorkerID++
+			s.workers[w.ID] = w
+			s.grid.InsertWorker(w)
+			s.rep.WorkersArrived++
+			s.schedule(e.at+s.src.Exp(1/s.cfg.WorkerLifetime), evWorkerLeave, int64(w.ID))
+			s.schedule(e.at+s.src.Exp(s.cfg.WorkerRate), evWorkerArrive, 0)
+		case evWorkerLeave:
+			if w, ok := s.workers[model.WorkerID(e.id)]; ok {
+				s.grid.RemoveWorker(w.ID, w.Loc)
+				delete(s.workers, w.ID)
+				s.rep.WorkersLeft++
+			}
+		case evAssign:
+			if rel, std, ok := s.assignRound(); ok {
+				relSum += rel
+				stdSum += std
+				activeRounds++
+			}
+			s.rep.Rounds++
+			s.schedule(e.at+s.cfg.AssignEvery, evAssign, 0)
+		}
+		if len(s.tasks) > s.rep.PeakTasks {
+			s.rep.PeakTasks = len(s.tasks)
+		}
+		if len(s.workers) > s.rep.PeakWorkers {
+			s.rep.PeakWorkers = len(s.workers)
+		}
+		if s.Checkpoint != nil {
+			s.Checkpoint(e.at)
+		}
+	}
+	if activeRounds > 0 {
+		s.rep.MeanMinRel = relSum / float64(activeRounds)
+		s.rep.MeanTotalSTD = stdSum / float64(activeRounds)
+	}
+	return s.rep
+}
+
+func (s *Sim) assignRound() (minRel, totalSTD float64, ok bool) {
+	if len(s.tasks) == 0 || len(s.workers) == 0 {
+		return 0, 0, false
+	}
+	in := s.Instance()
+	start := time.Now()
+	pairs := s.grid.ValidPairs()
+	s.rep.RetrieveSeconds += time.Since(start).Seconds()
+	s.rep.PairsRetrieved += len(pairs)
+	if len(pairs) == 0 {
+		return 0, 0, false
+	}
+	p := core.NewProblemWithPairs(in, pairs)
+	start = time.Now()
+	res := s.cfg.Solver.Solve(p, s.src.Split())
+	s.rep.SolveSeconds += time.Since(start).Seconds()
+	if res.Assignment.Len() == 0 {
+		return 0, 0, false
+	}
+	s.rep.Assignments += res.Assignment.Len()
+	return res.Eval.MinRel, res.Eval.TotalESTD, true
+}
+
+func (s *Sim) newTask(id model.TaskID, now float64) model.Task {
+	life := s.src.Exp(1 / s.cfg.TaskLifetime)
+	return model.Task{
+		ID:    id,
+		Loc:   s.src.UniformPoint(gridSpace),
+		Start: now,
+		End:   now + life,
+	}
+}
+
+func (s *Sim) newWorker(id model.WorkerID, now float64) model.Worker {
+	tpl := s.cfg.Template
+	width := s.src.Uniform(0, tpl.AngleMax)
+	if width <= 0 {
+		width = tpl.AngleMax / 2
+	}
+	return model.Worker{
+		ID:         id,
+		Loc:        s.src.UniformPoint(gridSpace),
+		Speed:      s.src.Uniform(tpl.VMin, tpl.VMax),
+		Dir:        sector(s.src.Angle(), width),
+		Confidence: s.src.TruncNormal((tpl.PMin+tpl.PMax)/2, 0.02, tpl.PMin, tpl.PMax),
+		Depart:     now,
+	}
+}
+
+func (s *Sim) schedule(at float64, kind int, id int64) {
+	s.seq++
+	heap.Push(&s.queue, event{at: at, kind: kind, id: id, seq: s.seq})
+}
+
+// gridSpace is the unit-square data space shared with the rest of the
+// system.
+var gridSpace = geo.UnitSquare
+
+// sector builds a worker direction cone.
+func sector(mid, width float64) geo.AngInterval {
+	return geo.AngIntervalAround(mid, width)
+}

@@ -1,0 +1,99 @@
+package stream
+
+import (
+	"sort"
+	"testing"
+
+	"rdbsc/internal/model"
+)
+
+func TestChurnRunBasics(t *testing.T) {
+	s := New(Config{Horizon: 1, Seed: 1})
+	rep := s.Run()
+	if rep.TasksArrived == 0 || rep.WorkersArrived == 0 {
+		t.Fatalf("no churn: %+v", rep)
+	}
+	if rep.Rounds == 0 {
+		t.Fatal("no assignment rounds")
+	}
+	if rep.PeakTasks == 0 || rep.PeakWorkers == 0 {
+		t.Errorf("zero peaks: %+v", rep)
+	}
+	if rep.TasksExpired > rep.TasksArrived {
+		t.Errorf("more expirations than arrivals: %+v", rep)
+	}
+	if rep.WorkersLeft > rep.WorkersArrived {
+		t.Errorf("more departures than arrivals: %+v", rep)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+func TestChurnDeterministic(t *testing.T) {
+	a := New(Config{Horizon: 0.5, Seed: 7}).Run()
+	b := New(Config{Horizon: 0.5, Seed: 7}).Run()
+	// Wall-clock fields differ run to run; compare the logical outcome.
+	a.SolveSeconds, b.SolveSeconds = 0, 0
+	a.RetrieveSeconds, b.RetrieveSeconds = 0, 0
+	if a != b {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// The core dynamic-maintenance invariant (Section 7.2): at every point of
+// the churn, the index's valid pairs equal a brute-force scan of the live
+// instance.
+func TestIndexConsistentUnderChurn(t *testing.T) {
+	s := New(Config{Horizon: 0.5, Seed: 3, TaskRate: 60, WorkerRate: 120})
+	checks := 0
+	events := 0
+	s.Checkpoint = func(now float64) {
+		events++
+		if events%25 != 0 { // check periodically; every event is too slow
+			return
+		}
+		checks++
+		got := keys(s.Grid().ValidPairs())
+		want := keys(s.Instance().ValidPairs())
+		if len(got) != len(want) {
+			t.Fatalf("t=%.3f: index %d pairs, scan %d", now, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("t=%.3f: pair %d mismatch: %v vs %v", now, i, got[i], want[i])
+			}
+		}
+	}
+	s.Run()
+	if checks == 0 {
+		t.Fatal("checkpoint never ran")
+	}
+}
+
+func TestChurnWithDifferentSolvers(t *testing.T) {
+	rep := New(Config{Horizon: 0.5, Seed: 4}).Run()
+	if rep.Assignments == 0 {
+		t.Skip("no assignments on this seed; churn too sparse")
+	}
+	if rep.MeanMinRel < 0 || rep.MeanMinRel > 1 {
+		t.Errorf("MeanMinRel = %v", rep.MeanMinRel)
+	}
+	if rep.MeanTotalSTD < 0 {
+		t.Errorf("MeanTotalSTD = %v", rep.MeanTotalSTD)
+	}
+}
+
+func keys(pairs []model.Pair) [][2]int32 {
+	ks := make([][2]int32, len(pairs))
+	for i, p := range pairs {
+		ks[i] = [2]int32{int32(p.Task), int32(p.Worker)}
+	}
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i][0] != ks[j][0] {
+			return ks[i][0] < ks[j][0]
+		}
+		return ks[i][1] < ks[j][1]
+	})
+	return ks
+}

@@ -1,0 +1,150 @@
+// Package viz renders RDB-SC instances and assignments as SVG: tasks as
+// circles scaled by remaining valid time, workers as dots with their
+// direction cones, assignment edges, and (optionally) the grid index's
+// cells. It has no dependencies beyond the standard library and is used by
+// humans debugging workloads and by the examples.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// Options tunes the rendering.
+type Options struct {
+	// Size is the output width/height in pixels (default 640).
+	Size int
+	// GridEta draws grid lines with the given cell side when positive.
+	GridEta float64
+	// ConeLength is the drawn length of worker direction cones in data
+	// units (default 0.05).
+	ConeLength float64
+	// Title is an optional caption.
+	Title string
+}
+
+func (o Options) withDefaults() Options {
+	if o.Size <= 0 {
+		o.Size = 640
+	}
+	if o.ConeLength <= 0 {
+		o.ConeLength = 0.05
+	}
+	return o
+}
+
+// Render writes an SVG view of the instance and (optionally nil)
+// assignment to w.
+func Render(w io.Writer, in *model.Instance, a *model.Assignment, opt Options) error {
+	opt = opt.withDefaults()
+	s := float64(opt.Size)
+	px := func(p geo.Point) (float64, float64) {
+		// SVG y grows downward; data space y grows upward.
+		return p.X * s, (1 - p.Y) * s
+	}
+
+	var err error
+	pr := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	pr(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		opt.Size, opt.Size, opt.Size, opt.Size)
+	pr(`<rect width="%d" height="%d" fill="#fcfcf8"/>`+"\n", opt.Size, opt.Size)
+
+	if opt.GridEta > 0 {
+		pr(`<g stroke="#ddd" stroke-width="1">` + "\n")
+		for x := opt.GridEta; x < 1; x += opt.GridEta {
+			pr(`<line x1="%.1f" y1="0" x2="%.1f" y2="%.0f"/>`+"\n", x*s, x*s, s)
+		}
+		for y := opt.GridEta; y < 1; y += opt.GridEta {
+			pr(`<line x1="0" y1="%.1f" x2="%.0f" y2="%.1f"/>`+"\n", y*s, s, y*s)
+		}
+		pr("</g>\n")
+	}
+
+	// Assignment edges under the nodes.
+	if a != nil {
+		tasks := make(map[model.TaskID]geo.Point, len(in.Tasks))
+		for _, t := range in.Tasks {
+			tasks[t.ID] = t.Loc
+		}
+		workers := make(map[model.WorkerID]geo.Point, len(in.Workers))
+		for _, wk := range in.Workers {
+			workers[wk.ID] = wk.Loc
+		}
+		pr(`<g stroke="#7a9e7e" stroke-width="1.2" opacity="0.8">` + "\n")
+		a.Workers(func(wid model.WorkerID, tid model.TaskID) {
+			wp, wok := workers[wid]
+			tp, tok := tasks[tid]
+			if !wok || !tok {
+				return
+			}
+			x1, y1 := px(wp)
+			x2, y2 := px(tp)
+			pr(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f"/>`+"\n", x1, y1, x2, y2)
+		})
+		pr("</g>\n")
+	}
+
+	// Tasks: circles sized by period length.
+	pr(`<g fill="#c0392b" fill-opacity="0.75">` + "\n")
+	for _, t := range in.Tasks {
+		x, y := px(t.Loc)
+		r := 3 + math.Min(6, t.Duration())
+		pr(`<circle cx="%.1f" cy="%.1f" r="%.1f"/>`+"\n", x, y, r)
+	}
+	pr("</g>\n")
+
+	// Workers: dots with direction cones.
+	pr(`<g>` + "\n")
+	for _, wk := range in.Workers {
+		x, y := px(wk.Loc)
+		pr(`<circle cx="%.1f" cy="%.1f" r="2.5" fill="#2c3e50"/>`+"\n", x, y)
+		if !wk.Dir.IsFull() {
+			lo := wk.Dir.Lo
+			hi := wk.Dir.Hi()
+			l := opt.ConeLength * s
+			// SVG y is flipped, so angles negate.
+			x1, y1 := x+l*math.Cos(lo), y-l*math.Sin(lo)
+			x2, y2 := x+l*math.Cos(hi), y-l*math.Sin(hi)
+			large := 0
+			if wk.Dir.Width > math.Pi {
+				large = 1
+			}
+			pr(`<path d="M %.1f %.1f L %.1f %.1f A %.1f %.1f 0 %d 0 %.1f %.1f Z" fill="#3498db" fill-opacity="0.25"/>`+"\n",
+				x, y, x1, y1, l, l, large, x2, y2)
+		}
+	}
+	pr("</g>\n")
+
+	if opt.Title != "" {
+		pr(`<text x="8" y="18" font-family="sans-serif" font-size="14" fill="#333">%s</text>`+"\n",
+			escape(opt.Title))
+	}
+	pr("</svg>\n")
+	return err
+}
+
+func escape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

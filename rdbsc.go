@@ -1,0 +1,278 @@
+// Package rdbsc is a Go implementation of Reliable Diversity-Based Spatial
+// Crowdsourcing (RDB-SC) from "Reliable Diversity-Based Spatial
+// Crowdsourcing by Moving Workers" (Cheng et al., PVLDB 8(10), VLDB 2015).
+//
+// RDB-SC assigns dynamically moving workers to time-constrained spatial
+// tasks so that (1) the minimum task reliability — the probability that at
+// least one assigned worker completes each task — and (2) the total
+// expected spatial/temporal diversity of the collected answers are both
+// maximized. The problem is NP-hard; this package exposes the paper's three
+// approximation algorithms (greedy, sampling, divide-and-conquer), the
+// polynomial expected-diversity computation, the cost-model-based
+// RDB-SC-Grid spatial index, workload generators, and a platform simulator
+// for incremental (periodic) reassignment.
+//
+// # Quick start
+//
+//	in := rdbsc.GenerateWorkload(rdbsc.DefaultWorkload().WithScale(100, 200))
+//	res, err := rdbsc.Solve(in, rdbsc.WithSolver(rdbsc.NewDC()), rdbsc.WithSeed(42))
+//	if err != nil { ... }
+//	fmt.Println(res.Eval.MinRel, res.Eval.TotalESTD)
+//
+// See the examples/ directory for runnable scenarios: the landmark
+// photography task of the paper's Example 1, the parking-monitoring task of
+// Example 2, and a live incremental platform.
+package rdbsc
+
+import (
+	"fmt"
+
+	"rdbsc/internal/aggregate"
+	"rdbsc/internal/core"
+	"rdbsc/internal/dataset"
+	"rdbsc/internal/diversity"
+	"rdbsc/internal/gen"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/grid"
+	"rdbsc/internal/model"
+	"rdbsc/internal/objective"
+	"rdbsc/internal/platform"
+	"rdbsc/internal/rng"
+)
+
+// Domain model (Section 2 of the paper).
+type (
+	// Task is a time-constrained spatial task (Definition 1).
+	Task = model.Task
+	// Worker is a dynamically moving worker (Definition 2).
+	Worker = model.Worker
+	// TaskID identifies a Task.
+	TaskID = model.TaskID
+	// WorkerID identifies a Worker.
+	WorkerID = model.WorkerID
+	// Instance is one RDB-SC problem: tasks, workers, β, options.
+	Instance = model.Instance
+	// Assignment maps workers to tasks.
+	Assignment = model.Assignment
+	// Options configures reachability semantics.
+	Options = model.Options
+	// Pair is a valid task-worker pair with arrival time and ray angle.
+	Pair = model.Pair
+	// Point is a location in the unit-square data space.
+	Point = geo.Point
+	// AngInterval is a worker's direction cone [α−, α+].
+	AngInterval = geo.AngInterval
+)
+
+// Solvers (Sections 4–6).
+type (
+	// Solver is the common interface of the approximation algorithms.
+	Solver = core.Solver
+	// Result bundles an assignment with its evaluation and diagnostics.
+	Result = core.Result
+	// Problem is a prepared instance (valid pairs indexed).
+	Problem = core.Problem
+	// Evaluation reports the two objective values of an assignment.
+	Evaluation = objective.Evaluation
+	// Greedy is the pair-by-pair solver of Section 4.
+	Greedy = core.Greedy
+	// Sampling is the random-sampling solver of Section 5.
+	Sampling = core.Sampling
+	// DC is the divide-and-conquer solver of Section 6.
+	DC = core.DC
+	// SampleSizeSpec carries the (ε,δ) accuracy target of Section 5.2.
+	SampleSizeSpec = core.SampleSizeSpec
+)
+
+// NoTask marks an unassigned worker.
+const NoTask = model.NoTask
+
+// NewAssignment returns an empty assignment.
+func NewAssignment() *Assignment { return model.NewAssignment() }
+
+// FullCircle is the unconstrained direction cone.
+var FullCircle = geo.FullCircle
+
+// Pt constructs a Point.
+func Pt(x, y float64) Point { return geo.Pt(x, y) }
+
+// Sector returns the direction cone centered at mid with total width w.
+func Sector(mid, w float64) AngInterval { return geo.AngIntervalAround(mid, w) }
+
+// NewGreedy returns the greedy solver with Lemma 4.3 pruning enabled.
+func NewGreedy() *Greedy { return core.NewGreedy() }
+
+// NewSampling returns the sampling solver with the paper's default (ε=0.1,
+// δ=0.9) sample-size guarantee.
+func NewSampling() *Sampling { return core.NewSampling() }
+
+// NewDC returns the divide-and-conquer solver with sampling leaves.
+func NewDC() *DC { return core.NewDC() }
+
+// GTruth returns the paper's G-TRUTH reference configuration (D&C with a
+// 10× sampling budget).
+func GTruth() Solver { return core.GTruth() }
+
+// NewExhaustive returns the exact enumerator for tiny instances.
+func NewExhaustive() *core.Exhaustive { return core.NewExhaustive() }
+
+// NewProblem prepares an instance for solving, enumerating valid pairs by
+// brute force. Use NewProblemWithIndex to retrieve pairs through the grid.
+func NewProblem(in *Instance) *Problem { return core.NewProblem(in) }
+
+// NewProblemWithIndex prepares an instance using the RDB-SC-Grid index for
+// valid-pair retrieval.
+func NewProblemWithIndex(in *Instance) *Problem {
+	g := grid.NewFromInstance(grid.Config{}, in)
+	return core.NewProblemWithPairs(in, g.ValidPairs())
+}
+
+// solveConfig carries Solve options.
+type solveConfig struct {
+	solver   Solver
+	seed     int64
+	useIndex bool
+}
+
+// SolveOption customizes Solve.
+type SolveOption func(*solveConfig)
+
+// WithSolver selects the algorithm (default: divide-and-conquer).
+func WithSolver(s Solver) SolveOption { return func(c *solveConfig) { c.solver = s } }
+
+// WithSeed seeds the solver's randomness (default 1).
+func WithSeed(seed int64) SolveOption { return func(c *solveConfig) { c.seed = seed } }
+
+// WithIndex routes valid-pair retrieval through the RDB-SC-Grid index.
+func WithIndex() SolveOption { return func(c *solveConfig) { c.useIndex = true } }
+
+// Solve validates the instance, prepares it, and runs the selected solver.
+func Solve(in *Instance, opts ...SolveOption) (*Result, error) {
+	cfg := solveConfig{solver: core.NewDC(), seed: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("rdbsc: %w", err)
+	}
+	var p *Problem
+	if cfg.useIndex {
+		p = NewProblemWithIndex(in)
+	} else {
+		p = core.NewProblem(in)
+	}
+	return cfg.solver.Solve(p, rng.New(cfg.seed)), nil
+}
+
+// Evaluate computes the two objective values of an assignment.
+func Evaluate(in *Instance, a *Assignment) Evaluation {
+	return objective.Evaluate(in, a)
+}
+
+// Reliability returns 1 − Π(1−p) for a set of worker confidences (Eq. 1).
+func Reliability(confidences []float64) float64 { return objective.Rel(confidences) }
+
+// ExpectedSTD computes the expected spatial/temporal diversity of one
+// task's worker set under possible-worlds semantics (Lemma 3.1): the
+// workers' ray angles, arrival times, and confidences are given as parallel
+// slices, with the task's valid period [start, end].
+func ExpectedSTD(beta float64, angles, arrivals, confidences []float64, start, end float64) float64 {
+	return diversity.ExpectedSTD(beta, angles, arrivals, confidences, start, end)
+}
+
+// STD computes the realized (deterministic) spatial/temporal diversity of
+// answers actually collected (Eqs. 3–5).
+func STD(beta float64, angles, times []float64, start, end float64) float64 {
+	return diversity.STD(beta, angles, times, start, end)
+}
+
+// Workload generation (Section 8.1 / Table 2).
+type (
+	// WorkloadConfig mirrors Table 2's experimental parameters.
+	WorkloadConfig = gen.Config
+	// RealWorkloadConfig assembles the real-data-substitute workload.
+	RealWorkloadConfig = gen.RealConfig
+	// POIConfig parameterizes the Beijing-like POI generator.
+	POIConfig = gen.POIConfig
+	// TrajectoryConfig parameterizes the T-Drive-like taxi simulator.
+	TrajectoryConfig = gen.TrajectoryConfig
+)
+
+// Distribution choices for synthetic workloads.
+const (
+	Uniform = gen.Uniform
+	Skewed  = gen.Skewed
+)
+
+// DefaultWorkload returns Table 2's defaults at bench scale.
+func DefaultWorkload() WorkloadConfig { return gen.Default() }
+
+// GenerateWorkload draws a synthetic instance.
+func GenerateWorkload(cfg WorkloadConfig) *Instance { return gen.Generate(cfg) }
+
+// GenerateDenseWorkload draws a synthetic instance with task windows and
+// worker check-ins clustered near time zero, keeping small instances well
+// connected.
+func GenerateDenseWorkload(cfg WorkloadConfig) *Instance { return gen.GenerateDense(cfg) }
+
+// GenerateRealWorkload draws the real-data-substitute instance (clustered
+// POIs as tasks, simulated taxi trajectories as workers).
+func GenerateRealWorkload(cfg RealWorkloadConfig) *Instance { return gen.GenerateReal(cfg) }
+
+// Spatial index (Section 7).
+type (
+	// Grid is the cost-model-based RDB-SC-Grid index.
+	Grid = grid.Grid
+	// GridConfig configures the index.
+	GridConfig = grid.Config
+)
+
+// NewGrid builds the index for an instance, deriving the cell size from
+// the cost model when cfg.Eta is zero.
+func NewGrid(cfg GridConfig, in *Instance) *Grid { return grid.NewFromInstance(cfg, in) }
+
+// Workload persistence (CSV, the rdbsc-gen / rdbsc-solve interchange
+// format).
+
+// SaveWorkload writes <prefix>_tasks.csv and <prefix>_workers.csv.
+func SaveWorkload(prefix string, in *Instance) error {
+	return dataset.SaveInstance(prefix, in)
+}
+
+// LoadWorkload reads a saved workload, attaching the given β.
+func LoadWorkload(prefix string, beta float64) (*Instance, error) {
+	return dataset.LoadInstance(prefix, beta)
+}
+
+// Answer aggregation (Section 2.3): group near-duplicate answers and keep
+// one representative per group.
+type (
+	// AggregateItem is one answer to aggregate.
+	AggregateItem = aggregate.Item
+	// AggregateGroup is one cluster of similar answers.
+	AggregateGroup = aggregate.Group
+	// AggregateConfig tunes the grouping.
+	AggregateConfig = aggregate.Config
+)
+
+// AggregateAnswers groups answers with similar (angle, time)
+// characteristics under the β-weighted mixed metric.
+func AggregateAnswers(items []AggregateItem, cfg AggregateConfig) []AggregateGroup {
+	return aggregate.Aggregate(items, cfg)
+}
+
+// Platform simulation (Section 8.4).
+type (
+	// PlatformConfig parameterizes the incremental-update simulator.
+	PlatformConfig = platform.Config
+	// PlatformMetrics aggregates one simulated run.
+	PlatformMetrics = platform.Metrics
+	// Answer is one completed task answer.
+	Answer = platform.Answer
+)
+
+// SimulatePlatform runs the gMission-substitute simulation with the
+// incremental updating strategy of Figure 10.
+func SimulatePlatform(cfg PlatformConfig) PlatformMetrics {
+	return platform.New(cfg).Run()
+}

@@ -1,0 +1,130 @@
+package rdbsc
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolveEndToEnd(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(40, 80))
+	for _, solver := range []Solver{NewGreedy(), NewSampling(), NewDC(), GTruth()} {
+		res, err := Solve(in, WithSolver(solver), WithSeed(42))
+		if err != nil {
+			t.Fatalf("%s: %v", solver.Name(), err)
+		}
+		if err := in.CheckAssignment(res.Assignment); err != nil {
+			t.Fatalf("%s produced invalid assignment: %v", solver.Name(), err)
+		}
+		if res.Eval.MinRel < 0 || res.Eval.MinRel > 1 {
+			t.Errorf("%s MinRel = %v", solver.Name(), res.Eval.MinRel)
+		}
+	}
+}
+
+func TestSolveDefaultsToDC(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(20, 40))
+	res, err := Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Len() == 0 {
+		t.Error("default solve assigned nothing")
+	}
+}
+
+func TestSolveWithIndexMatchesWithout(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(30, 60))
+	a, err := Solve(in, WithSolver(NewGreedy()), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(in, WithSolver(NewGreedy()), WithSeed(1), WithIndex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy is deterministic given the same pair set; the index retrieves
+	// the same pairs (possibly in different order, but greedy sorts by
+	// worker), so the objective values must agree.
+	if math.Abs(a.Eval.TotalESTD-b.Eval.TotalESTD) > 1e-9 {
+		t.Errorf("index changed result: %v vs %v", a.Eval, b.Eval)
+	}
+}
+
+func TestSolveRejectsInvalidInstance(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(5, 5))
+	in.Beta = 2 // invalid
+	if _, err := Solve(in); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+func TestReliabilityFacade(t *testing.T) {
+	if got := Reliability([]float64{0.5, 0.5}); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("Reliability = %v, want 0.75", got)
+	}
+}
+
+func TestDiversityFacade(t *testing.T) {
+	angles := []float64{0, math.Pi}
+	arrivals := []float64{0.5, 0.5}
+	probs := []float64{1, 1}
+	estd := ExpectedSTD(1, angles, arrivals, probs, 0, 1)
+	if math.Abs(estd-math.Ln2) > 1e-12 {
+		t.Errorf("ExpectedSTD = %v, want ln2", estd)
+	}
+	std := STD(1, angles, arrivals, 0, 1)
+	if math.Abs(std-math.Ln2) > 1e-12 {
+		t.Errorf("STD = %v, want ln2", std)
+	}
+}
+
+func TestGridFacade(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(20, 40))
+	g := NewGrid(GridConfig{}, in)
+	tasks, workers := g.Len()
+	if tasks != 20 || workers != 40 {
+		t.Errorf("grid holds (%d,%d), want (20,40)", tasks, workers)
+	}
+}
+
+func TestPlatformFacade(t *testing.T) {
+	m := SimulatePlatform(PlatformConfig{Horizon: 0.2, Seed: 3})
+	if m.Rounds == 0 {
+		t.Error("platform simulation executed no rounds")
+	}
+}
+
+func TestGenerateRealWorkloadFacade(t *testing.T) {
+	in := GenerateRealWorkload(RealWorkloadConfig{
+		POI:        POIConfig{NumPOIs: 100, Seed: 1},
+		Trajectory: TrajectoryConfig{NumTaxis: 50, Seed: 2},
+		Tasks:      50,
+		Synthetic:  DefaultWorkload(),
+	})
+	if len(in.Tasks) != 50 || len(in.Workers) != 50 {
+		t.Errorf("real workload sizes: %d tasks, %d workers", len(in.Tasks), len(in.Workers))
+	}
+}
+
+func TestSectorAndPt(t *testing.T) {
+	s := Sector(0, math.Pi/2)
+	if !s.Contains(math.Pi/5) || s.Contains(math.Pi) {
+		t.Errorf("Sector misbehaves: %+v", s)
+	}
+	if p := Pt(0.1, 0.2); p.X != 0.1 || p.Y != 0.2 {
+		t.Errorf("Pt = %v", p)
+	}
+}
+
+func TestExhaustiveFacade(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(3, 5))
+	p := NewProblem(in)
+	ex := NewExhaustive()
+	if !ex.CanSolve(p) {
+		t.Skip("population too large for this seed")
+	}
+	res := ex.Solve(p, nil)
+	if err := in.CheckAssignment(res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+}
