@@ -9,6 +9,7 @@
 package rdbsc
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -29,7 +30,7 @@ func runFigure(b *testing.B, id string) {
 	}
 	var rows []exp.Row
 	for i := 0; i < b.N; i++ {
-		rows = e.Run(benchScale())
+		rows = e.Run(context.Background(), benchScale())
 	}
 	if len(rows) == 0 {
 		b.Fatal("no rows produced")
@@ -128,7 +129,11 @@ func benchSolver(b *testing.B, s Solver) {
 	b.ResetTimer()
 	var last *Result
 	for i := 0; i < b.N; i++ {
-		last = s.Solve(p, rngNew(int64(i)))
+		var err error
+		last, err = s.Solve(context.Background(), p, &SolveOptions{Source: rngNew(int64(i))})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(last.Eval.MinRel, "minRel")
 	b.ReportMetric(last.Eval.TotalESTD, "totalSTD")
@@ -171,13 +176,13 @@ func BenchmarkAblationGreedyPruning(b *testing.B) {
 	b.Run("prune=on", func(b *testing.B) {
 		g := &Greedy{Prune: true}
 		for i := 0; i < b.N; i++ {
-			g.Solve(p, nil)
+			g.Solve(context.Background(), p, nil)
 		}
 	})
 	b.Run("prune=off", func(b *testing.B) {
 		g := &Greedy{Prune: false}
 		for i := 0; i < b.N; i++ {
-			g.Solve(p, nil)
+			g.Solve(context.Background(), p, nil)
 		}
 	})
 }

@@ -10,6 +10,7 @@
 //	rdbsc-bench -fig 13             # run Figure 13
 //	rdbsc-bench -fig all            # run everything (default)
 //	rdbsc-bench -m 120 -n 240 -seeds 3 -fig 14
+//	rdbsc-bench -fig all -timeout 2m   # stop after 2 minutes, partial tables
 //
 // Bench scale defaults to m=80, n=160 (the paper's 10K×10K full scale takes
 // CPU-hours on the quadratic greedy); shapes, not absolute magnitudes, are
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,12 +30,13 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "experiment to run: a figure number (e.g. 13 or fig13), an ablation id, or 'all'")
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		m     = flag.Int("m", 80, "base number of tasks")
-		n     = flag.Int("n", 160, "base number of workers")
-		seeds = flag.Int("seeds", 2, "workload seeds averaged per point")
-		seed  = flag.Int64("seed", 1, "base random seed")
+		fig     = flag.String("fig", "all", "experiment to run: a figure number (e.g. 13 or fig13), an ablation id, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		m       = flag.Int("m", 80, "base number of tasks")
+		n       = flag.Int("n", 160, "base number of workers")
+		seeds   = flag.Int("seeds", 2, "workload seeds averaged per point")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		timeout = flag.Duration("timeout", 0, "overall deadline; experiments report partial tables when it expires (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -44,6 +47,13 @@ func main() {
 		return
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	scale := exp.Scale{M: *m, N: *n, Seeds: *seeds, Seed: *seed}
 	ids := resolve(*fig)
 	if len(ids) == 0 {
@@ -51,13 +61,17 @@ func main() {
 		os.Exit(2)
 	}
 	for _, id := range ids {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "rdbsc-bench: deadline reached; skipping remaining experiments\n")
+			break
+		}
 		e, ok := exp.ByID(id)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "rdbsc-bench: unknown experiment %q\n", id)
 			os.Exit(2)
 		}
 		start := time.Now()
-		rows := e.Run(scale)
+		rows := e.Run(ctx, scale)
 		fmt.Print(exp.RenderTable(e, rows))
 		fmt.Printf("-- paper shape: %s\n", e.PaperShape)
 		fmt.Printf("-- completed in %.1fs\n\n", time.Since(start).Seconds())

@@ -9,13 +9,14 @@
 //
 //	rdbsc-sim -solver dc -tinterval 2 -horizon 2
 //	rdbsc-sim -coverage            # sweep t_interval and report coverage
+//	rdbsc-sim -solver greedy -timeout 30s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"rdbsc/internal/core"
 	"rdbsc/internal/platform"
@@ -23,33 +24,47 @@ import (
 
 func main() {
 	var (
-		solverName = flag.String("solver", "greedy", "assignment algorithm: greedy, sampling, dc, gtruth")
+		solverName = flag.String("solver", "greedy", "assignment algorithm, by registry name")
 		tinterval  = flag.Float64("tinterval", 1, "incremental update period in minutes")
 		horizon    = flag.Float64("horizon", 2, "simulated time in hours")
 		workers    = flag.Int("workers", 10, "worker pool size")
 		beta       = flag.Float64("beta", 0.5, "diversity weight β")
 		seed       = flag.Int64("seed", 1, "random seed")
+		timeout    = flag.Duration("timeout", 0, "abort the simulation after this long, reporting partial metrics (0 = no limit)")
 		coverage   = flag.Bool("coverage", false, "sweep t_interval 1..4 min and report the 3D-reconstruction coverage proxy")
 	)
 	flag.Parse()
 
-	solver, err := pickSolver(*solverName)
+	solver, err := core.NewByName(*solverName)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdbsc-sim: %v\n", err)
 		os.Exit(2)
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	if *coverage {
 		fmt.Printf("%-10s %10s %10s %10s %10s\n", "t_interval", "minRel", "total_STD", "coverage", "answers")
 		for _, mins := range []float64{1, 2, 3, 4} {
-			m := run(solver, mins, *horizon, *workers, *beta, *seed)
+			m, err := run(ctx, solver, mins, *horizon, *workers, *beta, *seed)
+			if err != nil {
+				fatal(err)
+			}
 			fmt.Printf("%-10s %10.4f %10.4f %10.4f %10d\n",
 				fmt.Sprintf("%gmin", mins), m.MinRel, m.TotalSTD, m.Coverage, m.Answers)
 		}
 		return
 	}
 
-	m := run(solver, *tinterval, *horizon, *workers, *beta, *seed)
+	m, err := run(ctx, solver, *tinterval, *horizon, *workers, *beta, *seed)
+	if err != nil {
+		fatal(err)
+	}
 	fmt.Printf("solver      %s\n", solver.Name())
 	fmt.Printf("rounds      %d\n", m.Rounds)
 	fmt.Printf("issued      %d tasks\n", m.TasksIssued)
@@ -61,28 +76,20 @@ func main() {
 	fmt.Printf("coverage    %.4f (angular, 3D-reconstruction proxy)\n", m.Coverage)
 }
 
-func run(solver core.Solver, mins, horizon float64, workers int, beta float64, seed int64) platform.Metrics {
-	return platform.New(platform.Config{
+func run(ctx context.Context, solver core.Solver, mins, horizon float64, workers int, beta float64, seed int64) (platform.Metrics, error) {
+	sim := platform.New(platform.Config{
 		TInterval:  mins / 60,
 		Horizon:    horizon,
 		NumWorkers: workers,
 		Beta:       beta,
 		Solver:     solver,
 		Seed:       seed,
-	}).Run()
+	})
+	m := sim.RunContext(ctx)
+	return m, sim.Err()
 }
 
-func pickSolver(name string) (core.Solver, error) {
-	switch strings.ToLower(name) {
-	case "greedy":
-		return core.NewGreedy(), nil
-	case "sampling":
-		return core.NewSampling(), nil
-	case "dc", "d&c":
-		return core.NewDC(), nil
-	case "gtruth", "g-truth":
-		return core.GTruth(), nil
-	default:
-		return nil, fmt.Errorf("unknown solver %q (greedy, sampling, dc, gtruth)", name)
-	}
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rdbsc-sim: %v\n", err)
+	os.Exit(1)
 }

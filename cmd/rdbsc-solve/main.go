@@ -2,13 +2,21 @@
 // solves the RDB-SC assignment with the chosen algorithm, reports the two
 // quality measures, and optionally writes the assignment as CSV.
 //
+// Solvers are resolved through the registry (-solver accepts any name from
+// `rdbsc-solve -list-solvers`), and -timeout bounds the solve with a
+// context deadline: when it expires, the best partial assignment found so
+// far is reported.
+//
 // Usage:
 //
 //	rdbsc-gen -m 500 -n 1000 -out w
 //	rdbsc-solve -in w -solver dc -beta 0.5 -assignment out.csv
+//	rdbsc-solve -in w -solver greedy -timeout 5s -progress
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -18,7 +26,7 @@ import (
 
 	"rdbsc/internal/core"
 	"rdbsc/internal/dataset"
-	"rdbsc/internal/grid"
+	"rdbsc/internal/engine"
 	"rdbsc/internal/model"
 	"rdbsc/internal/rng"
 	"rdbsc/internal/viz"
@@ -26,18 +34,28 @@ import (
 
 func main() {
 	var (
-		prefix     = flag.String("in", "workload", "input file prefix (expects <prefix>_tasks.csv and <prefix>_workers.csv)")
-		solverName = flag.String("solver", "dc", "algorithm: greedy, sampling, dc, gtruth")
-		beta       = flag.Float64("beta", 0.5, "diversity weight β")
-		seed       = flag.Int64("seed", 1, "random seed")
-		useIndex   = flag.Bool("index", true, "retrieve valid pairs via the RDB-SC-Grid index")
-		wait       = flag.Bool("wait", false, "allow workers to wait for a task's period to open")
-		outFile    = flag.String("assignment", "", "write the assignment CSV to this path")
-		svgFile    = flag.String("svg", "", "render the instance and assignment as SVG to this path")
+		prefix      = flag.String("in", "workload", "input file prefix (expects <prefix>_tasks.csv and <prefix>_workers.csv)")
+		solverName  = flag.String("solver", "dc", "algorithm, by registry name (see -list-solvers)")
+		listSolvers = flag.Bool("list-solvers", false, "list registered solvers and exit")
+		beta        = flag.Float64("beta", 0.5, "diversity weight β")
+		seed        = flag.Int64("seed", 1, "random seed")
+		useIndex    = flag.Bool("index", true, "retrieve valid pairs via the RDB-SC-Grid index")
+		wait        = flag.Bool("wait", false, "allow workers to wait for a task's period to open")
+		timeout     = flag.Duration("timeout", 0, "abort the solve after this long, reporting the partial result (0 = no limit)")
+		progress    = flag.Bool("progress", false, "stream per-round solver progress to stderr")
+		outFile     = flag.String("assignment", "", "write the assignment CSV to this path")
+		svgFile     = flag.String("svg", "", "render the instance and assignment as SVG to this path")
 	)
 	flag.Parse()
 
-	solver, err := pickSolver(*solverName)
+	if *listSolvers {
+		for _, name := range core.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	solver, err := core.NewByName(*solverName)
 	if err != nil {
 		fatal(err)
 	}
@@ -47,19 +65,45 @@ func main() {
 	}
 	in.Opt.WaitAllowed = *wait
 
-	start := time.Now()
-	var p *core.Problem
-	if *useIndex {
-		g := grid.NewFromInstance(grid.Config{}, in)
-		p = core.NewProblemWithPairs(in, g.ValidPairs())
-	} else {
-		p = core.NewProblem(in)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+
+	start := time.Now()
+	eng := engine.NewFromInstance(in, engine.Config{
+		Solver:       solver,
+		DisableIndex: !*useIndex,
+	})
+	p := eng.Problem()
 	prepTime := time.Since(start)
 
+	opts := &core.SolveOptions{Source: rng.New(*seed)} // explicit source: -seed 0 is honored
+	if *progress {
+		opts.Progress = func(st core.Stage) {
+			fmt.Fprintf(os.Stderr, "progress: %s round %d", st.Solver, st.Round)
+			if st.Total > 0 {
+				fmt.Fprintf(os.Stderr, "/%d", st.Total)
+			}
+			if st.Assigned > 0 {
+				fmt.Fprintf(os.Stderr, " assigned %d", st.Assigned)
+			}
+			fmt.Fprintln(os.Stderr)
+		}
+	}
 	start = time.Now()
-	res := solver.Solve(p, rng.New(*seed))
+	res, err := eng.Solve(ctx, opts)
 	solveTime := time.Since(start)
+	switch {
+	case errors.Is(err, core.ErrInterrupted):
+		fmt.Fprintf(os.Stderr, "rdbsc-solve: timed out after %v; reporting the partial assignment\n", *timeout)
+	case errors.Is(err, core.ErrInfeasible):
+		fmt.Fprintln(os.Stderr, "rdbsc-solve: no feasible assignment (no worker reaches any task in time)")
+	case err != nil:
+		fatal(err)
+	}
 
 	fmt.Printf("instance     %d tasks, %d workers, %d valid pairs\n",
 		len(in.Tasks), len(in.Workers), len(p.Pairs))
@@ -114,22 +158,7 @@ func writeAssignment(path string, a *model.Assignment) error {
 	return nil
 }
 
-func pickSolver(name string) (core.Solver, error) {
-	switch strings.ToLower(name) {
-	case "greedy":
-		return core.NewGreedy(), nil
-	case "sampling":
-		return core.NewSampling(), nil
-	case "dc", "d&c":
-		return core.NewDC(), nil
-	case "gtruth", "g-truth":
-		return core.GTruth(), nil
-	default:
-		return nil, fmt.Errorf("unknown solver %q", name)
-	}
-}
-
 func fatal(err error) {
-	fmt.Fprintf(os.Stderr, "rdbsc-solve: %v\n", err)
+	fmt.Fprintf(os.Stderr, "rdbsc-solve: %v\n", strings.TrimPrefix(err.Error(), "core: "))
 	os.Exit(1)
 }

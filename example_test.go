@@ -1,6 +1,7 @@
 package rdbsc_test
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -21,7 +22,7 @@ func ExampleSolve() {
 		},
 		Beta: 0.5,
 	}
-	res, err := rdbsc.Solve(in, rdbsc.WithSolver(rdbsc.NewGreedy()))
+	res, err := rdbsc.Solve(context.Background(), in, rdbsc.WithSolverName("greedy"))
 	if err != nil {
 		panic(err)
 	}

@@ -19,11 +19,13 @@ func main() {
 	fmt.Println("5 sites, 10 workers, 15-minute task windows, 2 simulated hours")
 	fmt.Println()
 
-	solvers := []rdbsc.Solver{
-		rdbsc.NewGreedy(),
-		rdbsc.NewSampling(),
-		rdbsc.NewDC(),
-		rdbsc.GTruth(),
+	var solvers []rdbsc.Solver
+	for _, name := range []string{"greedy", "sampling", "dc", "gtruth"} {
+		s, err := rdbsc.NewSolverByName(name)
+		if err != nil {
+			panic(err)
+		}
+		solvers = append(solvers, s)
 	}
 	intervals := []float64{1, 2, 3, 4} // minutes, as in Figure 18
 

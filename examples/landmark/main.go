@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -42,7 +43,8 @@ func main() {
 		Opt:     rdbsc.Options{WaitAllowed: true},
 	}
 
-	res, err := rdbsc.Solve(in, rdbsc.WithSolver(rdbsc.NewGreedy()), rdbsc.WithSeed(1))
+	res, err := rdbsc.Solve(context.Background(), in,
+		rdbsc.WithSolverName("greedy"), rdbsc.WithSeed(1))
 	if err != nil {
 		panic(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -29,8 +30,8 @@ func main() {
 	})
 	in.Beta = 0.4 // timing diversity matters slightly more than angles here
 
-	res, err := rdbsc.Solve(in,
-		rdbsc.WithSolver(rdbsc.NewDC()),
+	res, err := rdbsc.Solve(context.Background(), in,
+		rdbsc.WithSolverName("dc"),
 		rdbsc.WithSeed(99),
 		rdbsc.WithIndex())
 	if err != nil {

@@ -1,10 +1,13 @@
 // Quickstart: generate a Table 2 workload, solve it with each of the
-// paper's three approximation algorithms, and compare the two quality
-// measures against the G-TRUTH reference.
+// paper's three approximation algorithms (selected by registry name), and
+// compare the two quality measures against the G-TRUTH reference.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"rdbsc"
 )
@@ -15,28 +18,36 @@ func main() {
 	// speeds in [0.2, 0.3], direction cones up to π/6).
 	cfg := rdbsc.DefaultWorkload().WithScale(100, 200).WithSeed(7)
 	in := rdbsc.GenerateDenseWorkload(cfg)
-	fmt.Printf("workload: %d tasks, %d workers, beta=%.2f\n\n",
+	fmt.Printf("workload: %d tasks, %d workers, beta=%.2f\n",
 		len(in.Tasks), len(in.Workers), in.Beta)
+	fmt.Printf("registered solvers: %v\n\n", rdbsc.Solvers())
 
-	solvers := []rdbsc.Solver{
-		rdbsc.NewGreedy(),
-		rdbsc.NewSampling(),
-		rdbsc.NewDC(),
-		rdbsc.GTruth(),
-	}
+	// Every solve runs under a context: a deadline bounds even the slow
+	// solvers, returning the best partial assignment when it expires.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
 	fmt.Printf("%-10s %10s %12s %10s\n", "solver", "minRel", "total_STD", "assigned")
-	for _, s := range solvers {
-		res, err := rdbsc.Solve(in, rdbsc.WithSolver(s), rdbsc.WithSeed(42))
+	for _, name := range []string{"greedy", "sampling", "dc", "gtruth"} {
+		s, err := rdbsc.NewSolverByName(name)
 		if err != nil {
 			panic(err)
 		}
+		res, err := rdbsc.Solve(ctx, in, rdbsc.WithSolver(s), rdbsc.WithSeed(42))
+		label := s.Name()
+		if errors.Is(err, rdbsc.ErrInterrupted) {
+			label += " (partial)" // deadline hit: res is the best found so far
+		} else if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-10s %10.4f %12.4f %10d\n",
-			s.Name(), res.Eval.MinRel, res.Eval.TotalESTD, res.Assignment.Len())
+			label, res.Eval.MinRel, res.Eval.TotalESTD, res.Assignment.Len())
 	}
 
 	fmt.Println("\nWith the RDB-SC-Grid index for pair retrieval:")
-	res, err := rdbsc.Solve(in, rdbsc.WithSolver(rdbsc.NewDC()), rdbsc.WithSeed(42), rdbsc.WithIndex())
-	if err != nil {
+	res, err := rdbsc.Solve(ctx, in,
+		rdbsc.WithSolverName("dc"), rdbsc.WithSeed(42), rdbsc.WithIndex())
+	if err != nil && !errors.Is(err, rdbsc.ErrInterrupted) {
 		panic(err)
 	}
 	fmt.Printf("%-10s %10.4f %12.4f %10d\n",

@@ -1,0 +1,3 @@
+module rdbsc
+
+go 1.21

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"rdbsc/internal/rng"
@@ -18,7 +19,7 @@ func BenchmarkGreedySolve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.Solve(p, nil)
+		g.Solve(context.Background(), p, nil)
 	}
 }
 
@@ -27,7 +28,7 @@ func BenchmarkGreedySolveNoPrune(b *testing.B) {
 	g := &Greedy{Prune: false}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.Solve(p, nil)
+		g.Solve(context.Background(), p, nil)
 	}
 }
 
@@ -37,7 +38,7 @@ func BenchmarkSamplingSolve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Solve(p, rng.New(int64(i)))
+		s.Solve(context.Background(), p, &SolveOptions{Source: rng.New(int64(i))})
 	}
 }
 
@@ -46,7 +47,7 @@ func BenchmarkSamplingSolveParallel(b *testing.B) {
 	s := &Sampling{FixedK: 64, Parallel: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		s.Solve(p, rng.New(int64(i)))
+		s.Solve(context.Background(), p, &SolveOptions{Source: rng.New(int64(i))})
 	}
 }
 
@@ -56,7 +57,7 @@ func BenchmarkDCSolve(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		dc.Solve(p, rng.New(int64(i)))
+		dc.Solve(context.Background(), p, &SolveOptions{Source: rng.New(int64(i))})
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"rdbsc/internal/geo"
@@ -57,28 +58,73 @@ func (d *DC) groupLimit() int {
 	return 12
 }
 
-// Solve implements Solver.
-func (d *DC) Solve(p *Problem, src *rng.Source) *Result {
-	a, stats := d.solve(p, src)
-	return finishResult(p, a, stats)
+// Solve implements Solver. Cancellation is checked at every subproblem
+// boundary: before each leaf solve and before each SA_Merge. On
+// interruption the assignment combined from the completed subtrees is
+// returned with ErrInterrupted — sub-answers already solved are still
+// merged so the partial result is the best combination found so far.
+func (d *DC) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*Result, error) {
+	run := &dcRun{opts: opts}
+	a, stats, err := d.solve(ctx, p, opts.source(), run)
+	return finishResult(p, a, stats), err
 }
 
-func (d *DC) solve(p *Problem, src *rng.Source) (*model.Assignment, Stats) {
+// dcRun threads the per-solve progress state through the recursion.
+type dcRun struct {
+	opts   *SolveOptions
+	leaves int
+}
+
+func (d *DC) solve(ctx context.Context, p *Problem, src *rng.Source, run *dcRun) (*model.Assignment, Stats, error) {
+	if ctx.Err() != nil {
+		return model.NewAssignment(), Stats{}, interrupted(ctx)
+	}
 	if len(p.In.Tasks) <= d.gamma() {
-		res := d.base().Solve(p, src)
-		res.Stats.Rounds++
-		return res.Assignment, res.Stats
+		return d.solveLeaf(ctx, p, src, run)
 	}
 	p1, p2, ok := bgPartition(p, src)
 	if !ok {
-		res := d.base().Solve(p, src)
-		res.Stats.Rounds++
-		return res.Assignment, res.Stats
+		return d.solveLeaf(ctx, p, src, run)
 	}
-	a1, s1 := d.solve(p1, src)
-	a2, s2 := d.solve(p2, src)
+	a1, s1, err := d.solve(ctx, p1, src, run)
+	if err != nil {
+		return a1, s1, err
+	}
+	a2, s2, err := d.solve(ctx, p2, src, run)
+	stats := s1.add(s2)
+	// Merge even when the right subtree was interrupted: its partial
+	// sub-answer still improves the combined assignment.
 	merged, ms := saMerge(p, a1, a2, d.groupLimit())
-	return merged, s1.add(s2).add(ms)
+	stats = stats.add(ms)
+	if err == nil {
+		run.opts.emit(Stage{
+			Solver:   d.Name(),
+			Round:    run.leaves,
+			Assigned: merged.Len(),
+			Stats:    stats,
+		})
+	}
+	return merged, stats, err
+}
+
+// solveLeaf runs the base solver on a subproblem small enough to solve
+// directly.
+func (d *DC) solveLeaf(ctx context.Context, p *Problem, src *rng.Source, run *dcRun) (*model.Assignment, Stats, error) {
+	res, err := d.base().Solve(ctx, p, &SolveOptions{Source: src})
+	if res == nil {
+		res = finishResult(p, model.NewAssignment(), Stats{})
+	}
+	res.Stats.Rounds++
+	run.leaves++
+	if err == nil {
+		run.opts.emit(Stage{
+			Solver:   d.Name(),
+			Round:    run.leaves,
+			Assigned: res.Assignment.Len(),
+			Stats:    res.Stats,
+		})
+	}
+	return res.Assignment, res.Stats, err
 }
 
 // bgPartition implements BG_Partition (Figure 7): tasks are split into two

@@ -178,8 +178,8 @@ func TestDCMatchesBaseOnTinyInstances(t *testing.T) {
 	p := NewProblem(in)
 	base := &Sampling{FixedK: 50}
 	dc := &DC{Gamma: 100, Base: base}
-	r1 := dc.Solve(p, rng.New(9))
-	r2 := base.Solve(p, rng.New(9))
+	r1 := mustSolve(t, dc, p, rng.New(9))
+	r2 := mustSolve(t, base, p, rng.New(9))
 	if r1.Eval.TotalESTD != r2.Eval.TotalESTD || r1.Eval.MinRel != r2.Eval.MinRel {
 		t.Errorf("DC(γ=∞) diverged from base: %v vs %v", r1.Eval, r2.Eval)
 	}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
-	"rdbsc/internal/rng"
 )
 
 // Exhaustive enumerates every complete assignment (each connected worker
@@ -49,16 +49,24 @@ func (e *Exhaustive) Population(p *Problem) int {
 // CanSolve reports whether the instance is small enough to enumerate.
 func (e *Exhaustive) CanSolve(p *Problem) bool { return e.Population(p) <= e.cap() }
 
-// Solve implements Solver. It panics when the population exceeds the cap;
-// call CanSolve first.
-func (e *Exhaustive) Solve(p *Problem, _ *rng.Source) *Result {
+// ctxCheckEvery is how many enumerated assignments pass between context
+// checks (and progress reports) in the exhaustive enumeration.
+const ctxCheckEvery = 256
+
+// Solve implements Solver. It returns ErrPopulationTooLarge (with a nil
+// result) when the population exceeds the cap; call CanSolve first.
+// Cancellation is checked every ctxCheckEvery enumerated assignments; on
+// interruption the winner among the assignments enumerated so far is
+// returned with ErrInterrupted.
+func (e *Exhaustive) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*Result, error) {
 	if !e.CanSolve(p) {
-		panic(fmt.Sprintf("core: exhaustive population exceeds cap %d", e.cap()))
+		return nil, fmt.Errorf("%w %d", ErrPopulationTooLarge, e.cap())
 	}
 	workers := p.ConnectedWorkers()
 	if len(workers) == 0 {
-		return finishResult(p, model.NewAssignment(), Stats{})
+		return finishResult(p, model.NewAssignment(), Stats{}), nil
 	}
+	pop := e.Population(p)
 
 	choice := make([]int, len(workers)) // index into each worker's pair list
 	var (
@@ -66,7 +74,22 @@ func (e *Exhaustive) Solve(p *Problem, _ *rng.Source) *Result {
 		evals []objective.Evaluation
 		all   [][]int
 	)
+	stopped := false
 	for {
+		if len(vecs)%ctxCheckEvery == 0 {
+			if ctx.Err() != nil {
+				stopped = true
+				break
+			}
+			if len(vecs) > 0 {
+				opts.emit(Stage{
+					Solver: e.Name(),
+					Round:  len(vecs),
+					Total:  pop,
+					Stats:  Stats{Samples: len(vecs)},
+				})
+			}
+		}
 		a := model.NewAssignment()
 		for i, wid := range workers {
 			pi := p.WorkerPairs(wid)[choice[i]]
@@ -91,6 +114,9 @@ func (e *Exhaustive) Solve(p *Problem, _ *rng.Source) *Result {
 			break
 		}
 	}
+	if len(vecs) == 0 {
+		return finishResult(p, model.NewAssignment(), Stats{}), interrupted(ctx)
+	}
 
 	scores := objective.DominanceScores(vecs)
 	best := objective.ArgmaxScore(vecs, scores)
@@ -99,7 +125,11 @@ func (e *Exhaustive) Solve(p *Problem, _ *rng.Source) *Result {
 		pi := p.WorkerPairs(wid)[all[best][i]]
 		a.Assign(wid, p.Pairs[pi].Task)
 	}
-	return &Result{Assignment: a, Eval: evals[best], Stats: Stats{Samples: len(vecs)}}
+	res := &Result{Assignment: a, Eval: evals[best], Stats: Stats{Samples: len(vecs)}}
+	if stopped {
+		return res, interrupted(ctx)
+	}
+	return res, nil
 }
 
 // ParetoFront enumerates the population like Solve but returns the full
@@ -160,6 +190,6 @@ type gtruth struct {
 
 func (g *gtruth) Name() string { return "G-TRUTH" }
 
-func (g *gtruth) Solve(p *Problem, src *rng.Source) *Result {
-	return g.dc.Solve(p, src)
+func (g *gtruth) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*Result, error) {
+	return g.dc.Solve(ctx, p, opts)
 }

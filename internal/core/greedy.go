@@ -1,12 +1,12 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
-	"rdbsc/internal/rng"
 )
 
 // Greedy implements the RDB-SC_Greedy algorithm of Figure 3: it repeatedly
@@ -41,9 +41,11 @@ type candidate struct {
 	exact   bool
 }
 
-// Solve implements Solver.
-func (g *Greedy) Solve(p *Problem, src *rng.Source) *Result {
-	return g.SolveFrom(p, nil, src)
+// Solve implements Solver. When opts carries SeedStates, the seeded
+// contributions shape every Δ-objective and their workers are excluded from
+// assignment (the returned assignment then contains only new workers).
+func (g *Greedy) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*Result, error) {
+	return g.SolveWithStates(ctx, p, opts.seedStates(), opts)
 }
 
 // SolveFrom runs the greedy assignment on top of an existing partial
@@ -51,19 +53,19 @@ func (g *Greedy) Solve(p *Problem, src *rng.Source) *Result {
 // seed the per-task objective states, so new pairs are chosen "considering
 // A and S_c" exactly as line 6 of the incremental updating strategy
 // (Figure 10) prescribes. A nil existing assignment reduces to Solve.
-func (g *Greedy) SolveFrom(p *Problem, existing *model.Assignment, src *rng.Source) *Result {
+func (g *Greedy) SolveFrom(ctx context.Context, p *Problem, existing *model.Assignment, opts *SolveOptions) (*Result, error) {
 	var seed map[model.TaskID]*objective.TaskState
 	if existing != nil {
 		seed = p.NewStates(existing)
 	}
-	res := g.SolveWithStates(p, seed, src)
+	res, err := g.SolveWithStates(ctx, p, seed, opts)
 	if existing != nil {
 		existing.Workers(func(w model.WorkerID, t model.TaskID) {
 			res.Assignment.Assign(w, t)
 		})
 		res.Eval = p.Evaluate(res.Assignment)
 	}
-	return res
+	return res, err
 }
 
 // SolveWithStates runs the greedy assignment with externally seeded
@@ -72,7 +74,7 @@ func (g *Greedy) SolveFrom(p *Problem, existing *model.Assignment, src *rng.Sour
 // but must influence the Δ-objective of every new pair. Workers appearing
 // in the seeded states are excluded from assignment. The returned
 // assignment contains only newly assigned workers.
-func (g *Greedy) SolveWithStates(p *Problem, seed map[model.TaskID]*objective.TaskState, _ *rng.Source) *Result {
+func (g *Greedy) SolveWithStates(ctx context.Context, p *Problem, seed map[model.TaskID]*objective.TaskState, opts *SolveOptions) (*Result, error) {
 	assignment := model.NewAssignment()
 	states := make(map[model.TaskID]*objective.TaskState, len(p.In.Tasks))
 	committed := make(map[model.WorkerID]bool)
@@ -96,6 +98,9 @@ func (g *Greedy) SolveWithStates(p *Problem, seed map[model.TaskID]*objective.Ta
 
 	var stats Stats
 	for len(free) > 0 {
+		if ctx.Err() != nil {
+			return finishResult(p, assignment, stats), interrupted(ctx)
+		}
 		cands := g.collectCandidates(p, states, free, &stats)
 		if len(cands) == 0 {
 			break
@@ -107,8 +112,14 @@ func (g *Greedy) SolveWithStates(p *Problem, seed map[model.TaskID]*objective.Ta
 		assignment.Assign(pr.Worker, pr.Task)
 		delete(free, pr.Worker)
 		stats.Rounds++
+		opts.emit(Stage{
+			Solver:   g.Name(),
+			Round:    stats.Rounds,
+			Assigned: assignment.Len(),
+			Stats:    stats,
+		})
 	}
-	return finishResult(p, assignment, stats)
+	return finishResult(p, assignment, stats), nil
 }
 
 // collectCandidates builds the per-round candidate list with Δmin-R and

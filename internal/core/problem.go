@@ -8,11 +8,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
-	"rdbsc/internal/rng"
 )
 
 // Problem is an RDB-SC instance prepared for solving: the instance plus its
@@ -152,12 +152,19 @@ func (r *Result) String() string {
 	return fmt.Sprintf("%v stats=%+v", r.Eval, r.Stats)
 }
 
-// Solver is the common interface of the RDB-SC approximation algorithms.
-// Solve must not mutate the problem; src provides all randomness so runs
-// are reproducible.
+// Solver is the common interface of the RDB-SC approximation algorithms
+// (the v2 contract). Solve must not mutate the problem; all randomness
+// flows from opts (seed or explicit source) so runs are reproducible.
+//
+// Solvers check ctx at iteration boundaries — greedy rounds, sampling
+// draws, D&C subproblem merges, exhaustive enumeration chunks — and on
+// cancellation or deadline expiry return their best-so-far partial result
+// together with an error wrapping ErrInterrupted. The returned *Result is
+// non-nil whenever the solve started (only Exhaustive's population-cap
+// rejection returns a nil result). A nil opts is valid and means defaults.
 type Solver interface {
 	Name() string
-	Solve(p *Problem, src *rng.Source) *Result
+	Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*Result, error)
 }
 
 // finishResult evaluates and packages an assignment.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -31,7 +32,9 @@ type Sampling struct {
 	// Parallel evaluates samples on all CPUs. Results are identical to the
 	// sequential run for the same seed: each sample derives its own random
 	// stream from a per-sample seed, so the draw order is independent of
-	// goroutine scheduling.
+	// goroutine scheduling. Progress reporting coarsens to one Stage per
+	// batch (after all draws finish) so the callback is never invoked
+	// concurrently; the sequential path reports per draw.
 	Parallel bool
 }
 
@@ -75,12 +78,15 @@ func (s *Sampling) scale(k int) int {
 	return k
 }
 
-// Solve implements Solver.
-func (s *Sampling) Solve(p *Problem, src *rng.Source) *Result {
+// Solve implements Solver. Cancellation is checked before every draw; on
+// interruption the winner among the samples already evaluated is returned
+// with ErrInterrupted (an empty assignment when no sample completed).
+func (s *Sampling) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*Result, error) {
 	workers := p.ConnectedWorkers()
 	if len(workers) == 0 {
-		return finishResult(p, model.NewAssignment(), Stats{})
+		return finishResult(p, model.NewAssignment(), Stats{}), nil
 	}
+	src := opts.source()
 	k := s.SampleCount(p)
 
 	// Per-sample seeds are drawn up front from the caller's source, making
@@ -107,10 +113,14 @@ func (s *Sampling) Solve(p *Problem, src *rng.Source) *Result {
 		evals[h] = p.Evaluate(a)
 	}
 
+	// drawn counts the evaluated prefix: samples 0..drawn-1 are complete in
+	// both the sequential and the parallel path, so a partial winner is
+	// selected over exactly that prefix.
+	drawn := 0
 	if s.Parallel && k > 1 {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for h := 0; h < k; h++ {
+		for h := 0; h < k && ctx.Err() == nil; h++ {
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(h int) {
@@ -118,17 +128,36 @@ func (s *Sampling) Solve(p *Problem, src *rng.Source) *Result {
 				drawOne(h)
 				<-sem
 			}(h)
+			drawn++
 		}
 		wg.Wait()
+		if drawn > 0 {
+			opts.emit(Stage{
+				Solver: s.Name(),
+				Round:  drawn,
+				Total:  k,
+				Stats:  Stats{Samples: drawn},
+			})
+		}
 	} else {
-		for h := 0; h < k; h++ {
+		for h := 0; h < k && ctx.Err() == nil; h++ {
 			drawOne(h)
+			drawn++
+			opts.emit(Stage{
+				Solver: s.Name(),
+				Round:  drawn,
+				Total:  k,
+				Stats:  Stats{Samples: drawn},
+			})
 		}
 	}
+	if drawn == 0 {
+		return finishResult(p, model.NewAssignment(), Stats{}), interrupted(ctx)
+	}
 
-	vecs := make([]objective.Vec2, k)
-	for h, ev := range evals {
-		vecs[h] = objective.Vec2{R: ev.MinR, D: ev.TotalESTD}
+	vecs := make([]objective.Vec2, drawn)
+	for h := 0; h < drawn; h++ {
+		vecs[h] = objective.Vec2{R: evals[h].MinR, D: evals[h].TotalESTD}
 	}
 	scores := objective.DominanceScores(vecs)
 	best := objective.ArgmaxScore(vecs, scores)
@@ -136,9 +165,15 @@ func (s *Sampling) Solve(p *Problem, src *rng.Source) *Result {
 	for i, wid := range workers {
 		a.Assign(wid, p.Pairs[choices[best][i]].Task)
 	}
-	return &Result{
+	res := &Result{
 		Assignment: a,
 		Eval:       evals[best],
-		Stats:      Stats{Samples: k},
+		Stats:      Stats{Samples: drawn},
 	}
+	// drawn < k only when the context interrupted the draws; a deadline
+	// expiring after the final draw still completed the solve.
+	if drawn < k {
+		return res, interrupted(ctx)
+	}
+	return res, nil
 }

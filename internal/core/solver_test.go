@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -9,6 +11,16 @@ import (
 	"rdbsc/internal/objective"
 	"rdbsc/internal/rng"
 )
+
+// mustSolve runs s with the v2 contract and fails the test on error.
+func mustSolve(tb testing.TB, s Solver, p *Problem, src *rng.Source) *Result {
+	tb.Helper()
+	res, err := s.Solve(context.Background(), p, &SolveOptions{Source: src})
+	if err != nil {
+		tb.Fatalf("%s: %v", s.Name(), err)
+	}
+	return res
+}
 
 // randomInstance builds a well-connected random instance: unconstrained
 // fast workers and long task periods guarantee plenty of valid pairs.
@@ -76,7 +88,7 @@ func TestSolversProduceValidAssignments(t *testing.T) {
 			p := NewProblem(in)
 			for _, s := range allSolvers() {
 				t.Run(s.Name(), func(t *testing.T) {
-					res := s.Solve(p, rng.New(7))
+					res := mustSolve(t, s, p, rng.New(7))
 					if err := in.CheckAssignment(res.Assignment); err != nil {
 						t.Fatalf("invalid assignment: %v", err)
 					}
@@ -91,7 +103,7 @@ func TestSolversAssignAllConnectedWorkers(t *testing.T) {
 	p := NewProblem(in)
 	want := len(p.ConnectedWorkers())
 	for _, s := range allSolvers() {
-		res := s.Solve(p, rng.New(3))
+		res := mustSolve(t, s, p, rng.New(3))
 		if got := res.Assignment.Len(); got != want {
 			t.Errorf("%s assigned %d workers, want %d", s.Name(), got, want)
 		}
@@ -102,8 +114,8 @@ func TestSolversDeterministicForSeed(t *testing.T) {
 	in := randomInstance(rng.New(2), 6, 18)
 	p := NewProblem(in)
 	for _, s := range allSolvers() {
-		r1 := s.Solve(p, rng.New(11))
-		r2 := s.Solve(p, rng.New(11))
+		r1 := mustSolve(t, s, p, rng.New(11))
+		r2 := mustSolve(t, s, p, rng.New(11))
 		if r1.Eval.MinRel != r2.Eval.MinRel || r1.Eval.TotalESTD != r2.Eval.TotalESTD {
 			t.Errorf("%s not deterministic: %v vs %v", s.Name(), r1.Eval, r2.Eval)
 		}
@@ -119,7 +131,7 @@ func TestSolversOnEmptyInstances(t *testing.T) {
 	for _, in := range cases {
 		p := NewProblem(in)
 		for _, s := range allSolvers() {
-			res := s.Solve(p, rng.New(5))
+			res := mustSolve(t, s, p, rng.New(5))
 			if res.Assignment.Len() != 0 {
 				t.Errorf("%s assigned workers on a degenerate instance", s.Name())
 			}
@@ -137,8 +149,8 @@ func TestGreedyPruningPreservesQuality(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		in := randomInstance(rng.New(seed), 5, 25)
 		p := NewProblem(in)
-		with := (&Greedy{Prune: true}).Solve(p, rng.New(1))
-		without := (&Greedy{Prune: false}).Solve(p, rng.New(1))
+		with := mustSolve(t, &Greedy{Prune: true}, p, rng.New(1))
+		without := mustSolve(t, &Greedy{Prune: false}, p, rng.New(1))
 		if with.Assignment.Len() != without.Assignment.Len() {
 			t.Fatalf("seed %d: assignment sizes differ", seed)
 		}
@@ -156,7 +168,7 @@ func TestGreedyPruningPreservesQuality(t *testing.T) {
 func TestGreedyPrunesSomething(t *testing.T) {
 	in := randomInstance(rng.New(3), 8, 40)
 	p := NewProblem(in)
-	res := NewGreedy().Solve(p, rng.New(1))
+	res := mustSolve(t, NewGreedy(), p, rng.New(1))
 	if res.Stats.PairsPruned == 0 {
 		t.Log("no pairs pruned on this instance (bounds too loose); acceptable but worth knowing")
 	}
@@ -172,7 +184,7 @@ func TestSamplingUsesReportedSampleCount(t *testing.T) {
 	in := randomInstance(rng.New(4), 4, 10)
 	p := NewProblem(in)
 	s := &Sampling{FixedK: 17}
-	res := s.Solve(p, rng.New(1))
+	res := mustSolve(t, s, p, rng.New(1))
 	if res.Stats.Samples != 17 {
 		t.Errorf("Samples = %d, want 17", res.Stats.Samples)
 	}
@@ -195,8 +207,8 @@ func TestSamplingBestDominatesMedianQuality(t *testing.T) {
 	// assignment: compare against a single-sample run.
 	in := randomInstance(rng.New(5), 6, 20)
 	p := NewProblem(in)
-	many := (&Sampling{FixedK: 200}).Solve(p, rng.New(9))
-	one := (&Sampling{FixedK: 1}).Solve(p, rng.New(9))
+	many := mustSolve(t, &Sampling{FixedK: 200}, p, rng.New(9))
+	one := mustSolve(t, &Sampling{FixedK: 1}, p, rng.New(9))
 	if many.Eval.TotalESTD < one.Eval.TotalESTD-1e-9 &&
 		many.Eval.MinR < one.Eval.MinR-1e-9 {
 		t.Errorf("200 samples (%v) strictly worse than 1 sample (%v)", many.Eval, one.Eval)
@@ -207,7 +219,7 @@ func TestDCPartitionsAndMerges(t *testing.T) {
 	in := randomInstance(rng.New(6), 30, 60)
 	p := NewProblem(in)
 	dc := &DC{Gamma: 5}
-	res := dc.Solve(p, rng.New(2))
+	res := mustSolve(t, dc, p, rng.New(2))
 	if err := in.CheckAssignment(res.Assignment); err != nil {
 		t.Fatalf("invalid D&C assignment: %v", err)
 	}
@@ -223,7 +235,7 @@ func TestDCSmallInstanceGoesDirect(t *testing.T) {
 	in := randomInstance(rng.New(7), 3, 9)
 	p := NewProblem(in)
 	dc := &DC{Gamma: 10}
-	res := dc.Solve(p, rng.New(2))
+	res := mustSolve(t, dc, p, rng.New(2))
 	if res.Stats.Rounds != 1 {
 		t.Errorf("small instance should be solved directly (1 leaf), got %d", res.Stats.Rounds)
 	}
@@ -236,7 +248,7 @@ func TestExhaustiveTinyInstance(t *testing.T) {
 	if !ex.CanSolve(p) {
 		t.Skip("population unexpectedly large")
 	}
-	res := ex.Solve(p, nil)
+	res := mustSolve(t, ex, p, nil)
 	if err := in.CheckAssignment(res.Assignment); err != nil {
 		t.Fatalf("invalid exhaustive assignment: %v", err)
 	}
@@ -256,12 +268,13 @@ func TestExhaustiveRefusesHugeInstance(t *testing.T) {
 	if ex.CanSolve(p) {
 		t.Skip("population small enough; nothing to test")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for oversized population")
-		}
-	}()
-	ex.Solve(p, nil)
+	res, err := ex.Solve(context.Background(), p, nil)
+	if !errors.Is(err, ErrPopulationTooLarge) {
+		t.Fatalf("err = %v, want ErrPopulationTooLarge", err)
+	}
+	if res != nil {
+		t.Errorf("oversized population returned a result: %v", res)
+	}
 }
 
 func TestApproximationQualityAgainstExhaustive(t *testing.T) {
@@ -274,9 +287,9 @@ func TestApproximationQualityAgainstExhaustive(t *testing.T) {
 		if !ex.CanSolve(p) {
 			continue
 		}
-		truth := ex.Solve(p, nil)
+		truth := mustSolve(t, ex, p, nil)
 		for _, s := range []Solver{NewGreedy(), &Sampling{FixedK: 300}, NewDC()} {
-			res := s.Solve(p, rng.New(seed))
+			res := mustSolve(t, s, p, rng.New(seed))
 			if truth.Eval.TotalESTD > 0 && res.Eval.TotalESTD < 0.5*truth.Eval.TotalESTD {
 				t.Errorf("seed %d %s: diversity %v below half of exhaustive %v",
 					seed, s.Name(), res.Eval.TotalESTD, truth.Eval.TotalESTD)
@@ -320,8 +333,8 @@ func vecOf(r *Result) objective.Vec2 {
 func TestParallelSamplingMatchesSequential(t *testing.T) {
 	in := randomInstance(rng.New(30), 8, 30)
 	p := NewProblem(in)
-	seq := (&Sampling{FixedK: 80}).Solve(p, rng.New(5))
-	par := (&Sampling{FixedK: 80, Parallel: true}).Solve(p, rng.New(5))
+	seq := mustSolve(t, &Sampling{FixedK: 80}, p, rng.New(5))
+	par := mustSolve(t, &Sampling{FixedK: 80, Parallel: true}, p, rng.New(5))
 	if seq.Eval.MinRel != par.Eval.MinRel || seq.Eval.TotalESTD != par.Eval.TotalESTD {
 		t.Errorf("parallel sampling diverged: %v vs %v", par.Eval, seq.Eval)
 	}
@@ -337,7 +350,7 @@ func TestParallelSamplingRace(t *testing.T) {
 	// Exercised under -race in CI; large K stresses the worker pool.
 	in := randomInstance(rng.New(31), 10, 40)
 	p := NewProblem(in)
-	res := (&Sampling{FixedK: 200, Parallel: true}).Solve(p, rng.New(6))
+	res := mustSolve(t, &Sampling{FixedK: 200, Parallel: true}, p, rng.New(6))
 	if err := in.CheckAssignment(res.Assignment); err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +367,10 @@ func TestGreedySolveFromRespectsCommitments(t *testing.T) {
 		existing.Assign(wid, tid)
 		committed[wid] = tid
 	}
-	res := NewGreedy().SolveFrom(p, existing, nil)
+	res, err := NewGreedy().SolveFrom(context.Background(), p, existing, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for wid, tid := range committed {
 		if got := res.Assignment.TaskOf(wid); got != tid {
 			t.Errorf("committed worker %d moved from %d to %d", wid, tid, got)
@@ -372,8 +388,11 @@ func TestGreedySolveFromRespectsCommitments(t *testing.T) {
 func TestGreedySolveFromNilMatchesSolve(t *testing.T) {
 	in := randomInstance(rng.New(34), 5, 15)
 	p := NewProblem(in)
-	a := NewGreedy().Solve(p, nil)
-	b := NewGreedy().SolveFrom(p, nil, nil)
+	a := mustSolve(t, NewGreedy(), p, nil)
+	b, err := NewGreedy().SolveFrom(context.Background(), p, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if a.Eval.TotalESTD != b.Eval.TotalESTD || a.Eval.MinRel != b.Eval.MinRel {
 		t.Errorf("SolveFrom(nil) diverged: %v vs %v", b.Eval, a.Eval)
 	}
@@ -389,7 +408,10 @@ func TestGreedySolveFromImprovesOnCommitments(t *testing.T) {
 	wid := p.ConnectedWorkers()[0]
 	existing.Assign(wid, p.Pairs[p.WorkerPairs(wid)[0]].Task)
 	before := p.Evaluate(existing)
-	after := NewGreedy().SolveFrom(p, existing, nil)
+	after, err := NewGreedy().SolveFrom(context.Background(), p, existing, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if after.Eval.TotalESTD < before.TotalESTD-1e-9 {
 		t.Errorf("diversity fell from %v to %v", before.TotalESTD, after.Eval.TotalESTD)
 	}

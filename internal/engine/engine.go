@@ -1,0 +1,277 @@
+// Package engine provides the reusable solving engine of the v2 API: an
+// Engine owns a live set of tasks and workers together with the
+// RDB-SC-Grid index over them, keeps a prepared core.Problem cached between
+// solves, and supports incremental re-solve after task/worker churn — the
+// operating mode of both the streaming churn driver (package stream) and
+// the platform simulator (package platform), and the natural shape for a
+// long-running assignment service.
+//
+// Mutations (Upsert/Remove) update the grid index incrementally (the
+// Section 7.2 maintenance operations) and invalidate the cached problem;
+// the next Problem or Solve call re-derives the valid pairs from the index
+// without rebuilding it. An Engine is not safe for concurrent use.
+package engine
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/grid"
+	"rdbsc/internal/model"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Beta is the requester diversity weight β. The zero value means
+	// "unset" and defaults to 0.5; to run with a literal β=0 (temporal
+	// diversity only), construct via NewFromInstance, which takes β from
+	// the instance verbatim.
+	Beta float64
+	// Opt configures reachability semantics for pair enumeration.
+	Opt model.Options
+	// Solver performs the assignments (default: the divide-and-conquer
+	// solver, the paper's best-performing approach).
+	Solver core.Solver
+	// DisableIndex switches valid-pair retrieval from the RDB-SC-Grid
+	// index to a brute-force scan (mainly for comparison runs; the index
+	// is on by default).
+	DisableIndex bool
+	// Grid configures the index.
+	Grid grid.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Beta <= 0 || c.Beta > 1 {
+		c.Beta = 0.5
+	}
+	if c.Solver == nil {
+		c.Solver = core.NewDC()
+	}
+	return c
+}
+
+// Engine owns a churning task/worker set, its grid index, and a cached
+// prepared problem. Construct with New (empty) or NewFromInstance (bulk
+// load), mutate with the Upsert/Remove methods, and run solves with Solve.
+type Engine struct {
+	cfg     Config
+	grid    *grid.Grid
+	tasks   map[model.TaskID]model.Task
+	workers map[model.WorkerID]model.Worker
+
+	version  uint64 // bumped on every mutation
+	prepared *core.Problem
+	prepVer  uint64
+
+	lastRebuilt  bool          // whether the last Problem() call re-derived pairs
+	lastRetrieve time.Duration // time that retrieval took (zero on a cache hit)
+}
+
+// New returns an empty engine.
+func New(cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		cfg:     cfg,
+		tasks:   make(map[model.TaskID]model.Task),
+		workers: make(map[model.WorkerID]model.Worker),
+		version: 1,
+	}
+	if !cfg.DisableIndex {
+		e.grid = grid.New(cfg.Grid, cfg.Opt)
+	}
+	return e
+}
+
+// NewFromInstance returns an engine pre-loaded with the instance's tasks
+// and workers. The instance's β and reachability options take precedence
+// over cfg's, and the grid's cell size is derived from the instance's cost
+// model (unless cfg.Grid pins it).
+func NewFromInstance(in *model.Instance, cfg Config) *Engine {
+	cfg.Opt = in.Opt
+	cfg = cfg.withDefaults()
+	// Applied after withDefaults so the instance's β survives verbatim:
+	// β=0 (temporal diversity only) is a valid weight, not an unset one.
+	if in.Beta >= 0 && in.Beta <= 1 {
+		cfg.Beta = in.Beta
+	}
+	e := &Engine{
+		cfg:     cfg,
+		tasks:   make(map[model.TaskID]model.Task, len(in.Tasks)),
+		workers: make(map[model.WorkerID]model.Worker, len(in.Workers)),
+		version: 1,
+	}
+	if !cfg.DisableIndex {
+		e.grid = grid.NewFromInstance(cfg.Grid, in)
+	}
+	for _, t := range in.Tasks {
+		e.tasks[t.ID] = t
+	}
+	for _, w := range in.Workers {
+		e.workers[w.ID] = w
+	}
+	return e
+}
+
+// Solver returns the engine's configured solver.
+func (e *Engine) Solver() core.Solver { return e.cfg.Solver }
+
+// SetSolver swaps the assignment algorithm for subsequent solves.
+func (e *Engine) SetSolver(s core.Solver) {
+	if s != nil {
+		e.cfg.Solver = s
+	}
+}
+
+// Grid exposes the live index (read-only use); nil when the engine was
+// configured with DisableIndex.
+func (e *Engine) Grid() *grid.Grid { return e.grid }
+
+// Len returns the live task and worker counts.
+func (e *Engine) Len() (tasks, workers int) { return len(e.tasks), len(e.workers) }
+
+// Task returns the live task with the given id.
+func (e *Engine) Task(id model.TaskID) (model.Task, bool) {
+	t, ok := e.tasks[id]
+	return t, ok
+}
+
+// Worker returns the live worker with the given id.
+func (e *Engine) Worker(id model.WorkerID) (model.Worker, bool) {
+	w, ok := e.workers[id]
+	return w, ok
+}
+
+// UpsertTask inserts the task, replacing (and re-indexing) any existing
+// task with the same ID.
+func (e *Engine) UpsertTask(t model.Task) {
+	if e.grid != nil {
+		if old, ok := e.tasks[t.ID]; ok {
+			e.grid.RemoveTask(old.ID, old.Loc)
+		}
+		e.grid.InsertTask(t)
+	}
+	e.tasks[t.ID] = t
+	e.version++
+}
+
+// RemoveTask deletes the task; it reports whether the task was present.
+func (e *Engine) RemoveTask(id model.TaskID) bool {
+	old, ok := e.tasks[id]
+	if !ok {
+		return false
+	}
+	if e.grid != nil {
+		e.grid.RemoveTask(old.ID, old.Loc)
+	}
+	delete(e.tasks, id)
+	e.version++
+	return true
+}
+
+// UpsertWorker inserts the worker, replacing (and re-indexing) any existing
+// worker with the same ID.
+func (e *Engine) UpsertWorker(w model.Worker) {
+	if e.grid != nil {
+		if old, ok := e.workers[w.ID]; ok {
+			e.grid.RemoveWorker(old.ID, old.Loc)
+		}
+		e.grid.InsertWorker(w)
+	}
+	e.workers[w.ID] = w
+	e.version++
+}
+
+// RemoveWorker deletes the worker; it reports whether the worker was
+// present.
+func (e *Engine) RemoveWorker(id model.WorkerID) bool {
+	old, ok := e.workers[id]
+	if !ok {
+		return false
+	}
+	if e.grid != nil {
+		e.grid.RemoveWorker(old.ID, old.Loc)
+	}
+	delete(e.workers, id)
+	e.version++
+	return true
+}
+
+// Instance snapshots the live tasks and workers as a static instance,
+// ordered by ID so downstream consumers see a deterministic view regardless
+// of map iteration order.
+func (e *Engine) Instance() *model.Instance {
+	in := &model.Instance{Beta: e.cfg.Beta, Opt: e.cfg.Opt}
+	for _, t := range e.tasks {
+		in.Tasks = append(in.Tasks, t)
+	}
+	for _, w := range e.workers {
+		in.Workers = append(in.Workers, w)
+	}
+	sort.Slice(in.Tasks, func(i, j int) bool { return in.Tasks[i].ID < in.Tasks[j].ID })
+	sort.Slice(in.Workers, func(i, j int) bool { return in.Workers[i].ID < in.Workers[j].ID })
+	return in
+}
+
+// Problem returns the prepared problem for the current task/worker set.
+// The result is cached: repeated calls between mutations return the same
+// problem without re-deriving the valid pairs.
+func (e *Engine) Problem() *core.Problem {
+	if e.prepared != nil && e.prepVer == e.version {
+		e.lastRebuilt = false
+		e.lastRetrieve = 0
+		return e.prepared
+	}
+	in := e.Instance()
+	var pairs []model.Pair
+	start := time.Now()
+	if e.grid == nil {
+		pairs = in.ValidPairs()
+	} else {
+		pairs = e.grid.ValidPairs()
+	}
+	e.lastRetrieve = time.Since(start)
+	e.lastRebuilt = true
+	e.prepared = core.NewProblemWithPairs(in, pairs)
+	e.prepVer = e.version
+	return e.prepared
+}
+
+// LastPrep reports whether the most recent Problem call re-derived the
+// valid pairs, and how long that retrieval (index walk or brute-force
+// scan, excluding problem indexing) took; both are zero after a cache hit.
+// Cost-accounting callers use this to attribute retrieval time without
+// double-charging cached rounds.
+func (e *Engine) LastPrep() (rebuilt bool, retrieve time.Duration) {
+	return e.lastRebuilt, e.lastRetrieve
+}
+
+// Solve runs the configured solver over the current (cached or freshly
+// prepared) problem. It returns core.ErrInfeasible — together with the
+// evaluated empty result — when no worker can be assigned to any task, and
+// propagates solver errors (ErrInterrupted partial results included)
+// otherwise.
+func (e *Engine) Solve(ctx context.Context, opts *core.SolveOptions) (*core.Result, error) {
+	return e.SolveWith(ctx, e.cfg.Solver, opts)
+}
+
+// SolveWith is Solve with a one-off solver override.
+func (e *Engine) SolveWith(ctx context.Context, s core.Solver, opts *core.SolveOptions) (*core.Result, error) {
+	p := e.Problem()
+	res, err := s.Solve(ctx, p, opts)
+	if res == nil {
+		// Only Exhaustive's population-cap rejection produces a nil result;
+		// hand callers an evaluated empty one so the pairing "non-nil
+		// result + typed error" holds for every engine solve.
+		res = &core.Result{Assignment: model.NewAssignment()}
+		res.Eval = p.Evaluate(res.Assignment)
+	}
+	if err != nil {
+		return res, err
+	}
+	if res.Assignment == nil || res.Assignment.Len() == 0 {
+		return res, core.ErrInfeasible
+	}
+	return res, nil
+}

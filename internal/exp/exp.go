@@ -13,6 +13,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -87,8 +88,10 @@ type Experiment struct {
 	// PaperShape summarizes the qualitative result the paper reports, for
 	// the EXPERIMENTS.md comparison.
 	PaperShape string
-	// Run executes the sweep.
-	Run func(s Scale) []Row
+	// Run executes the sweep. Cancelling ctx (or letting its deadline
+	// expire) stops the sweep between points, returning the rows measured
+	// so far.
+	Run func(ctx context.Context, s Scale) []Row
 }
 
 // Registry returns every experiment, in figure order.

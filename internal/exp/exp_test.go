@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -48,7 +49,7 @@ func TestByID(t *testing.T) {
 func TestSweepPointShapes(t *testing.T) {
 	sc := tinyScale()
 	e, _ := ByID("fig13")
-	rows := e.Run(sc)
+	rows := e.Run(context.Background(), sc)
 	if len(rows) != 5 {
 		t.Fatalf("fig13 rows = %d, want 5", len(rows))
 	}
@@ -73,7 +74,7 @@ func TestSweepPointShapes(t *testing.T) {
 func TestFig16RecordsTimes(t *testing.T) {
 	sc := tinyScale()
 	e, _ := ByID("fig16")
-	rows := e.Run(sc)
+	rows := e.Run(context.Background(), sc)
 	if len(rows) != 10 {
 		t.Fatalf("fig16 rows = %d, want 10 (5 m-points + 5 n-points)", len(rows))
 	}
@@ -89,7 +90,7 @@ func TestFig16RecordsTimes(t *testing.T) {
 func TestFig17IndexAgreesWithScan(t *testing.T) {
 	sc := tinyScale()
 	e, _ := ByID("fig17")
-	rows := e.Run(sc) // panics internally if index and scan disagree
+	rows := e.Run(context.Background(), sc) // panics internally if index and scan disagree
 	if len(rows) != 5 {
 		t.Fatalf("fig17 rows = %d", len(rows))
 	}
@@ -106,7 +107,7 @@ func TestFig17IndexAgreesWithScan(t *testing.T) {
 func TestFig18PlatformSweep(t *testing.T) {
 	sc := tinyScale()
 	e, _ := ByID("fig18")
-	rows := e.Run(sc)
+	rows := e.Run(context.Background(), sc)
 	if len(rows) != 4 {
 		t.Fatalf("fig18 rows = %d, want 4 intervals", len(rows))
 	}
@@ -126,7 +127,7 @@ func TestAblationsRun(t *testing.T) {
 		if !ok {
 			t.Fatalf("missing %s", id)
 		}
-		rows := e.Run(sc)
+		rows := e.Run(context.Background(), sc)
 		if len(rows) == 0 {
 			t.Errorf("%s produced no rows", id)
 		}

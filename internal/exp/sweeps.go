@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,28 +15,53 @@ import (
 	"rdbsc/internal/stream"
 )
 
-// solverSet returns fresh instances of the four approaches.
+// approachNames maps the paper's presentation names to registry names.
+var approachNames = map[string]string{
+	"GREEDY":   "greedy",
+	"SAMPLING": "sampling",
+	"D&C":      "dc",
+	"G-TRUTH":  "gtruth",
+}
+
+// solverSet returns fresh instances of the four approaches, resolved
+// through the solver registry.
 func solverSet() map[string]core.Solver {
-	return map[string]core.Solver{
-		"GREEDY":   core.NewGreedy(),
-		"SAMPLING": core.NewSampling(),
-		"D&C":      core.NewDC(),
-		"G-TRUTH":  core.GTruth(),
+	out := make(map[string]core.Solver, len(approachNames))
+	for display, name := range approachNames {
+		s, err := core.NewByName(name)
+		if err != nil {
+			panic(err) // the built-in solvers are always registered
+		}
+		out[display] = s
 	}
+	return out
 }
 
 // sweepPoint runs every approach over sc.Seeds workloads drawn by mk and
 // averages the two quality measures (and wall time when timing is set).
-func sweepPoint(x string, sc Scale, timing bool, mk func(seed int64) *model.Instance) Row {
+// Once ctx is done the remaining solves are skipped, and interrupted
+// partial solves are excluded from the averages — a row only ever carries
+// fully measured values, so a deadline truncates the table instead of
+// diluting it with zeros.
+func sweepPoint(ctx context.Context, x string, sc Scale, timing bool, mk func(seed int64) *model.Instance) Row {
 	row := newRow(x)
 	counts := make(map[string]int)
-	for s := 0; s < sc.Seeds; s++ {
+	for s := 0; s < sc.Seeds && ctx.Err() == nil; s++ {
 		seed := sc.Seed + int64(s)*1000
 		in := mk(seed)
 		p := core.NewProblem(in)
 		for name, solver := range solverSet() {
+			if ctx.Err() != nil {
+				break
+			}
 			var res *core.Result
-			secs := timed(func() { res = solver.Solve(p, rng.New(seed+99)) })
+			var err error
+			secs := timed(func() {
+				res, err = solver.Solve(ctx, p, &core.SolveOptions{Source: rng.New(seed + 99)})
+			})
+			if err != nil || res == nil {
+				continue
+			}
 			row.MinRel[name] += res.Eval.MinRel
 			row.TotalSTD[name] += res.Eval.TotalESTD
 			if timing {
@@ -100,12 +126,15 @@ func fig11() Experiment {
 		XLabel: "rt",
 		PaperShape: "min reliability stable; total_STD grows with rt; " +
 			"SAMPLING/D&C above GREEDY, close to G-TRUTH",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, r := range sweep {
+				if ctx.Err() != nil {
+					break
+				}
 				r := r
-				rows = append(rows, sweepPoint(
+				rows = append(rows, sweepPoint(ctx,
 					fmt.Sprintf("[%g,%g]", r.lo, r.hi), sc, false,
 					realSub(sc, func(c *gen.Config) { c.RtMin, c.RtMax = r.lo, r.hi })))
 			}
@@ -122,12 +151,15 @@ func fig12() Experiment {
 		XLabel: "[pmin,1]",
 		PaperShape: "min reliability rises with p_min; total_STD increases slightly; " +
 			"SAMPLING/D&C ≈ G-TRUTH > GREEDY",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, pmin := range sweep {
+				if ctx.Err() != nil {
+					break
+				}
 				pmin := pmin
-				rows = append(rows, sweepPoint(
+				rows = append(rows, sweepPoint(ctx,
 					fmt.Sprintf("(%.2f,1)", pmin), sc, false,
 					realSub(sc, func(c *gen.Config) { c.PMin, c.PMax = pmin, 1 })))
 			}
@@ -143,12 +175,15 @@ func fig22() Experiment {
 		Title:      "Effect of the requester-specified weight β (real-substitute data)",
 		XLabel:     "β range",
 		PaperShape: "both measures robust to β across all ranges",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, b := range sweep {
+				if ctx.Err() != nil {
+					break
+				}
 				b := b
-				rows = append(rows, sweepPoint(
+				rows = append(rows, sweepPoint(ctx,
 					fmt.Sprintf("(%g,%g]", b[0], b[1]), sc, false,
 					realSub(sc, func(c *gen.Config) { c.BetaMin, c.BetaMax = b[0], b[1] })))
 			}
@@ -168,14 +203,17 @@ func mSweep(e string, dist gen.Dist, shape string) Experiment {
 		Title:      fmt.Sprintf("Effect of the number of tasks m (%v)", dist),
 		XLabel:     "m",
 		PaperShape: shape,
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, f := range factors {
+				if ctx.Err() != nil {
+					break
+				}
 				m := int(float64(sc.M) * f)
 				scm := sc
 				scm.M = m
-				rows = append(rows, sweepPoint(fmt.Sprintf("%d", m), scm, false,
+				rows = append(rows, sweepPoint(ctx, fmt.Sprintf("%d", m), scm, false,
 					synthetic(scm, dist, nil)))
 			}
 			return rows
@@ -190,14 +228,17 @@ func nSweep(e string, dist gen.Dist, shape string) Experiment {
 		Title:      fmt.Sprintf("Effect of the number of workers n (%v)", dist),
 		XLabel:     "n",
 		PaperShape: shape,
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, f := range factors {
+				if ctx.Err() != nil {
+					break
+				}
 				n := int(float64(sc.N) * f)
 				scn := sc
 				scn.N = n
-				rows = append(rows, sweepPoint(fmt.Sprintf("%d", n), scn, false,
+				rows = append(rows, sweepPoint(ctx, fmt.Sprintf("%d", n), scn, false,
 					synthetic(scn, dist, nil)))
 			}
 			return rows
@@ -213,12 +254,15 @@ func angleSweep(e string, dist gen.Dist) Experiment {
 		XLabel: "(0,π/k]",
 		PaperShape: "min reliability insensitive; GREEDY diversity drops for wider angles; " +
 			"SAMPLING/D&C ≈ G-TRUTH",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, d := range denoms {
+				if ctx.Err() != nil {
+					break
+				}
 				d := d
-				rows = append(rows, sweepPoint(fmt.Sprintf("(0,π/%g]", d), sc, false,
+				rows = append(rows, sweepPoint(ctx, fmt.Sprintf("(0,π/%g]", d), sc, false,
 					synthetic(sc, dist, func(c *gen.Config) { c.AngleMax = math.Pi / d })))
 			}
 			return rows
@@ -234,12 +278,15 @@ func vSweep(e string, dist gen.Dist) Experiment {
 		XLabel: "[v-,v+]",
 		PaperShape: "min reliability stable around 0.9; diversity gradually decreases " +
 			"for faster workers",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, v := range sweep {
+				if ctx.Err() != nil {
+					break
+				}
 				v := v
-				rows = append(rows, sweepPoint(fmt.Sprintf("[%g,%g]", v[0], v[1]), sc, false,
+				rows = append(rows, sweepPoint(ctx, fmt.Sprintf("[%g,%g]", v[0], v[1]), sc, false,
 					synthetic(sc, dist, func(c *gen.Config) { c.VMin, c.VMax = v[0], v[1] })))
 			}
 			return rows
@@ -283,19 +330,25 @@ func fig16() Experiment {
 		XLabel: "param",
 		PaperShape: "all but SAMPLING grow quickly with m; only GREEDY grows sharply " +
 			"with n; SAMPLING stays near-flat",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, f := range mFactors {
+				if ctx.Err() != nil {
+					break
+				}
 				scm := sc
 				scm.M = int(float64(sc.M) * f)
-				rows = append(rows, sweepPoint(fmt.Sprintf("m=%d", scm.M), scm, true,
+				rows = append(rows, sweepPoint(ctx, fmt.Sprintf("m=%d", scm.M), scm, true,
 					synthetic(scm, gen.Uniform, nil)))
 			}
 			for _, f := range nFactors {
+				if ctx.Err() != nil {
+					break
+				}
 				scn := sc
 				scn.N = int(float64(sc.N) * f)
-				rows = append(rows, sweepPoint(fmt.Sprintf("n=%d", scn.N), scn, true,
+				rows = append(rows, sweepPoint(ctx, fmt.Sprintf("n=%d", scn.N), scn, true,
 					synthetic(scn, gen.Uniform, nil)))
 			}
 			return rows
@@ -313,10 +366,13 @@ func fig17() Experiment {
 		XLabel: "n",
 		PaperShape: "construction sub-second; retrieval with index substantially faster " +
 			"than the full scan (paper: up to 67% reduction)",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, f := range nFactors {
+				if ctx.Err() != nil {
+					break
+				}
 				scn := sc
 				scn.N = int(float64(sc.N) * f)
 				row := newRow(fmt.Sprintf("%d", scn.N))
@@ -358,25 +414,35 @@ func fig18() Experiment {
 		XLabel: "t_interval",
 		PaperShape: "min reliability high but GREEDY fluctuates; total_STD decreases " +
 			"as t_interval grows for every approach",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, mins := range intervals {
+				if ctx.Err() != nil {
+					break
+				}
 				row := newRow(fmt.Sprintf("%gmin", mins))
 				for name, solver := range solverSet() {
 					var rel, std float64
-					for s := 0; s < sc.Seeds; s++ {
+					runs := 0
+					for s := 0; s < sc.Seeds && ctx.Err() == nil; s++ {
 						met := platform.New(platform.Config{
 							TInterval: mins / 60,
 							Horizon:   2,
 							Solver:    solver,
 							Seed:      sc.Seed + int64(s)*17,
-						}).Run()
+						}).RunContext(ctx)
+						if ctx.Err() != nil {
+							break // truncated run: exclude its partial metrics
+						}
 						rel += met.MinRel
 						std += met.TotalSTD
+						runs++
 					}
-					row.MinRel[name] = rel / float64(sc.Seeds)
-					row.TotalSTD[name] = std / float64(sc.Seeds)
+					if runs > 0 {
+						row.MinRel[name] = rel / float64(runs)
+						row.TotalSTD[name] = std / float64(runs)
+					}
 				}
 				rows = append(rows, row)
 			}
@@ -395,17 +461,23 @@ func churnExperiment() Experiment {
 		XLabel: "tasks/h",
 		PaperShape: "(supplementary; Section 7.2 analyzes the update costs " +
 			"this run exercises)",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, rate := range rates {
+				if ctx.Err() != nil {
+					break
+				}
 				row := newRow(fmt.Sprintf("%.0f", rate))
 				rep := stream.New(stream.Config{
 					TaskRate:   rate,
 					WorkerRate: rate * 2,
 					Horizon:    2,
 					Seed:       sc.Seed,
-				}).Run()
+				}).RunContext(ctx)
+				if ctx.Err() != nil {
+					break // truncated run: its counts are not comparable
+				}
 				row.MinRel["GREEDY"] = rep.MeanMinRel
 				row.TotalSTD["GREEDY"] = rep.MeanTotalSTD
 				row.Extra["assignments"] = float64(rep.Assignments)
@@ -429,7 +501,7 @@ func ablationDiversity() Experiment {
 		Title:      "Expected-diversity evaluation: O(r²) running products vs the paper's O(r³) matrices",
 		XLabel:     "r",
 		PaperShape: "(ablation; paper reports the O(r³) reduction only)",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			src := rng.New(sc.Seed)
 			var rows []Row
@@ -468,7 +540,7 @@ func ablationPruning() Experiment {
 		Title:      "GREEDY with vs without the Lemma 4.3 bound-based pruning",
 		XLabel:     "variant",
 		PaperShape: "(ablation; the paper always prunes)",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, variant := range []struct {
@@ -476,18 +548,30 @@ func ablationPruning() Experiment {
 				prune bool
 			}{{"prune=on", true}, {"prune=off", false}} {
 				row := newRow(variant.name)
-				for s := 0; s < sc.Seeds; s++ {
+				runs := 0
+				for s := 0; s < sc.Seeds && ctx.Err() == nil; s++ {
 					in := synthetic(sc, gen.Uniform, nil)(sc.Seed + int64(s)*1000)
 					p := core.NewProblem(in)
 					g := &core.Greedy{Prune: variant.prune}
 					var res *core.Result
-					row.Extra["time_s"] += timed(func() { res = g.Solve(p, rng.New(1)) })
+					var err error
+					secs := timed(func() {
+						res, err = g.Solve(ctx, p, &core.SolveOptions{Seed: 1})
+					})
+					if err != nil {
+						break // interrupted partial solves would skew the ablation
+					}
+					row.Extra["time_s"] += secs
 					row.Extra["pairs_evaluated"] += float64(res.Stats.PairsEvaluated)
 					row.Extra["pairs_pruned"] += float64(res.Stats.PairsPruned)
 					row.MinRel["GREEDY"] += res.Eval.MinRel
 					row.TotalSTD["GREEDY"] += res.Eval.TotalESTD
+					runs++
 				}
-				norm := float64(sc.Seeds)
+				if runs == 0 {
+					continue
+				}
+				norm := float64(runs)
 				for k := range row.Extra {
 					row.Extra[k] /= norm
 				}
@@ -506,7 +590,7 @@ func ablationEta() Experiment {
 		Title:      "Grid cell size: cost-model η vs fixed alternatives",
 		XLabel:     "η",
 		PaperShape: "(ablation; Appendix I derives η from the cost model)",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			in := synthetic(sc, gen.Skewed, nil)(sc.Seed)
 			auto := grid.NewFromInstance(grid.Config{}, in)
@@ -540,7 +624,7 @@ func ablationMerge() Experiment {
 		Title:      "SA_Merge DCW resolution: exhaustive 2^k vs sequential greedy",
 		XLabel:     "variant",
 		PaperShape: "(ablation; the paper enumerates DCW groups, Lemma 6.2)",
-		Run: func(sc Scale) []Row {
+		Run: func(ctx context.Context, sc Scale) []Row {
 			sc = sc.withDefaults()
 			var rows []Row
 			for _, variant := range []struct {
@@ -548,17 +632,29 @@ func ablationMerge() Experiment {
 				limit int
 			}{{"exhaustive(≤12)", 12}, {"greedy(limit=1)", 1}} {
 				row := newRow(variant.name)
-				for s := 0; s < sc.Seeds; s++ {
+				runs := 0
+				for s := 0; s < sc.Seeds && ctx.Err() == nil; s++ {
 					in := synthetic(sc, gen.Uniform, nil)(sc.Seed + int64(s)*1000)
 					p := core.NewProblem(in)
 					dc := &core.DC{DCWGroupLimit: variant.limit}
 					var res *core.Result
-					row.Extra["time_s"] += timed(func() { res = dc.Solve(p, rng.New(1)) })
+					var err error
+					secs := timed(func() {
+						res, err = dc.Solve(ctx, p, &core.SolveOptions{Seed: 1})
+					})
+					if err != nil {
+						break // interrupted partial solves would skew the ablation
+					}
+					row.Extra["time_s"] += secs
 					row.Extra["merge_groups"] += float64(res.Stats.MergeGroups)
 					row.MinRel["D&C"] += res.Eval.MinRel
 					row.TotalSTD["D&C"] += res.Eval.TotalESTD
+					runs++
 				}
-				norm := float64(sc.Seeds)
+				if runs == 0 {
+					continue
+				}
+				norm := float64(runs)
 				for k := range row.Extra {
 					row.Extra[k] /= norm
 				}

@@ -1,6 +1,7 @@
 package hardness
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -119,7 +120,10 @@ func TestReductionRoundTripThroughSolver(t *testing.T) {
 		if !ex.CanSolve(p) {
 			t.Fatalf("population too large for %v", nums)
 		}
-		res := ex.Solve(p, rng.New(1))
+		res, err := ex.Solve(context.Background(), p, &core.SolveOptions{Source: rng.New(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
 		side := r.PartitionOf(res.Assignment)
 		got := Discrepancy(nums, side)
 		want := Discrepancy(nums, BestPartition(nums))
@@ -141,7 +145,10 @@ func TestApproximationsOnReducedInstances(t *testing.T) {
 	r := Reduce(nums)
 	p := core.NewProblem(r.In)
 	for _, s := range []core.Solver{core.NewGreedy(), core.NewSampling(), core.NewDC()} {
-		res := s.Solve(p, rng.New(2))
+		res, err := s.Solve(context.Background(), p, &core.SolveOptions{Source: rng.New(2)})
+		if err != nil {
+			t.Fatal(err)
+		}
 		side := r.PartitionOf(res.Assignment)
 		d := Discrepancy(nums, side)
 		if d > total {

@@ -14,11 +14,13 @@
 package platform
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"rdbsc/internal/core"
 	"rdbsc/internal/diversity"
+	"rdbsc/internal/engine"
 	"rdbsc/internal/geo"
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
@@ -145,21 +147,40 @@ type liveWorker struct {
 	target   model.TaskID // NoTask when idle
 }
 
-// Simulator runs the incremental platform loop.
+// Simulator runs the incremental platform loop. Each round synchronizes
+// the engine with the live state — available workers (with their current
+// departure time) and open tasks — and re-solves through it, so the grid
+// index and the prepared problem are maintained incrementally instead of
+// being rebuilt from scratch every tick.
 type Simulator struct {
 	cfg Config
 	src *rng.Source
+	eng *engine.Engine
 
-	workers []*liveWorker
-	open    map[model.TaskID]*liveTask
-	done    []*liveTask
-	nextID  model.TaskID
+	workers  []*liveWorker
+	open     map[model.TaskID]*liveTask
+	done     []*liveTask
+	nextID   model.TaskID
+	solveErr error
 }
+
+// Err returns the terminal solver error that stopped the run early (nil
+// for a clean run). Infeasible and interrupted rounds are not errors.
+func (s *Simulator) Err() error { return s.solveErr }
 
 // New prepares a simulator.
 func New(cfg Config) *Simulator {
 	cfg = cfg.withDefaults()
-	s := &Simulator{cfg: cfg, src: rng.New(cfg.Seed), open: make(map[model.TaskID]*liveTask)}
+	s := &Simulator{
+		cfg: cfg,
+		src: rng.New(cfg.Seed),
+		eng: engine.New(engine.Config{
+			Beta:   cfg.Beta,
+			Opt:    model.Options{WaitAllowed: true},
+			Solver: cfg.Solver,
+		}),
+		open: make(map[model.TaskID]*liveTask),
+	}
 	for j := 0; j < cfg.NumWorkers; j++ {
 		s.workers = append(s.workers, &liveWorker{
 			worker: model.Worker{
@@ -195,13 +216,17 @@ func (s *Simulator) Answers() []Answer {
 }
 
 // Run executes the simulation and returns the aggregated metrics.
-func (s *Simulator) Run() Metrics {
+func (s *Simulator) Run() Metrics { return s.RunContext(context.Background()) }
+
+// RunContext executes the simulation until the horizon or until ctx is
+// done, whichever comes first, and returns the metrics accumulated so far.
+func (s *Simulator) RunContext(ctx context.Context) Metrics {
 	var m Metrics
-	for now := 0.0; now < s.cfg.Horizon; now += s.cfg.TInterval {
+	for now := 0.0; now < s.cfg.Horizon && ctx.Err() == nil && s.solveErr == nil; now += s.cfg.TInterval {
 		s.issueTasks(now, &m)
 		s.completeArrivals(now, &m)
 		s.expireTasks(now)
-		s.assignRound(now, &m)
+		s.assignRound(ctx, now, &m)
 		m.Rounds++
 	}
 	s.completeArrivals(s.cfg.Horizon+1, &m) // flush in-flight workers
@@ -232,6 +257,7 @@ func (s *Simulator) issueTasks(now float64, m *Metrics) {
 			site:  i,
 			state: objective.NewTaskState(t, s.cfg.Beta),
 		}
+		s.eng.UpsertTask(t)
 		m.TasksIssued++
 	}
 }
@@ -284,6 +310,7 @@ func (s *Simulator) expireTasks(now float64) {
 		if lt.task.End <= now {
 			s.done = append(s.done, lt)
 			delete(s.open, id)
+			s.eng.RemoveTask(id)
 		}
 	}
 }
@@ -291,48 +318,48 @@ func (s *Simulator) expireTasks(now float64) {
 // assignRound is line 6 of Figure 10: assign the available workers to the
 // opening tasks, considering current commitments (each task's objective
 // state already contains its committed workers, so the solver's incremental
-// additions compound correctly).
-func (s *Simulator) assignRound(now float64, m *Metrics) {
-	in := &model.Instance{Beta: s.cfg.Beta, Opt: model.Options{WaitAllowed: true}}
-	var avail []*liveWorker
+// additions compound correctly). The engine carries the open tasks between
+// rounds; only worker availability (and departure time) is churned here.
+func (s *Simulator) assignRound(ctx context.Context, now float64, m *Metrics) {
+	avail := 0
 	for _, lw := range s.workers {
 		if lw.target == model.NoTask {
 			w := lw.worker
 			w.Depart = now
-			in.Workers = append(in.Workers, w)
-			avail = append(avail, lw)
+			s.eng.UpsertWorker(w)
+			avail++
+		} else {
+			s.eng.RemoveWorker(lw.worker.ID)
 		}
 	}
-	if len(avail) == 0 || len(s.open) == 0 {
+	if avail == 0 || len(s.open) == 0 {
 		return
 	}
-	ids := make([]model.TaskID, 0, len(s.open))
-	for id := range s.open {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		in.Tasks = append(in.Tasks, s.open[id].task)
-	}
 
-	p := core.NewProblem(in)
-	// When the solver supports seeded states (greedy), hand it the live
-	// per-task states so new pairs are chosen "considering A and S_c"
-	// (Figure 10, line 6): committed workers and received answers shape
-	// every Δ-objective. Other solvers assign from scratch over the
-	// available workers, which the paper's experiments also did for
-	// SAMPLING/D&C.
-	var res *core.Result
-	if g, ok := s.cfg.Solver.(*core.Greedy); ok {
-		seed := make(map[model.TaskID]*objective.TaskState, len(s.open))
-		for id, lt := range s.open {
-			if lt.state.Len() > 0 {
-				seed[id] = lt.state
-			}
+	// The live per-task states seed the solve so new pairs are chosen
+	// "considering A and S_c" (Figure 10, line 6): committed workers and
+	// received answers shape every Δ-objective. Greedy honors the seeds;
+	// the other solvers assign from scratch over the available workers,
+	// which the paper's experiments also did for SAMPLING/D&C.
+	seed := make(map[model.TaskID]*objective.TaskState, len(s.open))
+	for id, lt := range s.open {
+		if lt.state.Len() > 0 {
+			seed[id] = lt.state
 		}
-		res = g.SolveWithStates(p, seed, s.src.Split())
-	} else {
-		res = s.cfg.Solver.Solve(p, s.src.Split())
+	}
+	res, err := s.eng.Solve(ctx, &core.SolveOptions{
+		Source:     s.src.Split(),
+		SeedStates: seed,
+	})
+	if err != nil {
+		// Benign: infeasible rounds (no reachable pairs this tick),
+		// interrupted rounds (the run winds down via ctx). Terminal errors
+		// — a misconfigured solver, e.g. exhaustive over its population
+		// cap — stop the run and surface through Err.
+		if core.IsTerminal(err) {
+			s.solveErr = err
+		}
+		return
 	}
 	// Apply the new pairs in worker-ID order: diversity updates are
 	// floating-point sums, so application order must be deterministic.
@@ -354,7 +381,7 @@ func (s *Simulator) assignRound(now float64, m *Metrics) {
 		}
 		w := lw.worker
 		w.Depart = now
-		arr, ok := model.Arrival(lt.task, w, in.Opt)
+		arr, ok := model.Arrival(lt.task, w, model.Options{WaitAllowed: true})
 		if !ok {
 			continue
 		}

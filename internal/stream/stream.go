@@ -7,16 +7,19 @@
 // The paper's Section 7.2 analyzes exactly these operations (worker
 // insert/delete, task insert/delete, and their effect on the tcell lists);
 // this package is the workload driver that exercises them end to end and
-// measures their cost.
+// measures their cost. Live state and index maintenance are owned by an
+// engine.Engine; the simulator feeds it churn events and drives the
+// assignment rounds through it.
 package stream
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
-	"sort"
 	"time"
 
 	"rdbsc/internal/core"
+	"rdbsc/internal/engine"
 	"rdbsc/internal/gen"
 	"rdbsc/internal/geo"
 	"rdbsc/internal/grid"
@@ -84,7 +87,9 @@ type Report struct {
 	Rounds int
 	// Assignments is the total worker-task assignments made.
 	Assignments int
-	// PairsRetrieved is the total valid pairs returned by the index.
+	// PairsRetrieved is the total valid pairs returned by the index across
+	// rounds that actually retrieved (cache-served rounds contribute
+	// nothing, matching RetrieveSeconds).
 	PairsRetrieved int
 	// PeakTasks/PeakWorkers are occupancy high-water marks.
 	PeakTasks, PeakWorkers int
@@ -138,19 +143,19 @@ func (q *eventQueue) Pop() interface{} {
 	return e
 }
 
-// Sim is the churn simulator. Construct with New, drive with Run, or use
-// Snapshot mid-run from a Checkpoint callback.
+// Sim is the churn simulator. Construct with New, drive with Run (or
+// RunContext for a cancellable run), or use Snapshot mid-run from a
+// Checkpoint callback.
 type Sim struct {
 	cfg Config
 	src *rng.Source
 
-	grid    *grid.Grid
-	tasks   map[model.TaskID]model.Task
-	workers map[model.WorkerID]model.Worker
+	eng *engine.Engine
 
-	queue eventQueue
-	seq   int64
-	rep   Report
+	queue    eventQueue
+	seq      int64
+	rep      Report
+	solveErr error
 
 	// Checkpoint, when set, is invoked after every processed event with
 	// the current time; tests use it to compare the index against a
@@ -158,15 +163,22 @@ type Sim struct {
 	Checkpoint func(now float64)
 }
 
+// Err returns the terminal solver error that stopped the run early (nil
+// for a clean run). Infeasible and interrupted rounds are not errors.
+func (s *Sim) Err() error { return s.solveErr }
+
 // New prepares a churn simulation.
 func New(cfg Config) *Sim {
 	cfg = cfg.withDefaults()
 	s := &Sim{
-		cfg:     cfg,
-		src:     rng.New(cfg.Seed),
-		grid:    grid.New(grid.Config{}, model.Options{WaitAllowed: true}),
-		tasks:   make(map[model.TaskID]model.Task),
-		workers: make(map[model.WorkerID]model.Worker),
+		cfg: cfg,
+		src: rng.New(cfg.Seed),
+		eng: engine.New(engine.Config{
+			Beta:   0.5,
+			Opt:    model.Options{WaitAllowed: true},
+			Solver: cfg.Solver,
+			Grid:   grid.Config{},
+		}),
 	}
 	heap.Init(&s.queue)
 	s.schedule(s.src.Exp(cfg.TaskRate), evTaskArrive, 0)
@@ -176,33 +188,27 @@ func New(cfg Config) *Sim {
 }
 
 // Instance snapshots the currently live tasks and workers as a static
-// instance (brute-force pair baseline for tests). Slices are ordered by ID
-// so downstream solvers see a deterministic view regardless of map
-// iteration order.
-func (s *Sim) Instance() *model.Instance {
-	in := &model.Instance{Beta: 0.5, Opt: model.Options{WaitAllowed: true}}
-	for _, t := range s.tasks {
-		in.Tasks = append(in.Tasks, t)
-	}
-	for _, w := range s.workers {
-		in.Workers = append(in.Workers, w)
-	}
-	sort.Slice(in.Tasks, func(i, j int) bool { return in.Tasks[i].ID < in.Tasks[j].ID })
-	sort.Slice(in.Workers, func(i, j int) bool { return in.Workers[i].ID < in.Workers[j].ID })
-	return in
-}
+// instance (brute-force pair baseline for tests), ordered by ID.
+func (s *Sim) Instance() *model.Instance { return s.eng.Instance() }
 
 // Grid exposes the live index (read-only use).
-func (s *Sim) Grid() *grid.Grid { return s.grid }
+func (s *Sim) Grid() *grid.Grid { return s.eng.Grid() }
+
+// Engine exposes the underlying solving engine.
+func (s *Sim) Engine() *engine.Engine { return s.eng }
 
 // Run processes events until the horizon and returns the report.
-func (s *Sim) Run() Report {
+func (s *Sim) Run() Report { return s.RunContext(context.Background()) }
+
+// RunContext processes events until the horizon or until ctx is done,
+// whichever comes first, and returns the report accumulated so far.
+func (s *Sim) RunContext(ctx context.Context) Report {
 	var relSum, stdSum float64
 	activeRounds := 0
 	var nextTaskID int64
 	var nextWorkerID int64
 
-	for s.queue.Len() > 0 {
+	for s.queue.Len() > 0 && ctx.Err() == nil && s.solveErr == nil {
 		e := heap.Pop(&s.queue).(event)
 		if e.at > s.cfg.Horizon {
 			break
@@ -211,33 +217,27 @@ func (s *Sim) Run() Report {
 		case evTaskArrive:
 			t := s.newTask(model.TaskID(nextTaskID), e.at)
 			nextTaskID++
-			s.tasks[t.ID] = t
-			s.grid.InsertTask(t)
+			s.eng.UpsertTask(t)
 			s.rep.TasksArrived++
 			s.schedule(t.End, evTaskExpire, int64(t.ID))
 			s.schedule(e.at+s.src.Exp(s.cfg.TaskRate), evTaskArrive, 0)
 		case evTaskExpire:
-			if t, ok := s.tasks[model.TaskID(e.id)]; ok {
-				s.grid.RemoveTask(t.ID, t.Loc)
-				delete(s.tasks, t.ID)
+			if s.eng.RemoveTask(model.TaskID(e.id)) {
 				s.rep.TasksExpired++
 			}
 		case evWorkerArrive:
 			w := s.newWorker(model.WorkerID(nextWorkerID), e.at)
 			nextWorkerID++
-			s.workers[w.ID] = w
-			s.grid.InsertWorker(w)
+			s.eng.UpsertWorker(w)
 			s.rep.WorkersArrived++
 			s.schedule(e.at+s.src.Exp(1/s.cfg.WorkerLifetime), evWorkerLeave, int64(w.ID))
 			s.schedule(e.at+s.src.Exp(s.cfg.WorkerRate), evWorkerArrive, 0)
 		case evWorkerLeave:
-			if w, ok := s.workers[model.WorkerID(e.id)]; ok {
-				s.grid.RemoveWorker(w.ID, w.Loc)
-				delete(s.workers, w.ID)
+			if s.eng.RemoveWorker(model.WorkerID(e.id)) {
 				s.rep.WorkersLeft++
 			}
 		case evAssign:
-			if rel, std, ok := s.assignRound(); ok {
+			if rel, std, ok := s.assignRound(ctx); ok {
 				relSum += rel
 				stdSum += std
 				activeRounds++
@@ -245,11 +245,12 @@ func (s *Sim) Run() Report {
 			s.rep.Rounds++
 			s.schedule(e.at+s.cfg.AssignEvery, evAssign, 0)
 		}
-		if len(s.tasks) > s.rep.PeakTasks {
-			s.rep.PeakTasks = len(s.tasks)
+		tasks, workers := s.eng.Len()
+		if tasks > s.rep.PeakTasks {
+			s.rep.PeakTasks = tasks
 		}
-		if len(s.workers) > s.rep.PeakWorkers {
-			s.rep.PeakWorkers = len(s.workers)
+		if workers > s.rep.PeakWorkers {
+			s.rep.PeakWorkers = workers
 		}
 		if s.Checkpoint != nil {
 			s.Checkpoint(e.at)
@@ -262,23 +263,32 @@ func (s *Sim) Run() Report {
 	return s.rep
 }
 
-func (s *Sim) assignRound() (minRel, totalSTD float64, ok bool) {
-	if len(s.tasks) == 0 || len(s.workers) == 0 {
+func (s *Sim) assignRound(ctx context.Context) (minRel, totalSTD float64, ok bool) {
+	tasks, workers := s.eng.Len()
+	if tasks == 0 || workers == 0 {
 		return 0, 0, false
 	}
-	in := s.Instance()
+	p := s.eng.Problem()
+	// Cost accounting covers actual retrievals only: a round served from
+	// the engine's cache asked the index for nothing, so it contributes to
+	// neither the time nor the pair count.
+	if rebuilt, retrieve := s.eng.LastPrep(); rebuilt {
+		s.rep.RetrieveSeconds += retrieve.Seconds()
+		s.rep.PairsRetrieved += len(p.Pairs)
+	}
+	if len(p.Pairs) == 0 {
+		return 0, 0, false
+	}
 	start := time.Now()
-	pairs := s.grid.ValidPairs()
-	s.rep.RetrieveSeconds += time.Since(start).Seconds()
-	s.rep.PairsRetrieved += len(pairs)
-	if len(pairs) == 0 {
-		return 0, 0, false
-	}
-	p := core.NewProblemWithPairs(in, pairs)
-	start = time.Now()
-	res := s.cfg.Solver.Solve(p, s.src.Split())
+	res, err := s.eng.Solve(ctx, &core.SolveOptions{Source: s.src.Split()})
 	s.rep.SolveSeconds += time.Since(start).Seconds()
-	if res.Assignment.Len() == 0 {
+	if err != nil {
+		// Benign: infeasible rounds under churn, interrupted rounds (the
+		// run loop winds down via ctx). Terminal errors — e.g. a solver
+		// over its population cap — stop the run and surface through Err.
+		if core.IsTerminal(err) {
+			s.solveErr = err
+		}
 		return 0, 0, false
 	}
 	s.rep.Assignments += res.Assignment.Len()

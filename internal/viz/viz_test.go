@@ -14,7 +14,7 @@ import (
 func TestRenderProducesWellFormedSVG(t *testing.T) {
 	in := gen.GenerateDense(gen.Default().WithScale(20, 30))
 	p := core.NewProblem(in)
-	res := core.NewGreedy().Solve(p, rng.New(1))
+	res := core.SolveSeeded(core.NewGreedy(), p, rng.New(1))
 
 	var buf bytes.Buffer
 	err := Render(&buf, in, res.Assignment, Options{Title: "test <&>", GridEta: 0.25})

@@ -12,25 +12,55 @@
 // RDB-SC-Grid spatial index, workload generators, and a platform simulator
 // for incremental (periodic) reassignment.
 //
-// # Quick start
+// # Quick start (v2 API)
+//
+// Solvers are selected by name through the registry, and every solve is
+// context-aware — cancel the context or let its deadline expire and the
+// solver returns its best partial assignment with ErrInterrupted:
 //
 //	in := rdbsc.GenerateWorkload(rdbsc.DefaultWorkload().WithScale(100, 200))
-//	res, err := rdbsc.Solve(in, rdbsc.WithSolver(rdbsc.NewDC()), rdbsc.WithSeed(42))
-//	if err != nil { ... }
+//	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+//	defer cancel()
+//	res, err := rdbsc.Solve(ctx, in,
+//		rdbsc.WithSolverName("dc"), // or WithSolver(rdbsc.NewDC())
+//		rdbsc.WithSeed(42),
+//		rdbsc.WithProgress(func(st rdbsc.Stage) { log.Println(st.Solver, st.Round) }),
+//	)
+//	switch {
+//	case errors.Is(err, rdbsc.ErrInterrupted):
+//		// res holds the best assignment found before the deadline.
+//	case errors.Is(err, rdbsc.ErrInfeasible):
+//		// no worker can reach any task in time.
+//	case err != nil:
+//		// invalid instance or unknown solver name.
+//	}
 //	fmt.Println(res.Eval.MinRel, res.Eval.TotalESTD)
 //
-// See the examples/ directory for runnable scenarios: the landmark
-// photography task of the paper's Example 1, the parking-monitoring task of
-// Example 2, and a live incremental platform.
+// For repeated solves over a churning task/worker set — the shape of a
+// long-running assignment service — use an Engine, which owns the prepared
+// problem and its grid index and re-derives valid pairs incrementally:
+//
+//	eng := rdbsc.NewEngineFromInstance(in, rdbsc.EngineConfig{})
+//	res, err := eng.Solve(ctx, &rdbsc.SolveOptions{Seed: 42})
+//	eng.UpsertWorker(w)      // churn: workers move, tasks open and expire
+//	eng.RemoveTask(taskID)
+//	res, err = eng.Solve(ctx, nil) // incremental re-solve
+//
+// See MIGRATION.md for the v1 → v2 call-site mapping, and the examples/
+// directory for runnable scenarios: the landmark photography task of the
+// paper's Example 1, the parking-monitoring task of Example 2, and a live
+// incremental platform.
 package rdbsc
 
 import (
+	"context"
 	"fmt"
 
 	"rdbsc/internal/aggregate"
 	"rdbsc/internal/core"
 	"rdbsc/internal/dataset"
 	"rdbsc/internal/diversity"
+	"rdbsc/internal/engine"
 	"rdbsc/internal/gen"
 	"rdbsc/internal/geo"
 	"rdbsc/internal/grid"
@@ -66,8 +96,16 @@ type (
 
 // Solvers (Sections 4–6).
 type (
-	// Solver is the common interface of the approximation algorithms.
+	// Solver is the common interface of the approximation algorithms: the
+	// context-aware v2 contract Solve(ctx, p, opts) (*Result, error).
 	Solver = core.Solver
+	// SolveOptions configures one Solver.Solve call (seed, progress
+	// callback, seeded states).
+	SolveOptions = core.SolveOptions
+	// Stage is one progress report emitted through SolveOptions.Progress.
+	Stage = core.Stage
+	// SolverFactory builds a fresh solver for the registry.
+	SolverFactory = core.SolverFactory
 	// Result bundles an assignment with its evaluation and diagnostics.
 	Result = core.Result
 	// Problem is a prepared instance (valid pairs indexed).
@@ -83,6 +121,33 @@ type (
 	// SampleSizeSpec carries the (ε,δ) accuracy target of Section 5.2.
 	SampleSizeSpec = core.SampleSizeSpec
 )
+
+// Typed errors of the v2 solve contract.
+var (
+	// ErrInterrupted wraps context cancellation/deadline expiry; the
+	// accompanying Result carries the best partial assignment.
+	ErrInterrupted = core.ErrInterrupted
+	// ErrInfeasible reports that the selected solver produced no feasible
+	// assignment (no worker can reach any task in time).
+	ErrInfeasible = core.ErrInfeasible
+	// ErrPopulationTooLarge reports an exhaustive enumeration over its cap.
+	ErrPopulationTooLarge = core.ErrPopulationTooLarge
+)
+
+// Register adds a solver factory to the registry under name (plus any
+// aliases); names are matched case- and punctuation-insensitively. It
+// panics when the name is empty or already taken.
+func Register(name string, factory SolverFactory, aliases ...string) {
+	core.Register(name, factory, aliases...)
+}
+
+// NewSolverByName builds a fresh solver by its registered name ("greedy",
+// "sampling", "dc", "gtruth", "exhaustive", or anything added with
+// Register). Unknown names return an error listing the registered solvers.
+func NewSolverByName(name string) (Solver, error) { return core.NewByName(name) }
+
+// Solvers returns the registered solver names, sorted.
+func Solvers() []string { return core.Names() }
 
 // NoTask marks an unassigned worker.
 const NoTask = model.NoTask
@@ -129,9 +194,11 @@ func NewProblemWithIndex(in *Instance) *Problem {
 
 // solveConfig carries Solve options.
 type solveConfig struct {
-	solver   Solver
-	seed     int64
-	useIndex bool
+	solver     Solver
+	solverName string
+	seed       int64
+	useIndex   bool
+	progress   func(Stage)
 }
 
 // SolveOption customizes Solve.
@@ -140,17 +207,48 @@ type SolveOption func(*solveConfig)
 // WithSolver selects the algorithm (default: divide-and-conquer).
 func WithSolver(s Solver) SolveOption { return func(c *solveConfig) { c.solver = s } }
 
+// WithSolverName selects the algorithm through the solver registry; the
+// name is resolved when Solve runs, so an unknown name surfaces as a Solve
+// error rather than a construction-time panic.
+func WithSolverName(name string) SolveOption {
+	return func(c *solveConfig) { c.solverName = name }
+}
+
 // WithSeed seeds the solver's randomness (default 1).
 func WithSeed(seed int64) SolveOption { return func(c *solveConfig) { c.seed = seed } }
 
 // WithIndex routes valid-pair retrieval through the RDB-SC-Grid index.
 func WithIndex() SolveOption { return func(c *solveConfig) { c.useIndex = true } }
 
-// Solve validates the instance, prepares it, and runs the selected solver.
-func Solve(in *Instance, opts ...SolveOption) (*Result, error) {
-	cfg := solveConfig{solver: core.NewDC(), seed: 1}
+// WithProgress streams per-round solver progress to fn (see Stage). fn is
+// invoked synchronously from the solving goroutine and must be fast.
+func WithProgress(fn func(Stage)) SolveOption {
+	return func(c *solveConfig) { c.progress = fn }
+}
+
+// Solve validates the instance, prepares it, and runs the selected solver
+// under ctx.
+//
+// On cancellation or deadline expiry the best partial result found so far
+// is returned together with an error wrapping ErrInterrupted. When the
+// solver completes but assigns no worker, Solve returns the evaluated empty
+// result with ErrInfeasible, so the two objective values are still
+// readable but the infeasibility cannot be silently ignored.
+func Solve(ctx context.Context, in *Instance, opts ...SolveOption) (*Result, error) {
+	cfg := solveConfig{seed: 1}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if cfg.solver == nil {
+		if cfg.solverName != "" {
+			s, err := core.NewByName(cfg.solverName)
+			if err != nil {
+				return nil, fmt.Errorf("rdbsc: %w", err)
+			}
+			cfg.solver = s
+		} else {
+			cfg.solver = core.NewDC()
+		}
 	}
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("rdbsc: %w", err)
@@ -161,7 +259,47 @@ func Solve(in *Instance, opts ...SolveOption) (*Result, error) {
 	} else {
 		p = core.NewProblem(in)
 	}
-	return cfg.solver.Solve(p, rng.New(cfg.seed)), nil
+	// An explicit Source (not Seed) so WithSeed(0) runs the literal seed-0
+	// stream, as it did in v1.
+	res, err := cfg.solver.Solve(ctx, p, &core.SolveOptions{
+		Source:   rng.New(cfg.seed),
+		Progress: cfg.progress,
+	})
+	if err != nil {
+		return res, fmt.Errorf("rdbsc: %w", err)
+	}
+	if res.Assignment.Len() == 0 {
+		return res, fmt.Errorf("rdbsc: %w", ErrInfeasible)
+	}
+	return res, nil
+}
+
+// SolveNoContext is the v1 entry point: Solve without cancellation.
+//
+// Deprecated: call Solve with a context (context.Background() for the old
+// behavior). Kept for one release to ease migration (see MIGRATION.md).
+func SolveNoContext(in *Instance, opts ...SolveOption) (*Result, error) {
+	return Solve(context.Background(), in, opts...)
+}
+
+// Engine owns a live task/worker set, its RDB-SC-Grid index, and a cached
+// prepared problem, supporting repeated solves and incremental re-solve
+// after churn. See NewEngine and NewEngineFromInstance.
+type Engine = engine.Engine
+
+// EngineConfig parameterizes an Engine (β, reachability options, solver,
+// index settings). The zero value means β=0.5, the D&C solver, and
+// index-backed pair retrieval.
+type EngineConfig = engine.Config
+
+// NewEngine returns an empty engine; feed it with UpsertTask/UpsertWorker.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// NewEngineFromInstance returns an engine pre-loaded with the instance's
+// tasks and workers, with the grid cell size derived from the instance's
+// cost model.
+func NewEngineFromInstance(in *Instance, cfg EngineConfig) *Engine {
+	return engine.NewFromInstance(in, cfg)
 }
 
 // Evaluate computes the two objective values of an assignment.

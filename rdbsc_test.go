@@ -1,6 +1,8 @@
 package rdbsc
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 )
@@ -8,7 +10,7 @@ import (
 func TestSolveEndToEnd(t *testing.T) {
 	in := GenerateDenseWorkload(DefaultWorkload().WithScale(40, 80))
 	for _, solver := range []Solver{NewGreedy(), NewSampling(), NewDC(), GTruth()} {
-		res, err := Solve(in, WithSolver(solver), WithSeed(42))
+		res, err := Solve(context.Background(), in, WithSolver(solver), WithSeed(42))
 		if err != nil {
 			t.Fatalf("%s: %v", solver.Name(), err)
 		}
@@ -23,7 +25,7 @@ func TestSolveEndToEnd(t *testing.T) {
 
 func TestSolveDefaultsToDC(t *testing.T) {
 	in := GenerateDenseWorkload(DefaultWorkload().WithScale(20, 40))
-	res, err := Solve(in)
+	res, err := Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,11 +36,11 @@ func TestSolveDefaultsToDC(t *testing.T) {
 
 func TestSolveWithIndexMatchesWithout(t *testing.T) {
 	in := GenerateDenseWorkload(DefaultWorkload().WithScale(30, 60))
-	a, err := Solve(in, WithSolver(NewGreedy()), WithSeed(1))
+	a, err := Solve(context.Background(), in, WithSolver(NewGreedy()), WithSeed(1))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Solve(in, WithSolver(NewGreedy()), WithSeed(1), WithIndex())
+	b, err := Solve(context.Background(), in, WithSolver(NewGreedy()), WithSeed(1), WithIndex())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func TestSolveWithIndexMatchesWithout(t *testing.T) {
 func TestSolveRejectsInvalidInstance(t *testing.T) {
 	in := GenerateDenseWorkload(DefaultWorkload().WithScale(5, 5))
 	in.Beta = 2 // invalid
-	if _, err := Solve(in); err == nil {
+	if _, err := Solve(context.Background(), in); err == nil {
 		t.Error("expected validation error")
 	}
 }
@@ -123,8 +125,137 @@ func TestExhaustiveFacade(t *testing.T) {
 	if !ex.CanSolve(p) {
 		t.Skip("population too large for this seed")
 	}
-	res := ex.Solve(p, nil)
+	res, err := ex.Solve(context.Background(), p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := in.CheckAssignment(res.Assignment); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestSolveReturnsErrInfeasible(t *testing.T) {
+	// One task, one worker that cannot reach it: too slow, window too short.
+	in := &Instance{
+		Tasks: []Task{{ID: 0, Loc: Pt(0.9, 0.9), Start: 0, End: 0.01}},
+		Workers: []Worker{{
+			ID: 0, Loc: Pt(0.1, 0.1), Speed: 0.01, Dir: FullCircle, Confidence: 0.9,
+		}},
+		Beta: 0.5,
+	}
+	res, err := Solve(context.Background(), in)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if res == nil || res.Assignment.Len() != 0 {
+		t.Fatalf("infeasible solve should return the evaluated empty result, got %v", res)
+	}
+}
+
+func TestSolveWithSolverName(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(20, 40))
+	res, err := Solve(context.Background(), in, WithSolverName("d&c"), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Len() == 0 {
+		t.Error("named solver assigned nothing")
+	}
+	if _, err := Solve(context.Background(), in, WithSolverName("no-such-algo")); err == nil {
+		t.Error("expected an error for an unknown solver name")
+	}
+}
+
+func TestSolversRegistryFacade(t *testing.T) {
+	names := Solvers()
+	want := map[string]bool{"greedy": true, "sampling": true, "dc": true, "gtruth": true, "exhaustive": true}
+	found := 0
+	for _, n := range names {
+		if want[n] {
+			found++
+		}
+	}
+	if found != len(want) {
+		t.Errorf("Solvers() = %v, missing built-ins", names)
+	}
+	for _, n := range []string{"greedy", "SAMPLING", "D&C", "g-truth"} {
+		if _, err := NewSolverByName(n); err != nil {
+			t.Errorf("NewSolverByName(%q): %v", n, err)
+		}
+	}
+}
+
+func TestSolveHonorsDeadline(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(60, 120))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the solve must return immediately
+	res, err := Solve(ctx, in, WithSolverName("greedy"))
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted solve must return a partial result")
+	}
+}
+
+func TestSolveProgressCallback(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(20, 40))
+	var stages []Stage
+	_, err := Solve(context.Background(), in,
+		WithSolverName("greedy"),
+		WithProgress(func(st Stage) { stages = append(stages, st) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stages) == 0 {
+		t.Fatal("no progress stages emitted")
+	}
+	for i, st := range stages {
+		if st.Round != i+1 {
+			t.Fatalf("stage %d has Round %d", i, st.Round)
+		}
+		if st.Solver != "GREEDY" {
+			t.Fatalf("stage solver = %q", st.Solver)
+		}
+	}
+}
+
+func TestEngineFacadeIncrementalResolve(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(20, 40))
+	eng := NewEngineFromInstance(in, EngineConfig{})
+	res1, err := eng.Solve(context.Background(), &SolveOptions{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Assignment.Len() == 0 {
+		t.Fatal("engine solve assigned nothing")
+	}
+
+	// Churn: drop half the workers, re-solve incrementally.
+	for i := 0; i < len(in.Workers)/2; i++ {
+		eng.RemoveWorker(in.Workers[i].ID)
+	}
+	res2, err := eng.Solve(context.Background(), &SolveOptions{Seed: 5})
+	if err != nil && !errors.Is(err, ErrInfeasible) {
+		t.Fatal(err)
+	}
+	if res2.Assignment.Len() > res1.Assignment.Len() {
+		t.Errorf("fewer workers produced more assignments: %d > %d",
+			res2.Assignment.Len(), res1.Assignment.Len())
+	}
+	inst := eng.Instance()
+	if err := inst.CheckAssignment(res2.Assignment); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeprecatedSolveNoContext(t *testing.T) {
+	in := GenerateDenseWorkload(DefaultWorkload().WithScale(20, 40))
+	res, err := SolveNoContext(in, WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Len() == 0 {
+		t.Error("v1 wrapper assigned nothing")
 	}
 }
