@@ -11,6 +11,8 @@
 //	rdbsc-bench -fig all            # run everything (default)
 //	rdbsc-bench -m 120 -n 240 -seeds 3 -fig 14
 //	rdbsc-bench -fig all -timeout 2m   # stop after 2 minutes, partial tables
+//	rdbsc-bench -fig ablation-incremental   # greedy candidate-maintenance before/after
+//	rdbsc-bench -greedy greedy-parallel -fig 16   # parallel exact-Δ greedy in the sweeps
 //
 // Bench scale defaults to m=80, n=160 (the paper's 10K×10K full scale takes
 // CPU-hours on the quadratic greedy); shapes, not absolute magnitudes, are
@@ -25,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"rdbsc/internal/core"
 	"rdbsc/internal/exp"
 )
 
@@ -36,6 +39,7 @@ func main() {
 		n       = flag.Int("n", 160, "base number of workers")
 		seeds   = flag.Int("seeds", 2, "workload seeds averaged per point")
 		seed    = flag.Int64("seed", 1, "base random seed")
+		greedy  = flag.String("greedy", "greedy", "registry name backing the GREEDY approach: greedy (incremental), greedy-naive, or greedy-parallel")
 		timeout = flag.Duration("timeout", 0, "overall deadline; experiments report partial tables when it expires (0 = no limit)")
 	)
 	flag.Parse()
@@ -54,7 +58,14 @@ func main() {
 		defer cancel()
 	}
 
-	scale := exp.Scale{M: *m, N: *n, Seeds: *seeds, Seed: *seed}
+	if s, err := core.NewByName(*greedy); err != nil {
+		fmt.Fprintf(os.Stderr, "rdbsc-bench: -greedy: %v\n", err)
+		os.Exit(2)
+	} else if _, ok := s.(*core.Greedy); !ok {
+		fmt.Fprintf(os.Stderr, "rdbsc-bench: -greedy %q is not a greedy variant (want greedy, greedy-naive, or greedy-parallel)\n", *greedy)
+		os.Exit(2)
+	}
+	scale := exp.Scale{M: *m, N: *n, Seeds: *seeds, Seed: *seed, Greedy: *greedy}
 	ids := resolve(*fig)
 	if len(ids) == 0 {
 		fmt.Fprintf(os.Stderr, "rdbsc-bench: unknown experiment %q; try -list\n", *fig)

@@ -5,7 +5,10 @@
 // Solvers are resolved through the registry (-solver accepts any name from
 // `rdbsc-solve -list-solvers`), and -timeout bounds the solve with a
 // context deadline: when it expires, the best partial assignment found so
-// far is reported.
+// far is reported. The greedy solver's candidate-maintenance knobs are
+// exposed as -greedy-naive (per-round full recomputation) and
+// -greedy-parallel (sharded exact-Δ evaluation); both change cost only,
+// never the assignment.
 //
 // Usage:
 //
@@ -41,6 +44,8 @@ func main() {
 		seed        = flag.Int64("seed", 1, "random seed")
 		useIndex    = flag.Bool("index", true, "retrieve valid pairs via the RDB-SC-Grid index")
 		wait        = flag.Bool("wait", false, "allow workers to wait for a task's period to open")
+		gNaive      = flag.Bool("greedy-naive", false, "greedy only: recompute every candidate bound every round (the pre-incremental baseline)")
+		gParallel   = flag.Bool("greedy-parallel", false, "greedy only: evaluate exact Δ-diversity candidates on all CPUs")
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this long, reporting the partial result (0 = no limit)")
 		progress    = flag.Bool("progress", false, "stream per-round solver progress to stderr")
 		outFile     = flag.String("assignment", "", "write the assignment CSV to this path")
@@ -58,6 +63,18 @@ func main() {
 	solver, err := core.NewByName(*solverName)
 	if err != nil {
 		fatal(err)
+	}
+	if g, ok := solver.(*core.Greedy); ok {
+		// The candidate-maintenance knobs apply to any greedy variant the
+		// registry resolved; they change cost, never the assignment.
+		if *gNaive {
+			g.Incremental = false
+		}
+		if *gParallel {
+			g.Parallel = true
+		}
+	} else if *gNaive || *gParallel {
+		fatal(fmt.Errorf("-greedy-naive/-greedy-parallel apply only to greedy solvers, not %q", solver.Name()))
 	}
 	in, err := dataset.LoadInstance(*prefix, *beta)
 	if err != nil {
@@ -113,6 +130,10 @@ func main() {
 	fmt.Printf("assigned     %d workers to %d tasks\n", res.Eval.AssignedWorkers, res.Eval.AssignedTasks)
 	fmt.Printf("minRel       %.4f\n", res.Eval.MinRel)
 	fmt.Printf("total_STD    %.4f\n", res.Eval.TotalESTD)
+	if st := res.Stats; st.BoundsComputed+st.BoundsReused > 0 {
+		fmt.Printf("bounds       %d computed, %d served from the incremental cache\n",
+			st.BoundsComputed, st.BoundsReused)
+	}
 
 	if *outFile != "" {
 		if err := writeAssignment(*outFile, res.Assignment); err != nil {

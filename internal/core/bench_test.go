@@ -13,15 +13,30 @@ func benchProblem(b *testing.B, m, n int) *Problem {
 	return NewProblem(in)
 }
 
-func BenchmarkGreedySolve(b *testing.B) {
+// benchGreedy runs one registered greedy variant and reports its
+// bound-computation profile, the before/after of the incremental candidate
+// maintenance.
+func benchGreedy(b *testing.B, name string) {
+	g, err := NewByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
 	p := benchProblem(b, 40, 80)
-	g := NewGreedy()
 	b.ReportAllocs()
 	b.ResetTimer()
+	var last *Result
 	for i := 0; i < b.N; i++ {
-		g.Solve(context.Background(), p, nil)
+		last, _ = g.Solve(context.Background(), p, nil)
 	}
+	b.ReportMetric(float64(last.Stats.BoundsComputed), "boundsComputed")
+	b.ReportMetric(float64(last.Stats.BoundsReused), "boundsReused")
 }
+
+func BenchmarkGreedySolve(b *testing.B) { benchGreedy(b, "greedy") }
+
+func BenchmarkGreedySolveNaive(b *testing.B) { benchGreedy(b, "greedy-naive") }
+
+func BenchmarkGreedySolveParallel(b *testing.B) { benchGreedy(b, "greedy-parallel") }
 
 func BenchmarkGreedySolveNoPrune(b *testing.B) {
 	p := benchProblem(b, 40, 80)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"sort"
 
 	"rdbsc/internal/geo"
@@ -87,13 +88,22 @@ func (d *DC) solve(ctx context.Context, p *Problem, src *rng.Source, run *dcRun)
 		return d.solveLeaf(ctx, p, src, run)
 	}
 	a1, s1, err := d.solve(ctx, p1, src, run)
-	if err != nil {
+	if err != nil && !errors.Is(err, ErrInterrupted) {
+		// Terminal failures (e.g. a base solver over its population cap)
+		// abort the recursion; only interrupts fall through to the merge.
 		return a1, s1, err
 	}
-	a2, s2, err := d.solve(ctx, p2, src, run)
+	// An interrupt in the left subtree still proceeds to the right solve
+	// (which returns immediately under the done context) and the merge,
+	// symmetric with a right-subtree interrupt: the partial result returned
+	// upward is always the best combination of the completed sub-answers.
+	a2, s2, err2 := d.solve(ctx, p2, src, run)
+	if err == nil {
+		err = err2
+	}
 	stats := s1.add(s2)
-	// Merge even when the right subtree was interrupted: its partial
-	// sub-answer still improves the combined assignment.
+	// Merge even when a subtree was interrupted: its partial sub-answer
+	// still improves the combined assignment.
 	merged, ms := saMerge(p, a1, a2, d.groupLimit())
 	stats = stats.add(ms)
 	if err == nil {

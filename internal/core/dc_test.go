@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"rdbsc/internal/geo"
@@ -199,5 +201,37 @@ func TestUnionFind(t *testing.T) {
 	uf.union(4, 4) // self-union is a no-op
 	if uf.find(4) != uf.find(4) {
 		t.Error("self-union broke the structure")
+	}
+}
+
+// TestDCInterruptMergesCompletedSubtrees pins the symmetric interrupt
+// behavior: cancelling mid-recursion (here after the first solved leaf,
+// which interrupts while a *left* subtree path is still being combined)
+// must still merge the completed sub-answers into the returned partial
+// result instead of dropping everything solved so far.
+func TestDCInterruptMergesCompletedSubtrees(t *testing.T) {
+	in := randomInstance(rng.New(5), 40, 80)
+	p := NewProblem(in)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	leaves := 0
+	opts := &SolveOptions{
+		Source: rng.New(1),
+		Progress: func(st Stage) {
+			leaves++
+			if leaves == 1 {
+				cancel() // interrupt right after the first completed leaf
+			}
+		},
+	}
+	res, err := NewDC().Solve(ctx, p, opts)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if res == nil {
+		t.Fatal("interrupted D&C returned nil result")
+	}
+	if res.Assignment.Len() == 0 {
+		t.Error("interrupted D&C dropped the completed subtree's assignments")
 	}
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"container/heap"
 	"context"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
@@ -19,13 +22,34 @@ import (
 // the Lemma 4.3 bound-based pruning: a pair whose diversity-increase upper
 // bound falls below another pair's lower bound (at equal-or-worse Δmin-R)
 // is discarded before its exact Δdiversity is computed.
+//
+// With Incremental enabled (the default), the per-pair Δ-diversity bounds
+// are maintained across rounds instead of recomputed from scratch: a round
+// mutates exactly one task's state, so only that task's pairs need fresh
+// bounds — every other cached bound stays valid (keyed on the task state's
+// version counter), and only the cheap Δmin-R term is refreshed from an
+// incrementally maintained min/second-min R. The assignment produced is
+// bit-identical to the non-incremental path; Greedy{Incremental: false}
+// keeps the full-recomputation loop reachable for differential testing.
 type Greedy struct {
 	// Prune toggles the Lemma 4.3 bound-based candidate pruning.
 	Prune bool
+	// Incremental reuses candidate Δ-bounds across rounds via a per-pair
+	// cache keyed on the task state's version, recomputing only the pairs
+	// of the task assigned in the previous round.
+	Incremental bool
+	// Parallel evaluates the surviving candidates' exact Δ-diversity on all
+	// CPUs (GOMAXPROCS-bounded shards). The winner is identical to the
+	// sequential run: every candidate's exact Δ is a pure function of the
+	// (unmutated) task states, and the tie-broken argmax scan stays
+	// sequential over the stable candidate order, mirroring the seed-stable
+	// design of Sampling.Parallel.
+	Parallel bool
 }
 
-// NewGreedy returns the default greedy solver (pruning enabled).
-func NewGreedy() *Greedy { return &Greedy{Prune: true} }
+// NewGreedy returns the default greedy solver (pruning and incremental
+// candidate maintenance enabled).
+func NewGreedy() *Greedy { return &Greedy{Prune: true, Incremental: true} }
 
 // Name implements Solver.
 func (g *Greedy) Name() string { return "GREEDY" }
@@ -75,7 +99,6 @@ func (g *Greedy) SolveFrom(ctx context.Context, p *Problem, existing *model.Assi
 // in the seeded states are excluded from assignment. The returned
 // assignment contains only newly assigned workers.
 func (g *Greedy) SolveWithStates(ctx context.Context, p *Problem, seed map[model.TaskID]*objective.TaskState, opts *SolveOptions) (*Result, error) {
-	assignment := model.NewAssignment()
 	states := make(map[model.TaskID]*objective.TaskState, len(p.In.Tasks))
 	committed := make(map[model.WorkerID]bool)
 	for i := range p.In.Tasks {
@@ -95,7 +118,17 @@ func (g *Greedy) SolveWithStates(ctx context.Context, p *Problem, seed map[model
 			free[w] = true
 		}
 	}
+	if g.Incremental {
+		return g.runIncremental(ctx, p, states, free, opts)
+	}
+	return g.runNaive(ctx, p, states, free, opts)
+}
 
+// runNaive is the full-recomputation loop: every round rebuilds the Δ-bounds
+// of every pair of every free worker. Kept reachable (Incremental: false) as
+// the differential-testing baseline.
+func (g *Greedy) runNaive(ctx context.Context, p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, opts *SolveOptions) (*Result, error) {
+	assignment := model.NewAssignment()
 	var stats Stats
 	for len(free) > 0 {
 		if ctx.Err() != nil {
@@ -106,20 +139,52 @@ func (g *Greedy) SolveWithStates(ctx context.Context, p *Problem, seed map[model
 			break
 		}
 		best := g.selectBest(p, states, cands, &stats)
-		pr := p.Pairs[best.pairIdx]
-		w := p.Worker(pr.Worker)
-		states[pr.Task].AddPair(pr, w.Confidence)
-		assignment.Assign(pr.Worker, pr.Task)
-		delete(free, pr.Worker)
-		stats.Rounds++
-		opts.emit(Stage{
-			Solver:   g.Name(),
-			Round:    stats.Rounds,
-			Assigned: assignment.Len(),
-			Stats:    stats,
-		})
+		g.commitRound(p, states, free, assignment, best, nil, &stats, opts)
 	}
 	return finishResult(p, assignment, stats), nil
+}
+
+// runIncremental maintains the candidate bounds across rounds: a per-pair
+// cache keyed on the task state's version serves every pair whose task did
+// not change in the previous round, and the global min/second-min R feeding
+// the Δmin-R term is updated in O(log m) instead of rescanned.
+func (g *Greedy) runIncremental(ctx context.Context, p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, opts *SolveOptions) (*Result, error) {
+	assignment := model.NewAssignment()
+	cache := newBoundCache(len(p.Pairs))
+	tracker := newMinTwoTracker(states)
+	var stats Stats
+	for len(free) > 0 {
+		if ctx.Err() != nil {
+			return finishResult(p, assignment, stats), interrupted(ctx)
+		}
+		cands := g.collectCached(p, states, free, cache, tracker, &stats)
+		if len(cands) == 0 {
+			break
+		}
+		best := g.selectBest(p, states, cands, &stats)
+		g.commitRound(p, states, free, assignment, best, tracker, &stats, opts)
+	}
+	return finishResult(p, assignment, stats), nil
+}
+
+// commitRound applies the winning pair and emits the round's progress.
+func (g *Greedy) commitRound(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, assignment *model.Assignment, best candidate, tracker *minTwoTracker, stats *Stats, opts *SolveOptions) {
+	pr := p.Pairs[best.pairIdx]
+	w := p.Worker(pr.Worker)
+	st := states[pr.Task]
+	st.AddPair(pr, w.Confidence)
+	if tracker != nil {
+		tracker.update(pr.Task, st.R())
+	}
+	assignment.Assign(pr.Worker, pr.Task)
+	delete(free, pr.Worker)
+	stats.Rounds++
+	opts.emit(Stage{
+		Solver:   g.Name(),
+		Round:    stats.Rounds,
+		Assigned: assignment.Len(),
+		Stats:    *stats,
+	})
 }
 
 // collectCandidates builds the per-round candidate list with Δmin-R and
@@ -143,6 +208,7 @@ func (g *Greedy) collectCandidates(p *Problem, states map[model.TaskID]*objectiv
 				dMinR:   deltaMinR(st.R(), dR, minR, secondR),
 			}
 			b := st.DeltaBoundsIfAdd(w.Confidence, pr.Arrival, pr.Angle)
+			stats.BoundsComputed++
 			c.lbD, c.ubD = b.Lo, b.Hi
 			cands = append(cands, c)
 		}
@@ -153,20 +219,88 @@ func (g *Greedy) collectCandidates(p *Problem, states map[model.TaskID]*objectiv
 	return cands
 }
 
+// collectCached is collectCandidates with the per-pair bound cache: bounds
+// are recomputed only for pairs whose task state changed since they were
+// cached (after round k that is exactly the task assigned in round k), and
+// the Δmin-R term comes from the incrementally maintained tracker. The
+// candidate list is identical to collectCandidates' — same pairs, same
+// order, same floating-point values.
+func (g *Greedy) collectCached(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, cache *boundCache, tracker *minTwoTracker, stats *Stats) []candidate {
+	minR, secondR := tracker.minTwo()
+	var cands []candidate
+	for i := range p.In.Workers {
+		wid := p.In.Workers[i].ID
+		if !free[wid] {
+			continue
+		}
+		w := &p.In.Workers[i]
+		for _, pi := range p.WorkerPairs(wid) {
+			pr := p.Pairs[pi]
+			st := states[pr.Task]
+			dR := objective.RTerm(w.Confidence)
+			lo, hi, ok := cache.get(pi, st.Version())
+			if ok {
+				stats.BoundsReused++
+			} else {
+				b := st.DeltaBoundsIfAdd(w.Confidence, pr.Arrival, pr.Angle)
+				lo, hi = b.Lo, b.Hi
+				cache.put(pi, st.Version(), lo, hi)
+				stats.BoundsComputed++
+			}
+			cands = append(cands, candidate{
+				pairIdx: pi,
+				dR:      dR,
+				dMinR:   deltaMinR(st.R(), dR, minR, secondR),
+				lbD:     lo,
+				ubD:     hi,
+			})
+		}
+	}
+	if g.Prune && len(cands) > 1 {
+		cands = pruneCandidates(cands, stats)
+	}
+	return cands
+}
+
 // selectBest computes exact diversity increases for the surviving
-// candidates, ranks them by dominance score, and returns the winner.
+// candidates, ranks them by dominance score, and returns the winner. With
+// Parallel set, the exact O(r²) Δ evaluations run in GOMAXPROCS-bounded
+// shards; the states are only read, and the winner scan stays sequential
+// over the stable candidate order, so the result matches the sequential
+// path exactly.
 func (g *Greedy) selectBest(p *Problem, states map[model.TaskID]*objective.TaskState, cands []candidate, stats *Stats) candidate {
 	vecs := make([]objective.Vec2, len(cands))
-	for i := range cands {
+	evalExact := func(i int) {
 		c := &cands[i]
 		pr := p.Pairs[c.pairIdx]
 		w := p.Worker(pr.Worker)
 		_, dD := states[pr.Task].DeltaIfAdd(w.Confidence, pr.Arrival, pr.Angle)
 		c.dD = dD
 		c.exact = true
-		stats.PairsEvaluated++
 		vecs[i] = objective.Vec2{R: c.dMinR, D: c.dD}
 	}
+	if g.Parallel && len(cands) > 1 {
+		shards := runtime.GOMAXPROCS(0)
+		if shards > len(cands) {
+			shards = len(cands)
+		}
+		var wg sync.WaitGroup
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for i := s; i < len(cands); i += shards {
+					evalExact(i)
+				}
+			}(s)
+		}
+		wg.Wait()
+	} else {
+		for i := range cands {
+			evalExact(i)
+		}
+	}
+	stats.PairsEvaluated += len(cands)
 	// Skyline filter (line 6 of Figure 3) then top-k dominating rank
 	// (line 7); the skyline restriction does not change the argmax but
 	// mirrors the paper's two-step description.
@@ -244,6 +378,38 @@ func pruneCandidates(cands []candidate, stats *Stats) []candidate {
 	return out
 }
 
+// boundCache memoizes each pair's Δ-diversity bounds keyed on the pair's
+// task state version: an entry stays valid until the task gains a worker,
+// so after round k only the pairs of the task assigned in round k miss.
+type boundCache struct {
+	valid  []bool
+	ver    []uint64
+	lo, hi []float64
+}
+
+func newBoundCache(pairs int) *boundCache {
+	return &boundCache{
+		valid: make([]bool, pairs),
+		ver:   make([]uint64, pairs),
+		lo:    make([]float64, pairs),
+		hi:    make([]float64, pairs),
+	}
+}
+
+func (c *boundCache) get(pi int32, ver uint64) (lo, hi float64, ok bool) {
+	if !c.valid[pi] || c.ver[pi] != ver {
+		return 0, 0, false
+	}
+	return c.lo[pi], c.hi[pi], true
+}
+
+func (c *boundCache) put(pi int32, ver uint64, lo, hi float64) {
+	c.valid[pi] = true
+	c.ver[pi] = ver
+	c.lo[pi] = lo
+	c.hi[pi] = hi
+}
+
 // minTwoR returns the smallest and second-smallest per-task additive
 // reliability R across all task states. With one task, second is +Inf.
 func minTwoR(states map[model.TaskID]*objective.TaskState) (min1, min2 float64) {
@@ -259,6 +425,88 @@ func minTwoR(states map[model.TaskID]*objective.TaskState) (min1, min2 float64) 
 		}
 	}
 	return min1, min2
+}
+
+// minTwoTracker maintains the smallest and second-smallest per-task R under
+// the greedy's one-task-per-round updates, replacing the per-round minTwoR
+// full scan with a lazy-deletion min-heap: updates push a fresh entry in
+// O(log m), and reads discard entries that no longer match their task's
+// current R. R only grows during a solve, so stale entries are always
+// dominated and safe to drop.
+type minTwoTracker struct {
+	entries rHeap
+	cur     map[model.TaskID]float64
+}
+
+type rEntry struct {
+	task model.TaskID
+	r    float64
+}
+
+type rHeap []rEntry
+
+func (h rHeap) Len() int { return len(h) }
+func (h rHeap) Less(i, j int) bool {
+	if h[i].r != h[j].r {
+		return h[i].r < h[j].r
+	}
+	return h[i].task < h[j].task
+}
+func (h rHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rHeap) Push(x interface{}) { *h = append(*h, x.(rEntry)) }
+func (h *rHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func newMinTwoTracker(states map[model.TaskID]*objective.TaskState) *minTwoTracker {
+	t := &minTwoTracker{cur: make(map[model.TaskID]float64, len(states))}
+	for id, st := range states {
+		t.cur[id] = st.R()
+		t.entries = append(t.entries, rEntry{task: id, r: st.R()})
+	}
+	heap.Init(&t.entries)
+	return t
+}
+
+// update records task's new R after an assignment.
+func (t *minTwoTracker) update(task model.TaskID, r float64) {
+	t.cur[task] = r
+	heap.Push(&t.entries, rEntry{task: task, r: r})
+}
+
+// minTwo returns the same values as minTwoR over the tracked states: the
+// smallest per-task R and the smallest over the remaining tasks (+Inf when
+// fewer than two tasks exist).
+func (t *minTwoTracker) minTwo() (min1, min2 float64) {
+	min1, min2 = math.Inf(1), math.Inf(1)
+	t.popStale()
+	if len(t.entries) == 0 {
+		return min1, min2
+	}
+	top := t.entries[0]
+	min1 = top.r
+	heap.Pop(&t.entries)
+	for len(t.entries) > 0 {
+		e := t.entries[0]
+		if e.r != t.cur[e.task] || e.task == top.task {
+			heap.Pop(&t.entries) // stale, or a duplicate of the minimum's task
+			continue
+		}
+		min2 = e.r
+		break
+	}
+	heap.Push(&t.entries, top)
+	return min1, min2
+}
+
+func (t *minTwoTracker) popStale() {
+	for len(t.entries) > 0 && t.entries[0].r != t.cur[t.entries[0].task] {
+		heap.Pop(&t.entries)
+	}
 }
 
 // deltaMinR returns the increase of the global minimum per-task R when a

@@ -103,6 +103,23 @@ func (o *SolveOptions) seedStates() map[model.TaskID]*objective.TaskState {
 	return o.SeedStates
 }
 
+// SeededWorkerCount returns the number of committed workers carried by
+// SeedStates (0 for nil options or empty seeds). Facade layers use it to
+// tell a genuinely infeasible solve from one where every worker was already
+// committed, so an empty *new* assignment is the correct answer.
+func (o *SolveOptions) SeededWorkerCount() int {
+	if o == nil {
+		return 0
+	}
+	n := 0
+	for _, st := range o.SeedStates {
+		if st != nil {
+			n += st.Len()
+		}
+	}
+	return n
+}
+
 // interrupted builds the error a solver returns alongside its partial
 // result when ctx is done.
 func interrupted(ctx context.Context) error {

@@ -94,29 +94,15 @@ func (p *Problem) Evaluate(a *model.Assignment) objective.Evaluation {
 
 // NewStates returns a per-task objective state map initialized from an
 // existing (possibly partial) assignment restricted to this problem's valid
-// pairs.
+// pairs. It delegates to objective.BuildStates, which applies workers in a
+// deterministic order: per-task diversity is a floating-point sum over the
+// insertion order, so the resulting states (and everything solved on top
+// of them) are reproducible.
 func (p *Problem) NewStates(a *model.Assignment) map[model.TaskID]*objective.TaskState {
-	states := make(map[model.TaskID]*objective.TaskState)
 	if a == nil {
-		return states
+		return make(map[model.TaskID]*objective.TaskState)
 	}
-	a.Workers(func(wid model.WorkerID, tid model.TaskID) {
-		w, t := p.workers[wid], p.tasks[tid]
-		if w == nil || t == nil {
-			return
-		}
-		arr, ok := model.Arrival(*t, *w, p.In.Opt)
-		if !ok {
-			return
-		}
-		st := states[tid]
-		if st == nil {
-			st = objective.NewTaskState(*t, p.In.Beta)
-			states[tid] = st
-		}
-		st.Add(wid, w.Confidence, arr, model.ApproachAngle(*t, *w))
-	})
-	return states
+	return objective.BuildStates(p.In, a)
 }
 
 // Stats carries per-solve diagnostics.
@@ -124,6 +110,8 @@ type Stats struct {
 	Rounds          int // greedy rounds or D&C recursion leaves
 	PairsEvaluated  int // exact Δ-diversity evaluations
 	PairsPruned     int // candidates eliminated by Lemma 4.3 bounds
+	BoundsComputed  int // candidate Δ-bound computations (cache misses)
+	BoundsReused    int // candidate Δ-bounds served from the incremental cache
 	Samples         int // random samples drawn (sampling / leaves)
 	MergeGroups     int // DCW groups resolved during SA_Merge
 	MergeExhaustive int // DCW groups resolved by 2^k enumeration
@@ -133,6 +121,8 @@ func (s Stats) add(o Stats) Stats {
 	s.Rounds += o.Rounds
 	s.PairsEvaluated += o.PairsEvaluated
 	s.PairsPruned += o.PairsPruned
+	s.BoundsComputed += o.BoundsComputed
+	s.BoundsReused += o.BoundsReused
 	s.Samples += o.Samples
 	s.MergeGroups += o.MergeGroups
 	s.MergeExhaustive += o.MergeExhaustive

@@ -82,9 +82,17 @@ func Names() []string {
 
 // The built-in solvers of the paper. "d&c" and "g-truth" resolve to "dc"
 // and "gtruth" through name normalization alone; the explicit aliases cover
-// longer spellings.
+// longer spellings. The greedy candidate-maintenance variants are
+// registered alongside the default so drivers and CLIs can select them by
+// name: "greedy-naive" is the per-round full-recomputation baseline and
+// "greedy-parallel" adds sharded exact-Δ evaluation on top of the
+// incremental cache — all three produce identical assignments.
 func init() {
 	Register("greedy", func() Solver { return NewGreedy() })
+	Register("greedy-naive", func() Solver { return &Greedy{Prune: true} })
+	Register("greedy-parallel", func() Solver {
+		return &Greedy{Prune: true, Incremental: true, Parallel: true}
+	})
 	Register("sampling", func() Solver { return NewSampling() })
 	Register("dc", func() Solver { return NewDC() }, "divide-and-conquer")
 	Register("gtruth", func() Solver { return GTruth() })

@@ -14,6 +14,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"time"
 
@@ -34,6 +35,11 @@ type Config struct {
 	// Solver performs the assignments (default: the divide-and-conquer
 	// solver, the paper's best-performing approach).
 	Solver core.Solver
+	// SolverName selects the solver through the registry when Solver is
+	// nil — e.g. "greedy", "greedy-parallel", "greedy-naive", "dc". An
+	// unknown name panics at construction: like a duplicate Register, a
+	// misspelled solver is a programming error best caught immediately.
+	SolverName string
 	// DisableIndex switches valid-pair retrieval from the RDB-SC-Grid
 	// index to a brute-force scan (mainly for comparison runs; the index
 	// is on by default).
@@ -45,6 +51,13 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Beta <= 0 || c.Beta > 1 {
 		c.Beta = 0.5
+	}
+	if c.Solver == nil && c.SolverName != "" {
+		s, err := core.NewByName(c.SolverName)
+		if err != nil {
+			panic(fmt.Sprintf("engine: %v", err))
+		}
+		c.Solver = s
 	}
 	if c.Solver == nil {
 		c.Solver = core.NewDC()
@@ -249,9 +262,10 @@ func (e *Engine) LastPrep() (rebuilt bool, retrieve time.Duration) {
 
 // Solve runs the configured solver over the current (cached or freshly
 // prepared) problem. It returns core.ErrInfeasible — together with the
-// evaluated empty result — when no worker can be assigned to any task, and
-// propagates solver errors (ErrInterrupted partial results included)
-// otherwise.
+// evaluated empty result — when no worker can be assigned to any task and
+// opts carries no committed seeded workers (with commitments standing, an
+// empty new assignment is a valid answer), and propagates solver errors
+// (ErrInterrupted partial results included) otherwise.
 func (e *Engine) Solve(ctx context.Context, opts *core.SolveOptions) (*core.Result, error) {
 	return e.SolveWith(ctx, e.cfg.Solver, opts)
 }
@@ -271,6 +285,14 @@ func (e *Engine) SolveWith(ctx context.Context, s core.Solver, opts *core.SolveO
 		return res, err
 	}
 	if res.Assignment == nil || res.Assignment.Len() == 0 {
+		// With seeded states committing workers, an empty *new* assignment
+		// is a valid outcome rather than infeasibility: the standing
+		// (seeded) assignment keeps serving its tasks even when no further
+		// worker can be dispatched this round. ErrInfeasible is reserved
+		// for solves where nothing is committed and nothing is assignable.
+		if opts.SeededWorkerCount() > 0 {
+			return res, nil
+		}
 		return res, core.ErrInfeasible
 	}
 	return res, nil

@@ -9,6 +9,7 @@ import (
 	"rdbsc/internal/gen"
 	"rdbsc/internal/geo"
 	"rdbsc/internal/model"
+	"rdbsc/internal/objective"
 )
 
 func testInstance(m, n int) *model.Instance {
@@ -134,4 +135,56 @@ func TestEngineInterruptedSolvePropagates(t *testing.T) {
 	if res == nil {
 		t.Fatal("interrupted engine solve must return a partial result")
 	}
+}
+
+// TestEngineEmptyWithSeedsIsNotInfeasible pins the seeded-round contract:
+// when SeedStates already commit every worker, an empty *new* assignment is
+// a correct answer, not infeasibility.
+func TestEngineEmptyWithSeedsIsNotInfeasible(t *testing.T) {
+	eng := New(Config{Solver: core.NewGreedy(), Opt: model.Options{WaitAllowed: true}})
+	task := model.Task{ID: 0, Loc: geo.Pt(0.5, 0.5), Start: 0, End: 1}
+	worker := model.Worker{
+		ID: 0, Loc: geo.Pt(0.4, 0.4), Speed: 1,
+		Dir: geo.FullCircle, Confidence: 0.9,
+	}
+	eng.UpsertTask(task)
+	eng.UpsertWorker(worker)
+
+	// First round: the worker is dispatched.
+	first, err := eng.Solve(context.Background(), nil)
+	if err != nil || first.Assignment.Len() != 1 {
+		t.Fatalf("first round: res=%v err=%v", first, err)
+	}
+
+	// Second round: the same worker arrives committed via SeedStates, so
+	// the only correct new assignment is the empty one.
+	seed := eng.Problem().NewStates(first.Assignment)
+	res, err := eng.Solve(context.Background(), &core.SolveOptions{SeedStates: seed})
+	if err != nil {
+		t.Fatalf("seeded round with all workers committed must not error, got %v", err)
+	}
+	if res.Assignment.Len() != 0 {
+		t.Fatalf("seeded round reassigned committed workers: %v", res.Assignment)
+	}
+
+	// Seeds with no committed workers must still report infeasibility.
+	empty := map[model.TaskID]*objective.TaskState{}
+	if _, err := eng.Solve(context.Background(), &core.SolveOptions{SeedStates: empty}); err != nil {
+		t.Fatalf("solvable round with empty seeds errored: %v", err)
+	}
+}
+
+// TestEngineSolverNameResolvesThroughRegistry covers the Config.SolverName
+// knob and its panic-on-typo contract.
+func TestEngineSolverNameResolvesThroughRegistry(t *testing.T) {
+	eng := New(Config{SolverName: "greedy-parallel"})
+	if got := eng.Solver().Name(); got != "GREEDY" {
+		t.Errorf("SolverName resolved to %q, want GREEDY", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown SolverName did not panic")
+		}
+	}()
+	New(Config{SolverName: "no-such-solver"})
 }

@@ -56,6 +56,11 @@ type Scale struct {
 	Seeds int
 	// Seed is the base random seed (default 1).
 	Seed int64
+	// Greedy selects the registry name backing the GREEDY approach
+	// (default "greedy"; "greedy-naive" or "greedy-parallel" benchmark the
+	// candidate-maintenance variants — all three produce identical
+	// assignments, so quality panels are unaffected).
+	Greedy string
 }
 
 // DefaultScale returns the standard bench scale.
@@ -73,6 +78,9 @@ func (s Scale) withDefaults() Scale {
 	}
 	if s.Seed == 0 {
 		s.Seed = 1
+	}
+	if s.Greedy == "" {
+		s.Greedy = "greedy"
 	}
 	return s
 }
@@ -101,7 +109,8 @@ func Registry() []Experiment {
 		fig16(), fig17(), fig18(),
 		fig22(), fig23(), fig24(), fig25(), fig26(), fig27(),
 		churnExperiment(),
-		ablationDiversity(), ablationPruning(), ablationEta(), ablationMerge(),
+		ablationDiversity(), ablationPruning(), ablationIncremental(),
+		ablationEta(), ablationMerge(),
 	}
 }
 

@@ -25,6 +25,11 @@ type TaskState struct {
 
 	r    float64 // Σ −ln(1−p): additive reliability
 	estd float64 // cached E[STD]
+
+	version uint64 // bumped on every mutation; keys external caches
+
+	bounds      diversity.Bounds // cached BoundsESTD of the current set
+	boundsValid bool
 }
 
 // NewTaskState returns the empty state for task t with diversity weight β.
@@ -42,6 +47,23 @@ func (s *TaskState) Workers() []model.WorkerID { return s.workers }
 // R returns the additive reliability Σ −ln(1−p_j) of the current set.
 func (s *TaskState) R() float64 { return s.r }
 
+// Version returns a monotonic counter bumped on every mutation. External
+// caches (the greedy solver's per-pair bound cache) key on it: any value
+// derived from the state is valid exactly as long as the version matches.
+func (s *TaskState) Version() uint64 { return s.version }
+
+// Bounds returns the Section 4.3 lower/upper bounds on E[STD] of the
+// current set, cached until the next mutation. DeltaBoundsIfAdd uses it as
+// the "before" interval, so a round of candidate evaluations over the same
+// task pays for the before-bounds once instead of once per pair.
+func (s *TaskState) Bounds() diversity.Bounds {
+	if !s.boundsValid {
+		s.bounds = diversity.BoundsESTD(s.Beta, s.angles, s.arrivals, s.probs, s.Task.Start, s.Task.End)
+		s.boundsValid = true
+	}
+	return s.bounds
+}
+
 // Rel returns the reliability 1 − Π(1−p_j) of the current set.
 func (s *TaskState) Rel() float64 { return RelFromR(s.r) }
 
@@ -58,6 +80,8 @@ func (s *TaskState) Add(w model.WorkerID, prob, arrival, angle float64) {
 	s.angles = append(s.angles, angle)
 	s.r += RTerm(prob)
 	s.estd = s.computeESTD(s.angles, s.arrivals, s.probs)
+	s.version++
+	s.boundsValid = false
 }
 
 // AddPair is Add with the pair's precomputed arrival/angle and the worker's
@@ -87,6 +111,8 @@ func (s *TaskState) Remove(w model.WorkerID) bool {
 		s.arrivals = s.arrivals[:last]
 		s.probs = s.probs[:last]
 		s.estd = s.computeESTD(s.angles, s.arrivals, s.probs)
+		s.version++
+		s.boundsValid = false
 		return true
 	}
 	return false
@@ -109,7 +135,7 @@ func (s *TaskState) DeltaIfAdd(prob, arrival, angle float64) (dR, dSTD float64) 
 // insertion (Section 4.3), cheaper than the exact Δ. The true Δ always lies
 // within the returned interval.
 func (s *TaskState) DeltaBoundsIfAdd(prob, arrival, angle float64) diversity.Bounds {
-	before := diversity.BoundsESTD(s.Beta, s.angles, s.arrivals, s.probs, s.Task.Start, s.Task.End)
+	before := s.Bounds()
 	angles := append(append(make([]float64, 0, len(s.angles)+1), s.angles...), angle)
 	arrivals := append(append(make([]float64, 0, len(s.arrivals)+1), s.arrivals...), arrival)
 	probs := append(append(make([]float64, 0, len(s.probs)+1), s.probs...), prob)
@@ -117,9 +143,13 @@ func (s *TaskState) DeltaBoundsIfAdd(prob, arrival, angle float64) diversity.Bou
 	return diversity.DeltaBounds(before, after)
 }
 
-// Clone returns a deep copy of the state.
+// Clone returns a deep copy of the state, including its version and cached
+// bounds.
 func (s *TaskState) Clone() *TaskState {
-	c := &TaskState{Task: s.Task, Beta: s.Beta, r: s.r, estd: s.estd}
+	c := &TaskState{
+		Task: s.Task, Beta: s.Beta, r: s.r, estd: s.estd,
+		version: s.version, bounds: s.bounds, boundsValid: s.boundsValid,
+	}
 	c.workers = append([]model.WorkerID(nil), s.workers...)
 	c.angles = append([]float64(nil), s.angles...)
 	c.arrivals = append([]float64(nil), s.arrivals...)

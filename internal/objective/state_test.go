@@ -216,3 +216,56 @@ func TestEvaluationDominates(t *testing.T) {
 		t.Error("b must not dominate a")
 	}
 }
+
+// TestTaskStateVersion pins the monotonic version contract external bound
+// caches key on: every mutation bumps it, reads never do, and Clone
+// preserves it.
+func TestTaskStateVersion(t *testing.T) {
+	s := newTestState(0.5)
+	if s.Version() != 0 {
+		t.Fatalf("fresh state version = %d, want 0", s.Version())
+	}
+	s.Add(1, 0.9, 0.2, 1.0)
+	s.Add(2, 0.8, 0.4, 2.0)
+	if s.Version() != 2 {
+		t.Errorf("version after two adds = %d, want 2", s.Version())
+	}
+	s.Bounds()
+	s.DeltaIfAdd(0.7, 0.5, 0.5)
+	s.DeltaBoundsIfAdd(0.7, 0.5, 0.5)
+	if s.Version() != 2 {
+		t.Errorf("read-only operations bumped the version to %d", s.Version())
+	}
+	if c := s.Clone(); c.Version() != s.Version() {
+		t.Errorf("clone version = %d, want %d", c.Version(), s.Version())
+	}
+	if !s.Remove(1) {
+		t.Fatal("remove failed")
+	}
+	if s.Version() != 3 {
+		t.Errorf("version after remove = %d, want 3", s.Version())
+	}
+}
+
+// TestTaskStateBoundsCached checks that the cached "before" bounds always
+// match a direct computation, across mutations that invalidate the cache.
+func TestTaskStateBoundsCached(t *testing.T) {
+	s := newTestState(0.5)
+	check := func(when string) {
+		t.Helper()
+		want := diversity.BoundsESTD(0.5, s.angles, s.arrivals, s.probs, s.Task.Start, s.Task.End)
+		if got := s.Bounds(); got != want {
+			t.Errorf("%s: cached bounds %+v != direct %+v", when, got, want)
+		}
+		if got := s.Bounds(); got != want {
+			t.Errorf("%s: second (cache-served) read diverged: %+v", when, got)
+		}
+	}
+	check("empty")
+	s.Add(1, 0.9, 0.2, 1.0)
+	check("after first add")
+	s.Add(2, 0.8, 0.4, 2.5)
+	check("after second add")
+	s.Remove(1)
+	check("after remove")
+}

@@ -42,8 +42,13 @@ type Config struct {
 	Horizon float64
 	// Beta is the requester diversity weight β.
 	Beta float64
-	// Solver performs each round's assignment (default: greedy).
-	Solver core.Solver
+	// Solver performs each round's assignment (default: greedy, with
+	// incremental candidate maintenance). SolverName selects one through
+	// the registry instead when Solver is nil — e.g. "greedy-parallel" for
+	// sharded exact-Δ evaluation, or "greedy-naive" for the per-round
+	// full-recomputation baseline.
+	Solver     core.Solver
+	SolverName string
 	// WorkerSpeedMin/Max bound worker speeds (default 0.4/0.8 — the paper's
 	// sites are walkable within ~2 minutes).
 	WorkerSpeedMin, WorkerSpeedMax float64
@@ -79,7 +84,7 @@ func (c Config) withDefaults() Config {
 	if c.Beta <= 0 || c.Beta > 1 {
 		c.Beta = 0.5
 	}
-	if c.Solver == nil {
+	if c.Solver == nil && c.SolverName == "" {
 		c.Solver = core.NewGreedy()
 	}
 	if c.WorkerSpeedMin <= 0 {
@@ -175,9 +180,10 @@ func New(cfg Config) *Simulator {
 		cfg: cfg,
 		src: rng.New(cfg.Seed),
 		eng: engine.New(engine.Config{
-			Beta:   cfg.Beta,
-			Opt:    model.Options{WaitAllowed: true},
-			Solver: cfg.Solver,
+			Beta:       cfg.Beta,
+			Opt:        model.Options{WaitAllowed: true},
+			Solver:     cfg.Solver,
+			SolverName: cfg.SolverName,
 		}),
 		open: make(map[model.TaskID]*liveTask),
 	}

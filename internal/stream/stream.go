@@ -41,8 +41,18 @@ type Config struct {
 	// AssignEvery is the period between assignment rounds in hours
 	// (default 0.25).
 	AssignEvery float64
-	// Solver performs the rounds (default: greedy).
-	Solver core.Solver
+	// Beta is the requester diversity weight β (default 0.5) — the paper's
+	// β sweep knob.
+	Beta float64
+	// Opt configures reachability semantics for pair enumeration. Nil
+	// defaults to waiting allowed (the simulator's historical behavior);
+	// point it at a zero model.Options for the paper's strict no-wait
+	// reachability.
+	Opt *model.Options
+	// Solver performs the rounds (default: greedy). SolverName selects one
+	// through the registry instead when Solver is nil.
+	Solver     core.Solver
+	SolverName string
 	// Template supplies worker attribute ranges (speeds, cones,
 	// confidences) — the Table 2 knobs.
 	Template gen.Config
@@ -69,7 +79,13 @@ func (c Config) withDefaults() Config {
 	if c.AssignEvery <= 0 {
 		c.AssignEvery = 0.25
 	}
-	if c.Solver == nil {
+	if c.Beta <= 0 || c.Beta > 1 {
+		c.Beta = 0.5
+	}
+	if c.Opt == nil {
+		c.Opt = &model.Options{WaitAllowed: true}
+	}
+	if c.Solver == nil && c.SolverName == "" {
 		c.Solver = core.NewGreedy()
 	}
 	if c.Template.StartHorizon == 0 {
@@ -85,7 +101,11 @@ type Report struct {
 	WorkersArrived, WorkersLeft int
 	// Rounds is the number of assignment rounds.
 	Rounds int
-	// Assignments is the total worker-task assignments made.
+	// Assignments is the total number of *new* worker dispatches: a worker
+	// counts once when it is first committed to a task, and again only
+	// after its commitment is released (the task expired or the worker
+	// left) and it is re-dispatched. Standing commitments carried between
+	// rounds via SeedStates are not re-counted.
 	Assignments int
 	// PairsRetrieved is the total valid pairs returned by the index across
 	// rounds that actually retrieved (cache-served rounds contribute
@@ -152,6 +172,13 @@ type Sim struct {
 
 	eng *engine.Engine
 
+	// committed maps each dispatched worker to its task until the task
+	// expires or the worker leaves. It seeds every round's solve (the
+	// Figure 10 incremental updating strategy), so committed workers are
+	// excluded from reassignment and Assignments counts only new
+	// dispatches.
+	committed *model.Assignment
+
 	queue    eventQueue
 	seq      int64
 	rep      Report
@@ -174,11 +201,13 @@ func New(cfg Config) *Sim {
 		cfg: cfg,
 		src: rng.New(cfg.Seed),
 		eng: engine.New(engine.Config{
-			Beta:   0.5,
-			Opt:    model.Options{WaitAllowed: true},
-			Solver: cfg.Solver,
-			Grid:   grid.Config{},
+			Beta:       cfg.Beta,
+			Opt:        *cfg.Opt,
+			Solver:     cfg.Solver,
+			SolverName: cfg.SolverName,
+			Grid:       grid.Config{},
 		}),
+		committed: model.NewAssignment(),
 	}
 	heap.Init(&s.queue)
 	s.schedule(s.src.Exp(cfg.TaskRate), evTaskArrive, 0)
@@ -196,6 +225,12 @@ func (s *Sim) Grid() *grid.Grid { return s.eng.Grid() }
 
 // Engine exposes the underlying solving engine.
 func (s *Sim) Engine() *engine.Engine { return s.eng }
+
+// Committed snapshots the standing worker commitments (a clone; mutating it
+// does not affect the simulation). Tests use it to verify that every
+// committed worker and task is still live and that Assignments counts only
+// new dispatches.
+func (s *Sim) Committed() *model.Assignment { return s.committed.Clone() }
 
 // Run processes events until the horizon and returns the report.
 func (s *Sim) Run() Report { return s.RunContext(context.Background()) }
@@ -224,6 +259,7 @@ func (s *Sim) RunContext(ctx context.Context) Report {
 		case evTaskExpire:
 			if s.eng.RemoveTask(model.TaskID(e.id)) {
 				s.rep.TasksExpired++
+				s.releaseTask(model.TaskID(e.id))
 			}
 		case evWorkerArrive:
 			w := s.newWorker(model.WorkerID(nextWorkerID), e.at)
@@ -235,6 +271,7 @@ func (s *Sim) RunContext(ctx context.Context) Report {
 		case evWorkerLeave:
 			if s.eng.RemoveWorker(model.WorkerID(e.id)) {
 				s.rep.WorkersLeft++
+				s.committed.Unassign(model.WorkerID(e.id))
 			}
 		case evAssign:
 			if rel, std, ok := s.assignRound(ctx); ok {
@@ -279,8 +316,17 @@ func (s *Sim) assignRound(ctx context.Context) (minRel, totalSTD float64, ok boo
 	if len(p.Pairs) == 0 {
 		return 0, 0, false
 	}
+	// The previous rounds' commitments seed the solve (Figure 10's
+	// incremental updating): committed workers shape every Δ-objective and
+	// are excluded from reassignment, so the solver re-solves only the free
+	// workers instead of from scratch — and the returned assignment
+	// contains only the round's new dispatches.
+	seed := p.NewStates(s.committed)
 	start := time.Now()
-	res, err := s.eng.Solve(ctx, &core.SolveOptions{Source: s.src.Split()})
+	res, err := s.eng.Solve(ctx, &core.SolveOptions{
+		Source:     s.src.Split(),
+		SeedStates: seed,
+	})
 	s.rep.SolveSeconds += time.Since(start).Seconds()
 	if err != nil {
 		// Benign: infeasible rounds under churn, interrupted rounds (the
@@ -291,8 +337,41 @@ func (s *Sim) assignRound(ctx context.Context) (minRel, totalSTD float64, ok boo
 		}
 		return 0, 0, false
 	}
-	s.rep.Assignments += res.Assignment.Len()
-	return res.Eval.MinRel, res.Eval.TotalESTD, true
+	// Greedy honors the seeds, so res.Assignment holds only new workers;
+	// solvers that assign from scratch (sampling, D&C) may re-list standing
+	// commitments, which must be neither re-counted as dispatches nor
+	// retargeted — the worker is already travelling and a commitment is
+	// only released when its task expires or the worker leaves.
+	added := 0
+	res.Assignment.Workers(func(w model.WorkerID, t model.TaskID) {
+		if s.committed.Assigned(w) {
+			return
+		}
+		added++
+		s.committed.Assign(w, t)
+	})
+	s.rep.Assignments += added
+	if s.committed.Len() == 0 {
+		return 0, 0, false
+	}
+	// The round's quality is that of the full standing assignment —
+	// commitments carried over plus this round's dispatches.
+	ev := p.Evaluate(s.committed)
+	return ev.MinRel, ev.TotalESTD, true
+}
+
+// releaseTask frees the workers committed to an expired task so later
+// rounds may re-dispatch (and re-count) them.
+func (s *Sim) releaseTask(id model.TaskID) {
+	var freed []model.WorkerID
+	s.committed.Workers(func(w model.WorkerID, t model.TaskID) {
+		if t == id {
+			freed = append(freed, w)
+		}
+	})
+	for _, w := range freed {
+		s.committed.Unassign(w)
+	}
 }
 
 func (s *Sim) newTask(id model.TaskID, now float64) model.Task {

@@ -97,3 +97,57 @@ func keys(pairs []model.Pair) [][2]int32 {
 	})
 	return ks
 }
+
+// TestConfigBetaAndOptReachEngine covers the Config.Beta / Config.Opt
+// knobs: the paper's β sweep and the strict no-wait reachability must be
+// expressible, with the historical values as defaults.
+func TestConfigBetaAndOptReachEngine(t *testing.T) {
+	def := New(Config{}).Instance()
+	if def.Beta != 0.5 || !def.Opt.WaitAllowed {
+		t.Errorf("defaults changed: beta=%v opt=%+v, want 0.5 / WaitAllowed", def.Beta, def.Opt)
+	}
+	in := New(Config{Beta: 0.9, Opt: &model.Options{}}).Instance()
+	if in.Beta != 0.9 {
+		t.Errorf("Beta = %v, want 0.9", in.Beta)
+	}
+	if in.Opt.WaitAllowed {
+		t.Error("explicit zero Options did not disable waiting")
+	}
+}
+
+// TestAssignmentsCountOnlyNewDispatches verifies the incremental-round
+// accounting: Report.Assignments must equal the number of times a worker
+// newly enters the committed set, with standing commitments never
+// re-counted, and every commitment must point at a live worker and task.
+func TestAssignmentsCountOnlyNewDispatches(t *testing.T) {
+	s := New(Config{Horizon: 1, Seed: 9, TaskRate: 60, WorkerRate: 120})
+	prev := map[model.WorkerID]bool{}
+	dispatches := 0
+	s.Checkpoint = func(now float64) {
+		cur := map[model.WorkerID]bool{}
+		committed := s.Committed()
+		committed.Workers(func(w model.WorkerID, tid model.TaskID) {
+			cur[w] = true
+			if !prev[w] {
+				dispatches++
+			}
+			if _, ok := s.Engine().Worker(w); !ok {
+				t.Fatalf("t=%.3f: committed worker %d is not live", now, w)
+			}
+			if _, ok := s.Engine().Task(tid); !ok {
+				t.Fatalf("t=%.3f: committed task %d is not live", now, tid)
+			}
+		})
+		prev = cur
+	}
+	rep := s.Run()
+	if s.Err() != nil {
+		t.Fatalf("run failed: %v", s.Err())
+	}
+	if rep.Assignments == 0 {
+		t.Skip("no assignments on this seed; churn too sparse")
+	}
+	if rep.Assignments != dispatches {
+		t.Errorf("Assignments = %d, but %d new dispatches observed", rep.Assignments, dispatches)
+	}
+}

@@ -46,6 +46,24 @@
 //	eng.RemoveTask(taskID)
 //	res, err = eng.Solve(ctx, nil) // incremental re-solve
 //
+// # Performance knobs
+//
+// The greedy solver maintains its candidate Δ-diversity bounds
+// incrementally across rounds (only the previously assigned task's pairs
+// are recomputed) and can evaluate the surviving candidates' exact Δ on
+// all CPUs. Both knobs change cost only — the assignment is bit-identical
+// across all variants:
+//
+//	rdbsc.NewGreedy()                                   // incremental (default)
+//	&rdbsc.Greedy{Prune: true}                          // per-round full recompute
+//	&rdbsc.Greedy{Prune: true, Incremental: true, Parallel: true}
+//
+// The same variants are registered as "greedy", "greedy-naive", and
+// "greedy-parallel" for name-based selection (WithSolverName,
+// EngineConfig.SolverName, the drivers' SolverName fields, and the CLIs'
+// -solver flags). Result.Stats reports BoundsComputed/BoundsReused, the
+// before/after of the incremental cache.
+//
 // See MIGRATION.md for the v1 → v2 call-site mapping, and the examples/
 // directory for runnable scenarios: the landmark photography task of the
 // paper's Example 1, the parking-monitoring task of Example 2, and a live
