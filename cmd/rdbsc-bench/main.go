@@ -13,6 +13,8 @@
 //	rdbsc-bench -fig all -timeout 2m   # stop after 2 minutes, partial tables
 //	rdbsc-bench -fig ablation-incremental   # greedy candidate-maintenance before/after
 //	rdbsc-bench -greedy greedy-parallel -fig 16   # parallel exact-Δ greedy in the sweeps
+//	rdbsc-bench -fig ablation-decompose     # component decomposition: monolithic vs sharded vs cached churn
+//	rdbsc-bench -sharded -fig 13            # every approach through the sharded-* composites
 //
 // Bench scale defaults to m=80, n=160 (the paper's 10K×10K full scale takes
 // CPU-hours on the quadratic greedy); shapes, not absolute magnitudes, are
@@ -40,6 +42,7 @@ func main() {
 		seeds   = flag.Int("seeds", 2, "workload seeds averaged per point")
 		seed    = flag.Int64("seed", 1, "base random seed")
 		greedy  = flag.String("greedy", "greedy", "registry name backing the GREEDY approach: greedy (incremental), greedy-naive, or greedy-parallel")
+		sharded = flag.Bool("sharded", false, "wrap every approach in connected-component decomposition (the sharded-* composites)")
 		timeout = flag.Duration("timeout", 0, "overall deadline; experiments report partial tables when it expires (0 = no limit)")
 	)
 	flag.Parse()
@@ -65,7 +68,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rdbsc-bench: -greedy %q is not a greedy variant (want greedy, greedy-naive, or greedy-parallel)\n", *greedy)
 		os.Exit(2)
 	}
-	scale := exp.Scale{M: *m, N: *n, Seeds: *seeds, Seed: *seed, Greedy: *greedy}
+	scale := exp.Scale{M: *m, N: *n, Seeds: *seeds, Seed: *seed, Greedy: *greedy, Sharded: *sharded}
 	ids := resolve(*fig)
 	if len(ids) == 0 {
 		fmt.Fprintf(os.Stderr, "rdbsc-bench: unknown experiment %q; try -list\n", *fig)

@@ -32,6 +32,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed")
 		timeout    = flag.Duration("timeout", 0, "abort the simulation after this long, reporting partial metrics (0 = no limit)")
 		coverage   = flag.Bool("coverage", false, "sweep t_interval 1..4 min and report the 3D-reconstruction coverage proxy")
+		decompose  = flag.Bool("decompose", false, "solve connected components independently each round (cache hits are rare in this driver: every round re-stamps idle workers' departure times)")
 	)
 	flag.Parse()
 
@@ -51,7 +52,7 @@ func main() {
 	if *coverage {
 		fmt.Printf("%-10s %10s %10s %10s %10s\n", "t_interval", "minRel", "total_STD", "coverage", "answers")
 		for _, mins := range []float64{1, 2, 3, 4} {
-			m, err := run(ctx, solver, mins, *horizon, *workers, *beta, *seed)
+			m, err := run(ctx, solver, mins, *horizon, *workers, *beta, *seed, *decompose)
 			if err != nil {
 				fatal(err)
 			}
@@ -61,7 +62,7 @@ func main() {
 		return
 	}
 
-	m, err := run(ctx, solver, *tinterval, *horizon, *workers, *beta, *seed)
+	m, err := run(ctx, solver, *tinterval, *horizon, *workers, *beta, *seed, *decompose)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,13 +77,14 @@ func main() {
 	fmt.Printf("coverage    %.4f (angular, 3D-reconstruction proxy)\n", m.Coverage)
 }
 
-func run(ctx context.Context, solver core.Solver, mins, horizon float64, workers int, beta float64, seed int64) (platform.Metrics, error) {
+func run(ctx context.Context, solver core.Solver, mins, horizon float64, workers int, beta float64, seed int64, decompose bool) (platform.Metrics, error) {
 	sim := platform.New(platform.Config{
 		TInterval:  mins / 60,
 		Horizon:    horizon,
 		NumWorkers: workers,
 		Beta:       beta,
 		Solver:     solver,
+		Decompose:  decompose,
 		Seed:       seed,
 	})
 	m := sim.RunContext(ctx)

@@ -8,13 +8,16 @@
 // far is reported. The greedy solver's candidate-maintenance knobs are
 // exposed as -greedy-naive (per-round full recomputation) and
 // -greedy-parallel (sharded exact-Δ evaluation); both change cost only,
-// never the assignment.
+// never the assignment. -sharded decomposes the instance into the
+// connected components of its reachability graph and solves them
+// concurrently (equivalently, use a "sharded-<solver>" registry name).
 //
 // Usage:
 //
 //	rdbsc-gen -m 500 -n 1000 -out w
 //	rdbsc-solve -in w -solver dc -beta 0.5 -assignment out.csv
 //	rdbsc-solve -in w -solver greedy -timeout 5s -progress
+//	rdbsc-solve -in w -solver greedy -sharded   # or: -solver sharded-greedy
 package main
 
 import (
@@ -46,6 +49,7 @@ func main() {
 		wait        = flag.Bool("wait", false, "allow workers to wait for a task's period to open")
 		gNaive      = flag.Bool("greedy-naive", false, "greedy only: recompute every candidate bound every round (the pre-incremental baseline)")
 		gParallel   = flag.Bool("greedy-parallel", false, "greedy only: evaluate exact Δ-diversity candidates on all CPUs")
+		sharded     = flag.Bool("sharded", false, "decompose into connected components and solve them concurrently (equivalent to a sharded-<solver> registry name)")
 		timeout     = flag.Duration("timeout", 0, "abort the solve after this long, reporting the partial result (0 = no limit)")
 		progress    = flag.Bool("progress", false, "stream per-round solver progress to stderr")
 		outFile     = flag.String("assignment", "", "write the assignment CSV to this path")
@@ -75,6 +79,9 @@ func main() {
 		}
 	} else if *gNaive || *gParallel {
 		fatal(fmt.Errorf("-greedy-naive/-greedy-parallel apply only to greedy solvers, not %q", solver.Name()))
+	}
+	if *sharded {
+		solver = core.NewSharded(solver)
 	}
 	in, err := dataset.LoadInstance(*prefix, *beta)
 	if err != nil {
@@ -133,6 +140,9 @@ func main() {
 	if st := res.Stats; st.BoundsComputed+st.BoundsReused > 0 {
 		fmt.Printf("bounds       %d computed, %d served from the incremental cache\n",
 			st.BoundsComputed, st.BoundsReused)
+	}
+	if st := res.Stats; st.Components > 0 {
+		fmt.Printf("components   %d (largest: %d pairs)\n", st.Components, st.MaxComponentPairs)
 	}
 
 	if *outFile != "" {

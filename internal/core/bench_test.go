@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"rdbsc/internal/gen"
 	"rdbsc/internal/rng"
 )
 
@@ -91,4 +92,38 @@ func BenchmarkSampleSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		SampleSize(500, spec)
 	}
+}
+
+// benchIslands prepares the multi-island decomposition workload: 8 islands
+// of 10 tasks × 20 workers each.
+func benchIslands(b *testing.B) *Problem {
+	b.Helper()
+	in := gen.GenerateIslands(gen.Default().WithScale(10, 20).WithSeed(7), 8)
+	return NewProblem(in)
+}
+
+// BenchmarkGreedyMonolithicIslands / BenchmarkShardedGreedyIslands compare
+// one joint greedy solve against the connected-component decomposition on
+// the same multi-island instance (components solve concurrently).
+func BenchmarkGreedyMonolithicIslands(b *testing.B) {
+	p := benchIslands(b)
+	g := NewGreedy()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Solve(context.Background(), p, nil)
+	}
+}
+
+func BenchmarkShardedGreedyIslands(b *testing.B) {
+	p := benchIslands(b)
+	s := NewSharded(NewGreedy())
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last *Result
+	for i := 0; i < b.N; i++ {
+		last, _ = s.Solve(context.Background(), p, nil)
+	}
+	b.ReportMetric(float64(last.Stats.Components), "components")
+	b.ReportMetric(float64(last.Stats.MaxComponentPairs), "maxCompPairs")
 }

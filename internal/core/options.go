@@ -88,6 +88,13 @@ func (o *SolveOptions) source() *rng.Source {
 	return rng.New(seed)
 }
 
+// Rand materializes the options' random source — the same stream a solver
+// receiving these options would draw from (Source verbatim when set, else a
+// source seeded by Seed with the zero-means-1 default). Wrappers that stand
+// in front of a solver (the sharded decomposition, the engine's
+// per-component cache) use it to derive sub-streams deterministically.
+func (o *SolveOptions) Rand() *rng.Source { return o.source() }
+
 // emit forwards a progress stage when a callback is configured.
 func (o *SolveOptions) emit(st Stage) {
 	if o != nil && o.Progress != nil {

@@ -115,6 +115,11 @@ type Stats struct {
 	Samples         int // random samples drawn (sampling / leaves)
 	MergeGroups     int // DCW groups resolved during SA_Merge
 	MergeExhaustive int // DCW groups resolved by 2^k enumeration
+
+	// Decomposition diagnostics (sharded solves and engine.Config.Decompose).
+	Components        int // connected components the solve decomposed into
+	ComponentsReused  int // components served from the engine's result cache
+	MaxComponentPairs int // pair count of the largest component
 }
 
 func (s Stats) add(o Stats) Stats {
@@ -126,6 +131,11 @@ func (s Stats) add(o Stats) Stats {
 	s.Samples += o.Samples
 	s.MergeGroups += o.MergeGroups
 	s.MergeExhaustive += o.MergeExhaustive
+	s.Components += o.Components
+	s.ComponentsReused += o.ComponentsReused
+	if o.MaxComponentPairs > s.MaxComponentPairs {
+		s.MaxComponentPairs = o.MaxComponentPairs
+	}
 	return s
 }
 

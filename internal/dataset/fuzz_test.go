@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTasks fuzzes the task-table ingestion path: arbitrary bytes must
+// either fail cleanly or parse into tasks that re-serialize to a fixed
+// point (write → read → write is byte-stable), so hostile or corrupt CSV
+// can never panic a loader or smuggle values that don't round-trip.
+func FuzzReadTasks(f *testing.F) {
+	f.Add([]byte("id,x,y,start,end\n0,0.5,0.5,0,1\n1,0.25,0.75,0.5,2\n"))
+	f.Add([]byte("id,x,y,start,end\n"))
+	f.Add([]byte("id,x,y,start,end\n0,NaN,0.5,0,1\n"))
+	f.Add([]byte("id,x,y,start,end\n0,0.5,0.5,2,1\n")) // End before Start
+	f.Add([]byte("wrong,header\n"))
+	f.Add([]byte("id,x,y,start,end\n9223372036854775807,1e308,-1e308,0,1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tasks, err := ReadTasks(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteTasks(&first, tasks); err != nil {
+			t.Fatalf("serializing parsed tasks: %v", err)
+		}
+		again, err := ReadTasks(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing serialized tasks: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := WriteTasks(&second, again); err != nil {
+			t.Fatalf("re-serializing tasks: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("task table is not a serialization fixed point:\n%s\nvs\n%s",
+				first.Bytes(), second.Bytes())
+		}
+		for _, task := range again {
+			if err := task.Valid(); err != nil {
+				t.Fatalf("parser admitted an invalid task: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzReadWorkers is the worker-table mirror of FuzzReadTasks.
+func FuzzReadWorkers(f *testing.F) {
+	f.Add([]byte("id,x,y,speed,dir_lo,dir_width,confidence,depart\n0,0.5,0.5,0.25,0,6.28,0.95,0\n"))
+	f.Add([]byte("id,x,y,speed,dir_lo,dir_width,confidence,depart\n"))
+	f.Add([]byte("id,x,y,speed,dir_lo,dir_width,confidence,depart\n0,0.5,0.5,0,0,1,0.9,0\n")) // zero speed
+	f.Add([]byte("id,x,y,speed,dir_lo,dir_width,confidence,depart\n0,0.5,0.5,1,0,1,1.5,0\n")) // confidence > 1
+	f.Add([]byte("id,x,y,speed,dir_lo,dir_width,confidence,depart\n0,0.5,0.5,1,NaN,Inf,0.9,0\n"))
+	f.Add([]byte("id;x;y\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		workers, err := ReadWorkers(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var first bytes.Buffer
+		if err := WriteWorkers(&first, workers); err != nil {
+			t.Fatalf("serializing parsed workers: %v", err)
+		}
+		again, err := ReadWorkers(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parsing serialized workers: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := WriteWorkers(&second, again); err != nil {
+			t.Fatalf("re-serializing workers: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("worker table is not a serialization fixed point:\n%s\nvs\n%s",
+				first.Bytes(), second.Bytes())
+		}
+		for _, w := range again {
+			if err := w.Valid(); err != nil {
+				t.Fatalf("parser admitted an invalid worker: %v", err)
+			}
+		}
+	})
+}
+
+// TestFuzzSeedHeadersMatch keeps the inline seed corpus honest: the valid
+// seeds really are valid under the current schema.
+func TestFuzzSeedHeadersMatch(t *testing.T) {
+	if _, err := ReadTasks(strings.NewReader("id,x,y,start,end\n0,0.5,0.5,0,1\n")); err != nil {
+		t.Fatalf("canonical task seed no longer parses: %v", err)
+	}
+	if _, err := ReadWorkers(strings.NewReader(
+		"id,x,y,speed,dir_lo,dir_width,confidence,depart\n0,0.5,0.5,0.25,0,6.28,0.95,0\n")); err != nil {
+		t.Fatalf("canonical worker seed no longer parses: %v", err)
+	}
+}

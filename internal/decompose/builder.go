@@ -1,0 +1,60 @@
+package decompose
+
+import "rdbsc/internal/model"
+
+// Builder maintains the component union-find incrementally under churn,
+// the Section 7.2 companion for the grid index: insertions union the new
+// entity's edges in O(α) each (the engine derives them from grid neighbor
+// queries), while removals and replacements — which a union-find cannot
+// undo — mark the builder stale so the next Partition call rebuilds from
+// the full pair set. Either way, Partition always reflects exactly the
+// pair set it is handed: the incremental path is a pure optimization,
+// verified by the differential property tests against Build.
+//
+// A Builder is not safe for concurrent use.
+type Builder struct {
+	uf    *unionFind
+	stale bool
+}
+
+// NewBuilder returns a builder whose first Partition call rebuilds from the
+// pair set it is handed (a bulk load has no incremental history), after
+// which AddEdge keeps it current across insertions.
+func NewBuilder() *Builder {
+	return &Builder{uf: newUnionFind(), stale: true}
+}
+
+// AddEdge records one new valid pair (t, w) incrementally. Only edges that
+// are genuinely new — pairs introduced by a fresh task or worker insertion —
+// may be added this way; anything that can remove edges (entity removal or
+// replacement) must go through Invalidate instead.
+func (b *Builder) AddEdge(t model.TaskID, w model.WorkerID) {
+	if b.stale {
+		return // a rebuild is already pending; unions now would be wasted
+	}
+	b.uf.union(taskNode(t), workerNode(w))
+}
+
+// Invalidate marks the incremental state stale: the next Partition call
+// rebuilds the union-find from the pair set it is given. Call it whenever
+// an entity is removed or replaced (its old edges cannot be subtracted from
+// the union-find).
+func (b *Builder) Invalidate() { b.stale = true }
+
+// Stale reports whether the next Partition call will rebuild from scratch.
+func (b *Builder) Stale() bool { return b.stale }
+
+// Partition returns the component decomposition of pairs. When the builder
+// is stale the union-find is rebuilt from pairs; otherwise the incremental
+// unions accumulated via AddEdge are reused and only the grouping pass
+// touches the pair set.
+func (b *Builder) Partition(pairs []model.Pair) *Partition {
+	if b.stale {
+		b.uf = newUnionFind()
+		for i := range pairs {
+			b.uf.union(taskNode(pairs[i].Task), workerNode(pairs[i].Worker))
+		}
+		b.stale = false
+	}
+	return group(b.uf, pairs)
+}

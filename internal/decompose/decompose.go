@@ -1,0 +1,207 @@
+// Package decompose partitions an RDB-SC instance into the connected
+// components of its task-worker reachability graph. Because the objective
+// aggregates per-task reliability with a min and per-task diversity with a
+// sum, and because a valid pair never crosses components, the assignment
+// problem decomposes exactly over this partition: the optimal value of the
+// whole instance is the min/sum combination of the per-component optima,
+// and any assignment splits losslessly into per-component assignments.
+// Solvers can therefore run over the components independently — and
+// concurrently — which is what core.Sharded and engine.Config.Decompose
+// build on top of this package.
+//
+// The partition is computed with a union-find over the valid pairs (each
+// pair is one edge of the bipartite reachability graph); Builder maintains
+// the union-find incrementally under churn so a long-running engine does
+// not pay a from-scratch rebuild on every insertion.
+package decompose
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+
+	"rdbsc/internal/model"
+)
+
+// Component is one connected component of the reachability graph: the
+// tasks and workers it spans plus the indices (into the source pair slice)
+// of the pairs connecting them. Tasks, Workers and Pairs are ascending.
+type Component struct {
+	// Key identifies the component stably across rebuilds: the smallest
+	// task ID it contains. (Every component holds at least one task and
+	// one worker, since components are induced by task-worker edges.)
+	Key     model.TaskID
+	Tasks   []model.TaskID
+	Workers []model.WorkerID
+	Pairs   []int32 // indices into the pair slice the partition was built from
+}
+
+// Fingerprint hashes the component's membership together with
+// caller-supplied per-entity versions (FNV-1a). Two fingerprints are equal
+// only when the component spans the same tasks and workers and none of them
+// mutated in between — the invalidation key of per-component result caches.
+func (c *Component) Fingerprint(taskVer func(model.TaskID) uint64, workerVer func(model.WorkerID) uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, t := range c.Tasks {
+		write(uint64(uint32(t)))
+		if taskVer != nil {
+			write(taskVer(t))
+		}
+	}
+	write(fnvSep)
+	for _, w := range c.Workers {
+		write(uint64(uint32(w)))
+		if workerVer != nil {
+			write(workerVer(w))
+		}
+	}
+	return h.Sum64()
+}
+
+// Partition is the component decomposition of one pair set. Components are
+// ordered by Key, so iteration is deterministic regardless of the input
+// pair order.
+type Partition struct {
+	Components []Component
+
+	taskComp   map[model.TaskID]int
+	workerComp map[model.WorkerID]int
+}
+
+// Len returns the number of components.
+func (p *Partition) Len() int { return len(p.Components) }
+
+// ComponentOfTask returns the index (into Components) of the component
+// containing task t; ok is false for tasks with no valid pair.
+func (p *Partition) ComponentOfTask(t model.TaskID) (int, bool) {
+	i, ok := p.taskComp[t]
+	return i, ok
+}
+
+// ComponentOfWorker returns the index of the component containing worker w;
+// ok is false for workers with no valid pair.
+func (p *Partition) ComponentOfWorker(w model.WorkerID) (int, bool) {
+	i, ok := p.workerComp[w]
+	return i, ok
+}
+
+// MaxPairs returns the size (in pairs) of the largest component, 0 for an
+// empty partition.
+func (p *Partition) MaxPairs() int {
+	max := 0
+	for i := range p.Components {
+		if n := len(p.Components[i].Pairs); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Build computes the partition of a pair set from scratch. Entities that
+// appear in no pair (unreachable tasks, out-of-range workers) belong to no
+// component: they cannot influence any feasible assignment.
+func Build(pairs []model.Pair) *Partition {
+	b := NewBuilder()
+	b.Invalidate()
+	return b.Partition(pairs)
+}
+
+// node keys: tasks and workers share one union-find keyspace.
+func taskNode(t model.TaskID) int64     { return int64(t)<<1 | 0 }
+func workerNode(w model.WorkerID) int64 { return int64(w)<<1 | 1 }
+
+// unionFind is a map-keyed disjoint-set with path halving, sized by the
+// live entity set rather than a dense ID range (IDs churn upward forever in
+// streaming use).
+type unionFind struct {
+	parent map[int64]int64
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{parent: make(map[int64]int64)}
+}
+
+func (u *unionFind) find(x int64) int64 {
+	p, ok := u.parent[x]
+	if !ok {
+		u.parent[x] = x
+		return x
+	}
+	for p != x {
+		gp, ok := u.parent[p]
+		if !ok {
+			gp = p
+		}
+		u.parent[x] = gp
+		x = gp
+		p = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int64) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u.parent[rb] = ra
+	}
+}
+
+// group builds the ordered component list from the union-find roots and the
+// pair set.
+func group(uf *unionFind, pairs []model.Pair) *Partition {
+	type bucket struct {
+		tasks   map[model.TaskID]bool
+		workers map[model.WorkerID]bool
+		pairIdx []int32
+	}
+	buckets := make(map[int64]*bucket)
+	for i := range pairs {
+		root := uf.find(taskNode(pairs[i].Task))
+		b := buckets[root]
+		if b == nil {
+			b = &bucket{tasks: make(map[model.TaskID]bool), workers: make(map[model.WorkerID]bool)}
+			buckets[root] = b
+		}
+		b.tasks[pairs[i].Task] = true
+		b.workers[pairs[i].Worker] = true
+		b.pairIdx = append(b.pairIdx, int32(i))
+	}
+	part := &Partition{
+		taskComp:   make(map[model.TaskID]int),
+		workerComp: make(map[model.WorkerID]int),
+	}
+	for _, b := range buckets {
+		c := Component{Pairs: b.pairIdx}
+		for t := range b.tasks {
+			c.Tasks = append(c.Tasks, t)
+		}
+		for w := range b.workers {
+			c.Workers = append(c.Workers, w)
+		}
+		sort.Slice(c.Tasks, func(i, j int) bool { return c.Tasks[i] < c.Tasks[j] })
+		sort.Slice(c.Workers, func(i, j int) bool { return c.Workers[i] < c.Workers[j] })
+		c.Key = c.Tasks[0]
+		part.Components = append(part.Components, c)
+	}
+	sort.Slice(part.Components, func(i, j int) bool {
+		return part.Components[i].Key < part.Components[j].Key
+	})
+	for i := range part.Components {
+		for _, t := range part.Components[i].Tasks {
+			part.taskComp[t] = i
+		}
+		for _, w := range part.Components[i].Workers {
+			part.workerComp[w] = i
+		}
+	}
+	return part
+}
+
+// fnvSep separates the task and worker sections of a fingerprint so that
+// membership cannot shift between them without changing the hash.
+const fnvSep = 0x9e3779b97f4a7c15

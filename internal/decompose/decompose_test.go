@@ -1,0 +1,323 @@
+package decompose
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"rdbsc/internal/model"
+	"rdbsc/internal/rng"
+)
+
+// randomPairs draws a random bipartite edge set over m tasks and n workers
+// with the given edge probability. Entities may end up isolated (no edge),
+// exercising the entities-without-pairs-belong-to-no-component rule.
+func randomPairs(src *rng.Source, m, n int, prob float64) []model.Pair {
+	var pairs []model.Pair
+	for t := 0; t < m; t++ {
+		for w := 0; w < n; w++ {
+			if src.Bernoulli(prob) {
+				pairs = append(pairs, model.Pair{
+					Task:    model.TaskID(t),
+					Worker:  model.WorkerID(w),
+					Arrival: src.Float64(),
+					Angle:   src.Float64(),
+				})
+			}
+		}
+	}
+	return pairs
+}
+
+// TestPartitionIsTruePartition checks the defining properties on random
+// edge sets: components are pairwise disjoint in tasks, workers, and pair
+// indices; together they cover exactly the entities and pairs of the input;
+// every pair is intra-component; and the reverse lookups agree with the
+// component listings.
+func TestPartitionIsTruePartition(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, density := range []float64{0.02, 0.08, 0.3} {
+			t.Run(fmt.Sprintf("seed=%d/density=%v", seed, density), func(t *testing.T) {
+				src := rng.New(seed)
+				pairs := randomPairs(src, 20, 40, density)
+				part := Build(pairs)
+
+				seenTasks := make(map[model.TaskID]int)
+				seenWorkers := make(map[model.WorkerID]int)
+				seenPairs := make(map[int32]int)
+				for ci, c := range part.Components {
+					if len(c.Tasks) == 0 || len(c.Workers) == 0 {
+						t.Fatalf("component %d lacks tasks or workers: %+v", ci, c)
+					}
+					if c.Key != c.Tasks[0] {
+						t.Errorf("component %d key %d != smallest task %d", ci, c.Key, c.Tasks[0])
+					}
+					for _, id := range c.Tasks {
+						if prev, dup := seenTasks[id]; dup {
+							t.Fatalf("task %d in components %d and %d", id, prev, ci)
+						}
+						seenTasks[id] = ci
+						if got, ok := part.ComponentOfTask(id); !ok || got != ci {
+							t.Errorf("ComponentOfTask(%d) = %d,%v want %d,true", id, got, ok, ci)
+						}
+					}
+					for _, id := range c.Workers {
+						if prev, dup := seenWorkers[id]; dup {
+							t.Fatalf("worker %d in components %d and %d", id, prev, ci)
+						}
+						seenWorkers[id] = ci
+						if got, ok := part.ComponentOfWorker(id); !ok || got != ci {
+							t.Errorf("ComponentOfWorker(%d) = %d,%v want %d,true", id, got, ok, ci)
+						}
+					}
+					for _, pi := range c.Pairs {
+						if prev, dup := seenPairs[pi]; dup {
+							t.Fatalf("pair %d in components %d and %d", pi, prev, ci)
+						}
+						seenPairs[pi] = ci
+						// Intra-component: the pair's endpoints belong to the
+						// component holding the pair.
+						pr := pairs[pi]
+						if seenTasks[pr.Task] != ci {
+							t.Errorf("pair %d: task %d not in component %d", pi, pr.Task, ci)
+						}
+						if wc, ok := part.ComponentOfWorker(pr.Worker); !ok || wc != ci {
+							t.Errorf("pair %d: worker %d in component %d, want %d", pi, pr.Worker, wc, ci)
+						}
+					}
+				}
+				if len(seenPairs) != len(pairs) {
+					t.Errorf("pairs covered %d times, want %d", len(seenPairs), len(pairs))
+				}
+				// Coverage: exactly the entities with at least one pair.
+				for _, pr := range pairs {
+					if _, ok := seenTasks[pr.Task]; !ok {
+						t.Errorf("task %d has a pair but no component", pr.Task)
+					}
+					if _, ok := seenWorkers[pr.Worker]; !ok {
+						t.Errorf("worker %d has a pair but no component", pr.Worker)
+					}
+				}
+				// Connectivity within components: BFS over the pair edges
+				// from each component's first task must reach every member.
+				for ci, c := range part.Components {
+					if !connected(c, pairs) {
+						t.Errorf("component %d is not internally connected", ci)
+					}
+				}
+				// Maximality: no two distinct components share an edge is
+				// already implied; components sorted by key:
+				for i := 1; i < len(part.Components); i++ {
+					if part.Components[i-1].Key >= part.Components[i].Key {
+						t.Errorf("components not sorted by key: %d >= %d",
+							part.Components[i-1].Key, part.Components[i].Key)
+					}
+				}
+			})
+		}
+	}
+}
+
+// connected checks by BFS that every member of c is reachable from c's
+// first task through the component's own pairs.
+func connected(c Component, pairs []model.Pair) bool {
+	adjT := make(map[model.TaskID][]model.WorkerID)
+	adjW := make(map[model.WorkerID][]model.TaskID)
+	for _, pi := range c.Pairs {
+		pr := pairs[pi]
+		adjT[pr.Task] = append(adjT[pr.Task], pr.Worker)
+		adjW[pr.Worker] = append(adjW[pr.Worker], pr.Task)
+	}
+	visT := make(map[model.TaskID]bool)
+	visW := make(map[model.WorkerID]bool)
+	queueT := []model.TaskID{c.Tasks[0]}
+	visT[c.Tasks[0]] = true
+	var queueW []model.WorkerID
+	for len(queueT) > 0 || len(queueW) > 0 {
+		if len(queueT) > 0 {
+			tid := queueT[0]
+			queueT = queueT[1:]
+			for _, w := range adjT[tid] {
+				if !visW[w] {
+					visW[w] = true
+					queueW = append(queueW, w)
+				}
+			}
+			continue
+		}
+		w := queueW[0]
+		queueW = queueW[1:]
+		for _, tid := range adjW[w] {
+			if !visT[tid] {
+				visT[tid] = true
+				queueT = append(queueT, tid)
+			}
+		}
+	}
+	return len(visT) == len(c.Tasks) && len(visW) == len(c.Workers)
+}
+
+// churnState simulates an engine's view of its live pair set while driving
+// a Builder through the same operations.
+type churnState struct {
+	pairs   map[[2]int32]bool // (task, worker) edges currently live
+	builder *Builder
+}
+
+// maxChurnID bounds the entity IDs the churn simulation can mint; the
+// enumeration below must cover every ID or the reference pair set would
+// silently drop edges the builder saw.
+const maxChurnID = 128
+
+func (cs *churnState) pairSlice() []model.Pair {
+	var out []model.Pair
+	// Deterministic order: by task then worker.
+	for t := int32(0); t < maxChurnID; t++ {
+		for w := int32(0); w < maxChurnID; w++ {
+			if cs.pairs[[2]int32{t, w}] {
+				out = append(out, model.Pair{Task: model.TaskID(t), Worker: model.WorkerID(w)})
+			}
+		}
+	}
+	return out
+}
+
+// TestBuilderChurnConvergesToRebuild drives random churn sequences —
+// fresh insertions (incremental unions), removals and replacements
+// (invalidation) — and checks after every step that the builder's
+// partition equals a from-scratch Build of the current pair set.
+func TestBuilderChurnConvergesToRebuild(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			src := rng.New(seed)
+			cs := &churnState{pairs: make(map[[2]int32]bool), builder: NewBuilder()}
+			liveTasks := map[int32]bool{}
+			liveWorkers := map[int32]bool{}
+
+			for step := 0; step < maxChurnID-8; step++ {
+				switch op := src.Intn(10); {
+				case op < 4: // fresh task insert with edges to some live workers
+					tid := int32(step) // fresh IDs, never reused
+					liveTasks[tid] = true
+					for w := range liveWorkers {
+						if src.Bernoulli(0.3) {
+							cs.pairs[[2]int32{tid, w}] = true
+							cs.builder.AddEdge(model.TaskID(tid), model.WorkerID(w))
+						}
+					}
+				case op < 8: // fresh worker insert with edges to some live tasks
+					wid := int32(step)
+					liveWorkers[wid] = true
+					for tid := range liveTasks {
+						if src.Bernoulli(0.3) {
+							cs.pairs[[2]int32{tid, wid}] = true
+							cs.builder.AddEdge(model.TaskID(tid), model.WorkerID(wid))
+						}
+					}
+				case op < 9: // task removal: edges vanish, builder invalidated
+					for tid := range liveTasks {
+						delete(liveTasks, tid)
+						for key := range cs.pairs {
+							if key[0] == tid {
+								delete(cs.pairs, key)
+							}
+						}
+						cs.builder.Invalidate()
+						break
+					}
+				default: // worker removal
+					for w := range liveWorkers {
+						delete(liveWorkers, w)
+						for key := range cs.pairs {
+							if key[1] == w {
+								delete(cs.pairs, key)
+							}
+						}
+						cs.builder.Invalidate()
+						break
+					}
+				}
+
+				pairs := cs.pairSlice()
+				got := cs.builder.Partition(pairs)
+				want := Build(pairs)
+				if !reflect.DeepEqual(got.Components, want.Components) {
+					t.Fatalf("step %d: incremental partition diverged from rebuild:\n got %+v\nwant %+v",
+						step, got.Components, want.Components)
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprint checks the cache-invalidation contract: equal membership
+// and versions hash equal; any membership or version change hashes
+// different.
+func TestFingerprint(t *testing.T) {
+	pairs := []model.Pair{
+		{Task: 1, Worker: 10}, {Task: 1, Worker: 11}, {Task: 2, Worker: 11},
+		{Task: 5, Worker: 20},
+	}
+	part := Build(pairs)
+	if part.Len() != 2 {
+		t.Fatalf("want 2 components, got %d", part.Len())
+	}
+	vers := map[string]uint64{}
+	tv := func(id model.TaskID) uint64 { return vers[fmt.Sprintf("t%d", id)] }
+	wv := func(id model.WorkerID) uint64 { return vers[fmt.Sprintf("w%d", id)] }
+
+	c0 := &part.Components[0]
+	base := c0.Fingerprint(tv, wv)
+	if again := c0.Fingerprint(tv, wv); again != base {
+		t.Errorf("fingerprint not deterministic: %x vs %x", base, again)
+	}
+	vers["t1"] = 7
+	if bumped := c0.Fingerprint(tv, wv); bumped == base {
+		t.Errorf("fingerprint ignored a member version bump")
+	}
+	vers["t1"] = 0
+	if restored := c0.Fingerprint(tv, wv); restored != base {
+		t.Errorf("fingerprint not a pure function of members+versions")
+	}
+	// Membership change: drop one pair so component 0 loses worker 10.
+	part2 := Build(pairs[1:])
+	c0b := &part2.Components[0]
+	if c0b.Key != c0.Key {
+		t.Fatalf("expected same key after membership change, got %d vs %d", c0b.Key, c0.Key)
+	}
+	if c0b.Fingerprint(tv, wv) == base {
+		t.Errorf("fingerprint ignored a membership change")
+	}
+	// The two distinct components hash differently.
+	if part.Components[1].Fingerprint(tv, wv) == base {
+		t.Errorf("distinct components share a fingerprint")
+	}
+}
+
+// TestBuildEmpty covers the degenerate inputs.
+func TestBuildEmpty(t *testing.T) {
+	if got := Build(nil); got.Len() != 0 {
+		t.Errorf("Build(nil).Len() = %d, want 0", got.Len())
+	}
+	if got := Build([]model.Pair{}); got.Len() != 0 {
+		t.Errorf("Build(empty).Len() = %d, want 0", got.Len())
+	}
+	if _, ok := Build(nil).ComponentOfTask(3); ok {
+		t.Errorf("ComponentOfTask on empty partition reported membership")
+	}
+	if Build(nil).MaxPairs() != 0 {
+		t.Errorf("MaxPairs on empty partition != 0")
+	}
+}
+
+// TestSingleEdge covers the smallest component.
+func TestSingleEdge(t *testing.T) {
+	part := Build([]model.Pair{{Task: 9, Worker: 4}})
+	if part.Len() != 1 {
+		t.Fatalf("want 1 component, got %d", part.Len())
+	}
+	c := part.Components[0]
+	if c.Key != 9 || len(c.Tasks) != 1 || len(c.Workers) != 1 || len(c.Pairs) != 1 {
+		t.Errorf("unexpected component: %+v", c)
+	}
+}

@@ -1,0 +1,312 @@
+package engine
+
+import (
+	"context"
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/decompose"
+	"rdbsc/internal/model"
+	"rdbsc/internal/objective"
+)
+
+// decompState is the engine's side of Config.Decompose: the incrementally
+// maintained component partition plus a per-component result cache keyed on
+// component fingerprints, so churn rounds re-solve only the components
+// whose entities, membership, or seeded commitments actually changed.
+type decompState struct {
+	builder *decompose.Builder
+
+	// Per-entity mutation versions (the engine's monotonic version counter
+	// at the entity's last upsert). They feed the component fingerprints:
+	// any upsert of a member invalidates its component's cache entry, and
+	// because versions never repeat, a removed-and-reinserted entity can
+	// never resurrect a stale entry.
+	taskVer   map[model.TaskID]uint64
+	workerVer map[model.WorkerID]uint64
+
+	// cache holds, per component key, one entry per solver instance that
+	// produced a still-valid result: a SolveWith override must neither hit
+	// another solver's entry nor evict the standing solver's warm cache.
+	cache map[model.TaskID][]compCacheEntry
+}
+
+type compCacheEntry struct {
+	fp     uint64
+	solver core.Solver
+	res    *core.Result
+}
+
+func newDecompState() *decompState {
+	return &decompState{
+		builder:   decompose.NewBuilder(),
+		taskVer:   make(map[model.TaskID]uint64),
+		workerVer: make(map[model.WorkerID]uint64),
+		cache:     make(map[model.TaskID][]compCacheEntry),
+	}
+}
+
+// lookup returns the cached result for (key, fp, solver), if any.
+func (d *decompState) lookup(key model.TaskID, fp uint64, s core.Solver) (*core.Result, bool) {
+	for _, ent := range d.cache[key] {
+		if ent.fp == fp && ent.solver == s {
+			return ent.res, true
+		}
+	}
+	return nil, false
+}
+
+// noteTaskUpsert maintains the component state after a task insert/replace.
+// A fresh insertion only adds edges, so its reachable workers are unioned
+// in incrementally (the Section 7.2 neighbor queries of the grid index make
+// the edge derivation cheap); a replacement may remove edges, which a
+// union-find cannot undo, so the partition rebuilds lazily on next use.
+func (e *Engine) noteTaskUpsert(t model.Task, replaced bool) {
+	d := e.decomp
+	if d == nil {
+		return
+	}
+	d.taskVer[t.ID] = e.version
+	if replaced {
+		d.builder.Invalidate()
+		return
+	}
+	if d.builder.Stale() {
+		return // a rebuild is pending; derived edges would be discarded
+	}
+	for _, w := range e.candidateWorkers(t) {
+		if model.CanReach(t, w, e.cfg.Opt) {
+			d.builder.AddEdge(t.ID, w.ID)
+		}
+	}
+}
+
+// noteWorkerUpsert is the worker-side mirror of noteTaskUpsert.
+func (e *Engine) noteWorkerUpsert(w model.Worker, replaced bool) {
+	d := e.decomp
+	if d == nil {
+		return
+	}
+	d.workerVer[w.ID] = e.version
+	if replaced {
+		d.builder.Invalidate()
+		return
+	}
+	if d.builder.Stale() {
+		return // a rebuild is pending; derived edges would be discarded
+	}
+	for _, t := range e.candidateTasks(w) {
+		if model.CanReach(t, w, e.cfg.Opt) {
+			d.builder.AddEdge(t.ID, w.ID)
+		}
+	}
+}
+
+// noteTaskRemove / noteWorkerRemove mark the partition stale (edges
+// vanished) and retire the entity's version.
+func (e *Engine) noteTaskRemove(id model.TaskID) {
+	if d := e.decomp; d != nil {
+		delete(d.taskVer, id)
+		d.builder.Invalidate()
+	}
+}
+
+func (e *Engine) noteWorkerRemove(id model.WorkerID) {
+	if d := e.decomp; d != nil {
+		delete(d.workerVer, id)
+		d.builder.Invalidate()
+	}
+}
+
+// candidateWorkers returns the workers that might reach t: a grid neighbor
+// query when the index is on, the full worker set otherwise.
+func (e *Engine) candidateWorkers(t model.Task) []model.Worker {
+	if e.grid != nil {
+		return e.grid.CandidateWorkers(t)
+	}
+	out := make([]model.Worker, 0, len(e.workers))
+	for _, w := range e.workers {
+		out = append(out, w)
+	}
+	return out
+}
+
+// candidateTasks returns the tasks a worker might reach.
+func (e *Engine) candidateTasks(w model.Worker) []model.Task {
+	if e.grid != nil {
+		return e.grid.CandidateTasks(w)
+	}
+	out := make([]model.Task, 0, len(e.tasks))
+	for _, t := range e.tasks {
+		out = append(out, t)
+	}
+	return out
+}
+
+// solveDecomposed is Engine.SolveWith's Config.Decompose path: partition
+// the problem, fingerprint each component, serve clean components from the
+// result cache, solve the dirty ones concurrently, and merge. A problem
+// that is a single component passes the caller's options through to the
+// inner solver verbatim (consuming nothing from its random source), so
+// the result is bit-identical to the undecomposed engine; multi-component
+// problems draw per-component seeds from the caller's source in component
+// order — for every component, cached or not — so the draw sequence is
+// reproducible regardless of which components hit. A cache entry hits only
+// for the solver instance that produced it, so a SolveWith override is
+// never served another solver's answer.
+//
+// The merged Stats report only this call's work: components served from
+// the cache contribute their standing assignments but none of the cost
+// counters their original solves accumulated (those were reported by the
+// round that paid them).
+func (e *Engine) solveDecomposed(ctx context.Context, s core.Solver, p *core.Problem, opts *core.SolveOptions) (*core.Result, error) {
+	d := e.decomp
+	part := d.builder.Partition(p.Pairs)
+	n := part.Len()
+
+	taskVer := func(id model.TaskID) uint64 { return d.taskVer[id] }
+	workerVer := func(id model.WorkerID) uint64 { return d.workerVer[id] }
+	var seedStates map[model.TaskID]*objective.TaskState
+	var progress func(core.Stage)
+	if opts != nil {
+		seedStates = opts.SeedStates
+		progress = opts.Progress
+	}
+
+	seeds := make([]int64, n)
+	sel := make([]bool, n)
+	fps := make([]uint64, n)
+	css := make([]map[model.TaskID]*objective.TaskState, n)
+	results := make([]*core.Result, n)
+	reused := 0
+	for i := range part.Components {
+		c := &part.Components[i]
+		css[i] = core.ComponentSeedStates(seedStates, c)
+		fps[i] = c.Fingerprint(taskVer, workerVer) ^ seedFingerprint(css[i])
+		if res, ok := d.lookup(c.Key, fps[i], s); ok {
+			results[i] = res
+			reused++
+			continue
+		}
+		sel[i] = true
+	}
+
+	var errs []error
+	if n == 1 && sel[0] {
+		// Single dirty component covering the whole reachable problem: run
+		// the inner solver on the original problem with the caller's
+		// options verbatim, mirroring core.Sharded's pass-through — the
+		// result is bit-identical to the engine without Decompose, which
+		// requires consuming nothing from the caller's random source here
+		// (randomized solvers must see the exact stream they would see
+		// monolithically); only the cache layer remains.
+		res, err := s.Solve(ctx, p, opts)
+		results[0], errs = res, []error{err}
+	} else if n > 1 {
+		// Per-component seeds derive from the caller's source in component
+		// order — for every dirty-or-cached component alike — so the draw
+		// sequence is reproducible regardless of which components hit.
+		src := opts.Rand()
+		for i := range seeds {
+			seeds[i] = src.Int63()
+		}
+		var fresh []*core.Result
+		fresh, errs = core.SolveComponents(ctx, s, p, part.Components, sel,
+			seeds, css, 0, progress)
+		for i := range fresh {
+			if sel[i] {
+				results[i] = fresh[i]
+			}
+		}
+	} else {
+		errs = make([]error, n)
+	}
+
+	// Refresh the cache against the current component set: cleanly solved
+	// and reused components carry forward; interrupted or failed solves are
+	// not cached (their results are partial), and entries for components
+	// that no longer exist are dropped. Entries of OTHER solvers whose
+	// fingerprints still match survive, so a one-off SolveWith override
+	// doesn't evict the standing solver's warm cache. Entries keep only the
+	// assignment — zeroing the cost counters here is what keeps later
+	// rounds' merged Stats free of work they didn't do.
+	cache := make(map[model.TaskID][]compCacheEntry, n)
+	for i := range part.Components {
+		key := part.Components[i].Key
+		var entries []compCacheEntry
+		if results[i] != nil && !(sel[i] && errs[i] != nil) {
+			entries = append(entries, compCacheEntry{
+				fp:     fps[i],
+				solver: s,
+				res:    &core.Result{Assignment: results[i].Assignment},
+			})
+		}
+		for _, old := range d.cache[key] {
+			if old.solver != s && old.fp == fps[i] {
+				entries = append(entries, old)
+			}
+		}
+		if len(entries) > 0 {
+			cache[key] = entries
+		}
+	}
+	d.cache = cache
+
+	res := core.MergeComponentResults(p, results)
+	res.Stats.Components = n
+	res.Stats.ComponentsReused = reused
+	res.Stats.MaxComponentPairs = part.MaxPairs()
+	return res, core.CombineComponentErrors(errs)
+}
+
+// seedFingerprint hashes the seeded commitments that apply to one
+// component, given the map core.ComponentSeedStates selected for it (the
+// same map the solve itself receives): task by task, committed workers in
+// sorted order, plus each state's aggregate contribution values (R and
+// E[STD]) — so a component whose applicable commitments changed re-solves
+// even when its entities did not churn, including changes that alter a
+// committed worker's contribution without changing the worker set. States
+// whose full detail differs but whose worker sets and (R, E[STD])
+// aggregates collide bitwise are treated as equal; seeds derived from
+// Problem.NewStates — what the drivers pass — are a pure function of the
+// entities and the committed set, so they can never collide that way.
+func seedFingerprint(css map[model.TaskID]*objective.TaskState) uint64 {
+	if len(css) == 0 {
+		return 0
+	}
+	ids := make([]model.TaskID, 0, len(css))
+	for tid := range css {
+		ids = append(ids, tid)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	h := fnv.New64a()
+	var buf [8]byte
+	write := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	any := false
+	for _, tid := range ids {
+		st := css[tid]
+		if st.Len() == 0 {
+			continue
+		}
+		any = true
+		write(uint64(uint32(tid)))
+		ws := append([]model.WorkerID(nil), st.Workers()...)
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		for _, w := range ws {
+			write(uint64(uint32(w)))
+		}
+		write(math.Float64bits(st.R()))
+		write(math.Float64bits(st.ESTD()))
+		write(^uint64(0)) // task separator
+	}
+	if !any {
+		return 0
+	}
+	return h.Sum64()
+}

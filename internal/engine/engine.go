@@ -44,6 +44,19 @@ type Config struct {
 	// index to a brute-force scan (mainly for comparison runs; the index
 	// is on by default).
 	DisableIndex bool
+	// Decompose routes every solve through connected-component
+	// decomposition: the engine maintains the partition of the task-worker
+	// reachability graph incrementally under churn (insertions union their
+	// grid-derived edges in; removals trigger a lazy rebuild), solves only
+	// the components whose entities, membership, or seeded commitments
+	// changed since the previous solve — concurrently, under a
+	// GOMAXPROCS-bounded pool — and serves the remaining components from a
+	// per-component result cache. Exactness: the min/sum objective
+	// decomposes over components, so the merged result evaluates exactly as
+	// a monolithic solve of the same assignment; the per-component solves
+	// themselves see their component in isolation (see core.Sharded for the
+	// precise equivalences).
+	Decompose bool
 	// Grid configures the index.
 	Grid grid.Config
 }
@@ -78,6 +91,8 @@ type Engine struct {
 	prepared *core.Problem
 	prepVer  uint64
 
+	decomp *decompState // non-nil iff cfg.Decompose
+
 	lastRebuilt  bool          // whether the last Problem() call re-derived pairs
 	lastRetrieve time.Duration // time that retrieval took (zero on a cache hit)
 }
@@ -93,6 +108,9 @@ func New(cfg Config) *Engine {
 	}
 	if !cfg.DisableIndex {
 		e.grid = grid.New(cfg.Grid, cfg.Opt)
+	}
+	if cfg.Decompose {
+		e.decomp = newDecompState()
 	}
 	return e
 }
@@ -117,6 +135,12 @@ func NewFromInstance(in *model.Instance, cfg Config) *Engine {
 	}
 	if !cfg.DisableIndex {
 		e.grid = grid.NewFromInstance(cfg.Grid, in)
+	}
+	if cfg.Decompose {
+		// A bulk load has no incremental history; the builder starts stale
+		// and the first Partition call derives the components from the
+		// prepared problem's pairs.
+		e.decomp = newDecompState()
 	}
 	for _, t := range in.Tasks {
 		e.tasks[t.ID] = t
@@ -159,14 +183,19 @@ func (e *Engine) Worker(id model.WorkerID) (model.Worker, bool) {
 // UpsertTask inserts the task, replacing (and re-indexing) any existing
 // task with the same ID.
 func (e *Engine) UpsertTask(t model.Task) {
+	old, replaced := e.tasks[t.ID]
+	if replaced && old == t {
+		return // byte-identical re-upsert: nothing changed, keep caches warm
+	}
 	if e.grid != nil {
-		if old, ok := e.tasks[t.ID]; ok {
+		if replaced {
 			e.grid.RemoveTask(old.ID, old.Loc)
 		}
 		e.grid.InsertTask(t)
 	}
 	e.tasks[t.ID] = t
 	e.version++
+	e.noteTaskUpsert(t, replaced)
 }
 
 // RemoveTask deletes the task; it reports whether the task was present.
@@ -180,20 +209,26 @@ func (e *Engine) RemoveTask(id model.TaskID) bool {
 	}
 	delete(e.tasks, id)
 	e.version++
+	e.noteTaskRemove(id)
 	return true
 }
 
 // UpsertWorker inserts the worker, replacing (and re-indexing) any existing
 // worker with the same ID.
 func (e *Engine) UpsertWorker(w model.Worker) {
+	old, replaced := e.workers[w.ID]
+	if replaced && old == w {
+		return // byte-identical re-upsert: nothing changed, keep caches warm
+	}
 	if e.grid != nil {
-		if old, ok := e.workers[w.ID]; ok {
+		if replaced {
 			e.grid.RemoveWorker(old.ID, old.Loc)
 		}
 		e.grid.InsertWorker(w)
 	}
 	e.workers[w.ID] = w
 	e.version++
+	e.noteWorkerUpsert(w, replaced)
 }
 
 // RemoveWorker deletes the worker; it reports whether the worker was
@@ -208,6 +243,7 @@ func (e *Engine) RemoveWorker(id model.WorkerID) bool {
 	}
 	delete(e.workers, id)
 	e.version++
+	e.noteWorkerRemove(id)
 	return true
 }
 
@@ -273,7 +309,13 @@ func (e *Engine) Solve(ctx context.Context, opts *core.SolveOptions) (*core.Resu
 // SolveWith is Solve with a one-off solver override.
 func (e *Engine) SolveWith(ctx context.Context, s core.Solver, opts *core.SolveOptions) (*core.Result, error) {
 	p := e.Problem()
-	res, err := s.Solve(ctx, p, opts)
+	var res *core.Result
+	var err error
+	if e.decomp != nil {
+		res, err = e.solveDecomposed(ctx, s, p, opts)
+	} else {
+		res, err = s.Solve(ctx, p, opts)
+	}
 	if res == nil {
 		// Only Exhaustive's population-cap rejection produces a nil result;
 		// hand callers an evaluated empty one so the pairing "non-nil

@@ -61,6 +61,12 @@ type Scale struct {
 	// candidate-maintenance variants — all three produce identical
 	// assignments, so quality panels are unaffected).
 	Greedy string
+	// Sharded wraps every approach's solver in connected-component
+	// decomposition (the "sharded-*" composites): components solve
+	// concurrently and merge. On the paper's well-connected workloads this
+	// usually degenerates to a single component (a verbatim pass-through);
+	// it is the knob for multi-island workloads like ablation-decompose.
+	Sharded bool
 }
 
 // DefaultScale returns the standard bench scale.
@@ -110,7 +116,7 @@ func Registry() []Experiment {
 		fig22(), fig23(), fig24(), fig25(), fig26(), fig27(),
 		churnExperiment(),
 		ablationDiversity(), ablationPruning(), ablationIncremental(),
-		ablationEta(), ablationMerge(),
+		ablationDecompose(), ablationEta(), ablationMerge(),
 	}
 }
 

@@ -37,6 +37,9 @@ func solverSet(sc Scale) map[string]core.Solver {
 		if err != nil {
 			panic(err) // the built-in solvers are always registered
 		}
+		if sc.Sharded {
+			s = core.NewSharded(s)
+		}
 		out[display] = s
 	}
 	return out

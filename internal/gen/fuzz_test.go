@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"rdbsc/internal/geo"
+)
+
+// decodeTrajectory deserializes fuzz bytes into a trajectory: pairs of
+// float64 words become (x, y, t) triples. No sanitation on purpose — the
+// extraction code must tolerate NaNs, infinities, zero-duration and
+// non-monotonic timestamps without panicking, since trajectory data
+// arrives from external files in real deployments.
+func decodeTrajectory(data []byte) Trajectory {
+	var tr Trajectory
+	for len(data) >= 24 {
+		x := math.Float64frombits(binary.LittleEndian.Uint64(data[0:8]))
+		y := math.Float64frombits(binary.LittleEndian.Uint64(data[8:16]))
+		ts := math.Float64frombits(binary.LittleEndian.Uint64(data[16:24]))
+		tr.Points = append(tr.Points, geo.Pt(x, y))
+		tr.Times = append(tr.Times, ts)
+		data = data[24:]
+	}
+	return tr
+}
+
+// FuzzWorkerFromTrajectory fuzzes the T-Drive-style worker extraction
+// (Section 8.2: start point → location, average speed → velocity, minimal
+// enclosing sector → direction cone) over adversarial trajectories. It
+// must never panic, and whenever the inputs are finite and the confidence
+// is a probability, the extracted worker must be structurally valid.
+func FuzzWorkerFromTrajectory(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		out := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+		}
+		return out
+	}
+	f.Add(seed(), 0.9)                                        // empty trajectory
+	f.Add(seed(0.5, 0.5, 0), 0.95)                            // single point
+	f.Add(seed(0.1, 0.1, 0, 0.9, 0.9, 1), 0.9)                // one leg
+	f.Add(seed(0.5, 0.5, 0, 0.5, 0.5, 1), 1.0)                // no movement
+	f.Add(seed(0.1, 0.1, 1, 0.9, 0.9, 0), 0.5)                // time runs backwards
+	f.Add(seed(0.1, 0.1, 0, 0.9, 0.9, 0), 0.5)                // zero duration
+	f.Add(seed(math.NaN(), 0.5, 0, 0.5, math.Inf(1), 1), 0.0) // non-finite coordinates
+	f.Fuzz(func(t *testing.T, data []byte, confidence float64) {
+		tr := decodeTrajectory(data)
+		w := WorkerFromTrajectory(7, tr, confidence)
+
+		if w.ID != 7 {
+			t.Fatalf("worker ID mangled: %d", w.ID)
+		}
+		finite := true
+		for i := range tr.Points {
+			if !isFinite(tr.Points[i].X) || !isFinite(tr.Points[i].Y) || !isFinite(tr.Times[i]) {
+				finite = false
+				break
+			}
+		}
+		if finite && confidence >= 0 && confidence <= 1 {
+			if err := w.Valid(); err != nil {
+				t.Fatalf("finite trajectory produced an invalid worker: %v (trajectory %+v)", err, tr)
+			}
+		}
+		// The speed floor must survive every degenerate input: a worker
+		// with non-positive speed breaks TravelTime downstream.
+		if !(w.Speed > 0) && finite {
+			t.Fatalf("extracted worker has non-positive speed %v", w.Speed)
+		}
+	})
+}
+
+// FuzzAvgSpeed pins Trajectory.AvgSpeed totality: any point/time sequence,
+// including non-monotonic or non-finite ones, yields a value without
+// panicking, and clean forward-moving trajectories yield a positive speed.
+func FuzzAvgSpeed(f *testing.F) {
+	f.Add([]byte{}, false)
+	f.Add(make([]byte, 48), true)
+	f.Fuzz(func(t *testing.T, data []byte, _ bool) {
+		tr := decodeTrajectory(data)
+		v := tr.AvgSpeed() // must not panic
+		if len(tr.Points) < 2 && v != 0 {
+			t.Fatalf("degenerate trajectory reported speed %v", v)
+		}
+	})
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,79 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/rng"
+)
+
+// GenerateIslands draws a multi-component instance: `islands` independent
+// dense synthetic sub-instances, each scaled into its own spatial tile of a
+// ⌈√islands⌉² grid. Locations and worker speeds scale by the same factor,
+// so travel times — and with them pair validity, arrival times, and ray
+// angles — are preserved exactly within an island, while the inter-tile
+// gap is provably uncrossable: with the profile below a worker's total
+// reach is v_max·(maxEnd − minDepart) ≤ 2.5·1.6 = 4 unscaled units, the
+// content of each tile is scaled to 1/6 of the tile pitch, and the gap
+// between adjacent contents is 5/6 of the pitch — five scaled units, one
+// more than any worker can cover before every task expires. The tiles are
+// therefore separate connected components of the reachability graph
+// (possibly more than one per tile when an island is internally sparse).
+//
+// To make that bound hold, the temporal and kinematic knobs are overridden
+// (dense near-zero windows: rt ∈ [0.4, 0.8], check-ins near zero,
+// v ∈ [1, 2.5], unconstrained cone budget); the remaining Table 2 knobs
+// (M, N per island, confidences, β range, spatial distribution) are taken
+// from cfg. Task and worker IDs are offset per island so the instance
+// validates.
+//
+// This is the bench/test workload for the connected-component
+// decomposition: a grid of islands is the best case for sharded solving,
+// and the differential suites use it as the multi-island topology.
+func GenerateIslands(cfg Config, islands int) *model.Instance {
+	if islands <= 0 {
+		panic(fmt.Sprintf("gen: non-positive island count %d", islands))
+	}
+	cfg.RtMin, cfg.RtMax = 0.4, 0.8
+	cfg.VMin, cfg.VMax = 1, 2.5
+	cfg.AngleMax = geo.TwoPi
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := int(math.Ceil(math.Sqrt(float64(islands))))
+	pitch := 1.0 / float64(g)
+	scale := pitch / 6
+	margin := (pitch - scale) / 2
+
+	src := rng.New(cfg.Seed)
+	// Waiting is allowed so that even tiny islands stay densely connected
+	// (arrival before a window opens clamps to its start); the inter-tile
+	// disconnection bound is unaffected — it limits the distance coverable
+	// before the last deadline, wait or no wait.
+	out := &model.Instance{
+		Beta: src.Uniform(cfg.BetaMin, cfg.BetaMax),
+		Opt:  model.Options{WaitAllowed: true},
+	}
+	for i := 0; i < islands; i++ {
+		sub := GenerateDense(cfg.WithSeed(cfg.Seed + int64(i)*1000))
+		ox := float64(i%g)*pitch + margin
+		oy := float64(i/g)*pitch + margin
+		place := func(p geo.Point) geo.Point {
+			return geo.Pt(ox+p.X*scale, oy+p.Y*scale)
+		}
+		for _, t := range sub.Tasks {
+			t.ID += model.TaskID(i * cfg.M)
+			t.Loc = place(t.Loc)
+			out.Tasks = append(out.Tasks, t)
+		}
+		for _, w := range sub.Workers {
+			w.ID += model.WorkerID(i * cfg.N)
+			w.Loc = place(w.Loc)
+			w.Speed *= scale
+			out.Workers = append(out.Workers, w)
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package grid
+
+import (
+	"fmt"
+	"testing"
+
+	"rdbsc/internal/gen"
+	"rdbsc/internal/model"
+)
+
+// TestCandidateWorkersConservative: the task-side neighbor query must never
+// prune a worker that can actually reach the task — the soundness
+// requirement for the engine's incremental component maintenance, which
+// derives a fresh task's edges from exactly this query.
+func TestCandidateWorkersConservative(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := gen.Default().WithScale(40, 80).WithSeed(seed)
+			in := gen.GenerateDense(cfg)
+			g := NewFromInstance(Config{}, in)
+			for _, task := range in.Tasks {
+				candidates := make(map[model.WorkerID]bool)
+				for _, w := range g.CandidateWorkers(task) {
+					candidates[w.ID] = true
+				}
+				for _, w := range in.Workers {
+					if model.CanReach(task, w, in.Opt) && !candidates[w.ID] {
+						t.Fatalf("task %d: reachable worker %d pruned by CandidateWorkers",
+							task.ID, w.ID)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCandidateWorkersUnindexedTask: the query must also work for a task
+// that is not (yet) in the index — the engine asks before/while inserting.
+func TestCandidateWorkersUnindexedTask(t *testing.T) {
+	in := gen.GenerateDense(gen.Default().WithScale(10, 30).WithSeed(2))
+	probe := in.Tasks[0]
+	rest := &model.Instance{Tasks: in.Tasks[1:], Workers: in.Workers, Beta: in.Beta, Opt: in.Opt}
+	g := NewFromInstance(Config{}, rest)
+	candidates := make(map[model.WorkerID]bool)
+	for _, w := range g.CandidateWorkers(probe) {
+		candidates[w.ID] = true
+	}
+	for _, w := range in.Workers {
+		if model.CanReach(probe, w, in.Opt) && !candidates[w.ID] {
+			t.Fatalf("unindexed task: reachable worker %d pruned", w.ID)
+		}
+	}
+}

@@ -425,6 +425,32 @@ func (g *Grid) CandidateTasks(w model.Worker) []model.Task {
 	return out
 }
 
+// CandidateWorkers returns the workers that might reach a single task,
+// using the cell-level pruning only (no exact per-pair check) — the mirror
+// of CandidateTasks for task insertions. The task need not be indexed.
+// Workers are returned in (cell, ID) order for determinism.
+func (g *Grid) CandidateWorkers(t model.Task) []model.Worker {
+	tc := g.cellAt(t.Loc)
+	// A transient target cell holding just this task's bounds.
+	probe := &cell{id: tc.id, rect: tc.rect, smin: t.Start, emax: t.End}
+	var out []model.Worker
+	for _, c := range g.cells {
+		if len(c.workers) == 0 {
+			continue
+		}
+		if c.workerDirty {
+			c.recomputeWorkerBounds()
+		}
+		if !g.cellReachable(c, probe) {
+			continue
+		}
+		for _, wid := range sortedWorkerIDs(c.workers) {
+			out = append(out, c.workers[wid])
+		}
+	}
+	return out
+}
+
 // Stats summarizes the index state for diagnostics.
 type Stats struct {
 	Eta            float64

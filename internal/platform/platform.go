@@ -49,6 +49,14 @@ type Config struct {
 	// full-recomputation baseline.
 	Solver     core.Solver
 	SolverName string
+	// Decompose enables the engine's connected-component path (see
+	// engine.Config.Decompose). In this driver the benefit is the
+	// concurrent per-component solving: each round re-stamps every idle
+	// worker's departure time to "now", which genuinely changes arrival
+	// times, so components are almost always dirty and the result cache
+	// rarely hits — unlike the stream driver, where workers keep their
+	// check-in time and untouched islands skip re-solving entirely.
+	Decompose bool
 	// WorkerSpeedMin/Max bound worker speeds (default 0.4/0.8 — the paper's
 	// sites are walkable within ~2 minutes).
 	WorkerSpeedMin, WorkerSpeedMax float64
@@ -184,6 +192,7 @@ func New(cfg Config) *Simulator {
 			Opt:        model.Options{WaitAllowed: true},
 			Solver:     cfg.Solver,
 			SolverName: cfg.SolverName,
+			Decompose:  cfg.Decompose,
 		}),
 		open: make(map[model.TaskID]*liveTask),
 	}

@@ -1,0 +1,170 @@
+package stream
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rdbsc/internal/model"
+	"rdbsc/internal/objective"
+)
+
+// -update regenerates the golden files instead of comparing against them:
+//
+//	go test ./internal/stream -run TestGoldenStream -update
+var update = flag.Bool("update", false, "rewrite the golden stream files")
+
+// goldenStep is one observed change of the standing commitments: the event
+// time, the committed worker→task set, and the objective of the standing
+// assignment evaluated against the then-live instance. Values are
+// formatted as strings so the files diff cleanly and don't depend on JSON
+// float rendering.
+type goldenStep struct {
+	T         string `json:"t"`
+	Committed string `json:"committed"`
+	MinRel    string `json:"minRel"`
+	TotalSTD  string `json:"totalSTD"`
+}
+
+type goldenRun struct {
+	Config string       `json:"config"`
+	Report string       `json:"report"`
+	Steps  []goldenStep `json:"steps"`
+}
+
+type goldenConfig struct {
+	name string
+	cfg  Config
+}
+
+// goldenConfigs are the pinned end-to-end scenarios: the default greedy
+// stream and the same stream through the engine's connected-component
+// decomposition. Any change to solver selection, engine caching, seed
+// derivation, commitment accounting, or churn handling shifts these files
+// and must be reviewed (and re-recorded with -update) explicitly.
+func goldenConfigs() []goldenConfig {
+	base := Config{
+		TaskRate:    30,
+		WorkerRate:  60,
+		Horizon:     2.5,
+		AssignEvery: 0.25,
+		Seed:        7,
+	}
+	withDecompose := base
+	withDecompose.Decompose = true
+	return []goldenConfig{
+		{name: "greedy", cfg: base},
+		{name: "greedy-decompose", cfg: withDecompose},
+	}
+}
+
+func commitKey(a *model.Assignment) string {
+	type wt struct {
+		w model.WorkerID
+		t model.TaskID
+	}
+	var pairs []wt
+	a.Workers(func(w model.WorkerID, t model.TaskID) { pairs = append(pairs, wt{w, t}) })
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].w < pairs[j].w })
+	out := ""
+	for _, pr := range pairs {
+		out += fmt.Sprintf("%d->%d;", pr.w, pr.t)
+	}
+	return out
+}
+
+func recordGolden(gc goldenConfig) goldenRun {
+	s := New(gc.cfg)
+	run := goldenRun{Config: gc.name}
+	last := ""
+	s.Checkpoint = func(now float64) {
+		committed := s.Committed()
+		key := commitKey(committed)
+		if key == last {
+			return
+		}
+		last = key
+		ev := objective.Evaluate(s.Instance(), committed)
+		run.Steps = append(run.Steps, goldenStep{
+			T:         fmt.Sprintf("%.6f", now),
+			Committed: key,
+			MinRel:    fmt.Sprintf("%.9g", ev.MinRel),
+			TotalSTD:  fmt.Sprintf("%.9g", ev.TotalESTD),
+		})
+	}
+	rep := s.Run()
+	run.Report = rep.String()
+	return run
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden_stream_"+name+".json")
+}
+
+// TestGoldenStream replays the pinned scenarios and compares every
+// commitment change and the final report against the committed golden
+// files, so solver or engine changes cannot silently shift streaming
+// behavior. Regenerate with -update after intentional changes.
+func TestGoldenStream(t *testing.T) {
+	for _, gc := range goldenConfigs() {
+		t.Run(gc.name, func(t *testing.T) {
+			got := recordGolden(gc)
+			if len(got.Steps) == 0 {
+				t.Fatalf("scenario %q produced no commitment changes; golden test is vacuous", gc.name)
+			}
+			path := goldenPath(gc.name)
+			if *update {
+				data, err := json.MarshalIndent(got, "", "  ")
+				if err != nil {
+					t.Fatalf("marshal: %v", err)
+				}
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatalf("mkdir: %v", err)
+				}
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				t.Logf("updated %s (%d steps)", path, len(got.Steps))
+				return
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file %s (run with -update to record): %v", path, err)
+			}
+			var want goldenRun
+			if err := json.Unmarshal(data, &want); err != nil {
+				t.Fatalf("corrupt golden file %s: %v", path, err)
+			}
+			if got.Report != want.Report {
+				t.Errorf("report diverged:\n got %s\nwant %s", got.Report, want.Report)
+			}
+			if len(got.Steps) != len(want.Steps) {
+				t.Fatalf("step count diverged: got %d want %d", len(got.Steps), len(want.Steps))
+			}
+			for i := range got.Steps {
+				if got.Steps[i] != want.Steps[i] {
+					t.Errorf("step %d diverged:\n got %+v\nwant %+v", i, got.Steps[i], want.Steps[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenStreamDeterministic guards the premise of the golden files:
+// the same configuration must replay to the identical step sequence.
+func TestGoldenStreamDeterministic(t *testing.T) {
+	gc := goldenConfigs()[0]
+	a, b := recordGolden(gc), recordGolden(gc)
+	if a.Report != b.Report || len(a.Steps) != len(b.Steps) {
+		t.Fatalf("replay diverged: %q vs %q (%d vs %d steps)", a.Report, b.Report, len(a.Steps), len(b.Steps))
+	}
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatalf("replay step %d diverged: %+v vs %+v", i, a.Steps[i], b.Steps[i])
+		}
+	}
+}

@@ -53,6 +53,10 @@ type Config struct {
 	// through the registry instead when Solver is nil.
 	Solver     core.Solver
 	SolverName string
+	// Decompose enables the engine's connected-component path: rounds
+	// re-solve only the components dirtied by churn or commitment changes
+	// (see engine.Config.Decompose).
+	Decompose bool
 	// Template supplies worker attribute ranges (speeds, cones,
 	// confidences) — the Table 2 knobs.
 	Template gen.Config
@@ -205,6 +209,7 @@ func New(cfg Config) *Sim {
 			Opt:        *cfg.Opt,
 			Solver:     cfg.Solver,
 			SolverName: cfg.SolverName,
+			Decompose:  cfg.Decompose,
 			Grid:       grid.Config{},
 		}),
 		committed: model.NewAssignment(),

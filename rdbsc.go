@@ -64,6 +64,28 @@
 // -solver flags). Result.Stats reports BoundsComputed/BoundsReused, the
 // before/after of the incremental cache.
 //
+// # Sharded solving (connected-component decomposition)
+//
+// The objective aggregates per-task reliability with a min and per-task
+// diversity with a sum, so the problem decomposes exactly over the
+// connected components of the task-worker reachability graph. NewSharded
+// (or any "sharded-<inner>" registry name: "sharded-greedy", "sharded-dc",
+// …) solves the components concurrently under a GOMAXPROCS-bounded pool
+// and merges the per-component results; single-component problems pass
+// through to the inner solver bit-identically:
+//
+//	res, _ := rdbsc.Solve(ctx, in, rdbsc.WithSolverName("sharded-greedy"))
+//	fmt.Println(res.Stats.Components, res.Stats.MaxComponentPairs)
+//
+// For churning engines, EngineConfig{Decompose: true} additionally caches
+// per-component results across mutations and re-solves only the components
+// whose entities, membership, or seeded commitments changed
+// (Stats.ComponentsReused counts the cache hits); the stream and platform
+// drivers expose the same knob as Config.Decompose. Decomposition is exact
+// for min/sum-aggregated objectives only — see MIGRATION.md for the
+// precise monolithic-equivalence guarantees (and their limits for
+// heuristic tie-breaking on multi-component instances).
+//
 // See MIGRATION.md for the v1 → v2 call-site mapping, and the examples/
 // directory for runnable scenarios: the landmark photography task of the
 // paper's Example 1, the parking-monitoring task of Example 2, and a live
@@ -136,6 +158,9 @@ type (
 	Sampling = core.Sampling
 	// DC is the divide-and-conquer solver of Section 6.
 	DC = core.DC
+	// Sharded solves each connected component of the reachability graph
+	// independently (and concurrently) with its inner solver.
+	Sharded = core.Sharded
 	// SampleSizeSpec carries the (ε,δ) accuracy target of Section 5.2.
 	SampleSizeSpec = core.SampleSizeSpec
 )
@@ -191,6 +216,13 @@ func NewSampling() *Sampling { return core.NewSampling() }
 
 // NewDC returns the divide-and-conquer solver with sampling leaves.
 func NewDC() *DC { return core.NewDC() }
+
+// NewSharded wraps a solver in connected-component decomposition: each
+// component of the task-worker reachability graph is solved independently
+// (concurrently, under a GOMAXPROCS-bounded pool) and the results merge
+// exactly — the min/sum objective decomposes over components. Equivalent
+// registry names: "sharded-greedy", "sharded-sampling", "sharded-dc", ….
+func NewSharded(inner Solver) *Sharded { return core.NewSharded(inner) }
 
 // GTruth returns the paper's G-TRUTH reference configuration (D&C with a
 // 10× sampling budget).
