@@ -1,0 +1,127 @@
+// Command rdbsc-server runs the RDB-SC assignment service: an HTTP/JSON
+// front end over a churning engine, with batched mutations and
+// snapshot-isolated solves (see internal/serve for the concurrency model).
+//
+// The engine starts from a CSV workload (-in, as written by rdbsc-gen),
+// from a synthetic instance (-m/-n), or empty; clients then stream churn
+// through the API:
+//
+//	rdbsc-gen -m 500 -n 1000 -out w
+//	rdbsc-server -addr :8080 -in w -solver greedy
+//
+//	curl -X POST localhost:8080/v1/tasks   -d '{"id":9000,"x":0.5,"y":0.5,"start":0,"end":4}'
+//	curl -X POST localhost:8080/v1/workers -d '{"id":9000,"x":0.4,"y":0.4,"speed":1,"confidence":0.9}'
+//	curl -X POST localhost:8080/v1/solve   -d '{"solver":"greedy","seed":7,"timeout_ms":200}'
+//	curl localhost:8080/v1/assignment
+//	curl localhost:8080/v1/stats
+//	curl -X DELETE localhost:8080/v1/tasks/9000
+//
+// SIGINT/SIGTERM shut the server down gracefully: intake stops (new
+// mutations get 503), in-flight requests finish, and every queued mutation
+// is applied before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rdbsc/internal/dataset"
+	"rdbsc/internal/engine"
+	"rdbsc/internal/gen"
+	"rdbsc/internal/model"
+	"rdbsc/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		prefix       = flag.String("in", "", "load the initial instance from <prefix>_tasks.csv / <prefix>_workers.csv")
+		m            = flag.Int("m", 0, "generate a synthetic instance with this many tasks (with -n; ignored when -in is set)")
+		n            = flag.Int("n", 0, "generate a synthetic instance with this many workers (with -m)")
+		genSeed      = flag.Int64("gen-seed", 1, "seed for the generated instance")
+		beta         = flag.Float64("beta", 0.5, "diversity weight β (0 is honored: temporal diversity only)")
+		wait         = flag.Bool("wait", false, "allow workers to wait for a task's period to open")
+		useIndex     = flag.Bool("index", true, "retrieve valid pairs via the RDB-SC-Grid index")
+		solverName   = flag.String("solver", "dc", "default solver for /v1/solve, by registry name")
+		queueDepth   = flag.Int("queue", 1024, "mutation queue depth (full queue answers 429)")
+		batchMax     = flag.Int("batch-max", 256, "max mutations applied per batch")
+		batchLinger  = flag.Duration("batch-linger", 0, "extra wait to widen batches under bursty load")
+		solveTimeout = flag.Duration("solve-timeout", 30*time.Second, "default and maximum per-request solve deadline")
+		grace        = flag.Duration("grace", 15*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	if !(*beta >= 0 && *beta <= 1) { // phrased so NaN also fails
+		fatal(fmt.Errorf("-beta %v outside [0,1]", *beta))
+	}
+	cfg := engine.Config{
+		Beta:         *beta,
+		BetaSet:      true,
+		Opt:          model.Options{WaitAllowed: *wait},
+		DisableIndex: !*useIndex,
+	}
+	var eng *engine.Engine
+	switch {
+	case *prefix != "":
+		in, err := dataset.LoadInstance(*prefix, *beta)
+		if err != nil {
+			fatal(err)
+		}
+		in.Opt.WaitAllowed = *wait
+		eng = engine.NewFromInstance(in, cfg)
+	case *m > 0 && *n > 0:
+		in := gen.Generate(gen.Default().WithScale(*m, *n).WithSeed(*genSeed))
+		in.Beta = *beta
+		in.Opt.WaitAllowed = *wait
+		eng = engine.NewFromInstance(in, cfg)
+	default:
+		eng = engine.New(cfg)
+	}
+
+	srv, err := serve.New(serve.Config{
+		Engine:       eng,
+		SolverName:   *solverName,
+		QueueDepth:   *queueDepth,
+		BatchMax:     *batchMax,
+		BatchLinger:  *batchLinger,
+		SolveTimeout: *solveTimeout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	snap := srv.Snapshot()
+	log.Printf("rdbsc-server: listening on %s (%d tasks, %d workers, %d valid pairs, solver %s)",
+		*addr, snap.Tasks(), snap.Workers(), len(snap.Problem.Pairs), *solverName)
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-errCh:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("rdbsc-server: shutting down (draining the mutation queue, %v grace)", *grace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	log.Printf("rdbsc-server: drained and stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rdbsc-server: %v\n", err)
+	os.Exit(1)
+}

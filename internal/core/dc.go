@@ -101,11 +101,11 @@ func (d *DC) solve(ctx context.Context, p *Problem, src *rng.Source, run *dcRun)
 	if err == nil {
 		err = err2
 	}
-	stats := s1.add(s2)
+	stats := s1.Add(s2)
 	// Merge even when a subtree was interrupted: its partial sub-answer
 	// still improves the combined assignment.
 	merged, ms := saMerge(p, a1, a2, d.groupLimit())
-	stats = stats.add(ms)
+	stats = stats.Add(ms)
 	if err == nil {
 		run.opts.emit(Stage{
 			Solver:   d.Name(),

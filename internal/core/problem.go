@@ -122,7 +122,11 @@ type Stats struct {
 	MaxComponentPairs int // pair count of the largest component
 }
 
-func (s Stats) add(o Stats) Stats {
+// Add returns the element-wise accumulation of two stats (MaxComponentPairs
+// takes the max). Aggregating layers — SA_Merge, the component merger, the
+// serving layer's cumulative /v1/stats counters — fold per-solve stats with
+// it.
+func (s Stats) Add(o Stats) Stats {
 	s.Rounds += o.Rounds
 	s.PairsEvaluated += o.PairsEvaluated
 	s.PairsPruned += o.PairsPruned

@@ -309,7 +309,7 @@ func MergeComponentResults(p *Problem, results []*Result) *Result {
 				merged.Assign(w, t)
 			})
 		}
-		stats = stats.add(r.Stats)
+		stats = stats.Add(r.Stats)
 	}
 	return finishResult(p, merged, stats)
 }

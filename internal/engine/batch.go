@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"time"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/model"
+)
+
+// Op identifies a Mutation's operation.
+type Op uint8
+
+const (
+	OpUpsertTask Op = iota
+	OpRemoveTask
+	OpUpsertWorker
+	OpRemoveWorker
+)
+
+// Mutation is one deferred engine edit, the unit queued and batched by the
+// serving layer. Exactly one of the payload fields is meaningful, selected
+// by Op; construct with TaskUpsert/TaskRemoval/WorkerUpsert/WorkerRemoval.
+type Mutation struct {
+	Op       Op
+	Task     model.Task     // OpUpsertTask
+	TaskID   model.TaskID   // OpRemoveTask
+	Worker   model.Worker   // OpUpsertWorker
+	WorkerID model.WorkerID // OpRemoveWorker
+}
+
+// TaskUpsert builds the mutation form of UpsertTask.
+func TaskUpsert(t model.Task) Mutation { return Mutation{Op: OpUpsertTask, Task: t} }
+
+// TaskRemoval builds the mutation form of RemoveTask.
+func TaskRemoval(id model.TaskID) Mutation { return Mutation{Op: OpRemoveTask, TaskID: id} }
+
+// WorkerUpsert builds the mutation form of UpsertWorker.
+func WorkerUpsert(w model.Worker) Mutation { return Mutation{Op: OpUpsertWorker, Worker: w} }
+
+// WorkerRemoval builds the mutation form of RemoveWorker.
+func WorkerRemoval(id model.WorkerID) Mutation { return Mutation{Op: OpRemoveWorker, WorkerID: id} }
+
+// EntityKey identifies the entity a mutation touches, for coalescing:
+// within one batch, only the last mutation per key has any effect on the
+// final engine state.
+func (m Mutation) EntityKey() (taskID model.TaskID, workerID model.WorkerID, isTask bool) {
+	switch m.Op {
+	case OpUpsertTask:
+		return m.Task.ID, 0, true
+	case OpRemoveTask:
+		return m.TaskID, 0, true
+	case OpUpsertWorker:
+		return 0, m.Worker.ID, false
+	default:
+		return 0, m.WorkerID, false
+	}
+}
+
+// apply dispatches the mutation to the matching Engine method.
+func (e *Engine) apply(m Mutation) bool {
+	switch m.Op {
+	case OpUpsertTask:
+		return e.UpsertTask(m.Task)
+	case OpRemoveTask:
+		return e.RemoveTask(m.TaskID)
+	case OpUpsertWorker:
+		return e.UpsertWorker(m.Worker)
+	default:
+		return e.RemoveWorker(m.WorkerID)
+	}
+}
+
+// ApplyBatch applies the mutations in order under a single version bump:
+// however many of them take effect, every version-keyed consumer — the
+// cached problem, the decompose fingerprints, Snapshot.Version — observes
+// the batch as one atomic step, so a subsequent Problem or Snapshot call
+// re-derives the valid pairs at most once for the whole batch. changed[i]
+// reports whether mutation i altered the engine (an upsert that differed,
+// a removal that found its target).
+func (e *Engine) ApplyBatch(batch []Mutation) (changed []bool) {
+	changed = make([]bool, len(batch))
+	e.inBatch, e.batchDid = true, false
+	defer func() { e.inBatch, e.batchDid = false, false }()
+	for i, m := range batch {
+		changed[i] = e.apply(m)
+	}
+	return changed
+}
+
+// Version returns the engine's monotonic mutation counter: it advances by
+// exactly one for every effective standalone mutation and for every
+// ApplyBatch that changed anything, and not at all otherwise.
+func (e *Engine) Version() uint64 { return e.version }
+
+// Beta returns the effective requester diversity weight β.
+func (e *Engine) Beta() float64 { return e.cfg.Beta }
+
+// Decomposes reports whether the engine was configured with
+// Config.Decompose. The serving layer reads it once at construction to
+// decide whether snapshot-plane solves should shard by connected
+// components too.
+func (e *Engine) Decomposes() bool { return e.decomp != nil }
+
+// Snapshot is an immutable view of the engine at one version. The problem
+// (and the instance inside it) is never mutated after it is built — churn
+// replaces the engine's cached problem rather than editing it — so a
+// snapshot handed off to another goroutine stays valid forever: concurrent
+// solves and reads against it can never observe a later, or worse a
+// half-applied, batch. Solvers are required not to mutate their problem,
+// so any number of solves may share one snapshot concurrently.
+type Snapshot struct {
+	// Problem is the prepared problem: instance plus valid pairs.
+	Problem *core.Problem
+	// Version is the engine version the snapshot was taken at.
+	Version uint64
+	// Rebuilt and Retrieve mirror LastPrep for the Snapshot call that
+	// produced this view: whether taking it re-derived the valid pairs, and
+	// how long that retrieval took (both zero on a cache hit).
+	Rebuilt  bool
+	Retrieve time.Duration
+}
+
+// Tasks returns the snapshot's task count.
+func (s Snapshot) Tasks() int { return len(s.Problem.In.Tasks) }
+
+// Workers returns the snapshot's worker count.
+func (s Snapshot) Workers() int { return len(s.Problem.In.Workers) }
+
+// Snapshot prepares (or reuses) the problem for the current version and
+// packages it as an immutable hand-off. Like every Engine method it must be
+// called from the goroutine that owns the engine; only the returned value
+// is safe to share.
+func (e *Engine) Snapshot() Snapshot {
+	p := e.Problem()
+	rebuilt, retrieve := e.LastPrep()
+	return Snapshot{Problem: p, Version: e.version, Rebuilt: rebuilt, Retrieve: retrieve}
+}

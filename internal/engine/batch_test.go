@@ -1,0 +1,325 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/gen"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// TestApplyBatchSingleVersionBump pins the serving-layer contract: however
+// many mutations a batch carries, the engine version advances by exactly
+// one, and the next Problem call re-derives the valid pairs exactly once.
+func TestApplyBatchSingleVersionBump(t *testing.T) {
+	eng := NewFromInstance(testInstance(20, 40), Config{})
+	eng.Problem() // warm the cache
+	v0 := eng.Version()
+
+	batch := []Mutation{
+		TaskUpsert(model.Task{ID: 10_000, Loc: geo.Pt(0.2, 0.2), Start: 0, End: 5}),
+		WorkerUpsert(model.Worker{ID: 10_000, Loc: geo.Pt(0.3, 0.3), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9}),
+		TaskRemoval(0),
+		WorkerRemoval(0),
+		TaskRemoval(99_999), // absent: no effect
+	}
+	changed := eng.ApplyBatch(batch)
+	if got := eng.Version(); got != v0+1 {
+		t.Fatalf("batch of %d bumped version %d times, want 1", len(batch), got-v0)
+	}
+	want := []bool{true, true, true, true, false}
+	if !reflect.DeepEqual(changed, want) {
+		t.Errorf("changed = %v, want %v", changed, want)
+	}
+
+	eng.Problem()
+	if rebuilt, _ := eng.LastPrep(); !rebuilt {
+		t.Error("first Problem after a batch did not rebuild")
+	}
+	eng.Problem()
+	if rebuilt, _ := eng.LastPrep(); rebuilt {
+		t.Error("second Problem after a batch rebuilt again")
+	}
+
+	// A batch with no effective mutation must not bump at all.
+	v1 := eng.Version()
+	if changed := eng.ApplyBatch([]Mutation{TaskRemoval(99_999)}); changed[0] {
+		t.Error("removing an absent task reported a change")
+	}
+	if eng.Version() != v1 {
+		t.Error("ineffective batch bumped the version")
+	}
+	if len(eng.ApplyBatch(nil)) != 0 || eng.Version() != v1 {
+		t.Error("empty batch bumped the version")
+	}
+}
+
+// TestApplyBatchEquivalentToSequential pins that batching changes cost
+// accounting only: the engine state (instance and valid pairs) after a
+// batch equals applying the same mutations one by one.
+func TestApplyBatchEquivalentToSequential(t *testing.T) {
+	in := testInstance(25, 50)
+	a := NewFromInstance(in, Config{})
+	b := NewFromInstance(in, Config{})
+
+	rng := rand.New(rand.NewSource(7))
+	var batch []Mutation
+	for i := 0; i < 60; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			batch = append(batch, TaskUpsert(model.Task{
+				ID: model.TaskID(rng.Intn(30)), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+				Start: 0, End: rng.Float64() * 6,
+			}))
+		case 1:
+			batch = append(batch, WorkerUpsert(model.Worker{
+				ID: model.WorkerID(rng.Intn(60)), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+				Speed: 0.5 + rng.Float64(), Dir: geo.FullCircle, Confidence: 0.9,
+			}))
+		case 2:
+			batch = append(batch, TaskRemoval(model.TaskID(rng.Intn(30))))
+		default:
+			batch = append(batch, WorkerRemoval(model.WorkerID(rng.Intn(60))))
+		}
+	}
+
+	a.ApplyBatch(batch)
+	for _, m := range batch {
+		b.apply(m)
+	}
+
+	if !reflect.DeepEqual(a.Instance(), b.Instance()) {
+		t.Fatal("batched and sequential application diverged")
+	}
+	if !reflect.DeepEqual(a.Problem().Pairs, b.Problem().Pairs) {
+		t.Fatal("batched and sequential valid pairs diverged")
+	}
+}
+
+// TestSnapshotIsolation pins the copy-on-write hand-off: a snapshot taken
+// before a batch is bit-identical after arbitrarily heavy churn, and a new
+// snapshot reflects the churn.
+func TestSnapshotIsolation(t *testing.T) {
+	eng := NewFromInstance(testInstance(20, 40), Config{})
+	before := eng.Snapshot()
+	savedPairs := append([]model.Pair(nil), before.Problem.Pairs...)
+	savedTasks := append([]model.Task(nil), before.Problem.In.Tasks...)
+	savedWorkers := append([]model.Worker(nil), before.Problem.In.Workers...)
+
+	var batch []Mutation
+	for _, tk := range before.Problem.In.Tasks[:10] {
+		batch = append(batch, TaskRemoval(tk.ID))
+	}
+	for _, wk := range before.Problem.In.Workers[:10] {
+		wk.Loc = geo.Pt(0.99, 0.99)
+		batch = append(batch, WorkerUpsert(wk))
+	}
+	eng.ApplyBatch(batch)
+	after := eng.Snapshot()
+
+	if after.Version == before.Version {
+		t.Fatal("snapshot version did not advance across a batch")
+	}
+	if after.Problem == before.Problem {
+		t.Fatal("batch did not replace the prepared problem")
+	}
+	if !reflect.DeepEqual(before.Problem.Pairs, savedPairs) ||
+		!reflect.DeepEqual(before.Problem.In.Tasks, savedTasks) ||
+		!reflect.DeepEqual(before.Problem.In.Workers, savedWorkers) {
+		t.Fatal("churn mutated a handed-off snapshot")
+	}
+
+	// The old snapshot must still solve, against its original population.
+	res, err := core.NewGreedy().Solve(context.Background(), before.Problem, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := before.Problem.In.CheckAssignment(res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBetaZeroExpressible is the regression test for the β=0 coercion bug:
+// Config.BetaSet makes β=0 (temporal diversity only) expressible through
+// New, matching what NewFromInstance always honored, while the unset
+// default stays 0.5 for both constructors.
+func TestBetaZeroExpressible(t *testing.T) {
+	cases := []struct {
+		name string
+		eng  *Engine
+		want float64
+	}{
+		{"New unset defaults", New(Config{}), 0.5},
+		{"New zero without BetaSet keeps old default", New(Config{Beta: 0}), 0.5},
+		{"New NaN without BetaSet falls back to default", New(Config{Beta: math.NaN()}), 0.5},
+		{"New honors BetaSet zero", New(Config{Beta: 0, BetaSet: true}), 0},
+		{"New honors BetaSet value", New(Config{Beta: 0.25, BetaSet: true}), 0.25},
+		{"NewFromInstance honors instance zero",
+			NewFromInstance(&model.Instance{Beta: 0}, Config{}), 0},
+		{"NewFromInstance honors instance value",
+			NewFromInstance(&model.Instance{Beta: 0.7}, Config{}), 0.7},
+	}
+	for _, tc := range cases {
+		if got := tc.eng.Beta(); got != tc.want {
+			t.Errorf("%s: β = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := tc.eng.Instance().Beta; got != tc.want {
+			t.Errorf("%s: Instance β = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+
+	mustPanic := func(name string, beta float64) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: BetaSet with β=%v did not panic", name, beta)
+			}
+		}()
+		New(Config{Beta: beta, BetaSet: true})
+	}
+	mustPanic("out of range", 1.5)
+	mustPanic("NaN", math.NaN())
+}
+
+// TestInstanceIncrementalOrder pins the incrementally maintained sorted
+// mirrors against a from-scratch sort under heavy mixed churn, and that
+// returned instances are isolated from later mutations.
+func TestInstanceIncrementalOrder(t *testing.T) {
+	eng := New(Config{})
+	rng := rand.New(rand.NewSource(3))
+	var held []*model.Instance
+	for i := 0; i < 400; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			eng.UpsertTask(model.Task{
+				ID: model.TaskID(rng.Intn(50)), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+				Start: 0, End: rng.Float64() * 4,
+			})
+		case 1:
+			eng.UpsertWorker(model.Worker{
+				ID: model.WorkerID(rng.Intn(50)), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+				Speed: 1, Dir: geo.FullCircle, Confidence: 0.8,
+			})
+		case 2:
+			eng.RemoveTask(model.TaskID(rng.Intn(50)))
+		default:
+			eng.RemoveWorker(model.WorkerID(rng.Intn(50)))
+		}
+		if i%97 == 0 {
+			held = append(held, eng.Instance())
+		}
+	}
+
+	in := eng.Instance()
+	if !sort.SliceIsSorted(in.Tasks, func(i, j int) bool { return in.Tasks[i].ID < in.Tasks[j].ID }) {
+		t.Fatal("tasks not ID-sorted")
+	}
+	if !sort.SliceIsSorted(in.Workers, func(i, j int) bool { return in.Workers[i].ID < in.Workers[j].ID }) {
+		t.Fatal("workers not ID-sorted")
+	}
+	tasks, workers := eng.Len()
+	if len(in.Tasks) != tasks || len(in.Workers) != workers {
+		t.Fatalf("instance has %d/%d entries, engine %d/%d",
+			len(in.Tasks), len(in.Workers), tasks, workers)
+	}
+	for _, tk := range in.Tasks {
+		if got, ok := eng.Task(tk.ID); !ok || got != tk {
+			t.Fatalf("task %d diverged from the map: %v vs %v", tk.ID, tk, got)
+		}
+	}
+	for _, wk := range in.Workers {
+		if got, ok := eng.Worker(wk.ID); !ok || got != wk {
+			t.Fatalf("worker %d diverged from the map: %v vs %v", wk.ID, wk, got)
+		}
+	}
+	// Instances snapshotted mid-churn must have stayed internally sorted
+	// (isolation: later mutations never reach into returned copies).
+	for _, h := range held {
+		if !sort.SliceIsSorted(h.Tasks, func(i, j int) bool { return h.Tasks[i].ID < h.Tasks[j].ID }) ||
+			!sort.SliceIsSorted(h.Workers, func(i, j int) bool { return h.Workers[i].ID < h.Workers[j].ID }) {
+			t.Fatal("a held instance snapshot was disturbed by later churn")
+		}
+	}
+}
+
+// TestNilSolveOptionsThroughEngine exercises the nil-*SolveOptions guards
+// end to end: a plain engine solve and a decomposed multi-component solve
+// (which draws per-component seeds via opts.Rand() on nil opts) must both
+// succeed and match the explicit seed-1 defaults.
+func TestNilSolveOptionsThroughEngine(t *testing.T) {
+	plain := NewFromInstance(testInstance(15, 30), Config{Solver: core.NewGreedy()})
+	got, err := plain.Solve(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Solve(context.Background(), &core.SolveOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Eval != want.Eval {
+		t.Errorf("nil opts diverged from explicit seed-1 defaults: %v vs %v", got.Eval, want.Eval)
+	}
+
+	// Multi-component: islands guarantee several components, forcing the
+	// decomposed path's per-component seed draws from the nil-opts source.
+	islands := gen.GenerateIslands(gen.Default().WithScale(24, 48).WithSeed(11), 4)
+	for _, name := range []string{"greedy", "sampling"} {
+		dec := NewFromInstance(islands, Config{SolverName: name, Decompose: true})
+		res, err := dec.Solve(context.Background(), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Stats.Components < 2 {
+			t.Fatalf("%s: expected a multi-component decomposition, got %d", name, res.Stats.Components)
+		}
+		ref := NewFromInstance(islands, Config{SolverName: name, Decompose: true})
+		wantRes, err := ref.Solve(context.Background(), &core.SolveOptions{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Eval != wantRes.Eval {
+			t.Errorf("%s: nil opts diverged from seed-1 defaults: %v vs %v", name, res.Eval, wantRes.Eval)
+		}
+	}
+}
+
+// TestApplyBatchDecomposeCacheStaysCorrect pins the decompose result cache
+// across batched churn: a batch shares one version, and the per-entity
+// fingerprints must still invalidate exactly the touched components.
+func TestApplyBatchDecomposeCacheStaysCorrect(t *testing.T) {
+	islands := gen.GenerateIslands(gen.Default().WithScale(24, 48).WithSeed(4), 4)
+	eng := NewFromInstance(islands, Config{SolverName: "greedy", Decompose: true})
+	if _, err := eng.Solve(context.Background(), &core.SolveOptions{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch-churn one island's worker; the cached components must be
+	// reused, and the overall result must match a fresh engine's solve.
+	w := islands.Workers[0]
+	w.Confidence = 0.6
+	eng.ApplyBatch([]Mutation{
+		WorkerUpsert(w),
+		WorkerUpsert(w), // duplicate in the same batch: same version, same fingerprint
+	})
+	got, err := eng.Solve(context.Background(), &core.SolveOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats.ComponentsReused == 0 {
+		t.Error("batched single-island churn invalidated every component")
+	}
+
+	fresh := NewFromInstance(eng.Instance(), Config{SolverName: "greedy", Decompose: true})
+	want, err := fresh.Solve(context.Background(), &core.SolveOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Eval != want.Eval {
+		t.Errorf("cached decomposed solve diverged after a batch: %v vs %v", got.Eval, want.Eval)
+	}
+}

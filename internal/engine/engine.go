@@ -9,7 +9,13 @@
 // Mutations (Upsert/Remove) update the grid index incrementally (the
 // Section 7.2 maintenance operations) and invalidate the cached problem;
 // the next Problem or Solve call re-derives the valid pairs from the index
-// without rebuilding it. An Engine is not safe for concurrent use.
+// without rebuilding it. ApplyBatch applies a group of mutations under a
+// single version bump, so version-keyed consumers (the cached problem, the
+// decompose fingerprints) see the group as one atomic step.
+//
+// An Engine is not safe for concurrent use; the serving layer (package
+// serve) runs it behind a single-writer apply loop and hands concurrent
+// readers immutable Snapshot views instead.
 package engine
 
 import (
@@ -26,10 +32,15 @@ import (
 // Config parameterizes an Engine.
 type Config struct {
 	// Beta is the requester diversity weight β. The zero value means
-	// "unset" and defaults to 0.5; to run with a literal β=0 (temporal
-	// diversity only), construct via NewFromInstance, which takes β from
-	// the instance verbatim.
+	// "unset" and defaults to 0.5 unless BetaSet is true; NewFromInstance
+	// takes β from the instance verbatim.
 	Beta float64
+	// BetaSet marks Beta as explicitly chosen, making β=0 (temporal
+	// diversity only) expressible through New as well as NewFromInstance.
+	// With BetaSet, Beta is honored verbatim and must lie in [0,1]; a value
+	// outside the range panics at construction, like a misspelled
+	// SolverName.
+	BetaSet bool
 	// Opt configures reachability semantics for pair enumeration.
 	Opt model.Options
 	// Solver performs the assignments (default: the divide-and-conquer
@@ -62,7 +73,14 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Beta <= 0 || c.Beta > 1 {
+	// Range checks are phrased positively so NaN fails them: an explicit
+	// NaN panics instead of poisoning every objective evaluation, and an
+	// unset NaN falls back to the default like any other invalid value.
+	if c.BetaSet {
+		if !(c.Beta >= 0 && c.Beta <= 1) {
+			panic(fmt.Sprintf("engine: Beta %v outside [0,1]", c.Beta))
+		}
+	} else if !(c.Beta > 0 && c.Beta <= 1) {
 		c.Beta = 0.5
 	}
 	if c.Solver == nil && c.SolverName != "" {
@@ -87,7 +105,15 @@ type Engine struct {
 	tasks   map[model.TaskID]model.Task
 	workers map[model.WorkerID]model.Worker
 
-	version  uint64 // bumped on every mutation
+	// ID-ascending mirrors of the maps, maintained incrementally by each
+	// mutation (binary-search insert/replace/delete) so Instance never
+	// re-sorts the full population after a one-entity churn step.
+	sortedTasks   []model.Task
+	sortedWorkers []model.Worker
+
+	version  uint64 // bumped on every mutation (once per ApplyBatch)
+	inBatch  bool   // an ApplyBatch is in flight
+	batchDid bool   // the in-flight batch already bumped version
 	prepared *core.Problem
 	prepVer  uint64
 
@@ -126,6 +152,7 @@ func NewFromInstance(in *model.Instance, cfg Config) *Engine {
 	// β=0 (temporal diversity only) is a valid weight, not an unset one.
 	if in.Beta >= 0 && in.Beta <= 1 {
 		cfg.Beta = in.Beta
+		cfg.BetaSet = true
 	}
 	e := &Engine{
 		cfg:     cfg,
@@ -148,6 +175,19 @@ func NewFromInstance(in *model.Instance, cfg Config) *Engine {
 	for _, w := range in.Workers {
 		e.workers[w.ID] = w
 	}
+	// Bulk load: sort once here; every later mutation maintains the order
+	// incrementally. Built from the maps so duplicate-ID instances collapse
+	// to their last occurrence, matching the map state.
+	e.sortedTasks = make([]model.Task, 0, len(e.tasks))
+	for _, t := range e.tasks {
+		e.sortedTasks = append(e.sortedTasks, t)
+	}
+	sort.Slice(e.sortedTasks, func(i, j int) bool { return e.sortedTasks[i].ID < e.sortedTasks[j].ID })
+	e.sortedWorkers = make([]model.Worker, 0, len(e.workers))
+	for _, w := range e.workers {
+		e.sortedWorkers = append(e.sortedWorkers, w)
+	}
+	sort.Slice(e.sortedWorkers, func(i, j int) bool { return e.sortedWorkers[i].ID < e.sortedWorkers[j].ID })
 	return e
 }
 
@@ -180,12 +220,28 @@ func (e *Engine) Worker(id model.WorkerID) (model.Worker, bool) {
 	return w, ok
 }
 
+// bump invalidates the cached problem after an effective mutation. Outside
+// a batch every mutation gets its own version; inside ApplyBatch the whole
+// batch shares one bump, so downstream version consumers (the decompose
+// fingerprints, Snapshot.Version) see the batch as a single atomic step.
+func (e *Engine) bump() {
+	if e.inBatch {
+		if !e.batchDid {
+			e.version++
+			e.batchDid = true
+		}
+		return
+	}
+	e.version++
+}
+
 // UpsertTask inserts the task, replacing (and re-indexing) any existing
-// task with the same ID.
-func (e *Engine) UpsertTask(t model.Task) {
+// task with the same ID. It reports whether the engine changed (false for a
+// byte-identical re-upsert).
+func (e *Engine) UpsertTask(t model.Task) bool {
 	old, replaced := e.tasks[t.ID]
 	if replaced && old == t {
-		return // byte-identical re-upsert: nothing changed, keep caches warm
+		return false // byte-identical re-upsert: nothing changed, keep caches warm
 	}
 	if e.grid != nil {
 		if replaced {
@@ -194,8 +250,17 @@ func (e *Engine) UpsertTask(t model.Task) {
 		e.grid.InsertTask(t)
 	}
 	e.tasks[t.ID] = t
-	e.version++
+	i := sort.Search(len(e.sortedTasks), func(i int) bool { return e.sortedTasks[i].ID >= t.ID })
+	if replaced {
+		e.sortedTasks[i] = t
+	} else {
+		e.sortedTasks = append(e.sortedTasks, model.Task{})
+		copy(e.sortedTasks[i+1:], e.sortedTasks[i:])
+		e.sortedTasks[i] = t
+	}
+	e.bump()
 	e.noteTaskUpsert(t, replaced)
+	return true
 }
 
 // RemoveTask deletes the task; it reports whether the task was present.
@@ -208,17 +273,20 @@ func (e *Engine) RemoveTask(id model.TaskID) bool {
 		e.grid.RemoveTask(old.ID, old.Loc)
 	}
 	delete(e.tasks, id)
-	e.version++
+	i := sort.Search(len(e.sortedTasks), func(i int) bool { return e.sortedTasks[i].ID >= id })
+	e.sortedTasks = append(e.sortedTasks[:i], e.sortedTasks[i+1:]...)
+	e.bump()
 	e.noteTaskRemove(id)
 	return true
 }
 
 // UpsertWorker inserts the worker, replacing (and re-indexing) any existing
-// worker with the same ID.
-func (e *Engine) UpsertWorker(w model.Worker) {
+// worker with the same ID. It reports whether the engine changed (false for
+// a byte-identical re-upsert).
+func (e *Engine) UpsertWorker(w model.Worker) bool {
 	old, replaced := e.workers[w.ID]
 	if replaced && old == w {
-		return // byte-identical re-upsert: nothing changed, keep caches warm
+		return false // byte-identical re-upsert: nothing changed, keep caches warm
 	}
 	if e.grid != nil {
 		if replaced {
@@ -227,8 +295,17 @@ func (e *Engine) UpsertWorker(w model.Worker) {
 		e.grid.InsertWorker(w)
 	}
 	e.workers[w.ID] = w
-	e.version++
+	i := sort.Search(len(e.sortedWorkers), func(i int) bool { return e.sortedWorkers[i].ID >= w.ID })
+	if replaced {
+		e.sortedWorkers[i] = w
+	} else {
+		e.sortedWorkers = append(e.sortedWorkers, model.Worker{})
+		copy(e.sortedWorkers[i+1:], e.sortedWorkers[i:])
+		e.sortedWorkers[i] = w
+	}
+	e.bump()
 	e.noteWorkerUpsert(w, replaced)
+	return true
 }
 
 // RemoveWorker deletes the worker; it reports whether the worker was
@@ -242,25 +319,26 @@ func (e *Engine) RemoveWorker(id model.WorkerID) bool {
 		e.grid.RemoveWorker(old.ID, old.Loc)
 	}
 	delete(e.workers, id)
-	e.version++
+	i := sort.Search(len(e.sortedWorkers), func(i int) bool { return e.sortedWorkers[i].ID >= id })
+	e.sortedWorkers = append(e.sortedWorkers[:i], e.sortedWorkers[i+1:]...)
+	e.bump()
 	e.noteWorkerRemove(id)
 	return true
 }
 
 // Instance snapshots the live tasks and workers as a static instance,
 // ordered by ID so downstream consumers see a deterministic view regardless
-// of map iteration order.
+// of map iteration order. The returned slices are copies of the
+// incrementally maintained ID-sorted mirrors: later mutations never reach
+// into a previously returned instance (or into any problem prepared from
+// one), which is what makes Snapshot hand-offs copy-on-write.
 func (e *Engine) Instance() *model.Instance {
-	in := &model.Instance{Beta: e.cfg.Beta, Opt: e.cfg.Opt}
-	for _, t := range e.tasks {
-		in.Tasks = append(in.Tasks, t)
+	return &model.Instance{
+		Beta:    e.cfg.Beta,
+		Opt:     e.cfg.Opt,
+		Tasks:   append([]model.Task(nil), e.sortedTasks...),
+		Workers: append([]model.Worker(nil), e.sortedWorkers...),
 	}
-	for _, w := range e.workers {
-		in.Workers = append(in.Workers, w)
-	}
-	sort.Slice(in.Tasks, func(i, j int) bool { return in.Tasks[i].ID < in.Tasks[j].ID })
-	sort.Slice(in.Workers, func(i, j int) bool { return in.Workers[i].ID < in.Workers[j].ID })
-	return in
 }
 
 // Problem returns the prepared problem for the current task/worker set.

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// applyLoop is the single writer: the only goroutine that touches the
+// engine after New. It blocks for the first queued mutation, widens it
+// into a batch, applies the batch, publishes the resulting snapshot, and
+// acknowledges the enqueuers. It exits only when the queue is closed and
+// fully drained, which is what makes Shutdown lossless.
+func (s *Server) applyLoop() {
+	defer close(s.done)
+	for {
+		qm, ok := <-s.mutCh
+		if !ok {
+			return
+		}
+		if s.testStallApply != nil {
+			s.testStallApply()
+		}
+		s.applyBatch(s.fillBatch(qm))
+	}
+}
+
+// fillBatch grows a batch from the queue: everything already pending is
+// drained without waiting (up to BatchMax), and with a positive
+// BatchLinger the loop keeps listening that much longer for stragglers —
+// widening batches under bursty load at the cost of that much apply
+// latency.
+func (s *Server) fillBatch(first queuedMutation) []queuedMutation {
+	batch := append(make([]queuedMutation, 0, min(s.cfg.BatchMax, 16)), first)
+	var linger <-chan time.Time
+	for len(batch) < s.cfg.BatchMax {
+		select {
+		case qm, ok := <-s.mutCh:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, qm)
+		default:
+			if s.cfg.BatchLinger <= 0 {
+				return batch
+			}
+			if linger == nil {
+				linger = time.After(s.cfg.BatchLinger)
+			}
+			select {
+			case qm, ok := <-s.mutCh:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, qm)
+			case <-linger:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+// applyBatch coalesces the batch (last mutation per entity wins — the
+// engine state after applying every mutation in order is identical, but
+// the grid index and the decompose builder are touched once per entity
+// instead of once per mutation), applies it under one engine version bump,
+// publishes the new snapshot, and acknowledges every enqueuer, coalesced
+// mutations included.
+func (s *Server) applyBatch(batch []queuedMutation) {
+	lastTask := make(map[model.TaskID]int)
+	lastWorker := make(map[model.WorkerID]int)
+	for i, qm := range batch {
+		tid, wid, isTask := qm.mut.EntityKey()
+		if isTask {
+			lastTask[tid] = i
+		} else {
+			lastWorker[wid] = i
+		}
+	}
+	muts := make([]engine.Mutation, 0, len(lastTask)+len(lastWorker))
+	kept := make([]int, 0, len(lastTask)+len(lastWorker))
+	for i, qm := range batch {
+		tid, wid, isTask := qm.mut.EntityKey()
+		if (isTask && lastTask[tid] == i) || (!isTask && lastWorker[wid] == i) {
+			muts = append(muts, qm.mut)
+			kept = append(kept, i)
+		}
+	}
+
+	changed := s.eng.ApplyBatch(muts)
+	// Snapshot re-derives the valid pairs here, on the apply loop, so solve
+	// requests always find a prepared problem and never pay the rebuild.
+	snap := s.eng.Snapshot()
+	s.snap.Store(&snap)
+
+	s.batches.Add(1)
+	s.applied.Add(uint64(len(muts)))
+	s.coalesced.Add(uint64(len(batch) - len(muts)))
+	if snap.Rebuilt {
+		s.rebuilds.Add(1)
+		s.retrieveNS.Add(int64(snap.Retrieve))
+	}
+
+	acks := make([]applyAck, len(batch))
+	for i := range acks {
+		acks[i] = applyAck{coalesced: true, version: snap.Version}
+	}
+	for k, i := range kept {
+		acks[i] = applyAck{changed: changed[k], version: snap.Version}
+	}
+	for i, qm := range batch {
+		if qm.reply != nil {
+			qm.reply <- acks[i] // buffered by the enqueuer; never blocks
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/engine"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// routes wires the HTTP/JSON API.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", s.handleUpsertTasks)
+	mux.HandleFunc("DELETE /v1/tasks/{id}", s.handleRemoveTask)
+	mux.HandleFunc("POST /v1/workers", s.handleUpsertWorkers)
+	mux.HandleFunc("DELETE /v1/workers/{id}", s.handleRemoveWorker)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/assignment", s.handleAssignment)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// taskJSON mirrors the dataset CSV columns (id,x,y,start,end).
+type taskJSON struct {
+	ID    model.TaskID `json:"id"`
+	X     float64      `json:"x"`
+	Y     float64      `json:"y"`
+	Start float64      `json:"start"`
+	End   float64      `json:"end"`
+}
+
+func (t taskJSON) toModel() model.Task {
+	return model.Task{ID: t.ID, Loc: geo.Pt(t.X, t.Y), Start: t.Start, End: t.End}
+}
+
+// workerJSON mirrors the dataset CSV columns
+// (id,x,y,speed,dir_lo,dir_width,confidence,depart); omitting dir_width
+// leaves the worker's direction cone unconstrained.
+type workerJSON struct {
+	ID         model.WorkerID `json:"id"`
+	X          float64        `json:"x"`
+	Y          float64        `json:"y"`
+	Speed      float64        `json:"speed"`
+	DirLo      float64        `json:"dir_lo"`
+	DirWidth   *float64       `json:"dir_width,omitempty"`
+	Confidence float64        `json:"confidence"`
+	Depart     float64        `json:"depart"`
+}
+
+func (w workerJSON) toModel() model.Worker {
+	dir := geo.FullCircle
+	if w.DirWidth != nil {
+		dir = geo.AngInterval{Lo: geo.NormalizeAngle(w.DirLo), Width: *w.DirWidth}
+	}
+	return model.Worker{
+		ID: w.ID, Loc: geo.Pt(w.X, w.Y), Speed: w.Speed,
+		Dir: dir, Confidence: w.Confidence, Depart: w.Depart,
+	}
+}
+
+// decodeBody reads the request body as either a single T or a JSON array
+// of T, capped at 8 MiB.
+func decodeBody[T any](r *http.Request) ([]T, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 8<<20))
+	if err != nil {
+		return nil, err
+	}
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 {
+		return nil, errors.New("empty request body")
+	}
+	if body[0] == '[' {
+		var list []T
+		if err := json.Unmarshal(body, &list); err != nil {
+			return nil, err
+		}
+		return list, nil
+	}
+	var one T
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, err
+	}
+	return []T{one}, nil
+}
+
+// enqueueAndWait queues the mutations and blocks until their batch (or
+// batches — a large request may straddle several) applied, reporting the
+// aggregate. Backpressure surfaces as 429 with the count already accepted
+// (those still apply); a request context that ends first gets 202, since
+// the accepted mutations remain queued and will apply.
+func (s *Server) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []mutationIntent) {
+	reply := make(chan applyAck, len(muts))
+	for i, m := range muts {
+		if err := s.enqueue(queuedMutation{mut: m.mut, reply: reply}); err != nil {
+			status := http.StatusTooManyRequests
+			if errors.Is(err, ErrShuttingDown) {
+				status = http.StatusServiceUnavailable
+			}
+			writeJSON(w, status, map[string]any{"error": err.Error(), "enqueued": i})
+			return
+		}
+	}
+	var changed, coalesced int
+	var version uint64
+	for n := 0; n < len(muts); n++ {
+		select {
+		case ack := <-reply:
+			if ack.changed {
+				changed++
+			}
+			if ack.coalesced {
+				coalesced++
+			}
+			if ack.version > version {
+				version = ack.version
+			}
+		case <-r.Context().Done():
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"queued": len(muts),
+				"note":   "request ended before the batch applied; the mutations remain queued",
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted":  len(muts),
+		"applied":   len(muts) - coalesced, // what actually reached the engine
+		"changed":   changed,
+		"coalesced": coalesced,
+		"version":   version,
+	})
+}
+
+// mutationIntent pairs a mutation with nothing else for now; a named type
+// keeps enqueueAndWait's signature honest about taking validated intents.
+type mutationIntent struct{ mut engine.Mutation }
+
+func (s *Server) handleUpsertTasks(w http.ResponseWriter, r *http.Request) {
+	tasks, err := decodeBody[taskJSON](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	muts := make([]mutationIntent, 0, len(tasks))
+	for _, tj := range tasks {
+		t := tj.toModel()
+		if err := t.Valid(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		muts = append(muts, mutationIntent{engine.TaskUpsert(t)})
+	}
+	s.enqueueAndWait(w, r, muts)
+}
+
+func (s *Server) handleUpsertWorkers(w http.ResponseWriter, r *http.Request) {
+	workers, err := decodeBody[workerJSON](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	muts := make([]mutationIntent, 0, len(workers))
+	for _, wj := range workers {
+		wk := wj.toModel()
+		if err := wk.Valid(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		muts = append(muts, mutationIntent{engine.WorkerUpsert(wk)})
+	}
+	s.enqueueAndWait(w, r, muts)
+}
+
+// handleRemove queues a single removal and reports whether the entity was
+// present ("removed"). A removal superseded within its batch by a later
+// mutation of the same entity reports "coalesced" instead.
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request, mut engine.Mutation) {
+	reply := make(chan applyAck, 1)
+	if err := s.enqueue(queuedMutation{mut: mut, reply: reply}); err != nil {
+		status := http.StatusTooManyRequests
+		if errors.Is(err, ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	select {
+	case ack := <-reply:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"removed": ack.changed, "coalesced": ack.coalesced, "version": ack.version,
+		})
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusAccepted, map[string]any{"queued": 1})
+	}
+}
+
+func (s *Server) handleRemoveTask(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.handleRemove(w, r, engine.TaskRemoval(model.TaskID(id)))
+}
+
+func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.handleRemove(w, r, engine.WorkerRemoval(model.WorkerID(id)))
+}
+
+// solveRequest configures one /v1/solve call. All fields are optional.
+type solveRequest struct {
+	// Solver overrides the server's default solver by registry name.
+	Solver string `json:"solver,omitempty"`
+	// Seed seeds the solve (0 means the solver default).
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS bounds the solve; it is clamped to the server's
+	// SolveTimeout. On expiry the best partial assignment is returned with
+	// "partial": true.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+type assignedPair struct {
+	Worker model.WorkerID `json:"worker"`
+	Task   model.TaskID   `json:"task"`
+}
+
+// solveResponse is the /v1/solve answer, also stored as the current
+// assignment for GET /v1/assignment.
+type solveResponse struct {
+	Version         uint64         `json:"version"`
+	CurrentVersion  uint64         `json:"current_version,omitempty"`
+	Solver          string         `json:"solver"`
+	Seed            int64          `json:"seed"`
+	Partial         bool           `json:"partial"`
+	Feasible        bool           `json:"feasible"`
+	ElapsedMS       float64        `json:"elapsed_ms"`
+	AssignedWorkers int            `json:"assigned_workers"`
+	AssignedTasks   int            `json:"assigned_tasks"`
+	MinReliability  float64        `json:"min_reliability"`
+	TotalDiversity  float64        `json:"total_diversity"`
+	Assignment      []assignedPair `json:"assignment"`
+	Stats           core.Stats     `json:"stats"`
+	At              time.Time      `json:"at"`
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	name := req.Solver
+	if name == "" {
+		name = s.cfg.SolverName
+	}
+	// A fresh solver instance per request: registry factories are cheap and
+	// nothing is shared across concurrent solves.
+	solver, err := core.NewByName(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, sharded := solver.(*core.Sharded); s.shardSolves && !sharded {
+		// The engine decomposes by connected components; snapshot-plane
+		// solves keep that semantics (minus the engine's cross-batch
+		// result cache, which needs the single-writer plane).
+		solver = core.NewSharded(solver)
+	}
+
+	timeout := s.cfg.SolveTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	// The snapshot is pinned for the whole solve: batches applied while the
+	// solver runs replace the published pointer but never touch this view.
+	snap := *s.snap.Load()
+	start := time.Now()
+	res, err := solver.Solve(ctx, snap.Problem, &core.SolveOptions{Seed: req.Seed})
+	elapsed := time.Since(start)
+
+	s.solves.Add(1)
+	partial := errors.Is(err, core.ErrInterrupted)
+	if partial {
+		s.partials.Add(1)
+	}
+	if err != nil && !partial {
+		if errors.Is(err, core.ErrPopulationTooLarge) {
+			// A request-shaped refusal, like an unknown solver name: the
+			// client picked exhaustive on an instance over its cap.
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		s.solveErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.statsMu.Lock()
+	s.solveStats = s.solveStats.Add(res.Stats)
+	s.statsMu.Unlock()
+
+	pairs := make([]assignedPair, 0, res.Assignment.Len())
+	res.Assignment.Workers(func(wid model.WorkerID, tid model.TaskID) {
+		pairs = append(pairs, assignedPair{Worker: wid, Task: tid})
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Worker < pairs[j].Worker })
+
+	resp := &solveResponse{
+		Version:         snap.Version,
+		Solver:          solver.Name(),
+		Seed:            req.Seed,
+		Partial:         partial,
+		Feasible:        len(pairs) > 0,
+		ElapsedMS:       float64(elapsed) / float64(time.Millisecond),
+		AssignedWorkers: res.Eval.AssignedWorkers,
+		AssignedTasks:   res.Eval.AssignedTasks,
+		MinReliability:  res.Eval.MinRel,
+		TotalDiversity:  res.Eval.TotalESTD,
+		Assignment:      pairs,
+		Stats:           res.Stats,
+		At:              time.Now().UTC(),
+	}
+	s.lastRes.Store(resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAssignment serves the most recently computed assignment, stamped
+// with the engine version it was solved at and the current version (equal
+// when no batch applied since).
+func (s *Server) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	last := s.lastRes.Load()
+	if last == nil {
+		writeError(w, http.StatusNotFound, errors.New("no solve has completed yet"))
+		return
+	}
+	resp := *last // shallow copy; the stored value is never mutated
+	resp.CurrentVersion = s.snap.Load().Version
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+// statsResponse is the /v1/stats view: the snapshot's shape, the mutation
+// plane's batching counters, and the solver plane's cumulative core.Stats.
+type statsResponse struct {
+	Version uint64  `json:"version"`
+	Tasks   int     `json:"tasks"`
+	Workers int     `json:"workers"`
+	Pairs   int     `json:"pairs"`
+	Beta    float64 `json:"beta"`
+
+	QueueLen          int     `json:"queue_len"`
+	QueueCap          int     `json:"queue_cap"`
+	Enqueued          uint64  `json:"mutations_enqueued"`
+	Applied           uint64  `json:"mutations_applied"`
+	Coalesced         uint64  `json:"mutations_coalesced"`
+	Batches           uint64  `json:"batches"`
+	Rebuilds          uint64  `json:"rebuilds"`
+	RetrieveMS        float64 `json:"retrieve_ms"`
+	RejectedQueueFull uint64  `json:"rejected_queue_full"`
+
+	Solves      uint64     `json:"solves"`
+	SolveErrors uint64     `json:"solve_errors"`
+	Partials    uint64     `json:"partial_solves"`
+	SolverStats core.Stats `json:"solver_stats"`
+
+	UptimeMS float64 `json:"uptime_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.snap.Load()
+	s.statsMu.Lock()
+	solverStats := s.solveStats
+	s.statsMu.Unlock()
+	writeJSON(w, http.StatusOK, &statsResponse{
+		Version: snap.Version,
+		Tasks:   snap.Tasks(),
+		Workers: snap.Workers(),
+		Pairs:   len(snap.Problem.Pairs),
+		Beta:    snap.Problem.In.Beta,
+
+		QueueLen:          len(s.mutCh),
+		QueueCap:          cap(s.mutCh),
+		Enqueued:          s.enqueued.Load(),
+		Applied:           s.applied.Load(),
+		Coalesced:         s.coalesced.Load(),
+		Batches:           s.batches.Load(),
+		Rebuilds:          s.rebuilds.Load(),
+		RetrieveMS:        float64(s.retrieveNS.Load()) / float64(time.Millisecond),
+		RejectedQueueFull: s.rejectedFull.Load(),
+
+		Solves:      s.solves.Load(),
+		SolveErrors: s.solveErrors.Load(),
+		Partials:    s.partials.Load(),
+		SolverStats: solverStats,
+
+		UptimeMS: float64(time.Since(s.started)) / float64(time.Millisecond),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"version": s.snap.Load().Version,
+	})
+}

@@ -1,0 +1,258 @@
+// Package serve turns an engine.Engine into a concurrent assignment
+// service. The engine itself is not safe for concurrent use, so the server
+// splits the work between two planes:
+//
+//   - a single-writer apply loop owns the engine and is the only goroutine
+//     that ever touches it. Mutations (task/worker upserts and removals)
+//     arrive through a bounded queue, are drained in batches, coalesced
+//     (only the last mutation per entity touches the grid index), and
+//     applied through Engine.ApplyBatch under one version bump — so the
+//     valid pairs are re-derived at most once per batch, not once per
+//     mutation. After each batch the loop publishes a fresh
+//     engine.Snapshot through an atomic pointer.
+//
+//   - solve and read requests never touch the engine: they load the most
+//     recently published snapshot and run against its immutable problem.
+//     A solve that started before a batch keeps its snapshot for its whole
+//     run (the engine replaces, never edits, prepared problems), so it can
+//     never observe a half-applied batch — snapshot isolation by
+//     copy-on-write hand-off.
+//
+// Backpressure is explicit: when the mutation queue is full, enqueues fail
+// and the HTTP layer answers 429 Too Many Requests. Every solve runs under
+// a per-request deadline mapped to its context; when the deadline expires
+// the solver's best-so-far partial assignment is returned, flagged as
+// partial. Shutdown stops intake first, then drains the queue completely
+// before the apply loop exits, so every accepted mutation is applied.
+//
+// See handlers.go for the HTTP/JSON surface (POST/DELETE /v1/tasks and
+// /v1/workers, POST /v1/solve, GET /v1/assignment, GET /v1/stats,
+// /healthz) and cmd/rdbsc-server for the binary.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/engine"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Engine is the engine the server drives. Required. The server's apply
+	// loop takes ownership: after New, no other goroutine may call Engine
+	// methods.
+	Engine *engine.Engine
+	// SolverName selects the default solver for /v1/solve requests that
+	// name none, resolved through the core registry per request (solver
+	// instances are not shared across concurrent solves). Default "dc".
+	SolverName string
+	// QueueDepth bounds the mutation queue; a full queue rejects enqueues
+	// (HTTP 429). Default 1024.
+	QueueDepth int
+	// BatchMax caps how many queued mutations one batch drains. Default 256.
+	BatchMax int
+	// BatchLinger is how long the apply loop waits for more mutations after
+	// draining the queue dry, to widen batches under bursty load. Default 0
+	// (apply immediately whatever is pending).
+	BatchLinger time.Duration
+	// SolveTimeout is both the default and the upper bound for per-request
+	// solve deadlines (requests may ask for less via timeout_ms, never
+	// more). Default 30s.
+	SolveTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.SolverName == "" {
+		c.SolverName = "dc"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Errors mapped to HTTP statuses by the handler layer.
+var (
+	// ErrQueueFull rejects an enqueue when the mutation queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("serve: mutation queue full")
+	// ErrShuttingDown rejects an enqueue after Shutdown began (HTTP 503).
+	ErrShuttingDown = errors.New("serve: server shutting down")
+)
+
+// queuedMutation is one mutation in flight, with an optional reply channel
+// (buffered by the enqueuer; the apply loop never blocks on it).
+type queuedMutation struct {
+	mut   engine.Mutation
+	reply chan<- applyAck
+}
+
+// applyAck reports one mutation's fate after its batch was applied.
+type applyAck struct {
+	changed   bool   // the engine changed (effective upsert / found removal)
+	coalesced bool   // superseded by a later same-entity mutation in the batch
+	version   uint64 // engine version after the batch
+}
+
+// Server is the concurrent assignment service. Construct with New (which
+// starts the apply loop), expose Handler over HTTP or call ListenAndServe,
+// and stop with Shutdown.
+type Server struct {
+	cfg   Config
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	mutCh chan queuedMutation
+	done  chan struct{} // closed when the apply loop has drained and exited
+
+	mu      sync.RWMutex // guards closing and http against enqueue/Shutdown races
+	closing bool
+	http    *http.Server
+
+	snap    atomic.Pointer[engine.Snapshot]
+	lastRes atomic.Pointer[solveResponse] // most recent completed solve
+
+	// shardSolves wraps snapshot-plane solvers in component decomposition,
+	// mirroring an engine built with Config.Decompose.
+	shardSolves bool
+
+	started time.Time
+	counters
+
+	// testStallApply, when non-nil, runs on the apply loop after it wakes
+	// for a batch's first mutation and before it drains the rest — tests
+	// block here to build deterministic batches. Never set in production.
+	testStallApply func()
+}
+
+// counters are the serving-plane diagnostics behind /v1/stats, all updated
+// lock-free. The solver-plane core.Stats aggregate needs a mutex (it is a
+// struct fold, not a counter).
+type counters struct {
+	enqueued     atomic.Uint64 // mutations accepted into the queue
+	applied      atomic.Uint64 // mutations applied to the engine
+	coalesced    atomic.Uint64 // mutations superseded within their batch
+	batches      atomic.Uint64 // batches drained
+	rebuilds     atomic.Uint64 // batches whose snapshot re-derived the pairs
+	retrieveNS   atomic.Int64  // cumulative pair-retrieval time
+	rejectedFull atomic.Uint64 // enqueues rejected with ErrQueueFull
+	solves       atomic.Uint64 // /v1/solve requests that ran a solver
+	solveErrors  atomic.Uint64 // solves that ended in a terminal error
+	partials     atomic.Uint64 // solves interrupted by their deadline
+
+	statsMu    sync.Mutex
+	solveStats core.Stats // cumulative per-solve diagnostics
+}
+
+// New validates the configuration, publishes the initial snapshot, starts
+// the apply loop, and returns the server. The engine must not be used by
+// any other goroutine afterwards.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Engine == nil {
+		return nil, errors.New("serve: Config.Engine is required")
+	}
+	if _, err := core.NewByName(cfg.SolverName); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		eng:     cfg.Engine,
+		mutCh:   make(chan queuedMutation, cfg.QueueDepth),
+		done:    make(chan struct{}),
+		started: time.Now(),
+		// Read once here, not per request: after the apply loop starts, the
+		// engine belongs to it alone. A Decompose engine keeps its sharded
+		// semantics on the snapshot plane via core.Sharded (the cross-batch
+		// per-component result cache stays engine-plane only).
+		shardSolves: cfg.Engine.Decomposes(),
+	}
+	// The apply loop has not started yet, so this Snapshot call is still
+	// single-threaded; from here on only the loop touches the engine.
+	snap := s.eng.Snapshot()
+	s.snap.Store(&snap)
+	s.mux = s.routes()
+	go s.applyLoop()
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler, for mounting under a custom
+// http.Server or a test server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the most recently published engine snapshot. Safe for
+// concurrent use; the returned view is immutable.
+func (s *Server) Snapshot() engine.Snapshot { return *s.snap.Load() }
+
+// enqueue hands one mutation to the apply loop, failing fast on a full
+// queue or a closing server.
+func (s *Server) enqueue(qm queuedMutation) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closing {
+		return ErrShuttingDown
+	}
+	select {
+	case s.mutCh <- qm:
+		s.enqueued.Add(1)
+		return nil
+	default:
+		s.rejectedFull.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// ListenAndServe serves the handler on addr until Shutdown (which returns
+// http.ErrServerClosed here) or a listener error.
+func (s *Server) ListenAndServe(addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return ErrShuttingDown
+	}
+	s.http = hs
+	s.mu.Unlock()
+	return hs.ListenAndServe()
+}
+
+// Shutdown stops the server gracefully: new mutations are rejected with
+// ErrShuttingDown (503), the embedded HTTP server (if ListenAndServe was
+// used) stops accepting and waits for in-flight handlers — including those
+// blocked on their batch's application — and the apply loop drains every
+// queued mutation before exiting. ctx bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.closing
+	s.closing = true
+	hs := s.http
+	s.mu.Unlock()
+
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	if !already {
+		// No enqueue can be in flight: enqueue holds mu.RLock and checks
+		// closing, and closing was set under mu.Lock above.
+		close(s.mutCh)
+	}
+	select {
+	case <-s.done:
+	case <-ctx.Done():
+		return errors.Join(err, ctx.Err())
+	}
+	return err
+}

@@ -86,6 +86,28 @@
 // precise monolithic-equivalence guarantees (and their limits for
 // heuristic tie-breaking on multi-component instances).
 //
+// β defaults to 0.5 when EngineConfig.Beta is unset; set
+// EngineConfig.BetaSet to make an explicit β=0 (temporal diversity only)
+// expressible through NewEngine, matching what NewEngineFromInstance
+// always honored from its instance.
+//
+// # The assignment server (rdbsc-server)
+//
+// An Engine is single-threaded, so cmd/rdbsc-server (package
+// internal/serve) wraps it in a concurrent HTTP/JSON service: a
+// single-writer apply loop owns the engine and drains a bounded mutation
+// queue in batches — coalescing repeated upserts of the same entity and
+// applying each batch under one engine version bump — while solve and
+// read requests run against immutable snapshots handed off copy-on-write,
+// so an in-flight solve never observes a half-applied batch. Endpoints:
+// POST/DELETE /v1/tasks and /v1/workers (batched upserts/removals; a full
+// queue answers 429), POST /v1/solve (per-request deadline via
+// timeout_ms; an expired deadline returns the best partial assignment
+// flagged "partial"), GET /v1/assignment (last solve, with staleness
+// versions), GET /v1/stats (batching, backpressure, and cumulative solver
+// counters), and /healthz. SIGINT/SIGTERM drain the queue before exit.
+// See MIGRATION.md for the endpoint reference and batching semantics.
+//
 // See MIGRATION.md for the v1 → v2 call-site mapping, and the examples/
 // directory for runnable scenarios: the landmark photography task of the
 // paper's Example 1, the parking-monitoring task of Example 2, and a live
