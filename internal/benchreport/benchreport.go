@@ -1,0 +1,305 @@
+// Package benchreport defines the machine-readable benchmark record the
+// repository's perf trajectory is measured in. rdbsc-bench's -json mode and
+// rdbsc-loadgen both emit this schema as BENCH_<scenario>.json, CI's
+// perf-smoke job compares fresh runs against the checked-in
+// BENCH_baseline.json with Compare, and future perf PRs report against the
+// same files — so runs are comparable across commits, machines, and time.
+//
+// The schema is versioned: SchemaVersion bumps on any incompatible field
+// change and Load rejects mismatches, so a stale baseline fails loudly
+// instead of gating on garbage.
+package benchreport
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"rdbsc/internal/core"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout. Bump on incompatible
+// change.
+const SchemaVersion = 1
+
+// Quantiles summarizes a latency sample in milliseconds.
+type Quantiles struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// Summarize computes nearest-rank quantiles over the sample (which it does
+// not modify). A nil or empty sample yields the zero Quantiles.
+func Summarize(ms []float64) Quantiles {
+	if len(ms) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), ms...)
+	sort.Float64s(s)
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Quantiles{
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Mean: sum / float64(len(s)),
+		Max:  s[len(s)-1],
+	}
+}
+
+// Objective records the solve's quality measures.
+type Objective struct {
+	MinReliability  float64 `json:"min_reliability"`
+	TotalDiversity  float64 `json:"total_diversity"`
+	AssignedWorkers int     `json:"assigned_workers"`
+	AssignedTasks   int     `json:"assigned_tasks"`
+}
+
+// Report is one benchmark record. Kind discriminates the two producers:
+// "oneshot" (rdbsc-bench -json: repeated solves of a scenario instance) and
+// "load" (rdbsc-loadgen: an open-loop HTTP replay), which share the header
+// and the latency/objective blocks.
+type Report struct {
+	Schema   int    `json:"schema"`
+	Kind     string `json:"kind"`
+	Scenario string `json:"scenario"`
+	Solver   string `json:"solver"`
+	Seed     int64  `json:"seed"`
+
+	// Workload shape.
+	M          int `json:"m"`
+	N          int `json:"n"`
+	Pairs      int `json:"pairs"`
+	Components int `json:"components,omitempty"`
+
+	// Runs is the number of measured solves (oneshot) or solve requests
+	// (load) behind WallMS.
+	Runs int `json:"runs"`
+
+	// Feasible reports whether the (final) solve assigned at least one
+	// worker; Error carries the terminal failure when a run did not
+	// complete cleanly (e.g. core.ErrInfeasible's message). A report with
+	// a non-empty Error is written before the producer exits non-zero.
+	Feasible bool   `json:"feasible"`
+	Error    string `json:"error,omitempty"`
+
+	// WallMS summarizes per-solve wall clock; RetrieveMS is the one-time
+	// valid-pair retrieval (index walk) cost.
+	WallMS     Quantiles `json:"wall_ms"`
+	RetrieveMS float64   `json:"retrieve_ms,omitempty"`
+
+	Objective Objective  `json:"objective"`
+	Stats     core.Stats `json:"stats"`
+
+	// Load-mode extras (zero for oneshot): request volume and error mix of
+	// the open-loop replay.
+	Load *LoadMetrics `json:"load,omitempty"`
+
+	// Environment stamp. Compare ignores these; they contextualize
+	// cross-machine diffs.
+	Go        string `json:"go"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+	CreatedAt string `json:"created_at"`
+}
+
+// LoadMetrics is the load-mode block: open-loop replay volume, error mix,
+// and the mutation-plane latency split kept separate from solve latency.
+type LoadMetrics struct {
+	Events            int       `json:"events"`
+	MutationsSent     int       `json:"mutations_sent"`
+	MutationsOK       int       `json:"mutations_ok"`
+	MutationsRejected int       `json:"mutations_rejected_429"`
+	MutationErrors    int       `json:"mutation_errors"`
+	SolvesSent        int       `json:"solves_sent"`
+	SolvesOK          int       `json:"solves_ok"`
+	SolvePartials     int       `json:"solve_partials"`
+	SolveErrors       int       `json:"solve_errors"`
+	WallSeconds       float64   `json:"wall_seconds"`
+	RequestsPerSecond float64   `json:"requests_per_second"`
+	MutationMS        Quantiles `json:"mutation_ms"`
+	MaxScheduleLagMS  float64   `json:"max_schedule_lag_ms"`
+}
+
+// New returns a report header stamped with the schema version and the
+// build environment.
+func New(kind, scenario, solver string, seed int64) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Kind:      kind,
+		Scenario:  scenario,
+		Solver:    solver,
+		Seed:      seed,
+		Go:        runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Validate checks the schema invariants Load and the baseline gate rely on.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("benchreport: schema %d, want %d", r.Schema, SchemaVersion)
+	}
+	if r.Scenario == "" {
+		return fmt.Errorf("benchreport: missing scenario")
+	}
+	if r.Kind != "oneshot" && r.Kind != "load" {
+		return fmt.Errorf("benchreport: unknown kind %q", r.Kind)
+	}
+	return nil
+}
+
+// Filename is the canonical on-disk name for a scenario's report.
+func Filename(scenario string) string { return "BENCH_" + scenario + ".json" }
+
+// Write validates the report and writes it to dir as BENCH_<scenario>.json
+// (indented, trailing newline), returning the path.
+func Write(dir string, r *Report) (string, error) {
+	if err := r.Validate(); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, Filename(r.Scenario))
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Load reads and validates one report.
+func Load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("benchreport: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return &r, nil
+}
+
+// Baseline is the checked-in reference the CI perf-smoke job gates on: one
+// entry per pinned scenario.
+type Baseline struct {
+	Schema  int                `json:"schema"`
+	Entries map[string]*Report `json:"entries"`
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bl Baseline
+	if err := json.Unmarshal(b, &bl); err != nil {
+		return nil, fmt.Errorf("benchreport: %s: %w", path, err)
+	}
+	if bl.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchreport: baseline schema %d, want %d (%s)", bl.Schema, SchemaVersion, path)
+	}
+	for name, r := range bl.Entries {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("benchreport: baseline entry %q: %w", name, err)
+		}
+	}
+	return &bl, nil
+}
+
+// WriteBaseline writes the baseline file (indented, trailing newline).
+func WriteBaseline(path string, bl *Baseline) error {
+	bl.Schema = SchemaVersion
+	b, err := json.MarshalIndent(bl, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Merge upserts the report as its scenario's baseline entry.
+func (b *Baseline) Merge(r *Report) {
+	if b.Entries == nil {
+		b.Entries = make(map[string]*Report)
+	}
+	b.Entries[r.Scenario] = r
+}
+
+// regressFloorMS guards the gate against timing noise on very fast
+// baselines: a wall-clock regression only counts when it exceeds the
+// multiplicative threshold AND this absolute floor.
+const regressFloorMS = 50
+
+// Compare gates cur against the baseline entry for its scenario.
+// Failures (non-empty => the caller should exit non-zero) are reserved for
+// what the CI perf gate is for: a >maxRegress× median wall-clock regression
+// past an absolute noise floor, or a run that went infeasible/errored while
+// the baseline was clean. Everything softer — objective drift, a missing
+// entry — lands in notes, because quality changes are judged by humans (and
+// legitimately move when algorithms improve; regenerate the baseline then).
+func (b *Baseline) Compare(cur *Report, maxRegress float64) (failures, notes []string) {
+	base, ok := b.Entries[cur.Scenario]
+	if !ok {
+		notes = append(notes, fmt.Sprintf("no baseline entry for scenario %q; skipping gate", cur.Scenario))
+		return nil, notes
+	}
+	if cur.Error != "" && base.Error == "" {
+		failures = append(failures, fmt.Sprintf("run errored (%s) but the baseline was clean", cur.Error))
+	}
+	if !cur.Feasible && base.Feasible {
+		failures = append(failures, "run infeasible but the baseline was feasible")
+	}
+	if maxRegress > 0 && base.WallMS.P50 > 0 {
+		limit := maxRegress * base.WallMS.P50
+		if cur.WallMS.P50 > limit && cur.WallMS.P50-base.WallMS.P50 > regressFloorMS {
+			failures = append(failures, fmt.Sprintf(
+				"wall-clock p50 %.2fms exceeds %.1f× baseline %.2fms",
+				cur.WallMS.P50, maxRegress, base.WallMS.P50))
+		}
+	}
+	if base.Pairs != cur.Pairs {
+		notes = append(notes, fmt.Sprintf("pair count changed: %d -> %d (workload or retrieval drift)", base.Pairs, cur.Pairs))
+	}
+	if drift := relDiff(base.Objective.MinReliability, cur.Objective.MinReliability); drift > 0.01 {
+		notes = append(notes, fmt.Sprintf("min-reliability drift %.1f%%: %.4f -> %.4f",
+			100*drift, base.Objective.MinReliability, cur.Objective.MinReliability))
+	}
+	if drift := relDiff(base.Objective.TotalDiversity, cur.Objective.TotalDiversity); drift > 0.01 {
+		notes = append(notes, fmt.Sprintf("total-diversity drift %.1f%%: %.4f -> %.4f",
+			100*drift, base.Objective.TotalDiversity, cur.Objective.TotalDiversity))
+	}
+	return failures, notes
+}
+
+func relDiff(a, b float64) float64 {
+	if a == b {
+		return 0
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	if den == 0 {
+		return 0
+	}
+	return math.Abs(a-b) / den
+}

@@ -1,0 +1,132 @@
+package benchreport
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	if q := Summarize(nil); q != (Quantiles{}) {
+		t.Fatalf("empty sample: %+v", q)
+	}
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i + 1) // 1..100
+	}
+	q := Summarize(sample)
+	if q.P50 != 50 || q.P95 != 95 || q.P99 != 99 || q.Max != 100 {
+		t.Fatalf("quantiles %+v", q)
+	}
+	if q.Mean != 50.5 {
+		t.Fatalf("mean %v", q.Mean)
+	}
+	// The input must not be reordered.
+	if sample[0] != 1 || sample[99] != 100 {
+		t.Fatal("Summarize mutated its input")
+	}
+}
+
+func mkReport(scenario string, p50 float64) *Report {
+	r := New("oneshot", scenario, "greedy", 1)
+	r.M, r.N, r.Pairs, r.Runs = 80, 160, 500, 5
+	r.Feasible = true
+	r.WallMS = Quantiles{P50: p50, P95: p50 * 2, P99: p50 * 3, Mean: p50, Max: p50 * 3}
+	r.Objective = Objective{MinReliability: 0.9, TotalDiversity: 20, AssignedWorkers: 70, AssignedTasks: 40}
+	return r
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := mkReport("dense", 10)
+	path, err := Write(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_dense.json" {
+		t.Fatalf("path %s", path)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Scenario != "dense" || got.WallMS != r.WallMS || got.Objective != r.Objective {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestValidateRejectsBadSchema(t *testing.T) {
+	r := mkReport("dense", 1)
+	r.Schema = 99
+	if err := r.Validate(); err == nil {
+		t.Fatal("wrong schema version must be rejected")
+	}
+	r = mkReport("dense", 1)
+	r.Kind = "weird"
+	if err := r.Validate(); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+}
+
+func TestBaselineCompare(t *testing.T) {
+	bl := &Baseline{}
+	bl.Merge(mkReport("dense", 100))
+
+	// Within threshold: no failure.
+	if fails, _ := bl.Compare(mkReport("dense", 250), 3); len(fails) != 0 {
+		t.Fatalf("2.5x within a 3x gate failed: %v", fails)
+	}
+	// Past the threshold and the absolute floor: failure.
+	if fails, _ := bl.Compare(mkReport("dense", 400), 3); len(fails) == 0 {
+		t.Fatal("4x regression passed a 3x gate")
+	}
+	// Past the multiple but under the absolute noise floor: no failure.
+	fast := &Baseline{}
+	fast.Merge(mkReport("dense", 2))
+	if fails, _ := fast.Compare(mkReport("dense", 10), 3); len(fails) != 0 {
+		t.Fatalf("sub-floor jitter failed the gate: %v", fails)
+	}
+	// Feasible -> infeasible: failure regardless of timing.
+	bad := mkReport("dense", 50)
+	bad.Feasible = false
+	bad.Error = "no feasible assignment"
+	if fails, _ := bl.Compare(bad, 3); len(fails) == 0 {
+		t.Fatal("infeasible run passed against a feasible baseline")
+	}
+	// Unknown scenario: a note, not a failure.
+	fails, notes := bl.Compare(mkReport("islands", 10), 3)
+	if len(fails) != 0 || len(notes) == 0 {
+		t.Fatalf("missing entry: fails %v notes %v", fails, notes)
+	}
+	// Objective drift: a note.
+	drift := mkReport("dense", 100)
+	drift.Objective.MinReliability = 0.5
+	_, notes = bl.Compare(drift, 3)
+	found := false
+	for _, n := range notes {
+		if strings.Contains(n, "min-reliability") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("objective drift not noted: %v", notes)
+	}
+}
+
+func TestBaselineFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_baseline.json")
+	bl := &Baseline{}
+	bl.Merge(mkReport("dense", 10))
+	bl.Merge(mkReport("islands", 20))
+	if err := WriteBaseline(path, bl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 || got.Entries["islands"].WallMS.P50 != 20 {
+		t.Fatalf("baseline round trip: %+v", got)
+	}
+}

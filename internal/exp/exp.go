@@ -114,7 +114,7 @@ func Registry() []Experiment {
 		fig11(), fig12(), fig13(), fig14(), fig15(),
 		fig16(), fig17(), fig18(),
 		fig22(), fig23(), fig24(), fig25(), fig26(), fig27(),
-		churnExperiment(),
+		churnExperiment(), scenarioSweep(),
 		ablationDiversity(), ablationPruning(), ablationIncremental(),
 		ablationDecompose(), ablationEta(), ablationMerge(),
 	}

@@ -143,3 +143,17 @@ func (s *Source) Exp(rate float64) float64 {
 	}
 	return s.r.ExpFloat64() / rate
 }
+
+// Zipf returns a generator of Zipf-distributed ranks in [0, imax]: rank k is
+// drawn with probability proportional to (1+k)^(-skew). The workload
+// scenarios use it for skewed task popularity (a few hotspots attract most
+// tasks). skew must be > 1; it panics otherwise, matching math/rand.NewZipf.
+// The generator shares s's underlying stream, so interleaving it with other
+// draws stays reproducible for a fixed call order.
+func (s *Source) Zipf(skew float64, imax uint64) func() uint64 {
+	z := rand.NewZipf(s.r, skew, 1, imax)
+	if z == nil {
+		panic("rng: Zipf requires skew > 1")
+	}
+	return z.Uint64
+}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"rdbsc/internal/benchreport"
 	"rdbsc/internal/core"
 	"rdbsc/internal/engine"
 	"rdbsc/internal/geo"
@@ -41,8 +42,11 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// taskJSON mirrors the dataset CSV columns (id,x,y,start,end).
-type taskJSON struct {
+// TaskJSON is the wire form of a task, mirroring the dataset CSV columns
+// (id,x,y,start,end). It is exported so HTTP clients in this repository
+// (rdbsc-loadgen's replay) share the schema with the server at compile
+// time instead of duplicating JSON tags.
+type TaskJSON struct {
 	ID    model.TaskID `json:"id"`
 	X     float64      `json:"x"`
 	Y     float64      `json:"y"`
@@ -50,14 +54,20 @@ type taskJSON struct {
 	End   float64      `json:"end"`
 }
 
-func (t taskJSON) toModel() model.Task {
+// NewTaskJSON converts a task to its wire form.
+func NewTaskJSON(t model.Task) TaskJSON {
+	return TaskJSON{ID: t.ID, X: t.Loc.X, Y: t.Loc.Y, Start: t.Start, End: t.End}
+}
+
+// ToModel converts the wire form back to a task.
+func (t TaskJSON) ToModel() model.Task {
 	return model.Task{ID: t.ID, Loc: geo.Pt(t.X, t.Y), Start: t.Start, End: t.End}
 }
 
-// workerJSON mirrors the dataset CSV columns
-// (id,x,y,speed,dir_lo,dir_width,confidence,depart); omitting dir_width
-// leaves the worker's direction cone unconstrained.
-type workerJSON struct {
+// WorkerJSON is the wire form of a worker, mirroring the dataset CSV
+// columns (id,x,y,speed,dir_lo,dir_width,confidence,depart); omitting
+// dir_width leaves the worker's direction cone unconstrained.
+type WorkerJSON struct {
 	ID         model.WorkerID `json:"id"`
 	X          float64        `json:"x"`
 	Y          float64        `json:"y"`
@@ -68,7 +78,19 @@ type workerJSON struct {
 	Depart     float64        `json:"depart"`
 }
 
-func (w workerJSON) toModel() model.Worker {
+// NewWorkerJSON converts a worker to its wire form (the direction cone is
+// always spelled out, even when it is the full circle).
+func NewWorkerJSON(w model.Worker) WorkerJSON {
+	width := w.Dir.Width
+	return WorkerJSON{
+		ID: w.ID, X: w.Loc.X, Y: w.Loc.Y, Speed: w.Speed,
+		DirLo: w.Dir.Lo, DirWidth: &width,
+		Confidence: w.Confidence, Depart: w.Depart,
+	}
+}
+
+// ToModel converts the wire form back to a worker.
+func (w WorkerJSON) ToModel() model.Worker {
 	dir := geo.FullCircle
 	if w.DirWidth != nil {
 		dir = geo.AngInterval{Lo: geo.NormalizeAngle(w.DirLo), Width: *w.DirWidth}
@@ -157,14 +179,14 @@ func (s *Server) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []m
 type mutationIntent struct{ mut engine.Mutation }
 
 func (s *Server) handleUpsertTasks(w http.ResponseWriter, r *http.Request) {
-	tasks, err := decodeBody[taskJSON](r)
+	tasks, err := decodeBody[TaskJSON](r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	muts := make([]mutationIntent, 0, len(tasks))
 	for _, tj := range tasks {
-		t := tj.toModel()
+		t := tj.ToModel()
 		if err := t.Valid(); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -175,14 +197,14 @@ func (s *Server) handleUpsertTasks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpsertWorkers(w http.ResponseWriter, r *http.Request) {
-	workers, err := decodeBody[workerJSON](r)
+	workers, err := decodeBody[WorkerJSON](r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	muts := make([]mutationIntent, 0, len(workers))
 	for _, wj := range workers {
-		wk := wj.toModel()
+		wk := wj.ToModel()
 		if err := wk.Valid(); err != nil {
 			writeError(w, http.StatusBadRequest, err)
 			return
@@ -233,8 +255,8 @@ func (s *Server) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
 	s.handleRemove(w, r, engine.WorkerRemoval(model.WorkerID(id)))
 }
 
-// solveRequest configures one /v1/solve call. All fields are optional.
-type solveRequest struct {
+// SolveRequest configures one /v1/solve call. All fields are optional.
+type SolveRequest struct {
 	// Solver overrides the server's default solver by registry name.
 	Solver string `json:"solver,omitempty"`
 	// Seed seeds the solve (0 means the solver default).
@@ -250,9 +272,9 @@ type assignedPair struct {
 	Task   model.TaskID   `json:"task"`
 }
 
-// solveResponse is the /v1/solve answer, also stored as the current
+// SolveResponse is the /v1/solve answer, also stored as the current
 // assignment for GET /v1/assignment.
-type solveResponse struct {
+type SolveResponse struct {
 	Version         uint64         `json:"version"`
 	CurrentVersion  uint64         `json:"current_version,omitempty"`
 	Solver          string         `json:"solver"`
@@ -270,7 +292,7 @@ type solveResponse struct {
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req solveRequest
+	var req SolveRequest
 	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
@@ -335,6 +357,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.statsMu.Lock()
 	s.solveStats = s.solveStats.Add(res.Stats)
 	s.statsMu.Unlock()
+	s.recordSolveLatency(float64(elapsed) / float64(time.Millisecond))
 
 	pairs := make([]assignedPair, 0, res.Assignment.Len())
 	res.Assignment.Workers(func(wid model.WorkerID, tid model.TaskID) {
@@ -342,7 +365,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	})
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Worker < pairs[j].Worker })
 
-	resp := &solveResponse{
+	resp := &SolveResponse{
 		Version:         snap.Version,
 		Solver:          solver.Name(),
 		Seed:            req.Seed,
@@ -398,6 +421,9 @@ type statsResponse struct {
 	SolveErrors uint64     `json:"solve_errors"`
 	Partials    uint64     `json:"partial_solves"`
 	SolverStats core.Stats `json:"solver_stats"`
+	// SolveLatencyMS summarizes the most recent solves (up to the latency
+	// ring's capacity), completed and partial alike.
+	SolveLatencyMS benchreport.Quantiles `json:"solve_latency_ms"`
 
 	UptimeMS float64 `json:"uptime_ms"`
 }
@@ -424,10 +450,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RetrieveMS:        float64(s.retrieveNS.Load()) / float64(time.Millisecond),
 		RejectedQueueFull: s.rejectedFull.Load(),
 
-		Solves:      s.solves.Load(),
-		SolveErrors: s.solveErrors.Load(),
-		Partials:    s.partials.Load(),
-		SolverStats: solverStats,
+		Solves:         s.solves.Load(),
+		SolveErrors:    s.solveErrors.Load(),
+		Partials:       s.partials.Load(),
+		SolverStats:    solverStats,
+		SolveLatencyMS: benchreport.Summarize(s.latencySample()),
 
 		UptimeMS: float64(time.Since(s.started)) / float64(time.Millisecond),
 	})

@@ -122,7 +122,7 @@ type Server struct {
 	http    *http.Server
 
 	snap    atomic.Pointer[engine.Snapshot]
-	lastRes atomic.Pointer[solveResponse] // most recent completed solve
+	lastRes atomic.Pointer[SolveResponse] // most recent completed solve
 
 	// shardSolves wraps snapshot-plane solvers in component decomposition,
 	// mirroring an engine built with Config.Decompose.
@@ -154,6 +154,31 @@ type counters struct {
 
 	statsMu    sync.Mutex
 	solveStats core.Stats // cumulative per-solve diagnostics
+
+	// solveLatMS is a ring of recent solve latencies (completed and partial
+	// solves), summarized into /v1/stats' solve_latency_ms quantiles — the
+	// server-side complement of rdbsc-loadgen's client-side percentiles.
+	solveLatMS [1024]float64
+	latN       int // total recorded (ring index = latN % len)
+}
+
+// recordSolveLatency appends one solve's wall time to the latency ring.
+func (c *counters) recordSolveLatency(ms float64) {
+	c.statsMu.Lock()
+	c.solveLatMS[c.latN%len(c.solveLatMS)] = ms
+	c.latN++
+	c.statsMu.Unlock()
+}
+
+// latencySample copies the recorded latencies out of the ring.
+func (c *counters) latencySample() []float64 {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	n := c.latN
+	if n > len(c.solveLatMS) {
+		n = len(c.solveLatMS)
+	}
+	return append([]float64(nil), c.solveLatMS[:n]...)
 }
 
 // New validates the configuration, publishes the initial snapshot, starts

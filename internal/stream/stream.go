@@ -25,6 +25,7 @@ import (
 	"rdbsc/internal/grid"
 	"rdbsc/internal/model"
 	"rdbsc/internal/rng"
+	"rdbsc/internal/workload"
 )
 
 // Config parameterizes the churn simulation.
@@ -60,11 +61,31 @@ type Config struct {
 	// Template supplies worker attribute ranges (speeds, cones,
 	// confidences) — the Table 2 knobs.
 	Template gen.Config
+	// Trace, when set, replays a pre-generated workload trace instead of
+	// drawing Poisson arrivals: the simulator's churn events come verbatim
+	// from the trace (arrivals carry full entities, departures are
+	// explicit), while assignment rounds still fire every AssignEvery.
+	// Beta, Opt, and Horizon default from the trace when unset, so a bare
+	// Config{Trace: tr} reproduces the scenario faithfully. Seed then only
+	// drives solver randomness, not the workload.
+	Trace *workload.Trace
 	// Seed drives all randomness.
 	Seed int64
 }
 
 func (c Config) withDefaults() Config {
+	if c.Trace != nil {
+		if (c.Beta <= 0 || c.Beta > 1) && c.Trace.Beta > 0 && c.Trace.Beta <= 1 {
+			c.Beta = c.Trace.Beta
+		}
+		if c.Opt == nil {
+			opt := c.Trace.Opt
+			c.Opt = &opt
+		}
+		if c.Horizon <= 0 {
+			c.Horizon = c.Trace.Horizon
+		}
+	}
 	if c.TaskRate <= 0 {
 		c.TaskRate = 40
 	}
@@ -146,6 +167,12 @@ type event struct {
 	kind int
 	id   int64
 	seq  int64 // tie-break for deterministic ordering
+
+	// Trace-replay payloads: an arrival carrying an entity upserts it
+	// verbatim and does not self-reschedule (the trace holds the follow-up
+	// events explicitly). Nil for generated churn.
+	task   *model.Task
+	worker *model.Worker
 }
 
 type eventQueue []event
@@ -215,8 +242,33 @@ func New(cfg Config) *Sim {
 		committed: model.NewAssignment(),
 	}
 	heap.Init(&s.queue)
-	s.schedule(s.src.Exp(cfg.TaskRate), evTaskArrive, 0)
-	s.schedule(s.src.Exp(cfg.WorkerRate), evWorkerArrive, 0)
+	if cfg.Trace != nil {
+		// Replay mode: the trace is the complete churn script. Events are
+		// pushed in trace order, so equal-time events keep the trace's
+		// tie-breaking via seq.
+		for _, ev := range cfg.Trace.Events {
+			s.seq++
+			qe := event{at: ev.At, seq: s.seq}
+			switch ev.Kind {
+			case workload.TaskArrive:
+				t := ev.Task
+				qe.kind, qe.task, qe.id = evTaskArrive, &t, int64(t.ID)
+			case workload.TaskExpire:
+				qe.kind, qe.id = evTaskExpire, int64(ev.TaskID)
+			case workload.WorkerArrive:
+				w := ev.Worker
+				qe.kind, qe.worker, qe.id = evWorkerArrive, &w, int64(w.ID)
+			case workload.WorkerLeave:
+				qe.kind, qe.id = evWorkerLeave, int64(ev.WorkerID)
+			default:
+				continue
+			}
+			heap.Push(&s.queue, qe)
+		}
+	} else {
+		s.schedule(s.src.Exp(cfg.TaskRate), evTaskArrive, 0)
+		s.schedule(s.src.Exp(cfg.WorkerRate), evWorkerArrive, 0)
+	}
 	s.schedule(cfg.AssignEvery, evAssign, 0)
 	return s
 }
@@ -255,6 +307,12 @@ func (s *Sim) RunContext(ctx context.Context) Report {
 		}
 		switch e.kind {
 		case evTaskArrive:
+			if e.task != nil {
+				// Trace replay: the entity and its expiry are scripted.
+				s.eng.UpsertTask(*e.task)
+				s.rep.TasksArrived++
+				break
+			}
 			t := s.newTask(model.TaskID(nextTaskID), e.at)
 			nextTaskID++
 			s.eng.UpsertTask(t)
@@ -267,6 +325,11 @@ func (s *Sim) RunContext(ctx context.Context) Report {
 				s.releaseTask(model.TaskID(e.id))
 			}
 		case evWorkerArrive:
+			if e.worker != nil {
+				s.eng.UpsertWorker(*e.worker)
+				s.rep.WorkersArrived++
+				break
+			}
 			w := s.newWorker(model.WorkerID(nextWorkerID), e.at)
 			nextWorkerID++
 			s.eng.UpsertWorker(w)

@@ -1,0 +1,64 @@
+package stream
+
+import (
+	"testing"
+
+	"rdbsc/internal/workload"
+)
+
+// TestTraceReplay drives the simulator from a workload trace instead of
+// generated Poisson churn: every scripted arrival must be processed, β and
+// reachability options must default from the trace, and two runs of the
+// same trace must agree exactly on counts and objectives (wall-clock
+// fields aside, the replay is deterministic).
+func TestTraceReplay(t *testing.T) {
+	sc, err := workload.ByName("rush-hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sc.Trace(workload.Params{M: 30, N: 60, Seed: 5})
+	ta, te, wa, wl := tr.Counts()
+
+	run := func() Report {
+		return New(Config{Trace: tr, Seed: 11}).Run()
+	}
+	rep := run()
+	if rep.TasksArrived != ta {
+		t.Errorf("TasksArrived %d, trace has %d", rep.TasksArrived, ta)
+	}
+	if rep.WorkersArrived != wa {
+		t.Errorf("WorkersArrived %d, trace has %d", rep.WorkersArrived, wa)
+	}
+	if rep.TasksExpired != te {
+		t.Errorf("TasksExpired %d, trace has %d", rep.TasksExpired, te)
+	}
+	if rep.WorkersLeft != wl {
+		t.Errorf("WorkersLeft %d, trace has %d", rep.WorkersLeft, wl)
+	}
+	if rep.Rounds == 0 {
+		t.Error("no assignment rounds ran")
+	}
+	if rep.Assignments == 0 {
+		t.Error("no worker was ever dispatched on a rush-hour trace")
+	}
+
+	rep2 := run()
+	rep.SolveSeconds, rep2.SolveSeconds = 0, 0
+	rep.RetrieveSeconds, rep2.RetrieveSeconds = 0, 0
+	if rep != rep2 {
+		t.Errorf("trace replay not deterministic:\n  %+v\n  %+v", rep, rep2)
+	}
+}
+
+// TestTraceReplayDefaults: an explicit Horizon shorter than the trace cuts
+// the replay; explicit Beta overrides the trace's.
+func TestTraceReplayDefaults(t *testing.T) {
+	sc, _ := workload.ByName("churn")
+	tr := sc.Trace(workload.Params{M: 20, N: 40, Seed: 2})
+	full := New(Config{Trace: tr, Seed: 1}).Run()
+	half := New(Config{Trace: tr, Seed: 1, Horizon: tr.Horizon / 2}).Run()
+	if half.TasksArrived >= full.TasksArrived {
+		t.Errorf("halved horizon should see fewer arrivals: %d vs %d",
+			half.TasksArrived, full.TasksArrived)
+	}
+}

@@ -1,0 +1,403 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"rdbsc/internal/benchreport"
+	"rdbsc/internal/serve"
+)
+
+// ReplayConfig parameterizes an open-loop HTTP replay of a trace against a
+// running rdbsc-server.
+type ReplayConfig struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". Required.
+	BaseURL string
+	// Client is the HTTP client (default: 10s-timeout client).
+	Client *http.Client
+	// HoursPerSecond compresses trace time onto the wall clock: a trace
+	// hour replays in 1/HoursPerSecond wall seconds (default 60 — a 4-hour
+	// trace replays in 4 seconds).
+	HoursPerSecond float64
+	// SolveEvery issues an open-loop POST /v1/solve every so many trace
+	// hours (default 0.25; negative disables).
+	SolveEvery float64
+	// Solver names the solver for those solve requests (empty = server
+	// default).
+	Solver string
+	// SolveTimeoutMS bounds each solve request server-side (default 2000).
+	SolveTimeoutMS int64
+	// Seed seeds the solve requests.
+	Seed int64
+	// MaxInFlight bounds concurrently outstanding requests (default 256).
+	// The replay is open-loop up to this cap: dispatch never waits for the
+	// previous response, only for a free slot, and MaxScheduleLagMS records
+	// how far dispatch fell behind the schedule.
+	MaxInFlight int
+}
+
+func (c ReplayConfig) withDefaults() ReplayConfig {
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.HoursPerSecond <= 0 {
+		c.HoursPerSecond = 60
+	}
+	if c.SolveEvery == 0 {
+		c.SolveEvery = 0.25
+	}
+	if c.SolveTimeoutMS <= 0 {
+		c.SolveTimeoutMS = 2000
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	return c
+}
+
+// replayStats collects request outcomes under one mutex (latency lists are
+// appended per request; the replay is bounded by MaxInFlight, so contention
+// is negligible next to the HTTP round-trips).
+type replayStats struct {
+	mu sync.Mutex
+
+	mutSent, mutOK, mut429, mutErr   int
+	solveSent, solveOK, solvePartial int
+	solveErr                         int
+	mutLatMS, solveLatMS             []float64
+	maxLagMS                         float64
+}
+
+// request classes for record().
+const (
+	classMutation = iota
+	classSolve
+)
+
+func (st *replayStats) record(class int, latMS float64, status int, partial bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch class {
+	case classMutation:
+		switch {
+		case err != nil:
+			st.mutErr++
+		case status == http.StatusTooManyRequests:
+			st.mut429++
+		case status >= 200 && status < 300:
+			st.mutOK++
+			st.mutLatMS = append(st.mutLatMS, latMS)
+		default:
+			st.mutErr++
+		}
+	case classSolve:
+		switch {
+		case err != nil:
+			st.solveErr++
+		case status >= 200 && status < 300:
+			st.solveOK++
+			if partial {
+				st.solvePartial++
+			}
+			st.solveLatMS = append(st.solveLatMS, latMS)
+		default:
+			st.solveErr++
+		}
+	}
+}
+
+// scheduled is one wall-clock dispatch: a trace event or a solve tick.
+type scheduled struct {
+	offset time.Duration // from replay start
+	ev     *Event        // nil for a solve tick
+}
+
+// entityKey identifies a task or worker in the arrival-gate map.
+type entityKey struct {
+	task bool
+	id   int64
+}
+
+// gate opens (once) when an entity's first arrival round-trip completes.
+// The sync.Once tolerates traces that re-arrive the same entity ID — legal
+// for the other trace consumers, which treat arrivals as upserts.
+type gate struct {
+	ch   chan struct{}
+	once sync.Once
+}
+
+func (g *gate) open() { g.once.Do(func() { close(g.ch) }) }
+
+// waitGate blocks until g opens or ctx ends; a nil gate (an entity the
+// trace never delivered an arrival for) passes immediately.
+func waitGate(ctx context.Context, g *gate) {
+	if g == nil {
+		return
+	}
+	select {
+	case <-g.ch:
+	case <-ctx.Done():
+	}
+}
+
+// Replay replays the trace against a server as open-loop HTTP load and
+// summarizes it as a benchreport.Report of kind "load": solve latency
+// percentiles in WallMS, the mutation-plane split and error mix under Load,
+// and the objective of the most recent feasible solve (Feasible reports
+// whether any solve assigned at all — the ticks at the end of a replay run
+// against a drained population and are expected to be empty).
+// cmd/rdbsc-loadgen is a thin flag wrapper around this; tests drive it
+// against an httptest server.
+//
+// A ctx cancellation stops dispatching and waits for in-flight requests;
+// the report covers what was sent.
+func Replay(ctx context.Context, tr *Trace, cfg ReplayConfig) (*benchreport.Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("workload: ReplayConfig.BaseURL is required")
+	}
+
+	// Build the merged dispatch schedule: every trace event plus periodic
+	// solve ticks, in time order (events first on ties, so a tick sees the
+	// population that arrived at the same instant).
+	//
+	// arrived gates per-entity ordering: an entity's departure request is
+	// held until its arrival's HTTP round-trip finished (success or not).
+	// Without the gate, at high time compression a DELETE can overtake its
+	// in-flight POST on the server's single-writer queue — the DELETE
+	// no-ops and the late insert leaves a phantom entity alive for the rest
+	// of the run, silently inflating the measured population. The replay
+	// stays open-loop across entities; only same-entity pairs serialize.
+	arrived := make(map[entityKey]*gate)
+	ensureGate := func(k entityKey) {
+		if _, ok := arrived[k]; !ok {
+			arrived[k] = &gate{ch: make(chan struct{})}
+		}
+	}
+	var sched []scheduled
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		switch ev.Kind {
+		case TaskArrive:
+			ensureGate(entityKey{task: true, id: int64(ev.Task.ID)})
+		case WorkerArrive:
+			ensureGate(entityKey{id: int64(ev.Worker.ID)})
+		}
+		sched = append(sched, scheduled{
+			offset: time.Duration(ev.At / cfg.HoursPerSecond * float64(time.Second)),
+			ev:     ev,
+		})
+	}
+	if cfg.SolveEvery > 0 {
+		for at := cfg.SolveEvery; at <= tr.Horizon; at += cfg.SolveEvery {
+			sched = append(sched, scheduled{
+				offset: time.Duration(at/cfg.HoursPerSecond*float64(time.Second)) + time.Millisecond,
+			})
+		}
+	}
+	sortSchedule(sched)
+
+	st := &replayStats{}
+	var lastSolve struct {
+		mu   sync.Mutex
+		resp serve.SolveResponse
+		ok   bool
+	}
+	slots := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	dispatched := 0
+	for i := range sched {
+		item := sched[i]
+		if err := sleepUntil(ctx, start.Add(item.offset)); err != nil {
+			break // cancelled: stop dispatching, keep what we have
+		}
+		if lag := time.Since(start.Add(item.offset)); lag > 0 {
+			st.mu.Lock()
+			if ms := float64(lag) / float64(time.Millisecond); ms > st.maxLagMS {
+				st.maxLagMS = ms
+			}
+			st.mu.Unlock()
+		}
+		select {
+		case slots <- struct{}{}:
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+		dispatched++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-slots }()
+			if item.ev == nil {
+				res, latMS, status, err := doSolve(ctx, cfg, tr)
+				st.record(classSolve, latMS, status, res.Partial, err)
+				if err == nil && status == http.StatusOK && res.Feasible {
+					// Keep the most recent feasible solve: the final ticks
+					// of a replay often land after the population drained,
+					// so "the last solve" would usually be an empty one.
+					lastSolve.mu.Lock()
+					lastSolve.resp, lastSolve.ok = res, true
+					lastSolve.mu.Unlock()
+				}
+				st.mu.Lock()
+				st.solveSent++
+				st.mu.Unlock()
+				return
+			}
+			// Departures wait for their entity's arrival round-trip; the
+			// wait happens inside the goroutine (the slot is held, but the
+			// arrival was dispatched earlier in schedule order and never
+			// waits itself, so it always completes and releases the gate).
+			switch item.ev.Kind {
+			case TaskExpire:
+				waitGate(ctx, arrived[entityKey{task: true, id: int64(item.ev.TaskID)}])
+			case WorkerLeave:
+				waitGate(ctx, arrived[entityKey{id: int64(item.ev.WorkerID)}])
+			}
+			latMS, status, err := doMutation(ctx, cfg, *item.ev)
+			st.record(classMutation, latMS, status, false, err)
+			st.mu.Lock()
+			st.mutSent++
+			st.mu.Unlock()
+			switch item.ev.Kind {
+			case TaskArrive:
+				arrived[entityKey{task: true, id: int64(item.ev.Task.ID)}].open()
+			case WorkerArrive:
+				arrived[entityKey{id: int64(item.ev.Worker.ID)}].open()
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	ta, te, wa, wl := tr.Counts()
+	rep := benchreport.New("load", tr.Scenario, cfg.Solver, cfg.Seed)
+	// Runs is the sample behind the WallMS quantiles (successful solves
+	// only, matching oneshot mode); SolvesSent under Load keeps the total.
+	rep.Runs = len(st.solveLatMS)
+	rep.WallMS = benchreport.Summarize(st.solveLatMS)
+	rep.Load = &benchreport.LoadMetrics{
+		Events:            ta + te + wa + wl,
+		MutationsSent:     st.mutSent,
+		MutationsOK:       st.mutOK,
+		MutationsRejected: st.mut429,
+		MutationErrors:    st.mutErr,
+		SolvesSent:        st.solveSent,
+		SolvesOK:          st.solveOK,
+		SolvePartials:     st.solvePartial,
+		SolveErrors:       st.solveErr,
+		WallSeconds:       wall.Seconds(),
+		RequestsPerSecond: float64(dispatched) / wall.Seconds(),
+		MutationMS:        benchreport.Summarize(st.mutLatMS),
+		MaxScheduleLagMS:  st.maxLagMS,
+	}
+	lastSolve.mu.Lock()
+	if lastSolve.ok {
+		rep.Feasible = lastSolve.resp.Feasible
+		rep.Objective = benchreport.Objective{
+			MinReliability:  lastSolve.resp.MinReliability,
+			TotalDiversity:  lastSolve.resp.TotalDiversity,
+			AssignedWorkers: lastSolve.resp.AssignedWorkers,
+			AssignedTasks:   lastSolve.resp.AssignedTasks,
+		}
+	}
+	lastSolve.mu.Unlock()
+	return rep, nil
+}
+
+func sortSchedule(sched []scheduled) {
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].offset < sched[j].offset })
+}
+
+func sleepUntil(ctx context.Context, t time.Time) error {
+	d := time.Until(t)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// doSolve posts one solve request and decodes the server's response (the
+// wire types are serve's own, so a schema change breaks this at compile
+// time, not silently at decode time).
+func doSolve(ctx context.Context, cfg ReplayConfig, tr *Trace) (serve.SolveResponse, float64, int, error) {
+	body, _ := json.Marshal(serve.SolveRequest{Solver: cfg.Solver, Seed: cfg.Seed, TimeoutMS: cfg.SolveTimeoutMS})
+	start := time.Now()
+	resp, err := post(ctx, cfg, "/v1/solve", body)
+	latMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return serve.SolveResponse{}, latMS, 0, err
+	}
+	defer resp.Body.Close()
+	var res serve.SolveResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			return serve.SolveResponse{}, latMS, resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return res, latMS, resp.StatusCode, nil
+}
+
+func doMutation(ctx context.Context, cfg ReplayConfig, ev Event) (float64, int, error) {
+	var (
+		method = http.MethodPost
+		path   string
+		body   []byte
+	)
+	switch ev.Kind {
+	case TaskArrive:
+		path = "/v1/tasks"
+		body, _ = json.Marshal(serve.NewTaskJSON(ev.Task))
+	case TaskExpire:
+		method, path = http.MethodDelete, fmt.Sprintf("/v1/tasks/%d", ev.TaskID)
+	case WorkerArrive:
+		path = "/v1/workers"
+		body, _ = json.Marshal(serve.NewWorkerJSON(ev.Worker))
+	case WorkerLeave:
+		method, path = http.MethodDelete, fmt.Sprintf("/v1/workers/%d", ev.WorkerID)
+	default:
+		return 0, 0, fmt.Errorf("workload: unknown event kind %d", ev.Kind)
+	}
+	start := time.Now()
+	req, err := http.NewRequestWithContext(ctx, method, cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := cfg.Client.Do(req)
+	latMS := float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		return latMS, 0, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return latMS, resp.StatusCode, nil
+}
+
+func post(ctx context.Context, cfg ReplayConfig, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return cfg.Client.Do(req)
+}

@@ -1,0 +1,182 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/serve"
+)
+
+// TestReplayAgainstHTTPTestServer is the loadgen dry run: replay a small
+// dense trace against an in-process serve.Server and check the report
+// accounts for every request, at least one solve completed feasibly, and
+// the server's own /v1/stats latency view was populated.
+func TestReplayAgainstHTTPTestServer(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Engine:     engine.New(engine.Config{}),
+		SolverName: "greedy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Shutdown(context.Background())
+
+	sc, err := ByName("dense")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sc.Trace(Params{M: 15, N: 30, Seed: 3})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rep, err := Replay(ctx, tr, ReplayConfig{
+		BaseURL: hs.URL,
+		// ~2s of wall clock: compressed enough to stay fast, slow enough
+		// that tasks live tens of milliseconds and solve ticks reliably
+		// observe a populated snapshot (600 h/s made every task's alive
+		// window ~2ms and flaked under -race).
+		HoursPerSecond: 120,
+		SolveEvery:     0.2,
+		Solver:         "greedy",
+		Seed:           3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Kind != "load" || rep.Scenario != "dense" {
+		t.Fatalf("report header %q/%q", rep.Kind, rep.Scenario)
+	}
+
+	l := rep.Load
+	if l == nil {
+		t.Fatal("missing load metrics")
+	}
+	if l.MutationsSent != len(tr.Events) {
+		t.Errorf("sent %d mutations, trace has %d events", l.MutationsSent, len(tr.Events))
+	}
+	if l.MutationsOK+l.MutationsRejected+l.MutationErrors != l.MutationsSent {
+		t.Errorf("mutation accounting leaks: ok %d + 429 %d + err %d != sent %d",
+			l.MutationsOK, l.MutationsRejected, l.MutationErrors, l.MutationsSent)
+	}
+	if l.MutationErrors != 0 {
+		t.Errorf("%d mutation errors against a healthy server", l.MutationErrors)
+	}
+	if l.SolvesOK == 0 {
+		t.Fatal("no solve completed")
+	}
+	if !rep.Feasible {
+		t.Error("no feasible solve on a dense trace")
+	}
+	if rep.WallMS.P50 <= 0 || l.MutationMS.P50 <= 0 {
+		t.Errorf("latency percentiles not recorded: solve p50 %v, mutation p50 %v",
+			rep.WallMS.P50, l.MutationMS.P50)
+	}
+
+	// Server-side complement: /v1/stats must have seen the solves and
+	// summarized their latency.
+	resp, err := http.Get(hs.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Solves         uint64 `json:"solves"`
+		SolveLatencyMS struct {
+			P50 float64 `json:"p50"`
+		} `json:"solve_latency_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Solves == 0 {
+		t.Error("server recorded no solves")
+	}
+	if stats.SolveLatencyMS.P50 <= 0 {
+		t.Error("server solve_latency_ms not populated")
+	}
+}
+
+// TestReplayReArrival is the regression test for a double-close panic:
+// a trace that re-arrives the same entity ID (an upsert, legal for every
+// other trace consumer) must replay cleanly, with the departure gated on
+// the first arrival.
+func TestReplayReArrival(t *testing.T) {
+	srv, err := serve.New(serve.Config{Engine: engine.New(engine.Config{}), SolverName: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Shutdown(context.Background())
+
+	sc, _ := ByName("dense")
+	tr := sc.Trace(Params{M: 5, N: 10, Seed: 1})
+	// Duplicate the first task/worker arrivals as same-ID upserts.
+	var extra []Event
+	for _, e := range tr.Events {
+		if (e.Kind == TaskArrive || e.Kind == WorkerArrive) && len(extra) < 4 {
+			extra = append(extra, e)
+		}
+	}
+	tr.Events = append(tr.Events, extra...)
+	rep, err := Replay(context.Background(), tr, ReplayConfig{
+		BaseURL:        hs.URL,
+		HoursPerSecond: 120,
+		SolveEvery:     -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.MutationsSent != len(tr.Events) {
+		t.Fatalf("sent %d of %d mutations", rep.Load.MutationsSent, len(tr.Events))
+	}
+	if rep.Load.MutationErrors != 0 {
+		t.Fatalf("%d mutation errors", rep.Load.MutationErrors)
+	}
+}
+
+// TestReplayRequiresBaseURL pins the config contract.
+func TestReplayRequiresBaseURL(t *testing.T) {
+	tr := &Trace{Scenario: "x", Horizon: 1}
+	if _, err := Replay(context.Background(), tr, ReplayConfig{}); err == nil {
+		t.Fatal("Replay without BaseURL should fail")
+	}
+}
+
+// TestReplayCancellation: a cancelled context stops dispatch early and
+// still returns a consistent report.
+func TestReplayCancellation(t *testing.T) {
+	srv, err := serve.New(serve.Config{Engine: engine.New(engine.Config{}), SolverName: "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+	defer srv.Shutdown(context.Background())
+
+	sc, _ := ByName("churn")
+	tr := sc.Trace(Params{M: 20, N: 40, Seed: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	rep, err := Replay(ctx, tr, ReplayConfig{
+		BaseURL:        hs.URL,
+		HoursPerSecond: 2, // slow enough that the deadline cuts the replay
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.MutationsSent >= len(tr.Events) {
+		t.Errorf("cancellation did not truncate the replay: %d of %d sent",
+			rep.Load.MutationsSent, len(tr.Events))
+	}
+}
