@@ -43,6 +43,9 @@ func main() {
 		solver       = flag.String("solver", "", "solver name for the solve requests (empty = server default)")
 		solveTimeout = flag.Int64("solve-timeout-ms", 2000, "server-side deadline per solve request")
 		maxInFlight  = flag.Int("max-in-flight", 256, "cap on concurrently outstanding requests")
+		retry429     = flag.Int("retry-429", 0, "retry budget per mutation on 429 backpressure (0 = record and move on)")
+		retryBackoff = flag.Duration("retry-backoff", 0, "base delay before the first 429 retry; doubles per attempt, jittered (default 5ms when -retry-429 > 0)")
+		variant      = flag.String("variant", "", "record variant label, e.g. shards4 (suffixes the BENCH filename)")
 		outDir       = flag.String("out", "", "directory for the BENCH_<scenario>.json record (empty = don't write)")
 		timeout      = flag.Duration("timeout", 0, "overall wall-clock budget (0 = no limit)")
 	)
@@ -74,18 +77,21 @@ func main() {
 		SolveTimeoutMS: *solveTimeout,
 		Seed:           *seed,
 		MaxInFlight:    *maxInFlight,
+		Retry429:       *retry429,
+		RetryBackoff:   *retryBackoff,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdbsc-loadgen: %v\n", err)
 		os.Exit(1)
 	}
 	rep.M, rep.N = *m, *n
+	rep.Variant = *variant
 
 	l := rep.Load
 	fmt.Printf("done in %.2fs: %.0f req/s, max schedule lag %.1fms\n",
 		l.WallSeconds, l.RequestsPerSecond, l.MaxScheduleLagMS)
-	fmt.Printf("  mutations: %d sent, %d ok, %d backpressured (429), %d errors; p50=%.2fms p95=%.2fms p99=%.2fms\n",
-		l.MutationsSent, l.MutationsOK, l.MutationsRejected, l.MutationErrors,
+	fmt.Printf("  mutations: %d sent, %d ok (%.0f/s), %d backpressured (429), %d retries, %d errors; p50=%.2fms p95=%.2fms p99=%.2fms\n",
+		l.MutationsSent, l.MutationsOK, l.MutationsPerSecond, l.MutationsRejected, l.MutationRetries, l.MutationErrors,
 		l.MutationMS.P50, l.MutationMS.P95, l.MutationMS.P99)
 	fmt.Printf("  solves:    %d sent, %d ok (%d partial), %d errors; p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		l.SolvesSent, l.SolvesOK, l.SolvePartials, l.SolveErrors,

@@ -16,6 +16,12 @@
 //	curl localhost:8080/v1/stats
 //	curl -X DELETE localhost:8080/v1/tasks/9000
 //
+// With -shards N (N > 1) the same API is served by the multi-shard cluster
+// topology (internal/cluster): the space is tiled, entities route to the
+// shard owning their tile, and solves go through the cross-shard
+// coordinator — exact, bit-identical to the single-engine answer.
+// -shards 1 (the default) keeps the plain single-engine serving path.
+//
 // SIGINT/SIGTERM shut the server down gracefully: intake stops (new
 // mutations get 503), in-flight requests finish, and every queued mutation
 // is applied before exit.
@@ -33,6 +39,7 @@ import (
 	"syscall"
 	"time"
 
+	"rdbsc/internal/cluster"
 	"rdbsc/internal/dataset"
 	"rdbsc/internal/engine"
 	"rdbsc/internal/gen"
@@ -56,51 +63,87 @@ func main() {
 		batchLinger  = flag.Duration("batch-linger", 0, "extra wait to widen batches under bursty load")
 		solveTimeout = flag.Duration("solve-timeout", 30*time.Second, "default and maximum per-request solve deadline")
 		grace        = flag.Duration("grace", 15*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
+		shards       = flag.Int("shards", 1, "spatial shard count; >1 serves the multi-shard cluster topology (internal/cluster)")
+		tileSize     = flag.Float64("tile", 0, "tile side length for shard routing (0 = default 0.3; only with -shards > 1)")
 	)
 	flag.Parse()
 
 	if !(*beta >= 0 && *beta <= 1) { // phrased so NaN also fails
 		fatal(fmt.Errorf("-beta %v outside [0,1]", *beta))
 	}
-	cfg := engine.Config{
-		Beta:         *beta,
-		BetaSet:      true,
-		Opt:          model.Options{WaitAllowed: *wait},
-		DisableIndex: !*useIndex,
+	if *shards < 1 {
+		fatal(fmt.Errorf("-shards %d must be >= 1", *shards))
 	}
-	var eng *engine.Engine
+
+	var in *model.Instance
 	switch {
 	case *prefix != "":
-		in, err := dataset.LoadInstance(*prefix, *beta)
+		loaded, err := dataset.LoadInstance(*prefix, *beta)
 		if err != nil {
 			fatal(err)
 		}
-		in.Opt.WaitAllowed = *wait
-		eng = engine.NewFromInstance(in, cfg)
+		loaded.Opt.WaitAllowed = *wait
+		in = loaded
 	case *m > 0 && *n > 0:
-		in := gen.Generate(gen.Default().WithScale(*m, *n).WithSeed(*genSeed))
+		in = gen.Generate(gen.Default().WithScale(*m, *n).WithSeed(*genSeed))
 		in.Beta = *beta
 		in.Opt.WaitAllowed = *wait
-		eng = engine.NewFromInstance(in, cfg)
-	default:
-		eng = engine.New(cfg)
 	}
 
-	srv, err := serve.New(serve.Config{
-		Engine:       eng,
-		SolverName:   *solverName,
-		QueueDepth:   *queueDepth,
-		BatchMax:     *batchMax,
-		BatchLinger:  *batchLinger,
-		SolveTimeout: *solveTimeout,
-	})
-	if err != nil {
-		fatal(err)
+	var (
+		srv       server
+		boot      string
+		solverTag = *solverName
+	)
+	if *shards > 1 {
+		cl, err := cluster.New(cluster.Config{
+			Shards:       *shards,
+			TileSize:     *tileSize,
+			Beta:         *beta,
+			BetaSet:      true,
+			Opt:          model.Options{WaitAllowed: *wait},
+			SolverName:   *solverName,
+			QueueDepth:   *queueDepth,
+			BatchMax:     *batchMax,
+			BatchLinger:  *batchLinger,
+			SolveTimeout: *solveTimeout,
+			DisableIndex: !*useIndex,
+		}, in)
+		if err != nil {
+			fatal(err)
+		}
+		srv = cl
+		boot = fmt.Sprintf("%d shards, solver %s", cl.Shards(), solverTag)
+	} else {
+		cfg := engine.Config{
+			Beta:         *beta,
+			BetaSet:      true,
+			Opt:          model.Options{WaitAllowed: *wait},
+			DisableIndex: !*useIndex,
+		}
+		var eng *engine.Engine
+		if in != nil {
+			eng = engine.NewFromInstance(in, cfg)
+		} else {
+			eng = engine.New(cfg)
+		}
+		s, err := serve.New(serve.Config{
+			Engine:       eng,
+			SolverName:   *solverName,
+			QueueDepth:   *queueDepth,
+			BatchMax:     *batchMax,
+			BatchLinger:  *batchLinger,
+			SolveTimeout: *solveTimeout,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		srv = s
+		snap := s.Snapshot()
+		boot = fmt.Sprintf("%d tasks, %d workers, %d valid pairs, solver %s",
+			snap.Tasks(), snap.Workers(), len(snap.Problem.Pairs), solverTag)
 	}
-
-	snap := srv.Snapshot()
-	log.Printf("rdbsc-server: listening on %s (%d tasks, %d workers, %d valid pairs, solver %s)",
-		*addr, snap.Tasks(), snap.Workers(), len(snap.Problem.Pairs), *solverName)
+	log.Printf("rdbsc-server: listening on %s (%s)", *addr, boot)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -112,13 +155,20 @@ func main() {
 		fatal(err)
 	case <-ctx.Done():
 	}
-	log.Printf("rdbsc-server: shutting down (draining the mutation queue, %v grace)", *grace)
+	log.Printf("rdbsc-server: shutting down (draining the mutation queues, %v grace)", *grace)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
 	log.Printf("rdbsc-server: drained and stopped")
+}
+
+// server is the slice of serve.Server / cluster.Cluster the main loop
+// needs; both satisfy it.
+type server interface {
+	ListenAndServe(addr string) error
+	Shutdown(ctx context.Context) error
 }
 
 func fatal(err error) {

@@ -1,0 +1,288 @@
+// Package applyloop is the single-writer mutation plane shared by the
+// serving layers: a bounded queue drained by one goroutine that widens the
+// first queued mutation into a batch, coalesces the batch last-wins per
+// entity (so the grid index and the decompose builder are touched once per
+// entity, not once per mutation), hands the survivors to an Applier
+// callback under one engine version bump, and acknowledges every enqueuer
+// — coalesced mutations included.
+//
+// There is exactly one implementation of last-wins coalescing, queue-full
+// backpressure (ErrQueueFull, mapped to HTTP 429 by the callers), and
+// graceful drain (Close stops intake; the loop exits only after applying
+// every accepted mutation): internal/serve runs one Loop in front of its
+// engine, and internal/cluster runs one Loop per shard.
+package applyloop
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// Errors reported by Enqueue, mapped to HTTP statuses by the serving
+// layers.
+var (
+	// ErrQueueFull rejects an enqueue when the mutation queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = errors.New("applyloop: mutation queue full")
+	// ErrClosed rejects an enqueue after Close began (HTTP 503).
+	ErrClosed = errors.New("applyloop: loop closed")
+)
+
+// Ack reports one mutation's fate after its batch was applied.
+type Ack struct {
+	// Changed reports whether the engine changed (an effective upsert, a
+	// found removal).
+	Changed bool
+	// Coalesced marks a mutation superseded by a later same-entity
+	// mutation within its batch; it never reached the engine.
+	Coalesced bool
+	// Version is the engine version after the batch.
+	Version uint64
+}
+
+// Applier applies one coalesced batch to the engine plane it owns and
+// returns the per-mutation changed flags plus the version after the batch.
+// It runs on the loop goroutine — the single writer — so it may touch the
+// engine freely and is expected to publish the post-batch snapshot before
+// returning.
+type Applier func(muts []engine.Mutation) (changed []bool, version uint64)
+
+// Config parameterizes a Loop.
+type Config struct {
+	// Apply drains each coalesced batch. Required.
+	Apply Applier
+	// QueueDepth bounds the mutation queue; a full queue rejects enqueues
+	// with ErrQueueFull. Default 1024.
+	QueueDepth int
+	// BatchMax caps how many queued mutations one batch drains. Default 256.
+	BatchMax int
+	// BatchLinger is how long the loop waits for more mutations after
+	// draining the queue dry, to widen batches under bursty load. Default 0
+	// (apply immediately whatever is pending).
+	BatchLinger time.Duration
+	// StallForTest, when non-nil, runs on the loop goroutine after it wakes
+	// for a batch's first mutation and before it drains the rest — tests
+	// block here to build deterministic batches. Never set in production.
+	// It is read only after a queue receive, so setting it before the first
+	// Enqueue is properly synchronized.
+	StallForTest func()
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	return c
+}
+
+// Stats is a point-in-time copy of the loop's counters.
+type Stats struct {
+	Enqueued     uint64 // mutations accepted into the queue
+	Applied      uint64 // mutations applied through the Applier
+	Coalesced    uint64 // mutations superseded within their batch
+	Batches      uint64 // batches drained
+	RejectedFull uint64 // enqueues rejected with ErrQueueFull
+}
+
+// queued is one mutation in flight, with an optional reply channel
+// (buffered by the enqueuer; the loop never blocks on it).
+type queued struct {
+	mut   engine.Mutation
+	reply chan<- Ack
+}
+
+// Loop is the single-writer apply loop. Construct with New (which starts
+// the goroutine), feed it with Enqueue, and stop it with Close; Drained is
+// closed once every accepted mutation has been applied.
+type Loop struct {
+	cfg     Config
+	ch      chan queued
+	drained chan struct{}
+
+	mu     sync.RWMutex // guards closed against Enqueue/Close races
+	closed bool
+
+	enqueued     atomic.Uint64
+	applied      atomic.Uint64
+	coalesced    atomic.Uint64
+	batches      atomic.Uint64
+	rejectedFull atomic.Uint64
+}
+
+// New validates the configuration and starts the loop goroutine.
+func New(cfg Config) (*Loop, error) {
+	if cfg.Apply == nil {
+		return nil, errors.New("applyloop: Config.Apply is required")
+	}
+	cfg = cfg.withDefaults()
+	l := &Loop{
+		cfg:     cfg,
+		ch:      make(chan queued, cfg.QueueDepth),
+		drained: make(chan struct{}),
+	}
+	go l.run()
+	return l, nil
+}
+
+// Enqueue hands one mutation to the loop, failing fast on a full queue
+// (ErrQueueFull) or a closed loop (ErrClosed). reply, when non-nil,
+// receives the mutation's Ack after its batch applied; it must be buffered
+// by the caller — the loop never blocks on it.
+func (l *Loop) Enqueue(mut engine.Mutation, reply chan<- Ack) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return ErrClosed
+	}
+	select {
+	case l.ch <- queued{mut: mut, reply: reply}:
+		l.enqueued.Add(1)
+		return nil
+	default:
+		l.rejectedFull.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Close stops intake: subsequent Enqueues fail with ErrClosed, and the
+// loop exits once the queue is fully drained (every accepted mutation
+// applied and acknowledged). Idempotent.
+func (l *Loop) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.closed {
+		// No Enqueue can be in flight: Enqueue holds mu.RLock and checks
+		// closed, which is set here under mu.Lock.
+		l.closed = true
+		close(l.ch)
+	}
+}
+
+// Drained is closed when the loop has applied every accepted mutation and
+// exited (only after Close).
+func (l *Loop) Drained() <-chan struct{} { return l.drained }
+
+// Len returns the current queue length.
+func (l *Loop) Len() int { return len(l.ch) }
+
+// Cap returns the queue capacity.
+func (l *Loop) Cap() int { return cap(l.ch) }
+
+// Stats returns a copy of the loop's counters.
+func (l *Loop) Stats() Stats {
+	return Stats{
+		Enqueued:     l.enqueued.Load(),
+		Applied:      l.applied.Load(),
+		Coalesced:    l.coalesced.Load(),
+		Batches:      l.batches.Load(),
+		RejectedFull: l.rejectedFull.Load(),
+	}
+}
+
+// run is the single writer. It blocks for the first queued mutation,
+// widens it into a batch, applies the batch, and acknowledges the
+// enqueuers. It exits only when the queue is closed and fully drained,
+// which is what makes the callers' Shutdown lossless.
+func (l *Loop) run() {
+	defer close(l.drained)
+	for {
+		qm, ok := <-l.ch
+		if !ok {
+			return
+		}
+		if l.cfg.StallForTest != nil {
+			l.cfg.StallForTest()
+		}
+		l.applyBatch(l.fillBatch(qm))
+	}
+}
+
+// fillBatch grows a batch from the queue: everything already pending is
+// drained without waiting (up to BatchMax), and with a positive
+// BatchLinger the loop keeps listening that much longer for stragglers —
+// widening batches under bursty load at the cost of that much apply
+// latency.
+func (l *Loop) fillBatch(first queued) []queued {
+	batch := append(make([]queued, 0, min(l.cfg.BatchMax, 16)), first)
+	var linger <-chan time.Time
+	for len(batch) < l.cfg.BatchMax {
+		select {
+		case qm, ok := <-l.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, qm)
+		default:
+			if l.cfg.BatchLinger <= 0 {
+				return batch
+			}
+			if linger == nil {
+				linger = time.After(l.cfg.BatchLinger)
+			}
+			select {
+			case qm, ok := <-l.ch:
+				if !ok {
+					return batch
+				}
+				batch = append(batch, qm)
+			case <-linger:
+				return batch
+			}
+		}
+	}
+	return batch
+}
+
+// applyBatch coalesces the batch (last mutation per entity wins — the
+// engine state after applying every mutation in order is identical, but
+// the engine plane is touched once per entity instead of once per
+// mutation), applies it through the Applier, and acknowledges every
+// enqueuer, coalesced mutations included.
+func (l *Loop) applyBatch(batch []queued) {
+	lastTask := make(map[model.TaskID]int)
+	lastWorker := make(map[model.WorkerID]int)
+	for i, qm := range batch {
+		tid, wid, isTask := qm.mut.EntityKey()
+		if isTask {
+			lastTask[tid] = i
+		} else {
+			lastWorker[wid] = i
+		}
+	}
+	muts := make([]engine.Mutation, 0, len(lastTask)+len(lastWorker))
+	kept := make([]int, 0, len(lastTask)+len(lastWorker))
+	for i, qm := range batch {
+		tid, wid, isTask := qm.mut.EntityKey()
+		if (isTask && lastTask[tid] == i) || (!isTask && lastWorker[wid] == i) {
+			muts = append(muts, qm.mut)
+			kept = append(kept, i)
+		}
+	}
+
+	changed, version := l.cfg.Apply(muts)
+
+	l.batches.Add(1)
+	l.applied.Add(uint64(len(muts)))
+	l.coalesced.Add(uint64(len(batch) - len(muts)))
+
+	acks := make([]Ack, len(batch))
+	for i := range acks {
+		acks[i] = Ack{Coalesced: true, Version: version}
+	}
+	for k, i := range kept {
+		acks[i] = Ack{Changed: changed[k], Version: version}
+	}
+	for i, qm := range batch {
+		if qm.reply != nil {
+			qm.reply <- acks[i] // buffered by the enqueuer; never blocks
+		}
+	}
+}

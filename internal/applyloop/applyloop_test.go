@@ -1,0 +1,180 @@
+package applyloop
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// countingApplier records every batch it is handed and bumps a version per
+// batch.
+type countingApplier struct {
+	mu      sync.Mutex
+	batches [][]engine.Mutation
+	version uint64
+}
+
+func (a *countingApplier) apply(muts []engine.Mutation) ([]bool, uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.batches = append(a.batches, append([]engine.Mutation(nil), muts...))
+	a.version++
+	changed := make([]bool, len(muts))
+	for i := range changed {
+		changed[i] = true
+	}
+	return changed, a.version
+}
+
+func task(id int, x float64) engine.Mutation {
+	return engine.TaskUpsert(model.Task{ID: model.TaskID(id), Loc: geo.Pt(x, 0.5), End: 4})
+}
+
+func TestNewRequiresApplier(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without Apply should fail")
+	}
+}
+
+// TestCoalescingLastWins: same-entity mutations queued into one batch reach
+// the applier once, as the last version, and every enqueuer — coalesced
+// included — is acknowledged with the batch version.
+func TestCoalescingLastWins(t *testing.T) {
+	ap := &countingApplier{}
+	release := make(chan struct{})
+	var stallOnce sync.Once
+	l, err := New(Config{
+		Apply: ap.apply,
+		// Stall the loop on the first mutation so the rest of the burst
+		// queues behind it into one batch.
+		StallForTest: func() { stallOnce.Do(func() { <-release }) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	reply := make(chan Ack, 4)
+	if err := l.Enqueue(task(1, 0.1), reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Enqueue(task(1, 0.2), reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Enqueue(task(1, 0.3), reply); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Enqueue(task(2, 0.9), reply); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+
+	coalesced := 0
+	for i := 0; i < 4; i++ {
+		a := <-reply
+		if a.Coalesced {
+			coalesced++
+		}
+		if a.Version != 1 {
+			t.Errorf("ack %d version %d, want 1", i, a.Version)
+		}
+	}
+	if coalesced != 2 {
+		t.Errorf("%d acks coalesced, want 2 (two superseded task-1 upserts)", coalesced)
+	}
+	ap.mu.Lock()
+	defer ap.mu.Unlock()
+	if len(ap.batches) != 1 || len(ap.batches[0]) != 2 {
+		t.Fatalf("applier saw %d batches %v, want one batch of 2", len(ap.batches), ap.batches)
+	}
+	if ap.batches[0][0].Task.Loc.X != 0.3 {
+		t.Errorf("survivor for task 1 is the upsert at x=%v, want the last one (0.3)", ap.batches[0][0].Task.Loc.X)
+	}
+	st := l.Stats()
+	if st.Enqueued != 4 || st.Applied != 2 || st.Coalesced != 2 || st.Batches != 1 {
+		t.Errorf("stats %+v, want enqueued 4 / applied 2 / coalesced 2 / batches 1", st)
+	}
+}
+
+// TestQueueFullBackpressure: a stalled loop with a full queue rejects with
+// ErrQueueFull and counts the rejection.
+func TestQueueFullBackpressure(t *testing.T) {
+	ap := &countingApplier{}
+	release := make(chan struct{})
+	var stallOnce sync.Once
+	l, err := New(Config{
+		Apply:        ap.apply,
+		QueueDepth:   2,
+		StallForTest: func() { stallOnce.Do(func() { <-release }) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// First enqueue wakes the loop (which stalls holding it); two more fill
+	// the depth-2 queue. The wake is asynchronous, so wait until the loop
+	// has taken the first mutation off the channel before filling.
+	if err := l.Enqueue(task(1, 0.1), nil); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("loop never picked up the first mutation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Enqueue(task(2, 0.2), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Enqueue(task(3, 0.3), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Enqueue(task(4, 0.4), nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("enqueue into a full queue returned %v, want ErrQueueFull", err)
+	}
+	if st := l.Stats(); st.RejectedFull != 1 {
+		t.Errorf("RejectedFull = %d, want 1", st.RejectedFull)
+	}
+	close(release)
+}
+
+// TestCloseDrainsLosslessly: Close stops intake immediately but every
+// accepted mutation still applies before Drained closes.
+func TestCloseDrainsLosslessly(t *testing.T) {
+	ap := &countingApplier{}
+	release := make(chan struct{})
+	var stallOnce sync.Once
+	l, err := New(Config{
+		Apply:        ap.apply,
+		StallForTest: func() { stallOnce.Do(func() { <-release }) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if err := l.Enqueue(task(i, float64(i)/10), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	l.Close() // idempotent
+	if err := l.Enqueue(task(99, 0.9), nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after Close returned %v, want ErrClosed", err)
+	}
+	close(release)
+	select {
+	case <-l.Drained():
+	case <-time.After(5 * time.Second):
+		t.Fatal("loop never drained")
+	}
+	if st := l.Stats(); st.Applied != 8 {
+		t.Errorf("drained loop applied %d mutations, want all 8", st.Applied)
+	}
+}

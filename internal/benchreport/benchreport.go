@@ -80,8 +80,12 @@ type Report struct {
 	Schema   int    `json:"schema"`
 	Kind     string `json:"kind"`
 	Scenario string `json:"scenario"`
-	Solver   string `json:"solver"`
-	Seed     int64  `json:"seed"`
+	// Variant distinguishes records of the same scenario taken under
+	// different server topologies (e.g. "shards1" vs "shards4"); it suffixes
+	// the on-disk filename so the records coexist in one directory.
+	Variant string `json:"variant,omitempty"`
+	Solver  string `json:"solver"`
+	Seed    int64  `json:"seed"`
 
 	// Workload shape.
 	M          int `json:"m"`
@@ -136,6 +140,12 @@ type LoadMetrics struct {
 	RequestsPerSecond float64   `json:"requests_per_second"`
 	MutationMS        Quantiles `json:"mutation_ms"`
 	MaxScheduleLagMS  float64   `json:"max_schedule_lag_ms"`
+	// MutationRetries counts 429-rejected mutations re-sent under the
+	// replay's bounded-retry policy (0 when retries are off, the default).
+	MutationRetries int `json:"mutation_retries,omitempty"`
+	// MutationsPerSecond is MutationsOK over WallSeconds — the mutation-plane
+	// throughput the shard-scaling perf gate compares across topologies.
+	MutationsPerSecond float64 `json:"mutations_per_second,omitempty"`
 }
 
 // New returns a report header stamped with the schema version and the
@@ -171,13 +181,23 @@ func (r *Report) Validate() error {
 // Filename is the canonical on-disk name for a scenario's report.
 func Filename(scenario string) string { return "BENCH_" + scenario + ".json" }
 
+// VariantFilename is the on-disk name for a scenario record taken under a
+// named topology variant; an empty variant falls back to Filename.
+func VariantFilename(scenario, variant string) string {
+	if variant == "" {
+		return Filename(scenario)
+	}
+	return "BENCH_" + scenario + "_" + variant + ".json"
+}
+
 // Write validates the report and writes it to dir as BENCH_<scenario>.json
-// (indented, trailing newline), returning the path.
+// (or BENCH_<scenario>_<variant>.json; indented, trailing newline),
+// returning the path.
 func Write(dir string, r *Report) (string, error) {
 	if err := r.Validate(); err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, Filename(r.Scenario))
+	path := filepath.Join(dir, VariantFilename(r.Scenario, r.Variant))
 	b, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
 		return "", err

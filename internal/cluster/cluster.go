@@ -1,0 +1,399 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rdbsc/internal/applyloop"
+	"rdbsc/internal/core"
+	"rdbsc/internal/engine"
+	"rdbsc/internal/grid"
+	"rdbsc/internal/model"
+)
+
+// Config parameterizes a Cluster. The engine-level knobs (Beta, Opt, Grid)
+// apply to every shard identically — cross-shard exactness requires one
+// objective and one reachability semantics across the cluster.
+type Config struct {
+	// Shards is the shard count. Required (>= 1); a one-shard cluster is a
+	// valid degenerate topology, though cmd/rdbsc-server keeps -shards 1 on
+	// the plain serve path.
+	Shards int
+	// TileSize is the spatial tile side length (default 0.3). Smaller
+	// tiles spread load more evenly across shards but put more components
+	// on tile boundaries, escalating more solves.
+	TileSize float64
+	// Beta is the requester diversity weight β (same semantics as
+	// engine.Config: zero means unset unless BetaSet).
+	Beta    float64
+	BetaSet bool
+	// Opt configures reachability semantics for pair enumeration.
+	Opt model.Options
+	// SolverName selects the default solver for solve requests that name
+	// none. Default "dc".
+	SolverName string
+	// QueueDepth bounds each shard's mutation queue (default 1024).
+	QueueDepth int
+	// BatchMax caps how many queued mutations one shard batch drains
+	// (default 256).
+	BatchMax int
+	// BatchLinger is each shard loop's batch-widening wait (default 0).
+	BatchLinger time.Duration
+	// SolveTimeout is the default and upper bound for per-request solve
+	// deadlines (default 30s).
+	SolveTimeout time.Duration
+	// Grid configures each shard's index; DisableIndex switches every shard
+	// to brute-force pair retrieval (same semantics, no grid).
+	Grid         grid.Config
+	DisableIndex bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.SolverName == "" {
+		c.SolverName = "dc"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 1024
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 256
+	}
+	if c.SolveTimeout <= 0 {
+		c.SolveTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// shard is one spatial partition: an engine owned by a single-writer apply
+// loop, publishing copy-on-write snapshots.
+type shard struct {
+	eng  *engine.Engine
+	loop *applyloop.Loop
+	snap atomic.Pointer[engine.Snapshot]
+
+	rebuilds   atomic.Uint64 // batches whose snapshot re-derived the pairs
+	retrieveNS atomic.Int64  // cumulative pair-retrieval time
+}
+
+// Cluster is the sharded assignment service: a Router mapping entities to
+// shards by location, one apply loop per shard, and a solve Coordinator
+// that assembles the exact global problem from the shard snapshots.
+// Construct with New, expose Handler over HTTP or call ListenAndServe, and
+// stop with Shutdown.
+type Cluster struct {
+	cfg    Config
+	tiling Tiling
+	shards []*shard
+	beta   float64
+	opt    model.Options
+
+	// The entity registry maps live entity IDs to their owning shard, so
+	// removals — which carry only an ID, no location — route correctly, and
+	// upserts that change an entity's tile ("moves") retire the stale copy
+	// from the old shard. Enqueues happen under mu in registry order, and
+	// each shard's queue is FIFO, so per-entity mutation order is preserved
+	// cluster-wide.
+	mu          sync.Mutex
+	taskShard   map[model.TaskID]int
+	workerShard map[model.WorkerID]int
+	routeGen    uint64 // bumped when a registry change can strand a stale copy
+
+	asm atomic.Pointer[assembled] // cached assembled global problem
+
+	mux     *http.ServeMux
+	httpMu  sync.Mutex
+	closing bool
+	http    *http.Server
+
+	lastRes atomic.Pointer[SolveResponse]
+	started time.Time
+
+	// Counters behind /v1/stats.
+	moves               atomic.Uint64 // cross-shard entity migrations
+	solves              atomic.Uint64
+	solveErrors         atomic.Uint64
+	partials            atomic.Uint64
+	escalated           atomic.Uint64 // components spanning >1 shard, cumulative
+	interior            atomic.Uint64 // components interior to one shard, cumulative
+	assemblies          atomic.Uint64 // global-problem assemblies (cache misses)
+	assemblyReuses      atomic.Uint64 // solves served by a cached assembly
+	consistencyFailures atomic.Uint64 // post-solve invariant violations
+
+	statsMu    sync.Mutex
+	solveStats core.Stats
+	solveLatMS [1024]float64
+	latN       int
+}
+
+// New validates the configuration, splits the optional bulk-load instance
+// across the shards by entity location, starts one apply loop per shard,
+// and returns the cluster. in may be nil (an empty cluster); when set, its
+// β and reachability options override the config's, mirroring
+// engine.NewFromInstance.
+func New(cfg Config, in *model.Instance) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Shards < 1 {
+		return nil, errors.New("cluster: Config.Shards must be >= 1")
+	}
+	if _, err := core.NewByName(cfg.SolverName); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	c := &Cluster{
+		cfg:         cfg,
+		tiling:      Tiling{Shards: cfg.Shards, TileSize: cfg.TileSize}.withDefaults(),
+		shards:      make([]*shard, cfg.Shards),
+		taskShard:   make(map[model.TaskID]int),
+		workerShard: make(map[model.WorkerID]int),
+		started:     time.Now(),
+	}
+	engCfg := engine.Config{
+		Beta: cfg.Beta, BetaSet: cfg.BetaSet, Opt: cfg.Opt,
+		Grid: cfg.Grid, DisableIndex: cfg.DisableIndex,
+	}
+
+	// Split the bulk load by location; every entity lands on exactly one
+	// shard and is registered there.
+	subs := make([]*model.Instance, cfg.Shards)
+	if in != nil {
+		for i := range subs {
+			subs[i] = &model.Instance{Beta: in.Beta, Opt: in.Opt}
+		}
+		for _, t := range in.Tasks {
+			s := c.tiling.ShardOf(t.Loc)
+			subs[s].Tasks = append(subs[s].Tasks, t)
+			c.taskShard[t.ID] = s
+		}
+		for _, w := range in.Workers {
+			s := c.tiling.ShardOf(w.Loc)
+			subs[s].Workers = append(subs[s].Workers, w)
+			c.workerShard[w.ID] = s
+		}
+	}
+
+	for i := range c.shards {
+		sh := &shard{}
+		if in != nil {
+			sh.eng = engine.NewFromInstance(subs[i], engCfg)
+		} else {
+			sh.eng = engine.New(engCfg)
+		}
+		// Publish the initial snapshot before the loop starts: this is the
+		// last single-threaded touch of the engine.
+		snap := sh.eng.Snapshot()
+		sh.snap.Store(&snap)
+		loop, err := applyloop.New(applyloop.Config{
+			QueueDepth:  cfg.QueueDepth,
+			BatchMax:    cfg.BatchMax,
+			BatchLinger: cfg.BatchLinger,
+			Apply:       sh.apply,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		sh.loop = loop
+		c.shards[i] = sh
+	}
+	// The effective β/Opt (post-default, post-instance-override) come back
+	// from a shard engine so the assembled global instance always agrees
+	// with the shards.
+	c.beta = c.shards[0].eng.Beta()
+	c.opt = cfg.Opt
+	if in != nil {
+		c.opt = in.Opt
+	}
+	c.mux = c.routes()
+	return c, nil
+}
+
+// apply is a shard's applyloop.Applier: single-writer batch application
+// plus snapshot publication, identical to the serve layer's.
+func (sh *shard) apply(muts []engine.Mutation) ([]bool, uint64) {
+	changed := sh.eng.ApplyBatch(muts)
+	snap := sh.eng.Snapshot()
+	sh.snap.Store(&snap)
+	if snap.Rebuilt {
+		sh.rebuilds.Add(1)
+		sh.retrieveNS.Add(int64(snap.Retrieve))
+	}
+	return changed, snap.Version
+}
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Enqueue routes one mutation to its shard, failing fast on a full queue
+// (applyloop.ErrQueueFull, HTTP 429) or a closed cluster
+// (applyloop.ErrClosed, HTTP 503). reply, when non-nil, must be buffered
+// and receives the mutation's Ack after its shard batch applied.
+//
+// Upserts route by the entity's location; removals route through the
+// entity registry (they carry no location). An upsert that moves a live
+// entity onto a tile owned by a different shard enqueues a removal to the
+// old shard first (unacknowledged — the registry already guarantees no
+// later mutation routes there) and the upsert to the new one; when the
+// removal cannot be enqueued the whole mutation is rejected, leaving the
+// entity intact on its old shard.
+func (c *Cluster) Enqueue(mut engine.Mutation, reply chan<- applyloop.Ack) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch mut.Op {
+	case engine.OpUpsertTask:
+		return routeUpsert(c, mut, reply, c.taskShard, mut.Task.ID,
+			c.tiling.ShardOf(mut.Task.Loc), engine.TaskRemoval(mut.Task.ID))
+	case engine.OpUpsertWorker:
+		return routeUpsert(c, mut, reply, c.workerShard, mut.Worker.ID,
+			c.tiling.ShardOf(mut.Worker.Loc), engine.WorkerRemoval(mut.Worker.ID))
+	case engine.OpRemoveTask:
+		return routeRemoval(c, mut, reply, c.taskShard, mut.TaskID)
+	default:
+		return routeRemoval(c, mut, reply, c.workerShard, mut.WorkerID)
+	}
+}
+
+// routeUpsert enqueues an upsert to target, retiring a stale copy from the
+// entity's previous shard first when the entity moved. Caller holds c.mu.
+// (A free function because methods cannot be generic over the two registry
+// key types.)
+func routeUpsert[K comparable](c *Cluster, mut engine.Mutation, reply chan<- applyloop.Ack, reg map[K]int, id K, target int, removal engine.Mutation) error {
+	old, moved := reg[id]
+	moved = moved && old != target
+	if moved {
+		if err := c.shards[old].loop.Enqueue(removal, nil); err != nil {
+			return err // entity stays on its old shard; registry unchanged
+		}
+		c.moves.Add(1)
+		c.routeGen++ // the old shard holds a stale copy until its removal applies
+	}
+	if err := c.shards[target].loop.Enqueue(mut, reply); err != nil {
+		if moved {
+			// The old-shard removal was accepted, so the entity is on its
+			// way out everywhere; drop it from the registry rather than
+			// resurrect a stale route.
+			delete(reg, id)
+		}
+		return err
+	}
+	reg[id] = target
+	return nil
+}
+
+// routeRemoval enqueues a removal to the entity's registered shard. An
+// unknown ID is a no-op removal, routed to shard 0 so the caller still
+// gets its ack (changed=false). Caller holds c.mu.
+func routeRemoval[K comparable](c *Cluster, mut engine.Mutation, reply chan<- applyloop.Ack, reg map[K]int, id K) error {
+	target, ok := reg[id]
+	if !ok {
+		target = 0
+	}
+	if err := c.shards[target].loop.Enqueue(mut, reply); err != nil {
+		return err
+	}
+	if ok {
+		delete(reg, id)
+	}
+	return nil
+}
+
+// Mutate enqueues the mutations (in order) and blocks until every one is
+// acknowledged or ctx ends — the engine-plane entry point used by tests
+// and the differential harness; the HTTP layer uses Enqueue directly.
+func (c *Cluster) Mutate(ctx context.Context, muts ...engine.Mutation) ([]applyloop.Ack, error) {
+	reply := make(chan applyloop.Ack, len(muts))
+	for i, m := range muts {
+		if err := c.Enqueue(m, reply); err != nil {
+			return nil, fmt.Errorf("cluster: enqueue %d/%d: %w", i, len(muts), err)
+		}
+	}
+	acks := make([]applyloop.Ack, 0, len(muts))
+	for range muts {
+		select {
+		case a := <-reply:
+			acks = append(acks, a)
+		case <-ctx.Done():
+			return acks, ctx.Err()
+		}
+	}
+	return acks, nil
+}
+
+// quiesceID is a task ID no workload ever uses (IDs are non-negative);
+// removing it is a guaranteed no-op barrier mutation.
+const quiesceID = model.TaskID(-1 << 30)
+
+// Quiesce blocks until every mutation enqueued before the call has been
+// applied on its shard: it pushes a no-op barrier through each shard's
+// FIFO queue and waits for all acks. Tests and the differential harness
+// use it to reach a settled state before solving.
+func (c *Cluster) Quiesce(ctx context.Context) error {
+	reply := make(chan applyloop.Ack, len(c.shards))
+	for i, sh := range c.shards {
+		if err := sh.loop.Enqueue(engine.TaskRemoval(quiesceID), reply); err != nil {
+			return fmt.Errorf("cluster: quiesce shard %d: %w", i, err)
+		}
+	}
+	for range c.shards {
+		select {
+		case <-reply:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Handler returns the cluster's HTTP handler (the same /v1 surface as
+// internal/serve, plus per-shard and escalation stats).
+func (c *Cluster) Handler() http.Handler { return c.mux }
+
+// ListenAndServe serves the handler on addr until Shutdown (which returns
+// http.ErrServerClosed here) or a listener error.
+func (c *Cluster) ListenAndServe(addr string) error {
+	hs := &http.Server{Addr: addr, Handler: c.mux, ReadHeaderTimeout: 10 * time.Second}
+	c.httpMu.Lock()
+	if c.closing {
+		c.httpMu.Unlock()
+		return applyloop.ErrClosed
+	}
+	c.http = hs
+	c.httpMu.Unlock()
+	return hs.ListenAndServe()
+}
+
+// Shutdown stops the cluster gracefully: the embedded HTTP server (if any)
+// stops accepting, every shard loop closes and drains completely — every
+// accepted mutation applies — and ctx bounds the whole wait.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.httpMu.Lock()
+	c.closing = true
+	hs := c.http
+	c.httpMu.Unlock()
+
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	for _, sh := range c.shards {
+		sh.loop.Close()
+	}
+	for _, sh := range c.shards {
+		select {
+		case <-sh.loop.Drained():
+		case <-ctx.Done():
+			return errors.Join(err, ctx.Err())
+		}
+	}
+	return err
+}
+
+// sortEntities sorts tasks and workers by ID, the canonical instance
+// order.
+func sortEntities(in *model.Instance) {
+	sort.Slice(in.Tasks, func(i, j int) bool { return in.Tasks[i].ID < in.Tasks[j].ID })
+	sort.Slice(in.Workers, func(i, j int) bool { return in.Workers[i].ID < in.Workers[j].ID })
+}

@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+func TestTilingDeterministicAndInRange(t *testing.T) {
+	tl := Tiling{Shards: 4}.withDefaults()
+	rng := rand.New(rand.NewSource(11))
+	seen := make(map[int]bool)
+	for i := 0; i < 2000; i++ {
+		p := geo.Pt(rng.Float64()*4-2, rng.Float64()*4-2)
+		s := tl.ShardOf(p)
+		if s < 0 || s >= tl.Shards {
+			t.Fatalf("ShardOf(%v) = %d out of [0,%d)", p, s, tl.Shards)
+		}
+		if s2 := tl.ShardOf(p); s2 != s {
+			t.Fatalf("ShardOf(%v) not deterministic: %d then %d", p, s, s2)
+		}
+		seen[s] = true
+	}
+	if len(seen) != tl.Shards {
+		t.Errorf("2000 random points over [-2,2)^2 hit only %d of %d shards", len(seen), tl.Shards)
+	}
+}
+
+// TestShardsInDiscCoversDisc: the disc query must mark the shard of every
+// point inside the disc — it is the pruning set for cross-shard pair
+// discovery, so a miss would silently drop valid pairs.
+func TestShardsInDiscCoversDisc(t *testing.T) {
+	tl := Tiling{Shards: 5, TileSize: 0.25}.withDefaults()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		c := geo.Pt(rng.Float64()*2-1, rng.Float64()*2-1)
+		r := rng.Float64() * 1.5
+		reach := tl.ShardsInDisc(c, r)
+		for k := 0; k < 40; k++ {
+			ang := rng.Float64() * 2 * math.Pi
+			d := rng.Float64() * r
+			p := geo.Pt(c.X+d*math.Cos(ang), c.Y+d*math.Sin(ang))
+			if !reach[tl.ShardOf(p)] {
+				t.Fatalf("trial %d: point %v at distance %.3f inside disc(%v, %.3f) maps to unmarked shard %d",
+					trial, p, d, c, r, tl.ShardOf(p))
+			}
+		}
+	}
+	// Zero radius still marks the center's own shard.
+	reach := tl.ShardsInDisc(geo.Pt(0.1, 0.1), 0)
+	if !reach[tl.ShardOf(geo.Pt(0.1, 0.1))] {
+		t.Error("zero-radius disc must mark the center's shard")
+	}
+}
+
+func TestRemovalOfUnknownIDAcksUnchanged(t *testing.T) {
+	cl, err := New(Config{Shards: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, cl)
+	ctx := context.Background()
+	acks, err := cl.Mutate(ctx, engine.TaskRemoval(999), engine.WorkerRemoval(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range acks {
+		if a.Changed {
+			t.Errorf("removal of an unknown ID acked Changed=true: %+v", a)
+		}
+	}
+}
+
+func TestCrossShardMoveRetiresStaleCopy(t *testing.T) {
+	cl, err := New(Config{Shards: 4, TileSize: 0.3, Beta: 0.5, BetaSet: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, cl)
+	ctx := context.Background()
+
+	// Find two locations on different shards.
+	locA := geo.Pt(0.05, 0.05)
+	var locB geo.Point
+	for x := 0.05; ; x += 0.3 {
+		locB = geo.Pt(x, 0.05)
+		if cl.tiling.ShardOf(locB) != cl.tiling.ShardOf(locA) {
+			break
+		}
+		if x > 5 {
+			t.Skip("hash degenerate: every tile on one shard")
+		}
+	}
+	w := model.Worker{ID: 1, Loc: locA, Speed: 1, Dir: geo.FullCircle, Confidence: 0.9}
+	if _, err := cl.Mutate(ctx, engine.WorkerUpsert(w)); err != nil {
+		t.Fatal(err)
+	}
+	w.Loc = locB
+	if _, err := cl.Mutate(ctx, engine.WorkerUpsert(w)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.moves.Load(); got != 1 {
+		t.Errorf("moves = %d, want 1", got)
+	}
+	// Exactly one live copy across all shards, at the new location.
+	copies := 0
+	for _, sh := range cl.shards {
+		for _, sw := range sh.snap.Load().Problem.In.Workers {
+			if sw.ID == 1 {
+				copies++
+				if sw.Loc != locB {
+					t.Errorf("surviving copy at %v, want %v", sw.Loc, locB)
+				}
+			}
+		}
+	}
+	if copies != 1 {
+		t.Errorf("worker 1 has %d live copies across shards, want 1", copies)
+	}
+	cl.mu.Lock()
+	home := cl.workerShard[1]
+	cl.mu.Unlock()
+	if home != cl.tiling.ShardOf(locB) {
+		t.Errorf("registry routes worker 1 to shard %d, want %d", home, cl.tiling.ShardOf(locB))
+	}
+}
+
+func TestShutdownDrainsAndRejects(t *testing.T) {
+	cl, err := New(Config{Shards: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var muts []engine.Mutation
+	for i := 0; i < 64; i++ {
+		muts = append(muts, engine.TaskUpsert(model.Task{
+			ID: model.TaskID(i), Loc: geo.Pt(float64(i)*0.07, 0.2), Start: 0, End: 5,
+		}))
+	}
+	if _, err := cl.Mutate(ctx, muts...); err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := cl.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+	// Every accepted mutation applied before shutdown returned.
+	total := 0
+	for _, sh := range cl.shards {
+		total += sh.snap.Load().Tasks()
+	}
+	if total != 64 {
+		t.Errorf("after drain, shards hold %d tasks, want 64", total)
+	}
+	if err := cl.Enqueue(engine.TaskUpsert(model.Task{ID: 99, End: 1}), nil); err == nil {
+		t.Error("Enqueue after Shutdown should fail")
+	}
+}
+
+func TestHTTPSurface(t *testing.T) {
+	cl, err := New(Config{Shards: 4, Beta: 0.5, BetaSet: true, SolverName: "greedy"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, cl)
+	ts := httptest.NewServer(cl.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	decode := func(resp *http.Response, v any) {
+		t.Helper()
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var tasks []map[string]any
+	for i := 0; i < 12; i++ {
+		f := float64(i) / 11
+		tasks = append(tasks, map[string]any{"id": i, "x": 0.05 + 0.9*f, "y": 0.5, "start": 0, "end": 6})
+	}
+	resp := post("/v1/tasks", tasks)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/tasks: %s", resp.Status)
+	}
+	var ackBody struct {
+		Accepted int `json:"accepted"`
+	}
+	decode(resp, &ackBody)
+	if ackBody.Accepted != 12 {
+		t.Fatalf("accepted %d tasks, want 12", ackBody.Accepted)
+	}
+
+	var workers []map[string]any
+	for i := 0; i < 16; i++ {
+		f := float64(i) / 15
+		workers = append(workers, map[string]any{
+			"id": i, "x": 0.05 + 0.9*f, "y": 0.45, "speed": 1.0, "confidence": 0.8, "depart": 0,
+		})
+	}
+	resp = post("/v1/workers", workers)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/workers: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	resp = post("/v1/solve", map[string]any{"seed": 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/solve: %s", resp.Status)
+	}
+	var solve SolveResponse
+	decode(resp, &solve)
+	if !solve.Feasible || solve.AssignedWorkers == 0 {
+		t.Fatalf("solve infeasible: %+v", solve)
+	}
+	if solve.EscalatedComponents+solve.InteriorComponents != solve.Stats.Components {
+		t.Errorf("escalated %d + interior %d != components %d",
+			solve.EscalatedComponents, solve.InteriorComponents, solve.Stats.Components)
+	}
+
+	get := func(path string) *http.Response {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp = get("/v1/assignment")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/assignment: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	resp = get("/v1/stats")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/stats: %s", resp.Status)
+	}
+	var stats struct {
+		Version uint64 `json:"version"`
+		Tasks   int    `json:"tasks"`
+		Workers int    `json:"workers"`
+		Pairs   int    `json:"pairs"`
+		Shards  []struct {
+			Shard   int    `json:"shard"`
+			Version uint64 `json:"version"`
+		} `json:"shards"`
+		Cluster struct {
+			ShardCount          int    `json:"shard_count"`
+			ConsistencyFailures uint64 `json:"consistency_failures"`
+			Assemblies          uint64 `json:"assemblies"`
+		} `json:"cluster"`
+		Solves uint64 `json:"solves"`
+	}
+	decode(resp, &stats)
+	if stats.Tasks != 12 || stats.Workers != 16 {
+		t.Errorf("stats population %d/%d, want 12/16", stats.Tasks, stats.Workers)
+	}
+	if len(stats.Shards) != 4 || stats.Cluster.ShardCount != 4 {
+		t.Errorf("stats shard breakdown has %d rows, shard_count %d, want 4/4",
+			len(stats.Shards), stats.Cluster.ShardCount)
+	}
+	if stats.Cluster.ConsistencyFailures != 0 {
+		t.Errorf("consistency_failures = %d, want 0", stats.Cluster.ConsistencyFailures)
+	}
+	if stats.Cluster.Assemblies == 0 || stats.Solves != 1 {
+		t.Errorf("assemblies %d / solves %d, want >0 / 1", stats.Cluster.Assemblies, stats.Solves)
+	}
+
+	// Remove a task; the stats population must shrink.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/tasks/0", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rm struct {
+		Removed bool `json:"removed"`
+	}
+	decode(dresp, &rm)
+	if !rm.Removed {
+		t.Error("DELETE /v1/tasks/0 reported removed=false")
+	}
+
+	resp = get("/healthz")
+	var hz struct {
+		OK     bool `json:"ok"`
+		Shards int  `json:"shards"`
+	}
+	decode(resp, &hz)
+	if !hz.OK || hz.Shards != 4 {
+		t.Errorf("healthz %+v, want ok with 4 shards", hz)
+	}
+}
+
+func shutdown(t *testing.T, cl *Cluster) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Shutdown(ctx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}

@@ -1,0 +1,280 @@
+package cluster
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/engine"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/workload"
+)
+
+// canonicalProblem re-sorts a monolithic engine's prepared pairs into the
+// canonical (task, worker) order the cluster assembles in. Solver
+// tie-breaking is pair-order sensitive, so the bit-identity contract is
+// stated — on both sides — over the canonical order; the pair SET is
+// order-independent and must match exactly either way.
+func canonicalProblem(eng *engine.Engine) *core.Problem {
+	p := eng.Problem()
+	pairs := append([]model.Pair(nil), p.Pairs...)
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].Task != pairs[j].Task {
+			return pairs[i].Task < pairs[j].Task
+		}
+		return pairs[i].Worker < pairs[j].Worker
+	})
+	return core.NewProblemWithPairs(eng.Instance(), pairs)
+}
+
+func assignmentMap(res *core.Result) map[model.WorkerID]model.TaskID {
+	m := make(map[model.WorkerID]model.TaskID)
+	if res.Assignment != nil {
+		res.Assignment.Workers(func(w model.WorkerID, t model.TaskID) { m[w] = t })
+	}
+	return m
+}
+
+// comparePairSets asserts the cluster-assembled global pair set is
+// bit-identical (IDs, arrivals, angles) to the monolithic engine's, in
+// canonical order.
+func comparePairSets(t *testing.T, got, want *core.Problem) {
+	t.Helper()
+	if len(got.Pairs) != len(want.Pairs) {
+		t.Fatalf("assembled %d pairs, monolithic has %d", len(got.Pairs), len(want.Pairs))
+	}
+	for i := range got.Pairs {
+		if got.Pairs[i] != want.Pairs[i] {
+			t.Fatalf("pair %d differs: cluster %+v, monolithic %+v", i, got.Pairs[i], want.Pairs[i])
+		}
+	}
+}
+
+// compareSolves asserts the cluster solve and the monolithic sharded solve
+// returned the same assignment and the same objective, bitwise.
+func compareSolves(t *testing.T, label string, got, want *core.Result) {
+	t.Helper()
+	gm, wm := assignmentMap(got), assignmentMap(want)
+	if len(gm) != len(wm) {
+		t.Fatalf("%s: cluster assigned %d workers, monolithic %d", label, len(gm), len(wm))
+	}
+	for w, tk := range wm {
+		if gm[w] != tk {
+			t.Fatalf("%s: worker %d assigned to %d (cluster) vs %d (monolithic)", label, w, gm[w], tk)
+		}
+	}
+	if got.Eval.MinRel != want.Eval.MinRel || got.Eval.TotalESTD != want.Eval.TotalESTD ||
+		got.Eval.AssignedWorkers != want.Eval.AssignedWorkers || got.Eval.AssignedTasks != want.Eval.AssignedTasks {
+		t.Fatalf("%s: objective differs: cluster %+v, monolithic %+v", label, got.Eval, want.Eval)
+	}
+	if got.Stats.Components != want.Stats.Components {
+		t.Fatalf("%s: components %d (cluster) vs %d (monolithic)", label, got.Stats.Components, want.Stats.Components)
+	}
+}
+
+// TestDifferentialAllScenarios replays every workload scenario's churn
+// trace into an N-shard cluster and a monolithic engine side by side and
+// asserts, at several checkpoints, that the assembled global problem and
+// the solve result are bit-identical to the monolithic sharded solve over
+// the canonically ordered problem. Runs under -race in CI, so it also
+// exercises the concurrent shard loops.
+func TestDifferentialAllScenarios(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	totalEscalated := 0
+	for _, sc := range workload.Registry() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			tr := sc.Trace(workload.Params{M: 30, N: 60, Seed: 5, Horizon: 2})
+			for _, nShards := range []int{1, 2, 4} {
+				cl, err := New(Config{
+					Shards: nShards, Beta: tr.Beta, BetaSet: true, Opt: tr.Opt,
+					SolverName: "greedy",
+				}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mono := engine.New(engine.Config{Beta: tr.Beta, BetaSet: true, Opt: tr.Opt})
+
+				const chunk = 50
+				checkpoint := 0
+				for lo := 0; lo < len(tr.Events); lo += chunk {
+					hi := lo + chunk
+					if hi > len(tr.Events) {
+						hi = len(tr.Events)
+					}
+					muts := make([]engine.Mutation, 0, hi-lo)
+					for _, ev := range tr.Events[lo:hi] {
+						muts = append(muts, ev.Mutation())
+					}
+					if _, err := cl.Mutate(ctx, muts...); err != nil {
+						t.Fatal(err)
+					}
+					mono.ApplyBatch(muts)
+					if err := cl.Quiesce(ctx); err != nil {
+						t.Fatal(err)
+					}
+					checkpoint++
+
+					ref := canonicalProblem(mono)
+					a, _ := cl.assemble()
+					comparePairSets(t, a.problem, ref)
+					totalEscalated += a.nEscalated
+
+					seed := int64(1000*checkpoint + nShards)
+					inner, err := core.NewByName("greedy")
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, gErr := cl.Solve(ctx, inner, &core.SolveOptions{Seed: seed})
+					inner2, _ := core.NewByName("greedy")
+					want, wErr := core.NewSharded(inner2).Solve(ctx, ref, &core.SolveOptions{Seed: seed})
+					if (gErr == nil) != (wErr == nil) {
+						t.Fatalf("checkpoint %d: error mismatch: cluster %v, monolithic %v", checkpoint, gErr, wErr)
+					}
+					label := sc.Name + "/" +
+						"shards=" + string(rune('0'+nShards)) + "/cp=" + string(rune('0'+checkpoint))
+					compareSolves(t, label, got, want)
+				}
+				sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+				if err := cl.Shutdown(sctx); err != nil {
+					t.Fatal(err)
+				}
+				scancel()
+			}
+		})
+	}
+	if totalEscalated == 0 {
+		t.Errorf("no component ever spanned a tile boundary across the whole suite; escalation path untested")
+	}
+}
+
+// TestDifferentialDCSolver repeats the differential check with the
+// divide-and-conquer solver (the server default) on two scenarios, pinning
+// that bit-identity is a property of the coordinator, not of one solver.
+func TestDifferentialDCSolver(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	for _, name := range []string{"hotspot", "islands"} {
+		sc, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := sc.Trace(workload.Params{M: 24, N: 48, Seed: 9, Horizon: 2})
+		cl, err := New(Config{Shards: 4, Beta: tr.Beta, BetaSet: true, Opt: tr.Opt, SolverName: "dc"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono := engine.New(engine.Config{Beta: tr.Beta, BetaSet: true, Opt: tr.Opt})
+		muts := make([]engine.Mutation, 0, len(tr.Events))
+		for _, ev := range tr.Events {
+			muts = append(muts, ev.Mutation())
+		}
+		if _, err := cl.Mutate(ctx, muts...); err != nil {
+			t.Fatal(err)
+		}
+		mono.ApplyBatch(muts)
+		if err := cl.Quiesce(ctx); err != nil {
+			t.Fatal(err)
+		}
+		ref := canonicalProblem(mono)
+		inner, _ := core.NewByName("dc")
+		got, _, _ := cl.Solve(ctx, inner, &core.SolveOptions{Seed: 77})
+		inner2, _ := core.NewByName("dc")
+		want, _ := core.NewSharded(inner2).Solve(ctx, ref, &core.SolveOptions{Seed: 77})
+		compareSolves(t, name+"/dc", got, want)
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = cl.Shutdown(sctx)
+		scancel()
+	}
+}
+
+// TestDifferentialCrossBoundaryMoves drives explicit worker re-upserts
+// that walk workers across tile boundaries — the escalation-and-migration
+// path no generated trace exercises (trace entities arrive once and leave
+// once). After each wave of moves the cluster must match the monolithic
+// engine exactly, the move counter must grow, and at least one checkpoint
+// must hold an escalated (boundary-crossing) component.
+func TestDifferentialCrossBoundaryMoves(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	const nShards = 4
+	cl, err := New(Config{Shards: nShards, Beta: 0.5, BetaSet: true, SolverName: "greedy"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mono := engine.New(engine.Config{Beta: 0.5, BetaSet: true})
+
+	// A diagonal band of tasks so workers near any tile corner have
+	// cross-tile reach.
+	var setup []engine.Mutation
+	for i := 0; i < 24; i++ {
+		f := float64(i) / 23
+		setup = append(setup, engine.TaskUpsert(model.Task{
+			ID: model.TaskID(i), Loc: geo.Pt(0.05+0.9*f, 0.05+0.9*f), Start: 0, End: 8,
+		}))
+	}
+	for i := 0; i < 32; i++ {
+		f := float64(i) / 31
+		setup = append(setup, engine.WorkerUpsert(model.Worker{
+			ID: model.WorkerID(i), Loc: geo.Pt(0.95-0.9*f, 0.05+0.9*f),
+			Speed: 1.2, Dir: geo.FullCircle, Confidence: 0.8, Depart: 0,
+		}))
+	}
+	if _, err := cl.Mutate(ctx, setup...); err != nil {
+		t.Fatal(err)
+	}
+	mono.ApplyBatch(setup)
+
+	sawEscalation := false
+	for wave := 1; wave <= 4; wave++ {
+		// March every worker along its row; most waves carry several
+		// workers across a 0.3-sized tile edge.
+		var moves []engine.Mutation
+		for i := 0; i < 32; i++ {
+			f := float64(i) / 31
+			x := math.Mod(0.95-0.9*f+0.17*float64(wave), 0.9) + 0.05
+			moves = append(moves, engine.WorkerUpsert(model.Worker{
+				ID: model.WorkerID(i), Loc: geo.Pt(x, 0.05+0.9*f),
+				Speed: 1.2, Dir: geo.FullCircle, Confidence: 0.8, Depart: 0,
+			}))
+		}
+		if _, err := cl.Mutate(ctx, moves...); err != nil {
+			t.Fatal(err)
+		}
+		mono.ApplyBatch(moves)
+		if err := cl.Quiesce(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		ref := canonicalProblem(mono)
+		a, _ := cl.assemble()
+		comparePairSets(t, a.problem, ref)
+		if a.staleDuplicates != 0 {
+			t.Fatalf("wave %d: %d stale duplicates survived a quiesced assembly", wave, a.staleDuplicates)
+		}
+		if a.nEscalated > 0 {
+			sawEscalation = true
+		}
+		inner, _ := core.NewByName("greedy")
+		got, _, _ := cl.Solve(ctx, inner, &core.SolveOptions{Seed: int64(wave)})
+		inner2, _ := core.NewByName("greedy")
+		want, _ := core.NewSharded(inner2).Solve(ctx, ref, &core.SolveOptions{Seed: int64(wave)})
+		compareSolves(t, "moves/wave", got, want)
+	}
+	if cl.moves.Load() == 0 {
+		t.Error("no cross-shard move was recorded; the waves never crossed a tile boundary")
+	}
+	if !sawEscalation {
+		t.Error("no escalated component in any wave; boundary components never formed")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer scancel()
+	if err := cl.Shutdown(sctx); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,429 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"rdbsc/internal/applyloop"
+	"rdbsc/internal/benchreport"
+	"rdbsc/internal/core"
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+	"rdbsc/internal/serve"
+)
+
+// The cluster exposes the same /v1 surface as internal/serve — same wire
+// types (serve.TaskJSON, serve.WorkerJSON, serve.SolveRequest), same
+// status-code semantics (429 on a full shard queue, 503 while shutting
+// down, 202 when a request context ends before its batch applies) — so
+// rdbsc-loadgen and every other client drive a 1-shard serve server and an
+// N-shard cluster identically. /v1/stats adds the per-shard breakdown and
+// the coordinator's escalation metrics.
+
+func (c *Cluster) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/tasks", c.handleUpsertTasks)
+	mux.HandleFunc("DELETE /v1/tasks/{id}", c.handleRemoveTask)
+	mux.HandleFunc("POST /v1/workers", c.handleUpsertWorkers)
+	mux.HandleFunc("DELETE /v1/workers/{id}", c.handleRemoveWorker)
+	mux.HandleFunc("POST /v1/solve", c.handleSolve)
+	mux.HandleFunc("GET /v1/assignment", c.handleAssignment)
+	mux.HandleFunc("GET /v1/stats", c.handleStats)
+	mux.HandleFunc("GET /healthz", c.handleHealthz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func enqueueStatus(err error) int {
+	if errors.Is(err, applyloop.ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusTooManyRequests
+}
+
+// enqueueAndWait mirrors the serve layer's handler contract over the
+// routed shard queues.
+func (c *Cluster) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []engine.Mutation) {
+	reply := make(chan applyloop.Ack, len(muts))
+	for i, m := range muts {
+		if err := c.Enqueue(m, reply); err != nil {
+			writeJSON(w, enqueueStatus(err), map[string]any{"error": err.Error(), "enqueued": i})
+			return
+		}
+	}
+	var changed, coalesced int
+	var version uint64
+	for n := 0; n < len(muts); n++ {
+		select {
+		case ack := <-reply:
+			if ack.Changed {
+				changed++
+			}
+			if ack.Coalesced {
+				coalesced++
+			}
+			if ack.Version > version {
+				version = ack.Version
+			}
+		case <-r.Context().Done():
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"queued": len(muts),
+				"note":   "request ended before the batch applied; the mutations remain queued",
+			})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted":  len(muts),
+		"applied":   len(muts) - coalesced,
+		"changed":   changed,
+		"coalesced": coalesced,
+		"version":   version,
+	})
+}
+
+func (c *Cluster) handleUpsertTasks(w http.ResponseWriter, r *http.Request) {
+	tasks, err := serve.DecodeBody[serve.TaskJSON](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	muts := make([]engine.Mutation, 0, len(tasks))
+	for _, tj := range tasks {
+		t := tj.ToModel()
+		if err := t.Valid(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		muts = append(muts, engine.TaskUpsert(t))
+	}
+	c.enqueueAndWait(w, r, muts)
+}
+
+func (c *Cluster) handleUpsertWorkers(w http.ResponseWriter, r *http.Request) {
+	workers, err := serve.DecodeBody[serve.WorkerJSON](r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	muts := make([]engine.Mutation, 0, len(workers))
+	for _, wj := range workers {
+		wk := wj.ToModel()
+		if err := wk.Valid(); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		muts = append(muts, engine.WorkerUpsert(wk))
+	}
+	c.enqueueAndWait(w, r, muts)
+}
+
+func (c *Cluster) handleRemove(w http.ResponseWriter, r *http.Request, mut engine.Mutation) {
+	reply := make(chan applyloop.Ack, 1)
+	if err := c.Enqueue(mut, reply); err != nil {
+		writeError(w, enqueueStatus(err), err)
+		return
+	}
+	select {
+	case ack := <-reply:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"removed": ack.Changed, "coalesced": ack.Coalesced, "version": ack.Version,
+		})
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusAccepted, map[string]any{"queued": 1})
+	}
+}
+
+func (c *Cluster) handleRemoveTask(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.handleRemove(w, r, engine.TaskRemoval(model.TaskID(id)))
+}
+
+func (c *Cluster) handleRemoveWorker(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 32)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.handleRemove(w, r, engine.WorkerRemoval(model.WorkerID(id)))
+}
+
+// SolveResponse is the cluster's /v1/solve answer: the serve layer's
+// response shape (so clients parse both identically) plus the
+// coordinator-plane escalation fields.
+type SolveResponse struct {
+	serve.SolveResponse
+	EscalatedComponents int  `json:"escalated_components"`
+	InteriorComponents  int  `json:"interior_components"`
+	CrossShardPairs     int  `json:"cross_shard_pairs"`
+	AssemblyReused      bool `json:"assembly_reused"`
+}
+
+func (c *Cluster) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req serve.SolveRequest
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	name := req.Solver
+	if name == "" {
+		name = c.cfg.SolverName
+	}
+	solver, err := core.NewByName(name)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// No core.Sharded wrapping here: the coordinator itself decomposes the
+	// assembled problem by connected components — that is the cluster's
+	// solve plane, not an option.
+
+	timeout := c.cfg.SolveTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	start := time.Now()
+	res, info, err := c.Solve(ctx, solver, &core.SolveOptions{Seed: req.Seed})
+	elapsed := time.Since(start)
+
+	c.solves.Add(1)
+	partial := errors.Is(err, core.ErrInterrupted)
+	if partial {
+		c.partials.Add(1)
+	}
+	if err != nil && !partial {
+		if errors.Is(err, core.ErrPopulationTooLarge) {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		c.solveErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	c.statsMu.Lock()
+	c.solveStats = c.solveStats.Add(res.Stats)
+	c.solveLatMS[c.latN%len(c.solveLatMS)] = float64(elapsed) / float64(time.Millisecond)
+	c.latN++
+	c.statsMu.Unlock()
+
+	pairs := make([]serve.AssignedPair, 0, res.Assignment.Len())
+	res.Assignment.Workers(func(wid model.WorkerID, tid model.TaskID) {
+		pairs = append(pairs, serve.AssignedPair{Worker: wid, Task: tid})
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Worker < pairs[j].Worker })
+
+	resp := &SolveResponse{
+		SolveResponse: serve.SolveResponse{
+			Version:         info.Version,
+			Solver:          solver.Name(),
+			Seed:            req.Seed,
+			Partial:         partial,
+			Feasible:        len(pairs) > 0,
+			ElapsedMS:       float64(elapsed) / float64(time.Millisecond),
+			AssignedWorkers: res.Eval.AssignedWorkers,
+			AssignedTasks:   res.Eval.AssignedTasks,
+			MinReliability:  res.Eval.MinRel,
+			TotalDiversity:  res.Eval.TotalESTD,
+			Assignment:      pairs,
+			Stats:           res.Stats,
+			At:              time.Now().UTC(),
+		},
+		EscalatedComponents: info.Escalated,
+		InteriorComponents:  info.Interior,
+		CrossShardPairs:     info.CrossShardPairs,
+		AssemblyReused:      info.AssemblyReused,
+	}
+	c.lastRes.Store(resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Cluster) handleAssignment(w http.ResponseWriter, r *http.Request) {
+	last := c.lastRes.Load()
+	if last == nil {
+		writeError(w, http.StatusNotFound, errors.New("no solve has completed yet"))
+		return
+	}
+	resp := *last // shallow copy; the stored value is never mutated
+	resp.CurrentVersion = c.currentVersion()
+	writeJSON(w, http.StatusOK, &resp)
+}
+
+func (c *Cluster) currentVersion() uint64 {
+	var sum uint64
+	for _, sh := range c.shards {
+		sum += sh.snap.Load().Version
+	}
+	return sum
+}
+
+// shardStatsJSON is one shard's row in /v1/stats.
+type shardStatsJSON struct {
+	Shard             int     `json:"shard"`
+	Version           uint64  `json:"version"`
+	Tasks             int     `json:"tasks"`
+	Workers           int     `json:"workers"`
+	Pairs             int     `json:"pairs"`
+	QueueLen          int     `json:"queue_len"`
+	QueueCap          int     `json:"queue_cap"`
+	Enqueued          uint64  `json:"mutations_enqueued"`
+	Applied           uint64  `json:"mutations_applied"`
+	Coalesced         uint64  `json:"mutations_coalesced"`
+	Batches           uint64  `json:"batches"`
+	Rebuilds          uint64  `json:"rebuilds"`
+	RetrieveMS        float64 `json:"retrieve_ms"`
+	RejectedQueueFull uint64  `json:"rejected_queue_full"`
+}
+
+// statsResponse is the cluster's /v1/stats view. The top-level fields keep
+// the serve layer's names (aggregated across shards) so dashboards and the
+// CI smoke checks read both server kinds identically; "shards" breaks the
+// mutation plane down per shard and "cluster" carries the coordinator
+// metrics.
+type statsResponse struct {
+	Version uint64  `json:"version"`
+	Tasks   int     `json:"tasks"`
+	Workers int     `json:"workers"`
+	Pairs   int     `json:"pairs"`
+	Beta    float64 `json:"beta"`
+
+	QueueLen          int    `json:"queue_len"`
+	QueueCap          int    `json:"queue_cap"`
+	Enqueued          uint64 `json:"mutations_enqueued"`
+	Applied           uint64 `json:"mutations_applied"`
+	Coalesced         uint64 `json:"mutations_coalesced"`
+	Batches           uint64 `json:"batches"`
+	Rebuilds          uint64 `json:"rebuilds"`
+	RejectedQueueFull uint64 `json:"rejected_queue_full"`
+
+	Shards  []shardStatsJSON `json:"shards"`
+	Cluster clusterStatsJSON `json:"cluster"`
+
+	Solves      uint64                `json:"solves"`
+	SolveErrors uint64                `json:"solve_errors"`
+	Partials    uint64                `json:"partial_solves"`
+	SolverStats core.Stats            `json:"solver_stats"`
+	SolveLatMS  benchreport.Quantiles `json:"solve_latency_ms"`
+
+	UptimeMS float64 `json:"uptime_ms"`
+}
+
+// clusterStatsJSON carries the coordinator-plane metrics.
+type clusterStatsJSON struct {
+	ShardCount          int     `json:"shard_count"`
+	TileSize            float64 `json:"tile_size"`
+	CrossShardMoves     uint64  `json:"cross_shard_moves"`
+	EscalatedComponents uint64  `json:"escalated_components"`
+	InteriorComponents  uint64  `json:"interior_components"`
+	CrossShardPairs     int     `json:"cross_shard_pairs"`
+	Assemblies          uint64  `json:"assemblies"`
+	AssemblyReuses      uint64  `json:"assembly_reuses"`
+	ConsistencyFailures uint64  `json:"consistency_failures"`
+}
+
+func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := &statsResponse{Beta: c.beta, UptimeMS: float64(time.Since(c.started)) / float64(time.Millisecond)}
+	for i, sh := range c.shards {
+		snap := sh.snap.Load()
+		ls := sh.loop.Stats()
+		row := shardStatsJSON{
+			Shard:             i,
+			Version:           snap.Version,
+			Tasks:             snap.Tasks(),
+			Workers:           snap.Workers(),
+			Pairs:             len(snap.Problem.Pairs),
+			QueueLen:          sh.loop.Len(),
+			QueueCap:          sh.loop.Cap(),
+			Enqueued:          ls.Enqueued,
+			Applied:           ls.Applied,
+			Coalesced:         ls.Coalesced,
+			Batches:           ls.Batches,
+			Rebuilds:          sh.rebuilds.Load(),
+			RetrieveMS:        float64(sh.retrieveNS.Load()) / float64(time.Millisecond),
+			RejectedQueueFull: ls.RejectedFull,
+		}
+		resp.Shards = append(resp.Shards, row)
+		resp.Version += row.Version
+		resp.Tasks += row.Tasks
+		resp.Workers += row.Workers
+		resp.Pairs += row.Pairs
+		resp.QueueLen += row.QueueLen
+		resp.QueueCap += row.QueueCap
+		resp.Enqueued += row.Enqueued
+		resp.Applied += row.Applied
+		resp.Coalesced += row.Coalesced
+		resp.Batches += row.Batches
+		resp.Rebuilds += row.Rebuilds
+		resp.RejectedQueueFull += row.RejectedQueueFull
+	}
+	cross := 0
+	if a := c.asm.Load(); a != nil {
+		// The global pair count (intra + cross) from the latest assembly;
+		// the aggregate Pairs above counts intra-shard pairs only.
+		resp.Pairs = len(a.problem.Pairs)
+		cross = a.crossPairs
+	}
+	resp.Cluster = clusterStatsJSON{
+		ShardCount:          len(c.shards),
+		TileSize:            c.tiling.TileSize,
+		CrossShardMoves:     c.moves.Load(),
+		EscalatedComponents: c.escalated.Load(),
+		InteriorComponents:  c.interior.Load(),
+		CrossShardPairs:     cross,
+		Assemblies:          c.assemblies.Load(),
+		AssemblyReuses:      c.assemblyReuses.Load(),
+		ConsistencyFailures: c.consistencyFailures.Load(),
+	}
+	c.statsMu.Lock()
+	resp.SolverStats = c.solveStats
+	n := c.latN
+	if n > len(c.solveLatMS) {
+		n = len(c.solveLatMS)
+	}
+	sample := append([]float64(nil), c.solveLatMS[:n]...)
+	c.statsMu.Unlock()
+	resp.Solves = c.solves.Load()
+	resp.SolveErrors = c.solveErrors.Load()
+	resp.Partials = c.partials.Load()
+	resp.SolveLatMS = benchreport.Summarize(sample)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Cluster) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":      true,
+		"version": c.currentVersion(),
+		"shards":  len(c.shards),
+	})
+}

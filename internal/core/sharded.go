@@ -68,7 +68,7 @@ func (s *Sharded) workers() int {
 
 // Solve implements Solver.
 func (s *Sharded) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*Result, error) {
-	part := decompose.Build(p.Pairs)
+	part := decompose.BuildSized(p.Pairs, len(p.In.Tasks), len(p.In.Workers))
 	if part.Len() <= 1 {
 		// Zero or one component: the decomposition is the identity, so the
 		// inner solver runs on the original problem with the original

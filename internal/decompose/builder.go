@@ -49,12 +49,23 @@ func (b *Builder) Stale() bool { return b.stale }
 // unions accumulated via AddEdge are reused and only the grouping pass
 // touches the pair set.
 func (b *Builder) Partition(pairs []model.Pair) *Partition {
+	return b.PartitionSized(pairs, 0, 0)
+}
+
+// PartitionSized is Partition with capacity hints: numTasks and numWorkers
+// bound the live entity populations, pre-sizing the rebuild path's
+// union-find and the grouping maps so a stale rebuild allocates each map
+// once instead of growing it through rehash doublings. Hints never change
+// the partition — only allocation behavior (zero hints mean unknown).
+// Callers that know the instance dimensions (the engine, core.Sharded, the
+// cluster coordinator) should prefer this entry point.
+func (b *Builder) PartitionSized(pairs []model.Pair, numTasks, numWorkers int) *Partition {
 	if b.stale {
-		b.uf = newUnionFind()
+		b.uf = newUnionFindSized(numTasks + numWorkers)
 		for i := range pairs {
 			b.uf.union(taskNode(pairs[i].Task), workerNode(pairs[i].Worker))
 		}
 		b.stale = false
 	}
-	return group(b.uf, pairs)
+	return group(b.uf, pairs, numTasks, numWorkers)
 }

@@ -106,9 +106,19 @@ func (p *Partition) MaxPairs() int {
 // appear in no pair (unreachable tasks, out-of-range workers) belong to no
 // component: they cannot influence any feasible assignment.
 func Build(pairs []model.Pair) *Partition {
+	return BuildSized(pairs, 0, 0)
+}
+
+// BuildSized is Build with capacity hints: numTasks and numWorkers bound
+// the live entity populations (instance dimensions), pre-sizing the
+// union-find and grouping maps so the from-scratch rebuild allocates once
+// per map instead of growing through rehash doublings. Hints only size
+// allocations — the partition is identical to Build's for any hint values
+// (zero hints mean unknown).
+func BuildSized(pairs []model.Pair, numTasks, numWorkers int) *Partition {
 	b := NewBuilder()
 	b.Invalidate()
-	return b.Partition(pairs)
+	return b.PartitionSized(pairs, numTasks, numWorkers)
 }
 
 // node keys: tasks and workers share one union-find keyspace.
@@ -123,7 +133,13 @@ type unionFind struct {
 }
 
 func newUnionFind() *unionFind {
-	return &unionFind{parent: make(map[int64]int64)}
+	return newUnionFindSized(0)
+}
+
+// newUnionFindSized pre-sizes the parent map for n entities (tasks plus
+// workers); n is a capacity hint only.
+func newUnionFindSized(n int) *unionFind {
+	return &unionFind{parent: make(map[int64]int64, n)}
 }
 
 func (u *unionFind) find(x int64) int64 {
@@ -152,8 +168,8 @@ func (u *unionFind) union(a, b int64) {
 }
 
 // group builds the ordered component list from the union-find roots and the
-// pair set.
-func group(uf *unionFind, pairs []model.Pair) *Partition {
+// pair set. numTasks and numWorkers are capacity hints (0 = unknown).
+func group(uf *unionFind, pairs []model.Pair, numTasks, numWorkers int) *Partition {
 	type bucket struct {
 		tasks   map[model.TaskID]bool
 		workers map[model.WorkerID]bool
@@ -172,8 +188,8 @@ func group(uf *unionFind, pairs []model.Pair) *Partition {
 		b.pairIdx = append(b.pairIdx, int32(i))
 	}
 	part := &Partition{
-		taskComp:   make(map[model.TaskID]int),
-		workerComp: make(map[model.WorkerID]int),
+		taskComp:   make(map[model.TaskID]int, numTasks),
+		workerComp: make(map[model.WorkerID]int, numWorkers),
 	}
 	for _, b := range buckets {
 		c := Component{Pairs: b.pairIdx}

@@ -1,0 +1,92 @@
+package decompose
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rdbsc/internal/model"
+)
+
+// presizePairs builds a synthetic pair set of comps disjoint components,
+// each a complete bipartite block of tPer tasks × wPer workers, with the
+// pair order shuffled so grouping cannot rely on component-contiguous
+// input. Returns the pairs plus the entity counts (the sizing hints).
+func presizePairs(comps, tPer, wPer int, seed int64) ([]model.Pair, int, int) {
+	var pairs []model.Pair
+	for c := 0; c < comps; c++ {
+		for t := 0; t < tPer; t++ {
+			for w := 0; w < wPer; w++ {
+				pairs = append(pairs, model.Pair{
+					Task:   model.TaskID(c*tPer + t),
+					Worker: model.WorkerID(c*wPer + w),
+				})
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(pairs), func(i, j int) { pairs[i], pairs[j] = pairs[j], pairs[i] })
+	return pairs, comps * tPer, comps * wPer
+}
+
+// TestBuildSizedMatchesBuild pins that capacity hints are allocation-only:
+// the sized rebuild produces a partition identical to the unsized one —
+// same components, same membership maps — for accurate, over-, under-, and
+// zero hints alike.
+func TestBuildSizedMatchesBuild(t *testing.T) {
+	pairs, nt, nw := presizePairs(7, 5, 9, 42)
+	want := Build(pairs)
+	for _, hint := range [][2]int{{nt, nw}, {0, 0}, {1, 1}, {10 * nt, 10 * nw}} {
+		got := BuildSized(pairs, hint[0], hint[1])
+		if !reflect.DeepEqual(got.Components, want.Components) {
+			t.Fatalf("hints %v changed the components", hint)
+		}
+		if !reflect.DeepEqual(got.taskComp, want.taskComp) || !reflect.DeepEqual(got.workerComp, want.workerComp) {
+			t.Fatalf("hints %v changed the membership maps", hint)
+		}
+	}
+}
+
+// TestRebuildPresizingAllocs guards the pre-sizing win: a stale rebuild
+// with accurate dimension hints must allocate strictly less than the
+// unsized path (which grows its maps through rehash doublings).
+func TestRebuildPresizingAllocs(t *testing.T) {
+	pairs, nt, nw := presizePairs(10, 8, 16, 7)
+	unsized := testing.AllocsPerRun(10, func() {
+		_ = BuildSized(pairs, 0, 0)
+	})
+	sized := testing.AllocsPerRun(10, func() {
+		_ = BuildSized(pairs, nt, nw)
+	})
+	if sized >= unsized {
+		t.Errorf("sized rebuild allocs = %.0f, want < unsized %.0f", sized, unsized)
+	}
+}
+
+// BenchmarkRebuildPartition measures the stale-rebuild path without
+// dimension hints; its allocs/op is the baseline the pre-sized variant
+// below is guarded against.
+func BenchmarkRebuildPartition(b *testing.B) {
+	pairs, _, _ := presizePairs(10, 8, 16, 7)
+	bld := NewBuilder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.Invalidate()
+		_ = bld.Partition(pairs)
+	}
+}
+
+// BenchmarkRebuildPartitionSized is the same rebuild with instance
+// dimensions supplied, the path the engine, core.Sharded, and the cluster
+// coordinator use.
+func BenchmarkRebuildPartitionSized(b *testing.B) {
+	pairs, nt, nw := presizePairs(10, 8, 16, 7)
+	bld := NewBuilder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld.Invalidate()
+		_ = bld.PartitionSized(pairs, nt, nw)
+	}
+}

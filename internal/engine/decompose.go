@@ -164,7 +164,7 @@ func (e *Engine) candidateTasks(w model.Worker) []model.Task {
 // round that paid them).
 func (e *Engine) solveDecomposed(ctx context.Context, s core.Solver, p *core.Problem, opts *core.SolveOptions) (*core.Result, error) {
 	d := e.decomp
-	part := d.builder.Partition(p.Pairs)
+	part := d.builder.PartitionSized(p.Pairs, len(p.In.Tasks), len(p.In.Workers))
 	n := part.Len()
 
 	taskVer := func(id model.TaskID) uint64 { return d.taskVer[id] }

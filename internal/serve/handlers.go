@@ -101,9 +101,10 @@ func (w WorkerJSON) ToModel() model.Worker {
 	}
 }
 
-// decodeBody reads the request body as either a single T or a JSON array
-// of T, capped at 8 MiB.
-func decodeBody[T any](r *http.Request) ([]T, error) {
+// DecodeBody reads the request body as either a single T or a JSON array
+// of T, capped at 8 MiB. Exported for the cluster layer, which accepts the
+// same wire forms.
+func DecodeBody[T any](r *http.Request) ([]T, error) {
 	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 8<<20))
 	if err != nil {
 		return nil, err
@@ -148,14 +149,14 @@ func (s *Server) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []m
 	for n := 0; n < len(muts); n++ {
 		select {
 		case ack := <-reply:
-			if ack.changed {
+			if ack.Changed {
 				changed++
 			}
-			if ack.coalesced {
+			if ack.Coalesced {
 				coalesced++
 			}
-			if ack.version > version {
-				version = ack.version
+			if ack.Version > version {
+				version = ack.Version
 			}
 		case <-r.Context().Done():
 			writeJSON(w, http.StatusAccepted, map[string]any{
@@ -179,7 +180,7 @@ func (s *Server) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []m
 type mutationIntent struct{ mut engine.Mutation }
 
 func (s *Server) handleUpsertTasks(w http.ResponseWriter, r *http.Request) {
-	tasks, err := decodeBody[TaskJSON](r)
+	tasks, err := DecodeBody[TaskJSON](r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -197,7 +198,7 @@ func (s *Server) handleUpsertTasks(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleUpsertWorkers(w http.ResponseWriter, r *http.Request) {
-	workers, err := decodeBody[WorkerJSON](r)
+	workers, err := DecodeBody[WorkerJSON](r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -230,7 +231,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request, mut engine
 	select {
 	case ack := <-reply:
 		writeJSON(w, http.StatusOK, map[string]any{
-			"removed": ack.changed, "coalesced": ack.coalesced, "version": ack.version,
+			"removed": ack.Changed, "coalesced": ack.Coalesced, "version": ack.Version,
 		})
 	case <-r.Context().Done():
 		writeJSON(w, http.StatusAccepted, map[string]any{"queued": 1})
@@ -267,7 +268,8 @@ type SolveRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-type assignedPair struct {
+// AssignedPair is one (worker, task) edge of a returned assignment.
+type AssignedPair struct {
 	Worker model.WorkerID `json:"worker"`
 	Task   model.TaskID   `json:"task"`
 }
@@ -286,7 +288,7 @@ type SolveResponse struct {
 	AssignedTasks   int            `json:"assigned_tasks"`
 	MinReliability  float64        `json:"min_reliability"`
 	TotalDiversity  float64        `json:"total_diversity"`
-	Assignment      []assignedPair `json:"assignment"`
+	Assignment      []AssignedPair `json:"assignment"`
 	Stats           core.Stats     `json:"stats"`
 	At              time.Time      `json:"at"`
 }
@@ -359,9 +361,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.statsMu.Unlock()
 	s.recordSolveLatency(float64(elapsed) / float64(time.Millisecond))
 
-	pairs := make([]assignedPair, 0, res.Assignment.Len())
+	pairs := make([]AssignedPair, 0, res.Assignment.Len())
 	res.Assignment.Workers(func(wid model.WorkerID, tid model.TaskID) {
-		pairs = append(pairs, assignedPair{Worker: wid, Task: tid})
+		pairs = append(pairs, AssignedPair{Worker: wid, Task: tid})
 	})
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Worker < pairs[j].Worker })
 
@@ -430,6 +432,7 @@ type statsResponse struct {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
+	loopStats := s.loop.Stats()
 	s.statsMu.Lock()
 	solverStats := s.solveStats
 	s.statsMu.Unlock()
@@ -440,15 +443,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Pairs:   len(snap.Problem.Pairs),
 		Beta:    snap.Problem.In.Beta,
 
-		QueueLen:          len(s.mutCh),
-		QueueCap:          cap(s.mutCh),
-		Enqueued:          s.enqueued.Load(),
-		Applied:           s.applied.Load(),
-		Coalesced:         s.coalesced.Load(),
-		Batches:           s.batches.Load(),
+		QueueLen:          s.loop.Len(),
+		QueueCap:          s.loop.Cap(),
+		Enqueued:          loopStats.Enqueued,
+		Applied:           loopStats.Applied,
+		Coalesced:         loopStats.Coalesced,
+		Batches:           loopStats.Batches,
 		Rebuilds:          s.rebuilds.Load(),
 		RetrieveMS:        float64(s.retrieveNS.Load()) / float64(time.Millisecond),
-		RejectedQueueFull: s.rejectedFull.Load(),
+		RejectedQueueFull: loopStats.RejectedFull,
 
 		Solves:         s.solves.Load(),
 		SolveErrors:    s.solveErrors.Load(),

@@ -2,11 +2,12 @@
 // service. The engine itself is not safe for concurrent use, so the server
 // splits the work between two planes:
 //
-//   - a single-writer apply loop owns the engine and is the only goroutine
-//     that ever touches it. Mutations (task/worker upserts and removals)
-//     arrive through a bounded queue, are drained in batches, coalesced
-//     (only the last mutation per entity touches the grid index), and
-//     applied through Engine.ApplyBatch under one version bump — so the
+//   - a single-writer apply loop (internal/applyloop, shared with the
+//     multi-shard internal/cluster) owns the engine and is the only
+//     goroutine that ever touches it. Mutations (task/worker upserts and
+//     removals) arrive through a bounded queue, are drained in batches,
+//     coalesced (only the last mutation per entity touches the grid index),
+//     and applied through Engine.ApplyBatch under one version bump — so the
 //     valid pairs are re-derived at most once per batch, not once per
 //     mutation. After each batch the loop publishes a fresh
 //     engine.Snapshot through an atomic pointer.
@@ -39,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rdbsc/internal/applyloop"
 	"rdbsc/internal/core"
 	"rdbsc/internal/engine"
 )
@@ -84,40 +86,37 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Errors mapped to HTTP statuses by the handler layer.
+// Errors mapped to HTTP statuses by the handler layer. They are the apply
+// loop's own sentinels (one backpressure vocabulary across serve and
+// cluster), re-exported under the names this package has always used.
 var (
 	// ErrQueueFull rejects an enqueue when the mutation queue is at
 	// capacity (HTTP 429).
-	ErrQueueFull = errors.New("serve: mutation queue full")
+	ErrQueueFull = applyloop.ErrQueueFull
 	// ErrShuttingDown rejects an enqueue after Shutdown began (HTTP 503).
-	ErrShuttingDown = errors.New("serve: server shutting down")
+	ErrShuttingDown = applyloop.ErrClosed
 )
 
 // queuedMutation is one mutation in flight, with an optional reply channel
 // (buffered by the enqueuer; the apply loop never blocks on it).
 type queuedMutation struct {
 	mut   engine.Mutation
-	reply chan<- applyAck
+	reply chan<- applyloop.Ack
 }
 
 // applyAck reports one mutation's fate after its batch was applied.
-type applyAck struct {
-	changed   bool   // the engine changed (effective upsert / found removal)
-	coalesced bool   // superseded by a later same-entity mutation in the batch
-	version   uint64 // engine version after the batch
-}
+type applyAck = applyloop.Ack
 
 // Server is the concurrent assignment service. Construct with New (which
 // starts the apply loop), expose Handler over HTTP or call ListenAndServe,
 // and stop with Shutdown.
 type Server struct {
-	cfg   Config
-	eng   *engine.Engine
-	mux   *http.ServeMux
-	mutCh chan queuedMutation
-	done  chan struct{} // closed when the apply loop has drained and exited
+	cfg  Config
+	eng  *engine.Engine
+	mux  *http.ServeMux
+	loop *applyloop.Loop
 
-	mu      sync.RWMutex // guards closing and http against enqueue/Shutdown races
+	mu      sync.RWMutex // guards closing and http against Shutdown races
 	closing bool
 	http    *http.Server
 
@@ -137,20 +136,16 @@ type Server struct {
 	testStallApply func()
 }
 
-// counters are the serving-plane diagnostics behind /v1/stats, all updated
-// lock-free. The solver-plane core.Stats aggregate needs a mutex (it is a
+// counters are the solver-plane diagnostics behind /v1/stats (the mutation
+// plane's counters live in the apply loop). rebuilds/retrieveNS are updated
+// on the apply loop only; the core.Stats aggregate needs a mutex (it is a
 // struct fold, not a counter).
 type counters struct {
-	enqueued     atomic.Uint64 // mutations accepted into the queue
-	applied      atomic.Uint64 // mutations applied to the engine
-	coalesced    atomic.Uint64 // mutations superseded within their batch
-	batches      atomic.Uint64 // batches drained
-	rebuilds     atomic.Uint64 // batches whose snapshot re-derived the pairs
-	retrieveNS   atomic.Int64  // cumulative pair-retrieval time
-	rejectedFull atomic.Uint64 // enqueues rejected with ErrQueueFull
-	solves       atomic.Uint64 // /v1/solve requests that ran a solver
-	solveErrors  atomic.Uint64 // solves that ended in a terminal error
-	partials     atomic.Uint64 // solves interrupted by their deadline
+	rebuilds    atomic.Uint64 // batches whose snapshot re-derived the pairs
+	retrieveNS  atomic.Int64  // cumulative pair-retrieval time
+	solves      atomic.Uint64 // /v1/solve requests that ran a solver
+	solveErrors atomic.Uint64 // solves that ended in a terminal error
+	partials    atomic.Uint64 // solves interrupted by their deadline
 
 	statsMu    sync.Mutex
 	solveStats core.Stats // cumulative per-solve diagnostics
@@ -195,8 +190,6 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		eng:     cfg.Engine,
-		mutCh:   make(chan queuedMutation, cfg.QueueDepth),
-		done:    make(chan struct{}),
 		started: time.Now(),
 		// Read once here, not per request: after the apply loop starts, the
 		// engine belongs to it alone. A Decompose engine keeps its sharded
@@ -209,8 +202,38 @@ func New(cfg Config) (*Server, error) {
 	snap := s.eng.Snapshot()
 	s.snap.Store(&snap)
 	s.mux = s.routes()
-	go s.applyLoop()
+	loop, err := applyloop.New(applyloop.Config{
+		QueueDepth:  cfg.QueueDepth,
+		BatchMax:    cfg.BatchMax,
+		BatchLinger: cfg.BatchLinger,
+		Apply:       s.applyToEngine,
+		StallForTest: func() {
+			if s.testStallApply != nil {
+				s.testStallApply()
+			}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s.loop = loop
 	return s, nil
+}
+
+// applyToEngine is the server's applyloop.Applier: it runs on the apply
+// loop — the single writer — applies the coalesced batch under one engine
+// version bump, and publishes the resulting snapshot. Snapshot re-derives
+// the valid pairs here, on the apply loop, so solve requests always find a
+// prepared problem and never pay the rebuild.
+func (s *Server) applyToEngine(muts []engine.Mutation) ([]bool, uint64) {
+	changed := s.eng.ApplyBatch(muts)
+	snap := s.eng.Snapshot()
+	s.snap.Store(&snap)
+	if snap.Rebuilt {
+		s.rebuilds.Add(1)
+		s.retrieveNS.Add(int64(snap.Retrieve))
+	}
+	return changed, snap.Version
 }
 
 // Handler returns the server's HTTP handler, for mounting under a custom
@@ -224,19 +247,7 @@ func (s *Server) Snapshot() engine.Snapshot { return *s.snap.Load() }
 // enqueue hands one mutation to the apply loop, failing fast on a full
 // queue or a closing server.
 func (s *Server) enqueue(qm queuedMutation) error {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closing {
-		return ErrShuttingDown
-	}
-	select {
-	case s.mutCh <- qm:
-		s.enqueued.Add(1)
-		return nil
-	default:
-		s.rejectedFull.Add(1)
-		return ErrQueueFull
-	}
+	return s.loop.Enqueue(qm.mut, qm.reply)
 }
 
 // ListenAndServe serves the handler on addr until Shutdown (which returns
@@ -260,7 +271,6 @@ func (s *Server) ListenAndServe(addr string) error {
 // queued mutation before exiting. ctx bounds the wait.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	already := s.closing
 	s.closing = true
 	hs := s.http
 	s.mu.Unlock()
@@ -269,13 +279,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if hs != nil {
 		err = hs.Shutdown(ctx)
 	}
-	if !already {
-		// No enqueue can be in flight: enqueue holds mu.RLock and checks
-		// closing, and closing was set under mu.Lock above.
-		close(s.mutCh)
-	}
+	s.loop.Close()
 	select {
-	case <-s.done:
+	case <-s.loop.Drained():
 	case <-ctx.Done():
 		return errors.Join(err, ctx.Err())
 	}

@@ -232,7 +232,7 @@ func TestUpsertResponseCoalescedAccounting(t *testing.T) {
 		body["applied"].(float64) != 1 || body["coalesced"].(float64) != 1 {
 		t.Fatalf("coalesced upsert accounting: %d %v", code, body)
 	}
-	if got := s.applied.Load(); got != 1 {
+	if got := s.loop.Stats().Applied; got != 1 {
 		t.Fatalf("stats applied = %d, want 1 (matching the response's applied field)", got)
 	}
 }
@@ -304,20 +304,20 @@ func TestBatchCoalescingSingleBump(t *testing.T) {
 	}
 	var coalesced int
 	for _, a := range acks {
-		if a.version != snap.Version {
-			t.Errorf("ack version %d, want %d", a.version, snap.Version)
+		if a.Version != snap.Version {
+			t.Errorf("ack version %d, want %d", a.Version, snap.Version)
 		}
-		if a.coalesced {
+		if a.Coalesced {
 			coalesced++
 		}
 	}
 	if coalesced != 8 {
 		t.Errorf("coalesced %d mutations, want 8 (duplicate task upserts)", coalesced)
 	}
-	if got := s.applied.Load(); got != 2 {
+	if got := s.loop.Stats().Applied; got != 2 {
 		t.Errorf("applied %d mutations to the engine, want 2", got)
 	}
-	if got := s.batches.Load(); got != 1 {
+	if got := s.loop.Stats().Batches; got != 1 {
 		t.Errorf("drained %d batches, want 1", got)
 	}
 	if tk, ok := eng.Task(1); !ok || tk.End != 8 {
@@ -374,14 +374,14 @@ func TestQueueFullBackpressure(t *testing.T) {
 
 	close(release)
 	deadline := time.Now().Add(5 * time.Second)
-	for s.applied.Load() < 5 && time.Now().Before(deadline) {
+	for s.loop.Stats().Applied < 5 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
 	if tasks := s.Snapshot().Tasks(); tasks != 5 {
 		t.Fatalf("drained to %d tasks, want 5", tasks)
 	}
-	if s.rejectedFull.Load() < 2 {
-		t.Errorf("rejected_queue_full = %d, want >= 2", s.rejectedFull.Load())
+	if s.loop.Stats().RejectedFull < 2 {
+		t.Errorf("rejected_queue_full = %d, want >= 2", s.loop.Stats().RejectedFull)
 	}
 }
 

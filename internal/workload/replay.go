@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sort"
 	"sync"
@@ -41,6 +42,16 @@ type ReplayConfig struct {
 	// previous response, only for a free slot, and MaxScheduleLagMS records
 	// how far dispatch fell behind the schedule.
 	MaxInFlight int
+	// Retry429 is the retry budget per mutation when the server answers 429
+	// (shard queue full). 0 — the default — records the rejection and moves
+	// on, keeping the replay strictly open-loop; with N > 0 a rejected
+	// mutation is retried up to N times with jittered doubling backoff
+	// before it counts as rejected. Retries are tallied in the load record's
+	// MutationRetries.
+	Retry429 int
+	// RetryBackoff is the first retry's base delay (default 5ms; doubles per
+	// attempt, each wait jittered uniformly over [base/2, base)).
+	RetryBackoff time.Duration
 }
 
 func (c ReplayConfig) withDefaults() ReplayConfig {
@@ -59,6 +70,9 @@ func (c ReplayConfig) withDefaults() ReplayConfig {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
+	if c.Retry429 > 0 && c.RetryBackoff <= 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
 	return c
 }
 
@@ -69,6 +83,7 @@ type replayStats struct {
 	mu sync.Mutex
 
 	mutSent, mutOK, mut429, mutErr   int
+	mutRetries                       int
 	solveSent, solveOK, solvePartial int
 	solveErr                         int
 	mutLatMS, solveLatMS             []float64
@@ -264,10 +279,11 @@ func Replay(ctx context.Context, tr *Trace, cfg ReplayConfig) (*benchreport.Repo
 			case WorkerLeave:
 				waitGate(ctx, arrived[entityKey{id: int64(item.ev.WorkerID)}])
 			}
-			latMS, status, err := doMutation(ctx, cfg, *item.ev)
+			latMS, status, retries, err := doMutationWithRetry(ctx, cfg, *item.ev)
 			st.record(classMutation, latMS, status, false, err)
 			st.mu.Lock()
 			st.mutSent++
+			st.mutRetries += retries
 			st.mu.Unlock()
 			switch item.ev.Kind {
 			case TaskArrive:
@@ -287,19 +303,21 @@ func Replay(ctx context.Context, tr *Trace, cfg ReplayConfig) (*benchreport.Repo
 	rep.Runs = len(st.solveLatMS)
 	rep.WallMS = benchreport.Summarize(st.solveLatMS)
 	rep.Load = &benchreport.LoadMetrics{
-		Events:            ta + te + wa + wl,
-		MutationsSent:     st.mutSent,
-		MutationsOK:       st.mutOK,
-		MutationsRejected: st.mut429,
-		MutationErrors:    st.mutErr,
-		SolvesSent:        st.solveSent,
-		SolvesOK:          st.solveOK,
-		SolvePartials:     st.solvePartial,
-		SolveErrors:       st.solveErr,
-		WallSeconds:       wall.Seconds(),
-		RequestsPerSecond: float64(dispatched) / wall.Seconds(),
-		MutationMS:        benchreport.Summarize(st.mutLatMS),
-		MaxScheduleLagMS:  st.maxLagMS,
+		Events:             ta + te + wa + wl,
+		MutationsSent:      st.mutSent,
+		MutationsOK:        st.mutOK,
+		MutationsRejected:  st.mut429,
+		MutationErrors:     st.mutErr,
+		MutationRetries:    st.mutRetries,
+		SolvesSent:         st.solveSent,
+		SolvesOK:           st.solveOK,
+		SolvePartials:      st.solvePartial,
+		SolveErrors:        st.solveErr,
+		WallSeconds:        wall.Seconds(),
+		RequestsPerSecond:  float64(dispatched) / wall.Seconds(),
+		MutationsPerSecond: float64(st.mutOK) / wall.Seconds(),
+		MutationMS:         benchreport.Summarize(st.mutLatMS),
+		MaxScheduleLagMS:   st.maxLagMS,
 	}
 	lastSolve.mu.Lock()
 	if lastSolve.ok {
@@ -355,6 +373,28 @@ func doSolve(ctx context.Context, cfg ReplayConfig, tr *Trace) (serve.SolveRespo
 		_, _ = io.Copy(io.Discard, resp.Body)
 	}
 	return res, latMS, resp.StatusCode, nil
+}
+
+// doMutationWithRetry sends one mutation, retrying up to cfg.Retry429
+// times on 429 with jittered doubling backoff. The returned latency is the
+// final attempt's (the per-request cost dashboards track), the status is
+// the final outcome, and retries counts the extra attempts made.
+func doMutationWithRetry(ctx context.Context, cfg ReplayConfig, ev Event) (float64, int, int, error) {
+	latMS, status, err := doMutation(ctx, cfg, ev)
+	retries := 0
+	backoff := cfg.RetryBackoff
+	for err == nil && status == http.StatusTooManyRequests && retries < cfg.Retry429 {
+		// Full-ish jitter: uniform over [backoff/2, backoff) keeps retries
+		// from re-converging on the queue in lockstep.
+		wait := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if sleepUntil(ctx, time.Now().Add(wait)) != nil {
+			break
+		}
+		retries++
+		latMS, status, err = doMutation(ctx, cfg, ev)
+		backoff *= 2
+	}
+	return latMS, status, retries, err
 }
 
 func doMutation(ctx context.Context, cfg ReplayConfig, ev Event) (float64, int, error) {

@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -142,6 +144,69 @@ func TestReplayReArrival(t *testing.T) {
 	}
 	if rep.Load.MutationErrors != 0 {
 		t.Fatalf("%d mutation errors", rep.Load.MutationErrors)
+	}
+}
+
+// TestReplayRetry429: against a server that backpressures every first
+// attempt, the default (retry-less) replay records rejections, while a
+// replay with a retry budget converts them into successes and tallies the
+// extra attempts in MutationRetries.
+func TestReplayRetry429(t *testing.T) {
+	// Each run gets its own fake server that 429s the first attempt on
+	// every method+path and succeeds afterwards.
+	newFake := func() *httptest.Server {
+		var hits sync.Map // method+path -> *atomic.Int64
+		return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			key := r.Method + " " + r.URL.Path
+			v, _ := hits.LoadOrStore(key, new(atomic.Int64))
+			if v.(*atomic.Int64).Add(1) == 1 {
+				http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = w.Write([]byte(`{}`))
+		}))
+	}
+
+	sc, _ := ByName("dense")
+	mkTrace := func() *Trace { return sc.Trace(Params{M: 6, N: 12, Seed: 2, Horizon: 1}) }
+
+	fake := newFake()
+	rep, err := Replay(context.Background(), mkTrace(), ReplayConfig{
+		BaseURL: fake.URL, HoursPerSecond: 240, SolveEvery: -1,
+	})
+	fake.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Load.MutationsRejected == 0 {
+		t.Fatal("control run saw no 429s; the fake server is not backpressuring")
+	}
+	if rep.Load.MutationRetries != 0 {
+		t.Errorf("retry-less replay recorded %d retries", rep.Load.MutationRetries)
+	}
+
+	fake = newFake()
+	defer fake.Close()
+	rep, err = Replay(context.Background(), mkTrace(), ReplayConfig{
+		BaseURL: fake.URL, HoursPerSecond: 240, SolveEvery: -1,
+		Retry429: 3, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := rep.Load
+	if l.MutationsRejected != 0 {
+		t.Errorf("%d mutations stayed rejected despite the retry budget", l.MutationsRejected)
+	}
+	if l.MutationsOK != l.MutationsSent {
+		t.Errorf("ok %d != sent %d with retries on", l.MutationsOK, l.MutationsSent)
+	}
+	if l.MutationRetries == 0 {
+		t.Error("retries were taken but not tallied")
+	}
+	if l.MutationsPerSecond <= 0 {
+		t.Errorf("mutations_per_second not recorded: %v", l.MutationsPerSecond)
 	}
 }
 
