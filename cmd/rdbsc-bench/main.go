@@ -41,6 +41,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -49,6 +50,7 @@ import (
 	"rdbsc/internal/decompose"
 	"rdbsc/internal/engine"
 	"rdbsc/internal/exp"
+	"rdbsc/internal/serve"
 	"rdbsc/internal/workload"
 )
 
@@ -73,7 +75,9 @@ func main() {
 		outDir        = flag.String("out", ".", "with -scenario -json: directory for BENCH_<scenario>.json")
 		baseline      = flag.String("baseline", "", "with -scenario: compare against this baseline file (exit 3 on regression)")
 		maxRegress    = flag.Float64("max-regress", 3, "with -baseline: fail when wall-clock p50 exceeds this multiple of the baseline")
+		maxAllocs     = flag.Float64("max-allocs-regress", 0, "with -baseline: fail when allocs/op exceeds this multiple of the baseline (0 = off)")
 		writeBaseline = flag.String("write-baseline", "", "with -scenario: merge this run into the given baseline file")
+		solveCache    = flag.Bool("solve-cache", false, "with -scenario: replay repeat solves through the cross-request solve cache (variant 'cached')")
 	)
 	flag.Parse()
 
@@ -102,7 +106,8 @@ func main() {
 			name: *scenario, solver: *solver, sharded: *sharded,
 			m: *m, n: *n, seed: *seed, runs: *runs,
 			jsonOut: *jsonOut, outDir: *outDir,
-			baseline: *baseline, maxRegress: *maxRegress, writeBaseline: *writeBaseline,
+			baseline: *baseline, maxRegress: *maxRegress, maxAllocs: *maxAllocs,
+			writeBaseline: *writeBaseline, solveCache: *solveCache,
 		}))
 	}
 	if *jsonOut {
@@ -145,11 +150,12 @@ func main() {
 type scenarioOpts struct {
 	name, solver            string
 	sharded, jsonOut        bool
+	solveCache              bool
 	m, n, runs              int
 	seed                    int64
 	outDir                  string
 	baseline, writeBaseline string
-	maxRegress              float64
+	maxRegress, maxAllocs   float64
 }
 
 // runScenario benchmarks one named workload scenario: retrieve the valid
@@ -185,22 +191,51 @@ func runScenario(ctx context.Context, opts scenarioOpts) int {
 	rep.Components = decompose.Build(prob.Pairs).Len()
 	rep.RetrieveMS = float64(retrieve) / float64(time.Millisecond)
 
+	// With -solve-cache, repeat solves replay through the serve plane's
+	// cross-request cache (the state never changes between runs, so every
+	// run after the first is a hit); the record is written under the
+	// "cached" variant so it coexists with the uncached one.
+	var cache *serve.SolveCache
+	cacheVersions := []uint64{1}
+	cacheKey := serve.SolveCacheKey{Fingerprint: 1, Solver: solver.Name(), Seed: opts.seed}
+	if opts.solveCache {
+		cache = serve.NewSolveCache(opts.runs)
+		rep.Variant = "cached"
+	}
+
 	// Only clean solves enter the latency sample: an errored or interrupted
 	// attempt's timing measures the failure, not the solver, and Runs must
-	// reflect what the quantiles were computed over.
+	// reflect what the quantiles were computed over. The allocation profile
+	// is the MemStats delta across the measured loop, averaged per run.
 	wall := make([]float64, 0, opts.runs)
 	var res *core.Result
 	var solveErr error
+	cacheHits := 0
+	runtime.GC()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	for r := 0; r < opts.runs; r++ {
 		start := time.Now()
+		if v, ok := cache.Get(cacheKey, cacheVersions, 0); ok {
+			res = v.(*core.Result)
+			cacheHits++
+			wall = append(wall, float64(time.Since(start))/float64(time.Millisecond))
+			continue
+		}
 		res, solveErr = solver.Solve(ctx, prob, &core.SolveOptions{Seed: opts.seed})
 		if solveErr != nil {
 			break
 		}
+		cache.Put(cacheKey, cacheVersions, 0, res)
 		wall = append(wall, float64(time.Since(start))/float64(time.Millisecond))
 	}
+	runtime.ReadMemStats(&msAfter)
 	rep.Runs = len(wall)
 	rep.WallMS = benchreport.Summarize(wall)
+	if len(wall) > 0 {
+		rep.AllocsPerOp = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(len(wall))
+		rep.BytesPerOp = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / float64(len(wall))
+	}
 	if res != nil {
 		rep.Feasible = res.Assignment != nil && res.Assignment.Len() > 0
 		rep.Objective = benchreport.Objective{
@@ -229,6 +264,10 @@ func runScenario(ctx context.Context, opts scenarioOpts) int {
 		opts.name, solver.Name(), rep.M, rep.N, rep.Pairs, rep.Components)
 	fmt.Printf("  wall p50=%.2fms p95=%.2fms p99=%.2fms (runs=%d, retrieve=%.2fms)\n",
 		rep.WallMS.P50, rep.WallMS.P95, rep.WallMS.P99, len(wall), rep.RetrieveMS)
+	fmt.Printf("  allocs/op=%.0f bytes/op=%.0f\n", rep.AllocsPerOp, rep.BytesPerOp)
+	if opts.solveCache {
+		fmt.Printf("  solve-cache hits=%d/%d\n", cacheHits, len(wall))
+	}
 	fmt.Printf("  minRel=%.4f totalSTD=%.4f assigned=%d/%d\n",
 		rep.Objective.MinReliability, rep.Objective.TotalDiversity,
 		rep.Objective.AssignedWorkers, rep.Objective.AssignedTasks)
@@ -267,6 +306,9 @@ func runScenario(ctx context.Context, opts scenarioOpts) int {
 			return 1
 		}
 		failures, notes := bl.Compare(rep, opts.maxRegress)
+		af, an := bl.CompareAllocs(rep, opts.maxAllocs)
+		failures = append(failures, af...)
+		notes = append(notes, an...)
 		for _, n := range notes {
 			fmt.Printf("  baseline note: %s\n", n)
 		}

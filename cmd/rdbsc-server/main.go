@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -65,6 +66,8 @@ func main() {
 		grace        = flag.Duration("grace", 15*time.Second, "graceful shutdown budget after SIGINT/SIGTERM")
 		shards       = flag.Int("shards", 1, "spatial shard count; >1 serves the multi-shard cluster topology (internal/cluster)")
 		tileSize     = flag.Float64("tile", 0, "tile side length for shard routing (0 = default 0.3; only with -shards > 1)")
+		solveCache   = flag.Int("solve-cache", 0, "solve-cache capacity: repeat /v1/solve requests against an unchanged state replay the cached answer (0 = disabled)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
 	)
 	flag.Parse()
 
@@ -108,6 +111,7 @@ func main() {
 			BatchLinger:  *batchLinger,
 			SolveTimeout: *solveTimeout,
 			DisableIndex: !*useIndex,
+			SolveCache:   *solveCache,
 		}, in)
 		if err != nil {
 			fatal(err)
@@ -134,6 +138,7 @@ func main() {
 			BatchMax:     *batchMax,
 			BatchLinger:  *batchLinger,
 			SolveTimeout: *solveTimeout,
+			SolveCache:   *solveCache,
 		})
 		if err != nil {
 			fatal(err)
@@ -144,6 +149,25 @@ func main() {
 			snap.Tasks(), snap.Workers(), len(snap.Problem.Pairs), solverTag)
 	}
 	log.Printf("rdbsc-server: listening on %s (%s)", *addr, boot)
+
+	// Profiling is opt-in and served on its own listener, so the /v1 API
+	// surface never exposes /debug/pprof. The explicit mux avoids the
+	// net/http/pprof side effect of registering on http.DefaultServeMux.
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func(addr string) {
+			log.Printf("rdbsc-server: pprof listening on %s", addr)
+			ps := &http.Server{Addr: addr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := ps.ListenAndServe(); err != nil {
+				log.Printf("rdbsc-server: pprof server: %v", err)
+			}
+		}(*pprofAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -24,8 +24,9 @@ import (
 )
 
 // SchemaVersion identifies the BENCH_*.json layout. Bump on incompatible
-// change.
-const SchemaVersion = 1
+// change. Version 2 added the per-solve allocation profile (allocs_per_op,
+// bytes_per_op) that the CI allocation gate compares against the baseline.
+const SchemaVersion = 2
 
 // Quantiles summarizes a latency sample in milliseconds.
 type Quantiles struct {
@@ -108,6 +109,13 @@ type Report struct {
 	// valid-pair retrieval (index walk) cost.
 	WallMS     Quantiles `json:"wall_ms"`
 	RetrieveMS float64   `json:"retrieve_ms,omitempty"`
+
+	// Allocation profile per measured solve (schema 2): heap allocation
+	// count and bytes averaged over Runs, from runtime.MemStats deltas
+	// around the measured solves. Zero when the producer did not measure
+	// them (rdbsc-loadgen's client-side records, pre-v2 regenerations).
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
 
 	Objective Objective  `json:"objective"`
 	Stats     core.Stats `json:"stats"`
@@ -309,6 +317,36 @@ func (b *Baseline) Compare(cur *Report, maxRegress float64) (failures, notes []s
 	if drift := relDiff(base.Objective.TotalDiversity, cur.Objective.TotalDiversity); drift > 0.01 {
 		notes = append(notes, fmt.Sprintf("total-diversity drift %.1f%%: %.4f -> %.4f",
 			100*drift, base.Objective.TotalDiversity, cur.Objective.TotalDiversity))
+	}
+	return failures, notes
+}
+
+// allocsRegressFloor guards the allocation gate against measurement noise
+// on tiny workloads: an allocs/op regression only counts when it exceeds
+// the multiplicative threshold AND this absolute floor.
+const allocsRegressFloor = 10_000
+
+// CompareAllocs gates cur's allocation profile against the baseline entry
+// for its scenario: a failure is a >maxRegress× allocs/op regression past
+// an absolute noise floor. maxRegress <= 0 disables the gate; a side
+// missing its allocation profile (pre-v2 record, unmeasured producer) is a
+// note, not a failure.
+func (b *Baseline) CompareAllocs(cur *Report, maxRegress float64) (failures, notes []string) {
+	if maxRegress <= 0 {
+		return nil, nil
+	}
+	base, ok := b.Entries[cur.Scenario]
+	if !ok {
+		return nil, []string{fmt.Sprintf("no baseline entry for scenario %q; skipping allocation gate", cur.Scenario)}
+	}
+	if base.AllocsPerOp <= 0 || cur.AllocsPerOp <= 0 {
+		return nil, []string{"allocation profile missing on one side; skipping allocation gate"}
+	}
+	limit := maxRegress * base.AllocsPerOp
+	if cur.AllocsPerOp > limit && cur.AllocsPerOp-base.AllocsPerOp > allocsRegressFloor {
+		failures = append(failures, fmt.Sprintf(
+			"allocs/op %.0f exceeds %.1f× baseline %.0f",
+			cur.AllocsPerOp, maxRegress, base.AllocsPerOp))
 	}
 	return failures, notes
 }

@@ -15,6 +15,7 @@ import (
 	"rdbsc/internal/engine"
 	"rdbsc/internal/grid"
 	"rdbsc/internal/model"
+	"rdbsc/internal/serve"
 )
 
 // Config parameterizes a Cluster. The engine-level knobs (Beta, Opt, Grid)
@@ -52,6 +53,12 @@ type Config struct {
 	// to brute-force pair retrieval (same semantics, no grid).
 	Grid         grid.Config
 	DisableIndex bool
+	// SolveCache is the capacity of the cross-request solve cache, keyed on
+	// (shard version vector, routing generation, solver, seed): a repeat
+	// solve against an unchanged cluster replays the cached answer verbatim.
+	// Any shard's version bump or a cross-shard move invalidates every
+	// affected entry by construction. Default 0 (disabled).
+	SolveCache int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,7 +111,8 @@ type Cluster struct {
 	workerShard map[model.WorkerID]int
 	routeGen    uint64 // bumped when a registry change can strand a stale copy
 
-	asm atomic.Pointer[assembled] // cached assembled global problem
+	asm   atomic.Pointer[assembled] // cached assembled global problem
+	cache *serve.SolveCache         // nil when Config.SolveCache == 0
 
 	mux     *http.ServeMux
 	httpMu  sync.Mutex
@@ -144,12 +152,21 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 	if _, err := core.NewByName(cfg.SolverName); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	// Size the entity registry from the bulk-load dimensions so a large
+	// initial load fills pre-sized maps instead of rehashing through
+	// doublings. The hints only affect allocation; an empty cluster (nil in)
+	// starts with default-sized maps.
+	numTasks, numWorkers := 0, 0
+	if in != nil {
+		numTasks, numWorkers = len(in.Tasks), len(in.Workers)
+	}
 	c := &Cluster{
 		cfg:         cfg,
 		tiling:      Tiling{Shards: cfg.Shards, TileSize: cfg.TileSize}.withDefaults(),
 		shards:      make([]*shard, cfg.Shards),
-		taskShard:   make(map[model.TaskID]int),
-		workerShard: make(map[model.WorkerID]int),
+		taskShard:   make(map[model.TaskID]int, numTasks),
+		workerShard: make(map[model.WorkerID]int, numWorkers),
+		cache:       serve.NewSolveCache(cfg.SolveCache),
 		started:     time.Now(),
 	}
 	engCfg := engine.Config{

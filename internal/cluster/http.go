@@ -214,8 +214,24 @@ func (c *Cluster) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
+	// Assemble first so the cache can be consulted against the exact shard
+	// version vector and routing generation the solve would run under.
+	a, reused := c.assemble()
+	key := serve.SolveCacheKey{
+		Fingerprint: solveFingerprint(a.versions, a.routeGen),
+		Solver:      solver.Name(),
+		Seed:        req.Seed,
+	}
+	if v, ok := c.cache.Get(key, a.versions, a.routeGen); ok {
+		resp := *v.(*SolveResponse) // shallow copy; the cached value is never mutated
+		resp.Cached = true
+		c.lastRes.Store(&resp)
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+
 	start := time.Now()
-	res, info, err := c.Solve(ctx, solver, &core.SolveOptions{Seed: req.Seed})
+	res, info, err := c.solveWith(ctx, a, reused, solver, &core.SolveOptions{Seed: req.Seed})
 	elapsed := time.Since(start)
 
 	c.solves.Add(1)
@@ -266,6 +282,11 @@ func (c *Cluster) handleSolve(w http.ResponseWriter, r *http.Request) {
 		AssemblyReused:      info.AssemblyReused,
 	}
 	c.lastRes.Store(resp)
+	if err == nil {
+		// Only clean, complete solves are cached; a partial depends on how
+		// far the deadline let the solver run, which is not a state key.
+		c.cache.Put(key, a.versions, a.routeGen, resp)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -335,6 +356,12 @@ type statsResponse struct {
 	Partials    uint64                `json:"partial_solves"`
 	SolverStats core.Stats            `json:"solver_stats"`
 	SolveLatMS  benchreport.Quantiles `json:"solve_latency_ms"`
+
+	// Solve-cache counters (same names as the serve layer's; all zero when
+	// the cache is disabled).
+	SolveCacheHits      uint64 `json:"solve_cache_hits"`
+	SolveCacheMisses    uint64 `json:"solve_cache_misses"`
+	SolveCacheEvictions uint64 `json:"solve_cache_evictions"`
 
 	UptimeMS float64 `json:"uptime_ms"`
 }
@@ -417,6 +444,10 @@ func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.SolveErrors = c.solveErrors.Load()
 	resp.Partials = c.partials.Load()
 	resp.SolveLatMS = benchreport.Summarize(sample)
+	cacheStats := c.cache.Stats()
+	resp.SolveCacheHits = cacheStats.Hits
+	resp.SolveCacheMisses = cacheStats.Misses
+	resp.SolveCacheEvictions = cacheStats.Evictions
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"context"
+	"encoding/binary"
+	"hash/fnv"
 	"sort"
 
 	"rdbsc/internal/core"
@@ -230,6 +232,13 @@ func (c *Cluster) assemble() (*assembled, bool) {
 // order.
 func (c *Cluster) Solve(ctx context.Context, solver core.Solver, opts *core.SolveOptions) (*core.Result, SolveInfo, error) {
 	a, reused := c.assemble()
+	return c.solveWith(ctx, a, reused, solver, opts)
+}
+
+// solveWith is Solve over an already-assembled global problem (the HTTP
+// layer assembles first so it can consult the solve cache against the exact
+// version vector before committing to a solve).
+func (c *Cluster) solveWith(ctx context.Context, a *assembled, reused bool, solver core.Solver, opts *core.SolveOptions) (*core.Result, SolveInfo, error) {
 	info := SolveInfo{
 		Components:      a.part.Len(),
 		Escalated:       a.nEscalated,
@@ -307,6 +316,21 @@ func (c *Cluster) checkConsistency(a *assembled, res *core.Result) int {
 }
 
 // Snapshot-plane helpers.
+
+// solveFingerprint condenses a shard version vector plus the routing
+// generation into the solve-cache key hash (FNV-1a). Collisions are
+// harmless: the cache stores — and Get re-verifies — the exact vector.
+func solveFingerprint(versions []uint64, routeGen uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, v := range versions {
+		binary.LittleEndian.PutUint64(b[:], v)
+		h.Write(b[:])
+	}
+	binary.LittleEndian.PutUint64(b[:], routeGen)
+	h.Write(b[:])
+	return h.Sum64()
+}
 
 func versionsEqual(a, b []uint64) bool {
 	if len(a) != len(b) {

@@ -10,6 +10,7 @@ import (
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
 	"rdbsc/internal/rng"
+	"rdbsc/internal/scratch"
 )
 
 // DC implements the divide-and-conquer algorithm of Section 6 (Figure 6):
@@ -65,15 +66,22 @@ func (d *DC) groupLimit() int {
 // returned with ErrInterrupted — sub-answers already solved are still
 // merged so the partial result is the best combination found so far.
 func (d *DC) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*Result, error) {
-	run := &dcRun{opts: opts}
+	run := &dcRun{opts: opts, bufs: scratch.Get()}
 	a, stats, err := d.solve(ctx, p, opts.source(), run)
+	allocs, reuses := run.bufs.Counters()
+	stats.ScratchAllocs += allocs
+	stats.ScratchReused += reuses
+	scratch.Put(run.bufs)
 	return finishResult(p, a, stats), err
 }
 
-// dcRun threads the per-solve progress state through the recursion.
+// dcRun threads the per-solve progress state — and the merge phase's
+// scratch buffers — through the recursion. The recursion is sequential,
+// so one Buffers serves the whole solve.
 type dcRun struct {
 	opts   *SolveOptions
 	leaves int
+	bufs   *scratch.Buffers
 }
 
 func (d *DC) solve(ctx context.Context, p *Problem, src *rng.Source, run *dcRun) (*model.Assignment, Stats, error) {
@@ -104,7 +112,7 @@ func (d *DC) solve(ctx context.Context, p *Problem, src *rng.Source, run *dcRun)
 	stats := s1.Add(s2)
 	// Merge even when a subtree was interrupted: its partial sub-answer
 	// still improves the combined assignment.
-	merged, ms := saMerge(p, a1, a2, d.groupLimit())
+	merged, ms := saMerge(p, a1, a2, d.groupLimit(), run.bufs)
 	stats = stats.Add(ms)
 	if err == nil {
 		run.opts.emit(Stage{
@@ -212,7 +220,7 @@ func filterPairs(p *Problem, taskSide map[model.TaskID]int, side int) []model.Pa
 // dependent groups (DCWs) whose copy deletions are decided jointly by 2^k
 // enumeration; independent conflicting workers (ICWs) are groups of size
 // one (Lemma 6.2). Non-conflicting assignments are untouched (Lemma 6.1).
-func saMerge(p *Problem, a1, a2 *model.Assignment, groupLimit int) (*model.Assignment, Stats) {
+func saMerge(p *Problem, a1, a2 *model.Assignment, groupLimit int, bufs *scratch.Buffers) (*model.Assignment, Stats) {
 	var stats Stats
 	merged := model.NewAssignment()
 	var conflicting []model.WorkerID
@@ -269,9 +277,9 @@ func saMerge(p *Problem, a1, a2 *model.Assignment, groupLimit int) (*model.Assig
 		stats.MergeGroups++
 		if len(group) <= groupLimit {
 			stats.MergeExhaustive++
-			resolveGroupExhaustive(p, a1, a2, conflicting, group, merged)
+			resolveGroupExhaustive(p, a1, a2, conflicting, group, merged, bufs)
 		} else {
-			resolveGroupGreedy(p, a1, a2, conflicting, group, merged)
+			resolveGroupGreedy(p, a1, a2, conflicting, group, merged, bufs)
 		}
 	}
 	return merged, stats
@@ -280,9 +288,9 @@ func saMerge(p *Problem, a1, a2 *model.Assignment, groupLimit int) (*model.Assig
 // resolveGroupExhaustive tries all 2^k side choices for the group's
 // conflicting workers, evaluating the affected tasks only, and commits the
 // dominance-score winner into merged.
-func resolveGroupExhaustive(p *Problem, a1, a2 *model.Assignment, conflicting []model.WorkerID, group []int, merged *model.Assignment) {
+func resolveGroupExhaustive(p *Problem, a1, a2 *model.Assignment, conflicting []model.WorkerID, group []int, merged *model.Assignment, bufs *scratch.Buffers) {
 	affected := affectedTasks(a1, a2, conflicting, group)
-	base := baseStates(p, merged, affected)
+	base := baseStates(p, merged, affected, bufs)
 
 	k := len(group)
 	total := 1 << uint(k)
@@ -292,12 +300,13 @@ func resolveGroupExhaustive(p *Problem, a1, a2 *model.Assignment, conflicting []
 		for bit, gi := range group {
 			w := conflicting[gi]
 			t := chooseSide(a1, a2, w, mask&(1<<uint(bit)) != 0)
-			addToState(p, states, w, t)
+			addToState(p, states, w, t, bufs)
 		}
 		vecs[mask] = statesVec(states)
 	}
-	scores := objective.DominanceScores(vecs)
+	scores := objective.DominanceScoresBuf(bufs, vecs)
 	best := objective.ArgmaxScore(vecs, scores)
+	bufs.PutInt(scores)
 	for bit, gi := range group {
 		w := conflicting[gi]
 		merged.Assign(w, chooseSide(a1, a2, w, best&(1<<uint(bit)) != 0))
@@ -307,16 +316,16 @@ func resolveGroupExhaustive(p *Problem, a1, a2 *model.Assignment, conflicting []
 // resolveGroupGreedy resolves an oversized DCW group sequentially: each
 // worker in turn picks the side that leaves the affected tasks' objectives
 // better, given the choices made so far.
-func resolveGroupGreedy(p *Problem, a1, a2 *model.Assignment, conflicting []model.WorkerID, group []int, merged *model.Assignment) {
+func resolveGroupGreedy(p *Problem, a1, a2 *model.Assignment, conflicting []model.WorkerID, group []int, merged *model.Assignment, bufs *scratch.Buffers) {
 	affected := affectedTasks(a1, a2, conflicting, group)
-	states := baseStates(p, merged, affected)
+	states := baseStates(p, merged, affected, bufs)
 	for _, gi := range group {
 		w := conflicting[gi]
 		t1, t2 := a1.TaskOf(w), a2.TaskOf(w)
 		s1 := cloneStates(states)
-		addToState(p, s1, w, t1)
+		addToState(p, s1, w, t1, bufs)
 		s2 := cloneStates(states)
-		addToState(p, s2, w, t2)
+		addToState(p, s2, w, t2, bufs)
 		v1, v2 := statesVec(s1), statesVec(s2)
 		if v2.Dominates(v1) {
 			merged.Assign(w, t2)
@@ -350,7 +359,7 @@ func affectedTasks(a1, a2 *model.Assignment, conflicting []model.WorkerID, group
 
 // baseStates builds the objective states of the affected tasks from the
 // already-merged (non-group) assignments.
-func baseStates(p *Problem, merged *model.Assignment, affected map[model.TaskID]bool) map[model.TaskID]*objective.TaskState {
+func baseStates(p *Problem, merged *model.Assignment, affected map[model.TaskID]bool, bufs *scratch.Buffers) map[model.TaskID]*objective.TaskState {
 	states := make(map[model.TaskID]*objective.TaskState, len(affected))
 	for t := range affected {
 		if task := p.Task(t); task != nil {
@@ -359,13 +368,13 @@ func baseStates(p *Problem, merged *model.Assignment, affected map[model.TaskID]
 	}
 	merged.Workers(func(w model.WorkerID, t model.TaskID) {
 		if affected[t] {
-			addToState(p, states, w, t)
+			addToState(p, states, w, t, bufs)
 		}
 	})
 	return states
 }
 
-func addToState(p *Problem, states map[model.TaskID]*objective.TaskState, wid model.WorkerID, tid model.TaskID) {
+func addToState(p *Problem, states map[model.TaskID]*objective.TaskState, wid model.WorkerID, tid model.TaskID, bufs *scratch.Buffers) {
 	if tid == model.NoTask {
 		return
 	}
@@ -379,7 +388,7 @@ func addToState(p *Problem, states map[model.TaskID]*objective.TaskState, wid mo
 	if !ok {
 		return
 	}
-	st.Add(wid, w.Confidence, arr, model.ApproachAngle(*t, *w))
+	st.AddBuf(bufs, wid, w.Confidence, arr, model.ApproachAngle(*t, *w))
 }
 
 // statesVec reduces a set of task states to the (min R, Σ E[STD]) objective

@@ -106,7 +106,7 @@ func mergeFixture(t *testing.T) (*Problem, *model.Assignment, *model.Assignment)
 
 func TestSAMergeResolvesConflict(t *testing.T) {
 	p, a1, a2 := mergeFixture(t)
-	merged, stats := saMerge(p, a1, a2, 12)
+	merged, stats := saMerge(p, a1, a2, 12, nil)
 	// Non-conflicting assignments preserved (Lemma 6.1).
 	if merged.TaskOf(0) != 0 || merged.TaskOf(1) != 1 {
 		t.Errorf("non-conflicting assignments changed: w0->%d w1->%d",
@@ -128,7 +128,7 @@ func TestSAMergeNoConflicts(t *testing.T) {
 	p, a1, a2 := mergeFixture(t)
 	a1.Unassign(2)
 	a2.Unassign(2)
-	merged, stats := saMerge(p, a1, a2, 12)
+	merged, stats := saMerge(p, a1, a2, 12, nil)
 	if merged.Len() != 2 || stats.MergeGroups != 0 {
 		t.Errorf("merge without conflicts: len=%d stats=%+v", merged.Len(), stats)
 	}
@@ -136,7 +136,7 @@ func TestSAMergeNoConflicts(t *testing.T) {
 
 func TestSAMergeGreedyFallbackForBigGroups(t *testing.T) {
 	p, a1, a2 := mergeFixture(t)
-	merged, stats := saMerge(p, a1, a2, 0) // groupLimit 0 forces greedy path
+	merged, stats := saMerge(p, a1, a2, 0, nil) // groupLimit 0 forces greedy path
 	if got := merged.TaskOf(2); got != 0 && got != 1 {
 		t.Errorf("greedy merge left worker 2 at %d", got)
 	}
@@ -152,7 +152,7 @@ func TestSAMergePicksBetterSide(t *testing.T) {
 	// merge must pick the side whose objective vector dominates. Verify the
 	// choice agrees with direct evaluation of both options.
 	p, a1, a2 := mergeFixture(t)
-	merged, _ := saMerge(p, a1, a2, 12)
+	merged, _ := saMerge(p, a1, a2, 12, nil)
 
 	opt0 := model.NewAssignment() // w2 -> task 0
 	opt0.Assign(0, 0)

@@ -7,9 +7,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
+	"rdbsc/internal/scratch"
 )
 
 // Greedy implements the RDB-SC_Greedy algorithm of Figure 3: it repeatedly
@@ -53,6 +55,36 @@ func NewGreedy() *Greedy { return &Greedy{Prune: true, Incremental: true} }
 
 // Name implements Solver.
 func (g *Greedy) Name() string { return "GREEDY" }
+
+// greedyScratch bundles the buffers one greedy solve reuses across rounds:
+// the candidate list, the objective vectors, and a scratch.Buffers feeding
+// every slice temporary underneath (bound/delta evaluation, skyline,
+// dominance scores, pruning). Solves check one out of a process-wide
+// sync.Pool, so steady-state serving reuses warmed buffers across requests
+// too. It is single-goroutine state; the parallel exact-Δ shards take their
+// own scratch.Buffers instead of sharing this one.
+type greedyScratch struct {
+	bufs  *scratch.Buffers
+	cands []candidate
+	vecs  []objective.Vec2
+}
+
+var greedyScratchPool = sync.Pool{New: func() any { return &greedyScratch{bufs: new(scratch.Buffers)} }}
+
+func getGreedyScratch() *greedyScratch {
+	gs := greedyScratchPool.Get().(*greedyScratch)
+	gs.bufs.ResetCounters()
+	return gs
+}
+
+func putGreedyScratch(gs *greedyScratch) { greedyScratchPool.Put(gs) }
+
+// fold records the solve's pool hit rate into its stats.
+func (gs *greedyScratch) fold(stats *Stats) {
+	allocs, reuses := gs.bufs.Counters()
+	stats.ScratchAllocs += allocs
+	stats.ScratchReused += reuses
+}
 
 // candidate is one task-worker pair under consideration in a round.
 type candidate struct {
@@ -129,18 +161,22 @@ func (g *Greedy) SolveWithStates(ctx context.Context, p *Problem, seed map[model
 // the differential-testing baseline.
 func (g *Greedy) runNaive(ctx context.Context, p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, opts *SolveOptions) (*Result, error) {
 	assignment := model.NewAssignment()
+	gs := getGreedyScratch()
+	defer putGreedyScratch(gs)
 	var stats Stats
 	for len(free) > 0 {
 		if ctx.Err() != nil {
+			gs.fold(&stats)
 			return finishResult(p, assignment, stats), interrupted(ctx)
 		}
-		cands := g.collectCandidates(p, states, free, &stats)
+		cands := g.collectCandidates(p, states, free, gs, &stats)
 		if len(cands) == 0 {
 			break
 		}
-		best := g.selectBest(p, states, cands, &stats)
-		g.commitRound(p, states, free, assignment, best, nil, &stats, opts)
+		best := g.selectBest(p, states, cands, gs, &stats)
+		g.commitRound(p, states, free, assignment, best, nil, gs, &stats, opts)
 	}
+	gs.fold(&stats)
 	return finishResult(p, assignment, stats), nil
 }
 
@@ -152,27 +188,31 @@ func (g *Greedy) runIncremental(ctx context.Context, p *Problem, states map[mode
 	assignment := model.NewAssignment()
 	cache := newBoundCache(len(p.Pairs))
 	tracker := newMinTwoTracker(states)
+	gs := getGreedyScratch()
+	defer putGreedyScratch(gs)
 	var stats Stats
 	for len(free) > 0 {
 		if ctx.Err() != nil {
+			gs.fold(&stats)
 			return finishResult(p, assignment, stats), interrupted(ctx)
 		}
-		cands := g.collectCached(p, states, free, cache, tracker, &stats)
+		cands := g.collectCached(p, states, free, cache, tracker, gs, &stats)
 		if len(cands) == 0 {
 			break
 		}
-		best := g.selectBest(p, states, cands, &stats)
-		g.commitRound(p, states, free, assignment, best, tracker, &stats, opts)
+		best := g.selectBest(p, states, cands, gs, &stats)
+		g.commitRound(p, states, free, assignment, best, tracker, gs, &stats, opts)
 	}
+	gs.fold(&stats)
 	return finishResult(p, assignment, stats), nil
 }
 
 // commitRound applies the winning pair and emits the round's progress.
-func (g *Greedy) commitRound(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, assignment *model.Assignment, best candidate, tracker *minTwoTracker, stats *Stats, opts *SolveOptions) {
+func (g *Greedy) commitRound(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, assignment *model.Assignment, best candidate, tracker *minTwoTracker, gs *greedyScratch, stats *Stats, opts *SolveOptions) {
 	pr := p.Pairs[best.pairIdx]
 	w := p.Worker(pr.Worker)
 	st := states[pr.Task]
-	st.AddPair(pr, w.Confidence)
+	st.AddPairBuf(gs.bufs, pr, w.Confidence)
 	if tracker != nil {
 		tracker.update(pr.Task, st.R())
 	}
@@ -189,9 +229,9 @@ func (g *Greedy) commitRound(p *Problem, states map[model.TaskID]*objective.Task
 
 // collectCandidates builds the per-round candidate list with Δmin-R and
 // diversity-increase bounds for every valid pair of a free worker.
-func (g *Greedy) collectCandidates(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, stats *Stats) []candidate {
+func (g *Greedy) collectCandidates(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, gs *greedyScratch, stats *Stats) []candidate {
 	minR, secondR := minTwoR(states)
-	var cands []candidate
+	cands := gs.cands[:0]
 	for i := range p.In.Workers {
 		wid := p.In.Workers[i].ID
 		if !free[wid] {
@@ -207,14 +247,15 @@ func (g *Greedy) collectCandidates(p *Problem, states map[model.TaskID]*objectiv
 				dR:      dR,
 				dMinR:   deltaMinR(st.R(), dR, minR, secondR),
 			}
-			b := st.DeltaBoundsIfAdd(w.Confidence, pr.Arrival, pr.Angle)
+			b := st.DeltaBoundsIfAddBuf(gs.bufs, w.Confidence, pr.Arrival, pr.Angle)
 			stats.BoundsComputed++
 			c.lbD, c.ubD = b.Lo, b.Hi
 			cands = append(cands, c)
 		}
 	}
+	gs.cands = cands // keep the (possibly grown) backing for the next round
 	if g.Prune && len(cands) > 1 {
-		cands = pruneCandidates(cands, stats)
+		cands = pruneCandidates(cands, gs.bufs, stats)
 	}
 	return cands
 }
@@ -225,9 +266,9 @@ func (g *Greedy) collectCandidates(p *Problem, states map[model.TaskID]*objectiv
 // the Δmin-R term comes from the incrementally maintained tracker. The
 // candidate list is identical to collectCandidates' — same pairs, same
 // order, same floating-point values.
-func (g *Greedy) collectCached(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, cache *boundCache, tracker *minTwoTracker, stats *Stats) []candidate {
+func (g *Greedy) collectCached(p *Problem, states map[model.TaskID]*objective.TaskState, free map[model.WorkerID]bool, cache *boundCache, tracker *minTwoTracker, gs *greedyScratch, stats *Stats) []candidate {
 	minR, secondR := tracker.minTwo()
-	var cands []candidate
+	cands := gs.cands[:0]
 	for i := range p.In.Workers {
 		wid := p.In.Workers[i].ID
 		if !free[wid] {
@@ -242,7 +283,7 @@ func (g *Greedy) collectCached(p *Problem, states map[model.TaskID]*objective.Ta
 			if ok {
 				stats.BoundsReused++
 			} else {
-				b := st.DeltaBoundsIfAdd(w.Confidence, pr.Arrival, pr.Angle)
+				b := st.DeltaBoundsIfAddBuf(gs.bufs, w.Confidence, pr.Arrival, pr.Angle)
 				lo, hi = b.Lo, b.Hi
 				cache.put(pi, st.Version(), lo, hi)
 				stats.BoundsComputed++
@@ -256,8 +297,9 @@ func (g *Greedy) collectCached(p *Problem, states map[model.TaskID]*objective.Ta
 			})
 		}
 	}
+	gs.cands = cands // keep the (possibly grown) backing for the next round
 	if g.Prune && len(cands) > 1 {
-		cands = pruneCandidates(cands, stats)
+		cands = pruneCandidates(cands, gs.bufs, stats)
 	}
 	return cands
 }
@@ -268,13 +310,16 @@ func (g *Greedy) collectCached(p *Problem, states map[model.TaskID]*objective.Ta
 // shards; the states are only read, and the winner scan stays sequential
 // over the stable candidate order, so the result matches the sequential
 // path exactly.
-func (g *Greedy) selectBest(p *Problem, states map[model.TaskID]*objective.TaskState, cands []candidate, stats *Stats) candidate {
-	vecs := make([]objective.Vec2, len(cands))
-	evalExact := func(i int) {
+func (g *Greedy) selectBest(p *Problem, states map[model.TaskID]*objective.TaskState, cands []candidate, gs *greedyScratch, stats *Stats) candidate {
+	if cap(gs.vecs) < len(cands) {
+		gs.vecs = make([]objective.Vec2, len(cands))
+	}
+	vecs := gs.vecs[:len(cands)]
+	evalExact := func(bufs *scratch.Buffers, i int) {
 		c := &cands[i]
 		pr := p.Pairs[c.pairIdx]
 		w := p.Worker(pr.Worker)
-		_, dD := states[pr.Task].DeltaIfAdd(w.Confidence, pr.Arrival, pr.Angle)
+		_, dD := states[pr.Task].DeltaIfAddBuf(bufs, w.Confidence, pr.Arrival, pr.Angle)
 		c.dD = dD
 		c.exact = true
 		vecs[i] = objective.Vec2{R: c.dMinR, D: c.dD}
@@ -284,37 +329,51 @@ func (g *Greedy) selectBest(p *Problem, states map[model.TaskID]*objective.TaskS
 		if shards > len(cands) {
 			shards = len(cands)
 		}
+		// Buffers are single-goroutine: each shard checks its own out of
+		// the process-wide reservoir and folds its counters back atomically.
+		var pAllocs, pReuses atomic.Int64
 		var wg sync.WaitGroup
 		for s := 0; s < shards; s++ {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
+				bufs := scratch.Get()
 				for i := s; i < len(cands); i += shards {
-					evalExact(i)
+					evalExact(bufs, i)
 				}
+				a, r := bufs.Counters()
+				pAllocs.Add(int64(a))
+				pReuses.Add(int64(r))
+				scratch.Put(bufs)
 			}(s)
 		}
 		wg.Wait()
+		stats.ScratchAllocs += int(pAllocs.Load())
+		stats.ScratchReused += int(pReuses.Load())
 	} else {
 		for i := range cands {
-			evalExact(i)
+			evalExact(gs.bufs, i)
 		}
 	}
 	stats.PairsEvaluated += len(cands)
 	// Skyline filter (line 6 of Figure 3) then top-k dominating rank
 	// (line 7); the skyline restriction does not change the argmax but
 	// mirrors the paper's two-step description.
-	sky := objective.Skyline(vecs)
+	sky := objective.SkylineBuf(gs.bufs, vecs)
 	if len(sky) == 1 {
-		return cands[sky[0]]
+		best := cands[sky[0]]
+		gs.bufs.PutInt(sky)
+		return best
 	}
-	scores := objective.DominanceScores(vecs)
+	scores := objective.DominanceScoresBuf(gs.bufs, vecs)
 	bestIdx := sky[0]
 	for _, i := range sky[1:] {
 		if betterCandidate(scores, vecs, i, bestIdx) {
 			bestIdx = i
 		}
 	}
+	gs.bufs.PutInt(scores)
+	gs.bufs.PutInt(sky)
 	return cands[bestIdx]
 }
 
@@ -332,14 +391,14 @@ func betterCandidate(scores []int, vecs []objective.Vec2, i, j int) bool {
 // candidate p has dMinR_p ≥ dMinR_q and lbD_p > ubD_q. Sorting by dMinR
 // descending lets a running maximum of lbD decide each candidate in
 // O(P log P).
-func pruneCandidates(cands []candidate, stats *Stats) []candidate {
-	idx := make([]int, len(cands))
+func pruneCandidates(cands []candidate, bufs *scratch.Buffers, stats *Stats) []candidate {
+	idx := bufs.Int(len(cands))
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool { return cands[idx[a]].dMinR > cands[idx[b]].dMinR })
 
-	keep := make([]bool, len(cands))
+	keep := bufs.Bool(len(cands))
 	maxLb := math.Inf(-1)
 	for g := 0; g < len(idx); {
 		// Process one group of equal dMinR together: members of a group may
@@ -369,6 +428,8 @@ func pruneCandidates(cands []candidate, stats *Stats) []candidate {
 			stats.PairsPruned++
 		}
 	}
+	bufs.PutBool(keep)
+	bufs.PutInt(idx)
 	// Guard: bounds are sound, so at least the candidate carrying maxLb
 	// survives; an empty result can only arise from NaNs, which we refuse
 	// to propagate.

@@ -13,6 +13,7 @@ import (
 
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
+	"rdbsc/internal/scratch"
 )
 
 // Problem is an RDB-SC instance prepared for solving: the instance plus its
@@ -92,6 +93,12 @@ func (p *Problem) Evaluate(a *model.Assignment) objective.Evaluation {
 	return objective.Evaluate(p.In, a)
 }
 
+// EvaluateBuf is Evaluate with pooled scratch (nil disables pooling); the
+// result is bit-identical.
+func (p *Problem) EvaluateBuf(bufs *scratch.Buffers, a *model.Assignment) objective.Evaluation {
+	return objective.EvaluateBuf(bufs, p.In, a)
+}
+
 // NewStates returns a per-task objective state map initialized from an
 // existing (possibly partial) assignment restricted to this problem's valid
 // pairs. It delegates to objective.BuildStates, which applies workers in a
@@ -120,6 +127,13 @@ type Stats struct {
 	Components        int // connected components the solve decomposed into
 	ComponentsReused  int // components served from the engine's result cache
 	MaxComponentPairs int // pair count of the largest component
+
+	// Scratch-memory diagnostics: how many hot-path slice requests hit the
+	// allocator vs a pooled free-list (internal/scratch). Reuses/(Allocs+
+	// Reuses) is the pool hit rate; steady-state solves should be almost
+	// all reuses.
+	ScratchAllocs int // scratch requests served by the allocator
+	ScratchReused int // scratch requests served from a free-list
 }
 
 // Add returns the element-wise accumulation of two stats (MaxComponentPairs
@@ -140,6 +154,8 @@ func (s Stats) Add(o Stats) Stats {
 	if o.MaxComponentPairs > s.MaxComponentPairs {
 		s.MaxComponentPairs = o.MaxComponentPairs
 	}
+	s.ScratchAllocs += o.ScratchAllocs
+	s.ScratchReused += o.ScratchReused
 	return s
 }
 

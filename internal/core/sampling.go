@@ -4,10 +4,12 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"rdbsc/internal/model"
 	"rdbsc/internal/objective"
 	"rdbsc/internal/rng"
+	"rdbsc/internal/scratch"
 )
 
 // Sampling implements the RDB-SC_Sampling algorithm of Figure 5: draw K
@@ -99,7 +101,7 @@ func (s *Sampling) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*
 
 	choices := make([][]int32, k)
 	evals := make([]objective.Evaluation, k)
-	drawOne := func(h int) {
+	drawOne := func(bufs *scratch.Buffers, h int) {
 		hs := rng.New(seeds[h])
 		choice := make([]int32, len(workers))
 		a := model.NewAssignment()
@@ -110,14 +112,16 @@ func (s *Sampling) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*
 			a.Assign(wid, p.Pairs[pi].Task)
 		}
 		choices[h] = choice
-		evals[h] = p.Evaluate(a)
+		evals[h] = p.EvaluateBuf(bufs, a)
 	}
 
 	// drawn counts the evaluated prefix: samples 0..drawn-1 are complete in
 	// both the sequential and the parallel path, so a partial winner is
 	// selected over exactly that prefix.
 	drawn := 0
+	var sAllocs, sReuses int
 	if s.Parallel && k > 1 {
+		var pAllocs, pReuses atomic.Int64
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 		for h := 0; h < k && ctx.Err() == nil; h++ {
@@ -125,12 +129,18 @@ func (s *Sampling) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*
 			sem <- struct{}{}
 			go func(h int) {
 				defer wg.Done()
-				drawOne(h)
+				bufs := scratch.Get()
+				drawOne(bufs, h)
+				a, r := bufs.Counters()
+				pAllocs.Add(int64(a))
+				pReuses.Add(int64(r))
+				scratch.Put(bufs)
 				<-sem
 			}(h)
 			drawn++
 		}
 		wg.Wait()
+		sAllocs, sReuses = int(pAllocs.Load()), int(pReuses.Load())
 		if drawn > 0 {
 			opts.emit(Stage{
 				Solver: s.Name(),
@@ -140,8 +150,9 @@ func (s *Sampling) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*
 			})
 		}
 	} else {
+		bufs := scratch.Get()
 		for h := 0; h < k && ctx.Err() == nil; h++ {
-			drawOne(h)
+			drawOne(bufs, h)
 			drawn++
 			opts.emit(Stage{
 				Solver: s.Name(),
@@ -150,17 +161,25 @@ func (s *Sampling) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*
 				Stats:  Stats{Samples: drawn},
 			})
 		}
+		sAllocs, sReuses = bufs.Counters()
+		scratch.Put(bufs)
 	}
 	if drawn == 0 {
 		return finishResult(p, model.NewAssignment(), Stats{}), interrupted(ctx)
 	}
 
+	bufs := scratch.Get()
 	vecs := make([]objective.Vec2, drawn)
 	for h := 0; h < drawn; h++ {
 		vecs[h] = objective.Vec2{R: evals[h].MinR, D: evals[h].TotalESTD}
 	}
-	scores := objective.DominanceScores(vecs)
+	scores := objective.DominanceScoresBuf(bufs, vecs)
 	best := objective.ArgmaxScore(vecs, scores)
+	bufs.PutInt(scores)
+	ra, rr := bufs.Counters()
+	sAllocs += ra
+	sReuses += rr
+	scratch.Put(bufs)
 	a := model.NewAssignment()
 	for i, wid := range workers {
 		a.Assign(wid, p.Pairs[choices[best][i]].Task)
@@ -168,7 +187,7 @@ func (s *Sampling) Solve(ctx context.Context, p *Problem, opts *SolveOptions) (*
 	res := &Result{
 		Assignment: a,
 		Eval:       evals[best],
-		Stats:      Stats{Samples: drawn},
+		Stats:      Stats{Samples: drawn, ScratchAllocs: sAllocs, ScratchReused: sReuses},
 	}
 	// drawn < k only when the context interrupted the draws; a deadline
 	// expiring after the final draw still completed the solve.

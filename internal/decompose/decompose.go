@@ -169,40 +169,92 @@ func (u *unionFind) union(a, b int64) {
 
 // group builds the ordered component list from the union-find roots and the
 // pair set. numTasks and numWorkers are capacity hints (0 = unknown).
+//
+// The grouping is a two-pass counting sort over compact component indices:
+// instead of one bucket (two membership maps plus a grown slice) per root,
+// every component's pair indices, tasks, and workers are carved out of
+// three shared backing arrays sized by the pair count, with per-component
+// sort+dedup replacing the membership maps. One rebuild therefore costs a
+// fixed handful of allocations regardless of how many components exist.
+// The output is identical to the bucket formulation: Pairs ascending (pairs
+// are visited in index order), Tasks/Workers sorted unique, components
+// ordered by Key.
 func group(uf *unionFind, pairs []model.Pair, numTasks, numWorkers int) *Partition {
-	type bucket struct {
-		tasks   map[model.TaskID]bool
-		workers map[model.WorkerID]bool
-		pairIdx []int32
-	}
-	buckets := make(map[int64]*bucket)
-	for i := range pairs {
-		root := uf.find(taskNode(pairs[i].Task))
-		b := buckets[root]
-		if b == nil {
-			b = &bucket{tasks: make(map[model.TaskID]bool), workers: make(map[model.WorkerID]bool)}
-			buckets[root] = b
-		}
-		b.tasks[pairs[i].Task] = true
-		b.workers[pairs[i].Worker] = true
-		b.pairIdx = append(b.pairIdx, int32(i))
-	}
 	part := &Partition{
 		taskComp:   make(map[model.TaskID]int, numTasks),
 		workerComp: make(map[model.WorkerID]int, numWorkers),
 	}
-	for _, b := range buckets {
-		c := Component{Pairs: b.pairIdx}
-		for t := range b.tasks {
-			c.Tasks = append(c.Tasks, t)
+	if len(pairs) == 0 {
+		return part
+	}
+
+	// Pass 1: map every pair to a compact component index via its root.
+	rootIdx := make(map[int64]int)
+	compOf := make([]int32, len(pairs))
+	for i := range pairs {
+		root := uf.find(taskNode(pairs[i].Task))
+		ci, ok := rootIdx[root]
+		if !ok {
+			ci = len(rootIdx)
+			rootIdx[root] = ci
 		}
-		for w := range b.workers {
-			c.Workers = append(c.Workers, w)
+		compOf[i] = int32(ci)
+	}
+	nc := len(rootIdx)
+
+	// Pass 2: counting sort of the pair indices into one shared backing.
+	counts := make([]int, nc)
+	for _, ci := range compOf {
+		counts[ci]++
+	}
+	offsets := make([]int, nc+1)
+	for ci, n := range counts {
+		offsets[ci+1] = offsets[ci] + n
+	}
+	pairIdx := make([]int32, len(pairs))
+	next := counts[:0] // reuse counts' backing as the write cursors
+	next = next[:nc]
+	copy(next, offsets[:nc])
+	for i := range pairs {
+		ci := compOf[i]
+		pairIdx[next[ci]] = int32(i)
+		next[ci]++
+	}
+
+	// Carve each component's membership out of shared backings: collect
+	// with duplicates from its pair range, then sort+dedup in place.
+	taskBacking := make([]model.TaskID, len(pairs))
+	workerBacking := make([]model.WorkerID, len(pairs))
+	part.Components = make([]Component, nc)
+	for ci := 0; ci < nc; ci++ {
+		lo, hi := offsets[ci], offsets[ci+1]
+		pi := pairIdx[lo:hi:hi]
+		ts := taskBacking[lo:lo:hi]
+		ws := workerBacking[lo:lo:hi]
+		for _, idx := range pi {
+			ts = append(ts, pairs[idx].Task)
+			ws = append(ws, pairs[idx].Worker)
 		}
-		sort.Slice(c.Tasks, func(i, j int) bool { return c.Tasks[i] < c.Tasks[j] })
-		sort.Slice(c.Workers, func(i, j int) bool { return c.Workers[i] < c.Workers[j] })
-		c.Key = c.Tasks[0]
-		part.Components = append(part.Components, c)
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		sort.Slice(ws, func(i, j int) bool { return ws[i] < ws[j] })
+		ut := ts[:1]
+		for _, t := range ts[1:] {
+			if t != ut[len(ut)-1] {
+				ut = append(ut, t)
+			}
+		}
+		uw := ws[:1]
+		for _, w := range ws[1:] {
+			if w != uw[len(uw)-1] {
+				uw = append(uw, w)
+			}
+		}
+		part.Components[ci] = Component{
+			Key:     ut[0],
+			Tasks:   ut[:len(ut):len(ut)],
+			Workers: uw[:len(uw):len(uw)],
+			Pairs:   pi,
+		}
 	}
 	sort.Slice(part.Components, func(i, j int) bool {
 		return part.Components[i].Key < part.Components[j].Key

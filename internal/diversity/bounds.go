@@ -1,11 +1,5 @@
 package diversity
 
-import (
-	"math"
-
-	"rdbsc/internal/geo"
-)
-
 // This file implements the lower/upper bounds on the expected diversity
 // from Section 4.3 of the paper. The greedy solver uses them to bound the
 // diversity *increase* of a candidate task-worker pair without evaluating
@@ -34,27 +28,7 @@ func (b Bounds) Contains(v float64) bool {
 // two-worker worlds (again by monotonicity). Hence
 // E[SD] ≥ Pr[≥2 successes] · min_{j<k} SD({j,k}).
 func BoundsESD(angles, probs []float64) Bounds {
-	r := len(angles)
-	if r < 2 {
-		return Bounds{}
-	}
-	hi := SD(angles)
-	minPair := math.Inf(1)
-	ws := newSortedByAngle(angles, probs)
-	// The minimal two-worker SD is H(d/2π)+H(1−d/2π) for the most skewed
-	// pair span d; with angles sorted, the candidate spans are adjacent
-	// gaps, but the *most skewed* (smallest min(d, 2π−d)) pair overall is
-	// found among adjacent sorted pairs and the wrap pair.
-	for j := 0; j < r; j++ {
-		k := (j + 1) % r
-		d := geo.AngularDiff(ws.a[j], ws.a[k])
-		v := H(d/geo.TwoPi) + H(1-d/geo.TwoPi)
-		if v < minPair {
-			minPair = v
-		}
-	}
-	lo := probAtLeastTwo(probs) * minPair
-	return Bounds{Lo: lo, Hi: hi}
+	return BoundsESDBuf(nil, angles, probs)
 }
 
 // BoundsETD returns lower and upper bounds on E[TD].
@@ -64,30 +38,12 @@ func BoundsESD(angles, probs []float64) Bounds {
 // arrivals sit on the period boundary); any world containing worker j has
 // TD at least TD({j}), so E[TD] ≥ Pr[≥1 success] · min_j TD({j}).
 func BoundsETD(arrivals, probs []float64, start, end float64) Bounds {
-	r := len(arrivals)
-	if r == 0 || end <= start {
-		return Bounds{}
-	}
-	hi := TD(arrivals, start, end)
-	minSingle := math.Inf(1)
-	for _, a := range arrivals {
-		v := TD([]float64{a}, start, end)
-		if v < minSingle {
-			minSingle = v
-		}
-	}
-	lo := probAtLeastOne(probs) * minSingle
-	return Bounds{Lo: lo, Hi: hi}
+	return BoundsETDBuf(nil, arrivals, probs, start, end)
 }
 
 // BoundsESTD combines the SD and TD bounds with weight β.
 func BoundsESTD(beta float64, angles, arrivals, probs []float64, start, end float64) Bounds {
-	sd := BoundsESD(angles, probs)
-	td := BoundsETD(arrivals, probs, start, end)
-	return Bounds{
-		Lo: beta*sd.Lo + (1-beta)*td.Lo,
-		Hi: beta*sd.Hi + (1-beta)*td.Hi,
-	}
+	return BoundsESTDBuf(nil, beta, angles, arrivals, probs, start, end)
 }
 
 // DeltaBounds bounds the increase of the expected diversity when the

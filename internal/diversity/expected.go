@@ -17,38 +17,7 @@ import (
 // lies strictly between them (counter-clockwise) fails — exactly the
 // marginal probability that this span is one of the realized angular gaps.
 func ExpectedSD(angles, probs []float64) float64 {
-	r := len(angles)
-	if r != len(probs) {
-		panic("diversity: angles and probs length mismatch")
-	}
-	if r < 2 {
-		return 0
-	}
-	ws := newSortedByAngle(angles, probs)
-	var sum float64
-	for j := 0; j < r; j++ {
-		pj := ws.p[j]
-		if pj == 0 {
-			continue
-		}
-		failBetween := 1.0
-		// Walk counter-clockwise from j: k = j+1, j+2, ... j+r−1 (mod r).
-		for step := 1; step < r; step++ {
-			k := j + step
-			if k >= r {
-				k -= r
-			}
-			span := geo.AngularDiff(ws.a[j], ws.a[k])
-			// step>0 guarantees k≠j, but identical angles make span 0,
-			// whose entropy term is 0 — handled by H.
-			sum += H(span/geo.TwoPi) * pj * ws.p[k] * failBetween
-			failBetween *= 1 - ws.p[k]
-			if failBetween == 0 {
-				break // a certain worker blocks all farther spans
-			}
-		}
-	}
-	return sum
+	return ExpectedSDBuf(nil, angles, probs)
 }
 
 // ExpectedSDCubic is the paper's literal O(r³) evaluation of Σ M_SD[j][k]
@@ -88,33 +57,7 @@ func ExpectedSDCubic(angles, probs []float64) float64 {
 // that a and b are realized while every boundary strictly between them
 // fails.
 func ExpectedTD(arrivals, probs []float64, start, end float64) float64 {
-	r := len(arrivals)
-	if r != len(probs) {
-		panic("diversity: arrivals and probs length mismatch")
-	}
-	total := end - start
-	if total <= 0 || r == 0 {
-		return 0
-	}
-	bs := newBoundaries(arrivals, probs, start, end)
-	n := len(bs.t) // r + 2
-	var sum float64
-	for a := 0; a < n-1; a++ {
-		pa := bs.p[a]
-		if pa == 0 {
-			continue
-		}
-		failBetween := 1.0
-		for b := a + 1; b < n; b++ {
-			length := bs.t[b] - bs.t[a]
-			sum += H(length/total) * pa * bs.p[b] * failBetween
-			failBetween *= 1 - bs.p[b]
-			if failBetween == 0 {
-				break
-			}
-		}
-	}
-	return sum
+	return ExpectedTDBuf(nil, arrivals, probs, start, end)
 }
 
 // ExpectedTDCubic is the literal O(r³) evaluation of E[TD] (Eq. 10 shape),
@@ -147,14 +90,7 @@ func ExpectedTDCubic(arrivals, probs []float64, start, end float64) float64 {
 // task. The three slices are parallel: worker i has ray angle angles[i],
 // arrival arrivals[i], and confidence probs[i].
 func ExpectedSTD(beta float64, angles, arrivals, probs []float64, start, end float64) float64 {
-	var sd, td float64
-	if beta > 0 {
-		sd = ExpectedSD(angles, probs)
-	}
-	if beta < 1 {
-		td = ExpectedTD(arrivals, probs, start, end)
-	}
-	return beta*sd + (1-beta)*td
+	return ExpectedSTDBuf(nil, beta, angles, arrivals, probs, start, end)
 }
 
 // sortedWorkers holds worker rays sorted by angle with parallel

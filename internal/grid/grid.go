@@ -96,17 +96,21 @@ func New(cfg Config, opt model.Options) *Grid {
 	if g.ny < 1 {
 		g.ny = 1
 	}
+	// One backing array for all cells (instead of one heap object each),
+	// with the entity maps created lazily on first insert: most cells of a
+	// sparse space never hold an entity, and nil maps are safe for every
+	// read path (lookup, len, range, delete).
 	g.cells = make([]*cell, g.nx*g.ny)
+	backing := make([]cell, g.nx*g.ny)
 	for i := range g.cells {
 		cx, cy := i%g.nx, i/g.nx
 		min := geo.Pt(cfg.Space.Min.X+float64(cx)*eta, cfg.Space.Min.Y+float64(cy)*eta)
 		max := geo.Pt(math.Min(min.X+eta, cfg.Space.Max.X), math.Min(min.Y+eta, cfg.Space.Max.Y))
-		g.cells[i] = &cell{
-			id:      i,
-			rect:    geo.Rect{Min: min, Max: max},
-			tasks:   make(map[model.TaskID]model.Task),
-			workers: make(map[model.WorkerID]model.Worker),
+		backing[i] = cell{
+			id:   i,
+			rect: geo.Rect{Min: min, Max: max},
 		}
+		g.cells[i] = &backing[i]
 	}
 	return g
 }
@@ -173,6 +177,9 @@ func (g *Grid) InsertTask(t model.Task) {
 	if _, exists := c.tasks[t.ID]; !exists {
 		g.numTasks++
 	}
+	if c.tasks == nil {
+		c.tasks = make(map[model.TaskID]model.Task)
+	}
 	c.tasks[t.ID] = t
 	c.taskListDirty = true
 	if len(c.tasks) == 1 || c.taskDirty {
@@ -222,6 +229,9 @@ func (g *Grid) InsertWorker(w model.Worker) {
 	c := g.cellAt(w.Loc)
 	if _, exists := c.workers[w.ID]; !exists {
 		g.numWorkers++
+	}
+	if c.workers == nil {
+		c.workers = make(map[model.WorkerID]model.Worker)
 	}
 	c.workers[w.ID] = w
 	if len(c.workers) == 1 || c.workerDirty {

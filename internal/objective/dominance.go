@@ -1,6 +1,10 @@
 package objective
 
-import "sort"
+import (
+	"sort"
+
+	"rdbsc/internal/scratch"
+)
 
 // This file implements the bi-objective Pareto machinery the paper uses to
 // pick winners among candidate pairs/samples: skyline filtering [13] and
@@ -28,12 +32,17 @@ func (v Vec2) Dominates(u Vec2) bool { return dominates2(v.R, v.D, u.R, u.D) }
 // Skyline returns the indices of the non-dominated points of items, in
 // ascending index order. Runs in O(n log n): sort by R descending (ties: D
 // descending) and sweep, keeping points whose D exceeds the best D seen.
-func Skyline(items []Vec2) []int {
+func Skyline(items []Vec2) []int { return SkylineBuf(nil, items) }
+
+// SkylineBuf is Skyline with its temporaries — and the returned index
+// slice — drawn from bufs (nil disables pooling and behaves exactly like
+// Skyline). The caller releases the result with bufs.PutInt when done.
+func SkylineBuf(bufs *scratch.Buffers, items []Vec2) []int {
 	n := len(items)
 	if n == 0 {
 		return nil
 	}
-	idx := make([]int, n)
+	idx := bufs.Int(n)
 	for i := range idx {
 		idx[i] = i
 	}
@@ -44,7 +53,7 @@ func Skyline(items []Vec2) []int {
 		}
 		return ia.D > ib.D
 	})
-	var out []int
+	out := bufs.IntCap(n)
 	bestD := 0.0
 	haveBest := false
 	prevR := 0.0
@@ -64,6 +73,7 @@ func Skyline(items []Vec2) []int {
 		}
 	}
 	sort.Ints(out)
+	bufs.PutInt(idx)
 	return out
 }
 
@@ -71,15 +81,21 @@ func Skyline(items []Vec2) []int {
 // dominates — the top-k dominating score of [22]. Runs in O(n log n) using
 // coordinate compression and a Fenwick tree; DominanceScoresNaive is the
 // O(n²) reference used in tests.
-func DominanceScores(items []Vec2) []int {
+func DominanceScores(items []Vec2) []int { return DominanceScoresBuf(nil, items) }
+
+// DominanceScoresBuf is DominanceScores with its temporaries — and the
+// returned scores slice — drawn from bufs (nil disables pooling and
+// behaves exactly like DominanceScores). The caller releases the result
+// with bufs.PutInt when done.
+func DominanceScoresBuf(bufs *scratch.Buffers, items []Vec2) []int {
 	n := len(items)
-	scores := make([]int, n)
+	scores := bufs.IntZero(n)
 	if n == 0 {
 		return scores
 	}
 
 	// Compress D coordinates to ranks 1..k.
-	ds := make([]float64, n)
+	ds := bufs.F64(n)
 	for i, it := range items {
 		ds[i] = it.D
 	}
@@ -95,13 +111,14 @@ func DominanceScores(items []Vec2) []int {
 	// Process groups of equal R in ascending order. For item i:
 	//   score = #{j : R_j < R_i, D_j ≤ D_i}  (strictness from R)
 	//         + #{j : R_j = R_i, D_j < D_i}  (strictness from D)
-	idx := make([]int, n)
+	idx := bufs.Int(n)
 	for i := range idx {
 		idx[i] = i
 	}
 	sort.Slice(idx, func(a, b int) bool { return items[idx[a]].R < items[idx[b]].R })
 
-	ft := newFenwick(len(uniq))
+	ft := fenwick{tree: bufs.IntZero(len(uniq) + 1)}
+	inGroup := bufs.IntCap(n)
 	for g := 0; g < n; {
 		h := g
 		for h < n && items[idx[h]].R == items[idx[g]].R {
@@ -109,7 +126,7 @@ func DominanceScores(items []Vec2) []int {
 		}
 		group := idx[g:h]
 		// Within-group: sort by D and count strictly smaller Ds.
-		inGroup := append([]int(nil), group...)
+		inGroup = append(inGroup[:0], group...)
 		sort.Slice(inGroup, func(a, b int) bool { return items[inGroup[a]].D < items[inGroup[b]].D })
 		for a := 0; a < len(inGroup); {
 			b := a
@@ -130,6 +147,10 @@ func DominanceScores(items []Vec2) []int {
 		}
 		g = h
 	}
+	bufs.PutInt(inGroup)
+	bufs.PutInt(ft.tree)
+	bufs.PutInt(idx)
+	bufs.PutF64(ds)
 	return scores
 }
 

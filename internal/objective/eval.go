@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"rdbsc/internal/model"
+	"rdbsc/internal/scratch"
 )
 
 // Evaluation summarizes an assignment against the two RDB-SC goals.
@@ -43,13 +44,25 @@ func (e Evaluation) Dominates(other Evaluation) bool {
 // Evaluate computes the Evaluation of assignment a on instance in.
 // Pair validity is not re-checked here; use in.CheckAssignment for that.
 func Evaluate(in *model.Instance, a *model.Assignment) Evaluation {
-	states := BuildStates(in, a)
+	return EvaluateBuf(nil, in, a)
+}
+
+// EvaluateBuf is Evaluate with the per-add diversity temporaries drawn
+// from bufs (nil disables pooling); the result is bit-identical.
+func EvaluateBuf(bufs *scratch.Buffers, in *model.Instance, a *model.Assignment) Evaluation {
+	states := BuildStatesBuf(bufs, in, a)
 	return EvaluateStates(states)
 }
 
 // BuildStates constructs per-task incremental states from a full
 // assignment. Tasks with no workers get no state.
 func BuildStates(in *model.Instance, a *model.Assignment) map[model.TaskID]*TaskState {
+	return BuildStatesBuf(nil, in, a)
+}
+
+// BuildStatesBuf is BuildStates with pooled scratch for the incremental
+// E[STD] refreshes; the resulting states are identical.
+func BuildStatesBuf(bufs *scratch.Buffers, in *model.Instance, a *model.Assignment) map[model.TaskID]*TaskState {
 	workers := make(map[model.WorkerID]*model.Worker, len(in.Workers))
 	for i := range in.Workers {
 		workers[in.Workers[i].ID] = &in.Workers[i]
@@ -92,7 +105,7 @@ func BuildStates(in *model.Instance, a *model.Assignment) map[model.TaskID]*Task
 			// Invalid pairs contribute nothing; CheckAssignment reports them.
 			continue
 		}
-		st.Add(pr.w, w.Confidence, arrival, model.ApproachAngle(*t, *w))
+		st.AddBuf(bufs, pr.w, w.Confidence, arrival, model.ApproachAngle(*t, *w))
 	}
 	return states
 }

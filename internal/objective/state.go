@@ -3,6 +3,7 @@ package objective
 import (
 	"rdbsc/internal/diversity"
 	"rdbsc/internal/model"
+	"rdbsc/internal/scratch"
 )
 
 // TaskState incrementally maintains one task's objective values — the
@@ -56,9 +57,14 @@ func (s *TaskState) Version() uint64 { return s.version }
 // current set, cached until the next mutation. DeltaBoundsIfAdd uses it as
 // the "before" interval, so a round of candidate evaluations over the same
 // task pays for the before-bounds once instead of once per pair.
-func (s *TaskState) Bounds() diversity.Bounds {
+func (s *TaskState) Bounds() diversity.Bounds { return s.BoundsBuf(nil) }
+
+// BoundsBuf is Bounds with the temporaries of a cold bounds computation
+// drawn from bufs (nil disables pooling). The cached value is identical
+// either way.
+func (s *TaskState) BoundsBuf(bufs *scratch.Buffers) diversity.Bounds {
 	if !s.boundsValid {
-		s.bounds = diversity.BoundsESTD(s.Beta, s.angles, s.arrivals, s.probs, s.Task.Start, s.Task.End)
+		s.bounds = diversity.BoundsESTDBuf(bufs, s.Beta, s.angles, s.arrivals, s.probs, s.Task.Start, s.Task.End)
 		s.boundsValid = true
 	}
 	return s.bounds
@@ -74,12 +80,18 @@ func (s *TaskState) ESTD() float64 { return s.estd }
 // angle to the task, updating R (Lemma 4.1: R += −ln(1−p)) and recomputing
 // E[STD].
 func (s *TaskState) Add(w model.WorkerID, prob, arrival, angle float64) {
+	s.AddBuf(nil, w, prob, arrival, angle)
+}
+
+// AddBuf is Add with the E[STD] refresh temporaries drawn from bufs (nil
+// disables pooling). The resulting state is identical either way.
+func (s *TaskState) AddBuf(bufs *scratch.Buffers, w model.WorkerID, prob, arrival, angle float64) {
 	s.workers = append(s.workers, w)
 	s.probs = append(s.probs, prob)
 	s.arrivals = append(s.arrivals, arrival)
 	s.angles = append(s.angles, angle)
 	s.r += RTerm(prob)
-	s.estd = s.computeESTD(s.angles, s.arrivals, s.probs)
+	s.estd = diversity.ExpectedSTDBuf(bufs, s.Beta, s.angles, s.arrivals, s.probs, s.Task.Start, s.Task.End)
 	s.version++
 	s.boundsValid = false
 }
@@ -88,6 +100,11 @@ func (s *TaskState) Add(w model.WorkerID, prob, arrival, angle float64) {
 // confidence.
 func (s *TaskState) AddPair(p model.Pair, confidence float64) {
 	s.Add(p.Worker, confidence, p.Arrival, p.Angle)
+}
+
+// AddPairBuf is AddPair with pooled scratch.
+func (s *TaskState) AddPairBuf(bufs *scratch.Buffers, p model.Pair, confidence float64) {
+	s.AddBuf(bufs, p.Worker, confidence, p.Arrival, p.Angle)
 }
 
 // Remove unassigns the worker with the given ID, recomputing both
@@ -123,11 +140,21 @@ func (s *TaskState) Remove(w model.WorkerID) bool {
 // ΔR is O(1) (Lemma 4.1); ΔE[STD] recomputes the expected diversity with
 // the candidate included, O(r²).
 func (s *TaskState) DeltaIfAdd(prob, arrival, angle float64) (dR, dSTD float64) {
+	return s.DeltaIfAddBuf(nil, prob, arrival, angle)
+}
+
+// DeltaIfAddBuf is DeltaIfAdd with the candidate-extended copies and every
+// evaluator temporary drawn from bufs (nil disables pooling). Same values
+// in the same order, so the result is bit-identical.
+func (s *TaskState) DeltaIfAddBuf(bufs *scratch.Buffers, prob, arrival, angle float64) (dR, dSTD float64) {
 	dR = RTerm(prob)
-	angles := append(append(make([]float64, 0, len(s.angles)+1), s.angles...), angle)
-	arrivals := append(append(make([]float64, 0, len(s.arrivals)+1), s.arrivals...), arrival)
-	probs := append(append(make([]float64, 0, len(s.probs)+1), s.probs...), prob)
-	after := s.computeESTD(angles, arrivals, probs)
+	angles := append(append(bufs.F64Cap(len(s.angles)+1), s.angles...), angle)
+	arrivals := append(append(bufs.F64Cap(len(s.arrivals)+1), s.arrivals...), arrival)
+	probs := append(append(bufs.F64Cap(len(s.probs)+1), s.probs...), prob)
+	after := diversity.ExpectedSTDBuf(bufs, s.Beta, angles, arrivals, probs, s.Task.Start, s.Task.End)
+	bufs.PutF64(probs)
+	bufs.PutF64(arrivals)
+	bufs.PutF64(angles)
 	return dR, after - s.estd
 }
 
@@ -135,11 +162,20 @@ func (s *TaskState) DeltaIfAdd(prob, arrival, angle float64) (dR, dSTD float64) 
 // insertion (Section 4.3), cheaper than the exact Δ. The true Δ always lies
 // within the returned interval.
 func (s *TaskState) DeltaBoundsIfAdd(prob, arrival, angle float64) diversity.Bounds {
-	before := s.Bounds()
-	angles := append(append(make([]float64, 0, len(s.angles)+1), s.angles...), angle)
-	arrivals := append(append(make([]float64, 0, len(s.arrivals)+1), s.arrivals...), arrival)
-	probs := append(append(make([]float64, 0, len(s.probs)+1), s.probs...), prob)
-	after := diversity.BoundsESTD(s.Beta, angles, arrivals, probs, s.Task.Start, s.Task.End)
+	return s.DeltaBoundsIfAddBuf(nil, prob, arrival, angle)
+}
+
+// DeltaBoundsIfAddBuf is DeltaBoundsIfAdd with pooled scratch (nil
+// disables pooling); the returned interval is bit-identical.
+func (s *TaskState) DeltaBoundsIfAddBuf(bufs *scratch.Buffers, prob, arrival, angle float64) diversity.Bounds {
+	before := s.BoundsBuf(bufs)
+	angles := append(append(bufs.F64Cap(len(s.angles)+1), s.angles...), angle)
+	arrivals := append(append(bufs.F64Cap(len(s.arrivals)+1), s.arrivals...), arrival)
+	probs := append(append(bufs.F64Cap(len(s.probs)+1), s.probs...), prob)
+	after := diversity.BoundsESTDBuf(bufs, s.Beta, angles, arrivals, probs, s.Task.Start, s.Task.End)
+	bufs.PutF64(probs)
+	bufs.PutF64(arrivals)
+	bufs.PutF64(angles)
 	return diversity.DeltaBounds(before, after)
 }
 

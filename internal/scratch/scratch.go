@@ -1,0 +1,258 @@
+// Package scratch provides typed free-lists for the solve plane's hot-path
+// slices. The solvers allocate the same candidate, bound, delta, and index
+// slices on every round; a Buffers threaded through the round lets each
+// allocation be served from a per-solve free-list instead, so steady-state
+// solving touches the allocator only while the free-lists warm up.
+//
+// The contract is deliberately loose so reuse stays cheap:
+//
+//   - Get(n) returns a slice of length n with UNSPECIFIED contents; use
+//     GetZero when the algorithm needs zeroes (e.g. a Fenwick tree).
+//   - GetCap(n) returns an empty slice with capacity >= n for append-grown
+//     results.
+//   - Put recycles a slice; the caller must not retain any alias.
+//
+// Neither Pool nor Buffers is goroutine-safe: a Buffers belongs to exactly
+// one goroutine at a time. Parallel solver shards take their own Buffers
+// from the package-level Get/Put pair (backed by a sync.Pool) instead of
+// sharing one.
+//
+// Every method on *Buffers is nil-safe: a nil receiver degrades to plain
+// make with no recycling, so callers thread an optional *Buffers without
+// branching. This keeps the pooled and unpooled code paths literally the
+// same code, which is how the solvers stay bit-identical.
+package scratch
+
+import "sync"
+
+// maxFree bounds how many idle slices one Pool retains; beyond it, Put
+// drops the slice for the GC. Free-lists in practice hold a handful of
+// entries (one per live temporary of that type), so 16 is generous.
+const maxFree = 16
+
+// Pool is a typed free-list of slices. The zero value is ready to use.
+type Pool[T any] struct {
+	free   [][]T
+	allocs int
+	reuses int
+}
+
+// Get returns a slice of length n with unspecified contents.
+func (p *Pool[T]) Get(n int) []T {
+	if s, ok := p.take(n); ok {
+		return s[:n]
+	}
+	p.allocs++
+	return make([]T, n)
+}
+
+// GetZero returns a slice of length n with all elements zero.
+func (p *Pool[T]) GetZero(n int) []T {
+	if s, ok := p.take(n); ok {
+		s = s[:n]
+		var zero T
+		for i := range s {
+			s[i] = zero
+		}
+		return s
+	}
+	p.allocs++
+	return make([]T, n)
+}
+
+// GetCap returns an empty slice with capacity at least n.
+func (p *Pool[T]) GetCap(n int) []T {
+	if s, ok := p.take(n); ok {
+		return s[:0]
+	}
+	p.allocs++
+	return make([]T, 0, n)
+}
+
+// Put recycles s. Nil or zero-capacity slices are ignored. The caller must
+// not use s (or any alias of it) afterwards.
+func (p *Pool[T]) Put(s []T) {
+	if cap(s) == 0 || len(p.free) >= maxFree {
+		return
+	}
+	p.free = append(p.free, s[:0])
+}
+
+// take pops a free slice with capacity >= n, preferring the snuggest fit so
+// large buffers stay available for large requests.
+func (p *Pool[T]) take(n int) ([]T, bool) {
+	best := -1
+	for i, s := range p.free {
+		if cap(s) < n {
+			continue
+		}
+		if best == -1 || cap(s) < cap(p.free[best]) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return nil, false
+	}
+	s := p.free[best]
+	last := len(p.free) - 1
+	p.free[best] = p.free[last]
+	p.free[last] = nil
+	p.free = p.free[:last]
+	p.reuses++
+	return s, true
+}
+
+// Counters returns how many Get* calls hit the allocator vs a free slice.
+func (p *Pool[T]) Counters() (allocs, reuses int) { return p.allocs, p.reuses }
+
+// Buffers aggregates the typed pools the solve plane needs. The zero value
+// is ready to use; a nil *Buffers is also valid and disables recycling.
+type Buffers struct {
+	f64  Pool[float64]
+	ints Pool[int]
+	i32s Pool[int32]
+	bols Pool[bool]
+}
+
+// F64 returns a float64 slice of length n (contents unspecified).
+func (b *Buffers) F64(n int) []float64 {
+	if b == nil {
+		return make([]float64, n)
+	}
+	return b.f64.Get(n)
+}
+
+// F64Cap returns an empty float64 slice with capacity >= n.
+func (b *Buffers) F64Cap(n int) []float64 {
+	if b == nil {
+		return make([]float64, 0, n)
+	}
+	return b.f64.GetCap(n)
+}
+
+// PutF64 recycles a slice obtained from F64/F64Cap.
+func (b *Buffers) PutF64(s []float64) {
+	if b != nil {
+		b.f64.Put(s)
+	}
+}
+
+// Int returns an int slice of length n (contents unspecified).
+func (b *Buffers) Int(n int) []int {
+	if b == nil {
+		return make([]int, n)
+	}
+	return b.ints.Get(n)
+}
+
+// IntZero returns an int slice of length n, zeroed.
+func (b *Buffers) IntZero(n int) []int {
+	if b == nil {
+		return make([]int, n)
+	}
+	return b.ints.GetZero(n)
+}
+
+// IntCap returns an empty int slice with capacity >= n.
+func (b *Buffers) IntCap(n int) []int {
+	if b == nil {
+		return make([]int, 0, n)
+	}
+	return b.ints.GetCap(n)
+}
+
+// PutInt recycles a slice obtained from Int/IntZero/IntCap.
+func (b *Buffers) PutInt(s []int) {
+	if b != nil {
+		b.ints.Put(s)
+	}
+}
+
+// I32 returns an int32 slice of length n (contents unspecified).
+func (b *Buffers) I32(n int) []int32 {
+	if b == nil {
+		return make([]int32, n)
+	}
+	return b.i32s.Get(n)
+}
+
+// I32Cap returns an empty int32 slice with capacity >= n.
+func (b *Buffers) I32Cap(n int) []int32 {
+	if b == nil {
+		return make([]int32, 0, n)
+	}
+	return b.i32s.GetCap(n)
+}
+
+// PutI32 recycles a slice obtained from I32/I32Cap.
+func (b *Buffers) PutI32(s []int32) {
+	if b != nil {
+		b.i32s.Put(s)
+	}
+}
+
+// Bool returns a bool slice of length n (contents unspecified).
+func (b *Buffers) Bool(n int) []bool {
+	if b == nil {
+		return make([]bool, n)
+	}
+	return b.bols.Get(n)
+}
+
+// BoolZero returns a bool slice of length n, all false.
+func (b *Buffers) BoolZero(n int) []bool {
+	if b == nil {
+		return make([]bool, n)
+	}
+	return b.bols.GetZero(n)
+}
+
+// PutBool recycles a slice obtained from Bool/BoolZero.
+func (b *Buffers) PutBool(s []bool) {
+	if b != nil {
+		b.bols.Put(s)
+	}
+}
+
+// Counters sums allocator hits and free-list reuses across all pools.
+// A nil receiver reports zeroes.
+func (b *Buffers) Counters() (allocs, reuses int) {
+	if b == nil {
+		return 0, 0
+	}
+	for _, p := range []interface{ Counters() (int, int) }{&b.f64, &b.ints, &b.i32s, &b.bols} {
+		a, r := p.Counters()
+		allocs += a
+		reuses += r
+	}
+	return allocs, reuses
+}
+
+// ResetCounters zeroes the alloc/reuse counters (the free-lists stay).
+func (b *Buffers) ResetCounters() {
+	if b == nil {
+		return
+	}
+	b.f64.allocs, b.f64.reuses = 0, 0
+	b.ints.allocs, b.ints.reuses = 0, 0
+	b.i32s.allocs, b.i32s.reuses = 0, 0
+	b.bols.allocs, b.bols.reuses = 0, 0
+}
+
+var global = sync.Pool{New: func() any { return new(Buffers) }}
+
+// Get hands out a warm Buffers from the process-wide reservoir with its
+// counters reset. Pair with Put; use one Buffers per goroutine.
+func Get() *Buffers {
+	b := global.Get().(*Buffers)
+	b.ResetCounters()
+	return b
+}
+
+// Put returns a Buffers (and its warmed free-lists) to the reservoir.
+// Putting nil is a no-op.
+func Put(b *Buffers) {
+	if b != nil {
+		global.Put(b)
+	}
+}

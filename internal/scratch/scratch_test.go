@@ -1,0 +1,98 @@
+package scratch
+
+import "testing"
+
+func TestPoolReuseAndCounters(t *testing.T) {
+	var b Buffers
+	s := b.F64(100)
+	if len(s) != 100 {
+		t.Fatalf("F64(100) len = %d", len(s))
+	}
+	b.PutF64(s)
+	s2 := b.F64(50)
+	if len(s2) != 50 || cap(s2) < 50 {
+		t.Fatalf("F64(50) after Put: len=%d cap=%d", len(s2), cap(s2))
+	}
+	if &s2[0] != &s[0] {
+		t.Fatal("second F64 request did not reuse the freed backing")
+	}
+	allocs, reuses := b.Counters()
+	if allocs != 1 || reuses != 1 {
+		t.Fatalf("Counters() = (%d, %d), want (1, 1)", allocs, reuses)
+	}
+	b.ResetCounters()
+	if a, r := b.Counters(); a != 0 || r != 0 {
+		t.Fatalf("Counters() after reset = (%d, %d)", a, r)
+	}
+}
+
+func TestGetZeroZeroes(t *testing.T) {
+	var b Buffers
+	s := b.IntZero(10)
+	for i := range s {
+		s[i] = i + 1
+	}
+	b.PutInt(s)
+	z := b.IntZero(10)
+	for i, v := range z {
+		if v != 0 {
+			t.Fatalf("IntZero reuse not zeroed at %d: %d", i, v)
+		}
+	}
+}
+
+func TestGetCapEmpty(t *testing.T) {
+	var b Buffers
+	s := b.F64Cap(32)
+	if len(s) != 0 || cap(s) < 32 {
+		t.Fatalf("F64Cap(32): len=%d cap=%d", len(s), cap(s))
+	}
+}
+
+func TestNilBuffersSafe(t *testing.T) {
+	var b *Buffers
+	s := b.F64(8)
+	if len(s) != 8 {
+		t.Fatalf("nil F64(8) len = %d", len(s))
+	}
+	b.PutF64(s)
+	if len(b.Int(4)) != 4 || len(b.I32(4)) != 4 || len(b.Bool(4)) != 4 {
+		t.Fatal("nil Buffers typed getters broken")
+	}
+	if a, r := b.Counters(); a != 0 || r != 0 {
+		t.Fatalf("nil Counters() = (%d, %d)", a, r)
+	}
+	b.ResetCounters() // must not panic
+	Put(nil)          // must not panic
+}
+
+func TestGlobalPoolRoundtrip(t *testing.T) {
+	b := Get()
+	if b == nil {
+		t.Fatal("Get() returned nil")
+	}
+	if a, r := b.Counters(); a != 0 || r != 0 {
+		t.Fatalf("Get() counters not reset: (%d, %d)", a, r)
+	}
+	_ = b.F64(16)
+	Put(b)
+	b2 := Get()
+	if a, r := b2.Counters(); a != 0 || r != 0 {
+		t.Fatalf("recycled Buffers counters not reset: (%d, %d)", a, r)
+	}
+	Put(b2)
+}
+
+// TestSteadyStateAllocFree pins the pool's core promise: once warm, a
+// get/put cycle performs zero heap allocations.
+func TestSteadyStateAllocFree(t *testing.T) {
+	var b Buffers
+	b.PutF64(b.F64(64))
+	avg := testing.AllocsPerRun(100, func() {
+		s := b.F64(64)
+		b.PutF64(s)
+	})
+	if avg != 0 {
+		t.Fatalf("warm get/put cycle allocates %.1f times per run, want 0", avg)
+	}
+}

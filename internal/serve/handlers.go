@@ -277,12 +277,16 @@ type AssignedPair struct {
 // SolveResponse is the /v1/solve answer, also stored as the current
 // assignment for GET /v1/assignment.
 type SolveResponse struct {
-	Version         uint64         `json:"version"`
-	CurrentVersion  uint64         `json:"current_version,omitempty"`
-	Solver          string         `json:"solver"`
-	Seed            int64          `json:"seed"`
-	Partial         bool           `json:"partial"`
-	Feasible        bool           `json:"feasible"`
+	Version        uint64 `json:"version"`
+	CurrentVersion uint64 `json:"current_version,omitempty"`
+	Solver         string `json:"solver"`
+	Seed           int64  `json:"seed"`
+	Partial        bool   `json:"partial"`
+	Feasible       bool   `json:"feasible"`
+	// Cached is true when the response was replayed from the solve cache
+	// (bit-identical to re-solving; ElapsedMS and At are the original
+	// solve's).
+	Cached          bool           `json:"cached,omitempty"`
 	ElapsedMS       float64        `json:"elapsed_ms"`
 	AssignedWorkers int            `json:"assigned_workers"`
 	AssignedTasks   int            `json:"assigned_tasks"`
@@ -336,6 +340,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// The snapshot is pinned for the whole solve: batches applied while the
 	// solver runs replace the published pointer but never touch this view.
 	snap := *s.snap.Load()
+	key := SolveCacheKey{Fingerprint: snap.Version, Solver: solver.Name(), Seed: req.Seed}
+	if v, ok := s.cache.Get(key, []uint64{snap.Version}, 0); ok {
+		resp := *v.(*SolveResponse) // shallow copy; the cached value is never mutated
+		resp.Cached = true
+		s.lastRes.Store(&resp)
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
 	start := time.Now()
 	res, err := solver.Solve(ctx, snap.Problem, &core.SolveOptions{Seed: req.Seed})
 	elapsed := time.Since(start)
@@ -383,6 +395,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		At:              time.Now().UTC(),
 	}
 	s.lastRes.Store(resp)
+	if err == nil {
+		// Only clean, complete solves are cached; a partial depends on how
+		// far the deadline let the solver run, which is not a state key.
+		s.cache.Put(key, []uint64{snap.Version}, 0, resp)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -423,6 +440,12 @@ type statsResponse struct {
 	SolveErrors uint64     `json:"solve_errors"`
 	Partials    uint64     `json:"partial_solves"`
 	SolverStats core.Stats `json:"solver_stats"`
+
+	// Solve-cache counters (all zero when the cache is disabled). A hit is
+	// a /v1/solve request answered without running a solver.
+	SolveCacheHits      uint64 `json:"solve_cache_hits"`
+	SolveCacheMisses    uint64 `json:"solve_cache_misses"`
+	SolveCacheEvictions uint64 `json:"solve_cache_evictions"`
 	// SolveLatencyMS summarizes the most recent solves (up to the latency
 	// ring's capacity), completed and partial alike.
 	SolveLatencyMS benchreport.Quantiles `json:"solve_latency_ms"`
@@ -433,6 +456,7 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap := s.snap.Load()
 	loopStats := s.loop.Stats()
+	cacheStats := s.cache.Stats()
 	s.statsMu.Lock()
 	solverStats := s.solveStats
 	s.statsMu.Unlock()
@@ -458,6 +482,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Partials:       s.partials.Load(),
 		SolverStats:    solverStats,
 		SolveLatencyMS: benchreport.Summarize(s.latencySample()),
+
+		SolveCacheHits:      cacheStats.Hits,
+		SolveCacheMisses:    cacheStats.Misses,
+		SolveCacheEvictions: cacheStats.Evictions,
 
 		UptimeMS: float64(time.Since(s.started)) / float64(time.Millisecond),
 	})

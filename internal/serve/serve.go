@@ -68,6 +68,12 @@ type Config struct {
 	// solve deadlines (requests may ask for less via timeout_ms, never
 	// more). Default 30s.
 	SolveTimeout time.Duration
+	// SolveCache is the capacity of the cross-request solve cache: completed
+	// solves are cached under (snapshot version, solver, seed) and replayed
+	// verbatim while no mutation batch has applied since. Versions only move
+	// forward, so a cached answer is always bit-identical to re-solving.
+	// Default 0 (disabled).
+	SolveCache int
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +128,7 @@ type Server struct {
 
 	snap    atomic.Pointer[engine.Snapshot]
 	lastRes atomic.Pointer[SolveResponse] // most recent completed solve
+	cache   *SolveCache                   // nil when Config.SolveCache == 0
 
 	// shardSolves wraps snapshot-plane solvers in component decomposition,
 	// mirroring an engine built with Config.Decompose.
@@ -190,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		eng:     cfg.Engine,
+		cache:   NewSolveCache(cfg.SolveCache),
 		started: time.Now(),
 		// Read once here, not per request: after the apply loop starts, the
 		// engine belongs to it alone. A Decompose engine keeps its sharded
