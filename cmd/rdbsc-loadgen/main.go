@@ -32,22 +32,24 @@ import (
 
 func main() {
 	var (
-		addr         = flag.String("addr", "http://127.0.0.1:8080", "base URL of the rdbsc-server under load")
-		scenario     = flag.String("scenario", "churn", "named workload scenario to replay (see rdbsc-bench -list-scenarios)")
-		m            = flag.Int("m", 80, "scenario task scale")
-		n            = flag.Int("n", 160, "scenario worker scale")
-		seed         = flag.Int64("seed", 1, "scenario seed (same seed, same byte-identical trace)")
-		horizon      = flag.Float64("horizon", 4, "trace span in simulated hours")
-		hoursPerSec  = flag.Float64("hours-per-sec", 60, "time compression: trace hours replayed per wall second")
-		solveEvery   = flag.Float64("solve-every", 0.25, "solve request cadence in trace hours (<0 disables)")
-		solver       = flag.String("solver", "", "solver name for the solve requests (empty = server default)")
-		solveTimeout = flag.Int64("solve-timeout-ms", 2000, "server-side deadline per solve request")
-		maxInFlight  = flag.Int("max-in-flight", 256, "cap on concurrently outstanding requests")
-		retry429     = flag.Int("retry-429", 0, "retry budget per mutation on 429 backpressure (0 = record and move on)")
-		retryBackoff = flag.Duration("retry-backoff", 0, "base delay before the first 429 retry; doubles per attempt, jittered (default 5ms when -retry-429 > 0)")
-		variant      = flag.String("variant", "", "record variant label, e.g. shards4 (suffixes the BENCH filename)")
-		outDir       = flag.String("out", "", "directory for the BENCH_<scenario>.json record (empty = don't write)")
-		timeout      = flag.Duration("timeout", 0, "overall wall-clock budget (0 = no limit)")
+		addr          = flag.String("addr", "http://127.0.0.1:8080", "base URL of the rdbsc-server under load")
+		scenario      = flag.String("scenario", "churn", "named workload scenario to replay (see rdbsc-bench -list-scenarios)")
+		m             = flag.Int("m", 80, "scenario task scale")
+		n             = flag.Int("n", 160, "scenario worker scale")
+		seed          = flag.Int64("seed", 1, "scenario seed (same seed, same byte-identical trace)")
+		horizon       = flag.Float64("horizon", 4, "trace span in simulated hours")
+		hoursPerSec   = flag.Float64("hours-per-sec", 60, "time compression: trace hours replayed per wall second")
+		solveEvery    = flag.Float64("solve-every", 0.25, "solve request cadence in trace hours (<0 disables)")
+		solver        = flag.String("solver", "", "solver name for the solve requests (empty = server default)")
+		solveTimeout  = flag.Int64("solve-timeout-ms", 2000, "server-side deadline per solve request")
+		maxInFlight   = flag.Int("max-in-flight", 256, "cap on concurrently outstanding requests")
+		retry429      = flag.Int("retry-429", 0, "retry budget per mutation on 429 backpressure (0 = record and move on)")
+		retryBackoff  = flag.Duration("retry-backoff", 0, "base delay before the first 429 retry; doubles per attempt, jittered (default 5ms when -retry-429 > 0)")
+		expectRestart = flag.Bool("expect-restart", false, "tolerate a bounded server outage mid-replay (planned kill/restart): transport failures inside the window are recorded as conn_errors, not mutation/solve errors")
+		restartWindow = flag.Duration("restart-window", 0, "max tolerated outage with -expect-restart (default 10s)")
+		variant       = flag.String("variant", "", "record variant label, e.g. shards4 (suffixes the BENCH filename)")
+		outDir        = flag.String("out", "", "directory for the BENCH_<scenario>.json record (empty = don't write)")
+		timeout       = flag.Duration("timeout", 0, "overall wall-clock budget (0 = no limit)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,8 @@ func main() {
 		MaxInFlight:    *maxInFlight,
 		Retry429:       *retry429,
 		RetryBackoff:   *retryBackoff,
+		ExpectRestart:  *expectRestart,
+		RestartWindow:  *restartWindow,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdbsc-loadgen: %v\n", err)
@@ -96,6 +100,9 @@ func main() {
 	fmt.Printf("  solves:    %d sent, %d ok (%d partial), %d errors; p50=%.2fms p95=%.2fms p99=%.2fms\n",
 		l.SolvesSent, l.SolvesOK, l.SolvePartials, l.SolveErrors,
 		rep.WallMS.P50, rep.WallMS.P95, rep.WallMS.P99)
+	if *expectRestart {
+		fmt.Printf("  restart:   %d conn errors absorbed, max outage %.0fms\n", l.ConnErrors, l.MaxOutageMS)
+	}
 	fmt.Printf("  last feasible solve: feasible=%v minRel=%.4f totalSTD=%.4f assigned=%d/%d\n",
 		rep.Feasible, rep.Objective.MinReliability, rep.Objective.TotalDiversity,
 		rep.Objective.AssignedWorkers, rep.Objective.AssignedTasks)

@@ -33,10 +33,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -46,6 +48,7 @@ import (
 	"rdbsc/internal/gen"
 	"rdbsc/internal/model"
 	"rdbsc/internal/serve"
+	"rdbsc/internal/store"
 )
 
 func main() {
@@ -68,6 +71,9 @@ func main() {
 		tileSize     = flag.Float64("tile", 0, "tile side length for shard routing (0 = default 0.3; only with -shards > 1)")
 		solveCache   = flag.Int("solve-cache", 0, "solve-cache capacity: repeat /v1/solve requests against an unchanged state replay the cached answer (0 = disabled)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshots per shard, recovered on boot (empty = memory only, nothing survives a restart)")
+		fsyncMode    = flag.String("fsync", "batch", "WAL fsync policy with -data-dir: always (sync every batch), batch (group commit), off (process-crash durability only)")
+		snapEvery    = flag.Int("snapshot-every", 1024, "compact each shard's WAL into a snapshot after this many applied batches (0 = never; only with -data-dir)")
 	)
 	flag.Parse()
 
@@ -93,6 +99,36 @@ func main() {
 		in.Opt.WaitAllowed = *wait
 	}
 
+	// Durable stores: one per shard, each in its own subdirectory so shard
+	// WALs never interleave. When the data directory already holds state,
+	// recovery wins and any requested preload (-in / -m) is ignored — the
+	// recovered state IS the instance.
+	var stores []store.Store
+	if *dataDir != "" {
+		mode, err := store.ParseFsyncMode(*fsyncMode)
+		if err != nil {
+			fatal(err)
+		}
+		hasState := false
+		fileStores := make([]*store.FileStore, *shards)
+		for i := range fileStores {
+			fs, err := store.Open(filepath.Join(*dataDir, fmt.Sprintf("shard-%d", i)), store.FileOptions{Fsync: mode})
+			if err != nil {
+				fatal(err)
+			}
+			fileStores[i] = fs
+			hasState = hasState || fs.HasState()
+		}
+		if hasState && in != nil {
+			log.Printf("rdbsc-server: %s holds recovered state; ignoring -in/-m preload", *dataDir)
+			in = nil
+		}
+		stores = make([]store.Store, len(fileStores))
+		for i, fs := range fileStores {
+			stores[i] = fs
+		}
+	}
+
 	var (
 		srv       server
 		boot      string
@@ -100,18 +136,20 @@ func main() {
 	)
 	if *shards > 1 {
 		cl, err := cluster.New(cluster.Config{
-			Shards:       *shards,
-			TileSize:     *tileSize,
-			Beta:         *beta,
-			BetaSet:      true,
-			Opt:          model.Options{WaitAllowed: *wait},
-			SolverName:   *solverName,
-			QueueDepth:   *queueDepth,
-			BatchMax:     *batchMax,
-			BatchLinger:  *batchLinger,
-			SolveTimeout: *solveTimeout,
-			DisableIndex: !*useIndex,
-			SolveCache:   *solveCache,
+			Shards:        *shards,
+			TileSize:      *tileSize,
+			Beta:          *beta,
+			BetaSet:       true,
+			Opt:           model.Options{WaitAllowed: *wait},
+			SolverName:    *solverName,
+			QueueDepth:    *queueDepth,
+			BatchMax:      *batchMax,
+			BatchLinger:   *batchLinger,
+			SolveTimeout:  *solveTimeout,
+			DisableIndex:  !*useIndex,
+			SolveCache:    *solveCache,
+			Stores:        stores,
+			SnapshotEvery: durableSnapEvery(*dataDir, *snapEvery),
 		}, in)
 		if err != nil {
 			fatal(err)
@@ -131,15 +169,20 @@ func main() {
 		} else {
 			eng = engine.New(cfg)
 		}
-		s, err := serve.New(serve.Config{
-			Engine:       eng,
-			SolverName:   *solverName,
-			QueueDepth:   *queueDepth,
-			BatchMax:     *batchMax,
-			BatchLinger:  *batchLinger,
-			SolveTimeout: *solveTimeout,
-			SolveCache:   *solveCache,
-		})
+		scfg := serve.Config{
+			Engine:        eng,
+			SolverName:    *solverName,
+			QueueDepth:    *queueDepth,
+			BatchMax:      *batchMax,
+			BatchLinger:   *batchLinger,
+			SolveTimeout:  *solveTimeout,
+			SolveCache:    *solveCache,
+			SnapshotEvery: durableSnapEvery(*dataDir, *snapEvery),
+		}
+		if stores != nil {
+			scfg.Store = stores[0]
+		}
+		s, err := serve.New(scfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -148,7 +191,13 @@ func main() {
 		boot = fmt.Sprintf("%d tasks, %d workers, %d valid pairs, solver %s",
 			snap.Tasks(), snap.Workers(), len(snap.Problem.Pairs), solverTag)
 	}
-	log.Printf("rdbsc-server: listening on %s (%s)", *addr, boot)
+	// Bind before announcing: with -addr :0 the log then carries the real
+	// resolved port, which the crash-restart harness (and humans) rely on.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("rdbsc-server: listening on %s (%s)", ln.Addr(), boot)
 
 	// Profiling is opt-in and served on its own listener, so the /v1 API
 	// surface never exposes /debug/pprof. The explicit mux avoids the
@@ -172,7 +221,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe(*addr) }()
+	go func() { errCh <- srv.Serve(ln) }()
 
 	select {
 	case err := <-errCh:
@@ -191,8 +240,18 @@ func main() {
 // server is the slice of serve.Server / cluster.Cluster the main loop
 // needs; both satisfy it.
 type server interface {
-	ListenAndServe(addr string) error
+	Serve(ln net.Listener) error
 	Shutdown(ctx context.Context) error
+}
+
+// durableSnapEvery returns the periodic-compaction cadence: snapshots only
+// make sense with a data directory, so without one the trigger stays off
+// regardless of -snapshot-every.
+func durableSnapEvery(dataDir string, every int) int {
+	if dataDir == "" {
+		return 0
+	}
+	return every
 }
 
 func fatal(err error) {

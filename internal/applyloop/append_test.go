@@ -1,0 +1,99 @@
+package applyloop
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// TestAppendRunsBeforeApply pins write-ahead ordering: the Append hook sees
+// every coalesced batch before the Applier does, with identical contents.
+func TestAppendRunsBeforeApply(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	loop, err := New(Config{
+		Append: func(muts []engine.Mutation) error {
+			mu.Lock()
+			order = append(order, "append")
+			mu.Unlock()
+			return nil
+		},
+		Apply: func(muts []engine.Mutation) ([]bool, uint64) {
+			mu.Lock()
+			order = append(order, "apply")
+			mu.Unlock()
+			return make([]bool, len(muts)), 2
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := make(chan Ack, 1)
+	if err := loop.Enqueue(engine.TaskRemoval(1), reply); err != nil {
+		t.Fatal(err)
+	}
+	ack := <-reply
+	if ack.Err != nil {
+		t.Fatalf("ack error: %v", ack.Err)
+	}
+	loop.Close()
+	<-loop.Drained()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "append" || order[1] != "apply" {
+		t.Fatalf("hook order %v, want [append apply]", order)
+	}
+}
+
+// TestAppendFailureDropsBatch pins the no-silent-loss contract: when the
+// durability hook fails, the batch never reaches the engine and every
+// enqueuer — coalesced mutations included — gets the error in its Ack.
+func TestAppendFailureDropsBatch(t *testing.T) {
+	boom := errors.New("disk full")
+	applied := false
+	release := make(chan struct{})
+	loop, err := New(Config{
+		QueueDepth: 16,
+		Append:     func([]engine.Mutation) error { return boom },
+		Apply: func(muts []engine.Mutation) ([]bool, uint64) {
+			applied = true
+			return make([]bool, len(muts)), 2
+		},
+		StallForTest: func() { <-release },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two mutations on the same task: the first coalesces away, and its
+	// ack must still carry the append error.
+	r1, r2 := make(chan Ack, 1), make(chan Ack, 1)
+	if err := loop.Enqueue(engine.TaskUpsert(model.Task{ID: 5}), r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := loop.Enqueue(engine.TaskRemoval(5), r2); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	for i, r := range []chan Ack{r1, r2} {
+		select {
+		case ack := <-r:
+			if !errors.Is(ack.Err, boom) {
+				t.Fatalf("ack %d error = %v, want the append error", i, ack.Err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("ack %d never arrived", i)
+		}
+	}
+	loop.Close()
+	<-loop.Drained()
+	if applied {
+		t.Fatal("batch reached the Applier despite the append failure")
+	}
+	if st := loop.Stats(); st.AppendFailed != 1 || st.Applied != 0 {
+		t.Fatalf("stats %+v, want AppendFailed=1 Applied=0", st)
+	}
+}

@@ -43,6 +43,11 @@ type Ack struct {
 	Coalesced bool
 	// Version is the engine version after the batch.
 	Version uint64
+	// Err is set when the batch was dropped before reaching the engine —
+	// today that means the durability append hook failed (disk full,
+	// closed WAL). The mutation was neither logged nor applied; callers
+	// surface it as a server error (HTTP 503), never as silent loss.
+	Err error
 }
 
 // Applier applies one coalesced batch to the engine plane it owns and
@@ -56,6 +61,13 @@ type Applier func(muts []engine.Mutation) (changed []bool, version uint64)
 type Config struct {
 	// Apply drains each coalesced batch. Required.
 	Apply Applier
+	// Append, when non-nil, durably logs each coalesced batch BEFORE
+	// Apply runs (write-ahead logging). If it fails, the batch is dropped
+	// without touching the engine and every enqueuer's Ack carries the
+	// error — a logged-but-unapplied batch can replay after a crash
+	// (harmless: the client never got an ack), but an applied-yet-unlogged
+	// batch would be silent data loss. Runs on the loop goroutine.
+	Append func(muts []engine.Mutation) error
 	// QueueDepth bounds the mutation queue; a full queue rejects enqueues
 	// with ErrQueueFull. Default 1024.
 	QueueDepth int
@@ -90,6 +102,7 @@ type Stats struct {
 	Coalesced    uint64 // mutations superseded within their batch
 	Batches      uint64 // batches drained
 	RejectedFull uint64 // enqueues rejected with ErrQueueFull
+	AppendFailed uint64 // batches dropped because the Append hook failed
 }
 
 // queued is one mutation in flight, with an optional reply channel
@@ -115,6 +128,7 @@ type Loop struct {
 	coalesced    atomic.Uint64
 	batches      atomic.Uint64
 	rejectedFull atomic.Uint64
+	appendFailed atomic.Uint64
 }
 
 // New validates the configuration and starts the loop goroutine.
@@ -184,6 +198,7 @@ func (l *Loop) Stats() Stats {
 		Coalesced:    l.coalesced.Load(),
 		Batches:      l.batches.Load(),
 		RejectedFull: l.rejectedFull.Load(),
+		AppendFailed: l.appendFailed.Load(),
 	}
 }
 
@@ -264,6 +279,21 @@ func (l *Loop) applyBatch(batch []queued) {
 		if (isTask && lastTask[tid] == i) || (!isTask && lastWorker[wid] == i) {
 			muts = append(muts, qm.mut)
 			kept = append(kept, i)
+		}
+	}
+
+	if l.cfg.Append != nil {
+		if err := l.cfg.Append(muts); err != nil {
+			// WAL-before-apply: an unloggable batch never reaches the
+			// engine. Acknowledge everyone with the error so the serving
+			// layer reports it instead of silently losing the mutations.
+			l.appendFailed.Add(1)
+			for _, qm := range batch {
+				if qm.reply != nil {
+					qm.reply <- Ack{Err: err} // buffered by the enqueuer; never blocks
+				}
+			}
+			return
 		}
 	}
 

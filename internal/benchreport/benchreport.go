@@ -154,6 +154,13 @@ type LoadMetrics struct {
 	// MutationsPerSecond is MutationsOK over WallSeconds — the mutation-plane
 	// throughput the shard-scaling perf gate compares across topologies.
 	MutationsPerSecond float64 `json:"mutations_per_second,omitempty"`
+	// ConnErrors counts transport failures absorbed by the replay's
+	// -expect-restart outage window (a planned server kill/restart mid-run);
+	// 0 when the mode is off or the server never went away.
+	ConnErrors int `json:"conn_errors,omitempty"`
+	// MaxOutageMS is the longest consecutive-failure stretch tolerated under
+	// -expect-restart, in wall milliseconds.
+	MaxOutageMS float64 `json:"max_outage_ms,omitempty"`
 }
 
 // New returns a report header stamped with the schema version and the

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"rdbsc/internal/grid"
 	"rdbsc/internal/model"
 	"rdbsc/internal/serve"
+	"rdbsc/internal/store"
 )
 
 // Config parameterizes a Cluster. The engine-level knobs (Beta, Opt, Grid)
@@ -59,6 +61,15 @@ type Config struct {
 	// Any shard's version bump or a cross-shard move invalidates every
 	// affected entry by construction. Default 0 (disabled).
 	SolveCache int
+	// Stores are the per-shard durability backends, exactly one per shard
+	// (nil = all memory, nothing persists). Each shard appends its batches
+	// to its own store and recovers from it at boot; when any store holds
+	// recovered state the bulk-load instance must be nil, and the entity
+	// registry is rebuilt from the recovered shard populations.
+	Stores []store.Store
+	// SnapshotEvery compacts each shard's WAL into a snapshot after every
+	// N applied batches on that shard (0 = never).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,14 +89,23 @@ func (c Config) withDefaults() Config {
 }
 
 // shard is one spatial partition: an engine owned by a single-writer apply
-// loop, publishing copy-on-write snapshots.
+// loop, publishing copy-on-write snapshots, persisting through its own
+// store.
 type shard struct {
-	eng  *engine.Engine
-	loop *applyloop.Loop
-	snap atomic.Pointer[engine.Snapshot]
+	eng   *engine.Engine
+	loop  *applyloop.Loop
+	snap  atomic.Pointer[engine.Snapshot]
+	store store.Store
 
-	rebuilds   atomic.Uint64 // batches whose snapshot re-derived the pairs
-	retrieveNS atomic.Int64  // cumulative pair-retrieval time
+	// snapEvery/batchesSince drive periodic WAL compaction; touched only
+	// on this shard's loop goroutine.
+	snapEvery    int
+	batchesSince int
+
+	rebuilds         atomic.Uint64 // batches whose snapshot re-derived the pairs
+	retrieveNS       atomic.Int64  // cumulative pair-retrieval time
+	snapErrors       atomic.Uint64 // periodic WAL compactions that failed
+	recoveredBatches uint64        // WAL batches replayed at boot (read-only after New)
 }
 
 // Cluster is the sharded assignment service: a Router mapping entities to
@@ -174,6 +194,34 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 		Grid: cfg.Grid, DisableIndex: cfg.DisableIndex,
 	}
 
+	// Per-shard durability: recover every store before any loop starts, so
+	// no request can observe a pre-replay shard. Recovered state and a
+	// bulk-load instance are mutually exclusive — merging them would
+	// fabricate a state neither run had.
+	stores := cfg.Stores
+	if stores == nil {
+		stores = make([]store.Store, cfg.Shards)
+		for i := range stores {
+			stores[i] = store.NewMemory()
+		}
+	}
+	if len(stores) != cfg.Shards {
+		return nil, fmt.Errorf("cluster: %d stores for %d shards", len(stores), cfg.Shards)
+	}
+	recovered := make([]store.RecoveredState, cfg.Shards)
+	anyState := false
+	for i, st := range stores {
+		rs, err := st.Recover()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		recovered[i] = rs
+		anyState = anyState || !rs.Empty()
+	}
+	if anyState && in != nil {
+		return nil, errors.New("cluster: stores hold recovered state but an initial instance was supplied; drop the preload or the data directory")
+	}
+
 	// Split the bulk load by location; every entity lands on exactly one
 	// shard and is registered there.
 	subs := make([]*model.Instance, cfg.Shards)
@@ -194,14 +242,37 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 	}
 
 	for i := range c.shards {
-		sh := &shard{}
-		if in != nil {
+		sh := &shard{store: stores[i], snapEvery: cfg.SnapshotEvery}
+		switch {
+		case anyState:
+			// Recovery path: rebuild the shard engine from its store, then
+			// the routing registry from the recovered population.
+			sh.eng = engine.New(engCfg)
+			batches, err := store.Replay(recovered[i], sh.eng)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+			}
+			sh.recoveredBatches = uint64(batches)
+		case in != nil:
 			sh.eng = engine.NewFromInstance(subs[i], engCfg)
-		} else {
+			// Fresh store under a bulk load: persist the shard's slice of
+			// it as the boot snapshot, or a crash before the first
+			// compaction would silently drop the preload.
+			if err := sh.store.WriteSnapshot(sh.eng.Version(), sh.eng.GridEta(), sh.eng.Instance()); err != nil {
+				return nil, fmt.Errorf("cluster: shard %d: seeding boot snapshot: %w", i, err)
+			}
+		default:
 			sh.eng = engine.New(engCfg)
 		}
+		c.shards[i] = sh
+	}
+	if anyState {
+		c.rebuildRegistry()
+	}
+	for i, sh := range c.shards {
 		// Publish the initial snapshot before the loop starts: this is the
-		// last single-threaded touch of the engine.
+		// last single-threaded touch of the engine (registry rebuild — which
+		// may retire duplicate copies — is done by now).
 		snap := sh.eng.Snapshot()
 		sh.snap.Store(&snap)
 		loop, err := applyloop.New(applyloop.Config{
@@ -209,12 +280,12 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 			BatchMax:    cfg.BatchMax,
 			BatchLinger: cfg.BatchLinger,
 			Apply:       sh.apply,
+			Append:      sh.store.AppendBatch,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
 		sh.loop = loop
-		c.shards[i] = sh
 	}
 	// The effective β/Opt (post-default, post-instance-override) come back
 	// from a shard engine so the assembled global instance always agrees
@@ -228,8 +299,46 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 	return c, nil
 }
 
+// rebuildRegistry repopulates the entity→shard routing maps from the
+// recovered shard populations. A crash in the middle of a cross-shard move
+// can leave the same entity on two shards (the new shard logged the upsert
+// before the old shard logged the retirement removal); the copy on the
+// shard its location routes to — the registry invariant — wins, and the
+// stale copy is retired directly from the other engine (single-threaded:
+// the loops have not started).
+func (c *Cluster) rebuildRegistry() {
+	for i, sh := range c.shards {
+		in := sh.eng.Instance()
+		for _, t := range in.Tasks {
+			if prev, dup := c.taskShard[t.ID]; dup {
+				winner := c.tiling.ShardOf(t.Loc)
+				if winner == i {
+					c.shards[prev].eng.RemoveTask(t.ID)
+				} else {
+					sh.eng.RemoveTask(t.ID)
+					continue
+				}
+			}
+			c.taskShard[t.ID] = i
+		}
+		for _, w := range in.Workers {
+			if prev, dup := c.workerShard[w.ID]; dup {
+				winner := c.tiling.ShardOf(w.Loc)
+				if winner == i {
+					c.shards[prev].eng.RemoveWorker(w.ID)
+				} else {
+					sh.eng.RemoveWorker(w.ID)
+					continue
+				}
+			}
+			c.workerShard[w.ID] = i
+		}
+	}
+}
+
 // apply is a shard's applyloop.Applier: single-writer batch application
-// plus snapshot publication, identical to the serve layer's.
+// plus snapshot publication, identical to the serve layer's, plus the
+// periodic WAL compaction trigger.
 func (sh *shard) apply(muts []engine.Mutation) ([]bool, uint64) {
 	changed := sh.eng.ApplyBatch(muts)
 	snap := sh.eng.Snapshot()
@@ -237,6 +346,16 @@ func (sh *shard) apply(muts []engine.Mutation) ([]bool, uint64) {
 	if snap.Rebuilt {
 		sh.rebuilds.Add(1)
 		sh.retrieveNS.Add(int64(snap.Retrieve))
+	}
+	if sh.snapEvery > 0 {
+		if sh.batchesSince++; sh.batchesSince >= sh.snapEvery {
+			sh.batchesSince = 0
+			// A failed compaction is not data loss — the WAL still holds
+			// everything — so it is counted, not fatal.
+			if err := sh.store.WriteSnapshot(snap.Version, sh.eng.GridEta(), sh.eng.Instance()); err != nil {
+				sh.snapErrors.Add(1)
+			}
+		}
 	}
 	return changed, snap.Version
 }
@@ -382,6 +501,20 @@ func (c *Cluster) ListenAndServe(addr string) error {
 	return hs.ListenAndServe()
 }
 
+// Serve is ListenAndServe over an already-bound listener, for callers that
+// need to know the resolved address (e.g. -addr :0) before serving starts.
+func (c *Cluster) Serve(ln net.Listener) error {
+	hs := &http.Server{Handler: c.mux, ReadHeaderTimeout: 10 * time.Second}
+	c.httpMu.Lock()
+	if c.closing {
+		c.httpMu.Unlock()
+		return applyloop.ErrClosed
+	}
+	c.http = hs
+	c.httpMu.Unlock()
+	return hs.Serve(ln)
+}
+
 // Shutdown stops the cluster gracefully: the embedded HTTP server (if any)
 // stops accepting, every shard loop closes and drains completely — every
 // accepted mutation applies — and ctx bounds the whole wait.
@@ -402,8 +535,15 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 		select {
 		case <-sh.loop.Drained():
 		case <-ctx.Done():
+			// An undrained loop may still be appending; leave its store
+			// open rather than yank the WAL from under it.
 			return errors.Join(err, ctx.Err())
 		}
+	}
+	// Every shard's appender is gone; closing the stores group-commits any
+	// unsynced tails.
+	for _, sh := range c.shards {
+		err = errors.Join(err, sh.store.Close())
 	}
 	return err
 }

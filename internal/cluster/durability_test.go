@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+	"rdbsc/internal/store"
+)
+
+// doJSON issues one request and decodes the JSON response body.
+func doJSON(t *testing.T, method, url, body string) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = bytes.NewReader([]byte(body))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("%s %s: decoding response: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func openShardStores(t *testing.T, dir string, shards int) []store.Store {
+	t.Helper()
+	stores := make([]store.Store, shards)
+	for i := range stores {
+		fs, err := store.Open(filepath.Join(dir, fmt.Sprintf("shard-%d", i)), store.FileOptions{Fsync: store.FsyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[i] = fs
+	}
+	return stores
+}
+
+func startDurableCluster(t *testing.T, dir string, shards int) (*Cluster, *httptest.Server, func()) {
+	t.Helper()
+	cl, err := New(Config{
+		Shards: shards, Beta: 0.5, BetaSet: true, SolverName: "greedy",
+		Stores: openShardStores(t, dir, shards), SnapshotEvery: 3,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(cl.Handler())
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := cl.Shutdown(ctx); err != nil {
+			t.Fatalf("cluster shutdown: %v", err)
+		}
+	}
+	t.Cleanup(stop)
+	return cl, ts, stop
+}
+
+// TestClusterDurableRecoveryExact pins multi-shard recovery: every shard
+// recovers from its own store, and the reassembled cluster answers solves
+// identically to the pre-stop one.
+func TestClusterDurableRecoveryExact(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	_, ts, stop := startDurableCluster(t, dir, shards)
+
+	// A population spread over the unit square so every shard owns some
+	// entities (tile size 0.3 over 4 shards).
+	for i := 0; i < 12; i++ {
+		x, y := 0.1+0.08*float64(i), 0.9-0.07*float64(i)
+		code, body := doJSON(t, "POST", ts.URL+"/v1/tasks",
+			fmt.Sprintf(`{"id":%d,"x":%f,"y":%f,"start":0,"end":10}`, i, x, y))
+		if code != http.StatusOK {
+			t.Fatalf("task %d: %d %v", i, code, body)
+		}
+		code, body = doJSON(t, "POST", ts.URL+"/v1/workers",
+			fmt.Sprintf(`{"id":%d,"x":%f,"y":%f,"speed":1,"confidence":0.9}`, i, y, x))
+		if code != http.StatusOK {
+			t.Fatalf("worker %d: %d %v", i, code, body)
+		}
+	}
+	_, statsBefore := doJSON(t, "GET", ts.URL+"/v1/stats", "")
+	code, solveBefore := doJSON(t, "POST", ts.URL+"/v1/solve", `{"solver":"greedy","seed":7}`)
+	if code != http.StatusOK {
+		t.Fatalf("pre-stop solve: %d %v", code, solveBefore)
+	}
+	stop()
+
+	_, ts2, _ := startDurableCluster(t, dir, shards)
+	_, statsAfter := doJSON(t, "GET", ts2.URL+"/v1/stats", "")
+	for _, k := range []string{"tasks", "workers"} {
+		if statsBefore[k] != statsAfter[k] {
+			t.Errorf("recovered %s = %v, want %v", k, statsAfter[k], statsBefore[k])
+		}
+	}
+	// Per-shard versions must come back exactly (shard order is fixed by
+	// the tiling, which is deterministic).
+	shBefore := statsBefore["shards"].([]any)
+	shAfter := statsAfter["shards"].([]any)
+	if len(shBefore) != len(shAfter) {
+		t.Fatalf("shard count changed across recovery: %d vs %d", len(shBefore), len(shAfter))
+	}
+	for i := range shBefore {
+		b, a := shBefore[i].(map[string]any), shAfter[i].(map[string]any)
+		for _, k := range []string{"version", "tasks", "workers", "pairs"} {
+			if b[k] != a[k] {
+				t.Errorf("shard %d %s = %v, want %v", i, k, a[k], b[k])
+			}
+		}
+		if dur := a["durability"].(map[string]any); dur["backend"] != "file" {
+			t.Errorf("shard %d backend %v, want file", i, dur["backend"])
+		}
+	}
+	code, solveAfter := doJSON(t, "POST", ts2.URL+"/v1/solve", `{"solver":"greedy","seed":7}`)
+	if code != http.StatusOK {
+		t.Fatalf("post-recovery solve: %d %v", code, solveAfter)
+	}
+	for _, volatile := range []string{"elapsed_ms", "at", "stats", "cached", "cluster"} {
+		delete(solveBefore, volatile)
+		delete(solveAfter, volatile)
+	}
+	if !reflect.DeepEqual(solveBefore, solveAfter) {
+		t.Errorf("solve diverged across recovery:\n before: %v\n after:  %v", solveBefore, solveAfter)
+	}
+}
+
+// TestClusterRecoveryResolvesDuplicateEntities simulates the cross-shard
+// move crash window: the destination shard logged the moved worker's upsert
+// but the source shard crashed before logging the retirement, so both
+// stores recover a copy. The registry rebuild must keep exactly the copy on
+// the shard the tiling routes to and retire the stale one.
+func TestClusterRecoveryResolvesDuplicateEntities(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	tl := Tiling{Shards: shards}.withDefaults()
+	loc := geo.Pt(0.85, 0.15)
+	home := tl.ShardOf(loc)
+	stale := (home + 1) % shards
+
+	w := model.Worker{ID: 42, Loc: loc, Speed: 1, Dir: geo.FullCircle, Confidence: 0.9, Depart: 10}
+	stores := openShardStores(t, dir, shards)
+	// The home shard holds the entity at its current location; the stale
+	// shard holds a pre-move copy of the same ID at its old location.
+	if err := stores[home].AppendBatch([]engine.Mutation{engine.WorkerUpsert(w)}); err != nil {
+		t.Fatal(err)
+	}
+	old := w
+	old.Loc = geo.Pt(0.15, 0.85)
+	if err := stores[stale].AppendBatch([]engine.Mutation{engine.WorkerUpsert(old)}); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range stores {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, ts, _ := startDurableCluster(t, dir, shards)
+	_, stats := doJSON(t, "GET", ts.URL+"/v1/stats", "")
+	if got := stats["workers"].(float64); got != 1 {
+		t.Fatalf("recovered %v workers for one duplicated ID, want 1", got)
+	}
+	for i, sh := range stats["shards"].([]any) {
+		m := sh.(map[string]any)
+		want := 0.0
+		if i == home {
+			want = 1
+		}
+		if m["workers"].(float64) != want {
+			t.Errorf("shard %d holds %v workers, want %v", i, m["workers"], want)
+		}
+	}
+	// The surviving copy must be addressable: removing it routes by its
+	// current location.
+	code, body := doJSON(t, "DELETE", ts.URL+fmt.Sprintf("/v1/workers/%d", w.ID), "")
+	if code != http.StatusOK {
+		t.Fatalf("removing the surviving copy: %d %v", code, body)
+	}
+	_, stats = doJSON(t, "GET", ts.URL+"/v1/stats", "")
+	if got := stats["workers"].(float64); got != 0 {
+		t.Fatalf("%v workers after removal, want 0", got)
+	}
+}

@@ -69,9 +69,13 @@ func (c *Cluster) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []
 	}
 	var changed, coalesced int
 	var version uint64
+	var ackErr error
 	for n := 0; n < len(muts); n++ {
 		select {
 		case ack := <-reply:
+			if ack.Err != nil {
+				ackErr = ack.Err
+			}
 			if ack.Changed {
 				changed++
 			}
@@ -88,6 +92,12 @@ func (c *Cluster) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []
 			})
 			return
 		}
+	}
+	if ackErr != nil {
+		// The shard's durability append failed, so its batch was dropped
+		// before reaching the engine: report the loss loudly (503).
+		writeError(w, http.StatusServiceUnavailable, ackErr)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"accepted":  len(muts),
@@ -142,6 +152,10 @@ func (c *Cluster) handleRemove(w http.ResponseWriter, r *http.Request, mut engin
 	}
 	select {
 	case ack := <-reply:
+		if ack.Err != nil {
+			writeError(w, http.StatusServiceUnavailable, ack.Err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"removed": ack.Changed, "coalesced": ack.Coalesced, "version": ack.Version,
 		})
@@ -325,6 +339,8 @@ type shardStatsJSON struct {
 	Rebuilds          uint64  `json:"rebuilds"`
 	RetrieveMS        float64 `json:"retrieve_ms"`
 	RejectedQueueFull uint64  `json:"rejected_queue_full"`
+
+	Durability serve.DurabilityJSON `json:"durability"`
 }
 
 // statsResponse is the cluster's /v1/stats view. The top-level fields keep
@@ -363,6 +379,11 @@ type statsResponse struct {
 	SolveCacheMisses    uint64 `json:"solve_cache_misses"`
 	SolveCacheEvictions uint64 `json:"solve_cache_evictions"`
 
+	// Durability aggregates the per-shard durability rows (same shape as
+	// the serve layer's block; backend is shard 0's label — the shards are
+	// configured uniformly).
+	Durability serve.DurabilityJSON `json:"durability"`
+
 	UptimeMS float64 `json:"uptime_ms"`
 }
 
@@ -399,8 +420,19 @@ func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
 			Rebuilds:          sh.rebuilds.Load(),
 			RetrieveMS:        float64(sh.retrieveNS.Load()) / float64(time.Millisecond),
 			RejectedQueueFull: ls.RejectedFull,
+			Durability: serve.NewDurabilityJSON(sh.store,
+				ls.AppendFailed, sh.snapErrors.Load(), sh.recoveredBatches),
 		}
 		resp.Shards = append(resp.Shards, row)
+		if i == 0 {
+			resp.Durability.Backend = row.Durability.Backend
+		}
+		resp.Durability.WALAppends += row.Durability.WALAppends
+		resp.Durability.WALSyncs += row.Durability.WALSyncs
+		resp.Durability.WALAppendFailures += row.Durability.WALAppendFailures
+		resp.Durability.Snapshots += row.Durability.Snapshots
+		resp.Durability.SnapshotErrors += row.Durability.SnapshotErrors
+		resp.Durability.RecoveredBatches += row.Durability.RecoveredBatches
 		resp.Version += row.Version
 		resp.Tasks += row.Tasks
 		resp.Workers += row.Workers

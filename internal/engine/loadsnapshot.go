@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"fmt"
+
+	"rdbsc/internal/grid"
+	"rdbsc/internal/model"
+)
+
+// GridEta returns the index's cell side length, or 0 when the index is
+// disabled. Snapshots persist it: the cell size is derived from the boot
+// instance (NewFromInstance) or defaulted (New) and then fixed for the
+// engine's lifetime, and valid-pair enumeration order follows the cell
+// walk — so recovering with a re-derived eta would reorder the pair list
+// and change solver tie-breaking. Pinning the persisted eta keeps the
+// recovered engine solve-identical, not just state-identical.
+func (e *Engine) GridEta() float64 {
+	if e.grid == nil {
+		return 0
+	}
+	return e.grid.Eta()
+}
+
+// LoadSnapshot bulk-loads a recovered snapshot into an empty engine and
+// pins the version counter to the snapshot's version, so the recovered
+// engine is version-identical to the one that wrote the snapshot.
+//
+// The version is set BEFORE the entities are inserted and the inserts run
+// with bumps suppressed (as one pre-bumped batch): the decompose layer
+// stamps entities with the version current at upsert time and relies on
+// versions never repeating or moving backward, so recovery must never
+// bump past the snapshot version and then rewind. After LoadSnapshot the
+// engine sits exactly at version; replaying the WAL suffix through
+// ApplyBatch then re-bumps it along the same path the pre-crash engine
+// took.
+//
+// gridEta, when positive, rebuilds the index with that cell size before
+// the load (see GridEta); 0 keeps the engine's existing grid.
+//
+// The snapshot's β and reachability options must match the engine's
+// configuration: recovered state was indexed and solved under them, and
+// silently adopting different flags would make the recovered answers
+// diverge from the pre-crash ones. Mismatches are a boot error — restart
+// with the original flags or discard the data directory.
+func (e *Engine) LoadSnapshot(in *model.Instance, version uint64, gridEta float64) error {
+	if len(e.tasks) != 0 || len(e.workers) != 0 {
+		return fmt.Errorf("engine: LoadSnapshot into non-empty engine (%d tasks, %d workers)",
+			len(e.tasks), len(e.workers))
+	}
+	if version < e.version {
+		return fmt.Errorf("engine: snapshot version %d below engine version %d", version, e.version)
+	}
+	if in.Beta != e.cfg.Beta {
+		return fmt.Errorf("engine: snapshot β=%v but engine configured with β=%v", in.Beta, e.cfg.Beta)
+	}
+	if in.Opt != e.cfg.Opt {
+		return fmt.Errorf("engine: snapshot options %+v but engine configured with %+v", in.Opt, e.cfg.Opt)
+	}
+	if !e.cfg.DisableIndex && gridEta > 0 {
+		gcfg := e.cfg.Grid
+		gcfg.Eta = gridEta
+		e.grid = grid.New(gcfg, e.cfg.Opt)
+	}
+	e.version = version
+	e.inBatch, e.batchDid = true, true // suppress bumps: the load is one pre-versioned step
+	for _, t := range in.Tasks {
+		e.UpsertTask(t)
+	}
+	for _, w := range in.Workers {
+		e.UpsertWorker(w)
+	}
+	e.inBatch, e.batchDid = false, false
+	return nil
+}

@@ -1,0 +1,78 @@
+package engine
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// TestLoadSnapshotRebuildsExactEngine pins the recovery contract: loading a
+// live engine's Instance at its Version into a fresh engine reproduces the
+// engine exactly — same version, same instance, same valid pairs — and
+// mutations applied afterwards bump from the pinned version, never from a
+// rewound one.
+func TestLoadSnapshotRebuildsExactEngine(t *testing.T) {
+	in := testInstance(20, 40)
+	live := NewFromInstance(in, Config{})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10; i++ {
+		live.ApplyBatch([]Mutation{
+			TaskUpsert(model.Task{ID: model.TaskID(100 + i), Loc: geo.Pt(rng.Float64(), rng.Float64()), Start: 0, End: 4}),
+			WorkerRemoval(model.WorkerID(rng.Intn(40))),
+		})
+	}
+
+	fresh := New(Config{Beta: live.Instance().Beta, BetaSet: true, Opt: live.Instance().Opt})
+	if err := fresh.LoadSnapshot(live.Instance(), live.Version(), live.GridEta()); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Version() != live.Version() {
+		t.Fatalf("loaded version %d, want %d", fresh.Version(), live.Version())
+	}
+	if !reflect.DeepEqual(fresh.Instance(), live.Instance()) {
+		t.Fatal("loaded instance differs from source")
+	}
+	pl, pf := live.Problem(), fresh.Problem()
+	if !reflect.DeepEqual(pl.Pairs, pf.Pairs) {
+		t.Fatalf("valid pairs differ after load: %d vs %d", len(pl.Pairs), len(pf.Pairs))
+	}
+
+	// Post-load mutations continue the version line identically on both.
+	batch := []Mutation{TaskRemoval(100)}
+	live.ApplyBatch(batch)
+	fresh.ApplyBatch(batch)
+	if fresh.Version() != live.Version() {
+		t.Fatalf("post-load version %d, want %d", fresh.Version(), live.Version())
+	}
+}
+
+func TestLoadSnapshotRejectsMisuse(t *testing.T) {
+	in := testInstance(5, 10)
+
+	// Non-empty target engine.
+	busy := NewFromInstance(in, Config{})
+	if err := busy.LoadSnapshot(in, 10, 0); err == nil {
+		t.Error("LoadSnapshot into a non-empty engine succeeded")
+	}
+
+	// Version rewind: an engine already past the snapshot version.
+	fresh := New(Config{Beta: in.Beta, BetaSet: true, Opt: in.Opt})
+	if err := fresh.LoadSnapshot(in, 0, 0); err == nil {
+		t.Error("LoadSnapshot with a version below the engine's succeeded")
+	}
+
+	// β mismatch: the snapshot was indexed under different scoring.
+	other := New(Config{Beta: in.Beta / 2, BetaSet: true, Opt: in.Opt})
+	if err := other.LoadSnapshot(in, 5, 0); err == nil {
+		t.Error("LoadSnapshot with mismatched beta succeeded")
+	}
+
+	// Options mismatch: reachability semantics differ.
+	wait := New(Config{Beta: in.Beta, BetaSet: true, Opt: model.Options{WaitAllowed: !in.Opt.WaitAllowed}})
+	if err := wait.LoadSnapshot(in, 5, 0); err == nil {
+		t.Error("LoadSnapshot with mismatched options succeeded")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"rdbsc/internal/engine"
 	"rdbsc/internal/geo"
 	"rdbsc/internal/model"
+	"rdbsc/internal/store"
 )
 
 // routes wires the HTTP/JSON API.
@@ -146,9 +147,13 @@ func (s *Server) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []m
 	}
 	var changed, coalesced int
 	var version uint64
+	var ackErr error
 	for n := 0; n < len(muts); n++ {
 		select {
 		case ack := <-reply:
+			if ack.Err != nil {
+				ackErr = ack.Err
+			}
 			if ack.Changed {
 				changed++
 			}
@@ -165,6 +170,12 @@ func (s *Server) enqueueAndWait(w http.ResponseWriter, r *http.Request, muts []m
 			})
 			return
 		}
+	}
+	if ackErr != nil {
+		// The durability append failed, so the batch was dropped before
+		// reaching the engine: report the loss loudly (503), never silently.
+		writeError(w, http.StatusServiceUnavailable, ackErr)
+		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"accepted":  len(muts),
@@ -230,6 +241,10 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request, mut engine
 	}
 	select {
 	case ack := <-reply:
+		if ack.Err != nil {
+			writeError(w, http.StatusServiceUnavailable, ack.Err)
+			return
+		}
 		writeJSON(w, http.StatusOK, map[string]any{
 			"removed": ack.Changed, "coalesced": ack.Coalesced, "version": ack.Version,
 		})
@@ -450,7 +465,44 @@ type statsResponse struct {
 	// ring's capacity), completed and partial alike.
 	SolveLatencyMS benchreport.Quantiles `json:"solve_latency_ms"`
 
+	Durability DurabilityJSON `json:"durability"`
+
 	UptimeMS float64 `json:"uptime_ms"`
+}
+
+// DurabilityJSON is the stats view of the durability plane. The cluster
+// layer reports one per shard plus an aggregate.
+type DurabilityJSON struct {
+	Backend           string `json:"backend"`
+	WALAppends        uint64 `json:"wal_appends"`
+	WALSyncs          uint64 `json:"wal_syncs"`
+	WALAppendFailures uint64 `json:"wal_append_failures"`
+	Snapshots         uint64 `json:"snapshots"`
+	SnapshotErrors    uint64 `json:"snapshot_errors"`
+	RecoveredBatches  uint64 `json:"recovered_batches"`
+}
+
+// NewDurabilityJSON assembles the stats view for one store: the backend
+// label and WAL counters come from the store itself (via the optional
+// Backend/Stats interfaces the built-in backends implement), the failure
+// and recovery counters from the serving layer that wraps it.
+func NewDurabilityJSON(st store.Store, appendFailures, snapshotErrors, recoveredBatches uint64) DurabilityJSON {
+	d := DurabilityJSON{
+		Backend:           "custom",
+		WALAppendFailures: appendFailures,
+		SnapshotErrors:    snapshotErrors,
+		RecoveredBatches:  recoveredBatches,
+	}
+	if b, ok := st.(interface{ Backend() string }); ok {
+		d.Backend = b.Backend()
+	}
+	if s, ok := st.(interface{ Stats() store.FileStats }); ok {
+		fs := s.Stats()
+		d.WALAppends = fs.Appends
+		d.WALSyncs = fs.Syncs
+		d.Snapshots = fs.Snapshots
+	}
+	return d
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -486,6 +538,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SolveCacheHits:      cacheStats.Hits,
 		SolveCacheMisses:    cacheStats.Misses,
 		SolveCacheEvictions: cacheStats.Evictions,
+
+		Durability: NewDurabilityJSON(s.store, loopStats.AppendFailed, s.snapErrors.Load(), s.recoveredBatches),
 
 		UptimeMS: float64(time.Since(s.started)) / float64(time.Millisecond),
 	})

@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,7 @@ import (
 	"rdbsc/internal/applyloop"
 	"rdbsc/internal/core"
 	"rdbsc/internal/engine"
+	"rdbsc/internal/store"
 )
 
 // Config parameterizes a Server.
@@ -74,6 +76,17 @@ type Config struct {
 	// forward, so a cached answer is always bit-identical to re-solving.
 	// Default 0 (disabled).
 	SolveCache int
+	// Store is the durability backend behind the apply loop: every
+	// coalesced batch is appended to it before it is applied, and recovery
+	// replays it into the engine before the server accepts traffic. Default
+	// store.NewMemory() (nothing persists — the historical behavior). When
+	// the store holds recovered state the Engine must be empty; a
+	// bulk-loaded engine paired with a fresh store is seeded into it as the
+	// boot snapshot.
+	Store store.Store
+	// SnapshotEvery compacts the WAL into a full-state snapshot after every
+	// N applied batches (0 = never; the WAL then grows until shutdown).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +101,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SolveTimeout <= 0 {
 		c.SolveTimeout = 30 * time.Second
+	}
+	if c.Store == nil {
+		c.Store = store.NewMemory()
 	}
 	return c
 }
@@ -117,10 +133,18 @@ type applyAck = applyloop.Ack
 // starts the apply loop), expose Handler over HTTP or call ListenAndServe,
 // and stop with Shutdown.
 type Server struct {
-	cfg  Config
-	eng  *engine.Engine
-	mux  *http.ServeMux
-	loop *applyloop.Loop
+	cfg   Config
+	eng   *engine.Engine
+	mux   *http.ServeMux
+	loop  *applyloop.Loop
+	store store.Store
+
+	// batchesSinceSnap counts applied batches toward the next compaction;
+	// touched only on the apply loop goroutine.
+	batchesSinceSnap int
+	// recoveredBatches is how many WAL batches boot recovery replayed;
+	// written once before the loop starts, read-only afterwards.
+	recoveredBatches uint64
 
 	mu      sync.RWMutex // guards closing and http against Shutdown races
 	closing bool
@@ -153,6 +177,7 @@ type counters struct {
 	solves      atomic.Uint64 // /v1/solve requests that ran a solver
 	solveErrors atomic.Uint64 // solves that ended in a terminal error
 	partials    atomic.Uint64 // solves interrupted by their deadline
+	snapErrors  atomic.Uint64 // periodic WAL compactions that failed
 
 	statsMu    sync.Mutex
 	solveStats core.Stats // cumulative per-solve diagnostics
@@ -197,6 +222,7 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{
 		cfg:     cfg,
 		eng:     cfg.Engine,
+		store:   cfg.Store,
 		cache:   NewSolveCache(cfg.SolveCache),
 		started: time.Now(),
 		// Read once here, not per request: after the apply loop starts, the
@@ -204,6 +230,33 @@ func New(cfg Config) (*Server, error) {
 		// semantics on the snapshot plane via core.Sharded (the cross-batch
 		// per-component result cache stays engine-plane only).
 		shardSolves: cfg.Engine.Decomposes(),
+	}
+	// Recovery runs before the apply loop starts and before the first
+	// snapshot is published, so no request can ever observe the pre-replay
+	// state. A recovered store and a preloaded engine are mutually
+	// exclusive — merging them would fabricate a state neither run had.
+	rs, err := cfg.Store.Recover()
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	nt, nw := s.eng.Len()
+	switch {
+	case !rs.Empty():
+		if nt > 0 || nw > 0 {
+			return nil, fmt.Errorf("serve: store holds recovered state but the engine is preloaded (%d tasks, %d workers); drop the preload or the data directory", nt, nw)
+		}
+		batches, err := store.Replay(rs, s.eng)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.recoveredBatches = uint64(batches)
+	case nt > 0 || nw > 0:
+		// Fresh store under a bulk-loaded engine: persist the load as the
+		// boot snapshot, or a crash before the first compaction would
+		// silently drop it.
+		if err := cfg.Store.WriteSnapshot(s.eng.Version(), s.eng.GridEta(), s.eng.Instance()); err != nil {
+			return nil, fmt.Errorf("serve: seeding boot snapshot: %w", err)
+		}
 	}
 	// The apply loop has not started yet, so this Snapshot call is still
 	// single-threaded; from here on only the loop touches the engine.
@@ -215,6 +268,7 @@ func New(cfg Config) (*Server, error) {
 		BatchMax:    cfg.BatchMax,
 		BatchLinger: cfg.BatchLinger,
 		Apply:       s.applyToEngine,
+		Append:      cfg.Store.AppendBatch,
 		StallForTest: func() {
 			if s.testStallApply != nil {
 				s.testStallApply()
@@ -240,6 +294,16 @@ func (s *Server) applyToEngine(muts []engine.Mutation) ([]bool, uint64) {
 	if snap.Rebuilt {
 		s.rebuilds.Add(1)
 		s.retrieveNS.Add(int64(snap.Retrieve))
+	}
+	if s.cfg.SnapshotEvery > 0 {
+		if s.batchesSinceSnap++; s.batchesSinceSnap >= s.cfg.SnapshotEvery {
+			s.batchesSinceSnap = 0
+			// A failed compaction is not data loss — the WAL still holds
+			// everything — so it is counted, not fatal.
+			if err := s.store.WriteSnapshot(snap.Version, s.eng.GridEta(), s.eng.Instance()); err != nil {
+				s.snapErrors.Add(1)
+			}
+		}
 	}
 	return changed, snap.Version
 }
@@ -272,6 +336,20 @@ func (s *Server) ListenAndServe(addr string) error {
 	return hs.ListenAndServe()
 }
 
+// Serve is ListenAndServe over an already-bound listener, for callers that
+// need to know the resolved address (e.g. -addr :0) before serving starts.
+func (s *Server) Serve(ln net.Listener) error {
+	hs := &http.Server{Handler: s.mux, ReadHeaderTimeout: 10 * time.Second}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return ErrShuttingDown
+	}
+	s.http = hs
+	s.mu.Unlock()
+	return hs.Serve(ln)
+}
+
 // Shutdown stops the server gracefully: new mutations are rejected with
 // ErrShuttingDown (503), the embedded HTTP server (if ListenAndServe was
 // used) stops accepting and waits for in-flight handlers — including those
@@ -291,7 +369,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	select {
 	case <-s.loop.Drained():
 	case <-ctx.Done():
+		// The undrained loop may still be appending; leave the store open
+		// rather than yank the WAL from under it.
 		return errors.Join(err, ctx.Err())
 	}
-	return err
+	// The loop has drained, so no appender is alive; closing the store
+	// group-commits any unsynced tail.
+	return errors.Join(err, s.store.Close())
 }

@@ -1,0 +1,388 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// FsyncMode selects when the file backend flushes WAL appends to stable
+// storage.
+type FsyncMode int
+
+const (
+	// FsyncAlways syncs after every appended batch: no acknowledged
+	// mutation is lost even to power failure. Slowest.
+	FsyncAlways FsyncMode = iota
+	// FsyncBatch group-commits: the append path syncs at most once per
+	// FsyncInterval, so a power failure can lose up to one interval of
+	// acknowledged batches. Process crashes (SIGKILL) lose nothing —
+	// written pages survive in the OS cache. This is the recommended
+	// production mode.
+	FsyncBatch
+	// FsyncOff never syncs on the append path (snapshots still sync).
+	// Durable against process crashes only; fastest.
+	FsyncOff
+)
+
+// ParseFsyncMode maps the -fsync flag values to a mode.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "batch":
+		return FsyncBatch, nil
+	case "off":
+		return FsyncOff, nil
+	}
+	return 0, fmt.Errorf("store: unknown fsync mode %q (want always, batch, or off)", s)
+}
+
+// String implements fmt.Stringer.
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncBatch:
+		return "batch"
+	case FsyncOff:
+		return "off"
+	}
+	return fmt.Sprintf("FsyncMode(%d)", int(m))
+}
+
+// FileOptions configures the file backend.
+type FileOptions struct {
+	// Fsync selects the append-path sync policy (default FsyncAlways —
+	// the zero value is the safe one).
+	Fsync FsyncMode
+	// FsyncInterval is the FsyncBatch group-commit window (default 10ms).
+	FsyncInterval time.Duration
+}
+
+// FileStats are the file backend's cumulative counters, readable
+// concurrently with appends (the stats endpoint polls them).
+type FileStats struct {
+	Appends   uint64 // WAL records written
+	Syncs     uint64 // fsync calls on the WAL
+	Snapshots uint64 // compacted snapshots written
+}
+
+const (
+	walName      = "wal.log"
+	snapName     = "snapshot.db"
+	snapTempName = "snapshot.db.tmp"
+)
+
+var walMagic = [8]byte{'R', 'D', 'B', 'S', 'W', 'A', 'L', '1'}
+
+// FileStore is the durable backend: one directory holding one WAL and at
+// most one compacted snapshot. Not safe for concurrent use — the apply
+// loop is the single writer (see Store) — except for Stats.
+type FileStore struct {
+	dir  string
+	opts FileOptions
+	wal  *os.File
+	off  int64  // current WAL end offset
+	seq  uint64 // next record sequence number
+	// broken is set when an append failed and the partial write could not
+	// be rolled back: anything written after it would be unreachable
+	// garbage, so every later append fails fast instead.
+	broken error
+
+	dirty    bool      // batch mode: unsynced appends pending
+	lastSync time.Time // batch mode: last group-commit time
+
+	recovered *RecoveredState // scanned at Open, handed out by Recover
+
+	appends   atomic.Uint64
+	syncs     atomic.Uint64
+	snapshots atomic.Uint64
+}
+
+// Open opens (creating if needed) the durable store in dir. It validates
+// the whole WAL up front: a torn final record — the crash-mid-append
+// signature — is truncated away and recovery proceeds; a corrupt record
+// anywhere earlier fails Open with ErrCorrupt, because the log suffix
+// after it cannot be trusted.
+func Open(dir string, opts FileOptions) (*FileStore, error) {
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 10 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// A leftover temp snapshot is a crash mid-WriteSnapshot before the
+	// rename: the real snapshot (if any) is still the old one.
+	_ = os.Remove(filepath.Join(dir, snapTempName))
+
+	fs := &FileStore{dir: dir, opts: opts, seq: 1}
+	rs := &RecoveredState{}
+	if b, err := os.ReadFile(filepath.Join(dir, snapName)); err == nil {
+		snap, err := decodeSnapshot(b)
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot %s: %w", snapName, err)
+		}
+		rs.Snapshot = &snap
+		fs.seq = snap.Seq + 1
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fs.wal = wal
+	b, err := io.ReadAll(wal)
+	if err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: reading WAL: %w", err)
+	}
+	switch {
+	case len(b) == 0:
+		// Fresh log: write the magic and sync it so the header survives
+		// any later crash (a once-per-boot cost even with FsyncOff).
+		if _, err := wal.Write(walMagic[:]); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: writing WAL header: %w", err)
+		}
+		if err := wal.Sync(); err != nil {
+			wal.Close()
+			return nil, fmt.Errorf("store: syncing WAL header: %w", err)
+		}
+		fs.off = int64(len(walMagic))
+	case len(b) < len(walMagic):
+		// Torn header: the process died between create and magic write.
+		// Nothing could have been logged yet; heal by rewriting it.
+		if err := fs.rewriteHeader(); err != nil {
+			wal.Close()
+			return nil, err
+		}
+	case [8]byte(b[:8]) != walMagic:
+		wal.Close()
+		return nil, fmt.Errorf("%w: bad WAL magic %q", ErrCorrupt, b[:8])
+	default:
+		off := int64(len(walMagic))
+		rest := b[len(walMagic):]
+		snapSeq := uint64(0)
+		if rs.Snapshot != nil {
+			snapSeq = rs.Snapshot.Seq
+		}
+		lastSeq := snapSeq
+		for len(rest) > 0 {
+			rec, n, err := readRecord(rest)
+			if errors.Is(err, ErrTorn) {
+				// Crash mid-append: drop the tail so later appends start
+				// from a clean record boundary.
+				if terr := wal.Truncate(off); terr != nil {
+					wal.Close()
+					return nil, fmt.Errorf("store: truncating torn WAL tail: %w", terr)
+				}
+				break
+			}
+			if err != nil {
+				wal.Close()
+				return nil, fmt.Errorf("store: WAL at offset %d: %w", off, err)
+			}
+			if rec.Seq <= snapSeq {
+				// Covered by the snapshot: a crash landed between the
+				// snapshot rename and the WAL truncation. Skip it.
+			} else {
+				if rec.Seq != lastSeq+1 {
+					wal.Close()
+					return nil, fmt.Errorf("%w: WAL sequence %d after %d at offset %d",
+						ErrCorrupt, rec.Seq, lastSeq, off)
+				}
+				lastSeq = rec.Seq
+				rs.Records = append(rs.Records, rec)
+			}
+			off += int64(n)
+			rest = rest[n:]
+		}
+		fs.off = off
+		fs.seq = lastSeq + 1
+	}
+	if _, err := wal.Seek(fs.off, io.SeekStart); err != nil {
+		wal.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	fs.recovered = rs
+	fs.lastSync = time.Now()
+	return fs, nil
+}
+
+func (fs *FileStore) rewriteHeader() error {
+	if err := fs.wal.Truncate(0); err != nil {
+		return fmt.Errorf("store: truncating torn WAL header: %w", err)
+	}
+	if _, err := fs.wal.WriteAt(walMagic[:], 0); err != nil {
+		return fmt.Errorf("store: writing WAL header: %w", err)
+	}
+	if err := fs.wal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing WAL header: %w", err)
+	}
+	fs.off = int64(len(walMagic))
+	return nil
+}
+
+// Dir returns the store's directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+// Backend returns the backend label for stats reporting.
+func (fs *FileStore) Backend() string { return "file" }
+
+// Backend returns the backend label for stats reporting.
+func (*Memory) Backend() string { return "memory" }
+
+// Stats returns the cumulative counters; safe to call concurrently with
+// appends.
+func (fs *FileStore) Stats() FileStats {
+	return FileStats{
+		Appends:   fs.appends.Load(),
+		Syncs:     fs.syncs.Load(),
+		Snapshots: fs.snapshots.Load(),
+	}
+}
+
+// AppendBatch implements Store: one framed record per batch, written (and
+// per the fsync policy, synced) before the caller applies the batch.
+func (fs *FileStore) AppendBatch(muts []engine.Mutation) error {
+	if fs.broken != nil {
+		return fmt.Errorf("store: WAL unusable after failed append: %w", fs.broken)
+	}
+	buf := EncodeRecord(Record{Seq: fs.seq, Muts: muts})
+	n, err := fs.wal.Write(buf)
+	if err != nil {
+		// Roll the partial frame back so the log still ends on a record
+		// boundary; if even that fails (the ENOSPC double-fault), poison
+		// the store — appending after a partial frame would bury every
+		// later record behind a corrupt one.
+		if n > 0 {
+			if terr := fs.wal.Truncate(fs.off); terr != nil {
+				fs.broken = err
+			} else if _, serr := fs.wal.Seek(fs.off, io.SeekStart); serr != nil {
+				fs.broken = err
+			}
+		}
+		return fmt.Errorf("store: appending WAL record: %w", err)
+	}
+	fs.off += int64(n)
+	fs.seq++
+	fs.appends.Add(1)
+	switch fs.opts.Fsync {
+	case FsyncAlways:
+		if err := fs.wal.Sync(); err != nil {
+			return fmt.Errorf("store: syncing WAL: %w", err)
+		}
+		fs.syncs.Add(1)
+	case FsyncBatch:
+		fs.dirty = true
+		if now := time.Now(); now.Sub(fs.lastSync) >= fs.opts.FsyncInterval {
+			if err := fs.wal.Sync(); err != nil {
+				return fmt.Errorf("store: syncing WAL: %w", err)
+			}
+			fs.syncs.Add(1)
+			fs.dirty = false
+			fs.lastSync = now
+		}
+	}
+	return nil
+}
+
+// WriteSnapshot implements Store: the full state is written to a temp
+// file, synced, atomically renamed over the previous snapshot, and then
+// the WAL records it covers are truncated away. A crash at any point
+// leaves a recoverable store: before the rename the old snapshot + full
+// WAL stand; between rename and truncation the new snapshot's Seq makes
+// recovery skip the still-present covered records.
+func (fs *FileStore) WriteSnapshot(version uint64, gridEta float64, in *model.Instance) error {
+	data := encodeSnapshot(SnapshotData{Version: version, Seq: fs.seq - 1, GridEta: gridEta, Instance: in})
+	tmp := filepath.Join(fs.dir, snapTempName)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("store: syncing snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: closing snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(fs.dir, snapName)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing snapshot: %w", err)
+	}
+	if d, err := os.Open(fs.dir); err == nil {
+		// Sync the directory so the rename itself is durable; best-effort
+		// on filesystems that reject directory fsync.
+		_ = d.Sync()
+		d.Close()
+	}
+	fs.snapshots.Add(1)
+	// The WAL records covered by the snapshot are dead weight now.
+	if err := fs.wal.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("store: truncating WAL after snapshot: %w", err)
+	}
+	if _, err := fs.wal.Seek(int64(len(walMagic)), io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := fs.wal.Sync(); err != nil {
+		return fmt.Errorf("store: syncing truncated WAL: %w", err)
+	}
+	fs.syncs.Add(1)
+	fs.off = int64(len(walMagic))
+	fs.dirty = false
+	fs.lastSync = time.Now()
+	return nil
+}
+
+// HasState reports whether the store held any persisted state at Open (a
+// snapshot or WAL records). Callers use it to decide whether a bulk
+// preload should be ignored; only meaningful before Recover is called.
+func (fs *FileStore) HasState() bool {
+	return fs.recovered != nil && !fs.recovered.Empty()
+}
+
+// Recover implements Store, returning the state scanned at Open. It may
+// be called once; the scanned records are released afterwards.
+func (fs *FileStore) Recover() (RecoveredState, error) {
+	if fs.recovered == nil {
+		return RecoveredState{}, errors.New("store: Recover called twice")
+	}
+	rs := *fs.recovered
+	fs.recovered = nil
+	return rs, nil
+}
+
+// Close implements Store, group-committing any unsynced appends first.
+func (fs *FileStore) Close() error {
+	var err error
+	if fs.dirty && fs.opts.Fsync != FsyncOff {
+		if serr := fs.wal.Sync(); serr != nil {
+			err = fmt.Errorf("store: syncing WAL at close: %w", serr)
+		} else {
+			fs.syncs.Add(1)
+		}
+		fs.dirty = false
+	}
+	if cerr := fs.wal.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("store: %w", cerr)
+	}
+	return err
+}

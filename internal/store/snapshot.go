@@ -1,0 +1,164 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// Snapshot wire format. A snapshot file is:
+//
+//	8-byte magic "RDBSSNP1"
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// and the payload captures a full compacted engine state:
+//
+//	u64 engine version at snapshot time
+//	u64 last WAL sequence the snapshot covers (records with seq <= this
+//	    are folded in and skipped during recovery)
+//	f64 grid cell size (eta; 0 when the engine runs without the index)
+//	f64 beta | u8 wait-allowed flag
+//	u32 task count, then each task (i32 id, f64 x y start end)
+//	u32 worker count, then each worker (i32 id, f64 x y speed dirLo
+//	    dirWidth confidence depart)
+//
+// Snapshots are written to a temp file and atomically renamed into place,
+// so a crash mid-write leaves either the old snapshot or none — never a
+// partial one — and the CRC catches any rename that raced a dirty page.
+
+// SnapshotData is a decoded snapshot: the compacted engine state plus the
+// metadata recovery needs to splice the WAL suffix on top.
+type SnapshotData struct {
+	// Version is the engine version at snapshot time; recovery pins the
+	// rebuilt engine to exactly this version before replaying the suffix.
+	Version uint64
+	// Seq is the last WAL sequence number folded into the snapshot. WAL
+	// records with Seq <= this are skipped during recovery (they can
+	// survive a crash between snapshot rename and WAL truncation).
+	Seq uint64
+	// GridEta is the index cell size the engine ran with (0 without the
+	// index). Recovery pins the rebuilt grid to it, because pair
+	// enumeration order — and with it solver tie-breaking — follows the
+	// cell walk (see engine.GridEta).
+	GridEta float64
+	// Instance is the full compacted task/worker population, ID-sorted as
+	// produced by Engine.Instance.
+	Instance *model.Instance
+}
+
+var snapshotMagic = [8]byte{'R', 'D', 'B', 'S', 'S', 'N', 'P', '1'}
+
+// encodeSnapshot renders the snapshot file contents (magic + framed
+// payload).
+func encodeSnapshot(s SnapshotData) []byte {
+	in := s.Instance
+	n := 8 + 8 + 8 + 8 + 1 + 4 + len(in.Tasks)*(4+4*8) + 4 + len(in.Workers)*(4+7*8)
+	payload := make([]byte, 0, n)
+	payload = appendU64(payload, s.Version)
+	payload = appendU64(payload, s.Seq)
+	payload = appendF64(payload, s.GridEta)
+	payload = appendF64(payload, in.Beta)
+	if in.Opt.WaitAllowed {
+		payload = append(payload, 1)
+	} else {
+		payload = append(payload, 0)
+	}
+	payload = appendU32(payload, uint32(len(in.Tasks)))
+	for _, t := range in.Tasks {
+		payload = appendU32(payload, uint32(t.ID))
+		payload = appendF64(payload, t.Loc.X)
+		payload = appendF64(payload, t.Loc.Y)
+		payload = appendF64(payload, t.Start)
+		payload = appendF64(payload, t.End)
+	}
+	payload = appendU32(payload, uint32(len(in.Workers)))
+	for _, w := range in.Workers {
+		payload = appendU32(payload, uint32(w.ID))
+		payload = appendF64(payload, w.Loc.X)
+		payload = appendF64(payload, w.Loc.Y)
+		payload = appendF64(payload, w.Speed)
+		payload = appendF64(payload, w.Dir.Lo)
+		payload = appendF64(payload, w.Dir.Width)
+		payload = appendF64(payload, w.Confidence)
+		payload = appendF64(payload, w.Depart)
+	}
+	out := make([]byte, 0, len(snapshotMagic)+frameHeaderLen+len(payload))
+	out = append(out, snapshotMagic[:]...)
+	out = appendU32(out, uint32(len(payload)))
+	out = appendU32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// maxSnapshotEntities caps the declared task/worker counts so a corrupt
+// count field cannot drive a giant allocation before the per-entity bounds
+// checks kick in.
+const maxSnapshotEntities = 1 << 24
+
+// decodeSnapshot parses a full snapshot file. Unlike the WAL, a snapshot
+// has no torn-tail tolerance: the atomic rename guarantees completeness,
+// so every failure is ErrCorrupt.
+func decodeSnapshot(b []byte) (SnapshotData, error) {
+	if len(b) < len(snapshotMagic)+frameHeaderLen {
+		return SnapshotData{}, fmt.Errorf("%w: snapshot too short (%d bytes)", ErrCorrupt, len(b))
+	}
+	if [8]byte(b[:8]) != snapshotMagic {
+		return SnapshotData{}, fmt.Errorf("%w: bad snapshot magic %q", ErrCorrupt, b[:8])
+	}
+	body := b[8:]
+	ln := binary.LittleEndian.Uint32(body[0:4])
+	if uint64(ln) != uint64(len(body)-frameHeaderLen) {
+		return SnapshotData{}, fmt.Errorf("%w: snapshot payload length %d, have %d bytes",
+			ErrCorrupt, ln, len(body)-frameHeaderLen)
+	}
+	payload := body[frameHeaderLen:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(body[4:8]); got != want {
+		return SnapshotData{}, fmt.Errorf("%w: snapshot checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	r := &byteReader{b: payload}
+	s := SnapshotData{Version: r.u64(), Seq: r.u64(), GridEta: r.f64()}
+	in := &model.Instance{Beta: r.f64(), Opt: model.Options{WaitAllowed: r.u8() != 0}}
+	nt := r.u32()
+	if r.err == nil && nt > maxSnapshotEntities {
+		return SnapshotData{}, fmt.Errorf("%w: task count %d exceeds cap", ErrCorrupt, nt)
+	}
+	if r.err == nil && nt > 0 {
+		in.Tasks = make([]model.Task, 0, min(int(nt), 65536))
+	}
+	for i := uint32(0); i < nt && r.err == nil; i++ {
+		in.Tasks = append(in.Tasks, model.Task{
+			ID:    model.TaskID(int32(r.u32())),
+			Loc:   geo.Point{X: r.f64(), Y: r.f64()},
+			Start: r.f64(),
+			End:   r.f64(),
+		})
+	}
+	nw := r.u32()
+	if r.err == nil && nw > maxSnapshotEntities {
+		return SnapshotData{}, fmt.Errorf("%w: worker count %d exceeds cap", ErrCorrupt, nw)
+	}
+	if r.err == nil && nw > 0 {
+		in.Workers = make([]model.Worker, 0, min(int(nw), 65536))
+	}
+	for i := uint32(0); i < nw && r.err == nil; i++ {
+		w := model.Worker{
+			ID:  model.WorkerID(int32(r.u32())),
+			Loc: geo.Point{X: r.f64(), Y: r.f64()},
+		}
+		w.Speed = r.f64()
+		w.Dir = geo.AngInterval{Lo: r.f64(), Width: r.f64()}
+		w.Confidence = r.f64()
+		w.Depart = r.f64()
+		in.Workers = append(in.Workers, w)
+	}
+	if r.err != nil {
+		return SnapshotData{}, r.err
+	}
+	if r.off != len(payload) {
+		return SnapshotData{}, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(payload)-r.off)
+	}
+	s.Instance = in
+	return s, nil
+}

@@ -1,0 +1,106 @@
+// Package store provides the durability subsystem of the serving planes: a
+// write-ahead log of coalesced mutation batches plus periodic compacted
+// snapshots, behind a small Store interface with two backends.
+//
+// The Memory backend is a no-op — appends and snapshots vanish, recovery
+// is always empty — and preserves the historical in-RAM-only behavior; it
+// is the default. The file backend (Open) persists every mutation batch as
+// a length-prefixed, CRC32-checksummed WAL record before the batch is
+// applied (WAL-before-apply: the apply loop invokes AppendBatch first, and
+// a failed append fails the batch rather than applying it unlogged), and
+// periodically compacts the log into a full-state snapshot written with an
+// atomic rename, truncating the WAL records the snapshot covers.
+//
+// Recovery (Recover + Replay) rebuilds an engine that is exactly the
+// pre-crash one: LoadSnapshot pins the engine to the snapshot's version,
+// and replaying the WAL suffix re-applies each batch through the same
+// ApplyBatch path that produced it, so the version counter and the solve
+// answers come back identical. A torn final record — the signature of a
+// crash mid-append — is tolerated and truncated; corruption anywhere
+// earlier is a hard error, because the suffix after a bad record cannot be
+// trusted.
+package store
+
+import (
+	"fmt"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// Store is the durability boundary the serving planes write through. One
+// Store instance backs exactly one engine (one shard); implementations
+// need not be safe for concurrent use — the single-writer apply loop is
+// the only caller of AppendBatch, and WriteSnapshot/Recover/Close happen
+// on the same goroutine or with the loop quiesced.
+type Store interface {
+	// AppendBatch durably logs one coalesced mutation batch. The apply
+	// loop calls it BEFORE applying the batch; an error means the batch
+	// must not be applied (the caller surfaces it to clients, e.g. as a
+	// 503) so no acknowledged mutation is ever unlogged.
+	AppendBatch(muts []engine.Mutation) error
+	// WriteSnapshot persists the full compacted state at the given engine
+	// version — along with the index cell size gridEta, which recovery
+	// pins so pair enumeration order survives the restart — and truncates
+	// the WAL records it covers.
+	WriteSnapshot(version uint64, gridEta float64, in *model.Instance) error
+	// Recover returns the persisted state: the newest snapshot (if any)
+	// plus the WAL records appended after it, in order.
+	Recover() (RecoveredState, error)
+	// Close releases the backing resources, syncing any buffered appends
+	// first.
+	Close() error
+}
+
+// RecoveredState is everything a Store holds at boot.
+type RecoveredState struct {
+	// Snapshot is the newest compacted state, nil when none was written.
+	Snapshot *SnapshotData
+	// Records are the WAL batches appended after the snapshot (all
+	// batches when Snapshot is nil), in append order.
+	Records []Record
+}
+
+// Empty reports whether the store held no persisted state at all — the
+// signal that a bulk-loaded initial instance should seed it.
+func (rs RecoveredState) Empty() bool {
+	return rs.Snapshot == nil && len(rs.Records) == 0
+}
+
+// Replay rebuilds the recovered state into an empty engine: the snapshot
+// is bulk-loaded with the version pinned (engine.LoadSnapshot), then each
+// WAL batch re-applies through ApplyBatch — the same path that produced
+// it, so no-op batches no-op again and the version counter lands exactly
+// where it was. It returns the number of WAL batches replayed.
+func Replay(rs RecoveredState, eng *engine.Engine) (batches int, err error) {
+	if rs.Snapshot != nil {
+		if err := eng.LoadSnapshot(rs.Snapshot.Instance, rs.Snapshot.Version, rs.Snapshot.GridEta); err != nil {
+			return 0, fmt.Errorf("store: loading snapshot: %w", err)
+		}
+	}
+	for _, rec := range rs.Records {
+		eng.ApplyBatch(rec.Muts)
+		batches++
+	}
+	return batches, nil
+}
+
+// Memory is the no-op backend: nothing persists, recovery is always
+// empty. It keeps the memory-only serving behavior (and its data loss on
+// restart) as the explicit default.
+type Memory struct{}
+
+// NewMemory returns the no-op backend.
+func NewMemory() *Memory { return &Memory{} }
+
+// AppendBatch implements Store as a no-op.
+func (*Memory) AppendBatch([]engine.Mutation) error { return nil }
+
+// WriteSnapshot implements Store as a no-op.
+func (*Memory) WriteSnapshot(uint64, float64, *model.Instance) error { return nil }
+
+// Recover implements Store; memory recovery is always empty.
+func (*Memory) Recover() (RecoveredState, error) { return RecoveredState{}, nil }
+
+// Close implements Store as a no-op.
+func (*Memory) Close() error { return nil }

@@ -1,0 +1,563 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// testRecord carries every mutation op plus the float edge cases the raw
+// IEEE-754 encoding must round-trip (NaN, signed zero, infinities).
+func testRecord(seq uint64) Record {
+	return Record{Seq: seq, Muts: []engine.Mutation{
+		engine.TaskUpsert(model.Task{ID: 7, Loc: geo.Pt(0.25, -0.0), Start: math.NaN(), End: math.Inf(1)}),
+		engine.TaskRemoval(-3),
+		engine.WorkerUpsert(model.Worker{
+			ID: 9, Loc: geo.Pt(1e-300, 0.75), Speed: 1.5, Dir: geo.AngInterval{Lo: 0.1, Width: math.Pi},
+			Confidence: 0.9, Depart: math.Inf(-1),
+		}),
+		engine.WorkerRemoval(12),
+	}}
+}
+
+// recordsEqual compares via the canonical encoding, which treats NaN
+// payloads bit-exactly where reflect.DeepEqual would not.
+func recordsEqual(a, b Record) bool {
+	return bytes.Equal(EncodeRecord(a), EncodeRecord(b))
+}
+
+func randMut(rng *rand.Rand) engine.Mutation {
+	switch rng.Intn(4) {
+	case 0:
+		return engine.TaskUpsert(model.Task{
+			ID: model.TaskID(rng.Intn(40)), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+			Start: 0, End: rng.Float64() * 6,
+		})
+	case 1:
+		return engine.TaskRemoval(model.TaskID(rng.Intn(40)))
+	case 2:
+		return engine.WorkerUpsert(model.Worker{
+			ID: model.WorkerID(rng.Intn(40)), Loc: geo.Pt(rng.Float64(), rng.Float64()),
+			Speed: 0.5 + rng.Float64(), Dir: geo.FullCircle,
+			Confidence: 0.5 + 0.5*rng.Float64(), Depart: 1 + rng.Float64()*8,
+		})
+	default:
+		return engine.WorkerRemoval(model.WorkerID(rng.Intn(40)))
+	}
+}
+
+func randBatch(rng *rand.Rand) []engine.Mutation {
+	muts := make([]engine.Mutation, 1+rng.Intn(6))
+	for i := range muts {
+		muts[i] = randMut(rng)
+	}
+	return muts
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, rec := range []Record{
+		{Seq: 1},       // empty batch
+		testRecord(42), // every op + float edge cases
+		{Seq: 1 << 60, Muts: []engine.Mutation{engine.TaskRemoval(0)}},
+	} {
+		enc := EncodeRecord(rec)
+		dec, err := DecodeRecord(enc)
+		if err != nil {
+			t.Fatalf("DecodeRecord(EncodeRecord(%+v)): %v", rec, err)
+		}
+		if dec.Seq != rec.Seq || len(dec.Muts) != len(rec.Muts) {
+			t.Fatalf("decoded seq=%d muts=%d, want seq=%d muts=%d", dec.Seq, len(dec.Muts), rec.Seq, len(rec.Muts))
+		}
+		if re := EncodeRecord(dec); !bytes.Equal(re, enc) {
+			t.Fatalf("re-encoding differs from original (%d vs %d bytes)", len(re), len(enc))
+		}
+	}
+}
+
+// TestDecodeRejectsBitFlips pins the checksum contract: any single-bit
+// corruption of a valid record must fail to decode — either as ErrCorrupt
+// (checksum/structure) or ErrTorn (a length-field flip declaring a longer
+// frame). No flip may decode successfully.
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	enc := EncodeRecord(testRecord(3))
+	for byteIdx := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), enc...)
+			mut[byteIdx] ^= 1 << bit
+			if _, err := DecodeRecord(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded successfully", byteIdx, bit)
+			}
+		}
+	}
+}
+
+func TestDecodeTruncationIsTorn(t *testing.T) {
+	enc := EncodeRecord(testRecord(5))
+	for cut := 0; cut < len(enc); cut++ {
+		_, err := DecodeRecord(enc[:cut])
+		if err == nil {
+			t.Fatalf("truncation to %d bytes decoded successfully", cut)
+		}
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrTorn", cut, err)
+		}
+	}
+	// Trailing bytes after a complete record are corruption, not tearing:
+	// DecodeRecord demands exactly one record.
+	if _, err := DecodeRecord(append(append([]byte(nil), enc...), 0)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte: got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSnapshotCodecRejectsCorruption(t *testing.T) {
+	in := &model.Instance{
+		Tasks:   []model.Task{{ID: 1, Loc: geo.Pt(0.1, 0.2), Start: 0, End: 4}},
+		Workers: []model.Worker{{ID: 2, Loc: geo.Pt(0.3, 0.4), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9, Depart: 6}},
+		Beta:    0.5,
+	}
+	enc := encodeSnapshot(SnapshotData{Version: 17, Seq: 9, GridEta: 0.25, Instance: in})
+	snap, err := decodeSnapshot(enc)
+	if err != nil {
+		t.Fatalf("decodeSnapshot(encodeSnapshot): %v", err)
+	}
+	if snap.Version != 17 || snap.Seq != 9 || !reflect.DeepEqual(snap.Instance, in) {
+		t.Fatalf("snapshot round-trip mismatch: %+v", snap)
+	}
+	for byteIdx := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[byteIdx] ^= 0x40
+		if _, err := decodeSnapshot(mut); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("snapshot byte flip at %d: got %v, want ErrCorrupt", byteIdx, err)
+		}
+	}
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := decodeSnapshot(enc[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("snapshot truncated to %d bytes: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+func TestParseFsyncMode(t *testing.T) {
+	for _, mode := range []FsyncMode{FsyncAlways, FsyncBatch, FsyncOff} {
+		got, err := ParseFsyncMode(mode.String())
+		if err != nil || got != mode {
+			t.Errorf("ParseFsyncMode(%q) = %v, %v", mode.String(), got, err)
+		}
+	}
+	if _, err := ParseFsyncMode("sometimes"); err == nil {
+		t.Error("ParseFsyncMode accepted an unknown mode")
+	}
+}
+
+func TestMemoryStoreIsNoOp(t *testing.T) {
+	m := NewMemory()
+	if err := m.AppendBatch([]engine.Mutation{engine.TaskRemoval(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteSnapshot(5, 0, &model.Instance{}); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := m.Recover()
+	if err != nil || !rs.Empty() {
+		t.Fatalf("memory Recover = %+v, %v; want empty", rs, err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func openT(t *testing.T, dir string, opts FileOptions) *FileStore {
+	t.Helper()
+	fs, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return fs
+}
+
+func TestFileStoreAppendCloseRecover(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	var batches [][]engine.Mutation
+	fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	if fs.HasState() {
+		t.Fatal("fresh store reports state")
+	}
+	for i := 0; i < 5; i++ {
+		b := randBatch(rng)
+		batches = append(batches, b)
+		if err := fs.AppendBatch(b); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2 := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	if !fs2.HasState() {
+		t.Fatal("reopened store reports no state")
+	}
+	rs, err := fs2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Snapshot != nil || len(rs.Records) != len(batches) {
+		t.Fatalf("recovered snapshot=%v records=%d, want nil snapshot, %d records", rs.Snapshot, len(rs.Records), len(batches))
+	}
+	for i, rec := range rs.Records {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d, want %d", i, rec.Seq, i+1)
+		}
+		if !recordsEqual(rec, Record{Seq: rec.Seq, Muts: batches[i]}) {
+			t.Fatalf("record %d mutations differ from appended batch", i)
+		}
+	}
+	if _, err := fs2.Recover(); err == nil {
+		t.Fatal("second Recover succeeded")
+	}
+	// Appends continue the sequence after recovery.
+	if err := fs2.AppendBatch(randBatch(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs3 := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	rs3, err := fs3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs3.Records) != 6 || rs3.Records[5].Seq != 6 {
+		t.Fatalf("after post-recovery append: %d records, last seq %d; want 6, 6", len(rs3.Records), rs3.Records[len(rs3.Records)-1].Seq)
+	}
+	fs3.Close()
+}
+
+// TestFileStoreTornTailHealed pins the crash-mid-append path: a partial
+// frame at the end of the WAL is truncated away at Open, the complete
+// prefix is recovered, and the log accepts appends again.
+func TestFileStoreTornTailHealed(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(2))
+	fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	for i := 0; i < 2; i++ {
+		if err := fs.AppendBatch(randBatch(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn append: a full frame cut mid-payload, as a crash between the
+	// kernel accepting part of a write and the rest would leave it.
+	frame := EncodeRecord(Record{Seq: 3, Muts: randBatch(rng)})
+	walPath := filepath.Join(dir, walName)
+	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)-5]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	fs2 := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	rs, err := fs2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 2 {
+		t.Fatalf("recovered %d records through a torn tail, want 2", len(rs.Records))
+	}
+	// The tail must be gone from disk, and the next append reuses seq 3.
+	if err := fs2.AppendBatch(randBatch(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs3 := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	rs3, err := fs3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs3.Records) != 3 || rs3.Records[2].Seq != 3 {
+		t.Fatalf("after heal+append: %d records, want 3 ending at seq 3", len(rs3.Records))
+	}
+	fs3.Close()
+}
+
+// TestFileStoreTornHeaderHealed covers a crash between WAL creation and the
+// magic write: the file exists but is shorter than the magic.
+func TestFileStoreTornHeaderHealed(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walName), []byte("RDB"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	rs, err := fs.Recover()
+	if err != nil || !rs.Empty() {
+		t.Fatalf("torn-header store recovered %+v, %v; want empty", rs, err)
+	}
+	if err := fs.AppendBatch([]engine.Mutation{engine.TaskRemoval(1)}); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+}
+
+func TestFileStoreCorruptRecordFailsOpen(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	for i := 0; i < 2; i++ {
+		if err := fs.AppendBatch(randBatch(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	b, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the FIRST record (just past magic + frame
+	// header): complete-but-invalid, which recovery must refuse.
+	b[len(walMagic)+frameHeaderLen] ^= 0xff
+	if err := os.WriteFile(walPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, FileOptions{Fsync: FsyncOff}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over a corrupt record: %v, want ErrCorrupt", err)
+	}
+
+	// Bad magic is equally fatal.
+	copy(b, "XXXXXXXX")
+	if err := os.WriteFile(walPath, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, FileOptions{Fsync: FsyncOff}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open over bad magic: %v, want ErrCorrupt", err)
+	}
+}
+
+func newTestEngine() *engine.Engine {
+	return engine.New(engine.Config{Beta: 0.5, BetaSet: true})
+}
+
+// TestSnapshotCompactionEquivalence is the central recovery property:
+// recovering from (snapshot + suffix WAL) yields an engine identical — same
+// version, same instance — to recovering the same history from a full WAL,
+// and both match the engine that lived through the history. Randomized over
+// histories and snapshot cut points.
+func TestSnapshotCompactionEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nBatches := 8 + rng.Intn(8)
+		cut := 1 + rng.Intn(nBatches-1) // snapshot after this many batches
+
+		live := newTestEngine()
+		dirSnap, dirFull := t.TempDir(), t.TempDir()
+		fsSnap := openT(t, dirSnap, FileOptions{Fsync: FsyncOff})
+		fsFull := openT(t, dirFull, FileOptions{Fsync: FsyncOff})
+		for i := 0; i < nBatches; i++ {
+			b := randBatch(rng)
+			if err := fsSnap.AppendBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			if err := fsFull.AppendBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			live.ApplyBatch(b)
+			if i+1 == cut {
+				if err := fsSnap.WriteSnapshot(live.Version(), live.GridEta(), live.Instance()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := fsSnap.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsFull.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		recover := func(dir string) *engine.Engine {
+			t.Helper()
+			fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+			defer fs.Close()
+			rs, err := fs.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := newTestEngine()
+			if _, err := Replay(rs, eng); err != nil {
+				t.Fatal(err)
+			}
+			return eng
+		}
+		fromSnap, fromFull := recover(dirSnap), recover(dirFull)
+		for name, eng := range map[string]*engine.Engine{"snapshot+suffix": fromSnap, "full WAL": fromFull} {
+			if eng.Version() != live.Version() {
+				t.Fatalf("seed %d: %s recovered version %d, want %d", seed, name, eng.Version(), live.Version())
+			}
+			if !reflect.DeepEqual(eng.Instance(), live.Instance()) {
+				t.Fatalf("seed %d: %s recovered instance differs from live engine", seed, name)
+			}
+		}
+	}
+}
+
+// TestSnapshotRenameCrashWindow simulates a crash between the snapshot
+// rename and the WAL truncation: the WAL still holds records the snapshot
+// covers, and recovery must skip them instead of double-applying.
+func TestSnapshotRenameCrashWindow(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(4))
+	live := newTestEngine()
+	fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	for i := 0; i < 3; i++ {
+		b := randBatch(rng)
+		if err := fs.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+		live.ApplyBatch(b)
+	}
+	walPath := filepath.Join(dir, walName)
+	preSnapshotWAL, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteSnapshot(live.Version(), live.GridEta(), live.Instance()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Undo the truncation: snapshot installed, covered records still live.
+	if err := os.WriteFile(walPath, preSnapshotWAL, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2 := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	rs, err := fs2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Snapshot == nil || len(rs.Records) != 0 {
+		t.Fatalf("recovered snapshot=%v records=%d, want snapshot and 0 records", rs.Snapshot, len(rs.Records))
+	}
+	eng := newTestEngine()
+	if _, err := Replay(rs, eng); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Version() != live.Version() || !reflect.DeepEqual(eng.Instance(), live.Instance()) {
+		t.Fatalf("crash-window recovery diverged: version %d vs %d", eng.Version(), live.Version())
+	}
+	// The next append must continue past the covered sequence numbers.
+	if err := fs2.AppendBatch(randBatch(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs3 := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	rs3, err := fs3.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs3.Records) != 1 || rs3.Records[0].Seq != 4 {
+		t.Fatalf("post-window append recovered %d records (first seq %v), want 1 at seq 4", len(rs3.Records), rs3.Records)
+	}
+	fs3.Close()
+}
+
+// TestFileStoreTempSnapshotCleanup: a crash mid-WriteSnapshot leaves a temp
+// file; Open must discard it and keep the previous snapshot.
+func TestFileStoreTempSnapshotCleanup(t *testing.T) {
+	dir := t.TempDir()
+	fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	if err := fs.AppendBatch([]engine.Mutation{engine.TaskRemoval(1)}); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	tmp := filepath.Join(dir, snapTempName)
+	if err := os.WriteFile(tmp, []byte("partial snapshot junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("temp snapshot survived Open: %v", err)
+	}
+	rs, err := fs2.Recover()
+	if err != nil || len(rs.Records) != 1 {
+		t.Fatalf("recovery after temp cleanup: %d records, %v", len(rs.Records), err)
+	}
+	fs2.Close()
+}
+
+// TestFileStoreAppendFailureSurfaces: once the WAL is unwritable the append
+// error must reach the caller (the apply loop turns it into a 503) instead
+// of being swallowed.
+func TestFileStoreAppendFailureSurfaces(t *testing.T) {
+	dir := t.TempDir()
+	fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	// Close the descriptor out from under the store: every append now fails
+	// the way a dead disk or ENOSPC would.
+	if err := fs.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.AppendBatch([]engine.Mutation{engine.TaskRemoval(1)}); err == nil {
+		t.Fatal("append on a closed WAL succeeded")
+	}
+}
+
+func TestFsyncAccounting(t *testing.T) {
+	dir := t.TempDir()
+	fs := openT(t, dir, FileOptions{Fsync: FsyncAlways})
+	for i := 0; i < 3; i++ {
+		if err := fs.AppendBatch([]engine.Mutation{engine.TaskRemoval(model.TaskID(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := fs.Stats()
+	if st.Appends != 3 || st.Syncs != 3 {
+		t.Fatalf("always mode: %+v, want 3 appends and 3 syncs", st)
+	}
+	fs.Close()
+
+	// Batch mode with an hour-long window: appends stay dirty, Close
+	// group-commits exactly once.
+	fs2 := openT(t, t.TempDir(), FileOptions{Fsync: FsyncBatch, FsyncInterval: time.Hour})
+	for i := 0; i < 3; i++ {
+		if err := fs2.AppendBatch([]engine.Mutation{engine.TaskRemoval(model.TaskID(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := fs2.Stats(); st.Syncs != 0 {
+		t.Fatalf("batch mode synced %d times inside the window, want 0", st.Syncs)
+	}
+	if err := fs2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := fs2.Stats(); st.Syncs != 1 {
+		t.Fatalf("batch-mode Close synced %d times, want 1", st.Syncs)
+	}
+}

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"rdbsc/internal/engine"
+	"rdbsc/internal/geo"
+	"rdbsc/internal/model"
+)
+
+// WAL record wire format. Every record is one framed entry:
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// and the payload is a fixed-width little-endian encoding of one coalesced
+// mutation batch:
+//
+//	u8 record kind (recordBatch)
+//	u64 sequence number (strictly increasing per append, 1-based)
+//	u32 mutation count
+//	per mutation: u8 op, then the op's fields (IDs as i32, floats as raw
+//	IEEE-754 bits — NaNs and signed zeros round-trip exactly)
+//
+// The encoding is canonical: every field is fixed-width, the op and kind
+// bytes are validated, and DecodeRecord requires the payload to be consumed
+// exactly — so Encode(Decode(b)) == b for every b that decodes, which is
+// what the FuzzWALDecode round-trip property pins.
+const (
+	// recordBatch is the only record kind today; the byte exists so future
+	// kinds (e.g. a routing epoch marker) stay decodable.
+	recordBatch = 1
+
+	frameHeaderLen = 8 // u32 length + u32 crc
+
+	// maxRecordPayload caps a record's declared payload length. A batch is
+	// bounded by the apply loop's BatchMax (256 by default), so anything
+	// near this cap is corruption, and the cap keeps a corrupt length field
+	// from driving a giant allocation during recovery or fuzzing.
+	maxRecordPayload = 16 << 20
+
+	// maxBatchMuts caps the declared mutation count for the same reason.
+	maxBatchMuts = 1 << 20
+)
+
+// Errors reported by the WAL decoding layer.
+var (
+	// ErrTorn marks an incomplete record at the end of the buffer: the
+	// declared frame extends past the available bytes. A torn tail is the
+	// signature of a crash mid-append; recovery tolerates it by truncating
+	// the log at the last complete record.
+	ErrTorn = errors.New("store: torn WAL record")
+	// ErrCorrupt marks a structurally complete record that fails
+	// validation (checksum mismatch, bad kind or op byte, inconsistent
+	// lengths). Corruption anywhere before the tail is a hard recovery
+	// error: the suffix cannot be trusted.
+	ErrCorrupt = errors.New("store: corrupt WAL record")
+)
+
+// Record is one decoded WAL entry: a coalesced mutation batch and its
+// append sequence number.
+type Record struct {
+	Seq  uint64
+	Muts []engine.Mutation
+}
+
+// mutEncodedLen returns the fixed encoded size of one mutation.
+func mutEncodedLen(m engine.Mutation) int {
+	switch m.Op {
+	case engine.OpUpsertTask:
+		return 1 + 4 + 4*8
+	case engine.OpUpsertWorker:
+		return 1 + 4 + 7*8
+	default: // removals carry only the ID
+		return 1 + 4
+	}
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+// EncodeRecord renders the record as one framed WAL entry.
+func EncodeRecord(rec Record) []byte {
+	n := 1 + 8 + 4
+	for _, m := range rec.Muts {
+		n += mutEncodedLen(m)
+	}
+	payload := make([]byte, 0, n)
+	payload = append(payload, recordBatch)
+	payload = appendU64(payload, rec.Seq)
+	payload = appendU32(payload, uint32(len(rec.Muts)))
+	for _, m := range rec.Muts {
+		payload = append(payload, byte(m.Op))
+		switch m.Op {
+		case engine.OpUpsertTask:
+			payload = appendU32(payload, uint32(m.Task.ID))
+			payload = appendF64(payload, m.Task.Loc.X)
+			payload = appendF64(payload, m.Task.Loc.Y)
+			payload = appendF64(payload, m.Task.Start)
+			payload = appendF64(payload, m.Task.End)
+		case engine.OpRemoveTask:
+			payload = appendU32(payload, uint32(m.TaskID))
+		case engine.OpUpsertWorker:
+			payload = appendU32(payload, uint32(m.Worker.ID))
+			payload = appendF64(payload, m.Worker.Loc.X)
+			payload = appendF64(payload, m.Worker.Loc.Y)
+			payload = appendF64(payload, m.Worker.Speed)
+			payload = appendF64(payload, m.Worker.Dir.Lo)
+			payload = appendF64(payload, m.Worker.Dir.Width)
+			payload = appendF64(payload, m.Worker.Confidence)
+			payload = appendF64(payload, m.Worker.Depart)
+		case engine.OpRemoveWorker:
+			payload = appendU32(payload, uint32(m.WorkerID))
+		default:
+			panic(fmt.Sprintf("store: unknown mutation op %d", m.Op))
+		}
+	}
+	out := make([]byte, frameHeaderLen, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// byteReader walks a payload with bounds checking.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("%w: payload truncated at offset %d", ErrCorrupt, r.off)
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *byteReader) u8() byte {
+	s := r.take(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+
+func (r *byteReader) u32() uint32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(s)
+}
+
+func (r *byteReader) u64() uint64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(s)
+}
+
+func (r *byteReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// decodePayload parses a record payload, requiring exact consumption.
+func decodePayload(payload []byte) (Record, error) {
+	r := &byteReader{b: payload}
+	if kind := r.u8(); r.err == nil && kind != recordBatch {
+		return Record{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+	}
+	rec := Record{Seq: r.u64()}
+	n := r.u32()
+	if r.err == nil && n > maxBatchMuts {
+		return Record{}, fmt.Errorf("%w: mutation count %d exceeds cap", ErrCorrupt, n)
+	}
+	if r.err == nil && n > 0 {
+		rec.Muts = make([]engine.Mutation, 0, min(int(n), 4096))
+	}
+	for i := uint32(0); i < n && r.err == nil; i++ {
+		var m engine.Mutation
+		m.Op = engine.Op(r.u8())
+		switch m.Op {
+		case engine.OpUpsertTask:
+			m.Task = model.Task{
+				ID:    model.TaskID(int32(r.u32())),
+				Loc:   geo.Point{X: r.f64(), Y: r.f64()},
+				Start: r.f64(),
+				End:   r.f64(),
+			}
+		case engine.OpRemoveTask:
+			m.TaskID = model.TaskID(int32(r.u32()))
+		case engine.OpUpsertWorker:
+			m.Worker = model.Worker{
+				ID:  model.WorkerID(int32(r.u32())),
+				Loc: geo.Point{X: r.f64(), Y: r.f64()},
+			}
+			m.Worker.Speed = r.f64()
+			m.Worker.Dir = geo.AngInterval{Lo: r.f64(), Width: r.f64()}
+			m.Worker.Confidence = r.f64()
+			m.Worker.Depart = r.f64()
+		case engine.OpRemoveWorker:
+			m.WorkerID = model.WorkerID(int32(r.u32()))
+		default:
+			return Record{}, fmt.Errorf("%w: unknown mutation op %d", ErrCorrupt, m.Op)
+		}
+		rec.Muts = append(rec.Muts, m)
+	}
+	if r.err != nil {
+		return Record{}, r.err
+	}
+	if r.off != len(payload) {
+		return Record{}, fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(payload)-r.off)
+	}
+	return rec, nil
+}
+
+// readRecord parses one framed record at the head of b, returning the
+// bytes consumed. ErrTorn means b ends before the declared frame does (the
+// crash-mid-append signature); ErrCorrupt means the frame is complete but
+// invalid.
+func readRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderLen {
+		return Record{}, 0, fmt.Errorf("%w: %d header bytes", ErrTorn, len(b))
+	}
+	ln := binary.LittleEndian.Uint32(b[0:4])
+	if ln > maxRecordPayload {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d exceeds cap", ErrCorrupt, ln)
+	}
+	if uint64(len(b)-frameHeaderLen) < uint64(ln) {
+		return Record{}, 0, fmt.Errorf("%w: %d of %d payload bytes", ErrTorn, len(b)-frameHeaderLen, ln)
+	}
+	payload := b[frameHeaderLen : frameHeaderLen+int(ln)]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(b[4:8]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorrupt, got, want)
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, frameHeaderLen + int(ln), nil
+}
+
+// DecodeRecord parses exactly one framed record occupying all of b. It is
+// the fuzzing entry point: arbitrary input must never panic, and every
+// input it accepts must re-encode byte-identically.
+func DecodeRecord(b []byte) (Record, error) {
+	rec, n, err := readRecord(b)
+	if err != nil {
+		return Record{}, err
+	}
+	if n != len(b) {
+		return Record{}, fmt.Errorf("%w: %d trailing bytes after record", ErrCorrupt, len(b)-n)
+	}
+	return rec, nil
+}

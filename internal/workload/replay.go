@@ -52,6 +52,16 @@ type ReplayConfig struct {
 	// RetryBackoff is the first retry's base delay (default 5ms; doubles per
 	// attempt, each wait jittered uniformly over [base/2, base)).
 	RetryBackoff time.Duration
+	// ExpectRestart tolerates a bounded server outage mid-replay: transport
+	// failures (connection refused/reset while the server is down between a
+	// kill and a restart) are absorbed as ConnErrors in the load record
+	// instead of counting as mutation/solve errors, as long as the outage
+	// stays within RestartWindow. Any successful response closes the window;
+	// failures past the window count as real errors again.
+	ExpectRestart bool
+	// RestartWindow bounds a tolerated outage under ExpectRestart (default
+	// 10s). Measured from the first failure of the current outage.
+	RestartWindow time.Duration
 }
 
 func (c ReplayConfig) withDefaults() ReplayConfig {
@@ -73,6 +83,9 @@ func (c ReplayConfig) withDefaults() ReplayConfig {
 	if c.Retry429 > 0 && c.RetryBackoff <= 0 {
 		c.RetryBackoff = 5 * time.Millisecond
 	}
+	if c.ExpectRestart && c.RestartWindow <= 0 {
+		c.RestartWindow = 10 * time.Second
+	}
 	return c
 }
 
@@ -88,6 +101,14 @@ type replayStats struct {
 	solveErr                         int
 	mutLatMS, solveLatMS             []float64
 	maxLagMS                         float64
+
+	// Restart-tolerance accounting (ExpectRestart mode). outageStart is the
+	// first failure of the current outage; zero when the server is reachable.
+	expectRestart bool
+	restartWindow time.Duration
+	outageStart   time.Time
+	connErrs      int
+	maxOutageMS   float64
 }
 
 // request classes for record().
@@ -99,6 +120,29 @@ const (
 func (st *replayStats) record(class int, latMS float64, status int, partial bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	if st.expectRestart {
+		if err != nil {
+			now := time.Now()
+			if st.outageStart.IsZero() {
+				st.outageStart = now
+			}
+			if d := now.Sub(st.outageStart); d <= st.restartWindow {
+				st.connErrs++
+				if ms := float64(d) / float64(time.Millisecond); ms > st.maxOutageMS {
+					st.maxOutageMS = ms
+				}
+				return // absorbed: not a mutation/solve error
+			}
+			// Outage outlived the window — fall through as a real error.
+		} else if !st.outageStart.IsZero() {
+			// Server is back: the outage is over, future failures start a
+			// fresh window.
+			if ms := float64(time.Since(st.outageStart)) / float64(time.Millisecond); ms > st.maxOutageMS {
+				st.maxOutageMS = ms
+			}
+			st.outageStart = time.Time{}
+		}
+	}
 	switch class {
 	case classMutation:
 		switch {
@@ -219,7 +263,7 @@ func Replay(ctx context.Context, tr *Trace, cfg ReplayConfig) (*benchreport.Repo
 	}
 	sortSchedule(sched)
 
-	st := &replayStats{}
+	st := &replayStats{expectRestart: cfg.ExpectRestart, restartWindow: cfg.RestartWindow}
 	var lastSolve struct {
 		mu   sync.Mutex
 		resp serve.SolveResponse
@@ -318,6 +362,8 @@ func Replay(ctx context.Context, tr *Trace, cfg ReplayConfig) (*benchreport.Repo
 		MutationsPerSecond: float64(st.mutOK) / wall.Seconds(),
 		MutationMS:         benchreport.Summarize(st.mutLatMS),
 		MaxScheduleLagMS:   st.maxLagMS,
+		ConnErrors:         st.connErrs,
+		MaxOutageMS:        st.maxOutageMS,
 	}
 	lastSolve.mu.Lock()
 	if lastSolve.ok {

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestExpectRestartAbsorbsOutage pins the -expect-restart accounting:
+// transport failures inside the restart window are absorbed as connection
+// errors (never counted against mutations or solves), a success closes the
+// outage, and a later outage opens a fresh window.
+func TestExpectRestartAbsorbsOutage(t *testing.T) {
+	st := &replayStats{expectRestart: true, restartWindow: time.Hour}
+	boom := errors.New("connection refused")
+
+	st.record(classMutation, 1, http.StatusOK, false, nil)
+	st.record(classMutation, 0, 0, false, boom)
+	st.record(classSolve, 0, 0, false, boom)
+	if st.outageStart.IsZero() {
+		t.Fatal("failures under expectRestart did not open an outage window")
+	}
+	st.record(classMutation, 1, http.StatusOK, false, nil) // server is back
+
+	if !st.outageStart.IsZero() {
+		t.Error("a success did not close the outage window")
+	}
+	if st.connErrs != 2 {
+		t.Errorf("connErrs = %d, want 2 absorbed failures", st.connErrs)
+	}
+	if st.mutErr != 0 || st.solveErr != 0 {
+		t.Errorf("absorbed failures leaked into error counters: mutErr=%d solveErr=%d", st.mutErr, st.solveErr)
+	}
+	if st.mutOK != 2 {
+		t.Errorf("mutOK = %d, want 2", st.mutOK)
+	}
+
+	// A second outage opens its own window.
+	st.record(classMutation, 0, 0, false, boom)
+	if st.connErrs != 3 {
+		t.Errorf("connErrs = %d after a fresh outage, want 3", st.connErrs)
+	}
+	if st.outageStart.IsZero() {
+		t.Error("fresh outage did not reopen the window")
+	}
+}
+
+// TestExpectRestartWindowExpiry: an outage older than the window stops being
+// absorbed — subsequent failures count as real errors again.
+func TestExpectRestartWindowExpiry(t *testing.T) {
+	st := &replayStats{expectRestart: true, restartWindow: 50 * time.Millisecond}
+	boom := errors.New("connection refused")
+
+	st.record(classMutation, 0, 0, false, boom)
+	if st.connErrs != 1 || st.mutErr != 0 {
+		t.Fatalf("first failure: connErrs=%d mutErr=%d, want 1/0", st.connErrs, st.mutErr)
+	}
+	// Backdate the outage past the window instead of sleeping.
+	st.outageStart = time.Now().Add(-time.Second)
+	st.record(classMutation, 0, 0, false, boom)
+	st.record(classSolve, 0, 0, false, boom)
+	if st.connErrs != 1 {
+		t.Errorf("connErrs = %d, want 1 (expired outages are not absorbed)", st.connErrs)
+	}
+	if st.mutErr != 1 || st.solveErr != 1 {
+		t.Errorf("expired-outage failures: mutErr=%d solveErr=%d, want 1/1", st.mutErr, st.solveErr)
+	}
+	// Recovery still records the full outage length, even an over-window one.
+	st.record(classMutation, 1, http.StatusOK, false, nil)
+	if st.maxOutageMS < 900 {
+		t.Errorf("maxOutageMS = %v after recovery, want >= 900 for a backdated 1s outage", st.maxOutageMS)
+	}
+}
+
+// TestExpectRestartOffIsUntouched: without the flag, failures hit the
+// ordinary error counters and no outage state accrues.
+func TestExpectRestartOffIsUntouched(t *testing.T) {
+	st := &replayStats{}
+	st.record(classMutation, 0, 0, false, errors.New("refused"))
+	st.record(classSolve, 0, 0, false, errors.New("refused"))
+	if st.connErrs != 0 || st.maxOutageMS != 0 {
+		t.Errorf("restart accounting ran without expectRestart: connErrs=%d maxOutageMS=%v", st.connErrs, st.maxOutageMS)
+	}
+	if st.mutErr != 1 || st.solveErr != 1 {
+		t.Errorf("mutErr=%d solveErr=%d, want 1/1", st.mutErr, st.solveErr)
+	}
+}
+
+// TestReplayConfigRestartDefaults pins the default window.
+func TestReplayConfigRestartDefaults(t *testing.T) {
+	c := ReplayConfig{ExpectRestart: true}.withDefaults()
+	if c.RestartWindow != 10*time.Second {
+		t.Errorf("default RestartWindow = %v, want 10s", c.RestartWindow)
+	}
+	if got := (ReplayConfig{}).withDefaults().RestartWindow; got != 0 {
+		t.Errorf("RestartWindow defaulted to %v without ExpectRestart, want 0", got)
+	}
+}
