@@ -97,6 +97,14 @@ type shard struct {
 	snap  atomic.Pointer[engine.Snapshot]
 	store store.Store
 
+	// epochs tracks each live entity's recency stamp (the Epoch of its last
+	// applied upsert). It is folded into every snapshot the shard writes,
+	// so after a crash the registry rebuild can compare the two copies a
+	// half-done cross-shard move leaves behind and keep the newer one.
+	// Touched single-threaded at boot, then only on this shard's loop
+	// goroutine.
+	epochs store.EntityEpochs
+
 	// snapEvery/batchesSince drive periodic WAL compaction; touched only
 	// on this shard's loop goroutine.
 	snapEvery    int
@@ -125,11 +133,18 @@ type Cluster struct {
 	// upserts that change an entity's tile ("moves") retire the stale copy
 	// from the old shard. Enqueues happen under mu in registry order, and
 	// each shard's queue is FIFO, so per-entity mutation order is preserved
-	// cluster-wide.
+	// cluster-wide. The one asynchronous enqueue — a move's retirement
+	// removal, which waits for the destination shard's durable ack — also
+	// takes mu and re-checks the registry before enqueueing, so it can
+	// never land behind a later same-entity upsert on the same shard.
 	mu          sync.Mutex
 	taskShard   map[model.TaskID]int
 	workerShard map[model.WorkerID]int
-	routeGen    uint64 // bumped when a registry change can strand a stale copy
+	pendTask    map[model.TaskID]*pendingMove   // latest in-flight move per task
+	pendWorker  map[model.WorkerID]*pendingMove // latest in-flight move per worker
+	routeGen    uint64                          // bumped when a registry change can strand a stale copy
+	epoch       uint64                          // recency stamp counter (see engine.Mutation.Epoch)
+	moveWG      sync.WaitGroup                  // in-flight cross-shard moves (ack + retirement)
 
 	asm   atomic.Pointer[assembled] // cached assembled global problem
 	cache *serve.SolveCache         // nil when Config.SolveCache == 0
@@ -144,6 +159,8 @@ type Cluster struct {
 
 	// Counters behind /v1/stats.
 	moves               atomic.Uint64 // cross-shard entity migrations
+	retirements         atomic.Uint64 // move source copies retired after destination ack
+	retireFailures      atomic.Uint64 // retirements abandoned (stale copy until next recovery)
 	solves              atomic.Uint64
 	solveErrors         atomic.Uint64
 	partials            atomic.Uint64
@@ -158,6 +175,21 @@ type Cluster struct {
 	solveLatMS [1024]float64
 	latN       int
 }
+
+// pendingMove tracks one in-flight cross-shard move: the upsert has been
+// enqueued to the destination shard and the source copy awaits retirement
+// once the destination acks durably. The pend maps hold only the LATEST
+// move per entity — an older move finding a different token in the map
+// knows it was superseded and must not touch the registry.
+type pendingMove struct {
+	from, to int
+}
+
+// retireAttempts bounds how many times a move retries the source-copy
+// retirement removal before abandoning it (counted in retireFailures; the
+// stale copy is unreachable through the registry and the next recovery's
+// epoch-based rebuild removes it).
+const retireAttempts = 5
 
 // New validates the configuration, splits the optional bulk-load instance
 // across the shards by entity location, starts one apply loop per shard,
@@ -186,6 +218,8 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 		shards:      make([]*shard, cfg.Shards),
 		taskShard:   make(map[model.TaskID]int, numTasks),
 		workerShard: make(map[model.WorkerID]int, numWorkers),
+		pendTask:    make(map[model.TaskID]*pendingMove),
+		pendWorker:  make(map[model.WorkerID]*pendingMove),
 		cache:       serve.NewSolveCache(cfg.SolveCache),
 		started:     time.Now(),
 	}
@@ -248,17 +282,21 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 			// Recovery path: rebuild the shard engine from its store, then
 			// the routing registry from the recovered population.
 			sh.eng = engine.New(engCfg)
-			batches, err := store.Replay(recovered[i], sh.eng)
+			batches, epochs, err := store.Replay(recovered[i], sh.eng)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 			}
 			sh.recoveredBatches = uint64(batches)
+			sh.epochs = epochs
+			// Resume the stamp counter past everything recovered, so
+			// post-recovery upserts always outrank recovered copies.
+			c.epoch = max(c.epoch, epochs.Max())
 		case in != nil:
 			sh.eng = engine.NewFromInstance(subs[i], engCfg)
 			// Fresh store under a bulk load: persist the shard's slice of
 			// it as the boot snapshot, or a crash before the first
 			// compaction would silently drop the preload.
-			if err := sh.store.WriteSnapshot(sh.eng.Version(), sh.eng.GridEta(), sh.eng.Instance()); err != nil {
+			if err := sh.store.WriteSnapshot(sh.eng.Version(), sh.eng.GridEta(), sh.eng.Instance(), sh.epochs); err != nil {
 				return nil, fmt.Errorf("cluster: shard %d: seeding boot snapshot: %w", i, err)
 			}
 		default:
@@ -300,22 +338,29 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 }
 
 // rebuildRegistry repopulates the entity→shard routing maps from the
-// recovered shard populations. A crash in the middle of a cross-shard move
-// can leave the same entity on two shards (the new shard logged the upsert
-// before the old shard logged the retirement removal); the copy on the
-// shard its location routes to — the registry invariant — wins, and the
-// stale copy is retired directly from the other engine (single-threaded:
-// the loops have not started).
+// recovered shard populations. A crash (or an abandoned retirement) in the
+// middle of a cross-shard move can leave the same entity on two shards:
+// the destination logged and acked the upsert, but the source never logged
+// the retirement removal. The copy with the higher recency epoch — the
+// later acknowledged write — wins; a stale pre-move copy can never outrank
+// the acked post-move state, whichever shard holds it. Epochs tie only
+// when neither copy was stamped (state written outside the cluster plane),
+// in which case the copy on the shard its own location routes to — the
+// registry invariant — wins. The loser is retired directly from its
+// engine (single-threaded: the loops have not started).
 func (c *Cluster) rebuildRegistry() {
 	for i, sh := range c.shards {
 		in := sh.eng.Instance()
 		for _, t := range in.Tasks {
 			if prev, dup := c.taskShard[t.ID]; dup {
-				winner := c.tiling.ShardOf(t.Loc)
-				if winner == i {
+				here, there := sh.epochs.Task(t.ID), c.shards[prev].epochs.Task(t.ID)
+				wins := here > there || (here == there && c.tiling.ShardOf(t.Loc) == i)
+				if wins {
 					c.shards[prev].eng.RemoveTask(t.ID)
+					delete(c.shards[prev].epochs.Tasks, t.ID)
 				} else {
 					sh.eng.RemoveTask(t.ID)
+					delete(sh.epochs.Tasks, t.ID)
 					continue
 				}
 			}
@@ -323,11 +368,14 @@ func (c *Cluster) rebuildRegistry() {
 		}
 		for _, w := range in.Workers {
 			if prev, dup := c.workerShard[w.ID]; dup {
-				winner := c.tiling.ShardOf(w.Loc)
-				if winner == i {
+				here, there := sh.epochs.Worker(w.ID), c.shards[prev].epochs.Worker(w.ID)
+				wins := here > there || (here == there && c.tiling.ShardOf(w.Loc) == i)
+				if wins {
 					c.shards[prev].eng.RemoveWorker(w.ID)
+					delete(c.shards[prev].epochs.Workers, w.ID)
 				} else {
 					sh.eng.RemoveWorker(w.ID)
+					delete(sh.epochs.Workers, w.ID)
 					continue
 				}
 			}
@@ -341,6 +389,7 @@ func (c *Cluster) rebuildRegistry() {
 // periodic WAL compaction trigger.
 func (sh *shard) apply(muts []engine.Mutation) ([]bool, uint64) {
 	changed := sh.eng.ApplyBatch(muts)
+	sh.epochs.Apply(muts)
 	snap := sh.eng.Snapshot()
 	sh.snap.Store(&snap)
 	if snap.Rebuilt {
@@ -352,7 +401,7 @@ func (sh *shard) apply(muts []engine.Mutation) ([]bool, uint64) {
 			sh.batchesSince = 0
 			// A failed compaction is not data loss — the WAL still holds
 			// everything — so it is counted, not fatal.
-			if err := sh.store.WriteSnapshot(snap.Version, sh.eng.GridEta(), sh.eng.Instance()); err != nil {
+			if err := sh.store.WriteSnapshot(snap.Version, sh.eng.GridEta(), sh.eng.Instance(), sh.epochs); err != nil {
 				sh.snapErrors.Add(1)
 			}
 		}
@@ -369,21 +418,30 @@ func (c *Cluster) Shards() int { return len(c.shards) }
 // and receives the mutation's Ack after its shard batch applied.
 //
 // Upserts route by the entity's location; removals route through the
-// entity registry (they carry no location). An upsert that moves a live
-// entity onto a tile owned by a different shard enqueues a removal to the
-// old shard first (unacknowledged — the registry already guarantees no
-// later mutation routes there) and the upsert to the new one; when the
-// removal cannot be enqueued the whole mutation is rejected, leaving the
-// entity intact on its old shard.
+// entity registry (they carry no location). Every upsert is stamped with
+// the next recency epoch before routing, so crash recovery can always tell
+// which copy of an entity carries the later acknowledged write.
+//
+// An upsert that moves a live entity onto a tile owned by a different
+// shard runs destination-first: the upsert is enqueued to the new shard,
+// and only after that shard durably acks it is the retirement removal
+// enqueued to the old shard (see finishMove). At every instant the
+// entity's data exists durably on at least one shard — a crash at any
+// point leaves either the pre-move copy, the post-move copy, or both, and
+// recovery's epoch comparison keeps the newer one.
 func (c *Cluster) Enqueue(mut engine.Mutation, reply chan<- applyloop.Ack) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	switch mut.Op {
 	case engine.OpUpsertTask:
-		return routeUpsert(c, mut, reply, c.taskShard, mut.Task.ID,
+		c.epoch++
+		mut.Epoch = c.epoch
+		return routeUpsert(c, mut, reply, c.taskShard, c.pendTask, mut.Task.ID,
 			c.tiling.ShardOf(mut.Task.Loc), engine.TaskRemoval(mut.Task.ID))
 	case engine.OpUpsertWorker:
-		return routeUpsert(c, mut, reply, c.workerShard, mut.Worker.ID,
+		c.epoch++
+		mut.Epoch = c.epoch
+		return routeUpsert(c, mut, reply, c.workerShard, c.pendWorker, mut.Worker.ID,
 			c.tiling.ShardOf(mut.Worker.Loc), engine.WorkerRemoval(mut.Worker.ID))
 	case engine.OpRemoveTask:
 		return routeRemoval(c, mut, reply, c.taskShard, mut.TaskID)
@@ -392,31 +450,108 @@ func (c *Cluster) Enqueue(mut engine.Mutation, reply chan<- applyloop.Ack) error
 	}
 }
 
-// routeUpsert enqueues an upsert to target, retiring a stale copy from the
-// entity's previous shard first when the entity moved. Caller holds c.mu.
-// (A free function because methods cannot be generic over the two registry
-// key types.)
-func routeUpsert[K comparable](c *Cluster, mut engine.Mutation, reply chan<- applyloop.Ack, reg map[K]int, id K, target int, removal engine.Mutation) error {
+// routeUpsert enqueues an upsert to target; when the entity moved off a
+// different shard it starts the destination-first move protocol. Caller
+// holds c.mu. (A free function because methods cannot be generic over the
+// two registry key types.)
+func routeUpsert[K comparable](c *Cluster, mut engine.Mutation, reply chan<- applyloop.Ack, reg map[K]int, pend map[K]*pendingMove, id K, target int, removal engine.Mutation) error {
 	old, moved := reg[id]
 	moved = moved && old != target
-	if moved {
-		if err := c.shards[old].loop.Enqueue(removal, nil); err != nil {
-			return err // entity stays on its old shard; registry unchanged
+	if !moved {
+		if err := c.shards[target].loop.Enqueue(mut, reply); err != nil {
+			return err
 		}
-		c.moves.Add(1)
-		c.routeGen++ // the old shard holds a stale copy until its removal applies
+		reg[id] = target
+		return nil
 	}
-	if err := c.shards[target].loop.Enqueue(mut, reply); err != nil {
-		if moved {
-			// The old-shard removal was accepted, so the entity is on its
-			// way out everywhere; drop it from the registry rather than
-			// resurrect a stale route.
-			delete(reg, id)
-		}
-		return err
+	// Cross-shard move. Enqueue the upsert to the destination with an
+	// intercepting ack channel; the source copy is retired only after the
+	// destination's durable ack arrives (finishMove). Routing flips to the
+	// destination immediately — per-entity order is preserved because later
+	// mutations land behind the upsert in the destination's FIFO queue, and
+	// the retirement re-checks the registry before touching the source.
+	ackCh := make(chan applyloop.Ack, 1)
+	if err := c.shards[target].loop.Enqueue(mut, ackCh); err != nil {
+		return err // entity stays on its old shard; registry unchanged
 	}
+	tok := &pendingMove{from: old, to: target}
+	pend[id] = tok
 	reg[id] = target
+	c.moves.Add(1)
+	c.routeGen++ // the old shard holds a stale copy until its removal applies
+	c.moveWG.Add(1)
+	go finishMove(c, ackCh, reply, reg, pend, id, tok, removal)
 	return nil
+}
+
+// finishMove completes one cross-shard move: it waits for the destination
+// shard's ack, forwards it to the caller, and then either retires the
+// source copy (ack success) or rolls the registry back to the source (ack
+// failure — the destination never logged the upsert, so the source copy is
+// still the entity's only durable state).
+func finishMove[K comparable](c *Cluster, ackCh <-chan applyloop.Ack, reply chan<- applyloop.Ack, reg map[K]int, pend map[K]*pendingMove, id K, tok *pendingMove, removal engine.Mutation) {
+	defer c.moveWG.Done()
+	ack := <-ackCh // the loop drains fully on Close, so this always arrives
+	if reply != nil {
+		reply <- ack
+	}
+	c.mu.Lock()
+	if pend[id] == tok {
+		delete(pend, id)
+	} else if ack.Err != nil {
+		// A newer move superseded this one; its own finishMove owns the
+		// registry now, and the source copy this move would have rolled
+		// back to has been handled by the interleaved mutations.
+		c.mu.Unlock()
+		return
+	}
+	if ack.Err != nil {
+		if cur, ok := reg[id]; ok && cur == tok.to {
+			// The destination rejected the upsert before logging it and no
+			// later mutation re-routed the entity: the source copy is still
+			// the live one. Restore the route.
+			reg[id] = tok.from
+			c.routeGen++
+		}
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	retire(c, reg, id, tok, removal)
+}
+
+// retire removes the stale source copy left behind by an acked cross-shard
+// move, retrying transient failures. Each attempt re-checks the registry
+// under c.mu: if the entity has moved BACK to the source shard, the copy
+// there is live again and must not be removed. An abandoned retirement
+// (store closed, or retries exhausted) leaves a stale unreachable copy;
+// it is counted in retireFailures and the next recovery's epoch-based
+// registry rebuild removes it.
+func retire[K comparable](c *Cluster, reg map[K]int, id K, tok *pendingMove, removal engine.Mutation) {
+	for attempt := 0; attempt < retireAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
+		}
+		ackCh := make(chan applyloop.Ack, 1)
+		c.mu.Lock()
+		if cur, ok := reg[id]; ok && cur == tok.from {
+			c.mu.Unlock()
+			return // entity moved back; the source copy is live
+		}
+		err := c.shards[tok.from].loop.Enqueue(removal, ackCh)
+		c.mu.Unlock()
+		if errors.Is(err, applyloop.ErrClosed) {
+			break // shutting down; next boot's rebuild retires the copy
+		}
+		if err != nil {
+			continue // transient (queue full): back off and retry
+		}
+		if ack := <-ackCh; ack.Err == nil {
+			c.retirements.Add(1)
+			return
+		}
+	}
+	c.retireFailures.Add(1)
 }
 
 // routeRemoval enqueues a removal to the entity's registered shard. An
@@ -463,10 +598,15 @@ func (c *Cluster) Mutate(ctx context.Context, muts ...engine.Mutation) ([]applyl
 const quiesceID = model.TaskID(-1 << 30)
 
 // Quiesce blocks until every mutation enqueued before the call has been
-// applied on its shard: it pushes a no-op barrier through each shard's
-// FIFO queue and waits for all acks. Tests and the differential harness
-// use it to reach a settled state before solving.
+// applied on its shard: it waits out in-flight cross-shard moves (whose
+// retirement removals are enqueued asynchronously, after the destination
+// ack), then pushes a no-op barrier through each shard's FIFO queue and
+// waits for all acks. Tests and the differential harness use it to reach a
+// settled state before solving.
 func (c *Cluster) Quiesce(ctx context.Context) error {
+	if err := c.awaitMoves(ctx); err != nil {
+		return fmt.Errorf("cluster: quiesce: %w", err)
+	}
 	reply := make(chan applyloop.Ack, len(c.shards))
 	for i, sh := range c.shards {
 		if err := sh.loop.Enqueue(engine.TaskRemoval(quiesceID), reply); err != nil {
@@ -481,6 +621,22 @@ func (c *Cluster) Quiesce(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// awaitMoves blocks until every in-flight cross-shard move has finished
+// (destination ack received and source retirement settled), or ctx ends.
+func (c *Cluster) awaitMoves(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		c.moveWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Handler returns the cluster's HTTP handler (the same /v1 surface as
@@ -528,6 +684,11 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 	if hs != nil {
 		err = hs.Shutdown(ctx)
 	}
+	// Let in-flight cross-shard moves finish while the loops still run:
+	// their retirement removals need live source queues. A move that cannot
+	// finish in time is safe to abandon — the destination copy is durable,
+	// and the next boot's epoch-based rebuild retires the source copy.
+	err = errors.Join(err, c.awaitMoves(ctx))
 	for _, sh := range c.shards {
 		sh.loop.Close()
 	}

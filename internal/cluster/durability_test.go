@@ -151,12 +151,105 @@ func TestClusterDurableRecoveryExact(t *testing.T) {
 	}
 }
 
+// distinctShardLocs returns two in-square locations the tiling routes to
+// different shards (shard assignment hashes tile coordinates, so the pair
+// is found by probing rather than construction).
+func distinctShardLocs(t *testing.T, tl Tiling) (geo.Point, geo.Point) {
+	t.Helper()
+	a := geo.Pt(0.05, 0.05)
+	sa := tl.ShardOf(a)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			b := geo.Pt(0.05+tl.TileSize*float64(i), 0.05+tl.TileSize*float64(j))
+			if tl.ShardOf(b) != sa {
+				return a, b
+			}
+		}
+	}
+	t.Fatal("no location on a second shard within the probe window")
+	return a, a
+}
+
 // TestClusterRecoveryResolvesDuplicateEntities simulates the cross-shard
 // move crash window: the destination shard logged the moved worker's upsert
-// but the source shard crashed before logging the retirement, so both
-// stores recover a copy. The registry rebuild must keep exactly the copy on
-// the shard the tiling routes to and retire the stale one.
+// (with a later recency epoch) but the source shard crashed before logging
+// the retirement, so both stores recover a copy. The registry rebuild must
+// keep exactly the copy carrying the higher epoch — the acknowledged
+// post-move write — and retire the stale one, no matter which of the two
+// shards has the lower index. (The destination-on-lower-index direction is
+// the one a location-based or iteration-order tie-break gets wrong.)
 func TestClusterRecoveryResolvesDuplicateEntities(t *testing.T) {
+	const shards = 4
+	tl := Tiling{Shards: shards}.withDefaults()
+	// Two locations on different shards; run the move in both directions so
+	// the newer copy sits once on the higher-index shard and once on the
+	// lower-index one.
+	locA, locB := distinctShardLocs(t, tl)
+	for name, dir := range map[string][2]geo.Point{
+		"newer copy on A": {locB, locA}, // moved old→new
+		"newer copy on B": {locA, locB},
+	} {
+		t.Run(name, func(t *testing.T) {
+			oldLoc, newLoc := dir[0], dir[1]
+			home, stale := tl.ShardOf(newLoc), tl.ShardOf(oldLoc)
+			w := model.Worker{ID: 42, Loc: newLoc, Speed: 1, Dir: geo.FullCircle, Confidence: 0.9, Depart: 10}
+
+			tmp := t.TempDir()
+			stores := openShardStores(t, tmp, shards)
+			// The stale shard holds the pre-move copy (epoch 1); the home
+			// shard logged the acked post-move upsert (epoch 2) but the
+			// crash hit before the source retirement was logged.
+			old := engine.WorkerUpsert(w)
+			old.Worker.Loc = oldLoc
+			old.Epoch = 1
+			if err := stores[stale].AppendBatch([]engine.Mutation{old}); err != nil {
+				t.Fatal(err)
+			}
+			moved := engine.WorkerUpsert(w)
+			moved.Epoch = 2
+			if err := stores[home].AppendBatch([]engine.Mutation{moved}); err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range stores {
+				if err := s.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			_, ts, _ := startDurableCluster(t, tmp, shards)
+			_, stats := doJSON(t, "GET", ts.URL+"/v1/stats", "")
+			if got := stats["workers"].(float64); got != 1 {
+				t.Fatalf("recovered %v workers for one duplicated ID, want 1", got)
+			}
+			for i, sh := range stats["shards"].([]any) {
+				m := sh.(map[string]any)
+				want := 0.0
+				if i == home {
+					want = 1
+				}
+				if m["workers"].(float64) != want {
+					t.Errorf("shard %d holds %v workers, want %v", i, m["workers"], want)
+				}
+			}
+			// The surviving copy must be addressable: removing it routes
+			// through the rebuilt registry.
+			code, body := doJSON(t, "DELETE", ts.URL+fmt.Sprintf("/v1/workers/%d", w.ID), "")
+			if code != http.StatusOK {
+				t.Fatalf("removing the surviving copy: %d %v", code, body)
+			}
+			_, stats = doJSON(t, "GET", ts.URL+"/v1/stats", "")
+			if got := stats["workers"].(float64); got != 0 {
+				t.Fatalf("%v workers after removal, want 0", got)
+			}
+		})
+	}
+}
+
+// TestClusterRecoveryUnstampedTieBreak covers duplicate copies that carry
+// no epochs at all (state written outside the cluster plane): the tie
+// falls back to the registry invariant, keeping the copy on the shard its
+// own location routes to.
+func TestClusterRecoveryUnstampedTieBreak(t *testing.T) {
 	const shards = 4
 	dir := t.TempDir()
 	tl := Tiling{Shards: shards}.withDefaults()
@@ -166,8 +259,6 @@ func TestClusterRecoveryResolvesDuplicateEntities(t *testing.T) {
 
 	w := model.Worker{ID: 42, Loc: loc, Speed: 1, Dir: geo.FullCircle, Confidence: 0.9, Depart: 10}
 	stores := openShardStores(t, dir, shards)
-	// The home shard holds the entity at its current location; the stale
-	// shard holds a pre-move copy of the same ID at its old location.
 	if err := stores[home].AppendBatch([]engine.Mutation{engine.WorkerUpsert(w)}); err != nil {
 		t.Fatal(err)
 	}
@@ -182,29 +273,160 @@ func TestClusterRecoveryResolvesDuplicateEntities(t *testing.T) {
 		}
 	}
 
-	_, ts, _ := startDurableCluster(t, dir, shards)
-	_, stats := doJSON(t, "GET", ts.URL+"/v1/stats", "")
-	if got := stats["workers"].(float64); got != 1 {
-		t.Fatalf("recovered %v workers for one duplicated ID, want 1", got)
+	cl, _, _ := startDurableCluster(t, dir, shards)
+	cl.mu.Lock()
+	got, ok := cl.workerShard[w.ID]
+	cl.mu.Unlock()
+	if !ok || got != home {
+		t.Fatalf("unstamped duplicate routed to shard %d (ok=%v), want %d", got, ok, home)
 	}
-	for i, sh := range stats["shards"].([]any) {
-		m := sh.(map[string]any)
-		want := 0.0
-		if i == home {
+	if n := len(cl.shards[stale].eng.Instance().Workers); n != 0 {
+		t.Fatalf("stale shard still holds %d workers", n)
+	}
+}
+
+// TestClusterMoveRetiresSourceCopy drives a live cross-shard move end to
+// end: after the destination acks, the source copy is retired (visible in
+// move_retirements) and a restart recovers exactly one copy — the
+// destination's.
+func TestClusterMoveRetiresSourceCopy(t *testing.T) {
+	const shards = 4
+	dir := t.TempDir()
+	cl, ts, stop := startDurableCluster(t, dir, shards)
+	tl := cl.tiling
+	locA, locB := distinctShardLocs(t, tl)
+	from, to := tl.ShardOf(locA), tl.ShardOf(locB)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	w := model.Worker{ID: 7, Loc: locA, Speed: 1, Dir: geo.FullCircle, Confidence: 0.9, Depart: 10}
+	if _, err := cl.Mutate(ctx, engine.WorkerUpsert(w)); err != nil {
+		t.Fatal(err)
+	}
+	w.Loc = locB
+	acks, err := cl.Mutate(ctx, engine.WorkerUpsert(w))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acks[0].Err != nil {
+		t.Fatalf("move upsert acked with error: %v", acks[0].Err)
+	}
+	if err := cl.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	_, stats := doJSON(t, "GET", ts.URL+"/v1/stats", "")
+	clStats := stats["cluster"].(map[string]any)
+	if got := clStats["cross_shard_moves"].(float64); got != 1 {
+		t.Errorf("cross_shard_moves = %v, want 1", got)
+	}
+	if got := clStats["move_retirements"].(float64); got != 1 {
+		t.Errorf("move_retirements = %v, want 1", got)
+	}
+	if got := clStats["move_retire_failures"].(float64); got != 0 {
+		t.Errorf("move_retire_failures = %v, want 0", got)
+	}
+	if n := len(cl.shards[from].eng.Instance().Workers); n != 0 {
+		t.Errorf("source shard %d still holds %d workers after retirement", from, n)
+	}
+	if n := len(cl.shards[to].eng.Instance().Workers); n != 1 {
+		t.Errorf("destination shard %d holds %d workers, want 1", to, n)
+	}
+	stop()
+
+	// Recovery sees exactly one copy, on the destination.
+	cl2, _, _ := startDurableCluster(t, dir, shards)
+	for i, sh := range cl2.shards {
+		want := 0
+		if i == to {
 			want = 1
 		}
-		if m["workers"].(float64) != want {
-			t.Errorf("shard %d holds %v workers, want %v", i, m["workers"], want)
+		if n := len(sh.eng.Instance().Workers); n != want {
+			t.Errorf("recovered shard %d holds %d workers, want %d", i, n, want)
 		}
 	}
-	// The surviving copy must be addressable: removing it routes by its
-	// current location.
-	code, body := doJSON(t, "DELETE", ts.URL+fmt.Sprintf("/v1/workers/%d", w.ID), "")
-	if code != http.StatusOK {
-		t.Fatalf("removing the surviving copy: %d %v", code, body)
+}
+
+// failingStore fails every append the way a full disk would; everything
+// else is the no-op memory backend.
+type failingStore struct {
+	store.Memory
+	err error
+}
+
+func (f *failingStore) AppendBatch([]engine.Mutation) error { return f.err }
+
+// TestClusterMoveDestinationFailureKeepsSource pins the destination-first
+// contract: when the destination shard cannot log the move's upsert, the
+// caller gets the error, the source copy stays live, and the registry
+// routes back to it — no acknowledged or pre-existing state is lost.
+func TestClusterMoveDestinationFailureKeepsSource(t *testing.T) {
+	const shards = 4
+	tl := Tiling{Shards: shards}.withDefaults()
+	locA, locB := distinctShardLocs(t, tl)
+	from, to := tl.ShardOf(locA), tl.ShardOf(locB)
+
+	boom := fmt.Errorf("no space left on device")
+	stores := make([]store.Store, shards)
+	for i := range stores {
+		if i == to {
+			stores[i] = &failingStore{err: boom}
+		} else {
+			stores[i] = store.NewMemory()
+		}
 	}
-	_, stats = doJSON(t, "GET", ts.URL+"/v1/stats", "")
-	if got := stats["workers"].(float64); got != 0 {
-		t.Fatalf("%v workers after removal, want 0", got)
+	cl, err := New(Config{
+		Shards: shards, Beta: 0.5, BetaSet: true, SolverName: "greedy",
+		Stores: stores,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	defer func() {
+		if err := cl.Shutdown(context.Background()); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	w := model.Worker{ID: 7, Loc: locA, Speed: 1, Dir: geo.FullCircle, Confidence: 0.9, Depart: 10}
+	if acks, err := cl.Mutate(ctx, engine.WorkerUpsert(w)); err != nil || acks[0].Err != nil {
+		t.Fatalf("seeding source shard: %v / %v", err, acks)
+	}
+	moved := w
+	moved.Loc = locB
+	acks, err := cl.Mutate(ctx, engine.WorkerUpsert(moved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acks[0].Err == nil {
+		t.Fatal("move onto a failing destination store was acknowledged")
+	}
+	if err := cl.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.mu.Lock()
+	got, ok := cl.workerShard[w.ID]
+	cl.mu.Unlock()
+	if !ok || got != from {
+		t.Fatalf("registry routes worker to shard %d (ok=%v) after failed move, want source %d", got, ok, from)
+	}
+	if n := len(cl.shards[from].eng.Instance().Workers); n != 1 {
+		t.Errorf("source shard holds %d workers, want the surviving copy", n)
+	}
+	if got := cl.retirements.Load(); got != 0 {
+		t.Errorf("move_retirements = %d after a failed move, want 0", got)
+	}
+	// The surviving copy is fully addressable: a removal drains it.
+	if acks, err := cl.Mutate(ctx, engine.WorkerRemoval(w.ID)); err != nil || acks[0].Err != nil {
+		t.Fatalf("removing the surviving copy: %v / %v", err, acks)
+	}
+	if err := cl.Quiesce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(cl.shards[from].eng.Instance().Workers); n != 0 {
+		t.Errorf("source shard holds %d workers after removal, want 0", n)
 	}
 }

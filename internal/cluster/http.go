@@ -392,6 +392,8 @@ type clusterStatsJSON struct {
 	ShardCount          int     `json:"shard_count"`
 	TileSize            float64 `json:"tile_size"`
 	CrossShardMoves     uint64  `json:"cross_shard_moves"`
+	MoveRetirements     uint64  `json:"move_retirements"`
+	MoveRetireFailures  uint64  `json:"move_retire_failures"`
 	EscalatedComponents uint64  `json:"escalated_components"`
 	InteriorComponents  uint64  `json:"interior_components"`
 	CrossShardPairs     int     `json:"cross_shard_pairs"`
@@ -457,6 +459,8 @@ func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
 		ShardCount:          len(c.shards),
 		TileSize:            c.tiling.TileSize,
 		CrossShardMoves:     c.moves.Load(),
+		MoveRetirements:     c.retirements.Load(),
+		MoveRetireFailures:  c.retireFailures.Load(),
 		EscalatedComponents: c.escalated.Load(),
 		InteriorComponents:  c.interior.Load(),
 		CrossShardPairs:     cross,

@@ -26,6 +26,15 @@ type Mutation struct {
 	TaskID   model.TaskID   // OpRemoveTask
 	Worker   model.Worker   // OpUpsertWorker
 	WorkerID model.WorkerID // OpRemoveWorker
+
+	// Epoch is an upsert's recency stamp: the cluster assigns every upsert
+	// a value from one monotonically increasing counter (zero means
+	// unstamped, e.g. on the single-engine serve plane). The engine ignores
+	// it entirely; the durability layer persists it so crash recovery can
+	// tell which of two copies of an entity — left on different shards by a
+	// crash in the middle of a cross-shard move — carries the later
+	// acknowledged write.
+	Epoch uint64
 }
 
 // TaskUpsert builds the mutation form of UpsertTask.

@@ -167,7 +167,9 @@ type failStore struct {
 
 func (f *failStore) AppendBatch([]engine.Mutation) error { return f.err }
 
-func (f *failStore) WriteSnapshot(uint64, float64, *model.Instance) error { return nil }
+func (f *failStore) WriteSnapshot(uint64, float64, *model.Instance, store.EntityEpochs) error {
+	return nil
+}
 
 // TestAppendFailureIs503 pins the no-silent-loss surface: when the WAL
 // cannot be written, mutations are rejected with 503 — never acknowledged

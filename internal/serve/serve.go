@@ -245,7 +245,7 @@ func New(cfg Config) (*Server, error) {
 		if nt > 0 || nw > 0 {
 			return nil, fmt.Errorf("serve: store holds recovered state but the engine is preloaded (%d tasks, %d workers); drop the preload or the data directory", nt, nw)
 		}
-		batches, err := store.Replay(rs, s.eng)
+		batches, _, err := store.Replay(rs, s.eng)
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
@@ -254,7 +254,9 @@ func New(cfg Config) (*Server, error) {
 		// Fresh store under a bulk-loaded engine: persist the load as the
 		// boot snapshot, or a crash before the first compaction would
 		// silently drop it.
-		if err := cfg.Store.WriteSnapshot(s.eng.Version(), s.eng.GridEta(), s.eng.Instance()); err != nil {
+		// The serve plane never stamps recency epochs (single shard, no
+		// cross-shard moves), so the snapshot carries none.
+		if err := cfg.Store.WriteSnapshot(s.eng.Version(), s.eng.GridEta(), s.eng.Instance(), store.EntityEpochs{}); err != nil {
 			return nil, fmt.Errorf("serve: seeding boot snapshot: %w", err)
 		}
 	}
@@ -300,7 +302,7 @@ func (s *Server) applyToEngine(muts []engine.Mutation) ([]bool, uint64) {
 			s.batchesSinceSnap = 0
 			// A failed compaction is not data loss — the WAL still holds
 			// everything — so it is counted, not fatal.
-			if err := s.store.WriteSnapshot(snap.Version, s.eng.GridEta(), s.eng.Instance()); err != nil {
+			if err := s.store.WriteSnapshot(snap.Version, s.eng.GridEta(), s.eng.Instance(), store.EntityEpochs{}); err != nil {
 				s.snapErrors.Add(1)
 			}
 		}

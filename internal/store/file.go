@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -81,17 +82,25 @@ const (
 	snapTempName = "snapshot.db.tmp"
 )
 
-var walMagic = [8]byte{'R', 'D', 'B', 'S', 'W', 'A', 'L', '1'}
+var walMagic = [8]byte{'R', 'D', 'B', 'S', 'W', 'A', 'L', '2'}
 
 // FileStore is the durable backend: one directory holding one WAL and at
-// most one compacted snapshot. Not safe for concurrent use — the apply
-// loop is the single writer (see Store) — except for Stats.
+// most one compacted snapshot. The apply loop is the single external
+// writer (see Store); the internal mutex exists only because FsyncBatch
+// mode runs a background flusher that group-commits idle dirty appends —
+// without it, a traffic pause would leave acknowledged batches unsynced
+// until the next append or Close, an unbounded power-failure loss window
+// instead of the documented one-interval one.
 type FileStore struct {
 	dir  string
 	opts FileOptions
-	wal  *os.File
-	off  int64  // current WAL end offset
-	seq  uint64 // next record sequence number
+
+	// mu serializes WAL writes, syncs, and truncation between the caller
+	// (apply loop) and the FsyncBatch idle flusher.
+	mu  sync.Mutex
+	wal *os.File
+	off int64  // current WAL end offset
+	seq uint64 // next record sequence number
 	// broken is set when an append failed and the partial write could not
 	// be rolled back: anything written after it would be unreachable
 	// garbage, so every later append fails fast instead.
@@ -99,6 +108,9 @@ type FileStore struct {
 
 	dirty    bool      // batch mode: unsynced appends pending
 	lastSync time.Time // batch mode: last group-commit time
+
+	flushStop chan struct{} // non-nil while the idle flusher runs
+	flushDone chan struct{}
 
 	recovered *RecoveredState // scanned at Open, handed out by Recover
 
@@ -216,7 +228,42 @@ func Open(dir string, opts FileOptions) (*FileStore, error) {
 	}
 	fs.recovered = rs
 	fs.lastSync = time.Now()
+	if opts.Fsync == FsyncBatch {
+		fs.flushStop = make(chan struct{})
+		fs.flushDone = make(chan struct{})
+		go fs.flushLoop()
+	}
 	return fs, nil
+}
+
+// flushLoop is FsyncBatch's idle guard. The append path only group-commits
+// on the first append after FsyncInterval elapses, so without this loop a
+// traffic pause would leave the last acknowledged batches dirty until the
+// next append or Close — an unbounded power-failure loss window. The loop
+// syncs any dirty tail once the interval has passed without an append,
+// keeping the documented "up to one interval" bound. A failed background
+// sync leaves the tail dirty so the next tick (and the next append) retry
+// and surface the error.
+func (fs *FileStore) flushLoop() {
+	defer close(fs.flushDone)
+	t := time.NewTicker(fs.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-fs.flushStop:
+			return
+		case <-t.C:
+			fs.mu.Lock()
+			if fs.dirty && time.Since(fs.lastSync) >= fs.opts.FsyncInterval {
+				if err := fs.wal.Sync(); err == nil {
+					fs.syncs.Add(1)
+					fs.dirty = false
+					fs.lastSync = time.Now()
+				}
+			}
+			fs.mu.Unlock()
+		}
+	}
 }
 
 func (fs *FileStore) rewriteHeader() error {
@@ -253,10 +300,18 @@ func (fs *FileStore) Stats() FileStats {
 }
 
 // AppendBatch implements Store: one framed record per batch, written (and
-// per the fsync policy, synced) before the caller applies the batch.
+// per the fsync policy, synced) before the caller applies the batch. A
+// batch whose encoding would exceed the WAL record payload cap is rejected
+// up front — recovery refuses oversized records, so writing one would
+// produce a log the store could never boot from.
 func (fs *FileStore) AppendBatch(muts []engine.Mutation) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	if fs.broken != nil {
 		return fmt.Errorf("store: WAL unusable after failed append: %w", fs.broken)
+	}
+	if n := recordPayloadLen(muts); n > maxRecordPayload {
+		return fmt.Errorf("store: batch of %d mutations encodes to %d bytes, over the %d-byte WAL record cap; lower the apply loop's BatchMax", len(muts), n, maxRecordPayload)
 	}
 	buf := EncodeRecord(Record{Seq: fs.seq, Muts: muts})
 	n, err := fs.wal.Write(buf)
@@ -303,8 +358,10 @@ func (fs *FileStore) AppendBatch(muts []engine.Mutation) error {
 // leaves a recoverable store: before the rename the old snapshot + full
 // WAL stand; between rename and truncation the new snapshot's Seq makes
 // recovery skip the still-present covered records.
-func (fs *FileStore) WriteSnapshot(version uint64, gridEta float64, in *model.Instance) error {
-	data := encodeSnapshot(SnapshotData{Version: version, Seq: fs.seq - 1, GridEta: gridEta, Instance: in})
+func (fs *FileStore) WriteSnapshot(version uint64, gridEta float64, in *model.Instance, epochs EntityEpochs) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	data := encodeSnapshot(SnapshotData{Version: version, Seq: fs.seq - 1, GridEta: gridEta, Instance: in, Epochs: epochs})
 	tmp := filepath.Join(fs.dir, snapTempName)
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -370,8 +427,17 @@ func (fs *FileStore) Recover() (RecoveredState, error) {
 	return rs, nil
 }
 
-// Close implements Store, group-committing any unsynced appends first.
+// Close implements Store, stopping the idle flusher and group-committing
+// any unsynced appends first.
 func (fs *FileStore) Close() error {
+	if fs.flushStop != nil {
+		// Stop the flusher before taking mu: it may be mid-tick holding it.
+		close(fs.flushStop)
+		<-fs.flushDone
+		fs.flushStop = nil
+	}
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
 	var err error
 	if fs.dirty && fs.opts.Fsync != FsyncOff {
 		if serr := fs.wal.Sync(); serr != nil {

@@ -32,6 +32,10 @@ func FuzzWALDecode(f *testing.F) {
 		engine.WorkerUpsert(model.Worker{ID: 2, Loc: geo.Pt(0.25, 0.75), Speed: 1.5, Dir: geo.FullCircle, Confidence: 0.9, Depart: 6}),
 	}}))
 	f.Add(EncodeRecord(Record{Seq: 5, Muts: []engine.Mutation{engine.WorkerRemoval(-3)}}))
+	f.Add(EncodeRecord(Record{Seq: 6, Muts: []engine.Mutation{
+		{Op: engine.OpUpsertTask, Task: model.Task{ID: 4, Loc: geo.Pt(0.1, 0.9), Start: 1, End: 3}, Epoch: 12},
+		{Op: engine.OpUpsertWorker, Worker: model.Worker{ID: 5, Loc: geo.Pt(0.9, 0.1), Speed: 2, Dir: geo.FullCircle, Confidence: 0.8, Depart: 4}, Epoch: 1 << 62},
+	}}))
 	f.Add(EncodeRecord(Record{Seq: 1 << 40, Muts: []engine.Mutation{
 		engine.TaskUpsert(model.Task{ID: -1, Loc: geo.Pt(math.Inf(1), -0.0), Start: math.NaN(), End: math.MaxFloat64}),
 		engine.WorkerUpsert(model.Worker{ID: 0, Loc: geo.Pt(1e-308, 0), Speed: 0, Dir: geo.AngInterval{Lo: -math.Pi, Width: 2 * math.Pi}, Confidence: 1, Depart: 0}),

@@ -21,9 +21,10 @@ import (
 //	    are folded in and skipped during recovery)
 //	f64 grid cell size (eta; 0 when the engine runs without the index)
 //	f64 beta | u8 wait-allowed flag
-//	u32 task count, then each task (i32 id, f64 x y start end)
-//	u32 worker count, then each worker (i32 id, f64 x y speed dirLo
-//	    dirWidth confidence depart)
+//	u32 task count, then each task (i32 id, u64 recency epoch, f64 x y
+//	    start end)
+//	u32 worker count, then each worker (i32 id, u64 recency epoch, f64 x y
+//	    speed dirLo dirWidth confidence depart)
 //
 // Snapshots are written to a temp file and atomically renamed into place,
 // so a crash mid-write leaves either the old snapshot or none — never a
@@ -47,15 +48,18 @@ type SnapshotData struct {
 	// Instance is the full compacted task/worker population, ID-sorted as
 	// produced by Engine.Instance.
 	Instance *model.Instance
+	// Epochs carries each entity's recency stamp (entries only for stamped
+	// entities; empty on the serve plane, which never stamps).
+	Epochs EntityEpochs
 }
 
-var snapshotMagic = [8]byte{'R', 'D', 'B', 'S', 'S', 'N', 'P', '1'}
+var snapshotMagic = [8]byte{'R', 'D', 'B', 'S', 'S', 'N', 'P', '2'}
 
 // encodeSnapshot renders the snapshot file contents (magic + framed
 // payload).
 func encodeSnapshot(s SnapshotData) []byte {
 	in := s.Instance
-	n := 8 + 8 + 8 + 8 + 1 + 4 + len(in.Tasks)*(4+4*8) + 4 + len(in.Workers)*(4+7*8)
+	n := 8 + 8 + 8 + 8 + 1 + 4 + len(in.Tasks)*(4+8+4*8) + 4 + len(in.Workers)*(4+8+7*8)
 	payload := make([]byte, 0, n)
 	payload = appendU64(payload, s.Version)
 	payload = appendU64(payload, s.Seq)
@@ -69,6 +73,7 @@ func encodeSnapshot(s SnapshotData) []byte {
 	payload = appendU32(payload, uint32(len(in.Tasks)))
 	for _, t := range in.Tasks {
 		payload = appendU32(payload, uint32(t.ID))
+		payload = appendU64(payload, s.Epochs.Task(t.ID))
 		payload = appendF64(payload, t.Loc.X)
 		payload = appendF64(payload, t.Loc.Y)
 		payload = appendF64(payload, t.Start)
@@ -77,6 +82,7 @@ func encodeSnapshot(s SnapshotData) []byte {
 	payload = appendU32(payload, uint32(len(in.Workers)))
 	for _, w := range in.Workers {
 		payload = appendU32(payload, uint32(w.ID))
+		payload = appendU64(payload, s.Epochs.Worker(w.ID))
 		payload = appendF64(payload, w.Loc.X)
 		payload = appendF64(payload, w.Loc.Y)
 		payload = appendF64(payload, w.Speed)
@@ -128,8 +134,15 @@ func decodeSnapshot(b []byte) (SnapshotData, error) {
 		in.Tasks = make([]model.Task, 0, min(int(nt), 65536))
 	}
 	for i := uint32(0); i < nt && r.err == nil; i++ {
+		id := model.TaskID(int32(r.u32()))
+		if epoch := r.u64(); epoch != 0 {
+			if s.Epochs.Tasks == nil {
+				s.Epochs.Tasks = make(map[model.TaskID]uint64)
+			}
+			s.Epochs.Tasks[id] = epoch
+		}
 		in.Tasks = append(in.Tasks, model.Task{
-			ID:    model.TaskID(int32(r.u32())),
+			ID:    id,
 			Loc:   geo.Point{X: r.f64(), Y: r.f64()},
 			Start: r.f64(),
 			End:   r.f64(),
@@ -143,8 +156,15 @@ func decodeSnapshot(b []byte) (SnapshotData, error) {
 		in.Workers = make([]model.Worker, 0, min(int(nw), 65536))
 	}
 	for i := uint32(0); i < nw && r.err == nil; i++ {
+		id := model.WorkerID(int32(r.u32()))
+		if epoch := r.u64(); epoch != 0 {
+			if s.Epochs.Workers == nil {
+				s.Epochs.Workers = make(map[model.WorkerID]uint64)
+			}
+			s.Epochs.Workers[id] = epoch
+		}
 		w := model.Worker{
-			ID:  model.WorkerID(int32(r.u32())),
+			ID:  id,
 			Loc: geo.Point{X: r.f64(), Y: r.f64()},
 		}
 		w.Speed = r.f64()

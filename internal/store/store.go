@@ -41,15 +41,79 @@ type Store interface {
 	AppendBatch(muts []engine.Mutation) error
 	// WriteSnapshot persists the full compacted state at the given engine
 	// version — along with the index cell size gridEta, which recovery
-	// pins so pair enumeration order survives the restart — and truncates
-	// the WAL records it covers.
-	WriteSnapshot(version uint64, gridEta float64, in *model.Instance) error
+	// pins so pair enumeration order survives the restart, and the
+	// entities' recency epochs, which crash recovery uses to resolve
+	// duplicate copies — and truncates the WAL records it covers.
+	WriteSnapshot(version uint64, gridEta float64, in *model.Instance, epochs EntityEpochs) error
 	// Recover returns the persisted state: the newest snapshot (if any)
 	// plus the WAL records appended after it, in order.
 	Recover() (RecoveredState, error)
 	// Close releases the backing resources, syncing any buffered appends
 	// first.
 	Close() error
+}
+
+// EntityEpochs maps each live entity to the recency epoch of its last
+// stamped upsert (engine.Mutation.Epoch). The cluster plane maintains one
+// per shard so that after a crash in the middle of a cross-shard move —
+// which can leave the same entity recovered on two shards — the registry
+// rebuild keeps the copy carrying the later acknowledged write. Entities
+// whose upserts were never stamped (the serve plane stamps nothing) simply
+// have no entry. The zero value is ready to use.
+type EntityEpochs struct {
+	Tasks   map[model.TaskID]uint64
+	Workers map[model.WorkerID]uint64
+}
+
+// Apply folds one mutation batch into the epoch maps: a stamped upsert
+// records its epoch, an unstamped upsert and a removal clear the entry.
+func (e *EntityEpochs) Apply(muts []engine.Mutation) {
+	for _, m := range muts {
+		switch m.Op {
+		case engine.OpUpsertTask:
+			if m.Epoch == 0 {
+				delete(e.Tasks, m.Task.ID)
+			} else {
+				if e.Tasks == nil {
+					e.Tasks = make(map[model.TaskID]uint64)
+				}
+				e.Tasks[m.Task.ID] = m.Epoch
+			}
+		case engine.OpRemoveTask:
+			delete(e.Tasks, m.TaskID)
+		case engine.OpUpsertWorker:
+			if m.Epoch == 0 {
+				delete(e.Workers, m.Worker.ID)
+			} else {
+				if e.Workers == nil {
+					e.Workers = make(map[model.WorkerID]uint64)
+				}
+				e.Workers[m.Worker.ID] = m.Epoch
+			}
+		case engine.OpRemoveWorker:
+			delete(e.Workers, m.WorkerID)
+		}
+	}
+}
+
+// Task returns the task's recency epoch (0 when unstamped or absent).
+func (e EntityEpochs) Task(id model.TaskID) uint64 { return e.Tasks[id] }
+
+// Worker returns the worker's recency epoch (0 when unstamped or absent).
+func (e EntityEpochs) Worker(id model.WorkerID) uint64 { return e.Workers[id] }
+
+// Max returns the largest epoch present; the cluster resumes its stamp
+// counter past the maximum across all recovered shards so post-recovery
+// upserts always outrank recovered state.
+func (e EntityEpochs) Max() uint64 {
+	var m uint64
+	for _, v := range e.Tasks {
+		m = max(m, v)
+	}
+	for _, v := range e.Workers {
+		m = max(m, v)
+	}
+	return m
 }
 
 // RecoveredState is everything a Store holds at boot.
@@ -71,18 +135,23 @@ func (rs RecoveredState) Empty() bool {
 // is bulk-loaded with the version pinned (engine.LoadSnapshot), then each
 // WAL batch re-applies through ApplyBatch — the same path that produced
 // it, so no-op batches no-op again and the version counter lands exactly
-// where it was. It returns the number of WAL batches replayed.
-func Replay(rs RecoveredState, eng *engine.Engine) (batches int, err error) {
+// where it was. It returns the number of WAL batches replayed plus the
+// recovered entities' recency epochs (the snapshot's, updated by the
+// replayed suffix), which the cluster's registry rebuild needs to resolve
+// duplicate copies left by a crash mid cross-shard move.
+func Replay(rs RecoveredState, eng *engine.Engine) (batches int, epochs EntityEpochs, err error) {
 	if rs.Snapshot != nil {
 		if err := eng.LoadSnapshot(rs.Snapshot.Instance, rs.Snapshot.Version, rs.Snapshot.GridEta); err != nil {
-			return 0, fmt.Errorf("store: loading snapshot: %w", err)
+			return 0, EntityEpochs{}, fmt.Errorf("store: loading snapshot: %w", err)
 		}
+		epochs = rs.Snapshot.Epochs
 	}
 	for _, rec := range rs.Records {
 		eng.ApplyBatch(rec.Muts)
+		epochs.Apply(rec.Muts)
 		batches++
 	}
-	return batches, nil
+	return batches, epochs, nil
 }
 
 // Memory is the no-op backend: nothing persists, recovery is always
@@ -97,7 +166,7 @@ func NewMemory() *Memory { return &Memory{} }
 func (*Memory) AppendBatch([]engine.Mutation) error { return nil }
 
 // WriteSnapshot implements Store as a no-op.
-func (*Memory) WriteSnapshot(uint64, float64, *model.Instance) error { return nil }
+func (*Memory) WriteSnapshot(uint64, float64, *model.Instance, EntityEpochs) error { return nil }
 
 // Recover implements Store; memory recovery is always empty.
 func (*Memory) Recover() (RecoveredState, error) { return RecoveredState{}, nil }

@@ -17,15 +17,21 @@ import (
 )
 
 // testRecord carries every mutation op plus the float edge cases the raw
-// IEEE-754 encoding must round-trip (NaN, signed zero, infinities).
+// IEEE-754 encoding must round-trip (NaN, signed zero, infinities). The
+// upserts are epoch-stamped so the recency field is covered by the
+// round-trip, bit-flip, and truncation suites.
 func testRecord(seq uint64) Record {
+	tu := engine.TaskUpsert(model.Task{ID: 7, Loc: geo.Pt(0.25, -0.0), Start: math.NaN(), End: math.Inf(1)})
+	tu.Epoch = 3
+	wu := engine.WorkerUpsert(model.Worker{
+		ID: 9, Loc: geo.Pt(1e-300, 0.75), Speed: 1.5, Dir: geo.AngInterval{Lo: 0.1, Width: math.Pi},
+		Confidence: 0.9, Depart: math.Inf(-1),
+	})
+	wu.Epoch = 1 << 50
 	return Record{Seq: seq, Muts: []engine.Mutation{
-		engine.TaskUpsert(model.Task{ID: 7, Loc: geo.Pt(0.25, -0.0), Start: math.NaN(), End: math.Inf(1)}),
+		tu,
 		engine.TaskRemoval(-3),
-		engine.WorkerUpsert(model.Worker{
-			ID: 9, Loc: geo.Pt(1e-300, 0.75), Speed: 1.5, Dir: geo.AngInterval{Lo: 0.1, Width: math.Pi},
-			Confidence: 0.9, Depart: math.Inf(-1),
-		}),
+		wu,
 		engine.WorkerRemoval(12),
 	}}
 }
@@ -125,13 +131,20 @@ func TestSnapshotCodecRejectsCorruption(t *testing.T) {
 		Workers: []model.Worker{{ID: 2, Loc: geo.Pt(0.3, 0.4), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9, Depart: 6}},
 		Beta:    0.5,
 	}
-	enc := encodeSnapshot(SnapshotData{Version: 17, Seq: 9, GridEta: 0.25, Instance: in})
+	epochs := EntityEpochs{
+		Tasks:   map[model.TaskID]uint64{1: 11},
+		Workers: map[model.WorkerID]uint64{2: 22},
+	}
+	enc := encodeSnapshot(SnapshotData{Version: 17, Seq: 9, GridEta: 0.25, Instance: in, Epochs: epochs})
 	snap, err := decodeSnapshot(enc)
 	if err != nil {
 		t.Fatalf("decodeSnapshot(encodeSnapshot): %v", err)
 	}
 	if snap.Version != 17 || snap.Seq != 9 || !reflect.DeepEqual(snap.Instance, in) {
 		t.Fatalf("snapshot round-trip mismatch: %+v", snap)
+	}
+	if !reflect.DeepEqual(snap.Epochs, epochs) {
+		t.Fatalf("snapshot epochs round-trip mismatch: %+v, want %+v", snap.Epochs, epochs)
 	}
 	for byteIdx := range enc {
 		mut := append([]byte(nil), enc...)
@@ -164,7 +177,7 @@ func TestMemoryStoreIsNoOp(t *testing.T) {
 	if err := m.AppendBatch([]engine.Mutation{engine.TaskRemoval(1)}); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.WriteSnapshot(5, 0, &model.Instance{}); err != nil {
+	if err := m.WriteSnapshot(5, 0, &model.Instance{}, EntityEpochs{}); err != nil {
 		t.Fatal(err)
 	}
 	rs, err := m.Recover()
@@ -387,7 +400,7 @@ func TestSnapshotCompactionEquivalence(t *testing.T) {
 			}
 			live.ApplyBatch(b)
 			if i+1 == cut {
-				if err := fsSnap.WriteSnapshot(live.Version(), live.GridEta(), live.Instance()); err != nil {
+				if err := fsSnap.WriteSnapshot(live.Version(), live.GridEta(), live.Instance(), EntityEpochs{}); err != nil {
 					t.Fatal(err)
 				}
 			}
@@ -408,7 +421,7 @@ func TestSnapshotCompactionEquivalence(t *testing.T) {
 				t.Fatal(err)
 			}
 			eng := newTestEngine()
-			if _, err := Replay(rs, eng); err != nil {
+			if _, _, err := Replay(rs, eng); err != nil {
 				t.Fatal(err)
 			}
 			return eng
@@ -445,7 +458,7 @@ func TestSnapshotRenameCrashWindow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fs.WriteSnapshot(live.Version(), live.GridEta(), live.Instance()); err != nil {
+	if err := fs.WriteSnapshot(live.Version(), live.GridEta(), live.Instance(), EntityEpochs{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := fs.Close(); err != nil {
@@ -465,7 +478,7 @@ func TestSnapshotRenameCrashWindow(t *testing.T) {
 		t.Fatalf("recovered snapshot=%v records=%d, want snapshot and 0 records", rs.Snapshot, len(rs.Records))
 	}
 	eng := newTestEngine()
-	if _, err := Replay(rs, eng); err != nil {
+	if _, _, err := Replay(rs, eng); err != nil {
 		t.Fatal(err)
 	}
 	if eng.Version() != live.Version() || !reflect.DeepEqual(eng.Instance(), live.Instance()) {
@@ -559,5 +572,58 @@ func TestFsyncAccounting(t *testing.T) {
 	}
 	if st := fs2.Stats(); st.Syncs != 1 {
 		t.Fatalf("batch-mode Close synced %d times, want 1", st.Syncs)
+	}
+}
+
+// TestFsyncBatchIdleFlush pins the group-commit loss bound during a
+// traffic pause: with no further appends arriving, the background flusher
+// must sync a dirty tail within roughly one interval, instead of leaving
+// it unsynced until the next append or Close.
+func TestFsyncBatchIdleFlush(t *testing.T) {
+	fs := openT(t, t.TempDir(), FileOptions{Fsync: FsyncBatch, FsyncInterval: 20 * time.Millisecond})
+	defer fs.Close()
+	if err := fs.AppendBatch([]engine.Mutation{engine.TaskRemoval(1)}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fs.Stats().Syncs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle flusher never synced the dirty tail")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestOversizedBatchRejected pins the append-time record cap: a batch
+// whose encoding exceeds the WAL payload limit must be rejected up front —
+// recovery refuses oversized records, so writing one would produce a log
+// the store could never boot from — and the store must stay fully usable.
+func TestOversizedBatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	fs := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	mut := engine.WorkerUpsert(model.Worker{ID: 1, Loc: geo.Pt(0.5, 0.5), Speed: 1, Dir: geo.FullCircle, Confidence: 0.9, Depart: 5})
+	big := make([]engine.Mutation, maxRecordPayload/mutEncodedLen(mut)+1)
+	for i := range big {
+		big[i] = mut
+	}
+	if err := fs.AppendBatch(big); err == nil {
+		t.Fatal("oversized batch was appended")
+	}
+	// The rejection must not poison the store: a normal append still lands
+	// and is the only thing recovery sees.
+	if err := fs.AppendBatch([]engine.Mutation{mut}); err != nil {
+		t.Fatalf("append after oversized rejection: %v", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fs2 := openT(t, dir, FileOptions{Fsync: FsyncOff})
+	defer fs2.Close()
+	rs, err := fs2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Records) != 1 || rs.Records[0].Seq != 1 || len(rs.Records[0].Muts) != 1 {
+		t.Fatalf("recovered %d records after oversized rejection, want 1 normal record at seq 1", len(rs.Records))
 	}
 }

@@ -23,7 +23,9 @@ import (
 //	u64 sequence number (strictly increasing per append, 1-based)
 //	u32 mutation count
 //	per mutation: u8 op, then the op's fields (IDs as i32, floats as raw
-//	IEEE-754 bits — NaNs and signed zeros round-trip exactly)
+//	IEEE-754 bits — NaNs and signed zeros round-trip exactly). Upserts
+//	carry a u64 recency epoch after the ID (see engine.Mutation.Epoch);
+//	removals carry only the ID.
 //
 // The encoding is canonical: every field is fixed-width, the op and kind
 // bytes are validated, and DecodeRecord requires the payload to be consumed
@@ -71,12 +73,23 @@ type Record struct {
 func mutEncodedLen(m engine.Mutation) int {
 	switch m.Op {
 	case engine.OpUpsertTask:
-		return 1 + 4 + 4*8
+		return 1 + 4 + 8 + 4*8 // op, id, epoch, loc/start/end
 	case engine.OpUpsertWorker:
-		return 1 + 4 + 7*8
+		return 1 + 4 + 8 + 7*8 // op, id, epoch, loc/speed/dir/conf/depart
 	default: // removals carry only the ID
 		return 1 + 4
 	}
+}
+
+// recordPayloadLen returns the encoded payload size of one record holding
+// muts. AppendBatch enforces maxRecordPayload against it before writing, so
+// the WAL never holds a record recovery would refuse to read.
+func recordPayloadLen(muts []engine.Mutation) int {
+	n := 1 + 8 + 4 // kind, seq, count
+	for _, m := range muts {
+		n += mutEncodedLen(m)
+	}
+	return n
 }
 
 func appendU32(b []byte, v uint32) []byte {
@@ -93,11 +106,7 @@ func appendF64(b []byte, v float64) []byte {
 
 // EncodeRecord renders the record as one framed WAL entry.
 func EncodeRecord(rec Record) []byte {
-	n := 1 + 8 + 4
-	for _, m := range rec.Muts {
-		n += mutEncodedLen(m)
-	}
-	payload := make([]byte, 0, n)
+	payload := make([]byte, 0, recordPayloadLen(rec.Muts))
 	payload = append(payload, recordBatch)
 	payload = appendU64(payload, rec.Seq)
 	payload = appendU32(payload, uint32(len(rec.Muts)))
@@ -106,6 +115,7 @@ func EncodeRecord(rec Record) []byte {
 		switch m.Op {
 		case engine.OpUpsertTask:
 			payload = appendU32(payload, uint32(m.Task.ID))
+			payload = appendU64(payload, m.Epoch)
 			payload = appendF64(payload, m.Task.Loc.X)
 			payload = appendF64(payload, m.Task.Loc.Y)
 			payload = appendF64(payload, m.Task.Start)
@@ -114,6 +124,7 @@ func EncodeRecord(rec Record) []byte {
 			payload = appendU32(payload, uint32(m.TaskID))
 		case engine.OpUpsertWorker:
 			payload = appendU32(payload, uint32(m.Worker.ID))
+			payload = appendU64(payload, m.Epoch)
 			payload = appendF64(payload, m.Worker.Loc.X)
 			payload = appendF64(payload, m.Worker.Loc.Y)
 			payload = appendF64(payload, m.Worker.Speed)
@@ -198,19 +209,17 @@ func decodePayload(payload []byte) (Record, error) {
 		m.Op = engine.Op(r.u8())
 		switch m.Op {
 		case engine.OpUpsertTask:
-			m.Task = model.Task{
-				ID:    model.TaskID(int32(r.u32())),
-				Loc:   geo.Point{X: r.f64(), Y: r.f64()},
-				Start: r.f64(),
-				End:   r.f64(),
-			}
+			m.Task.ID = model.TaskID(int32(r.u32()))
+			m.Epoch = r.u64()
+			m.Task.Loc = geo.Point{X: r.f64(), Y: r.f64()}
+			m.Task.Start = r.f64()
+			m.Task.End = r.f64()
 		case engine.OpRemoveTask:
 			m.TaskID = model.TaskID(int32(r.u32()))
 		case engine.OpUpsertWorker:
-			m.Worker = model.Worker{
-				ID:  model.WorkerID(int32(r.u32())),
-				Loc: geo.Point{X: r.f64(), Y: r.f64()},
-			}
+			m.Worker.ID = model.WorkerID(int32(r.u32()))
+			m.Epoch = r.u64()
+			m.Worker.Loc = geo.Point{X: r.f64(), Y: r.f64()}
 			m.Worker.Speed = r.f64()
 			m.Worker.Dir = geo.AngInterval{Lo: r.f64(), Width: r.f64()}
 			m.Worker.Confidence = r.f64()
