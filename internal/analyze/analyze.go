@@ -1,0 +1,146 @@
+// Package analyze is rdbsc-vet's analysis suite: five custom static
+// analyzers that mechanically enforce the repository's correctness
+// invariants — the properties every exactness guarantee (bit-identical
+// sharded vs monolithic solves, solve-identical crash recovery,
+// zero-staleness solve caching) quietly depends on:
+//
+//   - determinism: no map-iteration-order or wall-clock/global-rand
+//     nondeterminism in the solve-plane packages.
+//   - scratchpair: every scratch.Buffers acquisition is released on every
+//     return path, and pooled slices never escape their owner.
+//   - snapshotro: engine.Snapshot is immutable outside internal/engine.
+//   - ctxflow: solver/serve/cluster entry points thread context.Context;
+//     library code never manufactures context.Background().
+//   - epochstamp: every cluster-constructed upsert mutation reaches a
+//     shard with a recency epoch assigned (the PR-8 crash-safety bug
+//     class, caught at build time forever after).
+//
+// The framework deliberately mirrors golang.org/x/tools/go/analysis
+// (Analyzer, Pass, Diagnostic) but is built on the standard library
+// alone, so the module stays dependency-free. cmd/rdbsc-vet drives the
+// suite either standalone (rdbsc-vet ./...) or as a `go vet -vettool`
+// compatible unit checker.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named invariant check. Run inspects a single package
+// through the Pass and reports findings via Pass.Reportf.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and enable flags.
+	Name string
+	// Doc is the one-paragraph description shown by `rdbsc-vet help`.
+	Doc string
+	// Run performs the check. A non-nil error aborts the whole run (it
+	// means the analyzer itself failed, not that the code is in
+	// violation — violations are Diagnostics).
+	Run func(*Pass) error
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	// Pos locates the violation.
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string
+	// Message describes the violation and, where possible, the fix.
+	Message string
+}
+
+// Pass carries one package's syntax and type information through an
+// Analyzer.Run invocation.
+type Pass struct {
+	// Analyzer is the currently running analyzer.
+	Analyzer *Analyzer
+	// Fset maps token positions for Files.
+	Fset *token.FileSet
+	// Files holds the package's parsed sources. Test files
+	// (*_test.go) may be present when driven by `go vet`; analyzers
+	// skip them via NonTestFiles, since every invariant in this suite
+	// is about library code.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info is the package's type information (fully populated).
+	Info *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records a violation at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// NonTestFiles returns the pass's files excluding *_test.go sources.
+func (p *Pass) NonTestFiles() []*ast.File {
+	files := make([]*ast.File, 0, len(p.Files))
+	for _, f := range p.Files {
+		name := p.Fset.Position(f.Package).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, f)
+	}
+	return files
+}
+
+// All returns the full suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		ScratchPair,
+		SnapshotRO,
+		CtxFlow,
+		EpochStamp,
+	}
+}
+
+// RunAnalyzers runs each analyzer over the package described by (fset,
+// files, pkg, info) and returns the diagnostics sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return diags, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sortDiagnostics(fset, diags)
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	less := func(a, b Diagnostic) bool {
+		pa, pb := fset.Position(a.Pos), fset.Position(b.Pos)
+		if pa.Filename != pb.Filename {
+			return pa.Filename < pb.Filename
+		}
+		if pa.Line != pb.Line {
+			return pa.Line < pb.Line
+		}
+		if pa.Column != pb.Column {
+			return pa.Column < pb.Column
+		}
+		return a.Analyzer < b.Analyzer
+	}
+	// Insertion sort: diagnostic counts are tiny (zero, on a clean tree).
+	for i := 1; i < len(diags); i++ {
+		for j := i; j > 0 && less(diags[j], diags[j-1]); j-- {
+			diags[j], diags[j-1] = diags[j-1], diags[j]
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package analyze
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// sharedLoader loads the whole module (plus the std packages fixtures
+// import) once for all tests: go list -export is the expensive step.
+var (
+	loadOnce   sync.Once
+	sharedL    *Loader
+	repoPkgs   []*Package
+	sharedErr  error
+	stdImports = []string{"fmt", "math/rand", "sort", "time", "context", "net", "net/http"}
+)
+
+func load(t *testing.T) (*Loader, []*Package) {
+	t.Helper()
+	loadOnce.Do(func() {
+		sharedL = &Loader{}
+		patterns := append([]string{"rdbsc/..."}, stdImports...)
+		repoPkgs, sharedErr = sharedL.Load(patterns...)
+	})
+	if sharedErr != nil {
+		t.Fatalf("loading module: %v", sharedErr)
+	}
+	return sharedL, repoPkgs
+}
+
+// want is one expected diagnostic: a regexp anchored to a fixture line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantToken = regexp.MustCompile("`([^`]+)`|\"([^\"]+)\"")
+
+// runFixture analyzes testdata/src/<name> with the single analyzer and
+// checks its diagnostics against the fixture's // want comments.
+func runFixture(t *testing.T, name string, a *Analyzer) {
+	t.Helper()
+	l, _ := load(t)
+	dir := filepath.Join("testdata", "src", name)
+	pkg, err := l.LoadDir(dir, "fixture/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				matches := wantToken.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+				}
+				for _, m := range matches {
+					expr := m[1]
+					if expr == "" {
+						expr = m[2]
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, expr, err)
+					}
+					wants = append(wants, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", name)
+	}
+
+	diags, err := RunAnalyzers([]*Analyzer{a}, pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == filepath.Base(pos.Filename) && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) { runFixture(t, "determinism", Determinism) }
+func TestScratchPairFixture(t *testing.T) { runFixture(t, "scratchpair", ScratchPair) }
+func TestSnapshotROFixture(t *testing.T)  { runFixture(t, "snapshotro", SnapshotRO) }
+func TestCtxFlowFixture(t *testing.T)     { runFixture(t, "ctxflow", CtxFlow) }
+func TestEpochStampFixture(t *testing.T)  { runFixture(t, "epochstamp", EpochStamp) }
+
+// TestRepoClean runs the full suite over every package in the module and
+// requires zero findings: the repository must satisfy its own
+// invariants. A failure here means either a real violation slipped in
+// (fix the code) or the analyzer over-matches an established idiom
+// (refine the analyzer — never suppress).
+func TestRepoClean(t *testing.T) {
+	_, pkgs := load(t)
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(All(), pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			total++
+			t.Errorf("%s: %s [%s]", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
+	}
+	if total == 0 {
+		t.Logf("suite clean over %d packages", len(pkgs))
+	}
+}
+
+// TestAnalyzerMetadata keeps names and docs present — they surface in
+// rdbsc-vet's usage output and diagnostics.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing metadata", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("expected 5 analyzers, got %d", len(seen))
+	}
+}
+
+// TestDiagnosticSorting pins the position ordering RunAnalyzers promises.
+func TestDiagnosticSorting(t *testing.T) {
+	l, _ := load(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "determinism"), "fixture/determinism-sort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunAnalyzers(All(), pkg.Fset, pkg.Files, pkg.Types, pkg.Info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := pkg.Fset.Position(diags[i-1].Pos), pkg.Fset.Position(diags[i].Pos)
+		ka := fmt.Sprintf("%s:%08d:%08d", a.Filename, a.Line, a.Column)
+		kb := fmt.Sprintf("%s:%08d:%08d", b.Filename, b.Line, b.Column)
+		if ka > kb {
+			t.Errorf("diagnostics out of order: %s before %s", ka, kb)
+		}
+	}
+}

@@ -1,0 +1,357 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deterministicPkgs names the solve-plane packages whose outputs must be
+// bit-reproducible for a given input and seed: every exactness guarantee
+// in the repo (sharded == monolithic, recovery == uninterrupted run,
+// cache key == result identity) is a statement about these packages.
+// Matching is by package name so the analysistest fixtures — which live
+// under synthetic import paths — exercise the same code path.
+var deterministicPkgs = map[string]bool{
+	"core":      true,
+	"objective": true,
+	"decompose": true,
+	"engine":    true,
+	"diversity": true,
+	"grid":      true,
+}
+
+// Determinism flags the nondeterminism sources that have historically
+// produced order-dependent output in the solve plane:
+//
+//   - ranging over a map while appending to an outer slice (unless the
+//     slice is sorted afterwards in the same function — the canonical
+//     collect-then-sort idiom), writing output, or sending on a channel:
+//     map iteration order is randomized per run, and floating-point
+//     summation plus solver tie-breaking are both order-sensitive.
+//   - time.Now, except the start/time.Since pattern used purely for
+//     duration measurement: wall-clock values must never feed data.
+//   - the global math/rand source (rand.Intn, rand.Shuffle, ...): all
+//     solver randomness must come from an explicitly seeded source so
+//     runs replay.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag map-iteration-order, wall-clock, and global-rand nondeterminism " +
+		"in the deterministic solve-plane packages (core, objective, decompose, " +
+		"engine, diversity, grid)",
+	Run: runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !deterministicPkgs[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, file := range pass.NonTestFiles() {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body)
+			checkClockAndRand(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkMapRanges inspects every `range` over a map inside body (body is
+// a whole function body, so "sorted later in the same function" can be
+// resolved lexically).
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if _, isMap := pass.Info.Types[rng.X].Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, body, rng)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(stmt.Pos(), "send on a channel inside range over map: receiver observes randomized iteration order")
+		case *ast.CallExpr:
+			checkMapRangeCall(pass, fnBody, rng, stmt)
+		}
+		return true
+	})
+}
+
+func checkMapRangeCall(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, call *ast.CallExpr) {
+	// Ordered output: fmt printing or io writing inside the loop body.
+	if path, name := calleePkgFunc(pass.Info, call); path == "fmt" &&
+		(hasPrefix(name, "Print") || hasPrefix(name, "Fprint")) {
+		pass.Reportf(call.Pos(), "%s.%s inside range over map: output follows randomized iteration order", "fmt", name)
+		return
+	}
+	if _, _, method, ok := methodOn(pass.Info, call); ok &&
+		(method == "Write" || method == "WriteString" || method == "WriteByte" || method == "WriteRune") {
+		pass.Reportf(call.Pos(), "%s inside range over map: output follows randomized iteration order", method)
+		return
+	}
+	// Appends to a slice declared outside the loop, in iteration order.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+		return
+	} else if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	target := objectOf(pass.Info, rootExpr(call.Args[0]))
+	if target == nil {
+		return
+	}
+	if target.Pos() > rng.Pos() && target.Pos() < rng.End() {
+		return // loop-local slice: its order never leaves the iteration
+	}
+	if sortedAfter(pass, fnBody, rng, target) {
+		return // collect-then-sort: order is re-established
+	}
+	pass.Reportf(call.Pos(), "append to %s inside range over map without a subsequent sort: "+
+		"element order follows randomized map iteration (collect then sort, or iterate sorted keys)", target.Name())
+}
+
+// sortedAfter reports whether the collected slice is re-ordered
+// deterministically after the range statement: passed — directly, or via
+// an append-derived slice (merged := append(other, v...)) — to a sort.*
+// or slices.* call, or to a package-local helper that sorts the
+// corresponding parameter. This is the canonical way map-iteration order
+// is laundered back to determinism.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, v *types.Var) bool {
+	// carriers tracks every variable holding the collected order: v
+	// itself plus slices derived from it by append.
+	carriers := map[*types.Var]bool{v: true}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fnBody, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || assign.Pos() < rng.End() {
+				return true
+			}
+			for i, rhs := range assign.Rhs {
+				if i >= len(assign.Lhs) || !appendsCarrier(pass, rhs, carriers) {
+					continue
+				}
+				if lv := objectOf(pass.Info, assign.Lhs[i]); lv != nil && !carriers[lv] {
+					carriers[lv] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() || found {
+			return !found
+		}
+		argIdx := -1
+		for i, arg := range call.Args {
+			if o := objectOf(pass.Info, rootExpr(arg)); o != nil && carriers[o] {
+				argIdx = i
+			}
+		}
+		if argIdx == -1 {
+			return true
+		}
+		path, name := calleePkgFunc(pass.Info, call)
+		if path == "sort" || path == "slices" {
+			found = true
+		} else if path == pass.Pkg.Path() && helperSortsParam(pass, name, argIdx) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// appendsCarrier reports whether e contains an append call taking a
+// carrier variable as an argument (including variadic c... spreads).
+func appendsCarrier(pass *Pass, e ast.Expr, carriers map[*types.Var]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		id, isIdent := ast.Unparen(call.Fun).(*ast.Ident)
+		if !isIdent || id.Name != "append" {
+			return true
+		}
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		for _, arg := range call.Args {
+			if o := objectOf(pass.Info, rootExpr(arg)); o != nil && carriers[o] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// helperSortsParam reports whether the same-package function name sorts
+// its argIdx-th parameter with sort.*/slices.* — the sortWIDs(ids)
+// pattern, where the sort lives behind a tiny local helper.
+func helperSortsParam(pass *Pass, name string, argIdx int) bool {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Name.Name != name || fd.Body == nil {
+				continue
+			}
+			// Resolve the argIdx-th parameter's variable.
+			var param *types.Var
+			i := 0
+			for _, field := range fd.Type.Params.List {
+				for _, pname := range field.Names {
+					if i == argIdx {
+						param, _ = pass.Info.Defs[pname].(*types.Var)
+					}
+					i++
+				}
+			}
+			if param == nil {
+				return false
+			}
+			sorts := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || sorts {
+					return !sorts
+				}
+				if path, _ := calleePkgFunc(pass.Info, call); path != "sort" && path != "slices" {
+					return true
+				}
+				for _, arg := range call.Args {
+					if objectOf(pass.Info, rootExpr(arg)) == param {
+						sorts = true
+					}
+				}
+				return !sorts
+			})
+			return sorts
+		}
+	}
+	return false
+}
+
+// checkClockAndRand flags time.Now outside the duration-measurement
+// idiom and any use of math/rand's global source.
+func checkClockAndRand(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name := calleePkgFunc(pass.Info, call)
+		switch {
+		case path == "time" && name == "Now":
+			if !onlyFeedsSince(pass, body, call) {
+				pass.Reportf(call.Pos(), "time.Now in a deterministic package: wall-clock values must not feed solver data "+
+					"(only the start := time.Now(); ...; time.Since(start) measurement idiom is allowed)")
+			}
+		case (path == "math/rand" || path == "math/rand/v2") && globalRandFuncs[name]:
+			pass.Reportf(call.Pos(), "%s.%s uses the global random source: solver randomness must come from an "+
+				"explicitly seeded source (internal/rng) so runs replay", path, name)
+		}
+		return true
+	})
+}
+
+// globalRandFuncs are the math/rand package-level functions backed by
+// the process-global, non-replayable source.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Int32": true, "Int32N": true, "IntN": true,
+	"Int64": true, "Int64N": true, "Uint32": true, "Uint64": true, "Uint32N": true, "Uint64N": true,
+	"UintN": true, "Uint": true, "N": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+// onlyFeedsSince reports whether the time.Now() call is the canonical
+// duration-measurement idiom: its result is bound to a variable whose
+// every use is as the argument of time.Since, or it is itself the
+// direct argument of time.Sub/Since-style elapsed computation.
+func onlyFeedsSince(pass *Pass, body *ast.BlockStmt, call *ast.CallExpr) bool {
+	// Find the assignment binding the call's result.
+	var bound *types.Var
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || bound != nil {
+			return bound == nil
+		}
+		for i, rhs := range assign.Rhs {
+			if ast.Unparen(rhs) == call && i < len(assign.Lhs) {
+				bound = objectOf(pass.Info, assign.Lhs[i])
+			}
+		}
+		return bound == nil
+	})
+	if bound == nil {
+		return false
+	}
+	// Every other use of the variable must be time.Since(v) or a
+	// subtraction method receiver/operand (t2.Sub(v)).
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, isIdent := n.(*ast.Ident)
+		if !isIdent || pass.Info.Uses[id] != bound {
+			return true
+		}
+		if !insideSinceOrSub(pass, body, id) {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// insideSinceOrSub reports whether the identifier use sits inside a
+// time.Since(...) or (time.Time).Sub(...) call.
+func insideSinceOrSub(pass *Pass, body *ast.BlockStmt, id *ast.Ident) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		if call.Pos() > id.Pos() || call.End() < id.End() {
+			return true
+		}
+		if path, name := calleePkgFunc(pass.Info, call); path == "time" && name == "Since" {
+			if containsNode(call, id) {
+				found = true
+			}
+		}
+		if _, recvName, method, ok := methodOn(pass.Info, call); ok && method == "Sub" && recvName == "Time" {
+			if containsNode(call, id) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func containsNode(outer ast.Node, inner ast.Node) bool {
+	return outer.Pos() <= inner.Pos() && inner.End() <= outer.End()
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}

@@ -1,0 +1,389 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// EpochStamp enforces the cluster's recency-epoch invariant, the PR-8
+// crash-safety bug class caught at build time: every upsert mutation the
+// cluster plane constructs must reach a shard apply loop with
+// Mutation.Epoch assigned. Recovery resolves duplicate entity copies —
+// left on two shards by a crash mid cross-shard move — by
+// higher-epoch-wins; an unstamped upsert (Epoch zero) loses that
+// comparison to any stamped copy, so a stale pre-move copy could clobber
+// an acknowledged post-move write after a crash.
+//
+// Within internal/cluster (non-test), the analyzer flags any upsert
+// construction — engine.TaskUpsert(...), engine.WorkerUpsert(...), or an
+// engine.Mutation literal whose Op is (or defaults to) an upsert — that
+// is neither stamped in the constructing function (a later `.Epoch =`
+// assignment, or Epoch set in the literal) nor handed to a *stamping*
+// function of the package. A function stamps if it assigns `.Epoch` on a
+// mutation itself or forwards mutations to another stamping function
+// (computed as a fixpoint), so the exemption survives refactors of the
+// chokepoint but disappears the moment nobody stamps — exactly the
+// pre-fix PR-8 shape.
+var EpochStamp = &Analyzer{
+	Name: "epochstamp",
+	Doc: "every engine.Mutation upsert constructed in internal/cluster must " +
+		"have Epoch assigned before it reaches a shard apply loop",
+	Run: runEpochStamp,
+}
+
+func runEpochStamp(pass *Pass) error {
+	if pass.Pkg.Path() != "rdbsc/internal/cluster" && pass.Pkg.Name() != "cluster" {
+		return nil
+	}
+	files := pass.NonTestFiles()
+	decls := funcDecls(files)
+	stampers := stampingFunctions(pass, decls)
+	for _, fd := range decls {
+		checkUpsertConstructions(pass, fd, stampers)
+	}
+	return nil
+}
+
+// stampingFunctions computes the package's stamping set: functions that
+// assign .Epoch on an engine.Mutation, plus (transitively) functions
+// that forward mutation-typed arguments to a stamping function.
+func stampingFunctions(pass *Pass, decls []*ast.FuncDecl) map[*types.Func]bool {
+	stampers := make(map[*types.Func]bool)
+	objOf := func(fd *ast.FuncDecl) *types.Func {
+		f, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		return f
+	}
+	// Seed: direct .Epoch writers.
+	for _, fd := range decls {
+		if fn := objOf(fd); fn != nil && assignsEpoch(pass, fd.Body) {
+			stampers[fn] = true
+		}
+	}
+	// Fixpoint: forwarding mutations to a stamper stamps.
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			fn := objOf(fd)
+			if fn == nil || stampers[fn] {
+				continue
+			}
+			if forwardsMutationToStamper(pass, fd.Body, stampers) {
+				stampers[fn] = true
+				changed = true
+			}
+		}
+	}
+	return stampers
+}
+
+// assignsEpoch reports whether body assigns <mutation>.Epoch.
+func assignsEpoch(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, lhs := range assign.Lhs {
+			if isEpochSelector(pass, lhs) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isEpochSelector(pass *Pass, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Epoch" {
+		return false
+	}
+	return mutationType(pass.Info.Types[sel.X].Type)
+}
+
+// mutationType reports whether t is engine.Mutation, *engine.Mutation,
+// or a slice of either.
+func mutationType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if sl, ok := t.Underlying().(*types.Slice); ok {
+		t = sl.Elem()
+	}
+	return isNamed(t, enginePath, "Mutation")
+}
+
+// forwardsMutationToStamper reports whether body calls a known stamping
+// function with a mutation-typed argument.
+func forwardsMutationToStamper(pass *Pass, body *ast.BlockStmt, stampers map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		callee := funcOf(pass.Info, call)
+		if callee == nil || !stampers[callee] {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mutationType(pass.Info.Types[arg].Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkUpsertConstructions flags unstamped upsert constructions in fd.
+func checkUpsertConstructions(pass *Pass, fd *ast.FuncDecl, stampers map[*types.Func]bool) {
+	// Parent tracking: ast.Inspect with an explicit stack.
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		e, ok := n.(ast.Expr)
+		if !ok || !isUpsertConstruction(pass, e) {
+			return true
+		}
+		if !upsertObligationMet(pass, fd, e, stack, stampers) {
+			pass.Reportf(e.Pos(), "upsert mutation constructed without a recency epoch: assign .Epoch (or route "+
+				"through the cluster's stamping entry point) before it reaches a shard — an unstamped upsert loses "+
+				"recovery's higher-epoch-wins duplicate resolution (the PR-8 crash bug)")
+		}
+		return true
+	})
+}
+
+// isUpsertConstruction matches engine.TaskUpsert / engine.WorkerUpsert
+// calls and engine.Mutation literals whose Op is (or defaults to, Op's
+// zero value being OpUpsertTask) an upsert.
+func isUpsertConstruction(pass *Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CallExpr:
+		path, name := calleePkgFunc(pass.Info, x)
+		return path == enginePath && (name == "TaskUpsert" || name == "WorkerUpsert")
+	case *ast.CompositeLit:
+		if !isNamed(pass.Info.Types[x].Type, enginePath, "Mutation") {
+			return false
+		}
+		if epochKeyed(x, "Epoch") {
+			return false // stamped in the literal itself
+		}
+		opSet, opIsUpsert := false, false
+		payload := false
+		for i, el := range x.Elts {
+			kv, ok := el.(*ast.KeyValueExpr)
+			if !ok {
+				// Positional literal: field 0 is Op.
+				if i == 0 {
+					opSet = true
+					opIsUpsert = isUpsertOp(pass, el)
+				}
+				continue
+			}
+			key, _ := kv.Key.(*ast.Ident)
+			if key == nil {
+				continue
+			}
+			switch key.Name {
+			case "Op":
+				opSet = true
+				opIsUpsert = isUpsertOp(pass, kv.Value)
+			case "Task", "Worker":
+				payload = true
+			}
+		}
+		if opSet {
+			return opIsUpsert
+		}
+		// No Op field: the zero Op is OpUpsertTask, so a literal carrying
+		// an upsert payload is an (easy to miss) upsert construction.
+		return payload
+	}
+	return false
+}
+
+func epochKeyed(lit *ast.CompositeLit, field string) bool {
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if key, ok := kv.Key.(*ast.Ident); ok && key.Name == field {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isUpsertOp(pass *Pass, e ast.Expr) bool {
+	id := identOf(e)
+	if id == nil {
+		return false
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != enginePath {
+		return false
+	}
+	return obj.Name() == "OpUpsertTask" || obj.Name() == "OpUpsertWorker"
+}
+
+func identOf(e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x
+	case *ast.SelectorExpr:
+		return x.Sel
+	}
+	return nil
+}
+
+// upsertObligationMet resolves how the constructed upsert is used and
+// whether that use satisfies the stamping obligation.
+func upsertObligationMet(pass *Pass, fd *ast.FuncDecl, c ast.Expr, stack []ast.Node, stampers map[*types.Func]bool) bool {
+	// Find the construction's immediate consumer in the parent chain.
+	var parent ast.Node
+	for i := len(stack) - 2; i >= 0; i-- {
+		if _, isParen := stack[i+1].(*ast.ParenExpr); isParen {
+			continue
+		}
+		parent = stack[i]
+		break
+	}
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		// Direct argument: append(s, C) inherits the obligation on s;
+		// a call to a stamper satisfies it; anything else does not.
+		if id, ok := ast.Unparen(p.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				if carrier := appendTarget(pass, stack, p); carrier != nil {
+					return carrierDischarged(pass, fd, c.Pos(), carrier, stampers)
+				}
+				return false
+			}
+		}
+		callee := funcOf(pass.Info, p)
+		return callee != nil && stampers[callee]
+	case *ast.AssignStmt:
+		for i, rhs := range p.Rhs {
+			if ast.Unparen(rhs) == c && i < len(p.Lhs) {
+				if v := objectOf(pass.Info, p.Lhs[i]); v != nil {
+					return carrierDischarged(pass, fd, c.Pos(), v, stampers)
+				}
+			}
+		}
+		return false
+	case *ast.KeyValueExpr, *ast.CompositeLit:
+		// Element of a larger literal ([]engine.Mutation{...}): find the
+		// literal's binding through the stack.
+		for i := len(stack) - 2; i >= 0; i-- {
+			if as, ok := stack[i].(*ast.AssignStmt); ok {
+				for j, rhs := range as.Rhs {
+					if containsNode(rhs, c) && j < len(as.Lhs) {
+						if v := objectOf(pass.Info, as.Lhs[j]); v != nil {
+							return carrierDischarged(pass, fd, c.Pos(), v, stampers)
+						}
+					}
+				}
+				return false
+			}
+			if call, ok := stack[i].(*ast.CallExpr); ok {
+				callee := funcOf(pass.Info, call)
+				return callee != nil && stampers[callee]
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// appendTarget resolves s in s = append(s, ...) through the stack.
+func appendTarget(pass *Pass, stack []ast.Node, appendCall *ast.CallExpr) *types.Var {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if as, ok := stack[i].(*ast.AssignStmt); ok {
+			for j, rhs := range as.Rhs {
+				if containsNode(rhs, appendCall) && j < len(as.Lhs) {
+					return objectOf(pass.Info, as.Lhs[j])
+				}
+			}
+		}
+	}
+	if len(appendCall.Args) > 0 {
+		return objectOf(pass.Info, rootExpr(appendCall.Args[0]))
+	}
+	return nil
+}
+
+// carrierDischarged reports whether, after pos, the carrier variable is
+// stamped (carrier.Epoch = ... / carrier[i].Epoch = ...) or handed to a
+// stamping function.
+func carrierDischarged(pass *Pass, fd *ast.FuncDecl, pos token.Pos, carrier *types.Var, stampers map[*types.Func]bool) bool {
+	ok := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ok || n == nil || n.Pos() < pos {
+			return !ok
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				if sel, isSel := ast.Unparen(lhs).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Epoch" {
+					if objectOf(pass.Info, rootExpr(sel)) == carrier {
+						ok = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callee := funcOf(pass.Info, x)
+			if callee == nil || !stampers[callee] {
+				return true
+			}
+			for _, arg := range x.Args {
+				if objectOf(pass.Info, rootExpr(arg)) == carrier {
+					ok = true
+				}
+			}
+		}
+		return !ok
+	})
+	if ok {
+		return true
+	}
+	// The carrier may itself be ranged over with the element handed to a
+	// stamper: for _, m := range muts { c.Enqueue(m, reply) }.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rng, isRange := n.(*ast.RangeStmt)
+		if ok || !isRange || rng.Pos() < pos {
+			return !ok
+		}
+		if objectOf(pass.Info, rootExpr(rng.X)) != carrier || rng.Value == nil {
+			return true
+		}
+		elem := objectOf(pass.Info, rng.Value)
+		if elem == nil {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, isCall := m.(*ast.CallExpr)
+			if ok || !isCall {
+				return !ok
+			}
+			callee := funcOf(pass.Info, call)
+			if callee == nil || !stampers[callee] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if objectOf(pass.Info, rootExpr(arg)) == elem {
+					ok = true
+				}
+			}
+			return !ok
+		})
+		return !ok
+	})
+	return ok
+}

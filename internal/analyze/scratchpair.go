@@ -1,0 +1,718 @@
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+const scratchPath = "rdbsc/internal/scratch"
+
+// ScratchPair enforces the scratch.Buffers ownership contract that keeps
+// the allocation-free solve plane leak-free:
+//
+//   - every pooled acquisition — a Buffers getter (F64/Int/I32/Bool and
+//     their Cap/Zero variants), scratch.Get(), or a call to a *Buf
+//     function that returns pooled memory — must be released (matching
+//     Put*, scratch.Put, or the value's release method) on every return
+//     path of the acquiring function;
+//   - pooled memory must not escape its owner: not returned (except from
+//     a *Buf-suffixed function, whose name is the repo's ownership-
+//     transfer convention), not stored through a non-local lvalue, and
+//     not handed to a goroutine.
+//
+// The analysis is per-function and path-merging: a release inside one
+// branch of an if/switch does not count for the other branches.
+var ScratchPair = &Analyzer{
+	Name: "scratchpair",
+	Doc: "require a matching Put for every scratch.Buffers acquisition on all " +
+		"return paths, and flag pooled slices that escape their owning function",
+	Run: runScratchPair,
+}
+
+// getterKinds maps Buffers getter methods to pool kinds.
+var getterKinds = map[string]string{
+	"F64": "f64", "F64Cap": "f64",
+	"Int": "int", "IntZero": "int", "IntCap": "int",
+	"I32": "i32", "I32Cap": "i32",
+	"Bool": "bool", "BoolZero": "bool",
+}
+
+// putKinds maps Buffers Put methods to the pool kinds they release.
+var putKinds = map[string]string{
+	"PutF64": "f64", "PutInt": "int", "PutI32": "i32", "PutBool": "bool",
+}
+
+// putNameFor maps pool kinds back to the release call a diagnostic
+// should suggest.
+var putNameFor = map[string]string{
+	"f64": "PutF64", "int": "PutInt", "i32": "PutI32", "bool": "PutBool",
+	"buffers": "scratch.Put", "release": "its release method",
+}
+
+// spToken is one live pooled acquisition: the variable (and, for
+// composite-literal field acquisitions like fenwick{tree: bufs.IntZero(n)},
+// the field) that owns the memory.
+type spToken struct {
+	id    token.Pos // acquisition position; doubles as identity
+	root  *types.Var
+	field string
+	kind  string
+	what  string // human description for diagnostics
+}
+
+// spState is the per-path analysis state.
+type spState struct {
+	pass     *Pass
+	fname    string
+	reported map[string]bool
+	aliases  map[*types.Var]*types.Var
+}
+
+type spLive map[token.Pos]spToken
+
+func runScratchPair(pass *Pass) error {
+	for _, fd := range funcDecls(pass.NonTestFiles()) {
+		checkScratchFunc(pass, funcDeclName(fd), fd.Body)
+		// Function literals own their acquisitions separately: a worker
+		// goroutine that does bufs := scratch.Get() ... scratch.Put(bufs)
+		// is balanced within the literal, not the enclosing function.
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkScratchFunc(pass, funcDeclName(fd)+" (func literal)", lit.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func funcDeclName(fd *ast.FuncDecl) string { return fd.Name.Name }
+
+func checkScratchFunc(pass *Pass, fname string, body *ast.BlockStmt) {
+	st := &spState{
+		pass:     pass,
+		fname:    fname,
+		reported: make(map[string]bool),
+		aliases:  make(map[*types.Var]*types.Var),
+	}
+	live := st.simBlock(body.List, make(spLive))
+	// Falling off the end of the function is an implicit return.
+	for _, tok := range live {
+		st.reportLeak(tok, "function end")
+	}
+}
+
+// simBlock simulates stmts in order over a copy-on-branch live set and
+// returns the live set at the block's end (empty if control cannot fall
+// through).
+func (st *spState) simBlock(stmts []ast.Stmt, live spLive) spLive {
+	for _, s := range stmts {
+		live = st.simStmt(s, live)
+	}
+	return live
+}
+
+func (st *spState) simStmt(s ast.Stmt, live spLive) spLive {
+	switch stmt := s.(type) {
+	case *ast.AssignStmt:
+		st.simAssign(stmt, live)
+	case *ast.DeclStmt:
+		if gd, ok := stmt.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					st.simBind(identExprs(vs.Names), vs.Values, live)
+				}
+			}
+		}
+	case *ast.ExprStmt:
+		st.simReleases(stmt.X, live)
+		if call, ok := ast.Unparen(stmt.X).(*ast.CallExpr); ok {
+			if isPanicCall(st.pass.Info, call) {
+				return make(spLive) // terminates the path
+			}
+			// A discarded acquisition can never be released.
+			for _, acq := range st.findAcquisitions(stmt.X) {
+				tok := spToken{id: acq.pos, kind: acq.kind, what: acq.what}
+				st.reportLeak(tok, "discarded result")
+			}
+		}
+	case *ast.DeferStmt:
+		// A deferred release covers every return path from here on.
+		st.simReleases(stmt.Call, live)
+		if lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit); ok {
+			st.simReleases(lit.Body, live)
+		}
+	case *ast.GoStmt:
+		st.checkGoroutineCapture(stmt, live)
+	case *ast.ReturnStmt:
+		st.simReturn(stmt, live)
+		return make(spLive)
+	case *ast.BlockStmt:
+		return st.simBlock(stmt.List, live)
+	case *ast.LabeledStmt:
+		return st.simStmt(stmt.Stmt, live)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			live = st.simStmt(stmt.Init, live)
+		}
+		thenOut := st.simBlock(stmt.Body.List, copyLive(live))
+		var elseOut spLive
+		if stmt.Else != nil {
+			elseOut = st.simStmt(stmt.Else, copyLive(live))
+		} else {
+			elseOut = live
+		}
+		return unionLive(thenOut, elseOut)
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			live = st.simStmt(stmt.Init, live)
+		}
+		bodyOut := st.simBlock(stmt.Body.List, copyLive(live))
+		return unionLive(live, bodyOut)
+	case *ast.RangeStmt:
+		bodyOut := st.simBlock(stmt.Body.List, copyLive(live))
+		return unionLive(live, bodyOut)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return st.simSwitch(stmt, live)
+	case *ast.SelectStmt:
+		var out spLive
+		for _, c := range stmt.Body.List {
+			clause := c.(*ast.CommClause)
+			out = unionLive(out, st.simBlock(clause.Body, copyLive(live)))
+		}
+		if out == nil {
+			return live
+		}
+		return out
+	}
+	return live
+}
+
+func (st *spState) simSwitch(s ast.Stmt, live spLive) spLive {
+	var body *ast.BlockStmt
+	var init ast.Stmt
+	hasDefault := false
+	switch sw := s.(type) {
+	case *ast.SwitchStmt:
+		body, init = sw.Body, sw.Init
+	case *ast.TypeSwitchStmt:
+		body, init = sw.Body, sw.Init
+	}
+	if init != nil {
+		live = st.simStmt(init, live)
+	}
+	var out spLive
+	for _, c := range body.List {
+		clause := c.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		out = unionLive(out, st.simBlock(clause.Body, copyLive(live)))
+	}
+	if !hasDefault {
+		out = unionLive(out, live)
+	}
+	if out == nil {
+		return live
+	}
+	return out
+}
+
+// simAssign handles acquisitions, aliases, releases, and store-escapes.
+func (st *spState) simAssign(assign *ast.AssignStmt, live spLive) {
+	// Releases can appear in assignment RHS (rare but legal).
+	for _, rhs := range assign.Rhs {
+		st.simReleases(rhs, live)
+	}
+	// Store-escape: a live pooled value assigned through a non-local
+	// lvalue (struct field of escaping value, map/slice element, deref).
+	for i, rhs := range assign.Rhs {
+		if i >= len(assign.Lhs) {
+			break
+		}
+		if v := objectOf(st.pass.Info, rhs); v != nil {
+			if tok, ok := st.findByRoot(live, v, ""); ok {
+				if _, isIdent := ast.Unparen(assign.Lhs[i]).(*ast.Ident); !isIdent {
+					st.report(assign.Pos(), "pooled %s %s is stored through %s: pooled memory must not outlive its owning function (release with %s instead)",
+						tok.kind, tok.what, exprString(assign.Lhs[i]), putNameFor[tok.kind])
+				}
+			}
+		}
+	}
+	st.simBind(assign.Lhs, assign.Rhs, live)
+}
+
+// identExprs converts a ValueSpec's name list to expressions.
+func identExprs(names []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(names))
+	for i, n := range names {
+		out[i] = n
+	}
+	return out
+}
+
+// acquisition is one pooled-memory-producing call found inside an
+// expression, with the composite-literal field it initializes (if any).
+type acquisition struct {
+	pos   token.Pos
+	kind  string
+	field string
+	what  string
+}
+
+// simBind records acquisitions and aliases for lhs = rhs bindings.
+func (st *spState) simBind(lhs, rhs []ast.Expr, live spLive) {
+	// Multi-value call: x, y := fBuf(...)
+	if len(rhs) == 1 && len(lhs) > 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			st.bindMultiResult(lhs, call, live)
+			return
+		}
+	}
+	for i, r := range rhs {
+		if i >= len(lhs) {
+			break
+		}
+		st.bindOne(lhs[i], r, live)
+	}
+}
+
+// bindMultiResult tracks pooled results of a multi-return *Buf call.
+func (st *spState) bindMultiResult(lhs []ast.Expr, call *ast.CallExpr, live spLive) {
+	kinds := st.bufCallResultKinds(call)
+	for i, kind := range kinds {
+		if kind == "" || i >= len(lhs) {
+			continue
+		}
+		if v := objectOf(st.pass.Info, lhs[i]); v != nil {
+			st.addToken(live, spToken{id: call.Pos(), root: v, field: "", kind: kind,
+				what: fmt.Sprintf("%q (from %s)", exprString(lhs[i]), exprString(call.Fun))})
+		}
+	}
+	// Acquisitions nested in the call's arguments still leak if unbound.
+	for _, arg := range call.Args {
+		for _, acq := range st.findAcquisitions(arg) {
+			st.reportLeak(spToken{id: acq.pos, kind: acq.kind, what: acq.what}, "unbound argument")
+		}
+	}
+}
+
+// bindOne tracks acquisitions inside a single rhs bound to a single lhs.
+func (st *spState) bindOne(lhs, rhs ast.Expr, live spLive) {
+	acqs := st.findAcquisitions(rhs)
+	if len(acqs) == 0 {
+		st.bindAlias(lhs, rhs, live)
+		return
+	}
+	v := objectOf(st.pass.Info, lhs)
+	if v == nil {
+		// Acquisition stored directly through a non-local lvalue.
+		for _, acq := range acqs {
+			st.report(acq.pos, "pooled %s acquisition is stored through %s: pooled memory must stay owned by the acquiring function",
+				acq.kind, exprString(lhs))
+		}
+		return
+	}
+	for _, acq := range acqs {
+		// Re-binding a variable that already owns live pooled memory of
+		// the same kind replaces the old token (treated as an update,
+		// not a leak, to stay conservative about loops).
+		if old, ok := st.findByRootKindField(live, v, acq.field, acq.kind); ok {
+			delete(live, old.id)
+		}
+		what := fmt.Sprintf("%q", exprString(lhs))
+		if acq.field != "" {
+			what = fmt.Sprintf("%q.%s", exprString(lhs), acq.field)
+		}
+		st.addToken(live, spToken{id: acq.pos, root: v, field: acq.field, kind: acq.kind, what: what})
+	}
+}
+
+// bindAlias records w := v / w := v[a:b] slice aliasing so that a later
+// Put through either name releases the same token.
+func (st *spState) bindAlias(lhs, rhs ast.Expr, live spLive) {
+	v := objectOf(st.pass.Info, lhs)
+	if v == nil {
+		return
+	}
+	var src ast.Expr
+	switch r := ast.Unparen(rhs).(type) {
+	case *ast.Ident:
+		src = r
+	case *ast.SliceExpr:
+		src = r.X
+	default:
+		return
+	}
+	if sv := objectOf(st.pass.Info, src); sv != nil {
+		if root, ok := st.aliases[sv]; ok {
+			st.aliases[v] = root
+		} else if _, isLive := st.findByRoot(live, sv, ""); isLive {
+			st.aliases[v] = sv
+		}
+	}
+}
+
+// findAcquisitions locates pooled-memory-producing calls inside e,
+// tagged with the composite-literal field they initialize, if any.
+func (st *spState) findAcquisitions(e ast.Expr) []acquisition {
+	var out []acquisition
+	var walk func(e ast.Expr, field string)
+	walk = func(e ast.Expr, field string) {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if kind, what, ok := st.acquisitionKind(x); ok {
+				out = append(out, acquisition{pos: x.Pos(), kind: kind, field: field, what: what})
+				// Arguments of an acquiring call (append chains) keep
+				// the same binding target.
+			}
+			for _, arg := range x.Args {
+				walk(arg, field)
+			}
+		case *ast.CompositeLit:
+			for _, el := range x.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					name := ""
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						name = id.Name
+					}
+					walk(kv.Value, name)
+				} else {
+					walk(el, field)
+				}
+			}
+		case *ast.UnaryExpr:
+			walk(x.X, field)
+		case *ast.BinaryExpr:
+			walk(x.X, field)
+			walk(x.Y, field)
+		}
+	}
+	walk(e, "")
+	return out
+}
+
+// acquisitionKind classifies a call as a pooled acquisition.
+func (st *spState) acquisitionKind(call *ast.CallExpr) (kind, what string, ok bool) {
+	// Buffers getter: bufs.F64(n) etc.
+	if recvPath, recvName, method, isMethod := methodOn(st.pass.Info, call); isMethod {
+		if recvPath == scratchPath && recvName == "Buffers" {
+			if k, isGetter := getterKinds[method]; isGetter {
+				return k, "scratch." + method + " result", true
+			}
+		}
+	}
+	// Package-level scratch.Get().
+	if path, name := calleePkgFunc(st.pass.Info, call); path == scratchPath && name == "Get" {
+		return "buffers", "scratch.Get result", true
+	}
+	// *Buf convention: a Buf-suffixed call with a non-nil *scratch.Buffers
+	// argument transfers ownership of its pooled results to the caller.
+	kinds := st.bufCallResultKinds(call)
+	for _, k := range kinds {
+		if k != "" {
+			return k, exprString(call.Fun) + " result", true
+		}
+	}
+	return "", "", false
+}
+
+// bufCallResultKinds returns, per result of a *Buf call, the pooled kind
+// the caller becomes responsible for ("" for untracked results). A nil
+// Buffers argument disables pooling, so such calls transfer nothing.
+func (st *spState) bufCallResultKinds(call *ast.CallExpr) []string {
+	fn := funcOf(st.pass.Info, call)
+	if fn == nil || !strings.HasSuffix(fn.Name(), "Buf") {
+		return nil
+	}
+	sig := fn.Type().(*types.Signature)
+	// Locate a *scratch.Buffers parameter and require the call site to
+	// pass something other than untyped nil.
+	bufArg := -1
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isNamed(params.At(i).Type(), scratchPath, "Buffers") {
+			bufArg = i
+			break
+		}
+	}
+	if bufArg == -1 || bufArg >= len(call.Args) {
+		return nil
+	}
+	if id, isIdent := ast.Unparen(call.Args[bufArg]).(*ast.Ident); isIdent && id.Name == "nil" {
+		return nil
+	}
+	results := sig.Results()
+	kinds := make([]string, results.Len())
+	tracked := false
+	for i := 0; i < results.Len(); i++ {
+		t := results.At(i).Type()
+		if k := pooledSliceKind(t); k != "" {
+			kinds[i] = k
+			tracked = true
+		} else if hasReleaseMethod(t, st.pass.Pkg) {
+			kinds[i] = "release"
+			tracked = true
+		}
+	}
+	if !tracked {
+		return nil
+	}
+	return kinds
+}
+
+// pooledSliceKind maps a type to the scratch pool backing it.
+func pooledSliceKind(t types.Type) string {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return ""
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch b.Kind() {
+	case types.Float64:
+		return "f64"
+	case types.Int:
+		return "int"
+	case types.Int32:
+		return "i32"
+	case types.Bool:
+		return "bool"
+	}
+	return ""
+}
+
+// hasReleaseMethod reports whether t (or *t) has a release/Release
+// method visible from pkg that takes a *scratch.Buffers.
+func hasReleaseMethod(t types.Type, pkg *types.Package) bool {
+	for _, name := range [...]string{"release", "Release"} {
+		obj, _, _ := types.LookupFieldOrMethod(t, true, pkg, name)
+		if fn, ok := obj.(*types.Func); ok {
+			sig := fn.Type().(*types.Signature)
+			if sig.Params().Len() == 1 && isNamed(sig.Params().At(0).Type(), scratchPath, "Buffers") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// simReleases clears tokens released anywhere inside node: Put* method
+// calls, scratch.Put, and release-method calls.
+func (st *spState) simReleases(node ast.Node, live spLive) {
+	ast.Inspect(node, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recvPath, recvName, method, isMethod := methodOn(st.pass.Info, call); isMethod {
+			if recvPath == scratchPath && recvName == "Buffers" {
+				if kind, isPut := putKinds[method]; isPut && len(call.Args) == 1 {
+					st.clearByExpr(live, call.Args[0], kind)
+					return true
+				}
+			}
+			if method == "release" || method == "Release" {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					if v := st.resolveRoot(objectOf(st.pass.Info, rootExpr(sel.X))); v != nil {
+						st.clearRoot(live, v)
+					}
+				}
+				return true
+			}
+		}
+		if path, name := calleePkgFunc(st.pass.Info, call); path == scratchPath && name == "Put" && len(call.Args) == 1 {
+			st.clearByExpr(live, call.Args[0], "buffers")
+		}
+		return true
+	})
+}
+
+// clearByExpr releases the token named by an argument expression: a
+// plain identifier (ident aliasing resolved) or a field selector like
+// ft.tree / run.bufs.
+func (st *spState) clearByExpr(live spLive, arg ast.Expr, kind string) {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.Ident:
+		if v := st.resolveRoot(objectOf(st.pass.Info, a)); v != nil {
+			if tok, ok := st.findByRootKindField(live, v, "", kind); ok {
+				delete(live, tok.id)
+			} else if tok, ok := st.findByRoot(live, v, ""); ok && tok.kind == kind {
+				delete(live, tok.id)
+			}
+		}
+	case *ast.SelectorExpr:
+		if v := st.resolveRoot(objectOf(st.pass.Info, rootExpr(a))); v != nil {
+			if tok, ok := st.findByRootKindField(live, v, a.Sel.Name, kind); ok {
+				delete(live, tok.id)
+			}
+		}
+	case *ast.SliceExpr:
+		st.clearByExpr(live, a.X, kind)
+	}
+}
+
+// checkGoroutineCapture flags pooled memory reaching a goroutine.
+func (st *spState) checkGoroutineCapture(stmt *ast.GoStmt, live spLive) {
+	ast.Inspect(stmt.Call, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Walk into literals too: captures are uses.
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, _ := st.pass.Info.Uses[id].(*types.Var)
+		if v == nil {
+			return true
+		}
+		if tok, found := st.findByRoot(live, st.resolveRoot(v), ""); found {
+			st.report(id.Pos(), "pooled %s %s is captured by a goroutine: pooled memory belongs to exactly one goroutine "+
+				"(take a fresh scratch.Get inside the goroutine instead)", tok.kind, tok.what)
+		}
+		return true
+	})
+}
+
+// simReturn checks escapes and outstanding tokens at a return.
+func (st *spState) simReturn(ret *ast.ReturnStmt, live spLive) {
+	bufFn := strings.HasSuffix(st.fname, "Buf")
+	for _, res := range ret.Results {
+		v := st.resolveRoot(objectOf(st.pass.Info, ast.Unparen(res)))
+		if v == nil {
+			continue
+		}
+		for {
+			tok, ok := st.findByRoot(live, v, "")
+			if !ok {
+				break
+			}
+			if bufFn {
+				// The *Buf suffix is the ownership-transfer convention:
+				// the caller now owes the Put.
+				delete(live, tok.id)
+				continue
+			}
+			st.report(ret.Pos(), "pooled %s %s escapes via return: only *Buf-suffixed functions may transfer pooled "+
+				"memory to their caller (release with %s before returning, or rename the function to *Buf)",
+				tok.kind, tok.what, putNameFor[tok.kind])
+			delete(live, tok.id)
+		}
+	}
+	for _, tok := range live {
+		st.reportLeak(tok, "return")
+	}
+}
+
+// reportLeak reports an unreleased token once per acquisition site.
+func (st *spState) reportLeak(tok spToken, where string) {
+	st.report(tok.id, "pooled %s %s is not released on every path (%s reached with it live): call %s, or defer it",
+		tok.kind, tok.what, where, putNameFor[tok.kind])
+}
+
+func (st *spState) report(pos token.Pos, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%d:%s", pos, msg)
+	if st.reported[key] {
+		return
+	}
+	st.reported[key] = true
+	st.pass.Reportf(pos, "%s", msg)
+}
+
+func (st *spState) addToken(live spLive, tok spToken) { live[tok.id] = tok }
+
+func (st *spState) resolveRoot(v *types.Var) *types.Var {
+	if v == nil {
+		return nil
+	}
+	if root, ok := st.aliases[v]; ok {
+		return root
+	}
+	return v
+}
+
+// findByRoot finds any live token rooted at v (field "" matches any
+// when the field argument is empty and no exact match exists).
+func (st *spState) findByRoot(live spLive, v *types.Var, field string) (spToken, bool) {
+	if v == nil {
+		return spToken{}, false
+	}
+	for _, tok := range live {
+		if tok.root == v && (field == "" || tok.field == field) {
+			return tok, true
+		}
+	}
+	return spToken{}, false
+}
+
+func (st *spState) findByRootKindField(live spLive, v *types.Var, field, kind string) (spToken, bool) {
+	for _, tok := range live {
+		if tok.root == v && tok.field == field && tok.kind == kind {
+			return tok, true
+		}
+	}
+	return spToken{}, false
+}
+
+// clearRoot releases every token rooted at v (a release() call frees
+// all pooled fields of its receiver).
+func (st *spState) clearRoot(live spLive, v *types.Var) {
+	for id, tok := range live {
+		if tok.root == v {
+			delete(live, id)
+		}
+	}
+}
+
+func copyLive(live spLive) spLive {
+	out := make(spLive, len(live))
+	for k, v := range live {
+		out[k] = v
+	}
+	return out
+}
+
+// unionLive keeps a token if it is live on either incoming path: a
+// release must happen on every path to count.
+func unionLive(a, b spLive) spLive {
+	if a == nil {
+		return b
+	}
+	out := copyLive(a)
+	for k, v := range b {
+		out[k] = v
+	}
+	return out
+}
+
+func isPanicCall(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func exprString(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "(...)"
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,158 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const enginePath = "rdbsc/internal/engine"
+
+// SnapshotRO enforces engine.Snapshot immutability outside
+// internal/engine. A Snapshot is the copy-on-write hand-off that lets
+// any number of concurrent solves share one engine state: the contract
+// (documented on the type) is that the problem, the instance inside it,
+// and every slice they own are never mutated after the snapshot is
+// taken. A single write through a snapshot — or an append into a
+// snapshot-owned slice, which writes into the shared backing array
+// whenever spare capacity exists — silently corrupts every other solve
+// holding the same version.
+//
+// The analyzer flags, in every package except internal/engine itself:
+//
+//   - assignments (including op-assign and ++/--) through an lvalue
+//     rooted at an engine.Snapshot value, e.g. snap.Problem = p or
+//     snap.Problem.In.Tasks[i].Loc = l;
+//   - append whose first argument is a snapshot-rooted slice;
+//   - the same through one level of local aliasing
+//     (p := snap.Problem; p.In = ... is still a snapshot write).
+var SnapshotRO = &Analyzer{
+	Name: "snapshotro",
+	Doc: "flag writes through an engine.Snapshot (directly or via a local " +
+		"alias) outside internal/engine: snapshots are shared copy-on-write " +
+		"state and must stay immutable",
+	Run: runSnapshotRO,
+}
+
+func runSnapshotRO(pass *Pass) error {
+	if pass.Pkg.Path() == enginePath || pass.Pkg.Name() == "engine" {
+		return nil
+	}
+	for _, fd := range funcDecls(pass.NonTestFiles()) {
+		checkSnapshotFunc(pass, fd.Body)
+	}
+	return nil
+}
+
+func checkSnapshotFunc(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: collect local aliases of snapshot-owned reference values
+	// (p := snap.Problem). One level is enough for the repo's idioms;
+	// deeper laundering is caught by review, not this analyzer.
+	tainted := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if i >= len(assign.Lhs) {
+				break
+			}
+			if !snapshotRooted(pass, rhs, nil) {
+				continue
+			}
+			if !referenceType(pass.Info.Types[rhs].Type) {
+				continue // value copies (struct, number) detach from the snapshot
+			}
+			if v := objectOf(pass.Info, assign.Lhs[i]); v != nil {
+				tainted[v] = true
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag writes and appends through snapshot-rooted lvalues.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range stmt.Lhs {
+				root := rootExpr(lhs)
+				// v := snap.Problem itself is a read, not a write: only
+				// flag when the *written-through* expression is deeper
+				// than the root identifier.
+				if ast.Unparen(lhs) == root {
+					continue
+				}
+				if snapshotRooted(pass, lhs, tainted) {
+					pass.Reportf(stmt.Lhs[i].Pos(), "write through engine.Snapshot outside internal/engine: snapshots are "+
+						"immutable shared state; mutate via the engine's apply loop instead")
+				}
+			}
+		case *ast.IncDecStmt:
+			if snapshotRooted(pass, stmt.X, tainted) {
+				pass.Reportf(stmt.Pos(), "increment through engine.Snapshot outside internal/engine: snapshots are "+
+					"immutable shared state")
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(stmt.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin && len(stmt.Args) > 0 {
+					if snapshotRooted(pass, stmt.Args[0], tainted) {
+						pass.Reportf(stmt.Pos(), "append to a snapshot-owned slice: append writes into the shared backing "+
+							"array when capacity remains; copy the slice before growing it")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// snapshotRooted reports whether e is a reference chain reaching INTO an
+// engine.Snapshot value (snap.Problem.In...) or into a tainted local
+// alias of snapshot-owned state. The Snapshot-typed expression must be a
+// proper prefix of the chain: `snaps[i] = s` stores a snapshot pointer
+// into a local container (fine), `snaps[i].Problem = p` writes through
+// one (flagged).
+func snapshotRooted(pass *Pass, e ast.Expr, tainted map[*types.Var]bool) bool {
+	stepped := false
+	for {
+		e = ast.Unparen(e)
+		if stepped && isNamed(pass.Info.Types[e].Type, enginePath, "Snapshot") {
+			// The chain passes through a Snapshot-typed expression; the
+			// full expression reaches into snapshot-owned state.
+			return true
+		}
+		stepped = true
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		case *ast.Ident:
+			if tainted == nil {
+				return false
+			}
+			v, _ := pass.Info.Uses[x].(*types.Var)
+			return v != nil && tainted[v]
+		default:
+			return false
+		}
+	}
+}
+
+// referenceType reports whether t shares memory when copied.
+func referenceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}

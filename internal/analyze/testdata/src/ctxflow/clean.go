@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+// Engine demonstrates the exempt idioms.
+type Engine struct{}
+
+// SolveContext is the context-threading entry point.
+func (e *Engine) SolveContext(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Solve is the convenience twin: it delegates to SolveContext, which is
+// where cancellation is handled.
+func (e *Engine) Solve() error { return e.SolveContext(context.Background()) }
+
+// RunSeeded is a compat shim kept only for old callers.
+//
+// Deprecated: use SolveContext.
+func (e *Engine) RunSeeded(seed int64) error {
+	_ = seed
+	return e.SolveContext(context.Background())
+}
+
+// Solver is an accessor, not a Solve entry point: the prefix match is
+// word-boundary aware.
+func (e *Engine) Solver() string { return "greedy" }
+
+// Serve follows the net/http lifecycle idiom: cancellation arrives via
+// Shutdown/Close, not a parameter.
+func (e *Engine) Serve(ln net.Listener) error {
+	_ = ln
+	return nil
+}
+
+// ServeHTTP threads its context through the request (r.Context()).
+func (e *Engine) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	_ = r.Context()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// MutateContext threads the caller's context.
+func MutateContext(ctx context.Context, items []int) error {
+	_ = items
+	return ctx.Err()
+}

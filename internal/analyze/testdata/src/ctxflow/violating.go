@@ -1,0 +1,27 @@
+// Package serve (fixture): seeded context-threading violations. The
+// package is named serve so its exported entry points fall under the
+// ctxflow contract.
+package serve
+
+import "context"
+
+// Runner is a long-running component whose entry points must be
+// cancellable.
+type Runner struct{}
+
+// Run blocks until done but offers the caller no way to cancel it.
+func (r *Runner) Run() error { // want `exported entry point serve.Run does not accept a context.Context`
+	return nil
+}
+
+// Mutate applies a batch with no deadline propagation.
+func Mutate(items []int) { // want `exported entry point serve.Mutate does not accept a context.Context`
+	_ = context.TODO() // want `context.TODO in library code`
+}
+
+// fetch severs the caller's deadline by minting a root context.
+func fetch() error {
+	ctx := context.Background() // want `context.Background in library code`
+	_ = ctx
+	return nil
+}

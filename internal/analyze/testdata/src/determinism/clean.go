@@ -1,0 +1,65 @@
+package core
+
+import (
+	"sort"
+	"time"
+)
+
+// CollectSorted is the canonical collect-then-sort idiom: the append
+// happens in map order, but the sort re-establishes determinism.
+func CollectSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// MergeSorted collects into extra, merges it into a derived slice, and
+// sorts the merge — order is laundered through append but still ends
+// deterministic.
+func MergeSorted(m map[string]int, base []string) []string {
+	var extra []string
+	for k := range m {
+		extra = append(extra, k)
+	}
+	all := append(append(make([]string, 0, len(base)+len(extra)), base...), extra...)
+	sort.Strings(all)
+	return all
+}
+
+// CollectViaHelper sorts through a package-local helper.
+func CollectViaHelper(m map[string]int) []string {
+	ids := make([]string, 0, len(m))
+	for k := range m {
+		ids = append(ids, k)
+	}
+	sortIDs(ids)
+	return ids
+}
+
+func sortIDs(ids []string) { sort.Strings(ids) }
+
+// LocalCollect appends only to a loop-local slice whose order never
+// leaves the iteration.
+func LocalCollect(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}
+
+// Timed is the one permitted wall-clock use: duration measurement.
+func Timed() time.Duration {
+	start := time.Now()
+	busywork()
+	return time.Since(start)
+}
+
+func busywork() {}

@@ -1,0 +1,44 @@
+// Package core (fixture): seeded determinism violations. The package is
+// named core so the analyzer treats it as a deterministic solve-plane
+// package.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// CollectUnsorted leaks map iteration order into its result.
+func CollectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside range over map`
+	}
+	return keys
+}
+
+// PrintAll writes output in map iteration order.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `fmt.Println inside range over map`
+	}
+}
+
+// SendAll exposes map iteration order to a channel receiver.
+func SendAll(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `send on a channel inside range over map`
+	}
+}
+
+// Jitter draws from the process-global random source.
+func Jitter() float64 {
+	return rand.Float64() // want `math/rand.Float64 uses the global random source`
+}
+
+// StampNow feeds a wall-clock value into data.
+func StampNow() int64 {
+	now := time.Now() // want `time.Now in a deterministic package`
+	return now.UnixNano()
+}

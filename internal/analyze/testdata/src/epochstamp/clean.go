@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// StampedCluster is the post-fix shape: Enqueue is the stamping
+// chokepoint, and forwarding helpers inherit stamping status
+// transitively.
+type StampedCluster struct {
+	epoch uint64
+	queue []engine.Mutation
+}
+
+// Enqueue assigns the cluster's recency epoch to every upsert before it
+// reaches a shard loop.
+func (c *StampedCluster) Enqueue(mut engine.Mutation) {
+	switch mut.Op {
+	case engine.OpUpsertTask, engine.OpUpsertWorker:
+		mut.Epoch = c.epoch
+	}
+	c.queue = append(c.queue, mut)
+}
+
+// enqueueAll forwards to Enqueue, so it stamps too (fixpoint).
+func (c *StampedCluster) enqueueAll(muts []engine.Mutation) {
+	for _, m := range muts {
+		c.Enqueue(m)
+	}
+}
+
+func (c *StampedCluster) handleTask(t model.Task) {
+	mut := engine.TaskUpsert(t)
+	c.Enqueue(mut)
+}
+
+func (c *StampedCluster) handleWorker(w model.Worker) {
+	c.Enqueue(engine.WorkerUpsert(w))
+}
+
+func (c *StampedCluster) handleBatch(ts []model.Task) {
+	muts := make([]engine.Mutation, 0, len(ts))
+	for _, t := range ts {
+		muts = append(muts, engine.TaskUpsert(t))
+	}
+	c.enqueueAll(muts)
+}
+
+func (c *StampedCluster) handleExplicit(t model.Task) {
+	mut := engine.TaskUpsert(t)
+	mut.Epoch = c.epoch
+	c.queue = append(c.queue, mut)
+}
+
+func (c *StampedCluster) handleLiteral(t model.Task) {
+	c.queue = append(c.queue, engine.Mutation{Op: engine.OpUpsertTask, Task: t, Epoch: c.epoch})
+}
+
+func (c *StampedCluster) handleRemoval(id model.TaskID) {
+	// Removals carry no epoch: recovery resolves them by absence, not
+	// recency, so construction is unconstrained.
+	c.queue = append(c.queue, engine.TaskRemoval(id))
+}

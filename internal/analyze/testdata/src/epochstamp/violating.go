@@ -1,0 +1,54 @@
+// Package cluster (fixture): the pre-fix PR-8 bug shape. This Cluster's
+// Enqueue forwards upserts to its queue without ever assigning Epoch, so
+// no stamping function exists in the package and every upsert
+// construction is flagged — exactly what the real internal/cluster
+// looked like before the crash-safety fix.
+package cluster
+
+import (
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// Cluster forwards mutations without stamping them.
+type Cluster struct {
+	queue []engine.Mutation
+}
+
+// Enqueue hands the mutation to a shard loop as-is: an upsert arriving
+// here with Epoch zero loses recovery's higher-epoch-wins duplicate
+// resolution after a crash mid cross-shard move.
+func (c *Cluster) Enqueue(mut engine.Mutation) {
+	c.queue = append(c.queue, mut)
+}
+
+func (c *Cluster) handleTask(t model.Task) {
+	mut := engine.TaskUpsert(t) // want `upsert mutation constructed without a recency epoch`
+	c.Enqueue(mut)
+}
+
+func (c *Cluster) handleWorker(w model.Worker) {
+	c.Enqueue(engine.WorkerUpsert(w)) // want `upsert mutation constructed without a recency epoch`
+}
+
+func (c *Cluster) handleBatch(ts []model.Task) {
+	muts := make([]engine.Mutation, 0, len(ts))
+	for _, t := range ts {
+		muts = append(muts, engine.TaskUpsert(t)) // want `upsert mutation constructed without a recency epoch`
+	}
+	for _, m := range muts {
+		c.Enqueue(m)
+	}
+}
+
+func (c *Cluster) handleLiteral(t model.Task) {
+	mut := engine.Mutation{Op: engine.OpUpsertTask, Task: t} // want `upsert mutation constructed without a recency epoch`
+	c.Enqueue(mut)
+}
+
+func (c *Cluster) handleZeroOp(t model.Task) {
+	// Op's zero value is OpUpsertTask: omitting the field still builds an
+	// (unstamped) upsert.
+	mut := engine.Mutation{Task: t} // want `upsert mutation constructed without a recency epoch`
+	c.Enqueue(mut)
+}

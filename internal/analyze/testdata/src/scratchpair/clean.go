@@ -1,0 +1,80 @@
+package scratchfix
+
+import (
+	"sort"
+
+	"rdbsc/internal/scratch"
+)
+
+// SumWithScratch is the canonical balanced pattern: acquire, defer the
+// releases, use.
+func SumWithScratch(n int) float64 {
+	bufs := scratch.Get()
+	defer scratch.Put(bufs)
+	xs := bufs.F64(n)
+	defer bufs.PutF64(xs)
+	s := 0.0
+	for i := range xs {
+		xs[i] = float64(i)
+		s += xs[i]
+	}
+	return s
+}
+
+// TopIdxBuf returns a pooled index slice; the *Buf suffix transfers
+// ownership — the caller releases with bufs.PutInt.
+func TopIdxBuf(bufs *scratch.Buffers, n int) []int {
+	idx := bufs.IntZero(n)
+	sort.Ints(idx)
+	return idx
+}
+
+// UseTopIdx takes ownership from TopIdxBuf and releases it.
+func UseTopIdx(bufs *scratch.Buffers, n int) int {
+	idx := TopIdxBuf(bufs, n)
+	total := 0
+	for _, i := range idx {
+		total += i
+	}
+	bufs.PutInt(idx)
+	return total
+}
+
+// histogram owns a pooled field; release returns it to the pool.
+type histogram struct {
+	counts []int
+}
+
+func (h histogram) release(bufs *scratch.Buffers) { bufs.PutInt(h.counts) }
+
+func newHistogramBuf(bufs *scratch.Buffers, n int) histogram {
+	return histogram{counts: bufs.IntZero(n)}
+}
+
+// UseHistogram balances a release-method acquisition.
+func UseHistogram(bufs *scratch.Buffers, n int) int {
+	h := newHistogramBuf(bufs, n)
+	total := 0
+	for _, c := range h.counts {
+		total += c
+	}
+	h.release(bufs)
+	return total
+}
+
+// BalancedBranches releases on every path, including the early return.
+func BalancedBranches(bufs *scratch.Buffers, n int) int {
+	marks := bufs.BoolZero(n)
+	if n == 0 {
+		bufs.PutBool(marks)
+		return 0
+	}
+	count := 0
+	for i := range marks {
+		if !marks[i] {
+			count++
+		}
+	}
+	bufs.PutBool(marks)
+	return count
+}

@@ -1,0 +1,48 @@
+// Package scratchfix (fixture): seeded scratch.Buffers ownership
+// violations.
+package scratchfix
+
+import "rdbsc/internal/scratch"
+
+// LeakOnEarlyReturn releases on the fall-through path only.
+func LeakOnEarlyReturn(bufs *scratch.Buffers, n int) float64 {
+	xs := bufs.F64(n) // want `pooled f64 "xs" is not released on every path`
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	for i := range xs {
+		s += xs[i]
+	}
+	bufs.PutF64(xs)
+	return s
+}
+
+// BranchLeak releases in one branch of an if, not the other.
+func BranchLeak(bufs *scratch.Buffers, n int, flag bool) {
+	xs := bufs.F64(n) // want `pooled f64 "xs" is not released on every path`
+	if flag {
+		bufs.PutF64(xs)
+	}
+}
+
+// EscapeReturn hands pooled memory to the caller without the *Buf
+// ownership-transfer naming convention.
+func EscapeReturn(bufs *scratch.Buffers, n int) []int {
+	idx := bufs.Int(n)
+	return idx // want `escapes via return`
+}
+
+// GoroutineCapture shares pooled memory with another goroutine.
+func GoroutineCapture(bufs *scratch.Buffers, n int) {
+	xs := bufs.F64(n)
+	go func() {
+		_ = xs[0] // want `captured by a goroutine`
+	}()
+	bufs.PutF64(xs)
+}
+
+// Discard acquires into the void: the slice can never be released.
+func Discard(bufs *scratch.Buffers, n int) {
+	bufs.Int(n) // want `discarded result`
+}

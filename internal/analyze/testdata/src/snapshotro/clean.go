@@ -1,0 +1,37 @@
+package snapfix
+
+import (
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// ReadOnly reads through the snapshot — always fine.
+func ReadOnly(snap *engine.Snapshot) int {
+	p := snap.Problem
+	return len(p.In.Tasks)
+}
+
+// CopyThenGrow copies the snapshot-owned slice before growing it.
+func CopyThenGrow(snap *engine.Snapshot, t model.Task) []model.Task {
+	src := snap.Problem.In.Tasks
+	out := make([]model.Task, len(src), len(src)+1)
+	copy(out, src)
+	out = append(out, t)
+	return out
+}
+
+// StoreHandle stores snapshot pointers into a local container: assigning
+// a snapshot is not writing through one.
+func StoreHandle(snaps []*engine.Snapshot, i int, snap *engine.Snapshot) {
+	snaps[i] = snap
+}
+
+// SwapLocal rebinding a local snapshot variable is a read of the new
+// value, not a write through the old.
+func SwapLocal(a, b *engine.Snapshot) *engine.Snapshot {
+	cur := a
+	if b.Version > a.Version {
+		cur = b
+	}
+	return cur
+}

@@ -1,0 +1,35 @@
+// Package snapfix (fixture): seeded writes through engine.Snapshot from
+// outside internal/engine.
+package snapfix
+
+import (
+	"rdbsc/internal/engine"
+	"rdbsc/internal/model"
+)
+
+// ClobberProblem replaces the shared problem under every concurrent
+// solve's feet.
+func ClobberProblem(snap *engine.Snapshot) {
+	snap.Problem = nil // want `write through engine.Snapshot`
+}
+
+// BumpVersion mutates the snapshot's identity.
+func BumpVersion(snap *engine.Snapshot) {
+	snap.Version++ // want `increment through engine.Snapshot`
+}
+
+// AliasWrite launders the write through a local alias.
+func AliasWrite(snap *engine.Snapshot) {
+	p := snap.Problem
+	p.In = nil // want `write through engine.Snapshot`
+}
+
+// GrowTasks appends into the snapshot-owned backing array.
+func GrowTasks(snap *engine.Snapshot, t model.Task) {
+	snap.Problem.In.Tasks = append(snap.Problem.In.Tasks, t) // want `write through engine.Snapshot` `append to a snapshot-owned slice`
+}
+
+// DeepWrite reaches several levels into snapshot-owned state.
+func DeepWrite(snap *engine.Snapshot, beta float64) {
+	snap.Problem.In.Beta = beta // want `write through engine.Snapshot`
+}

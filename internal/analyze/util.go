@@ -1,0 +1,149 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Cross-package type identity in this suite is always by (package path,
+// type name) strings, never by types.Object pointer equality: a package
+// analyzed from source and the same package imported from export data
+// produce distinct objects for the same type.
+
+// namedOf unwraps pointers and aliases and returns the (package path,
+// name) of t's named type, or ("", "") for unnamed types.
+func namedOf(t types.Type) (path, name string) {
+	if t == nil {
+		return "", ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if alias, ok := t.(*types.Alias); ok {
+		t = types.Unalias(alias)
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// isNamed reports whether t (or *t) is the named type path.name.
+func isNamed(t types.Type, path, name string) bool {
+	p, n := namedOf(t)
+	return p == path && n == name
+}
+
+// funcOf resolves the called function or method object of call, or nil.
+func funcOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// calleePkgFunc returns the (package path, function name) of a called
+// package-level function, or ("", "") for methods and non-functions.
+func calleePkgFunc(info *types.Info, call *ast.CallExpr) (path, name string) {
+	f := funcOf(info, call)
+	if f == nil || f.Pkg() == nil {
+		return "", ""
+	}
+	if recv := f.Type().(*types.Signature).Recv(); recv != nil {
+		return "", ""
+	}
+	return f.Pkg().Path(), f.Name()
+}
+
+// methodOn returns the receiver's named type info and method name when
+// call is a method call, or ok=false.
+func methodOn(info *types.Info, call *ast.CallExpr) (recvPath, recvName, method string, ok bool) {
+	f := funcOf(info, call)
+	if f == nil {
+		return "", "", "", false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", "", false
+	}
+	p, n := namedOf(recv.Type())
+	return p, n, f.Name(), true
+}
+
+// rootExpr strips selectors, indexing, slicing, dereferences, parens and
+// type assertions and returns the base expression of a reference chain:
+// rootExpr(s.Problem.In.Tasks[i].X) == s.
+func rootExpr(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// objectOf returns the variable an identifier denotes, or nil.
+func objectOf(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+// isDeprecated reports whether a declaration's doc comment carries a
+// "Deprecated:" marker, the standard Go convention.
+func isDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+		if strings.HasPrefix(strings.TrimSpace(text), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls yields every function declaration in the given files.
+func funcDecls(files []*ast.File) []*ast.FuncDecl {
+	var decls []*ast.FuncDecl
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				decls = append(decls, fd)
+			}
+		}
+	}
+	return decls
+}

@@ -525,10 +525,16 @@ func (h *rHeap) Pop() interface{} {
 
 func newMinTwoTracker(states map[model.TaskID]*objective.TaskState) *minTwoTracker {
 	t := &minTwoTracker{cur: make(map[model.TaskID]float64, len(states))}
+	entries := make(rHeap, 0, len(states))
 	for id, st := range states {
 		t.cur[id] = st.R()
-		t.entries = append(t.entries, rEntry{task: id, r: st.R()})
+		entries = append(entries, rEntry{task: id, r: st.R()})
 	}
+	// Sort before Init so the heap's array layout is canonical rather than
+	// a function of map iteration order (a sorted array is already a valid
+	// min-heap, but Init keeps the invariant explicit).
+	sort.Sort(entries)
+	t.entries = entries
 	heap.Init(&t.entries)
 	return t
 }

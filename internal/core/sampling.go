@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -62,6 +63,9 @@ func (s *Sampling) SampleCount(p *Problem) int {
 	for _, idxs := range p.byWorker {
 		degrees = append(degrees, len(idxs))
 	}
+	// LogPopulation sums logs in slice order; sort so the floating-point
+	// total (and with it the sample count) never varies with map order.
+	sort.Ints(degrees)
 	k := SampleSize(LogPopulation(degrees), spec)
 	min := s.MinSamples
 	if min <= 0 {

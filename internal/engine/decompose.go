@@ -127,10 +127,11 @@ func (e *Engine) candidateWorkers(t model.Task) []model.Worker {
 	if e.grid != nil {
 		return e.grid.CandidateWorkers(t)
 	}
-	out := make([]model.Worker, 0, len(e.workers))
-	for _, w := range e.workers {
-		out = append(out, w)
-	}
+	// e.sortedWorkers is maintained in ID order across mutations; copying
+	// it keeps the fallback candidate order deterministic (the map-range
+	// equivalent followed randomized iteration order).
+	out := make([]model.Worker, len(e.sortedWorkers))
+	copy(out, e.sortedWorkers)
 	return out
 }
 
@@ -139,10 +140,8 @@ func (e *Engine) candidateTasks(w model.Worker) []model.Task {
 	if e.grid != nil {
 		return e.grid.CandidateTasks(w)
 	}
-	out := make([]model.Task, 0, len(e.tasks))
-	for _, t := range e.tasks {
-		out = append(out, t)
-	}
+	out := make([]model.Task, len(e.sortedTasks))
+	copy(out, e.sortedTasks)
 	return out
 }
 
