@@ -47,6 +47,7 @@ func main() {
 		retryBackoff  = flag.Duration("retry-backoff", 0, "base delay before the first 429 retry; doubles per attempt, jittered (default 5ms when -retry-429 > 0)")
 		expectRestart = flag.Bool("expect-restart", false, "tolerate a bounded server outage mid-replay (planned kill/restart): transport failures inside the window are recorded as conn_errors, not mutation/solve errors")
 		restartWindow = flag.Duration("restart-window", 0, "max tolerated outage with -expect-restart (default 10s)")
+		sloBudget     = flag.Duration("slo", 0, "score solves against this latency budget (server-reported elapsed_ms): over-budget fresh responses count as slo_violations, degraded/shed answers are tallied separately (0 = off)")
 		variant       = flag.String("variant", "", "record variant label, e.g. shards4 (suffixes the BENCH filename)")
 		outDir        = flag.String("out", "", "directory for the BENCH_<scenario>.json record (empty = don't write)")
 		timeout       = flag.Duration("timeout", 0, "overall wall-clock budget (0 = no limit)")
@@ -83,6 +84,7 @@ func main() {
 		RetryBackoff:   *retryBackoff,
 		ExpectRestart:  *expectRestart,
 		RestartWindow:  *restartWindow,
+		SLOBudget:      *sloBudget,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rdbsc-loadgen: %v\n", err)
@@ -102,6 +104,10 @@ func main() {
 		rep.WallMS.P50, rep.WallMS.P95, rep.WallMS.P99)
 	if *expectRestart {
 		fmt.Printf("  restart:   %d conn errors absorbed, max outage %.0fms\n", l.ConnErrors, l.MaxOutageMS)
+	}
+	if *sloBudget > 0 {
+		fmt.Printf("  slo:       budget %.0fms, %d violations, %d degraded (max stale %.0fms), %d shed\n",
+			l.SLOBudgetMS, l.SLOViolations, l.DegradedResponses, l.MaxServedStaleMS, l.SolvesShed)
 	}
 	fmt.Printf("  last feasible solve: feasible=%v minRel=%.4f totalSTD=%.4f assigned=%d/%d\n",
 		rep.Feasible, rep.Objective.MinReliability, rep.Objective.TotalDiversity,

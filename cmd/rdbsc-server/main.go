@@ -74,8 +74,19 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshots per shard, recovered on boot (empty = memory only, nothing survives a restart)")
 		fsyncMode    = flag.String("fsync", "batch", "WAL fsync policy with -data-dir: always (sync every batch), batch (group commit), off (process-crash durability only)")
 		snapEvery    = flag.Int("snapshot-every", 1024, "compact each shard's WAL into a snapshot after this many applied batches (0 = never; only with -data-dir)")
+		adaptiveOn   = flag.Bool("adaptive", false, "adaptive solve tier: route /v1/solve requests that name no solver through SLO-aware lane selection")
+		sloP99       = flag.Duration("slo-p99", 50*time.Millisecond, "p99 solve-latency budget for the adaptive tier (setting it implies -adaptive)")
+		maxStale     = flag.Duration("max-stale", 5*time.Second, "staleness bound for degraded answers: over-budget requests serve the last assignment only if it is at most this old, else 429")
 	)
 	flag.Parse()
+
+	// An explicit -slo-p99 is an unambiguous ask for the adaptive tier, so
+	// it switches the tier on without also requiring -adaptive.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "slo-p99" {
+			*adaptiveOn = true
+		}
+	})
 
 	if !(*beta >= 0 && *beta <= 1) { // phrased so NaN also fails
 		fatal(fmt.Errorf("-beta %v outside [0,1]", *beta))
@@ -150,6 +161,9 @@ func main() {
 			SolveCache:    *solveCache,
 			Stores:        stores,
 			SnapshotEvery: durableSnapEvery(*dataDir, *snapEvery),
+			Adaptive:      *adaptiveOn,
+			SLOp99:        *sloP99,
+			MaxStale:      *maxStale,
 		}, in)
 		if err != nil {
 			fatal(err)
@@ -178,6 +192,9 @@ func main() {
 			SolveTimeout:  *solveTimeout,
 			SolveCache:    *solveCache,
 			SnapshotEvery: durableSnapEvery(*dataDir, *snapEvery),
+			Adaptive:      *adaptiveOn,
+			SLOp99:        *sloP99,
+			MaxStale:      *maxStale,
 		}
 		if stores != nil {
 			scfg.Store = stores[0]
@@ -190,6 +207,9 @@ func main() {
 		snap := s.Snapshot()
 		boot = fmt.Sprintf("%d tasks, %d workers, %d valid pairs, solver %s",
 			snap.Tasks(), snap.Workers(), len(snap.Problem.Pairs), solverTag)
+	}
+	if *adaptiveOn {
+		boot += fmt.Sprintf(", adaptive SLO p99 %v (max-stale %v)", *sloP99, *maxStale)
 	}
 	// Bind before announcing: with -addr :0 the log then carries the real
 	// resolved port, which the crash-restart harness (and humans) rely on.

@@ -1,0 +1,49 @@
+package adaptive
+
+import (
+	"rdbsc/internal/core"
+	"rdbsc/internal/decompose"
+	"rdbsc/internal/hardness"
+)
+
+// ComponentShape is one connected component's cost-relevant footprint: its
+// valid-pair count and its hardness estimate (the log of its
+// complete-assignment population).
+type ComponentShape struct {
+	Pairs        int
+	LnPopulation float64
+}
+
+// Shape is the component-size histogram of one snapshot's problem — the
+// input to Controller.PlanRequest. It is immutable once built; the serving
+// layers cache one per snapshot version (single shard) or per assembled
+// version vector (cluster).
+type Shape struct {
+	// Pairs is the total valid-pair count across components.
+	Pairs int
+	// Components holds one entry per connected component, in partition
+	// order (ascending component key).
+	Components []ComponentShape
+}
+
+// NewShape condenses a problem and its component partition into the shape
+// the controller plans against. The partition must have been built from
+// p.Pairs (decompose.Build or an engine/cluster-maintained equivalent).
+func NewShape(p *core.Problem, part *decompose.Partition) *Shape {
+	sh := &Shape{Pairs: len(p.Pairs), Components: make([]ComponentShape, 0, part.Len())}
+	for i := range part.Components {
+		c := &part.Components[i]
+		// Worker degrees never cross components, so the global degrees are
+		// the component degrees and the component's population factors over
+		// its own workers only.
+		degrees := make([]int, 0, len(c.Workers))
+		for _, wid := range c.Workers {
+			degrees = append(degrees, p.Degree(wid))
+		}
+		sh.Components = append(sh.Components, ComponentShape{
+			Pairs:        len(c.Pairs),
+			LnPopulation: hardness.LogPopulation(degrees),
+		})
+	}
+	return sh
+}

@@ -1,0 +1,128 @@
+package adaptive
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"rdbsc/internal/core"
+	"rdbsc/internal/decompose"
+	"rdbsc/internal/gen"
+	"rdbsc/internal/model"
+)
+
+// assignmentMap flattens an assignment for comparison.
+func assignmentMap(a *model.Assignment) map[model.WorkerID]model.TaskID {
+	out := make(map[model.WorkerID]model.TaskID, a.Len())
+	a.Workers(func(w model.WorkerID, t model.TaskID) { out[w] = t })
+	return out
+}
+
+func TestSolverDispatchAndObservation(t *testing.T) {
+	in := gen.Generate(gen.Default().WithScale(10, 20).WithSeed(3))
+	p := core.NewProblem(in)
+	if len(p.Pairs) == 0 {
+		t.Fatal("generated instance has no valid pairs")
+	}
+
+	ctrl := New(Config{Budget: 5 * time.Second})
+	s := NewSolver(ctrl)
+	res, err := s.Solve(context.Background(), p, &core.SolveOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Assignment == nil {
+		t.Fatal("adaptive solve returned no result")
+	}
+
+	counts := s.LaneCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != 1 {
+		t.Fatalf("one Solve call produced lane counts %v, want exactly one dispatch", counts)
+	}
+	st := ctrl.StatsSnapshot()
+	if got := st.Exhaustive.Solves + st.Greedy.Solves + st.Sampling.Solves; got != 1 {
+		t.Errorf("controller observed %d solves, want 1", got)
+	}
+}
+
+// TestSolverShardedDispatch wraps the dispatcher the way the serve layer
+// does and checks every connected component is routed (lane counts sum to
+// the component count).
+func TestSolverShardedDispatch(t *testing.T) {
+	in := gen.Generate(gen.Default().WithScale(40, 80).WithSeed(5))
+	p := core.NewProblem(in)
+	parts := decompose.BuildSized(p.Pairs, len(in.Tasks), len(in.Workers)).Len()
+	if parts < 2 {
+		t.Skipf("instance decomposed into %d component(s); need >= 2", parts)
+	}
+
+	ctrl := New(Config{Budget: 5 * time.Second})
+	s := NewSolver(ctrl)
+	res, err := core.NewSharded(s).Solve(context.Background(), p, &core.SolveOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Len() == 0 {
+		t.Fatal("sharded adaptive solve assigned nothing")
+	}
+	total := 0
+	for _, n := range s.LaneCounts() {
+		total += n
+	}
+	if total != parts {
+		t.Errorf("lane counts sum to %d, want one dispatch per component (%d)", total, parts)
+	}
+}
+
+// TestSolverSamplingDeterministic: two fresh controllers with identical
+// configuration make the same plan, so the same seed yields the same
+// assignment even on the randomized sampling lane.
+func TestSolverSamplingDeterministic(t *testing.T) {
+	in := gen.Generate(gen.Default().WithScale(60, 120).WithSeed(9))
+	p := core.NewProblem(in)
+
+	solveOnce := func() *core.Result {
+		t.Helper()
+		// ExhaustiveMaxPairs 1 rules the exact lane out regardless of how
+		// sparse the generated instance happens to be.
+		ctrl := New(Config{Budget: time.Millisecond, ExhaustiveMaxPairs: 1, MinGreedyPairs: 1})
+		// Make the greedy lane look expensive so the problem routes to the
+		// sampling lane deterministically.
+		for i := 0; i < 40; i++ {
+			ctrl.Observe(Decision{Lane: LaneGreedy}, 32, time.Minute)
+		}
+		s := NewSolver(ctrl)
+		res, err := s.Solve(context.Background(), p, &core.SolveOptions{Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := s.LaneCounts()["sampling"]; n != 1 {
+			t.Fatalf("lane counts %v, want the sampling lane", s.LaneCounts())
+		}
+		return res
+	}
+
+	a, b := solveOnce(), solveOnce()
+	if !reflect.DeepEqual(assignmentMap(a.Assignment), assignmentMap(b.Assignment)) {
+		t.Error("same seed and same controller state produced different sampling-lane assignments")
+	}
+}
+
+func TestSolverEmptyProblem(t *testing.T) {
+	in := gen.Generate(gen.Default().WithScale(1, 1).WithSeed(1))
+	p := core.NewProblemWithPairs(in, nil) // force an empty pair set
+	ctrl := New(Config{Budget: time.Second})
+	s := NewSolver(ctrl)
+	res, err := s.Solve(context.Background(), p, &core.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment.Len() != 0 {
+		t.Errorf("empty problem assigned %d workers", res.Assignment.Len())
+	}
+}

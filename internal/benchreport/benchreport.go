@@ -161,6 +161,21 @@ type LoadMetrics struct {
 	// MaxOutageMS is the longest consecutive-failure stretch tolerated under
 	// -expect-restart, in wall milliseconds.
 	MaxOutageMS float64 `json:"max_outage_ms,omitempty"`
+	// SLOBudgetMS is the latency budget the replay scored solves against
+	// (-slo flag); the SLO fields below are only meaningful when it is set.
+	SLOBudgetMS float64 `json:"slo_budget_ms,omitempty"`
+	// SLOViolations counts successful, non-degraded solve responses whose
+	// server-reported solve time exceeded SLOBudgetMS.
+	SLOViolations int `json:"slo_violations,omitempty"`
+	// DegradedResponses counts solves answered with the cached last
+	// assignment (degraded=true, stamped stale_ms) instead of a fresh solve.
+	DegradedResponses int `json:"degraded_responses,omitempty"`
+	// SolvesShed counts solve requests the server shed with 429 — over
+	// budget with nothing fresh enough to serve stale.
+	SolvesShed int `json:"solves_shed,omitempty"`
+	// MaxServedStaleMS is the largest stale_ms the server stamped on a
+	// degraded response; bounded by the server's -max-stale.
+	MaxServedStaleMS float64 `json:"max_served_stale_ms,omitempty"`
 }
 
 // New returns a report header stamped with the schema version and the

@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestClusterAdaptiveTier drives the cluster's adaptive solve path over
+// HTTP: within-budget unnamed solves route through the lane dispatcher
+// (lanes in the response, controller block in /v1/stats), and after the
+// budget collapses the tier degrades to the last assignment and then sheds.
+func TestClusterAdaptiveTier(t *testing.T) {
+	cl, err := New(Config{
+		Shards: 3, Beta: 0.5, BetaSet: true, SolverName: "greedy",
+		Adaptive: true, SLOp99: 5 * time.Second,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, cl)
+	ts := httptest.NewServer(cl.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) (*http.Response, error) {
+		b, _ := json.Marshal(body)
+		return http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	}
+	var tasks, workers []map[string]any
+	for i := 0; i < 10; i++ {
+		f := float64(i) / 9
+		tasks = append(tasks, map[string]any{"id": i, "x": 0.05 + 0.9*f, "y": 0.5, "start": 0, "end": 6})
+		workers = append(workers, map[string]any{
+			"id": i, "x": 0.05 + 0.9*f, "y": 0.45, "speed": 1.0, "confidence": 0.8, "depart": 0,
+		})
+	}
+	for path, body := range map[string]any{"/v1/tasks": tasks, "/v1/workers": workers} {
+		resp, err := post(path, body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s: %v %v", path, err, resp.Status)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := post("/v1/solve", map[string]any{"seed": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("adaptive cluster solve: %s", resp.Status)
+	}
+	var solve SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&solve); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if solve.Solver != "ADAPTIVE" {
+		t.Errorf("solver = %q, want ADAPTIVE", solve.Solver)
+	}
+	if !solve.Feasible || solve.AssignedWorkers == 0 {
+		t.Fatalf("adaptive solve infeasible: %+v", solve)
+	}
+	total := 0
+	for _, n := range solve.Lanes {
+		total += n
+	}
+	if total != solve.Stats.Components {
+		t.Errorf("lane counts %v sum to %d, want one dispatch per component (%d)",
+			solve.Lanes, total, solve.Stats.Components)
+	}
+	if solve.Degraded {
+		t.Errorf("within-budget solve marked degraded")
+	}
+
+	// Stats carry the controller block.
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		Adaptive *struct {
+			BudgetMS float64 `json:"budget_ms"`
+		} `json:"adaptive"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if stats.Adaptive == nil || stats.Adaptive.BudgetMS != 5000 {
+		t.Errorf("stats adaptive block = %+v, want budget_ms 5000", stats.Adaptive)
+	}
+}
+
+// TestClusterAdaptiveDegrade: an impossible budget makes the cluster serve
+// the last assignment stale (inside the bound) and shed past it.
+func TestClusterAdaptiveDegrade(t *testing.T) {
+	const maxStale = 250 * time.Millisecond
+	cl, err := New(Config{
+		Shards: 2, Beta: 0.5, BetaSet: true, SolverName: "greedy",
+		Adaptive: true, SLOp99: time.Nanosecond, MaxStale: maxStale,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown(t, cl)
+	ts := httptest.NewServer(cl.Handler())
+	defer ts.Close()
+
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		b, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := post("/v1/tasks", []map[string]any{{"id": 1, "x": 0.5, "y": 0.5, "start": 0, "end": 6}})
+	resp.Body.Close()
+	resp = post("/v1/workers", []map[string]any{{"id": 1, "x": 0.45, "y": 0.5, "speed": 1.0, "confidence": 0.8, "depart": 0}})
+	resp.Body.Close()
+
+	// Seed the last assignment through the explicit-solver bypass.
+	resp = post("/v1/solve", map[string]any{"solver": "greedy", "seed": 1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit solve: %s", resp.Status)
+	}
+	resp.Body.Close()
+
+	// Immediately after, the unnamed solve degrades inside the bound.
+	resp = post("/v1/solve", map[string]any{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degrade solve: %s", resp.Status)
+	}
+	var solve SolveResponse
+	if err := json.NewDecoder(resp.Body).Decode(&solve); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !solve.Degraded {
+		t.Fatalf("over-budget solve not degraded: %+v", solve)
+	}
+	if bound := float64(maxStale) / float64(time.Millisecond); solve.StaleMS > bound {
+		t.Errorf("stale_ms %.1f exceeds the bound %.0f", solve.StaleMS, bound)
+	}
+
+	// Past the bound, the tier sheds.
+	time.Sleep(maxStale + 100*time.Millisecond)
+	resp = post("/v1/solve", map[string]any{})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("solve past the staleness bound: %s, want 429", resp.Status)
+	}
+	resp.Body.Close()
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rdbsc/internal/adaptive"
 	"rdbsc/internal/applyloop"
 	"rdbsc/internal/core"
 	"rdbsc/internal/engine"
@@ -70,6 +71,18 @@ type Config struct {
 	// SnapshotEvery compacts each shard's WAL into a snapshot after every
 	// N applied batches on that shard (0 = never).
 	SnapshotEvery int
+	// Adaptive enables the latency-SLO solve tier (internal/adaptive) on
+	// the coordinator: solve requests naming no explicit solver are routed
+	// per component of the assembled global problem to a lane picked to
+	// fit SLOp99, degrading to the cached last assignment (stamped
+	// "stale_ms") before shedding with 429. Off by default.
+	Adaptive bool
+	// SLOp99 is the solve-latency p99 budget (only with Adaptive; default
+	// 50ms).
+	SLOp99 time.Duration
+	// MaxStale bounds the staleness of degraded responses (only with
+	// Adaptive; default 5s).
+	MaxStale time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +97,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SolveTimeout <= 0 {
 		c.SolveTimeout = 30 * time.Second
+	}
+	if c.Adaptive {
+		if c.SLOp99 <= 0 {
+			c.SLOp99 = 50 * time.Millisecond
+		}
+		if c.MaxStale <= 0 {
+			c.MaxStale = 5 * time.Second
+		}
 	}
 	return c
 }
@@ -148,6 +169,7 @@ type Cluster struct {
 
 	asm   atomic.Pointer[assembled] // cached assembled global problem
 	cache *serve.SolveCache         // nil when Config.SolveCache == 0
+	adapt *adaptive.Controller      // nil when Config.Adaptive is off
 
 	mux     *http.ServeMux
 	httpMu  sync.Mutex
@@ -222,6 +244,9 @@ func New(cfg Config, in *model.Instance) (*Cluster, error) {
 		pendWorker:  make(map[model.WorkerID]*pendingMove),
 		cache:       serve.NewSolveCache(cfg.SolveCache),
 		started:     time.Now(),
+	}
+	if cfg.Adaptive {
+		c.adapt = adaptive.New(adaptive.Config{Budget: cfg.SLOp99, MaxStale: cfg.MaxStale})
 	}
 	engCfg := engine.Config{
 		Beta: cfg.Beta, BetaSet: cfg.BetaSet, Opt: cfg.Opt,

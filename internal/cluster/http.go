@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"rdbsc/internal/adaptive"
 	"rdbsc/internal/applyloop"
 	"rdbsc/internal/benchreport"
 	"rdbsc/internal/core"
@@ -206,18 +207,47 @@ func (c *Cluster) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	name := req.Solver
-	if name == "" {
-		name = c.cfg.SolverName
+	// Assemble first so the adaptive plan and the cache are both consulted
+	// against the exact shard version vector and routing generation the
+	// solve would run under.
+	a, reused := c.assemble()
+
+	// The adaptive tier handles only requests that name no solver; an
+	// explicit solver always bypasses it. No core.Sharded wrapping on
+	// either path: the coordinator itself decomposes the assembled problem
+	// by connected components and hands each one to the solver — which for
+	// the adaptive dispatcher means per-component lane selection.
+	var solver core.Solver
+	var dispatcher *adaptive.Solver
+	adaptiveActive := c.adapt != nil && req.Solver == ""
+	if adaptiveActive {
+		plan := c.adapt.PlanRequest(a.shape)
+		if plan.OverBudget {
+			if resp, ok := c.degradeResponse(); ok {
+				c.adapt.NoteDegraded(true)
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			c.adapt.NoteDegraded(false)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				errors.New("predicted solve time exceeds the SLO budget and no assignment within the staleness bound exists"))
+			return
+		}
+		dispatcher = adaptive.NewSolver(c.adapt)
+		solver = dispatcher
+	} else {
+		name := req.Solver
+		if name == "" {
+			name = c.cfg.SolverName
+		}
+		named, err := core.NewByName(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		solver = named
 	}
-	solver, err := core.NewByName(name)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	// No core.Sharded wrapping here: the coordinator itself decomposes the
-	// assembled problem by connected components — that is the cluster's
-	// solve plane, not an option.
 
 	timeout := c.cfg.SolveTimeout
 	if req.TimeoutMS > 0 {
@@ -227,10 +257,6 @@ func (c *Cluster) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
-
-	// Assemble first so the cache can be consulted against the exact shard
-	// version vector and routing generation the solve would run under.
-	a, reused := c.assemble()
 	key := serve.SolveCacheKey{
 		Fingerprint: solveFingerprint(a.versions, a.routeGen),
 		Solver:      solver.Name(),
@@ -295,6 +321,10 @@ func (c *Cluster) handleSolve(w http.ResponseWriter, r *http.Request) {
 		CrossShardPairs:     info.CrossShardPairs,
 		AssemblyReused:      info.AssemblyReused,
 	}
+	if adaptiveActive {
+		c.adapt.ObserveRequest(elapsed)
+		resp.Lanes = dispatcher.LaneCounts()
+	}
 	c.lastRes.Store(resp)
 	if err == nil {
 		// Only clean, complete solves are cached; a partial depends on how
@@ -302,6 +332,30 @@ func (c *Cluster) handleSolve(w http.ResponseWriter, r *http.Request) {
 		c.cache.Put(key, a.versions, a.routeGen, resp)
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// degradeResponse renders the graceful-degradation answer from the most
+// recent completed solve: the cached last assignment stamped with its
+// explicit staleness ("stale_ms") and the degraded marker. ok is false
+// when no previous solve exists or the last one is older than the
+// staleness bound — the caller must then shed (429).
+func (c *Cluster) degradeResponse() (*SolveResponse, bool) {
+	last := c.lastRes.Load()
+	if last == nil {
+		return nil, false
+	}
+	stale := time.Since(last.At)
+	if stale < 0 {
+		stale = 0
+	}
+	if stale > c.adapt.MaxStale() {
+		return nil, false
+	}
+	resp := *last // shallow copy; the stored value is never mutated
+	resp.Degraded = true
+	resp.StaleMS = float64(stale) / float64(time.Millisecond)
+	resp.CurrentVersion = c.currentVersion()
+	return &resp, true
 }
 
 func (c *Cluster) handleAssignment(w http.ResponseWriter, r *http.Request) {
@@ -383,6 +437,10 @@ type statsResponse struct {
 	// the serve layer's block; backend is shard 0's label — the shards are
 	// configured uniformly).
 	Durability serve.DurabilityJSON `json:"durability"`
+
+	// Adaptive is the SLO tier's controller view (same shape as the serve
+	// layer's block); omitted when the tier is off.
+	Adaptive *adaptive.Stats `json:"adaptive,omitempty"`
 
 	UptimeMS float64 `json:"uptime_ms"`
 }
@@ -484,6 +542,10 @@ func (c *Cluster) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.SolveCacheHits = cacheStats.Hits
 	resp.SolveCacheMisses = cacheStats.Misses
 	resp.SolveCacheEvictions = cacheStats.Evictions
+	if c.adapt != nil {
+		st := c.adapt.StatsSnapshot()
+		resp.Adaptive = &st
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sort"
 
+	"rdbsc/internal/adaptive"
 	"rdbsc/internal/core"
 	"rdbsc/internal/decompose"
 	"rdbsc/internal/engine"
@@ -24,6 +25,10 @@ type assembled struct {
 
 	problem *core.Problem
 	part    *decompose.Partition
+	// shape is the adaptive controller's planning input derived from part;
+	// nil when the adaptive tier is off. Cached here because the assembly
+	// is already keyed on exactly the state the shape depends on.
+	shape *adaptive.Shape
 	// escalated[i] is true when component i's entities span more than one
 	// shard — its pair edges cross a tile boundary, so a shard-local solve
 	// cannot see all of it.
@@ -182,6 +187,9 @@ func (c *Cluster) assemble() (*assembled, bool) {
 
 	a.problem = core.NewProblemWithPairs(in, pairs)
 	a.part = decompose.BuildSized(pairs, len(in.Tasks), len(in.Workers))
+	if c.adapt != nil {
+		a.shape = adaptive.NewShape(a.problem, a.part)
+	}
 
 	// Escalation verdicts: a component is interior iff every entity lives
 	// on one shard. (Entities connected by an intra-shard pair share a

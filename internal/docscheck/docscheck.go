@@ -1,0 +1,89 @@
+// Package docscheck keeps the documentation graph intact: its test walks
+// every tracked markdown file (README.md, MIGRATION.md, CHANGES.md,
+// docs/*.md, ...) and fails when a relative link points at a file that
+// does not exist. It runs as part of tier-1 (`go test ./...`) and as an
+// explicit CI step, so a doc rename or deletion cannot silently orphan
+// references.
+package docscheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links [text](target). Reference-style
+// links and autolinks are out of scope — the repo's docs use inline links.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// RelativeLinks returns the relative (non-URL, non-anchor) link targets in
+// a markdown document, with any #fragment stripped.
+func RelativeLinks(markdown string) []string {
+	var out []string
+	for _, m := range linkRE.FindAllStringSubmatch(markdown, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue // external
+		}
+		if strings.HasPrefix(target, "#") {
+			continue // intra-document anchor
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target != "" {
+			out = append(out, target)
+		}
+	}
+	return out
+}
+
+// excluded names are reference material imported from outside the repo
+// (exemplar snippets and paper abstracts quote other projects' documents
+// verbatim, links and all) — they are not part of the repo's own doc graph.
+var excluded = map[string]bool{
+	"SNIPPETS.md": true,
+	"PAPERS.md":   true,
+	"PAPER.md":    true,
+	"ISSUE.md":    true,
+}
+
+// MarkdownFiles lists the repo's own markdown files under root: every *.md
+// at the top level (minus the imported reference material) plus everything
+// under docs/.
+func MarkdownFiles(root string) ([]string, error) {
+	files, err := filepath.Glob(filepath.Join(root, "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	kept := files[:0]
+	for _, f := range files {
+		if !excluded[filepath.Base(f)] {
+			kept = append(kept, f)
+		}
+	}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	return append(kept, docs...), nil
+}
+
+// CheckFile returns the broken relative links in one markdown file: each
+// returned string is "<target>" for a target that does not resolve to an
+// existing file or directory relative to the file's location.
+func CheckFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var broken []string
+	for _, target := range RelativeLinks(string(data)) {
+		if _, err := os.Stat(filepath.Join(dir, filepath.FromSlash(target))); err != nil {
+			broken = append(broken, target)
+		}
+	}
+	return broken, nil
+}

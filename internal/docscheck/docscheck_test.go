@@ -1,0 +1,47 @@
+package docscheck
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRelativeLinks(t *testing.T) {
+	md := `
+See [the runbook](OPERATIONS.md) and [tuning](SLO_TUNING.md#picking--slo-p99).
+External: [paper](https://example.org/p.pdf), [mail](mailto:x@y.z).
+Anchor-only: [above](#section). Sibling dir: [migration](../MIGRATION.md).
+`
+	got := RelativeLinks(md)
+	want := []string{"OPERATIONS.md", "SLO_TUNING.md", "../MIGRATION.md"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("RelativeLinks = %v, want %v", got, want)
+	}
+}
+
+// TestRepoDocLinksResolve is the real gate: every relative link in every
+// tracked markdown file must point at an existing file.
+func TestRepoDocLinksResolve(t *testing.T) {
+	files, err := MarkdownFiles("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("found only %d markdown files from the repo root; wrong root?", len(files))
+	}
+	sawDocs := false
+	for _, f := range files {
+		broken, err := CheckFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, target := range broken {
+			t.Errorf("%s: broken relative link %q", f, target)
+		}
+		if len(broken) == 0 {
+			sawDocs = true
+		}
+	}
+	if !sawDocs {
+		t.Error("no markdown file checked cleanly")
+	}
+}

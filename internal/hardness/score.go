@@ -1,0 +1,53 @@
+package hardness
+
+import (
+	"rdbsc/internal/core"
+)
+
+// This file is the package's online face: the reduction machinery proves
+// the problem NP-hard, and Score turns that same source of hardness — the
+// size of the complete-assignment search space — into a per-instance
+// difficulty estimate cheap enough to compute on every request. The
+// adaptive solve tier (internal/adaptive) uses it to route components to
+// solver lanes under a latency budget.
+
+// Difficulty is an online difficulty estimate for one prepared problem (or
+// component subproblem). LnPopulation is the log of the number of complete
+// assignments, ln N = Σ_w ln deg(w) — the exact quantity the Section 5.2
+// sample-size model and the exhaustive oracle's population cap are stated
+// in, so thresholds expressed against it compose with both.
+type Difficulty struct {
+	// Pairs is the instance's valid-pair count.
+	Pairs int
+	// Workers is the number of workers with at least one valid pair.
+	Workers int
+	// LnPopulation is ln of the complete-assignment population; 0 means a
+	// trivially enumerable instance (every connected worker has one
+	// choice).
+	LnPopulation float64
+}
+
+// Score computes the difficulty estimate for a prepared problem. It is
+// O(workers) on top of the problem's existing pair index — cheap enough
+// for the per-request hot path.
+func Score(p *core.Problem) Difficulty {
+	workers := p.ConnectedWorkers()
+	degrees := make([]int, 0, len(workers))
+	for _, wid := range workers {
+		degrees = append(degrees, p.Degree(wid))
+	}
+	return Difficulty{
+		Pairs:        len(p.Pairs),
+		Workers:      len(workers),
+		LnPopulation: LogPopulation(degrees),
+	}
+}
+
+// LogPopulation returns ln N = Σ ln deg over the given worker candidate
+// degrees, ignoring degree ≤ 1 workers (they contribute no choice). It is
+// the hardness scale the rest of this package's estimates are expressed
+// in; the computation is shared with the sampling solver's sample-size
+// determination (core.LogPopulation).
+func LogPopulation(degrees []int) float64 {
+	return core.LogPopulation(degrees)
+}

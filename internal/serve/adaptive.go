@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"rdbsc/internal/adaptive"
+	"rdbsc/internal/decompose"
+	"rdbsc/internal/engine"
+)
+
+// adaptiveState is the server's slice of the adaptive solve tier: the
+// shared controller (learned lane costs, thresholds, degrade counters) and
+// a per-snapshot-version cache of the component shape the controller plans
+// against. nil when Config.Adaptive is off — the solve path is then
+// byte-identical to the fixed-solver server.
+type adaptiveState struct {
+	ctrl  *adaptive.Controller
+	shape atomic.Pointer[versionedShape]
+}
+
+// versionedShape pins a computed component shape to the snapshot version
+// it was derived from. Versions only move forward, so an equal version
+// means an identical problem and the shape can be reused without
+// re-partitioning.
+type versionedShape struct {
+	version uint64
+	shape   *adaptive.Shape
+}
+
+func newAdaptiveState(budget, maxStale time.Duration) *adaptiveState {
+	return &adaptiveState{ctrl: adaptive.New(adaptive.Config{
+		Budget:   budget,
+		MaxStale: maxStale,
+	})}
+}
+
+// shapeFor returns the component shape of the snapshot's problem, serving
+// repeat requests against an unchanged snapshot from the one-entry cache.
+// Concurrent first requests at a new version may race to compute it; the
+// shape is a pure function of the snapshot, so last-store-wins is
+// harmless.
+func (a *adaptiveState) shapeFor(snap *engine.Snapshot) *adaptive.Shape {
+	if vs := a.shape.Load(); vs != nil && vs.version == snap.Version {
+		return vs.shape
+	}
+	p := snap.Problem
+	part := decompose.BuildSized(p.Pairs, len(p.In.Tasks), len(p.In.Workers))
+	shape := adaptive.NewShape(p, part)
+	a.shape.Store(&versionedShape{version: snap.Version, shape: shape})
+	return shape
+}
+
+// adaptiveStats returns the /v1/stats "adaptive" block, nil when the tier
+// is off (the field is then omitted from the JSON).
+func (s *Server) adaptiveStats() *adaptive.Stats {
+	if s.adapt == nil {
+		return nil
+	}
+	st := s.adapt.ctrl.StatsSnapshot()
+	return &st
+}
+
+// degradeResponse renders the graceful-degradation answer from the most
+// recent completed solve: the cached last assignment, stamped with its
+// explicit staleness ("stale_ms", wall time since it was computed) and the
+// degraded marker, plus the current version so clients can see how far
+// behind the assignment is. ok is false when no previous solve exists or
+// the last one is older than the staleness bound — the caller must then
+// shed (429).
+func (a *adaptiveState) degradeResponse(last *SolveResponse, currentVersion uint64) (*SolveResponse, bool) {
+	if last == nil {
+		return nil, false
+	}
+	stale := time.Since(last.At)
+	if stale < 0 {
+		stale = 0
+	}
+	if stale > a.ctrl.MaxStale() {
+		return nil, false
+	}
+	resp := *last // shallow copy; the stored value is never mutated
+	resp.Degraded = true
+	resp.StaleMS = float64(stale) / float64(time.Millisecond)
+	resp.CurrentVersion = currentVersion
+	return &resp, true
+}

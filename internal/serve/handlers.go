@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"rdbsc/internal/adaptive"
 	"rdbsc/internal/benchreport"
 	"rdbsc/internal/core"
 	"rdbsc/internal/engine"
@@ -301,7 +302,17 @@ type SolveResponse struct {
 	// Cached is true when the response was replayed from the solve cache
 	// (bit-identical to re-solving; ElapsedMS and At are the original
 	// solve's).
-	Cached          bool           `json:"cached,omitempty"`
+	Cached bool `json:"cached,omitempty"`
+	// Degraded marks a graceful-degradation answer from the adaptive tier:
+	// the predicted solve time exceeded the SLO budget, so this is the
+	// cached last assignment rather than a fresh solve. StaleMS is its
+	// explicit staleness bound — wall milliseconds since the served
+	// assignment was computed, never more than the server's -max-stale.
+	Degraded bool    `json:"degraded,omitempty"`
+	StaleMS  float64 `json:"stale_ms,omitempty"`
+	// Lanes breaks an adaptive solve down by lane: how many component
+	// solves ran on each (absent outside adaptive mode).
+	Lanes           map[string]int `json:"lanes,omitempty"`
 	ElapsedMS       float64        `json:"elapsed_ms"`
 	AssignedWorkers int            `json:"assigned_workers"`
 	AssignedTasks   int            `json:"assigned_tasks"`
@@ -325,22 +336,56 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	name := req.Solver
-	if name == "" {
-		name = s.cfg.SolverName
-	}
-	// A fresh solver instance per request: registry factories are cheap and
-	// nothing is shared across concurrent solves.
-	solver, err := core.NewByName(name)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	if _, sharded := solver.(*core.Sharded); s.shardSolves && !sharded {
-		// The engine decomposes by connected components; snapshot-plane
-		// solves keep that semantics (minus the engine's cross-batch
-		// result cache, which needs the single-writer plane).
-		solver = core.NewSharded(solver)
+	// The snapshot is pinned for the whole solve: batches applied while the
+	// solver runs replace the published pointer but never touch this view.
+	snap := *s.snap.Load()
+
+	// The adaptive tier handles only requests that name no solver: an
+	// explicit solver is a contract (the client asked for that algorithm's
+	// exact answer) the controller must not override.
+	var solver core.Solver
+	var dispatcher *adaptive.Solver
+	adaptiveActive := s.adapt != nil && req.Solver == ""
+	if adaptiveActive {
+		plan := s.adapt.ctrl.PlanRequest(s.adapt.shapeFor(&snap))
+		if plan.OverBudget {
+			// Even the minimum-effort plan is predicted over budget: serve
+			// the last assignment within the staleness bound, shed with 429
+			// only when none exists — admission control as final backstop.
+			if resp, ok := s.adapt.degradeResponse(s.lastRes.Load(), snap.Version); ok {
+				s.adapt.ctrl.NoteDegraded(true)
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+			s.adapt.ctrl.NoteDegraded(false)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				errors.New("predicted solve time exceeds the SLO budget and no assignment within the staleness bound exists"))
+			return
+		}
+		dispatcher = adaptive.NewSolver(s.adapt.ctrl)
+		// Sharded dispatch: the wrapper hands each connected component to
+		// the dispatcher, which routes it to its own lane.
+		solver = core.NewSharded(dispatcher)
+	} else {
+		name := req.Solver
+		if name == "" {
+			name = s.cfg.SolverName
+		}
+		// A fresh solver instance per request: registry factories are cheap
+		// and nothing is shared across concurrent solves.
+		named, err := core.NewByName(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if _, sharded := named.(*core.Sharded); s.shardSolves && !sharded {
+			// The engine decomposes by connected components; snapshot-plane
+			// solves keep that semantics (minus the engine's cross-batch
+			// result cache, which needs the single-writer plane).
+			named = core.NewSharded(named)
+		}
+		solver = named
 	}
 
 	timeout := s.cfg.SolveTimeout
@@ -352,9 +397,6 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	// The snapshot is pinned for the whole solve: batches applied while the
-	// solver runs replace the published pointer but never touch this view.
-	snap := *s.snap.Load()
 	key := SolveCacheKey{Fingerprint: snap.Version, Solver: solver.Name(), Seed: req.Seed}
 	if v, ok := s.cache.Get(key, []uint64{snap.Version}, 0); ok {
 		resp := *v.(*SolveResponse) // shallow copy; the cached value is never mutated
@@ -367,6 +409,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	res, err := solver.Solve(ctx, snap.Problem, &core.SolveOptions{Seed: req.Seed})
 	elapsed := time.Since(start)
 
+	if adaptiveActive {
+		// Close the headroom loop on the observed request latency (the
+		// per-lane coefficients were fed per component by the dispatcher).
+		s.adapt.ctrl.ObserveRequest(elapsed)
+	}
 	s.solves.Add(1)
 	partial := errors.Is(err, core.ErrInterrupted)
 	if partial {
@@ -408,6 +455,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		Assignment:      pairs,
 		Stats:           res.Stats,
 		At:              time.Now().UTC(),
+	}
+	if dispatcher != nil {
+		resp.Lanes = dispatcher.LaneCounts()
 	}
 	s.lastRes.Store(resp)
 	if err == nil {
@@ -464,6 +514,11 @@ type statsResponse struct {
 	// SolveLatencyMS summarizes the most recent solves (up to the latency
 	// ring's capacity), completed and partial alike.
 	SolveLatencyMS benchreport.Quantiles `json:"solve_latency_ms"`
+
+	// Adaptive is the latency-SLO tier's controller state (per-lane
+	// counters and learned costs, thresholds, degrade/shed accounting);
+	// absent when -adaptive is off.
+	Adaptive *adaptive.Stats `json:"adaptive,omitempty"`
 
 	Durability DurabilityJSON `json:"durability"`
 
@@ -538,6 +593,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		SolveCacheHits:      cacheStats.Hits,
 		SolveCacheMisses:    cacheStats.Misses,
 		SolveCacheEvictions: cacheStats.Evictions,
+
+		Adaptive: s.adaptiveStats(),
 
 		Durability: NewDurabilityJSON(s.store, loopStats.AppendFailed, s.snapErrors.Load(), s.recoveredBatches),
 

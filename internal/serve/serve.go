@@ -87,6 +87,21 @@ type Config struct {
 	// SnapshotEvery compacts the WAL into a full-state snapshot after every
 	// N applied batches (0 = never; the WAL then grows until shutdown).
 	SnapshotEvery int
+	// Adaptive enables the latency-SLO solve tier (internal/adaptive):
+	// /v1/solve requests that name no explicit solver are routed per
+	// connected component to a lane picked to fit SLOp99, and over-budget
+	// load degrades to the cached last assignment (stamped "stale_ms")
+	// before shedding with 429. Off by default — the solve path is then
+	// byte-identical to the fixed-solver server. Requests naming a solver
+	// always bypass the adaptive tier.
+	Adaptive bool
+	// SLOp99 is the solve-latency p99 budget the adaptive controller plans
+	// against. Only meaningful with Adaptive; default 50ms.
+	SLOp99 time.Duration
+	// MaxStale bounds how old a degraded (stale-served) assignment may be;
+	// past it the request is shed with 429 instead. Only meaningful with
+	// Adaptive; default 5s.
+	MaxStale time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +119,14 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Store == nil {
 		c.Store = store.NewMemory()
+	}
+	if c.Adaptive {
+		if c.SLOp99 <= 0 {
+			c.SLOp99 = 50 * time.Millisecond
+		}
+		if c.MaxStale <= 0 {
+			c.MaxStale = 5 * time.Second
+		}
 	}
 	return c
 }
@@ -157,6 +180,10 @@ type Server struct {
 	// shardSolves wraps snapshot-plane solvers in component decomposition,
 	// mirroring an engine built with Config.Decompose.
 	shardSolves bool
+
+	// adapt carries the adaptive solve tier's controller and shape cache;
+	// nil when Config.Adaptive is off.
+	adapt *adaptiveState
 
 	started time.Time
 	counters
@@ -230,6 +257,9 @@ func New(cfg Config) (*Server, error) {
 		// semantics on the snapshot plane via core.Sharded (the cross-batch
 		// per-component result cache stays engine-plane only).
 		shardSolves: cfg.Engine.Decomposes(),
+	}
+	if cfg.Adaptive {
+		s.adapt = newAdaptiveState(cfg.SLOp99, cfg.MaxStale)
 	}
 	// Recovery runs before the apply loop starts and before the first
 	// snapshot is published, so no request can ever observe the pre-replay

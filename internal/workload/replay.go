@@ -52,6 +52,13 @@ type ReplayConfig struct {
 	// RetryBackoff is the first retry's base delay (default 5ms; doubles per
 	// attempt, each wait jittered uniformly over [base/2, base)).
 	RetryBackoff time.Duration
+	// SLOBudget, when positive, scores every successful non-degraded solve
+	// response against this latency budget using the server-reported
+	// elapsed_ms (solve time on the server, excluding network): responses
+	// over budget count as SLO violations in the load record. Degraded
+	// (stale) responses and shed solves (429) are tallied separately — they
+	// are the adaptive tier's overload valves, not violations.
+	SLOBudget time.Duration
 	// ExpectRestart tolerates a bounded server outage mid-replay: transport
 	// failures (connection refused/reset while the server is down between a
 	// kill and a restart) are absorbed as ConnErrors in the load record
@@ -98,9 +105,16 @@ type replayStats struct {
 	mutSent, mutOK, mut429, mutErr   int
 	mutRetries                       int
 	solveSent, solveOK, solvePartial int
-	solveErr                         int
+	solveErr, solveShed              int
 	mutLatMS, solveLatMS             []float64
 	maxLagMS                         float64
+
+	// SLO accounting (SLOBudget mode): violations scored on the
+	// server-reported solve time, degraded/stale answers tallied with the
+	// largest staleness the server admitted to.
+	sloViolations    int
+	degraded         int
+	maxServedStaleMS float64
 
 	// Restart-tolerance accounting (ExpectRestart mode). outageStart is the
 	// first failure of the current outage; zero when the server is reachable.
@@ -160,6 +174,10 @@ func (st *replayStats) record(class int, latMS float64, status int, partial bool
 		switch {
 		case err != nil:
 			st.solveErr++
+		case status == http.StatusTooManyRequests:
+			// The adaptive tier shed the solve (over budget, nothing fresh
+			// enough to serve stale). Not an error: the valve worked.
+			st.solveShed++
 		case status >= 200 && status < 300:
 			st.solveOK++
 			if partial {
@@ -310,6 +328,17 @@ func Replay(ctx context.Context, tr *Trace, cfg ReplayConfig) (*benchreport.Repo
 				}
 				st.mu.Lock()
 				st.solveSent++
+				if err == nil && status == http.StatusOK {
+					if res.Degraded {
+						st.degraded++
+						if res.StaleMS > st.maxServedStaleMS {
+							st.maxServedStaleMS = res.StaleMS
+						}
+					} else if cfg.SLOBudget > 0 &&
+						res.ElapsedMS > float64(cfg.SLOBudget)/float64(time.Millisecond) {
+						st.sloViolations++
+					}
+				}
 				st.mu.Unlock()
 				return
 			}
@@ -364,6 +393,11 @@ func Replay(ctx context.Context, tr *Trace, cfg ReplayConfig) (*benchreport.Repo
 		MaxScheduleLagMS:   st.maxLagMS,
 		ConnErrors:         st.connErrs,
 		MaxOutageMS:        st.maxOutageMS,
+		SLOBudgetMS:        float64(cfg.SLOBudget) / float64(time.Millisecond),
+		SLOViolations:      st.sloViolations,
+		DegradedResponses:  st.degraded,
+		SolvesShed:         st.solveShed,
+		MaxServedStaleMS:   st.maxServedStaleMS,
 	}
 	lastSolve.mu.Lock()
 	if lastSolve.ok {
